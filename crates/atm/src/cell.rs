@@ -1,0 +1,87 @@
+//! The ATM cell format and payload/wire conversions.
+//!
+//! ATM packetizes data into fixed 53-byte cells: a 5-byte header and a
+//! 48-byte payload. Envelopes inside this workspace sometimes count
+//! *payload* bits (what Theorem 2 produces) and sometimes *wire* bits
+//! (what a link multiplexer actually transmits); the helpers here convert
+//! between the two.
+
+use hetnet_traffic::approx::ceil_div;
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+
+/// Total cell size on the wire: 53 bytes.
+pub const CELL_BITS: f64 = 424.0;
+/// Cell payload: 48 bytes (the paper's `C_S`).
+pub const PAYLOAD_BITS: f64 = 384.0;
+/// Cell header: 5 bytes.
+pub const HEADER_BITS: f64 = 40.0;
+
+/// Wire bits per payload bit (53/48 ≈ 1.104): the inflation applied when
+/// a payload-counted envelope is offered to a link.
+#[must_use]
+pub fn wire_inflation() -> f64 {
+    CELL_BITS / PAYLOAD_BITS
+}
+
+/// Number of cells needed to carry `payload` bits (the paper's `F_C` for
+/// a frame of that size).
+#[must_use]
+pub fn cells_for_payload(payload: Bits) -> u64 {
+    if payload.value() <= 0.0 {
+        return 0;
+    }
+    ceil_div(payload.value(), PAYLOAD_BITS) as u64
+}
+
+/// Wire bits occupied by the cells carrying `payload` bits.
+#[must_use]
+pub fn wire_bits_for_payload(payload: Bits) -> Bits {
+    Bits::new(cells_for_payload(payload) as f64 * CELL_BITS)
+}
+
+/// Time to transmit one cell on a link of the given rate.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `rate` is not positive.
+#[must_use]
+pub fn cell_time(rate: BitsPerSec) -> Seconds {
+    debug_assert!(rate.value() > 0.0, "link rate must be positive");
+    Bits::new(CELL_BITS) / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_constants() {
+        assert_eq!(CELL_BITS, 424.0);
+        assert_eq!(PAYLOAD_BITS, 384.0);
+        assert_eq!(HEADER_BITS, 40.0);
+        assert_eq!(CELL_BITS, PAYLOAD_BITS + HEADER_BITS);
+        assert!((wire_inflation() - 53.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cells_for_payload_rounds_up() {
+        assert_eq!(cells_for_payload(Bits::ZERO), 0);
+        assert_eq!(cells_for_payload(Bits::new(1.0)), 1);
+        assert_eq!(cells_for_payload(Bits::new(384.0)), 1);
+        assert_eq!(cells_for_payload(Bits::new(385.0)), 2);
+        // A 4500-byte FDDI frame needs ceil(36000/384) = 94 cells.
+        assert_eq!(cells_for_payload(Bits::from_bytes(4500.0)), 94);
+    }
+
+    #[test]
+    fn wire_bits_include_headers() {
+        assert_eq!(wire_bits_for_payload(Bits::new(384.0)).value(), 424.0);
+        assert_eq!(wire_bits_for_payload(Bits::new(385.0)).value(), 848.0);
+    }
+
+    #[test]
+    fn cell_time_at_155mbps() {
+        let t = cell_time(BitsPerSec::from_mbps(155.0));
+        assert!((t.as_micros() - 424.0 / 155.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the ATM substrate.
+
+use crate::topology::SwitchId;
+use hetnet_traffic::TrafficError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by ATM configuration, routing and analysis.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AtmError {
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+    /// No route exists between the given switches.
+    NoRoute {
+        /// Origin switch.
+        from: SwitchId,
+        /// Destination switch.
+        to: SwitchId,
+    },
+    /// The underlying envelope analysis failed (e.g. an overloaded link).
+    Analysis(TrafficError),
+}
+
+impl fmt::Display for AtmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid ATM configuration: {msg}"),
+            Self::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+            Self::Analysis(e) => write!(f, "multiplexer analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for AtmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrafficError> for AtmError {
+    fn from(e: TrafficError) -> Self {
+        Self::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetnet_traffic::units::BitsPerSec;
+
+    #[test]
+    fn display_and_source() {
+        assert!(AtmError::InvalidConfig("x".into()).to_string().contains("x"));
+        let e = AtmError::NoRoute {
+            from: SwitchId(0),
+            to: SwitchId(2),
+        };
+        assert!(e.to_string().contains("switch-0"));
+        let e: AtmError = TrafficError::Unstable {
+            arrival_rate: BitsPerSec::new(2.0),
+            service_rate: BitsPerSec::new(1.0),
+        }
+        .into();
+        assert!(e.source().is_some());
+    }
+}

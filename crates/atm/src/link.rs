@@ -1,0 +1,71 @@
+//! Point-to-point ATM link parameters.
+
+use crate::cell;
+use hetnet_traffic::units::{BitsPerSec, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// One directed point-to-point link in the backbone.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Transmission rate (155.52 Mb/s for OC-3, the paper's backbone).
+    pub rate: BitsPerSec,
+    /// Propagation delay of the fiber.
+    pub propagation: Seconds,
+}
+
+impl LinkConfig {
+    /// An OC-3 (155 Mb/s) link with the given propagation delay — the
+    /// paper's backbone link capacity.
+    #[must_use]
+    pub fn oc3(propagation: Seconds) -> Self {
+        Self {
+            rate: BitsPerSec::from_mbps(155.0),
+            propagation,
+        }
+    }
+
+    /// Time to transmit one 53-byte cell on this link.
+    #[must_use]
+    pub fn cell_time(&self) -> Seconds {
+        cell::cell_time(self.rate)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rate.value() <= 0.0 {
+            return Err("link rate must be positive".into());
+        }
+        if self.propagation.is_negative() {
+            return Err("propagation delay must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oc3_parameters() {
+        let l = LinkConfig::oc3(Seconds::from_micros(5.0));
+        assert_eq!(l.rate.as_mbps(), 155.0);
+        assert_eq!(l.propagation.as_micros(), 5.0);
+        assert!(l.validate().is_ok());
+        assert!((l.cell_time().as_micros() - 424.0 / 155.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        let mut l = LinkConfig::oc3(Seconds::ZERO);
+        l.rate = BitsPerSec::ZERO;
+        assert!(l.validate().is_err());
+        let mut l = LinkConfig::oc3(Seconds::ZERO);
+        l.propagation = Seconds::new(-1.0);
+        assert!(l.validate().is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Worst-case analysis of a FIFO cell multiplexer.
+//!
+//! An ATM output port multiplexes the cells of many connections onto one
+//! link of rate `C`, serving them FIFO. With per-connection envelopes
+//! `A_k(I)` at the port, the standard busy-period argument (Cruz; Raha-
+//! Kamat-Zhao) bounds:
+//!
+//! * the busy period `B`: the last instant with `Σ_k A_k(t) > C·t`,
+//! * the queueing delay of any cell:
+//!   `d = max_{0<t≤B} (Σ_k A_k(t)/C − t)⁺`,
+//! * the port buffer: `max_{0<t≤B} (Σ_k A_k(t) − C·t)`,
+//!
+//! and each connection's output envelope is its input envelope shifted by
+//! the (FIFO, flow-independent) delay bound and capped at the link rate:
+//! `A'_k(I) = min(C·I, A_k(I + d))`.
+//!
+//! These are exactly the fluid bounds of the generic guaranteed-server
+//! analysis with the constant-rate service curve `S(t) = C·t`, applied to
+//! the *aggregate* arrival envelope.
+
+use crate::error::AtmError;
+use crate::link::LinkConfig;
+use hetnet_traffic::analysis::{analyze_guaranteed_server, AnalysisConfig};
+use hetnet_traffic::combinators::{Aggregate, Delayed, RateCapped};
+use hetnet_traffic::envelope::SharedEnvelope;
+use hetnet_traffic::service::RateLatencyService;
+use hetnet_traffic::units::{Bits, Seconds};
+use std::sync::Arc;
+
+/// Worst-case behaviour of a FIFO multiplexer for a given flow set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MuxReport {
+    /// End of the maximal backlogged horizon of the aggregate.
+    pub busy_period: Seconds,
+    /// Worst-case queueing delay of any cell through the port (fluid;
+    /// callers add store-and-forward and switching latencies).
+    pub delay_bound: Seconds,
+    /// Maximum bits queued at the port (buffer requirement).
+    pub backlog_bound: Bits,
+}
+
+/// Analyzes the FIFO multiplexing of `flows` (envelopes *in wire bits* at
+/// this port) onto `link`.
+///
+/// An empty flow set yields all-zero bounds.
+///
+/// # Errors
+///
+/// Returns [`AtmError::Analysis`] if the aggregate sustained rate reaches
+/// the link rate (unstable) or the busy-period search fails, and
+/// [`AtmError::InvalidConfig`] for an invalid link.
+pub fn analyze_mux(
+    flows: &[SharedEnvelope],
+    link: &LinkConfig,
+    cfg: &AnalysisConfig,
+) -> Result<MuxReport, AtmError> {
+    link.validate().map_err(AtmError::InvalidConfig)?;
+    if flows.is_empty() {
+        return Ok(MuxReport {
+            busy_period: Seconds::ZERO,
+            delay_bound: Seconds::ZERO,
+            backlog_bound: Bits::ZERO,
+        });
+    }
+    let aggregate = Aggregate::new(flows.to_vec());
+    let service = RateLatencyService::constant_rate(link.rate);
+    let report = analyze_guaranteed_server(&aggregate, &service, cfg)?;
+    Ok(MuxReport {
+        busy_period: report.busy_interval,
+        delay_bound: report.delay_bound,
+        backlog_bound: report.backlog_bound,
+    })
+}
+
+/// The envelope of one flow after traversing a port with the given
+/// report: `min(C·I, A(I + d))`.
+#[must_use]
+pub fn per_flow_output(
+    flow: SharedEnvelope,
+    report: &MuxReport,
+    link: &LinkConfig,
+) -> SharedEnvelope {
+    Arc::new(RateCapped::new(
+        Arc::new(Delayed::new(flow, report.delay_bound)),
+        link.rate,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetnet_traffic::envelope::Envelope;
+    use hetnet_traffic::models::{LeakyBucketEnvelope, PeriodicEnvelope};
+    use hetnet_traffic::units::BitsPerSec;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    fn oc3() -> LinkConfig {
+        LinkConfig::oc3(Seconds::ZERO)
+    }
+
+    fn lb(sigma: f64, rho_mbps: f64) -> SharedEnvelope {
+        Arc::new(
+            LeakyBucketEnvelope::new(Bits::new(sigma), BitsPerSec::from_mbps(rho_mbps)).unwrap(),
+        )
+    }
+
+    #[test]
+    fn empty_port_is_idle() {
+        let r = analyze_mux(&[], &oc3(), &cfg()).unwrap();
+        assert_eq!(r.delay_bound, Seconds::ZERO);
+        assert_eq!(r.backlog_bound, Bits::ZERO);
+        assert_eq!(r.busy_period, Seconds::ZERO);
+    }
+
+    #[test]
+    fn single_leaky_bucket_closed_form() {
+        // d = sigma/C, backlog = sigma, busy = sigma/(C - rho).
+        let sigma = 424_000.0;
+        let r = analyze_mux(&[lb(sigma, 55.0)], &oc3(), &cfg()).unwrap();
+        assert!((r.delay_bound.value() - sigma / 155.0e6).abs() < 1e-9);
+        assert!((r.backlog_bound.value() - sigma).abs() < 1.0);
+        assert!((r.busy_period.value() - sigma / 100.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_grows_with_flow_count() {
+        let mut prev = 0.0;
+        for n in [1, 2, 4, 8] {
+            let flows: Vec<SharedEnvelope> =
+                (0..n).map(|_| lb(100_000.0, 155.0 / 16.0)).collect();
+            let r = analyze_mux(&flows, &oc3(), &cfg()).unwrap();
+            assert!(r.delay_bound.value() >= prev, "n={n}");
+            prev = r.delay_bound.value();
+        }
+        // n identical buckets: delay = n*sigma/C.
+        assert!((prev - 8.0 * 100_000.0 / 155.0e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overloaded_link_is_unstable() {
+        let flows: Vec<SharedEnvelope> = (0..3).map(|_| lb(1000.0, 60.0)).collect();
+        assert!(matches!(
+            analyze_mux(&flows, &oc3(), &cfg()),
+            Err(AtmError::Analysis(_))
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_flows_hand_check() {
+        // Two periodic flows, 1 Mbit per 100 ms each at 100 Mb/s peak:
+        // both bursts can land together -> delay ~ 2 Mbit / 155 Mb/s
+        // (minus the overlap already being served during the arrival ramp).
+        let mk = || -> SharedEnvelope {
+            Arc::new(
+                PeriodicEnvelope::new(
+                    Bits::from_mbits(1.0),
+                    Seconds::from_millis(100.0),
+                    BitsPerSec::from_mbps(100.0),
+                )
+                .unwrap(),
+            )
+        };
+        let r = analyze_mux(&[mk(), mk()], &oc3(), &cfg()).unwrap();
+        // Aggregate ramp: 200 Mb/s for 10 ms -> backlog peaks at
+        // (200-155) Mb/s * 10 ms = 0.45 Mbit; delay = backlog/C ~ 2.9 ms.
+        assert!((r.backlog_bound.value() - 0.45e6).abs() < 2.0e3, "{r:?}");
+        assert!((r.delay_bound.as_millis() - 0.45 / 155.0 * 1000.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn output_envelope_shifted_and_capped() {
+        let flow = lb(424_000.0, 55.0);
+        let r = analyze_mux(&[Arc::clone(&flow)], &oc3(), &cfg()).unwrap();
+        let out = per_flow_output(Arc::clone(&flow), &r, &oc3());
+        // Capped at link rate for small intervals.
+        let tiny = Seconds::from_micros(1.0);
+        assert!(out.arrivals(tiny) <= oc3().rate * tiny + Bits::new(1e-6));
+        // Dominates the input shifted by d at larger intervals.
+        let i = Seconds::from_millis(50.0);
+        assert!(out.arrivals(i) >= flow.arrivals(i) - Bits::new(1.0));
+    }
+}

@@ -1,0 +1,270 @@
+//! Backbone topology and minimum-hop routing.
+//!
+//! The backbone is a directed multigraph of switches and point-to-point
+//! links. The paper's simulated backbone has three switches (one per
+//! interface device); we provide that topology as
+//! [`Backbone::fully_meshed`] along with line topologies for multi-hop
+//! experiments.
+
+use crate::error::AtmError;
+use crate::link::LinkConfig;
+use crate::switch::SwitchConfig;
+use hetnet_traffic::units::Seconds;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a switch in the backbone.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SwitchId(pub u32);
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "switch-{}", self.0)
+    }
+}
+
+/// Identifier of a directed link (an output port) in the backbone.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LinkId(pub usize);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link-{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Link {
+    from: SwitchId,
+    to: SwitchId,
+    config: LinkConfig,
+}
+
+/// A directed backbone graph of ATM switches.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Backbone {
+    switches: Vec<SwitchConfig>,
+    links: Vec<Link>,
+}
+
+impl Backbone {
+    /// Creates a backbone with `n` switches (of identical `switch`
+    /// configuration) and no links.
+    #[must_use]
+    pub fn new(n: usize, switch: SwitchConfig) -> Self {
+        Self {
+            switches: vec![switch; n],
+            links: Vec::new(),
+        }
+    }
+
+    /// The paper's backbone: `n` switches, every ordered pair joined by a
+    /// direct link (for `n = 3`, a triangle — one switch per interface
+    /// device, so any LAN-to-LAN route crosses at most one inter-switch
+    /// link).
+    #[must_use]
+    pub fn fully_meshed(n: usize, switch: SwitchConfig, link: LinkConfig) -> Self {
+        let mut b = Self::new(n, switch);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    b.add_link(SwitchId(i as u32), SwitchId(j as u32), link);
+                }
+            }
+        }
+        b
+    }
+
+    /// A line topology `0 — 1 — … — n−1` with bidirectional links; routes
+    /// between distant switches traverse multiple hops.
+    #[must_use]
+    pub fn line(n: usize, switch: SwitchConfig, link: LinkConfig) -> Self {
+        let mut b = Self::new(n, switch);
+        for i in 0..n.saturating_sub(1) {
+            b.add_link(SwitchId(i as u32), SwitchId(i as u32 + 1), link);
+            b.add_link(SwitchId(i as u32 + 1), SwitchId(i as u32), link);
+        }
+        b
+    }
+
+    /// Adds a directed link and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_link(&mut self, from: SwitchId, to: SwitchId, config: LinkConfig) -> LinkId {
+        assert!((from.0 as usize) < self.switches.len(), "unknown {from}");
+        assert!((to.0 as usize) < self.switches.len(), "unknown {to}");
+        let id = LinkId(self.links.len());
+        self.links.push(Link { from, to, config });
+        id
+    }
+
+    /// Number of switches.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of directed links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The configuration of a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn switch(&self, id: SwitchId) -> &SwitchConfig {
+        &self.switches[id.0 as usize]
+    }
+
+    /// The configuration of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn link(&self, id: LinkId) -> &LinkConfig {
+        &self.links[id.0].config
+    }
+
+    /// The switch a link leaves from (the switch housing the output
+    /// port).
+    #[must_use]
+    pub fn link_source(&self, id: LinkId) -> SwitchId {
+        self.links[id.0].from
+    }
+
+    /// The switch a link arrives at.
+    #[must_use]
+    pub fn link_target(&self, id: LinkId) -> SwitchId {
+        self.links[id.0].to
+    }
+
+    /// Total fiber propagation along a route.
+    #[must_use]
+    pub fn route_propagation(&self, route: &[LinkId]) -> Seconds {
+        route.iter().map(|l| self.link(*l).propagation).sum()
+    }
+
+    /// A minimum-hop route from `from` to `to` (BFS; the empty route if
+    /// `from == to`). Ties are broken by lowest link id, so routing is
+    /// deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::NoRoute`] if `to` is unreachable.
+    pub fn route(&self, from: SwitchId, to: SwitchId) -> Result<Vec<LinkId>, AtmError> {
+        if from == to {
+            return Ok(Vec::new());
+        }
+        let n = self.switches.len();
+        let mut prev: Vec<Option<LinkId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[from.0 as usize] = true;
+        let mut queue = VecDeque::from([from]);
+        while let Some(u) = queue.pop_front() {
+            for (idx, link) in self.links.iter().enumerate() {
+                if link.from == u && !seen[link.to.0 as usize] {
+                    seen[link.to.0 as usize] = true;
+                    prev[link.to.0 as usize] = Some(LinkId(idx));
+                    if link.to == to {
+                        // Reconstruct.
+                        let mut path = Vec::new();
+                        let mut cur = to;
+                        while cur != from {
+                            let l = prev[cur.0 as usize].expect("predecessor recorded");
+                            path.push(l);
+                            cur = self.links[l.0].from;
+                        }
+                        path.reverse();
+                        return Ok(path);
+                    }
+                    queue.push_back(link.to);
+                }
+            }
+        }
+        Err(AtmError::NoRoute { from, to })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkConfig {
+        LinkConfig::oc3(Seconds::from_micros(5.0))
+    }
+
+    #[test]
+    fn triangle_has_six_directed_links() {
+        let b = Backbone::fully_meshed(3, SwitchConfig::typical(), link());
+        assert_eq!(b.switch_count(), 3);
+        assert_eq!(b.link_count(), 6);
+        // Any pair routes in exactly one hop.
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                let r = b.route(SwitchId(i), SwitchId(j)).unwrap();
+                assert_eq!(r.len(), usize::from(i != j));
+                if i != j {
+                    assert_eq!(b.link_source(r[0]), SwitchId(i));
+                    assert_eq!(b.link_target(r[0]), SwitchId(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn line_routes_multi_hop() {
+        let b = Backbone::line(4, SwitchConfig::typical(), link());
+        let r = b.route(SwitchId(0), SwitchId(3)).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(b.link_source(r[0]), SwitchId(0));
+        assert_eq!(b.link_target(r[2]), SwitchId(3));
+        // Propagation accumulates.
+        assert!((b.route_propagation(&r).as_micros() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_switch_errors() {
+        let b = Backbone::new(2, SwitchConfig::typical());
+        assert!(matches!(
+            b.route(SwitchId(0), SwitchId(1)),
+            Err(AtmError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_routing() {
+        let b = Backbone::fully_meshed(4, SwitchConfig::typical(), link());
+        let r1 = b.route(SwitchId(1), SwitchId(3)).unwrap();
+        let r2 = b.route(SwitchId(1), SwitchId(3)).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut b = Backbone::new(2, SwitchConfig::typical());
+        let l = b.add_link(SwitchId(0), SwitchId(1), link());
+        assert_eq!(b.link(l).rate.as_mbps(), 155.0);
+        assert_eq!(b.switch(SwitchId(0)).fabric_latency.as_micros(), 10.0);
+        assert_eq!(format!("{}", SwitchId(1)), "switch-1");
+        assert_eq!(format!("{l}"), "link-0");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown switch-9")]
+    fn bad_link_endpoint_panics() {
+        let mut b = Backbone::new(2, SwitchConfig::typical());
+        b.add_link(SwitchId(9), SwitchId(0), link());
+    }
+}

@@ -1,0 +1,92 @@
+//! Microbenchmarks of the analytic building blocks: envelope evaluation,
+//! the Theorem-1 guaranteed-server analysis, the FIFO multiplexer bound,
+//! and a full end-to-end path evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hetnet_atm::{analyze_mux, LinkConfig};
+use hetnet_cac::delay::{evaluate_paths, EvalConfig, PathInput};
+use hetnet_cac::network::{HetNetwork, HostId};
+use hetnet_fddi::mac::analyze_fddi_mac;
+use hetnet_fddi::ring::{RingConfig, SyncBandwidth};
+use hetnet_traffic::analysis::AnalysisConfig;
+use hetnet_traffic::envelope::{Envelope, SharedEnvelope};
+use hetnet_traffic::models::DualPeriodicEnvelope;
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+use std::sync::Arc;
+
+fn paper_source() -> DualPeriodicEnvelope {
+    DualPeriodicEnvelope::new(
+        Bits::from_mbits(2.0),
+        Seconds::from_millis(100.0),
+        Bits::from_mbits(0.25),
+        Seconds::from_millis(10.0),
+        BitsPerSec::from_mbps(100.0),
+    )
+    .expect("valid")
+}
+
+fn bench_envelope_eval(c: &mut Criterion) {
+    let env = paper_source();
+    c.bench_function("dual_periodic_arrivals", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            let t = Seconds::new(i as f64 * 1.0e-4);
+            black_box(env.arrivals(black_box(t)))
+        })
+    });
+}
+
+fn bench_mac_analysis(c: &mut Criterion) {
+    let env: SharedEnvelope = Arc::new(paper_source());
+    let ring = RingConfig::standard();
+    let h = SyncBandwidth::new(Seconds::from_millis(2.4));
+    let cfg = AnalysisConfig::default();
+    c.bench_function("theorem1_fddi_mac", |b| {
+        b.iter(|| {
+            black_box(
+                analyze_fddi_mac(Arc::clone(&env), &ring, h, None, &cfg)
+                    .expect("stable"),
+            )
+        })
+    });
+}
+
+fn bench_mux_analysis(c: &mut Criterion) {
+    let cfg = AnalysisConfig::default();
+    let link = LinkConfig::oc3(Seconds::ZERO);
+    let flows: Vec<SharedEnvelope> = (0..6).map(|_| Arc::new(paper_source()) as _).collect();
+    c.bench_function("fifo_mux_6_flows", |b| {
+        b.iter(|| black_box(analyze_mux(&flows, &link, &cfg).expect("stable")))
+    });
+}
+
+fn bench_path_evaluation(c: &mut Criterion) {
+    let net = HetNetwork::paper_topology();
+    let cfg = EvalConfig::default();
+    let mk = |ring: usize, station: usize| PathInput {
+        source: HostId { ring, station },
+        dest: HostId {
+            ring: (ring + 1) % 3,
+            station,
+        },
+        envelope: Arc::new(paper_source()),
+        h_s: SyncBandwidth::new(Seconds::from_millis(2.4)),
+        h_r: SyncBandwidth::new(Seconds::from_millis(2.4)),
+    };
+    let one = vec![mk(0, 0)];
+    let three = vec![mk(0, 0), mk(1, 0), mk(2, 0)];
+    c.bench_function("end_to_end_1_conn", |b| {
+        b.iter(|| black_box(evaluate_paths(&net, &one, &cfg).expect("ok")))
+    });
+    c.bench_function("end_to_end_3_conns", |b| {
+        b.iter(|| black_box(evaluate_paths(&net, &three, &cfg).expect("ok")))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_envelope_eval, bench_mac_analysis, bench_mux_analysis, bench_path_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Benchmarks of whole CAC decisions: one admission on an empty network
+//! and one on a network already carrying load (the searches couple
+//! against existing connections).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hetnet_cac::cac::{CacConfig, NetworkState};
+use hetnet_cac::connection::ConnectionSpec;
+use hetnet_cac::network::{HetNetwork, HostId};
+use hetnet_traffic::models::DualPeriodicEnvelope;
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+use std::sync::Arc;
+
+fn paper_source() -> Arc<DualPeriodicEnvelope> {
+    Arc::new(
+        DualPeriodicEnvelope::new(
+            Bits::from_mbits(2.0),
+            Seconds::from_millis(100.0),
+            Bits::from_mbits(0.25),
+            Seconds::from_millis(10.0),
+            BitsPerSec::from_mbps(100.0),
+        )
+        .expect("valid"),
+    )
+}
+
+fn spec(src: (usize, usize), dst: (usize, usize)) -> ConnectionSpec {
+    ConnectionSpec {
+        source: HostId {
+            ring: src.0,
+            station: src.1,
+        },
+        dest: HostId {
+            ring: dst.0,
+            station: dst.1,
+        },
+        envelope: paper_source() as _,
+        deadline: Seconds::from_millis(100.0),
+    }
+}
+
+fn bench_cac_decision(c: &mut Criterion) {
+    let cfg = CacConfig::default();
+
+    c.bench_function("cac_admit_on_empty_network", |b| {
+        b.iter(|| {
+            let mut state = NetworkState::new(HetNetwork::paper_topology());
+            black_box(state.request(spec((0, 0), (1, 0)), &cfg).expect("ok"))
+        })
+    });
+
+    c.bench_function("cac_admit_on_loaded_network", |b| {
+        // Pre-load three connections once; clone the state per iteration
+        // is not possible (NetworkState is not Clone), so rebuild inside
+        // but measure only relative cost.
+        b.iter(|| {
+            let mut state = NetworkState::new(HetNetwork::paper_topology());
+            state.request(spec((0, 0), (1, 0)), &cfg).expect("ok");
+            state.request(spec((1, 0), (2, 0)), &cfg).expect("ok");
+            state.request(spec((2, 0), (0, 0)), &cfg).expect("ok");
+            black_box(state.request(spec((0, 1), (2, 1)), &cfg).expect("ok"))
+        })
+    });
+
+    c.bench_function("cac_reject_tight_deadline", |b| {
+        b.iter(|| {
+            let mut state = NetworkState::new(HetNetwork::paper_topology());
+            let mut s = spec((0, 0), (1, 0));
+            s.deadline = Seconds::from_millis(1.0);
+            black_box(state.request(s, &cfg).expect("ok"))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cac_decision
+);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Shared harness code for the figure-regeneration binaries and
+//! benchmarks.
+//!
+//! The binaries reproduce the paper's evaluation section:
+//!
+//! * `fig7` — admission probability vs β at backbone utilizations
+//!   U ∈ {0.3, 0.6, 0.9} (the paper's Figure 7);
+//! * `fig8` — admission probability vs U at β ∈ {0, 0.5, 1} (Figure 8);
+//! * `validation` — packet-level simulation vs analytic worst-case
+//!   bounds (our addition; the paper relies on the bounds analytically);
+//! * `ablation` — the paper's allocation rules vs naive FDDI-only local
+//!   schemes (§5/§7's argument, quantified).
+//!
+//! Results are printed as aligned tables and written as CSV into
+//! `results/`.
+
+#![warn(missing_docs)]
+
+use hetnet_cac::cac::CacConfig;
+use hetnet_cac::experiment::{run_admission_experiment, ExperimentResult, Workload};
+use hetnet_cac::network::HetNetwork;
+use parking_lot::Mutex;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Number of independent replications (seeds) averaged per point.
+pub const REPLICATIONS: u64 = 2;
+
+/// Connection requests simulated per replication.
+pub const REQUESTS_PER_RUN: usize = 150;
+
+/// One measured point of an admission-probability curve.
+#[derive(Clone, Copy, Debug)]
+pub struct ApPoint {
+    /// The swept parameter (β for fig. 7, U for fig. 8).
+    pub x: f64,
+    /// Mean admission probability over the replications.
+    pub ap: f64,
+    /// Minimum over replications.
+    pub ap_min: f64,
+    /// Maximum over replications.
+    pub ap_max: f64,
+    /// Mean number of simultaneously active connections.
+    pub mean_active: f64,
+}
+
+/// Runs the admission experiment at `(utilization, beta)` averaged over
+/// [`REPLICATIONS`] seeds, parallelized across replications.
+///
+/// # Panics
+///
+/// Panics if an experiment fails (the workloads used here are
+/// well-formed by construction).
+#[must_use]
+pub fn measure_ap(utilization: f64, beta: f64, x: f64) -> ApPoint {
+    let results: Mutex<Vec<ExperimentResult>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for seed in 0..REPLICATIONS {
+            let results = &results;
+            scope.spawn(move |_| {
+                let net = HetNetwork::paper_topology();
+                let workload =
+                    Workload::paper_style(utilization, REQUESTS_PER_RUN, 1000 + seed);
+                let cfg = CacConfig::fast().with_beta(beta);
+                let r = run_admission_experiment(net, &workload, &cfg)
+                    .expect("experiment configuration is valid");
+                results.lock().push(r);
+            });
+        }
+    })
+    .expect("replication threads join");
+    let results = results.into_inner();
+    let aps: Vec<f64> = results.iter().map(|r| r.admission_probability).collect();
+    let mean = aps.iter().sum::<f64>() / aps.len() as f64;
+    ApPoint {
+        x,
+        ap: mean,
+        ap_min: aps.iter().copied().fold(f64::INFINITY, f64::min),
+        ap_max: aps.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        mean_active: results.iter().map(|r| r.mean_active).sum::<f64>() / results.len() as f64,
+    }
+}
+
+/// Writes a curve as CSV under `results/`.
+///
+/// # Panics
+///
+/// Panics on I/O errors (the harness runs in the repo checkout).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    println!("\nwrote {}", path.display());
+}
+
+/// Renders a crude ASCII plot of one or more curves (y in [0, 1]).
+#[must_use]
+pub fn ascii_plot(curves: &[(&str, &[ApPoint])]) -> String {
+    let mut out = String::new();
+    let height = 20;
+    let width = 61;
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, pts) in curves {
+        for p in *pts {
+            xmin = xmin.min(p.x);
+            xmax = xmax.max(p.x);
+        }
+    }
+    if !xmin.is_finite() || xmax <= xmin {
+        return out;
+    }
+    let mut grid = vec![vec![' '; width]; height + 1];
+    let marks = ['o', '+', 'x', '*'];
+    for (ci, (_, pts)) in curves.iter().enumerate() {
+        for p in *pts {
+            let col = ((p.x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let row = ((1.0 - p.ap.clamp(0.0, 1.0)) * height as f64).round() as usize;
+            grid[row][col.min(width - 1)] = marks[ci % marks.len()];
+        }
+    }
+    out.push_str("  AP\n");
+    for (i, row) in grid.iter().enumerate() {
+        let y = 1.0 - i as f64 / height as f64;
+        let line: String = row.iter().collect();
+        out.push_str(&format!("{y:4.1} |{line}\n"));
+    }
+    out.push_str(&format!(
+        "      {}\n      {:<28}{:>28}\n",
+        "-".repeat(width),
+        format!("{xmin:.2}"),
+        format!("{xmax:.2}")
+    ));
+    for (ci, (name, _)) in curves.iter().enumerate() {
+        out.push_str(&format!("      {} = {}\n", marks[ci % marks.len()], name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_plot_renders_curves() {
+        let pts = [
+            ApPoint {
+                x: 0.0,
+                ap: 1.0,
+                ap_min: 1.0,
+                ap_max: 1.0,
+                mean_active: 1.0,
+            },
+            ApPoint {
+                x: 1.0,
+                ap: 0.5,
+                ap_min: 0.4,
+                ap_max: 0.6,
+                mean_active: 2.0,
+            },
+        ];
+        let plot = ascii_plot(&[("demo", &pts)]);
+        assert!(plot.contains("o"));
+        assert!(plot.contains("demo"));
+        assert!(plot.contains("1.0 |"));
+    }
+
+    #[test]
+    fn ascii_plot_empty_is_empty() {
+        assert!(ascii_plot(&[]).is_empty());
+    }
+}

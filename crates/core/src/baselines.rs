@@ -1,0 +1,206 @@
+//! Baseline allocation policies for ablation studies.
+//!
+//! The paper argues (§5, §7) that synchronous-bandwidth schemes designed
+//! for *stand-alone* FDDI rings (refs. [1], [24]) should not be applied
+//! per-segment in a heterogeneous network, and that allocating the
+//! extremes of the feasible segment — the bare minimum (β = 0) or
+//! everything available (β = 1) — hurts future admissions. This module
+//! provides those strawmen so the claims can be measured:
+//!
+//! * [`Policy::BetaCac`] — the paper's algorithm at a given β (including
+//!   the β = 0 and β = 1 extremes);
+//! * [`Policy::LocalScheme`] — a classical FDDI-only rule computes
+//!   `H_S`/`H_R` *locally* on each ring (no end-to-end view), scaled by a
+//!   headroom factor, and the connection is admitted iff the deadlines
+//!   happen to hold there.
+
+use crate::cac::{CacConfig, Decision, NetworkState};
+use crate::connection::ConnectionSpec;
+use crate::error::CacError;
+use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_fddi::schemes::AllocationScheme;
+use hetnet_traffic::envelope::Envelope as _;
+use hetnet_traffic::units::Seconds;
+
+/// An admission policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Policy {
+    /// The paper's CAC with the given β.
+    BetaCac {
+        /// The allocation knob β ∈ [0, 1].
+        beta: f64,
+    },
+    /// The §5.3 strawman: grab `(H_S^{max_avai}, H_R^{max_avai})`
+    /// outright. The paper predicts "this will result in the rejection
+    /// of any future connection originated from or designated to these
+    /// two rings simply because no bandwidth is available."
+    GrabEverything,
+    /// A stand-alone-FDDI allocation rule applied independently on each
+    /// ring.
+    LocalScheme {
+        /// Which classical rule computes the allocation.
+        scheme: AllocationScheme,
+        /// Multiplier applied to the rule's output (local rules meet
+        /// long-term demand exactly; headroom > 1 leaves room for token
+        /// latency).
+        headroom: f64,
+    },
+}
+
+/// Runs one admission request under `policy`.
+///
+/// # Errors
+///
+/// Returns [`CacError`] for malformed requests.
+pub fn request_with_policy(
+    state: &mut NetworkState,
+    spec: ConnectionSpec,
+    policy: Policy,
+    cfg: &CacConfig,
+) -> Result<Decision, CacError> {
+    match policy {
+        Policy::BetaCac { beta } => {
+            let cfg = cfg.clone().with_beta(beta);
+            state.request(spec, &cfg)
+        }
+        Policy::GrabEverything => {
+            let h_s = SyncBandwidth::new(state.available_on(spec.source.ring));
+            let h_r = SyncBandwidth::new(state.available_on(spec.dest.ring));
+            if h_s.per_rotation().value() <= 0.0 || h_r.per_rotation().value() <= 0.0 {
+                return state.request_fixed(
+                    spec,
+                    SyncBandwidth::new(Seconds::from_nanos(1.0)),
+                    SyncBandwidth::new(Seconds::from_nanos(1.0)),
+                    cfg,
+                );
+            }
+            state.request_fixed(spec, h_s, h_r, cfg)
+        }
+        Policy::LocalScheme { scheme, headroom } => {
+            let rho = spec.envelope.sustained_rate();
+            let ring_s = *state.network().ring(spec.source.ring);
+            let ring_r = *state.network().ring(spec.dest.ring);
+            let h_s = scale(
+                scheme.allocate(&ring_s, &[rho])[0],
+                headroom,
+            );
+            let h_r = scale(
+                scheme.allocate(&ring_r, &[rho])[0],
+                headroom,
+            );
+            state.request_fixed(spec, h_s, h_r, cfg)
+        }
+    }
+}
+
+fn scale(h: SyncBandwidth, factor: f64) -> SyncBandwidth {
+    SyncBandwidth::new(Seconds::new(h.per_rotation().value() * factor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{HetNetwork, HostId};
+    use hetnet_traffic::models::DualPeriodicEnvelope;
+    use hetnet_traffic::units::{Bits, BitsPerSec};
+    use std::sync::Arc;
+
+    fn spec(src: (usize, usize), dst: (usize, usize)) -> ConnectionSpec {
+        ConnectionSpec {
+            source: HostId {
+                ring: src.0,
+                station: src.1,
+            },
+            dest: HostId {
+                ring: dst.0,
+                station: dst.1,
+            },
+            envelope: Arc::new(
+                DualPeriodicEnvelope::new(
+                    Bits::from_mbits(2.0),
+                    Seconds::from_millis(100.0),
+                    Bits::from_mbits(0.25),
+                    Seconds::from_millis(10.0),
+                    BitsPerSec::from_mbps(100.0),
+                )
+                .unwrap(),
+            ),
+            deadline: Seconds::from_millis(100.0),
+        }
+    }
+
+    #[test]
+    fn beta_policy_delegates_to_cac() {
+        let mut state = NetworkState::new(HetNetwork::paper_topology());
+        let d = request_with_policy(
+            &mut state,
+            spec((0, 0), (1, 0)),
+            Policy::BetaCac { beta: 0.5 },
+            &CacConfig::default(),
+        )
+        .unwrap();
+        assert!(d.is_admitted());
+    }
+
+    #[test]
+    fn local_proportional_without_headroom_fails_tight_deadlines() {
+        // ProportionalToRate meets the 20 Mb/s demand with zero headroom:
+        // the MAC is then (borderline) unstable and the worst-case delay
+        // unbounded, so the admission check must reject.
+        let mut state = NetworkState::new(HetNetwork::paper_topology());
+        let d = request_with_policy(
+            &mut state,
+            spec((0, 0), (1, 0)),
+            Policy::LocalScheme {
+                scheme: AllocationScheme::ProportionalToRate,
+                headroom: 1.0,
+            },
+            &CacConfig::default(),
+        )
+        .unwrap();
+        assert!(!d.is_admitted());
+    }
+
+    #[test]
+    fn grab_everything_starves_the_rings() {
+        let mut state = NetworkState::new(HetNetwork::paper_topology());
+        let cfg = CacConfig::default();
+        let first = request_with_policy(
+            &mut state,
+            spec((0, 0), (1, 0)),
+            Policy::GrabEverything,
+            &cfg,
+        )
+        .unwrap();
+        assert!(first.is_admitted());
+        // The whole budget of rings 0 and 1 is gone...
+        assert!(state.available_on(0).value() < 1e-9);
+        assert!(state.available_on(1).value() < 1e-9);
+        // ...so anything touching those rings is rejected, exactly as
+        // the paper predicts for this strawman.
+        let second = request_with_policy(
+            &mut state,
+            spec((0, 1), (2, 0)),
+            Policy::GrabEverything,
+            &cfg,
+        )
+        .unwrap();
+        assert!(!second.is_admitted());
+    }
+
+    #[test]
+    fn local_proportional_with_headroom_can_admit() {
+        let mut state = NetworkState::new(HetNetwork::paper_topology());
+        let d = request_with_policy(
+            &mut state,
+            spec((0, 0), (1, 0)),
+            Policy::LocalScheme {
+                scheme: AllocationScheme::ProportionalToRate,
+                headroom: 1.8,
+            },
+            &CacConfig::default(),
+        )
+        .unwrap();
+        assert!(d.is_admitted(), "{d:?}");
+    }
+}

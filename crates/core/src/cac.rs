@@ -1,0 +1,957 @@
+//! The connection admission control algorithm (§5.3) and the network's
+//! admission bookkeeping.
+//!
+//! Upon a request, the CAC:
+//!
+//! 1. computes the maximum available allocations
+//!    `(H_S^{max_avai}, H_R^{max_avai})` from the rings' synchronous
+//!    budgets (eqs. 26–27);
+//! 2. rejects if even the maximum allocation cannot satisfy every
+//!    deadline (eqs. 24–25);
+//! 3. binary-searches along the line joining
+//!    `(H_S^{min_abs}, H_R^{min_abs})` and the maximum point for the
+//!    *minimum needed* allocation — the smallest point keeping all
+//!    deadlines satisfied;
+//! 4. binary-searches the segment above it for the *maximum needed*
+//!    allocation — the smallest point at which every connection's delay
+//!    already equals its value at the maximum allocation (eqs. 31–33):
+//!    beyond it, extra bandwidth buys nothing;
+//! 5. allocates `H = H^{min_need} + β (H^{max_need} − H^{min_need})`
+//!    (eqs. 35–36) and admits.
+//!
+//! Monotonicity along the search line — the requesting connection's
+//! delay is nonincreasing and existing connections' delays are
+//! nondecreasing in the allocation scale (they only see the newcomer
+//! through its burstiness at shared multiplexers) — is what makes both
+//! searches correct; it follows from the convexity of the feasible
+//! region (Theorems 3–4).
+
+use crate::connection::{ActiveConnection, ConnectionId, ConnectionSpec};
+use crate::delay::{
+    evaluate_paths, CandidateOutcome, EvalConfig, EvalOutcome, Evaluator, PathInput, PathReport,
+};
+use crate::error::CacError;
+use crate::network::HetNetwork;
+use hetnet_fddi::alloc::{AllocationKey, SyncAllocationTable};
+use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_fddi::frames;
+use hetnet_traffic::units::Seconds;
+use std::fmt;
+use std::sync::Arc;
+
+/// Tuning parameters of the CAC.
+#[derive(Clone, Debug)]
+pub struct CacConfig {
+    /// The allocation knob β ∈ [0, 1] of eqs. 35–36: 0 allocates the
+    /// bare minimum, 1 the maximum useful amount. The paper finds
+    /// β ∈ [0.4, 0.7] robust; 0.5 is the default.
+    pub beta: f64,
+    /// Iterations of each binary search along the allocation line.
+    pub search_iterations: usize,
+    /// Tolerance for the "maximum needed allocation" test. Eqs. 31–33
+    /// define `H^{max_need}` as the smallest allocation whose delays
+    /// *equal* those at the maximum; when delay curves saturate exactly
+    /// (pure staircase effects) that point is found as-is, and when they
+    /// keep creeping (burst-crossing times shift continuously with the
+    /// quantum) the search settles for the point at which all but this
+    /// fraction of the *achievable* improvement has been realized.
+    pub equality_tolerance: f64,
+    /// Minimum frame efficiency defining `H^{min_abs}` (§5.2: the
+    /// allocation cannot be arbitrarily small or frame overheads swamp
+    /// it).
+    pub min_frame_efficiency: f64,
+    /// End-to-end evaluation tuning.
+    pub eval: EvalConfig,
+}
+
+impl Default for CacConfig {
+    fn default() -> Self {
+        Self {
+            beta: 0.5,
+            search_iterations: 14,
+            equality_tolerance: 0.1,
+            min_frame_efficiency: 0.9,
+            eval: EvalConfig::default(),
+        }
+    }
+}
+
+impl CacConfig {
+    /// A cheaper configuration for large simulation campaigns: fewer
+    /// search iterations and the fast evaluation profile. Decisions are
+    /// identical in kind, slightly coarser in the allocation split.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            search_iterations: 12,
+            eval: EvalConfig::fast(),
+            ..Self::default()
+        }
+    }
+
+    /// A copy of this configuration with a different β.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta ∈ [0, 1]`.
+    #[must_use]
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+        self.beta = beta;
+        self
+    }
+}
+
+/// Why a request was rejected.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The source ring cannot even provide the minimum absolute
+    /// allocation.
+    SourceBandwidthExhausted {
+        /// Synchronous time still available.
+        available: Seconds,
+        /// The minimum absolute requirement.
+        required: Seconds,
+    },
+    /// The destination ring cannot provide the minimum absolute
+    /// allocation.
+    DestBandwidthExhausted {
+        /// Synchronous time still available.
+        available: Seconds,
+        /// The minimum absolute requirement.
+        required: Seconds,
+    },
+    /// Even `(H_S^{max_avai}, H_R^{max_avai})` violates some deadline or
+    /// leaves a server unstable (the feasible region is empty,
+    /// Theorem 4).
+    InfeasibleAtMaximum {
+        /// Human-readable detail (which constraint failed).
+        detail: String,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SourceBandwidthExhausted {
+                available,
+                required,
+            } => write!(
+                f,
+                "source ring bandwidth exhausted (available {available}, need {required})"
+            ),
+            Self::DestBandwidthExhausted {
+                available,
+                required,
+            } => write!(
+                f,
+                "destination ring bandwidth exhausted (available {available}, need {required})"
+            ),
+            Self::InfeasibleAtMaximum { detail } => {
+                write!(f, "infeasible even at maximum allocation: {detail}")
+            }
+        }
+    }
+}
+
+/// The CAC's verdict on a request.
+#[derive(Clone, Debug)]
+pub enum Decision {
+    /// Admitted with the given allocations.
+    Admitted {
+        /// Identifier of the new connection.
+        id: ConnectionId,
+        /// Synchronous bandwidth allocated on the source ring.
+        h_s: SyncBandwidth,
+        /// Synchronous bandwidth allocated on the destination ring.
+        h_r: SyncBandwidth,
+        /// The connection's end-to-end worst-case delay at admission.
+        delay_bound: Seconds,
+    },
+    /// Rejected; no state was changed.
+    Rejected(RejectReason),
+}
+
+impl Decision {
+    /// Whether the request was admitted.
+    #[must_use]
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Self::Admitted { .. })
+    }
+}
+
+/// The live state of the network: active connections and per-ring
+/// synchronous-bandwidth tables.
+#[derive(Debug)]
+pub struct NetworkState {
+    net: HetNetwork,
+    active: Vec<ActiveConnection>,
+    tables: Vec<SyncAllocationTable>,
+    next_id: u64,
+}
+
+impl NetworkState {
+    /// A fresh state with no connections.
+    #[must_use]
+    pub fn new(net: HetNetwork) -> Self {
+        let tables = vec![SyncAllocationTable::new(); net.rings().len()];
+        Self {
+            net,
+            active: Vec::new(),
+            tables,
+            next_id: 0,
+        }
+    }
+
+    /// The underlying network.
+    #[must_use]
+    pub fn network(&self) -> &HetNetwork {
+        &self.net
+    }
+
+    /// Currently active connections.
+    #[must_use]
+    pub fn active(&self) -> &[ActiveConnection] {
+        &self.active
+    }
+
+    /// Whether `host` currently originates a connection (§3.2 assumes at
+    /// most one per host).
+    #[must_use]
+    pub fn host_busy(&self, host: crate::network::HostId) -> bool {
+        self.active.iter().any(|c| c.spec.source == host)
+    }
+
+    /// Synchronous time still allocatable on a ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring` is out of range.
+    #[must_use]
+    pub fn available_on(&self, ring: usize) -> Seconds {
+        self.tables[ring].available(self.net.ring(ring))
+    }
+
+    /// Builds the evaluation inputs for all active connections, plus an
+    /// optional candidate at a trial allocation.
+    fn inputs_with(
+        &self,
+        candidate: Option<(&ConnectionSpec, SyncBandwidth, SyncBandwidth)>,
+    ) -> Vec<PathInput> {
+        let mut v: Vec<PathInput> = self
+            .active
+            .iter()
+            .map(|c| PathInput {
+                source: c.spec.source,
+                dest: c.spec.dest,
+                envelope: Arc::clone(&c.spec.envelope),
+                h_s: c.h_s,
+                h_r: c.h_r,
+            })
+            .collect();
+        if let Some((spec, hs, hr)) = candidate {
+            v.push(PathInput {
+                source: spec.source,
+                dest: spec.dest,
+                envelope: Arc::clone(&spec.envelope),
+                h_s: hs,
+                h_r: hr,
+            });
+        }
+        v
+    }
+
+    /// Evaluates all deadlines with the candidate at `(hs, hr)`.
+    /// Returns the per-connection reports if every deadline holds.
+    fn feasible_with(
+        &self,
+        spec: &ConnectionSpec,
+        hs: SyncBandwidth,
+        hr: SyncBandwidth,
+        cfg: &CacConfig,
+    ) -> Result<Option<Vec<PathReport>>, CacError> {
+        let inputs = self.inputs_with(Some((spec, hs, hr)));
+        match evaluate_paths(&self.net, &inputs, &cfg.eval)? {
+            EvalOutcome::Infeasible(_) => Ok(None),
+            EvalOutcome::Feasible(reports) => {
+                for (i, c) in self.active.iter().enumerate() {
+                    if reports[i].total > c.spec.deadline {
+                        return Ok(None);
+                    }
+                }
+                if reports.last().expect("candidate included").total > spec.deadline {
+                    return Ok(None);
+                }
+                Ok(Some(reports))
+            }
+        }
+    }
+
+    /// Runs the CAC (§5.3) on a request. On admission, the allocations
+    /// are recorded and the connection becomes active.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError`] for malformed requests or networks;
+    /// resource/deadline failures are reported as
+    /// [`Decision::Rejected`].
+    pub fn request(
+        &mut self,
+        spec: ConnectionSpec,
+        cfg: &CacConfig,
+    ) -> Result<Decision, CacError> {
+        self.validate_spec(&spec)?;
+        let ring_s = self.net.ring(spec.source.ring);
+        let ring_r = self.net.ring(spec.dest.ring);
+
+        // Step 1: bounds of the allocation line.
+        let min_s = frames::min_allocation(ring_s, cfg.min_frame_efficiency);
+        let min_r = frames::min_allocation(ring_r, cfg.min_frame_efficiency);
+        let avail_s = self.available_on(spec.source.ring);
+        let avail_r = self.available_on(spec.dest.ring);
+        if avail_s < min_s.per_rotation() {
+            return Ok(Decision::Rejected(RejectReason::SourceBandwidthExhausted {
+                available: avail_s,
+                required: min_s.per_rotation(),
+            }));
+        }
+        if avail_r < min_r.per_rotation() {
+            return Ok(Decision::Rejected(RejectReason::DestBandwidthExhausted {
+                available: avail_r,
+                required: min_r.per_rotation(),
+            }));
+        }
+        let max_s = SyncBandwidth::new(avail_s);
+        let max_r = SyncBandwidth::new(avail_r);
+        let at = |lambda: f64| -> (SyncBandwidth, SyncBandwidth) {
+            (min_s.lerp(max_s, lambda), min_r.lerp(max_r, lambda))
+        };
+
+        // One evaluator for the whole request: the sender-side analyses
+        // of existing connections are computed once and reused across
+        // every search iteration.
+        let base_inputs = self.inputs_with(None);
+        let mk_inputs = |hs: SyncBandwidth, hr: SyncBandwidth| -> Vec<PathInput> {
+            let mut v = base_inputs.clone();
+            v.push(PathInput {
+                source: spec.source,
+                dest: spec.dest,
+                envelope: Arc::clone(&spec.envelope),
+                h_s: hs,
+                h_r: hr,
+            });
+            v
+        };
+        let mut ev = Evaluator::new(&self.net, cfg.eval.clone());
+
+        // Step 2: the feasible region is empty unless the maximum works —
+        // and because existing connections' delays are nondecreasing in
+        // the newcomer's allocation, verifying them here covers every
+        // smaller allocation the searches will visit.
+        let reports_at_max = match ev.evaluate_full(&mk_inputs(max_s, max_r))? {
+            EvalOutcome::Infeasible(detail) => {
+                return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
+                    detail,
+                }))
+            }
+            EvalOutcome::Feasible(reports) => reports,
+        };
+        for (i, c) in self.active.iter().enumerate() {
+            if reports_at_max[i].total > c.spec.deadline {
+                return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
+                    detail: format!("existing {} would miss its deadline", c.id),
+                }));
+            }
+        }
+        if reports_at_max.last().expect("candidate included").total > spec.deadline {
+            return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
+                detail: "requesting connection misses its deadline at (H_S^max, H_R^max)".into(),
+            }));
+        }
+
+        // Reference signature at the maximum, for the eq.-31/32 test.
+        let (ref_total, ref_mux) = match ev.evaluate_candidate(&mk_inputs(max_s, max_r))? {
+            CandidateOutcome::Feasible {
+                candidate,
+                mux_delays,
+            } => (candidate.total, mux_delays),
+            CandidateOutcome::Infeasible(detail) => {
+                return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
+                    detail,
+                }))
+            }
+        };
+
+        // Candidate-only probe: feasibility is the newcomer's own
+        // deadline (existing ones are covered by Step 2 + monotonicity).
+        let probe = |ev: &mut Evaluator,
+                         lambda: f64|
+         -> Result<Option<(Seconds, Vec<Seconds>)>, CacError> {
+            let (hs, hr) = at(lambda);
+            match ev.evaluate_candidate(&mk_inputs(hs, hr))? {
+                CandidateOutcome::Feasible {
+                    candidate,
+                    mux_delays,
+                } if candidate.total <= spec.deadline => {
+                    Ok(Some((candidate.total, mux_delays)))
+                }
+                _ => Ok(None),
+            }
+        };
+
+        // Step 3: minimum needed allocation along the line.
+        let lambda_min = if probe(&mut ev, 0.0)?.is_some() {
+            0.0
+        } else {
+            let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+            for _ in 0..cfg.search_iterations {
+                let mid = 0.5 * (lo + hi);
+                if probe(&mut ev, mid)?.is_some() {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            hi
+        };
+
+        // Step 4: maximum needed allocation — the smallest point whose
+        // delay signature matches the maximum-allocation one (eqs.
+        // 31–33). The "excess" of a point is how much delay performance
+        // it still leaves on the table: the candidate's own gap to its
+        // λ = 1 delay plus every multiplexer-bound shift (equal mux
+        // delays imply equal existing-connection totals, since their
+        // sender sides are fixed and their receive sides then see
+        // identical inputs). When delays saturate the excess hits zero
+        // and this is the paper's exact criterion; when they improve
+        // continuously we accept the point realizing all but
+        // `equality_tolerance` of the achievable improvement.
+        let excess = |total: Seconds, mux: &[Seconds]| -> f64 {
+            let mut e = (total.value() - ref_total.value()).abs();
+            if mux.len() == ref_mux.len() {
+                e += mux
+                    .iter()
+                    .zip(&ref_mux)
+                    .map(|(a, b)| (a.value() - b.value()).abs())
+                    .sum::<f64>();
+            } else {
+                e += ref_total.value();
+            }
+            e
+        };
+        let at_min = probe(&mut ev, lambda_min)?;
+        let improvement_scale = at_min
+            .as_ref()
+            .map_or(0.0, |(total, mux)| excess(*total, mux))
+            .max(1.0e-9);
+        let equals_max =
+            |total: Seconds, mux: &[Seconds]| excess(total, mux) <= cfg.equality_tolerance * improvement_scale;
+        let lambda_max = match at_min {
+            Some((total, ref mux)) if equals_max(total, mux) => lambda_min,
+            _ => {
+                let (mut lo, mut hi) = (lambda_min, 1.0_f64);
+                for _ in 0..cfg.search_iterations {
+                    let mid = 0.5 * (lo + hi);
+                    match probe(&mut ev, mid)? {
+                        Some((total, ref mux)) if equals_max(total, mux) => hi = mid,
+                        _ => lo = mid,
+                    }
+                }
+                hi
+            }
+        };
+
+        // Step 5: H = H_min_need + beta * (H_max_need - H_min_need).
+        let lambda_star = lambda_min + cfg.beta * (lambda_max - lambda_min);
+        // Final verification is a *full* evaluation: monotonicity is a
+        // theorem about the model, but numerics can chip at it, so check
+        // everything at the chosen point and fall back toward the
+        // maximum on failure.
+        let mut chosen = None;
+        for lambda in [lambda_star, lambda_max, 1.0] {
+            let (hs, hr) = at(lambda);
+            if let EvalOutcome::Feasible(reports) = ev.evaluate_full(&mk_inputs(hs, hr))? {
+                let all_ok = self
+                    .active
+                    .iter()
+                    .enumerate()
+                    .all(|(i, c)| reports[i].total <= c.spec.deadline)
+                    && reports.last().expect("candidate").total <= spec.deadline;
+                if all_ok {
+                    chosen = Some((hs, hr, reports));
+                    break;
+                }
+            }
+        }
+        drop(ev);
+        let Some((h_s, h_r, reports)) = chosen else {
+            return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
+                detail: "allocation search failed to verify (numerical)".into(),
+            }));
+        };
+
+        // Commit.
+        let id = ConnectionId(self.next_id);
+        self.next_id += 1;
+        let key = AllocationKey(id.0);
+        self.tables[spec.source.ring]
+            .allocate(key, h_s, ring_s)
+            .map_err(CacError::from)?;
+        if let Err(e) = self.tables[spec.dest.ring].allocate(key, h_r, ring_r) {
+            // Roll back the source allocation before surfacing the error.
+            let _ = self.tables[spec.source.ring].release(key);
+            return Err(e.into());
+        }
+        let delay_bound = reports.last().expect("candidate included").total;
+        self.active.push(ActiveConnection {
+            id,
+            spec,
+            h_s,
+            h_r,
+            delay_bound,
+        });
+        Ok(Decision::Admitted {
+            id,
+            h_s,
+            h_r,
+            delay_bound,
+        })
+    }
+
+    /// Admits a connection at a *fixed* allocation if (and only if) all
+    /// deadlines hold there — no searching, no β. Used by the baseline
+    /// policies and by tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError`] for malformed requests.
+    pub fn request_fixed(
+        &mut self,
+        spec: ConnectionSpec,
+        h_s: SyncBandwidth,
+        h_r: SyncBandwidth,
+        cfg: &CacConfig,
+    ) -> Result<Decision, CacError> {
+        self.validate_spec(&spec)?;
+        let avail_s = self.available_on(spec.source.ring);
+        let avail_r = self.available_on(spec.dest.ring);
+        if h_s.per_rotation() > avail_s {
+            return Ok(Decision::Rejected(RejectReason::SourceBandwidthExhausted {
+                available: avail_s,
+                required: h_s.per_rotation(),
+            }));
+        }
+        if h_r.per_rotation() > avail_r {
+            return Ok(Decision::Rejected(RejectReason::DestBandwidthExhausted {
+                available: avail_r,
+                required: h_r.per_rotation(),
+            }));
+        }
+        let Some(reports) = self.feasible_with(&spec, h_s, h_r, cfg)? else {
+            return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
+                detail: "deadline violated at the fixed allocation".into(),
+            }));
+        };
+        let id = ConnectionId(self.next_id);
+        self.next_id += 1;
+        let key = AllocationKey(id.0);
+        self.tables[spec.source.ring]
+            .allocate(key, h_s, self.net.ring(spec.source.ring))
+            .map_err(CacError::from)?;
+        if let Err(e) =
+            self.tables[spec.dest.ring].allocate(key, h_r, self.net.ring(spec.dest.ring))
+        {
+            let _ = self.tables[spec.source.ring].release(key);
+            return Err(e.into());
+        }
+        let delay_bound = reports.last().expect("candidate included").total;
+        self.active.push(ActiveConnection {
+            id,
+            spec,
+            h_s,
+            h_r,
+            delay_bound,
+        });
+        Ok(Decision::Admitted {
+            id,
+            h_s,
+            h_r,
+            delay_bound,
+        })
+    }
+
+    /// Tears down an active connection, releasing its allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::UnknownConnection`] if `id` is not active.
+    pub fn release(&mut self, id: ConnectionId) -> Result<(), CacError> {
+        let idx = self
+            .active
+            .iter()
+            .position(|c| c.id == id)
+            .ok_or(CacError::UnknownConnection(id))?;
+        let conn = self.active.remove(idx);
+        let key = AllocationKey(id.0);
+        self.tables[conn.spec.source.ring]
+            .release(key)
+            .map_err(CacError::from)?;
+        self.tables[conn.spec.dest.ring]
+            .release(key)
+            .map_err(CacError::from)?;
+        Ok(())
+    }
+
+    /// Recomputes every active connection's *slack*: deadline minus the
+    /// current worst-case delay bound. Operators watch these to see how
+    /// close the admitted set runs to its contracts (a β = 0 network
+    /// shows slacks near zero; larger β buys headroom).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError`] if the state is internally inconsistent.
+    pub fn slacks(&self, cfg: &CacConfig) -> Result<Vec<(ConnectionId, Seconds)>, CacError> {
+        let delays = self.current_delays(cfg)?;
+        Ok(delays
+            .into_iter()
+            .zip(&self.active)
+            .map(|((id, d), c)| (id, c.spec.deadline - d))
+            .collect())
+    }
+
+    /// Recomputes every active connection's current delay bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError`] if the state is internally inconsistent.
+    pub fn current_delays(&self, cfg: &CacConfig) -> Result<Vec<(ConnectionId, Seconds)>, CacError> {
+        let inputs = self.inputs_with(None);
+        match evaluate_paths(&self.net, &inputs, &cfg.eval)? {
+            EvalOutcome::Feasible(reports) => Ok(self
+                .active
+                .iter()
+                .zip(reports)
+                .map(|(c, r)| (c.id, r.total))
+                .collect()),
+            EvalOutcome::Infeasible(detail) => Err(CacError::Substrate(format!(
+                "admitted set became infeasible: {detail} (invariant violation)"
+            ))),
+        }
+    }
+
+    fn validate_spec(&self, spec: &ConnectionSpec) -> Result<(), CacError> {
+        if !self.net.contains(spec.source) {
+            return Err(CacError::InvalidRequest(format!(
+                "unknown source {}",
+                spec.source
+            )));
+        }
+        if !self.net.contains(spec.dest) {
+            return Err(CacError::InvalidRequest(format!(
+                "unknown dest {}",
+                spec.dest
+            )));
+        }
+        if spec.source.ring == spec.dest.ring {
+            return Err(CacError::InvalidRequest(
+                "source and destination must be on different rings".into(),
+            ));
+        }
+        if spec.deadline.value() <= 0.0 {
+            return Err(CacError::InvalidRequest(
+                "deadline must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::HostId;
+    use hetnet_traffic::models::DualPeriodicEnvelope;
+    use hetnet_traffic::units::{Bits, BitsPerSec};
+
+    fn state() -> NetworkState {
+        NetworkState::new(HetNetwork::paper_topology())
+    }
+
+    fn spec(src: (usize, usize), dst: (usize, usize), deadline_ms: f64) -> ConnectionSpec {
+        ConnectionSpec {
+            source: HostId {
+                ring: src.0,
+                station: src.1,
+            },
+            dest: HostId {
+                ring: dst.0,
+                station: dst.1,
+            },
+            envelope: Arc::new(
+                DualPeriodicEnvelope::new(
+                    Bits::from_mbits(2.0),
+                    Seconds::from_millis(100.0),
+                    Bits::from_mbits(0.25),
+                    Seconds::from_millis(10.0),
+                    BitsPerSec::from_mbps(100.0),
+                )
+                .unwrap(),
+            ),
+            deadline: Seconds::from_millis(deadline_ms),
+        }
+    }
+
+    #[test]
+    fn admits_a_reasonable_request() {
+        let mut s = state();
+        let cfg = CacConfig::default();
+        let d = s.request(spec((0, 0), (1, 0), 100.0), &cfg).unwrap();
+        match d {
+            Decision::Admitted {
+                h_s,
+                h_r,
+                delay_bound,
+                ..
+            } => {
+                assert!(delay_bound <= Seconds::from_millis(100.0));
+                assert!(h_s.per_rotation().value() > 0.0);
+                assert!(h_r.per_rotation().value() > 0.0);
+                // The allocation is recorded on both rings.
+                assert!(s.available_on(0) < Seconds::from_millis(7.2));
+                assert!(s.available_on(1) < Seconds::from_millis(7.2));
+                assert_eq!(s.active().len(), 1);
+            }
+            Decision::Rejected(r) => panic!("unexpected rejection: {r}"),
+        }
+    }
+
+    #[test]
+    fn rejects_impossible_deadline() {
+        let mut s = state();
+        let cfg = CacConfig::default();
+        // Two token rotations alone exceed 1 ms.
+        let d = s.request(spec((0, 0), (1, 0), 1.0), &cfg).unwrap();
+        assert!(matches!(
+            d,
+            Decision::Rejected(RejectReason::InfeasibleAtMaximum { .. })
+        ));
+        assert!(s.active().is_empty());
+        // Nothing was allocated.
+        assert!((s.available_on(0).as_millis() - 7.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_interpolates_between_min_and_max() {
+        let cfg0 = CacConfig::default().with_beta(0.0);
+        let cfg1 = CacConfig::default().with_beta(1.0);
+        let cfg_half = CacConfig::default().with_beta(0.5);
+        let mut h = Vec::new();
+        for cfg in [&cfg0, &cfg_half, &cfg1] {
+            let mut s = state();
+            match s.request(spec((0, 0), (1, 0), 60.0), cfg).unwrap() {
+                Decision::Admitted { h_s, .. } => h.push(h_s.per_rotation().value()),
+                Decision::Rejected(r) => panic!("rejected: {r}"),
+            }
+        }
+        assert!(h[0] <= h[1] + 1e-12, "beta=0 gives the least: {h:?}");
+        assert!(h[1] <= h[2] + 1e-12, "beta=1 gives the most: {h:?}");
+        assert!(h[2] > h[0], "the spread is non-trivial: {h:?}");
+    }
+
+    #[test]
+    fn release_returns_bandwidth() {
+        let mut s = state();
+        let cfg = CacConfig::default();
+        let Decision::Admitted { id, .. } = s.request(spec((0, 0), (1, 0), 100.0), &cfg).unwrap()
+        else {
+            panic!("expected admission")
+        };
+        assert!(s.host_busy(HostId { ring: 0, station: 0 }));
+        s.release(id).unwrap();
+        assert!(s.active().is_empty());
+        assert!((s.available_on(0).as_millis() - 7.2).abs() < 1e-9);
+        assert!((s.available_on(1).as_millis() - 7.2).abs() < 1e-9);
+        assert!(matches!(
+            s.release(id),
+            Err(CacError::UnknownConnection(_))
+        ));
+    }
+
+    #[test]
+    fn existing_deadlines_are_protected() {
+        let mut s = state();
+        // Admit one connection with a deadline so tight that almost any
+        // added disturbance would violate it; with beta=0 it is left with
+        // a bare-minimum allocation and thus no slack.
+        let cfg_tight = CacConfig::default().with_beta(0.0);
+        let first = s.request(spec((0, 0), (1, 0), 60.0), &cfg_tight).unwrap();
+        let Decision::Admitted { delay_bound, .. } = first else {
+            panic!("first must be admitted")
+        };
+        // Tighten: record how close the first connection runs.
+        assert!(delay_bound <= Seconds::from_millis(60.0));
+        // Request a second connection sharing both rings. Whatever the
+        // decision, the first connection's deadline must still hold.
+        let cfg = CacConfig::default();
+        let _ = s.request(spec((0, 1), (1, 1), 60.0), &cfg).unwrap();
+        let delays = s.current_delays(&cfg).unwrap();
+        for (i, (_, d)) in delays.iter().enumerate() {
+            assert!(
+                *d <= s.active()[i].spec.deadline,
+                "connection {i} violated after admission"
+            );
+        }
+    }
+
+    #[test]
+    fn fills_ring_until_exhausted() {
+        let mut s = state();
+        let cfg = CacConfig::default().with_beta(1.0);
+        let mut admitted = 0;
+        // Station indices cycle through ring 0's four hosts; allow
+        // multiple per host for this capacity test.
+        for k in 0..8 {
+            let d = s
+                .request(spec((0, k % 4), (1 + (k % 2), k % 4), 120.0), &cfg)
+                .unwrap();
+            if d.is_admitted() {
+                admitted += 1;
+            } else {
+                break;
+            }
+        }
+        // beta = 1 grabs everything useful; the ring saturates quickly.
+        assert!(admitted >= 1);
+        assert!(
+            admitted < 8,
+            "greedy allocation must eventually exhaust ring 0"
+        );
+    }
+
+    #[test]
+    fn request_fixed_respects_budget_and_deadline() {
+        let mut s = state();
+        let cfg = CacConfig::default();
+        let h = SyncBandwidth::new(Seconds::from_millis(2.4));
+        let d = s
+            .request_fixed(spec((0, 0), (1, 0), 100.0), h, h, &cfg)
+            .unwrap();
+        assert!(d.is_admitted());
+        // Asking for more than remains on ring 0 is rejected outright.
+        let whole = SyncBandwidth::new(Seconds::from_millis(7.0));
+        let d = s
+            .request_fixed(spec((0, 1), (2, 0), 100.0), whole, h, &cfg)
+            .unwrap();
+        assert!(matches!(
+            d,
+            Decision::Rejected(RejectReason::SourceBandwidthExhausted { .. })
+        ));
+        // An undersized fixed allocation fails the deadline check.
+        let tiny = SyncBandwidth::new(Seconds::from_micros(200.0));
+        let d = s
+            .request_fixed(spec((0, 1), (2, 0), 100.0), tiny, tiny, &cfg)
+            .unwrap();
+        assert!(matches!(
+            d,
+            Decision::Rejected(RejectReason::InfeasibleAtMaximum { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_rejected_as_errors() {
+        let mut s = state();
+        let cfg = CacConfig::default();
+        let mut bad = spec((0, 0), (1, 0), 100.0);
+        bad.dest.ring = 0;
+        assert!(matches!(
+            s.request(bad, &cfg),
+            Err(CacError::InvalidRequest(_))
+        ));
+        let mut bad = spec((0, 0), (1, 0), 100.0);
+        bad.deadline = Seconds::ZERO;
+        assert!(matches!(
+            s.request(bad, &cfg),
+            Err(CacError::InvalidRequest(_))
+        ));
+        let mut bad = spec((0, 0), (1, 0), 100.0);
+        bad.source.station = 77;
+        assert!(matches!(
+            s.request(bad, &cfg),
+            Err(CacError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in [0, 1]")]
+    fn beta_validated() {
+        let _ = CacConfig::default().with_beta(1.5);
+    }
+
+    #[test]
+    fn slacks_are_nonnegative_and_deadline_bounded() {
+        let mut s = state();
+        let cfg = CacConfig::fast();
+        s.request(spec((0, 0), (1, 0), 100.0), &cfg).unwrap();
+        s.request(spec((1, 0), (2, 0), 120.0), &cfg).unwrap();
+        let slacks = s.slacks(&cfg).unwrap();
+        assert_eq!(slacks.len(), s.active().len());
+        for ((id, slack), c) in slacks.iter().zip(s.active()) {
+            assert_eq!(*id, c.id);
+            assert!(!slack.is_negative(), "negative slack for {id}");
+            assert!(*slack <= c.spec.deadline);
+        }
+    }
+
+    #[test]
+    fn fast_config_is_cheaper_but_same_kind() {
+        let fast = CacConfig::fast();
+        let full = CacConfig::default();
+        assert!(fast.search_iterations <= full.search_iterations);
+        assert!(fast.eval.flatten_subdivisions <= full.eval.flatten_subdivisions);
+        assert_eq!(fast.beta, full.beta);
+    }
+
+    #[test]
+    fn reject_reason_display() {
+        let r = RejectReason::SourceBandwidthExhausted {
+            available: Seconds::from_millis(1.0),
+            required: Seconds::from_millis(2.0),
+        };
+        assert!(r.to_string().contains("source ring"));
+        let r = RejectReason::DestBandwidthExhausted {
+            available: Seconds::from_millis(1.0),
+            required: Seconds::from_millis(2.0),
+        };
+        assert!(r.to_string().contains("destination ring"));
+        let r = RejectReason::InfeasibleAtMaximum {
+            detail: "why".into(),
+        };
+        assert!(r.to_string().contains("why"));
+    }
+
+    #[test]
+    fn decision_is_admitted_helper() {
+        let d = Decision::Rejected(RejectReason::InfeasibleAtMaximum {
+            detail: String::new(),
+        });
+        assert!(!d.is_admitted());
+    }
+
+    #[test]
+    fn buffer_limited_network_rejects_what_it_cannot_buffer() {
+        use hetnet_traffic::units::Bits;
+        // With per-host buffers far below the Theorem-1.2 requirement of
+        // this source, admission must fail outright.
+        let net = HetNetwork::paper_topology()
+            .with_buffers(Some(Bits::from_kbits(10.0)), None);
+        let mut s = NetworkState::new(net);
+        let d = s
+            .request(spec((0, 0), (1, 0), 100.0), &CacConfig::fast())
+            .unwrap();
+        assert!(matches!(
+            d,
+            Decision::Rejected(RejectReason::InfeasibleAtMaximum { .. })
+        ));
+    }
+}

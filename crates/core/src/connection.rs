@@ -1,0 +1,79 @@
+//! Connection identifiers, requests, and live-connection records.
+
+use crate::network::HostId;
+use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_traffic::envelope::SharedEnvelope;
+use hetnet_traffic::units::Seconds;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an admitted connection (the paper's `M_{i,j}`).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ConnectionId(pub u64);
+
+impl fmt::Display for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "connection-{}", self.0)
+    }
+}
+
+/// A connection-establishment request: the §3.2 contract between the
+/// application and the network.
+#[derive(Clone, Debug)]
+pub struct ConnectionSpec {
+    /// Sending host.
+    pub source: HostId,
+    /// Receiving host (must be on a different ring; intra-ring traffic
+    /// never enters the backbone and is outside this CAC's scope).
+    pub dest: HostId,
+    /// Source traffic specification `Γ_{i,j,A}(I)`.
+    pub envelope: SharedEnvelope,
+    /// QoS requirement: worst-case end-to-end delay bound `D_{i,j}`.
+    pub deadline: Seconds,
+}
+
+/// An admitted connection with its allocated resources.
+#[derive(Clone, Debug)]
+pub struct ActiveConnection {
+    /// Identifier assigned at admission.
+    pub id: ConnectionId,
+    /// The original request.
+    pub spec: ConnectionSpec,
+    /// Synchronous bandwidth held on the source ring.
+    pub h_s: SyncBandwidth,
+    /// Synchronous bandwidth held (by the interface device) on the
+    /// destination ring.
+    pub h_r: SyncBandwidth,
+    /// The end-to-end worst-case delay bound at admission time (it may
+    /// have grown since, if later admissions added disturbance — the CAC
+    /// keeps every bound below its deadline at all times).
+    pub delay_bound: Seconds,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetnet_traffic::models::ConstantRateEnvelope;
+    use hetnet_traffic::units::BitsPerSec;
+    use std::sync::Arc;
+
+    #[test]
+    fn id_display() {
+        assert_eq!(format!("{}", ConnectionId(9)), "connection-9");
+    }
+
+    #[test]
+    fn spec_carries_contract() {
+        let spec = ConnectionSpec {
+            source: HostId { ring: 0, station: 1 },
+            dest: HostId { ring: 2, station: 0 },
+            envelope: Arc::new(ConstantRateEnvelope::new(BitsPerSec::from_mbps(1.0))),
+            deadline: Seconds::from_millis(50.0),
+        };
+        assert_eq!(spec.source.ring, 0);
+        assert_eq!(spec.dest.ring, 2);
+        assert_eq!(spec.deadline.as_millis(), 50.0);
+    }
+}

@@ -1,0 +1,823 @@
+//! End-to-end worst-case delay of connections in the heterogeneous
+//! network — the decomposition analysis of §4, eq. 7:
+//!
+//! `d^wc = d^wc_FDDI_S + d^wc_ID_S + d^wc_ATM + d^wc_ID_R + d^wc_FDDI_R`
+//!
+//! Connections couple at the shared FIFO multiplexers of the backbone:
+//! a connection's envelope at a port depends on the delays at its
+//! *earlier* ports, so ports are resolved in dependency order (the
+//! access/backbone/access layering makes the dependency graph acyclic
+//! for minimum-hop routes).
+//!
+//! The CAC's binary searches evaluate the same connection set dozens of
+//! times while only the candidate's allocation changes, so the
+//! [`Evaluator`] caches each connection's *sender side* (source-MAC
+//! analysis + segmentation + flattening — the expensive, allocation-
+//! dependent but cross-traffic-independent stage) and offers a
+//! candidate-only mode that skips the receive-side analysis of existing
+//! connections; the paper's monotonicity argument (existing delays are
+//! nondecreasing in the newcomer's allocation, so checking them at the
+//! maximum suffices) makes that sound.
+
+use crate::error::CacError;
+use crate::network::{HetNetwork, HostId};
+use hetnet_atm::mux::{analyze_mux, per_flow_output};
+use hetnet_atm::{AtmError, LinkConfig};
+use hetnet_fddi::mac::{analyze_fddi_mac, DelayOutcome};
+use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_fddi::{frames, FddiError};
+use hetnet_ifdev::{reassemble_envelope, segment_envelope};
+use hetnet_traffic::analysis::AnalysisConfig;
+use hetnet_traffic::combinators::Sampled;
+use hetnet_traffic::envelope::SharedEnvelope;
+use hetnet_traffic::units::{Bits, Seconds};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Tuning for the end-to-end evaluation.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Server-analysis knobs.
+    pub analysis: AnalysisConfig,
+    /// Horizon over which deep envelope chains are flattened into lookup
+    /// tables before entering multiplexer analyses. Must comfortably
+    /// exceed the longest busy period in the network.
+    pub flatten_horizon: Seconds,
+    /// Guard subdivisions used when flattening.
+    pub flatten_subdivisions: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            analysis: AnalysisConfig::default(),
+            flatten_horizon: Seconds::new(1.0),
+            flatten_subdivisions: 2,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A cheaper configuration for large simulation campaigns: fewer
+    /// guard points and a tighter flattening horizon. Bounds remain
+    /// bounds; they are just a little less tight.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            analysis: AnalysisConfig {
+                guard_subdivisions: 1,
+                ..AnalysisConfig::default()
+            },
+            flatten_horizon: Seconds::new(0.6),
+            flatten_subdivisions: 1,
+        }
+    }
+}
+
+/// One connection (existing or candidate) with its allocations.
+#[derive(Clone, Debug)]
+pub struct PathInput {
+    /// Sending host.
+    pub source: HostId,
+    /// Receiving host.
+    pub dest: HostId,
+    /// Source traffic envelope at the MAC entrance.
+    pub envelope: SharedEnvelope,
+    /// Synchronous allocation on the source ring.
+    pub h_s: SyncBandwidth,
+    /// Synchronous allocation on the destination ring.
+    pub h_r: SyncBandwidth,
+}
+
+/// Per-connection worst-case delay decomposition (eq. 7).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathReport {
+    /// `d^wc_FDDI_S`: source MAC delay χ_S plus ring propagation.
+    pub fddi_s: Seconds,
+    /// `d^wc_ID_S`: sender-side constant stages plus output-port
+    /// queueing.
+    pub id_s: Seconds,
+    /// `d^wc_ATM`: backbone links (queueing, propagation, switching) up
+    /// to and including the egress port toward the receiving device.
+    pub atm: Seconds,
+    /// `d^wc_ID_R`: receiver-side constant stages.
+    pub id_r: Seconds,
+    /// `d^wc_FDDI_R`: the device's MAC delay χ_R on the destination ring
+    /// plus ring propagation.
+    pub fddi_r: Seconds,
+    /// The end-to-end bound (the sum of the five terms).
+    pub total: Seconds,
+    /// Transmit buffer required at the source MAC (Theorem 1.2).
+    pub buffer_mac_s: Bits,
+    /// Buffer required at the receiving device's MAC.
+    pub buffer_mac_r: Bits,
+}
+
+/// The outcome of evaluating a set of connections at given allocations.
+#[derive(Clone, Debug)]
+pub enum EvalOutcome {
+    /// Every server is stable; per-connection reports in input order.
+    Feasible(Vec<PathReport>),
+    /// Some server is unstable or unbounded at these allocations (the
+    /// CAC treats this as "delay exceeds every deadline").
+    Infeasible(String),
+}
+
+impl EvalOutcome {
+    /// The reports, if feasible.
+    #[must_use]
+    pub fn feasible(self) -> Option<Vec<PathReport>> {
+        match self {
+            Self::Feasible(r) => Some(r),
+            Self::Infeasible(_) => None,
+        }
+    }
+}
+
+/// Result of a candidate-only evaluation: the last path's full report
+/// and the queueing-delay signature of every multiplexer (used by the
+/// CAC's eq.-31/32 equality test).
+#[derive(Clone, Debug)]
+pub enum CandidateOutcome {
+    /// All touched servers are stable.
+    Feasible {
+        /// Report for the candidate (the last input path).
+        candidate: PathReport,
+        /// Queueing delays of all multiplexers, ordered by an internal
+        /// canonical key; signatures from evaluations over the *same
+        /// path set* are comparable element-wise.
+        mux_delays: Vec<Seconds>,
+    },
+    /// Some server is unstable at these allocations.
+    Infeasible(String),
+}
+
+/// Which multiplexer a hop refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum MuxKey {
+    /// The sender-side device's output port onto its access link.
+    Uplink(usize),
+    /// A backbone link's output port.
+    Backbone(usize),
+    /// The egress switch's port onto the access link toward a device.
+    Downlink(usize),
+}
+
+/// Cached sender-side analysis of one (envelope, ring, H_S) triple.
+#[derive(Clone, Debug)]
+enum Stage1 {
+    Ready {
+        chi_s: Seconds,
+        buffer: Bits,
+        frame_size: Bits,
+        wire: SharedEnvelope,
+    },
+    Infeasible(String),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Stage1Key {
+    env_ptr: usize,
+    h_bits: u64,
+    ring: usize,
+}
+
+/// A reusable, caching end-to-end delay evaluator.
+///
+/// The sender-side cache is keyed by the envelope's `Arc` pointer
+/// identity (plus ring and allocation), so an evaluator must not outlive
+/// the envelopes it has seen: use one evaluator per admission request or
+/// per region sweep, where every input envelope stays alive throughout —
+/// exactly how [`crate::cac::NetworkState`] and
+/// [`crate::region::sample_region`] use it.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    net: &'a HetNetwork,
+    cfg: EvalConfig,
+    stage1: HashMap<Stage1Key, Stage1>,
+}
+
+struct Resolved {
+    /// Per path: chi_s, buffer, frame size, hop keys.
+    stage1: Vec<(Seconds, Bits, Bits)>,
+    hop_keys: Vec<Vec<MuxKey>>,
+    /// Per path: envelope after each hop (index h = env entering hop h;
+    /// index len = env delivered to the receiving device).
+    hop_envs: Vec<Vec<SharedEnvelope>>,
+    mux_delay: BTreeMap<MuxKey, Seconds>,
+}
+
+enum ResolveOutcome {
+    Ok(Resolved),
+    Infeasible(String),
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over `net`.
+    ///
+    /// The busy-interval search horizon is clamped to the flattening
+    /// horizon: a server still backlogged beyond it cannot meet any
+    /// deadline of interest (it is reported infeasible instead), and
+    /// evaluating envelopes past the flattened range would fall through
+    /// to the expensive unflattened chains and cascade down the chain.
+    #[must_use]
+    pub fn new(net: &'a HetNetwork, mut cfg: EvalConfig) -> Self {
+        cfg.analysis.max_horizon = cfg.analysis.max_horizon.min(cfg.flatten_horizon);
+        Self {
+            net,
+            cfg,
+            stage1: HashMap::new(),
+        }
+    }
+
+    /// Number of cached sender-side analyses (diagnostic).
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.stage1.len()
+    }
+
+    fn flatten(&self, env: SharedEnvelope) -> SharedEnvelope {
+        Arc::new(Sampled::flatten(
+            env,
+            self.cfg.flatten_horizon,
+            self.cfg.flatten_subdivisions,
+        ))
+    }
+
+    fn validate(&self, paths: &[PathInput]) -> Result<(), CacError> {
+        for p in paths {
+            if !self.net.contains(p.source) {
+                return Err(CacError::InvalidRequest(format!(
+                    "unknown source {}",
+                    p.source
+                )));
+            }
+            if !self.net.contains(p.dest) {
+                return Err(CacError::InvalidRequest(format!(
+                    "unknown dest {}",
+                    p.dest
+                )));
+            }
+            if p.source.ring == p.dest.ring {
+                return Err(CacError::InvalidRequest(
+                    "source and destination must be on different rings".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn stage1_for(&mut self, p: &PathInput) -> Result<Stage1, CacError> {
+        let key = Stage1Key {
+            env_ptr: Arc::as_ptr(&p.envelope) as *const () as usize,
+            h_bits: p.h_s.per_rotation().value().to_bits(),
+            ring: p.source.ring,
+        };
+        if let Some(hit) = self.stage1.get(&key) {
+            return Ok(hit.clone());
+        }
+        let ring = self.net.ring(p.source.ring);
+        let computed = if p.h_s.per_rotation().value() <= 0.0 {
+            Stage1::Infeasible("zero synchronous allocation".into())
+        } else {
+            match analyze_fddi_mac(
+                Arc::clone(&p.envelope),
+                ring,
+                p.h_s,
+                self.net.host_buffer(),
+                &self.cfg.analysis,
+            ) {
+                Ok(mac) => match mac.delay {
+                    DelayOutcome::Bounded(chi_s) => {
+                        let f_s = frames::frame_size(ring, p.h_s);
+                        let seg = segment_envelope(
+                            self.flatten(mac.output),
+                            f_s,
+                            self.net.ifdev(),
+                        );
+                        let wire = self.flatten(seg.output_wire);
+                        Stage1::Ready {
+                            chi_s,
+                            buffer: mac.buffer_required,
+                            frame_size: f_s,
+                            wire,
+                        }
+                    }
+                    DelayOutcome::BufferOverflow { .. } => {
+                        Stage1::Infeasible(format!("source MAC buffer overflow at {}", p.source))
+                    }
+                },
+                Err(FddiError::Analysis(e)) => {
+                    Stage1::Infeasible(format!("source MAC at {}: {e}", p.source))
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        self.stage1.insert(key, computed.clone());
+        Ok(computed)
+    }
+
+    fn resolve(&mut self, paths: &[PathInput]) -> Result<ResolveOutcome, CacError> {
+        // Stage 1 (cached): source MAC + segmentation per path.
+        let mut stage1 = Vec::with_capacity(paths.len());
+        let mut hop_keys = Vec::with_capacity(paths.len());
+        let mut hop_envs: Vec<Vec<SharedEnvelope>> = Vec::with_capacity(paths.len());
+        for p in paths {
+            let s1 = self.stage1_for(p)?;
+            let (chi_s, buffer, frame_size, wire) = match s1 {
+                Stage1::Ready {
+                    chi_s,
+                    buffer,
+                    frame_size,
+                    wire,
+                } => (chi_s, buffer, frame_size, wire),
+                Stage1::Infeasible(msg) => return Ok(ResolveOutcome::Infeasible(msg)),
+            };
+            if p.h_r.per_rotation().value() <= 0.0 {
+                return Ok(ResolveOutcome::Infeasible(
+                    "zero synchronous allocation on the destination ring".into(),
+                ));
+            }
+            stage1.push((chi_s, buffer, frame_size));
+            let route = self
+                .net
+                .backbone()
+                .route(self.net.switch_of(p.source.ring), self.net.switch_of(p.dest.ring))?;
+            let mut keys = Vec::with_capacity(route.len() + 2);
+            keys.push(MuxKey::Uplink(p.source.ring));
+            keys.extend(route.iter().map(|l| MuxKey::Backbone(l.0)));
+            keys.push(MuxKey::Downlink(p.dest.ring));
+            hop_keys.push(keys);
+            hop_envs.push(vec![wire]);
+        }
+
+        // Stage 2: resolve multiplexers in dependency order.
+        let mut mux_members: BTreeMap<MuxKey, Vec<(usize, usize)>> = BTreeMap::new();
+        for (pi, keys) in hop_keys.iter().enumerate() {
+            for (hi, k) in keys.iter().enumerate() {
+                mux_members.entry(*k).or_default().push((pi, hi));
+            }
+        }
+        let link_of = |key: MuxKey| -> LinkConfig {
+            match key {
+                MuxKey::Uplink(_) | MuxKey::Downlink(_) => *self.net.access_link(),
+                MuxKey::Backbone(l) => *self.net.backbone().link(hetnet_atm::LinkId(l)),
+            }
+        };
+        let mut mux_delay: BTreeMap<MuxKey, Seconds> = BTreeMap::new();
+        let mut unresolved: Vec<MuxKey> = mux_members.keys().copied().collect();
+        while !unresolved.is_empty() {
+            let mut progressed = false;
+            let mut remaining = Vec::new();
+            for key in unresolved {
+                let members = &mux_members[&key];
+                let ready = members.iter().all(|(pi, hi)| hop_envs[*pi].len() > *hi);
+                if !ready {
+                    remaining.push(key);
+                    continue;
+                }
+                let flows: Vec<SharedEnvelope> = members
+                    .iter()
+                    .map(|(pi, hi)| Arc::clone(&hop_envs[*pi][*hi]))
+                    .collect();
+                let link = link_of(key);
+                let report = match analyze_mux(&flows, &link, &self.cfg.analysis) {
+                    Ok(r) => r,
+                    Err(AtmError::Analysis(e)) => {
+                        return Ok(ResolveOutcome::Infeasible(format!("{key:?}: {e}")))
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                mux_delay.insert(key, report.delay_bound);
+                for (pi, hi) in members {
+                    debug_assert_eq!(hop_envs[*pi].len(), *hi + 1);
+                    let env = Arc::clone(&hop_envs[*pi][*hi]);
+                    hop_envs[*pi].push(per_flow_output(env, &report, &link));
+                }
+                progressed = true;
+            }
+            if !progressed && !remaining.is_empty() {
+                return Err(CacError::InvalidNetwork(
+                    "cyclic multiplexer dependencies (routes are not feedforward)".into(),
+                ));
+            }
+            unresolved = remaining;
+        }
+
+        Ok(ResolveOutcome::Ok(Resolved {
+            stage1,
+            hop_keys,
+            hop_envs,
+            mux_delay,
+        }))
+    }
+
+    /// Completes the receive side of path `pi` and assembles its report.
+    fn finish_path(
+        &self,
+        p: &PathInput,
+        resolved: &Resolved,
+        pi: usize,
+    ) -> Result<Result<PathReport, String>, CacError> {
+        let net = self.net;
+        let ring_s = net.ring(p.source.ring);
+        let ring_r = net.ring(p.dest.ring);
+        let keys = &resolved.hop_keys[pi];
+        let (chi_s, buffer_s, frame_size) = resolved.stage1[pi];
+
+        let fddi_s = chi_s + ring_s.propagation;
+        let uplink_q = resolved.mux_delay[&keys[0]];
+        let id_s = net.ifdev().sender_fixed_delay() + uplink_q;
+
+        let mut atm = net.access_link().propagation
+            + net
+                .backbone()
+                .switch(net.switch_of(p.source.ring))
+                .fabric_latency;
+        for k in &keys[1..] {
+            atm += resolved.mux_delay[k];
+            match k {
+                MuxKey::Backbone(l) => {
+                    let link = net.backbone().link(hetnet_atm::LinkId(*l));
+                    let target = net.backbone().link_target(hetnet_atm::LinkId(*l));
+                    atm += link.propagation + net.backbone().switch(target).fabric_latency;
+                }
+                MuxKey::Downlink(_) => {
+                    atm += net.access_link().propagation;
+                }
+                MuxKey::Uplink(_) => unreachable!("uplink only at hop 0"),
+            }
+        }
+
+        let id_r = net.ifdev().receiver_fixed_delay();
+
+        let arrived = Arc::clone(
+            resolved.hop_envs[pi]
+                .last()
+                .expect("route has hops"),
+        );
+        let rea = reassemble_envelope(arrived, frame_size, net.ifdev());
+        let mac_r = match analyze_fddi_mac(
+            rea.output_frames,
+            ring_r,
+            p.h_r,
+            net.device_buffer(),
+            &self.cfg.analysis,
+        ) {
+            Ok(m) => m,
+            Err(FddiError::Analysis(e)) => {
+                return Ok(Err(format!("receive MAC on ring {}: {e}", p.dest.ring)))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let chi_r = match mac_r.delay {
+            DelayOutcome::Bounded(d) => d,
+            DelayOutcome::BufferOverflow { .. } => {
+                return Ok(Err(format!(
+                    "receive MAC buffer overflow on ring {}",
+                    p.dest.ring
+                )))
+            }
+        };
+        let fddi_r = chi_r + ring_r.propagation;
+        let total = fddi_s + id_s + atm + id_r + fddi_r;
+        Ok(Ok(PathReport {
+            fddi_s,
+            id_s,
+            atm,
+            id_r,
+            fddi_r,
+            total,
+            buffer_mac_s: buffer_s,
+            buffer_mac_r: mac_r.buffer_required,
+        }))
+    }
+
+    /// Evaluates the worst-case delays of all `paths`.
+    ///
+    /// # Errors
+    ///
+    /// [`CacError`] for malformed inputs; instability yields
+    /// `Ok(EvalOutcome::Infeasible)`.
+    pub fn evaluate_full(&mut self, paths: &[PathInput]) -> Result<EvalOutcome, CacError> {
+        self.validate(paths)?;
+        if paths.is_empty() {
+            return Ok(EvalOutcome::Feasible(Vec::new()));
+        }
+        let resolved = match self.resolve(paths)? {
+            ResolveOutcome::Ok(r) => r,
+            ResolveOutcome::Infeasible(msg) => return Ok(EvalOutcome::Infeasible(msg)),
+        };
+        let mut reports = Vec::with_capacity(paths.len());
+        for (pi, p) in paths.iter().enumerate() {
+            match self.finish_path(p, &resolved, pi)? {
+                Ok(r) => reports.push(r),
+                Err(msg) => return Ok(EvalOutcome::Infeasible(msg)),
+            }
+        }
+        Ok(EvalOutcome::Feasible(reports))
+    }
+
+    /// Evaluates only the *last* path's full report (the CAC's search
+    /// candidate), plus the multiplexer-delay signature. Existing paths'
+    /// receive sides are skipped — sound inside the CAC's searches
+    /// because existing deadlines are verified at the maximum allocation
+    /// and are monotone in the candidate's allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CacError`] for malformed inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty.
+    pub fn evaluate_candidate(
+        &mut self,
+        paths: &[PathInput],
+    ) -> Result<CandidateOutcome, CacError> {
+        assert!(!paths.is_empty(), "candidate evaluation needs paths");
+        self.validate(paths)?;
+        let resolved = match self.resolve(paths)? {
+            ResolveOutcome::Ok(r) => r,
+            ResolveOutcome::Infeasible(msg) => return Ok(CandidateOutcome::Infeasible(msg)),
+        };
+        let last = paths.len() - 1;
+        match self.finish_path(&paths[last], &resolved, last)? {
+            Ok(candidate) => Ok(CandidateOutcome::Feasible {
+                candidate,
+                mux_delays: resolved.mux_delay.values().copied().collect(),
+            }),
+            Err(msg) => Ok(CandidateOutcome::Infeasible(msg)),
+        }
+    }
+}
+
+/// Evaluates the worst-case delays of all `paths` simultaneously
+/// (stateless convenience wrapper over [`Evaluator`]).
+///
+/// # Errors
+///
+/// Returns [`CacError`] only for malformed inputs (unknown hosts,
+/// same-ring connections, broken topology); resource exhaustion and
+/// instability yield `Ok(EvalOutcome::Infeasible)`.
+pub fn evaluate_paths(
+    net: &HetNetwork,
+    paths: &[PathInput],
+    cfg: &EvalConfig,
+) -> Result<EvalOutcome, CacError> {
+    Evaluator::new(net, cfg.clone()).evaluate_full(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetnet_traffic::models::DualPeriodicEnvelope;
+    use hetnet_traffic::units::BitsPerSec;
+
+    fn net() -> HetNetwork {
+        HetNetwork::paper_topology()
+    }
+
+    fn source() -> SharedEnvelope {
+        Arc::new(
+            DualPeriodicEnvelope::new(
+                Bits::from_mbits(2.0),
+                Seconds::from_millis(100.0),
+                Bits::from_mbits(0.25),
+                Seconds::from_millis(10.0),
+                BitsPerSec::from_mbps(100.0),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn h(ms: f64) -> SyncBandwidth {
+        SyncBandwidth::new(Seconds::from_millis(ms))
+    }
+
+    fn path(src: (usize, usize), dst: (usize, usize), hs: f64, hr: f64) -> PathInput {
+        PathInput {
+            source: HostId {
+                ring: src.0,
+                station: src.1,
+            },
+            dest: HostId {
+                ring: dst.0,
+                station: dst.1,
+            },
+            envelope: source(),
+            h_s: h(hs),
+            h_r: h(hr),
+        }
+    }
+
+    #[test]
+    fn single_connection_decomposition_sums() {
+        let reports = evaluate_paths(
+            &net(),
+            &[path((0, 0), (1, 0), 2.4, 2.4)],
+            &EvalConfig::default(),
+        )
+        .unwrap()
+        .feasible()
+        .expect("feasible at generous allocation");
+        let r = &reports[0];
+        let sum = r.fddi_s + r.id_s + r.atm + r.id_r + r.fddi_r;
+        assert!((r.total.value() - sum.value()).abs() < 1e-12);
+        // FDDI MACs dominate; ATM contributes a small but positive part.
+        assert!(r.fddi_s.as_millis() > 10.0, "{r:?}");
+        assert!(r.fddi_r.as_millis() > 10.0, "{r:?}");
+        assert!(r.atm.value() > 0.0);
+        assert!(r.id_s.value() > 0.0);
+        assert!(r.id_r.value() > 0.0);
+        assert!(r.buffer_mac_s.value() > 0.0);
+        assert!(r.buffer_mac_r.value() > 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_trivially_feasible() {
+        let out = evaluate_paths(&net(), &[], &EvalConfig::default()).unwrap();
+        assert!(matches!(out, EvalOutcome::Feasible(v) if v.is_empty()));
+    }
+
+    #[test]
+    fn more_source_bandwidth_reduces_own_delay() {
+        let cfg = EvalConfig::default();
+        let mut prev = f64::INFINITY;
+        for hs in [1.8, 2.4, 3.6] {
+            let r = evaluate_paths(&net(), &[path((0, 0), (1, 0), hs, 2.4)], &cfg)
+                .unwrap()
+                .feasible()
+                .unwrap();
+            let total = r[0].total.value();
+            assert!(total <= prev + 1e-9, "hs={hs}: {total} > {prev}");
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn cross_traffic_inflates_existing_delay() {
+        let cfg = EvalConfig::default();
+        let solo = evaluate_paths(&net(), &[path((0, 0), (1, 0), 2.4, 2.4)], &cfg)
+            .unwrap()
+            .feasible()
+            .unwrap()[0]
+            .total;
+        let duo = evaluate_paths(
+            &net(),
+            &[
+                path((0, 0), (1, 0), 2.4, 2.4),
+                path((0, 1), (1, 1), 2.4, 2.4),
+            ],
+            &cfg,
+        )
+        .unwrap()
+        .feasible()
+        .unwrap();
+        assert!(
+            duo[0].total >= solo,
+            "sharing cannot reduce the bound: {} < {solo}",
+            duo[0].total
+        );
+        assert!(duo[0].atm.value() > 0.0);
+    }
+
+    #[test]
+    fn undersized_allocation_reports_infeasible() {
+        let out = evaluate_paths(
+            &net(),
+            &[path((0, 0), (1, 0), 1.0, 2.4)],
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(out, EvalOutcome::Infeasible(_)));
+        let out = evaluate_paths(
+            &net(),
+            &[path((0, 0), (1, 0), 2.4, 1.0)],
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(out, EvalOutcome::Infeasible(_)));
+    }
+
+    #[test]
+    fn zero_allocation_is_infeasible_not_error() {
+        let out = evaluate_paths(
+            &net(),
+            &[path((0, 0), (1, 0), 0.0, 2.4)],
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(out, EvalOutcome::Infeasible(_)));
+        let out = evaluate_paths(
+            &net(),
+            &[path((0, 0), (1, 0), 2.4, 0.0)],
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(out, EvalOutcome::Infeasible(_)));
+    }
+
+    #[test]
+    fn malformed_requests_are_errors() {
+        let cfg = EvalConfig::default();
+        let mut p = path((0, 0), (1, 0), 2.4, 2.4);
+        p.dest.ring = 0;
+        assert!(matches!(
+            evaluate_paths(&net(), &[p], &cfg),
+            Err(CacError::InvalidRequest(_))
+        ));
+        let mut p = path((0, 0), (1, 0), 2.4, 2.4);
+        p.source.station = 99;
+        assert!(matches!(
+            evaluate_paths(&net(), &[p], &cfg),
+            Err(CacError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn overload_on_receive_ring_is_infeasible() {
+        // Four flows converging on ring 1, each needing ~20 Mb/s of
+        // synchronous service at the receiving device, with receive
+        // allocations adding to more than TTRT can offer.
+        let mut paths: Vec<PathInput> = (0..4)
+            .map(|s| path((0, s), (1, s % 4), 2.0, 0.9))
+            .collect();
+        paths.extend((0..3).map(|s| path((2, s), (1, (s + 1) % 4), 2.0, 0.9)));
+        let out = evaluate_paths(&net(), &paths, &EvalConfig::default()).unwrap();
+        assert!(matches!(out, EvalOutcome::Infeasible(_)));
+    }
+
+    #[test]
+    fn undersized_buffers_make_paths_infeasible() {
+        // A generous allocation is feasible with unlimited buffers…
+        let generous = path((0, 0), (1, 0), 2.4, 2.4);
+        let unlimited = evaluate_paths(&net(), &[generous.clone()], &EvalConfig::default())
+            .unwrap()
+            .feasible()
+            .expect("feasible without buffer limits");
+        let needed = unlimited[0].buffer_mac_s;
+        // …but a host buffer below the Theorem-1.2 requirement overflows.
+        let tiny = net().with_buffers(Some(Bits::new(needed.value() * 0.5)), None);
+        let out = evaluate_paths(&tiny, &[generous.clone()], &EvalConfig::default()).unwrap();
+        assert!(matches!(out, EvalOutcome::Infeasible(_)));
+        // A buffer at least the requirement keeps the path feasible.
+        let enough = net().with_buffers(Some(Bits::new(needed.value() * 1.2)), None);
+        let out = evaluate_paths(&enough, &[generous.clone()], &EvalConfig::default()).unwrap();
+        assert!(matches!(out, EvalOutcome::Feasible(_)));
+        // Same on the device side.
+        let needed_r = unlimited[0].buffer_mac_r;
+        let tiny_dev = net().with_buffers(None, Some(Bits::new(needed_r.value() * 0.5)));
+        let out = evaluate_paths(&tiny_dev, &[generous], &EvalConfig::default()).unwrap();
+        assert!(matches!(out, EvalOutcome::Infeasible(_)));
+    }
+
+    #[test]
+    fn evaluator_cache_hits_across_calls() {
+        let network = net();
+        let mut ev = Evaluator::new(&network, EvalConfig::default());
+        let p0 = path((0, 0), (1, 0), 2.4, 2.4);
+        let _ = ev.evaluate_full(std::slice::from_ref(&p0)).unwrap();
+        let after_first = ev.cache_len();
+        assert_eq!(after_first, 1);
+        // Same envelope Arc and H_S: cache hit (no growth).
+        let _ = ev.evaluate_full(std::slice::from_ref(&p0)).unwrap();
+        assert_eq!(ev.cache_len(), after_first);
+        // Different H_S: new entry.
+        let mut p1 = p0.clone();
+        p1.h_s = h(3.0);
+        let _ = ev.evaluate_full(&[p1]).unwrap();
+        assert_eq!(ev.cache_len(), after_first + 1);
+    }
+
+    #[test]
+    fn candidate_mode_matches_full_mode() {
+        let network = net();
+        let mut ev = Evaluator::new(&network, EvalConfig::default());
+        let paths = [
+            path((0, 0), (1, 0), 2.4, 2.4),
+            path((1, 1), (2, 1), 2.4, 2.4),
+            path((2, 2), (0, 2), 2.4, 2.4),
+        ];
+        let full = ev.evaluate_full(&paths).unwrap().feasible().unwrap();
+        let CandidateOutcome::Feasible { candidate, mux_delays } =
+            ev.evaluate_candidate(&paths).unwrap()
+        else {
+            panic!("feasible")
+        };
+        // The candidate (last path) must agree exactly with full mode.
+        assert!((candidate.total.value() - full[2].total.value()).abs() < 1e-12);
+        assert!(!mux_delays.is_empty());
+    }
+
+    #[test]
+    fn candidate_mode_detects_infeasibility() {
+        let network = net();
+        let mut ev = Evaluator::new(&network, EvalConfig::default());
+        let paths = [path((0, 0), (1, 0), 1.0, 2.4)];
+        assert!(matches!(
+            ev.evaluate_candidate(&paths).unwrap(),
+            CandidateOutcome::Infeasible(_)
+        ));
+    }
+}

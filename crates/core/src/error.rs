@@ -1,0 +1,84 @@
+//! Error types for the CAC crate.
+
+use crate::connection::ConnectionId;
+use hetnet_atm::AtmError;
+use hetnet_fddi::FddiError;
+use hetnet_traffic::TrafficError;
+use std::error::Error;
+use std::fmt;
+
+/// Configuration- and bookkeeping-level errors.
+///
+/// Note that *infeasibility* of a requested connection is not an error —
+/// it is the [`crate::cac::Decision::Rejected`] outcome. `CacError`
+/// covers malformed networks and requests, and internal invariant
+/// violations.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CacError {
+    /// The network description is inconsistent.
+    InvalidNetwork(String),
+    /// The request itself is malformed (unknown hosts, same-ring
+    /// endpoints, non-positive deadline, …).
+    InvalidRequest(String),
+    /// No such active connection.
+    UnknownConnection(ConnectionId),
+    /// An underlying substrate reported a configuration error.
+    Substrate(String),
+}
+
+impl fmt::Display for CacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidNetwork(m) => write!(f, "invalid network: {m}"),
+            Self::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            Self::UnknownConnection(id) => write!(f, "unknown connection {id}"),
+            Self::Substrate(m) => write!(f, "substrate error: {m}"),
+        }
+    }
+}
+
+impl Error for CacError {}
+
+impl From<FddiError> for CacError {
+    fn from(e: FddiError) -> Self {
+        Self::Substrate(e.to_string())
+    }
+}
+
+impl From<AtmError> for CacError {
+    fn from(e: AtmError) -> Self {
+        Self::Substrate(e.to_string())
+    }
+}
+
+impl From<TrafficError> for CacError {
+    fn from(e: TrafficError) -> Self {
+        Self::Substrate(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CacError::InvalidNetwork("x".into()).to_string().contains("x"));
+        assert!(CacError::InvalidRequest("y".into()).to_string().contains("y"));
+        assert!(CacError::UnknownConnection(ConnectionId(3))
+            .to_string()
+            .contains("connection-3"));
+        assert!(CacError::Substrate("z".into()).to_string().contains("z"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: CacError = FddiError::InvalidConfig("ring".into()).into();
+        assert!(matches!(e, CacError::Substrate(_)));
+        let e: CacError = AtmError::InvalidConfig("link".into()).into();
+        assert!(matches!(e, CacError::Substrate(_)));
+        let e: CacError = TrafficError::invalid("p", "bad").into();
+        assert!(matches!(e, CacError::Substrate(_)));
+    }
+}

@@ -1,0 +1,279 @@
+//! The heterogeneous network topology: FDDI rings joined to an ATM
+//! backbone through interface devices.
+
+use crate::error::CacError;
+use hetnet_atm::topology::{Backbone, SwitchId};
+use hetnet_atm::{LinkConfig, SwitchConfig};
+use hetnet_fddi::ring::RingConfig;
+use hetnet_ifdev::IfDevConfig;
+use hetnet_traffic::units::{Bits, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A host on some ring: `station` indexes the hosts of that ring
+/// (`0..hosts_per_ring`); the interface device is a separate, implicit
+/// station.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct HostId {
+    /// Ring index.
+    pub ring: usize,
+    /// Host station index on that ring.
+    pub station: usize,
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host-{}.{}", self.ring, self.station)
+    }
+}
+
+/// The FDDI-ATM-FDDI heterogeneous network.
+///
+/// Ring `i` attaches through interface device `i` (an extra station on
+/// the ring) and an access link to backbone switch `i`.
+#[derive(Clone, Debug)]
+pub struct HetNetwork {
+    rings: Vec<RingConfig>,
+    hosts_per_ring: usize,
+    ifdev: IfDevConfig,
+    backbone: Backbone,
+    access_link: LinkConfig,
+    host_buffer: Option<Bits>,
+    device_buffer: Option<Bits>,
+}
+
+impl HetNetwork {
+    /// Builds and validates a network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::InvalidNetwork`] if any component is
+    /// malformed or the backbone does not provide one switch per ring.
+    pub fn new(
+        rings: Vec<RingConfig>,
+        hosts_per_ring: usize,
+        ifdev: IfDevConfig,
+        backbone: Backbone,
+        access_link: LinkConfig,
+    ) -> Result<Self, CacError> {
+        if rings.is_empty() {
+            return Err(CacError::InvalidNetwork("at least one ring required".into()));
+        }
+        if hosts_per_ring == 0 {
+            return Err(CacError::InvalidNetwork(
+                "at least one host per ring required".into(),
+            ));
+        }
+        if backbone.switch_count() < rings.len() {
+            return Err(CacError::InvalidNetwork(format!(
+                "backbone has {} switches for {} rings",
+                backbone.switch_count(),
+                rings.len()
+            )));
+        }
+        for (i, r) in rings.iter().enumerate() {
+            r.validate()
+                .map_err(|m| CacError::InvalidNetwork(format!("ring {i}: {m}")))?;
+        }
+        ifdev
+            .validate()
+            .map_err(|m| CacError::InvalidNetwork(format!("interface device: {m}")))?;
+        access_link
+            .validate()
+            .map_err(|m| CacError::InvalidNetwork(format!("access link: {m}")))?;
+        Ok(Self {
+            rings,
+            hosts_per_ring,
+            ifdev,
+            backbone,
+            access_link,
+            host_buffer: None,
+            device_buffer: None,
+        })
+    }
+
+    /// Restricts the transmit buffers available per connection: `host`
+    /// at each host's MAC, `device` at the receiving interface device's
+    /// MAC. `None` means unbounded. Theorem 1.3 turns a buffer overflow
+    /// into an infinite worst-case delay, so the CAC rejects any
+    /// allocation whose backlog bound exceeds these.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a provided buffer is not strictly positive.
+    #[must_use]
+    pub fn with_buffers(mut self, host: Option<Bits>, device: Option<Bits>) -> Self {
+        for b in [host, device].into_iter().flatten() {
+            assert!(b.value() > 0.0, "buffer sizes must be positive");
+        }
+        self.host_buffer = host;
+        self.device_buffer = device;
+        self
+    }
+
+    /// The per-connection transmit buffer at host MACs, if bounded.
+    #[must_use]
+    pub fn host_buffer(&self) -> Option<Bits> {
+        self.host_buffer
+    }
+
+    /// The per-connection buffer at the receiving device's MAC, if
+    /// bounded.
+    #[must_use]
+    pub fn device_buffer(&self) -> Option<Bits> {
+        self.device_buffer
+    }
+
+    /// The network of the paper's evaluation (§6): three standard FDDI
+    /// rings of four hosts each, three interface devices, three ATM
+    /// switches joined pairwise by 155 Mb/s links.
+    #[must_use]
+    pub fn paper_topology() -> Self {
+        let link = LinkConfig::oc3(Seconds::from_micros(5.0));
+        Self::new(
+            vec![RingConfig::standard(); 3],
+            4,
+            IfDevConfig::typical(),
+            Backbone::fully_meshed(3, SwitchConfig::typical(), link),
+            link,
+        )
+        .expect("paper topology is well-formed")
+    }
+
+    /// Ring configurations.
+    #[must_use]
+    pub fn rings(&self) -> &[RingConfig] {
+        &self.rings
+    }
+
+    /// Configuration of one ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring` is out of range.
+    #[must_use]
+    pub fn ring(&self, ring: usize) -> &RingConfig {
+        &self.rings[ring]
+    }
+
+    /// Hosts per ring.
+    #[must_use]
+    pub fn hosts_per_ring(&self) -> usize {
+        self.hosts_per_ring
+    }
+
+    /// Total number of hosts.
+    #[must_use]
+    pub fn host_count(&self) -> usize {
+        self.rings.len() * self.hosts_per_ring
+    }
+
+    /// The interface-device configuration.
+    #[must_use]
+    pub fn ifdev(&self) -> &IfDevConfig {
+        &self.ifdev
+    }
+
+    /// The backbone.
+    #[must_use]
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// The access-link configuration.
+    #[must_use]
+    pub fn access_link(&self) -> &LinkConfig {
+        &self.access_link
+    }
+
+    /// The backbone switch a ring attaches to.
+    #[must_use]
+    pub fn switch_of(&self, ring: usize) -> SwitchId {
+        SwitchId(ring as u32)
+    }
+
+    /// Whether a host id refers to a real host.
+    #[must_use]
+    pub fn contains(&self, host: HostId) -> bool {
+        host.ring < self.rings.len() && host.station < self.hosts_per_ring
+    }
+
+    /// Iterates over all hosts.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        (0..self.rings.len()).flat_map(move |ring| {
+            (0..self.hosts_per_ring).map(move |station| HostId { ring, station })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_shape() {
+        let net = HetNetwork::paper_topology();
+        assert_eq!(net.rings().len(), 3);
+        assert_eq!(net.hosts_per_ring(), 4);
+        assert_eq!(net.host_count(), 12);
+        assert_eq!(net.backbone().switch_count(), 3);
+        assert_eq!(net.backbone().link_count(), 6);
+        assert_eq!(net.access_link().rate.as_mbps(), 155.0);
+        assert_eq!(net.switch_of(2), SwitchId(2));
+        assert_eq!(net.hosts().count(), 12);
+        assert!(net.contains(HostId { ring: 2, station: 3 }));
+        assert!(!net.contains(HostId { ring: 3, station: 0 }));
+        assert!(!net.contains(HostId { ring: 0, station: 4 }));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let link = LinkConfig::oc3(Seconds::ZERO);
+        let bb = |n| Backbone::fully_meshed(n, SwitchConfig::typical(), link);
+        assert!(HetNetwork::new(vec![], 4, IfDevConfig::typical(), bb(3), link).is_err());
+        assert!(HetNetwork::new(
+            vec![RingConfig::standard()],
+            0,
+            IfDevConfig::typical(),
+            bb(1),
+            link
+        )
+        .is_err());
+        // Too few switches.
+        assert!(HetNetwork::new(
+            vec![RingConfig::standard(); 3],
+            4,
+            IfDevConfig::typical(),
+            bb(2),
+            link
+        )
+        .is_err());
+        // Bad ring.
+        let mut bad = RingConfig::standard();
+        bad.ttrt = Seconds::ZERO;
+        assert!(HetNetwork::new(vec![bad], 4, IfDevConfig::typical(), bb(1), link).is_err());
+    }
+
+    #[test]
+    fn buffer_configuration() {
+        let net = HetNetwork::paper_topology();
+        assert_eq!(net.host_buffer(), None);
+        assert_eq!(net.device_buffer(), None);
+        let net = net.with_buffers(Some(Bits::from_mbits(1.0)), Some(Bits::from_mbits(2.0)));
+        assert_eq!(net.host_buffer(), Some(Bits::from_mbits(1.0)));
+        assert_eq!(net.device_buffer(), Some(Bits::from_mbits(2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_buffer_rejected() {
+        let _ = HetNetwork::paper_topology().with_buffers(Some(Bits::ZERO), None);
+    }
+
+    #[test]
+    fn host_display() {
+        assert_eq!(format!("{}", HostId { ring: 1, station: 2 }), "host-1.2");
+    }
+}

@@ -1,0 +1,274 @@
+//! The feasible region of allocations (paper §5.2, Theorems 3–4).
+//!
+//! For a requesting connection, an allocation pair `(H_S, H_R)` is
+//! *feasible* if every existing connection's deadline (eq. 24) and the
+//! newcomer's deadline (eq. 25) hold. Theorem 3 states each
+//! connection's region `R_{f,g}` is closed and convex over the
+//! allocation rectangle; Theorem 4 that the feasible region is their
+//! intersection — empty exactly when the maximum allocation fails.
+//!
+//! This module materializes the region on a grid: it powers the
+//! `feasible_region` example (the paper's Figure 6 as ASCII art) and
+//! the empirical convexity tests backing the CAC's binary searches.
+
+use crate::cac::CacConfig;
+use crate::connection::ConnectionSpec;
+use crate::delay::{CandidateOutcome, Evaluator, PathInput};
+use crate::error::CacError;
+use crate::network::HetNetwork;
+use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_traffic::units::Seconds;
+use std::sync::Arc;
+
+/// A sampled map of the feasible region on the `H_S`–`H_R` plane.
+#[derive(Clone, Debug)]
+pub struct RegionMap {
+    /// Sampled `H_S` values (columns), ascending.
+    pub h_s: Vec<SyncBandwidth>,
+    /// Sampled `H_R` values (rows), ascending.
+    pub h_r: Vec<SyncBandwidth>,
+    /// `cells[row][col]`: whether `(h_s[col], h_r[row])` is feasible.
+    pub cells: Vec<Vec<bool>>,
+}
+
+impl RegionMap {
+    /// Whether any sampled point is feasible.
+    #[must_use]
+    pub fn any_feasible(&self) -> bool {
+        self.cells.iter().flatten().any(|&c| c)
+    }
+
+    /// Fraction of sampled points that are feasible.
+    #[must_use]
+    pub fn feasible_fraction(&self) -> f64 {
+        let total = self.cells.len() * self.cells.first().map_or(0, Vec::len);
+        if total == 0 {
+            return 0.0;
+        }
+        let yes = self.cells.iter().flatten().filter(|&&c| c).count();
+        yes as f64 / total as f64
+    }
+
+    /// Empirical convexity check along rows, columns and both diagonals:
+    /// in a convex region every 1-D slice of the grid is a single run of
+    /// feasible cells. Returns the number of slices violating that.
+    #[must_use]
+    pub fn convexity_violations(&self) -> usize {
+        let rows = self.cells.len();
+        if rows == 0 {
+            return 0;
+        }
+        let cols = self.cells[0].len();
+        let mut violations = 0;
+        let mut check = |line: &[bool]| {
+            // A single run: pattern false* true* false*.
+            let mut seen_true = false;
+            let mut ended = false;
+            for &c in line {
+                if c {
+                    if ended {
+                        violations += 1;
+                        return;
+                    }
+                    seen_true = true;
+                } else if seen_true {
+                    ended = true;
+                }
+            }
+        };
+        for row in &self.cells {
+            check(row);
+        }
+        for col in 0..cols {
+            let line: Vec<bool> = (0..rows).map(|r| self.cells[r][col]).collect();
+            check(&line);
+        }
+        // Diagonals (both orientations).
+        for start in 0..rows + cols - 1 {
+            let mut d1 = Vec::new();
+            let mut d2 = Vec::new();
+            for r in 0..rows {
+                let c1 = start as isize - r as isize;
+                if (0..cols as isize).contains(&c1) {
+                    d1.push(self.cells[r][c1 as usize]);
+                }
+                let c2 = r as isize + start as isize - (rows as isize - 1);
+                if (0..cols as isize).contains(&c2) {
+                    d2.push(self.cells[r][c2 as usize]);
+                }
+            }
+            if d1.len() > 1 {
+                check(&d1);
+            }
+            if d2.len() > 1 {
+                check(&d2);
+            }
+        }
+        violations
+    }
+
+    /// Renders the region as ASCII art (rows printed top-down with
+    /// `H_R` decreasing, matching the paper's Figure 6 orientation).
+    #[must_use]
+    pub fn ascii(&self) -> String {
+        let mut out = String::new();
+        out.push_str("H_R\n");
+        for (ri, row) in self.cells.iter().enumerate().rev() {
+            let h_r = self.h_r[ri].per_rotation().as_millis();
+            out.push_str(&format!("{h_r:5.2} |"));
+            for &cell in row {
+                out.push(if cell { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        let cols = self.h_s.len();
+        out.push_str(&format!("      +{}\n", "-".repeat(cols)));
+        let lo = self.h_s.first().map_or(0.0, |h| h.per_rotation().as_millis());
+        let hi = self.h_s.last().map_or(0.0, |h| h.per_rotation().as_millis());
+        out.push_str(&format!(
+            "       H_S: {lo:.2} .. {hi:.2} ms/rotation ('#' feasible)\n"
+        ));
+        out
+    }
+}
+
+/// Samples the feasible region of `spec` against the currently `active`
+/// connections on a `grid × grid` lattice spanning
+/// `[min_abs, max_avail]` on both axes.
+///
+/// # Errors
+///
+/// Returns [`CacError`] for malformed requests or networks.
+///
+/// # Panics
+///
+/// Panics if `grid < 2`.
+pub fn sample_region(
+    net: &HetNetwork,
+    active: &[PathInput],
+    spec: &ConnectionSpec,
+    available_s: Seconds,
+    available_r: Seconds,
+    grid: usize,
+    cfg: &CacConfig,
+) -> Result<RegionMap, CacError> {
+    assert!(grid >= 2, "grid must be at least 2x2");
+    let ring_s = net.ring(spec.source.ring);
+    let ring_r = net.ring(spec.dest.ring);
+    let min_s = hetnet_fddi::frames::min_allocation(ring_s, cfg.min_frame_efficiency);
+    let min_r = hetnet_fddi::frames::min_allocation(ring_r, cfg.min_frame_efficiency);
+    let max_s = SyncBandwidth::new(available_s);
+    let max_r = SyncBandwidth::new(available_r);
+
+    let axis = |min: SyncBandwidth, max: SyncBandwidth| -> Vec<SyncBandwidth> {
+        (0..grid)
+            .map(|k| min.lerp(max, k as f64 / (grid - 1) as f64))
+            .collect()
+    };
+    let h_s = axis(min_s, max_s);
+    let h_r = axis(min_r, max_r);
+
+    let mut ev = Evaluator::new(net, cfg.eval.clone());
+    let mut cells = Vec::with_capacity(grid);
+    for hr in &h_r {
+        let mut row = Vec::with_capacity(grid);
+        for hs in &h_s {
+            let mut inputs = active.to_vec();
+            inputs.push(PathInput {
+                source: spec.source,
+                dest: spec.dest,
+                envelope: Arc::clone(&spec.envelope),
+                h_s: *hs,
+                h_r: *hr,
+            });
+            // Candidate-only feasibility: existing deadlines are
+            // monotone in the newcomer's allocation, so the caller
+            // checks them once at the maximum corner (as the CAC does);
+            // here we map the newcomer's own constraint (eq. 25).
+            let feasible = match ev.evaluate_candidate(&inputs)? {
+                CandidateOutcome::Feasible { candidate, .. } => {
+                    candidate.total <= spec.deadline
+                }
+                CandidateOutcome::Infeasible(_) => false,
+            };
+            row.push(feasible);
+        }
+        cells.push(row);
+    }
+    Ok(RegionMap { h_s, h_r, cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::HostId;
+    use hetnet_traffic::models::DualPeriodicEnvelope;
+    use hetnet_traffic::units::{Bits, BitsPerSec};
+
+    fn spec(deadline_ms: f64) -> ConnectionSpec {
+        ConnectionSpec {
+            source: HostId { ring: 0, station: 0 },
+            dest: HostId { ring: 1, station: 0 },
+            envelope: Arc::new(
+                DualPeriodicEnvelope::new(
+                    Bits::from_mbits(2.0),
+                    Seconds::from_millis(100.0),
+                    Bits::from_mbits(0.25),
+                    Seconds::from_millis(10.0),
+                    BitsPerSec::from_mbps(100.0),
+                )
+                .unwrap(),
+            ),
+            deadline: Seconds::from_millis(deadline_ms),
+        }
+    }
+
+    fn map(deadline_ms: f64, grid: usize) -> RegionMap {
+        let net = HetNetwork::paper_topology();
+        let cfg = CacConfig::fast();
+        sample_region(
+            &net,
+            &[],
+            &spec(deadline_ms),
+            Seconds::from_millis(7.2),
+            Seconds::from_millis(7.2),
+            grid,
+            &cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generous_deadline_has_large_feasible_region() {
+        let m = map(150.0, 9);
+        assert!(m.any_feasible());
+        assert!(m.feasible_fraction() > 0.3, "{}", m.ascii());
+        // The top-right corner (max allocations) is feasible.
+        assert!(*m.cells.last().unwrap().last().unwrap(), "{}", m.ascii());
+    }
+
+    #[test]
+    fn impossible_deadline_has_empty_region() {
+        let m = map(1.0, 6);
+        assert!(!m.any_feasible());
+        assert_eq!(m.feasible_fraction(), 0.0);
+    }
+
+    #[test]
+    fn region_is_monotone_staircase() {
+        // Theorem 3's convexity shows up on the grid as single-run rows,
+        // columns and diagonals.
+        let m = map(60.0, 9);
+        assert!(m.any_feasible());
+        assert!(!*m.cells.first().unwrap().first().unwrap());
+        assert_eq!(m.convexity_violations(), 0, "{}", m.ascii());
+    }
+
+    #[test]
+    fn ascii_renders_dimensions() {
+        let m = map(150.0, 5);
+        let art = m.ascii();
+        assert!(art.contains('#'));
+        assert!(art.lines().count() >= 7);
+    }
+}

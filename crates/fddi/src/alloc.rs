@@ -1,0 +1,196 @@
+//! Synchronous-bandwidth allocation bookkeeping for one FDDI ring.
+//!
+//! The timed-token protocol requires that the synchronous allocations of
+//! all stations sum to at most `TTRT − Δ`. The paper accounts allocations
+//! *per connection* (a host holds the allocation of the connection it
+//! originates; the interface device holds one slice per inbound
+//! connection), so the table here is keyed by an opaque [`AllocationKey`]
+//! chosen by the caller. The quantities of paper eqs. 26–27 are exposed
+//! as [`SyncAllocationTable::available`] (`TTRT − (Ω + Δ)`).
+
+use crate::error::FddiError;
+use crate::ring::{RingConfig, SyncBandwidth};
+use hetnet_traffic::units::Seconds;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Opaque identifier of one allocation (typically a connection id).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AllocationKey(pub u64);
+
+impl fmt::Display for AllocationKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alloc-{}", self.0)
+    }
+}
+
+/// Tracks the synchronous-bandwidth allocations on one ring.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SyncAllocationTable {
+    entries: BTreeMap<AllocationKey, SyncBandwidth>,
+}
+
+impl SyncAllocationTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total synchronous time currently allocated (the paper's Ω).
+    #[must_use]
+    pub fn total_allocated(&self) -> Seconds {
+        self.entries
+            .values()
+            .map(|h| h.per_rotation())
+            .sum::<Seconds>()
+    }
+
+    /// Synchronous time still allocatable on `ring`:
+    /// `TTRT − (Ω + Δ)` (paper eqs. 26–27), clamped at zero.
+    #[must_use]
+    pub fn available(&self, ring: &RingConfig) -> Seconds {
+        (ring.allocatable() - self.total_allocated()).clamp_min_zero()
+    }
+
+    /// Records an allocation for `key`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FddiError::AlreadyAllocated`] if `key` already holds one;
+    /// * [`FddiError::InsufficientBandwidth`] if it would exceed the
+    ///   allocatable budget.
+    pub fn allocate(
+        &mut self,
+        key: AllocationKey,
+        h: SyncBandwidth,
+        ring: &RingConfig,
+    ) -> Result<(), FddiError> {
+        if self.entries.contains_key(&key) {
+            return Err(FddiError::AlreadyAllocated(key));
+        }
+        let available = self.available(ring);
+        // Tolerate sub-nanosecond float overshoot from the CAC's searches.
+        if h.per_rotation().value() > available.value() + 1e-12 {
+            return Err(FddiError::InsufficientBandwidth {
+                requested: h,
+                available,
+            });
+        }
+        self.entries.insert(key, h);
+        Ok(())
+    }
+
+    /// Releases the allocation held by `key`, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FddiError::NotAllocated`] if `key` holds nothing.
+    pub fn release(&mut self, key: AllocationKey) -> Result<SyncBandwidth, FddiError> {
+        self.entries
+            .remove(&key)
+            .ok_or(FddiError::NotAllocated(key))
+    }
+
+    /// The allocation held by `key`, if any.
+    #[must_use]
+    pub fn get(&self, key: AllocationKey) -> Option<SyncBandwidth> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Number of live allocations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no allocations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, allocation)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (AllocationKey, SyncBandwidth)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> RingConfig {
+        RingConfig::standard() // allocatable 7.2 ms
+    }
+
+    fn h_ms(ms: f64) -> SyncBandwidth {
+        SyncBandwidth::new(Seconds::from_millis(ms))
+    }
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let ring = ring();
+        let mut t = SyncAllocationTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.available(&ring).as_millis(), 7.2);
+
+        t.allocate(AllocationKey(1), h_ms(2.0), &ring).unwrap();
+        t.allocate(AllocationKey(2), h_ms(3.0), &ring).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!((t.total_allocated().as_millis() - 5.0).abs() < 1e-9);
+        assert!((t.available(&ring).as_millis() - 2.2).abs() < 1e-9);
+        assert_eq!(t.get(AllocationKey(1)), Some(h_ms(2.0)));
+        assert_eq!(t.get(AllocationKey(9)), None);
+
+        let released = t.release(AllocationKey(1)).unwrap();
+        assert_eq!(released, h_ms(2.0));
+        // 7.2 allocatable minus the remaining 3.0 ms allocation.
+        assert!((t.available(&ring).as_millis() - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_allocation_rejected() {
+        let ring = ring();
+        let mut t = SyncAllocationTable::new();
+        t.allocate(AllocationKey(1), h_ms(7.0), &ring).unwrap();
+        let err = t.allocate(AllocationKey(2), h_ms(0.5), &ring).unwrap_err();
+        assert!(matches!(err, FddiError::InsufficientBandwidth { .. }));
+        // Exactly filling the budget is allowed.
+        t.allocate(AllocationKey(2), h_ms(0.2), &ring).unwrap();
+        assert!(t.available(&ring).value() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let ring = ring();
+        let mut t = SyncAllocationTable::new();
+        t.allocate(AllocationKey(1), h_ms(1.0), &ring).unwrap();
+        assert!(matches!(
+            t.allocate(AllocationKey(1), h_ms(1.0), &ring),
+            Err(FddiError::AlreadyAllocated(_))
+        ));
+    }
+
+    #[test]
+    fn release_of_unknown_key_rejected() {
+        let mut t = SyncAllocationTable::new();
+        assert!(matches!(
+            t.release(AllocationKey(7)),
+            Err(FddiError::NotAllocated(_))
+        ));
+    }
+
+    #[test]
+    fn iteration_in_key_order() {
+        let ring = ring();
+        let mut t = SyncAllocationTable::new();
+        t.allocate(AllocationKey(3), h_ms(1.0), &ring).unwrap();
+        t.allocate(AllocationKey(1), h_ms(1.0), &ring).unwrap();
+        let keys: Vec<u64> = t.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![1, 3]);
+    }
+}

@@ -1,0 +1,77 @@
+//! The Delay_Line server (§4.3.1): pure bit propagation around the ring.
+//!
+//! Once a frame leaves the transmitting station it propagates to the
+//! receiving station (the interface device on the sender's ring, or the
+//! destination host on the receiver's ring). Propagation delays every bit
+//! by a fixed amount and leaves the traffic envelope unchanged
+//! (paper eqs. 13–14).
+
+use hetnet_traffic::envelope::SharedEnvelope;
+use hetnet_traffic::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// A constant-delay server.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DelayLine {
+    delay: Seconds,
+}
+
+impl DelayLine {
+    /// Creates a delay line with the given fixed propagation delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    #[must_use]
+    pub fn new(delay: Seconds) -> Self {
+        assert!(!delay.is_negative(), "propagation delay must be non-negative");
+        Self { delay }
+    }
+
+    /// The worst-case (and only) delay this server adds.
+    #[must_use]
+    pub fn delay_bound(&self) -> Seconds {
+        self.delay
+    }
+
+    /// The output envelope: identical to the input (eq. 13) — a constant
+    /// delay shifts every bit equally and cannot increase burstiness over
+    /// any interval.
+    #[must_use]
+    pub fn output(&self, input: SharedEnvelope) -> SharedEnvelope {
+        input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetnet_traffic::envelope::Envelope;
+    use hetnet_traffic::models::ConstantRateEnvelope;
+    use hetnet_traffic::units::BitsPerSec;
+    use std::sync::Arc;
+
+    #[test]
+    fn passes_envelope_through_unchanged() {
+        let line = DelayLine::new(Seconds::from_micros(100.0));
+        let input: SharedEnvelope = Arc::new(ConstantRateEnvelope::new(BitsPerSec::new(10.0)));
+        let out = line.output(Arc::clone(&input));
+        for k in 0..10 {
+            let i = Seconds::new(k as f64 * 0.1);
+            assert_eq!(out.arrivals(i), input.arrivals(i));
+        }
+    }
+
+    #[test]
+    fn reports_its_delay() {
+        let line = DelayLine::new(Seconds::from_micros(100.0));
+        assert!((line.delay_bound().as_micros() - 100.0).abs() < 1e-9);
+        assert_eq!(DelayLine::default().delay_bound(), Seconds::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delay_rejected() {
+        let _ = DelayLine::new(Seconds::new(-1.0));
+    }
+}

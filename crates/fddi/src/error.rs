@@ -1,0 +1,86 @@
+//! Error types for the FDDI substrate.
+
+use crate::alloc::AllocationKey;
+use crate::ring::SyncBandwidth;
+use hetnet_traffic::units::Seconds;
+use hetnet_traffic::TrafficError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by FDDI configuration, allocation and analysis.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum FddiError {
+    /// A ring configuration violated a protocol constraint.
+    InvalidConfig(String),
+    /// Allocating the requested synchronous bandwidth would exceed the
+    /// allocatable budget `TTRT − Δ`.
+    InsufficientBandwidth {
+        /// The amount requested.
+        requested: SyncBandwidth,
+        /// The amount still available.
+        available: Seconds,
+    },
+    /// The key already holds an allocation.
+    AlreadyAllocated(AllocationKey),
+    /// The key holds no allocation to release.
+    NotAllocated(AllocationKey),
+    /// The underlying envelope/service analysis failed.
+    Analysis(TrafficError),
+}
+
+impl fmt::Display for FddiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid ring configuration: {msg}"),
+            Self::InsufficientBandwidth {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient synchronous bandwidth: requested {requested}, available {available}"
+            ),
+            Self::AlreadyAllocated(s) => write!(f, "{s} already holds an allocation"),
+            Self::NotAllocated(s) => write!(f, "{s} holds no allocation"),
+            Self::Analysis(e) => write!(f, "server analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for FddiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrafficError> for FddiError {
+    fn from(e: TrafficError) -> Self {
+        Self::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetnet_traffic::units::BitsPerSec;
+
+    #[test]
+    fn display_and_source() {
+        let e = FddiError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e = FddiError::AlreadyAllocated(AllocationKey(1));
+        assert!(e.to_string().contains("alloc-1"));
+        let e = FddiError::NotAllocated(AllocationKey(2));
+        assert!(e.to_string().contains("alloc-2"));
+        let inner = TrafficError::Unstable {
+            arrival_rate: BitsPerSec::new(2.0),
+            service_rate: BitsPerSec::new(1.0),
+        };
+        let e: FddiError = inner.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("unstable"));
+    }
+}

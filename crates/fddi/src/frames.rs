@@ -1,0 +1,131 @@
+//! FDDI frame-format constants and derived quantities.
+//!
+//! Data on a station is split into frames of size `F_S = H · BW` — the
+//! amount transmittable in one synchronous slice (§3.1). Each frame
+//! carries a fixed protocol overhead, which is why the paper insists the
+//! per-connection allocation cannot be arbitrarily small
+//! (`H ≥ H^{min_abs}`, §5.2): tiny slices would be consumed by headers.
+
+use crate::ring::{RingConfig, SyncBandwidth};
+use hetnet_traffic::units::{Bits, Seconds};
+
+/// FDDI preamble: 8 symbols pairs = 8 bytes (64 bits) of idle line state.
+pub const PREAMBLE_BITS: f64 = 64.0;
+/// Starting delimiter (1 byte).
+pub const START_DELIMITER_BITS: f64 = 8.0;
+/// Frame control (1 byte).
+pub const FRAME_CONTROL_BITS: f64 = 8.0;
+/// Destination + source address (6 + 6 bytes).
+pub const ADDRESS_BITS: f64 = 96.0;
+/// Frame check sequence (4 bytes).
+pub const FCS_BITS: f64 = 32.0;
+/// Ending delimiter + frame status (≈ 2 bytes).
+pub const END_BITS: f64 = 16.0;
+
+/// Total per-frame protocol overhead in bits (224 bits = 28 bytes).
+#[must_use]
+pub fn frame_overhead() -> Bits {
+    Bits::new(
+        PREAMBLE_BITS
+            + START_DELIMITER_BITS
+            + FRAME_CONTROL_BITS
+            + ADDRESS_BITS
+            + FCS_BITS
+            + END_BITS,
+    )
+}
+
+/// Maximum FDDI frame size on the wire (4500 bytes).
+#[must_use]
+pub fn max_frame() -> Bits {
+    Bits::from_bytes(4500.0)
+}
+
+/// The frame size `F_S = H · BW` produced by a station holding
+/// synchronous allocation `h` (§3.1), clamped at the FDDI maximum.
+#[must_use]
+pub fn frame_size(ring: &RingConfig, h: SyncBandwidth) -> Bits {
+    h.quantum(ring.bandwidth).min(max_frame())
+}
+
+/// Payload bits carried by a frame of `total` wire bits.
+#[must_use]
+pub fn frame_payload(total: Bits) -> Bits {
+    (total - frame_overhead()).clamp_min_zero()
+}
+
+/// Throughput efficiency of frames of `total` wire bits: payload/total.
+#[must_use]
+pub fn frame_efficiency(total: Bits) -> f64 {
+    if total.value() <= 0.0 {
+        return 0.0;
+    }
+    frame_payload(total).value() / total.value()
+}
+
+/// The absolute minimum per-connection synchronous allocation
+/// `H^{min_abs}` (§5.2): enough time to transmit one frame whose
+/// efficiency reaches `min_efficiency` (so headers do not swamp the
+/// slice), but never less than the time for one maximally-overheaded
+/// minimal frame.
+///
+/// # Panics
+///
+/// Panics unless `0 < min_efficiency < 1`.
+#[must_use]
+pub fn min_allocation(ring: &RingConfig, min_efficiency: f64) -> SyncBandwidth {
+    assert!(
+        min_efficiency > 0.0 && min_efficiency < 1.0,
+        "min_efficiency must be in (0, 1)"
+    );
+    // efficiency e = (F - oh)/F  =>  F = oh / (1 - e)
+    let f = frame_overhead().value() / (1.0 - min_efficiency);
+    let t = Seconds::new(f / ring.bandwidth.value());
+    SyncBandwidth::new(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_totals_224_bits() {
+        assert_eq!(frame_overhead().value(), 224.0);
+    }
+
+    #[test]
+    fn frame_size_is_quantum_until_max() {
+        let ring = RingConfig::standard();
+        let h = SyncBandwidth::new(Seconds::from_micros(100.0));
+        // 100 us at 100 Mb/s = 10 kbit < 36 kbit max.
+        assert_eq!(frame_size(&ring, h).value(), 10_000.0);
+        let big = SyncBandwidth::new(Seconds::from_millis(2.0));
+        // 200 kbit clamps to the 36 kbit FDDI maximum.
+        assert_eq!(frame_size(&ring, big), max_frame());
+    }
+
+    #[test]
+    fn payload_and_efficiency() {
+        let f = Bits::new(2240.0);
+        assert_eq!(frame_payload(f).value(), 2016.0);
+        assert!((frame_efficiency(f) - 0.9).abs() < 1e-12);
+        assert_eq!(frame_payload(Bits::new(100.0)), Bits::ZERO);
+        assert_eq!(frame_efficiency(Bits::ZERO), 0.0);
+    }
+
+    #[test]
+    fn min_allocation_reaches_requested_efficiency() {
+        let ring = RingConfig::standard();
+        let h = min_allocation(&ring, 0.9);
+        let f = frame_size(&ring, h);
+        assert!(frame_efficiency(f) >= 0.9 - 1e-9);
+        // 90% efficiency needs 2240-bit frames: 22.4 us at 100 Mb/s.
+        assert!((h.per_rotation().as_micros() - 22.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_efficiency")]
+    fn min_allocation_validates_efficiency() {
+        let _ = min_allocation(&RingConfig::standard(), 1.5);
+    }
+}

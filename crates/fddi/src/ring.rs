@@ -1,0 +1,217 @@
+//! FDDI ring configuration and identifiers.
+
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a station on an FDDI ring (hosts and the interface
+/// device are both stations).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct StationId(pub u32);
+
+impl fmt::Display for StationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "station-{}", self.0)
+    }
+}
+
+/// A synchronous-bandwidth allocation: the transmission *time* a station
+/// (or, in this paper's per-connection accounting, a connection) may use
+/// on each token visit.
+///
+/// The paper's `H` is a time quantity; the corresponding data budget per
+/// rotation is `H · BW_FDDI`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SyncBandwidth(Seconds);
+
+impl SyncBandwidth {
+    /// The zero allocation.
+    pub const ZERO: Self = Self(Seconds::ZERO);
+
+    /// Creates an allocation of `per_rotation` transmission time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_rotation` is negative.
+    #[must_use]
+    pub fn new(per_rotation: Seconds) -> Self {
+        assert!(
+            !per_rotation.is_negative(),
+            "synchronous bandwidth must be non-negative"
+        );
+        Self(per_rotation)
+    }
+
+    /// The transmission time per token rotation.
+    #[must_use]
+    pub fn per_rotation(self) -> Seconds {
+        self.0
+    }
+
+    /// The data budget per rotation on a ring of the given bandwidth.
+    #[must_use]
+    pub fn quantum(self, bandwidth: BitsPerSec) -> Bits {
+        bandwidth * self.0
+    }
+
+    /// Linear interpolation `self + frac · (other − self)`; used by the
+    /// CAC's search along the proportional allocation line.
+    #[must_use]
+    pub fn lerp(self, other: Self, frac: f64) -> Self {
+        Self(Seconds::new(
+            self.0.value() + frac * (other.0.value() - self.0.value()),
+        ))
+    }
+
+    /// The smaller of two allocations.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// The larger of two allocations.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for SyncBandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/rotation", self.0)
+    }
+}
+
+/// Static parameters of one FDDI ring.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RingConfig {
+    /// Transmission rate of the medium (100 Mb/s for standard FDDI).
+    pub bandwidth: BitsPerSec,
+    /// Target token rotation time negotiated at ring initialization.
+    pub ttrt: Seconds,
+    /// Protocol-dependent overhead Δ per rotation (token and frame
+    /// overheads, station latencies); the allocatable synchronous time is
+    /// `TTRT − Δ` (paper eqs. 26–27).
+    pub overhead: Seconds,
+    /// One-way bit propagation time around the ring (the Delay_Line
+    /// server of §4.3.1); a worst-case full-circumference value.
+    pub propagation: Seconds,
+}
+
+impl RingConfig {
+    /// A standard 100 Mb/s FDDI ring with an 8 ms TTRT, 0.8 ms protocol
+    /// overhead and 0.1 ms worst-case ring propagation — the configuration
+    /// used by the paper's simulation study (§6).
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            bandwidth: BitsPerSec::from_mbps(100.0),
+            ttrt: Seconds::from_millis(8.0),
+            overhead: Seconds::from_millis(0.8),
+            propagation: Seconds::from_micros(100.0),
+        }
+    }
+
+    /// The synchronous time allocatable per rotation: `TTRT − Δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (`Δ ≥ TTRT`).
+    #[must_use]
+    pub fn allocatable(&self) -> Seconds {
+        let a = self.ttrt - self.overhead;
+        assert!(
+            !a.is_negative(),
+            "protocol overhead must be below TTRT (got Δ = {}, TTRT = {})",
+            self.overhead,
+            self.ttrt
+        );
+        a
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bandwidth.value() <= 0.0 {
+            return Err("ring bandwidth must be positive".into());
+        }
+        if self.ttrt.value() <= 0.0 {
+            return Err("TTRT must be positive".into());
+        }
+        if self.overhead.is_negative() || self.overhead >= self.ttrt {
+            return Err("protocol overhead must be in [0, TTRT)".into());
+        }
+        if self.propagation.is_negative() {
+            return Err("propagation time must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_ring_parameters() {
+        let r = RingConfig::standard();
+        assert_eq!(r.bandwidth.as_mbps(), 100.0);
+        assert_eq!(r.ttrt.as_millis(), 8.0);
+        assert!(r.validate().is_ok());
+        assert!((r.allocatable().as_millis() - 7.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_bandwidth_quantum() {
+        let h = SyncBandwidth::new(Seconds::from_millis(2.0));
+        let q = h.quantum(BitsPerSec::from_mbps(100.0));
+        assert_eq!(q.value(), 200_000.0);
+        assert_eq!(h.per_rotation().as_millis(), 2.0);
+    }
+
+    #[test]
+    fn sync_bandwidth_lerp() {
+        let a = SyncBandwidth::new(Seconds::from_millis(1.0));
+        let b = SyncBandwidth::new(Seconds::from_millis(3.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5).per_rotation().as_millis(), 2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut r = RingConfig::standard();
+        r.overhead = Seconds::from_millis(9.0);
+        assert!(r.validate().is_err());
+        let mut r = RingConfig::standard();
+        r.ttrt = Seconds::ZERO;
+        assert!(r.validate().is_err());
+        let mut r = RingConfig::standard();
+        r.bandwidth = BitsPerSec::ZERO;
+        assert!(r.validate().is_err());
+        let mut r = RingConfig::standard();
+        r.propagation = Seconds::new(-1.0);
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sync_bandwidth_rejected() {
+        let _ = SyncBandwidth::new(Seconds::new(-0.001));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", StationId(3)), "station-3");
+        let h = SyncBandwidth::new(Seconds::new(0.002));
+        assert_eq!(format!("{h}"), "0.002 s/rotation");
+    }
+}

@@ -1,0 +1,136 @@
+//! Classical FDDI-only synchronous-bandwidth allocation schemes.
+//!
+//! Before the paper's heterogeneous CAC, synchronous bandwidth on a
+//! *stand-alone* FDDI ring was assigned by local schemes such as those of
+//! Agrawal-Chen-Zhao-Davari (the paper's ref. [1]) and Zhang-Burns-
+//! Wellings (ref. [24]). The paper argues (§5, §7) that applying such
+//! local schemes per-segment is suboptimal in a heterogeneous network;
+//! this module implements three of them so the claim can be tested as an
+//! ablation:
+//!
+//! * [`AllocationScheme::EqualPartition`] — the *full length* scheme:
+//!   split `TTRT − Δ` evenly over the `n` stations;
+//! * [`AllocationScheme::ProportionalToRate`] — each connection gets a
+//!   share proportional to its long-term rate (a local utilization-based
+//!   scheme);
+//! * [`AllocationScheme::NormalizedProportional`] — the normalized
+//!   proportional allocation `H_i = (ρ_i/BW) / U · (TTRT − Δ)`, which
+//!   spends the entire allocatable budget proportionally.
+
+use crate::ring::{RingConfig, SyncBandwidth};
+use hetnet_traffic::units::{BitsPerSec, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A local FDDI-only allocation rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AllocationScheme {
+    /// Split the allocatable time evenly across `n` stations.
+    EqualPartition,
+    /// `H_i = ρ_i / BW · TTRT` — time proportional to the connection's
+    /// utilization of the ring (meets long-term demand exactly, with no
+    /// headroom for token latency).
+    ProportionalToRate,
+    /// `H_i = (ρ_i/BW) / U_total · (TTRT − Δ)` — proportional shares that
+    /// together spend the whole allocatable budget.
+    NormalizedProportional,
+}
+
+impl AllocationScheme {
+    /// Computes the allocations this scheme grants to connections with
+    /// the given long-term rates on `ring`.
+    ///
+    /// Returns one allocation per requested rate (empty input → empty
+    /// output). Allocations are *not* checked against stability — that is
+    /// exactly the weakness of local schemes the paper exploits; callers
+    /// (and the ablation bench) verify deadlines with the Theorem-1
+    /// analysis afterwards.
+    #[must_use]
+    pub fn allocate(self, ring: &RingConfig, rates: &[BitsPerSec]) -> Vec<SyncBandwidth> {
+        let n = rates.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        match self {
+            Self::EqualPartition => {
+                let share = ring.allocatable() / n as f64;
+                vec![SyncBandwidth::new(share); n]
+            }
+            Self::ProportionalToRate => rates
+                .iter()
+                .map(|rho| {
+                    let frac = rho.value() / ring.bandwidth.value();
+                    SyncBandwidth::new(Seconds::new(frac.max(0.0) * ring.ttrt.value()))
+                })
+                .collect(),
+            Self::NormalizedProportional => {
+                let total_frac: f64 = rates
+                    .iter()
+                    .map(|rho| (rho.value() / ring.bandwidth.value()).max(0.0))
+                    .sum();
+                if total_frac <= 0.0 {
+                    return vec![SyncBandwidth::ZERO; n];
+                }
+                rates
+                    .iter()
+                    .map(|rho| {
+                        let frac = (rho.value() / ring.bandwidth.value()).max(0.0) / total_frac;
+                        SyncBandwidth::new(Seconds::new(frac * ring.allocatable().value()))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetnet_traffic::units::Seconds;
+
+    fn ring() -> RingConfig {
+        RingConfig::standard() // 100 Mb/s, TTRT 8 ms, allocatable 7.2 ms
+    }
+
+    fn mbps(v: f64) -> BitsPerSec {
+        BitsPerSec::from_mbps(v)
+    }
+
+    #[test]
+    fn equal_partition_splits_budget() {
+        let hs = AllocationScheme::EqualPartition.allocate(&ring(), &[mbps(1.0); 4]);
+        assert_eq!(hs.len(), 4);
+        for h in &hs {
+            assert!((h.per_rotation().as_millis() - 1.8).abs() < 1e-9);
+        }
+        let total: Seconds = hs.iter().map(|h| h.per_rotation()).sum();
+        assert!((total.as_millis() - 7.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_matches_utilization() {
+        let hs = AllocationScheme::ProportionalToRate.allocate(&ring(), &[mbps(20.0), mbps(5.0)]);
+        // 20 Mb/s on 100 Mb/s ring: 20% of TTRT = 1.6 ms.
+        assert!((hs[0].per_rotation().as_millis() - 1.6).abs() < 1e-9);
+        assert!((hs[1].per_rotation().as_millis() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_spends_whole_budget_proportionally() {
+        let hs = AllocationScheme::NormalizedProportional
+            .allocate(&ring(), &[mbps(30.0), mbps(10.0)]);
+        let total: Seconds = hs.iter().map(|h| h.per_rotation()).sum();
+        assert!((total.as_millis() - 7.2).abs() < 1e-9);
+        assert!((hs[0].per_rotation() / hs[1].per_rotation() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_inputs() {
+        assert!(AllocationScheme::EqualPartition
+            .allocate(&ring(), &[])
+            .is_empty());
+        let hs = AllocationScheme::NormalizedProportional
+            .allocate(&ring(), &[BitsPerSec::ZERO, BitsPerSec::ZERO]);
+        assert!(hs.iter().all(|h| *h == SyncBandwidth::ZERO));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the FDDI substrate: Theorem-1 invariants
+//! under randomized traffic and allocations, and allocation-table
+//! algebra.
+
+use hetnet_fddi::alloc::{AllocationKey, SyncAllocationTable};
+use hetnet_fddi::mac::{analyze_fddi_mac, mac_service};
+use hetnet_fddi::ring::{RingConfig, SyncBandwidth};
+use hetnet_fddi::schemes::AllocationScheme;
+use hetnet_traffic::analysis::AnalysisConfig;
+use hetnet_traffic::envelope::{Envelope, SharedEnvelope};
+use hetnet_traffic::models::DualPeriodicEnvelope;
+use hetnet_traffic::service::ServiceCurve;
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random dual-periodic sources with rates safely below the allocation.
+fn source_and_alloc() -> impl Strategy<Value = (DualPeriodicEnvelope, SyncBandwidth)> {
+    (
+        0.2e6_f64..2.5e6,  // c1 bits
+        0.05_f64..0.15,    // p1 seconds
+        2_usize..=8,       // bursts per period
+        1.3_f64..4.0,      // allocation headroom over stability
+    )
+        .prop_map(|(c1, p1, bursts, headroom)| {
+            let p2 = p1 / bursts as f64;
+            let c2 = (c1 / bursts as f64).max(1.0);
+            let env = DualPeriodicEnvelope::new(
+                Bits::new(c1),
+                Seconds::new(p1),
+                Bits::new(c2),
+                Seconds::new(p2),
+                BitsPerSec::from_mbps(100.0),
+            )
+            .expect("generated source valid");
+            let ring = RingConfig::standard();
+            // Stability needs H*BW/TTRT > rho.
+            let h_stable = (c1 / p1) / ring.bandwidth.value() * ring.ttrt.value();
+            let h = SyncBandwidth::new(Seconds::new(
+                (h_stable * headroom).min(ring.allocatable().value()),
+            ));
+            (env, h)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1: delay bound dominates a dense grid evaluation and the
+    /// backlog bound dominates A(t) - avail(t) everywhere.
+    #[test]
+    fn theorem1_bounds_dominate_grid((env, h) in source_and_alloc()) {
+        let ring = RingConfig::standard();
+        let cfg = AnalysisConfig::default();
+        let arr: SharedEnvelope = Arc::new(env);
+        let report = analyze_fddi_mac(Arc::clone(&arr), &ring, h, None, &cfg)
+            .expect("stable by construction");
+        let chi = report.delay.bounded().expect("no buffer limit");
+        let svc = mac_service(&ring, h);
+        let b = report.busy_interval.value().max(1e-6);
+        for k in 1..300 {
+            let t = Seconds::new(k as f64 * b / 299.0);
+            let backlog = arr.arrivals(t) - svc.provided(t);
+            prop_assert!(
+                backlog.value() <= report.buffer_required.value() * (1.0 + 1e-6) + 1e-6,
+                "backlog exceeded at {t}"
+            );
+            let d = (svc.time_to_provide(arr.arrivals(t)) - t).value();
+            prop_assert!(d <= chi.value() + 1e-9, "delay exceeded at {t}");
+        }
+    }
+
+    /// Theorem 1.4: the output envelope dominates the input and respects
+    /// the ring-rate cap.
+    #[test]
+    fn theorem1_output_sound((env, h) in source_and_alloc()) {
+        let ring = RingConfig::standard();
+        let cfg = AnalysisConfig::default();
+        let arr: SharedEnvelope = Arc::new(env);
+        let report = analyze_fddi_mac(Arc::clone(&arr), &ring, h, None, &cfg).unwrap();
+        for k in 0..100 {
+            let i = Seconds::new(k as f64 * 0.002);
+            let y = report.output.arrivals(i);
+            prop_assert!(y >= arr.arrivals(i) - Bits::new(1e-4), "Υ < A at {i}");
+            prop_assert!(
+                y <= ring.bandwidth * i + Bits::new(1e-4),
+                "Υ exceeds ring rate at {i}"
+            );
+        }
+    }
+
+    /// More synchronous bandwidth never worsens the Theorem-1 delay.
+    #[test]
+    fn delay_monotone_in_allocation((env, h) in source_and_alloc()) {
+        let ring = RingConfig::standard();
+        let cfg = AnalysisConfig::default();
+        let arr: SharedEnvelope = Arc::new(env);
+        let d1 = analyze_fddi_mac(Arc::clone(&arr), &ring, h, None, &cfg)
+            .unwrap()
+            .delay
+            .bounded()
+            .unwrap();
+        let bigger = SyncBandwidth::new(
+            (h.per_rotation() * 1.4).min(ring.allocatable()),
+        );
+        let d2 = analyze_fddi_mac(arr, &ring, bigger, None, &cfg)
+            .unwrap()
+            .delay
+            .bounded()
+            .unwrap();
+        prop_assert!(d2 <= d1 + Seconds::from_nanos(1.0), "{d2} > {d1}");
+    }
+
+    /// Allocation tables: any interleaving of allocations and releases
+    /// conserves the budget exactly.
+    #[test]
+    fn allocation_table_conserves_budget(ops in proptest::collection::vec((0_u64..12, 0.1_f64..1.5, proptest::bool::ANY), 1..40)) {
+        let ring = RingConfig::standard();
+        let mut table = SyncAllocationTable::new();
+        let mut shadow: std::collections::BTreeMap<u64, f64> = Default::default();
+        for (key, ms, is_alloc) in ops {
+            let k = AllocationKey(key);
+            if is_alloc {
+                let h = SyncBandwidth::new(Seconds::from_millis(ms));
+                match table.allocate(k, h, &ring) {
+                    Ok(()) => {
+                        prop_assert!(!shadow.contains_key(&key));
+                        shadow.insert(key, ms * 1e-3);
+                    }
+                    Err(_) => {} // duplicate or over budget
+                }
+            } else {
+                match table.release(k) {
+                    Ok(h) => {
+                        let expect = shadow.remove(&key).expect("shadow tracked");
+                        prop_assert!((h.per_rotation().value() - expect).abs() < 1e-15);
+                    }
+                    Err(_) => prop_assert!(!shadow.contains_key(&key)),
+                }
+            }
+            let shadow_total: f64 = shadow.values().sum();
+            prop_assert!((table.total_allocated().value() - shadow_total).abs() < 1e-12);
+            prop_assert!(
+                table.total_allocated() <= ring.allocatable() + Seconds::from_nanos(1.0)
+            );
+        }
+    }
+
+    /// Allocation schemes produce non-negative allocations and (for the
+    /// normalized scheme) spend exactly the allocatable budget.
+    #[test]
+    fn schemes_respect_budget(rates in proptest::collection::vec(0.1_f64..30.0, 1..8)) {
+        let ring = RingConfig::standard();
+        let rates: Vec<BitsPerSec> = rates.into_iter().map(BitsPerSec::from_mbps).collect();
+        for scheme in [
+            AllocationScheme::EqualPartition,
+            AllocationScheme::ProportionalToRate,
+            AllocationScheme::NormalizedProportional,
+        ] {
+            let hs = scheme.allocate(&ring, &rates);
+            prop_assert_eq!(hs.len(), rates.len());
+            for h in &hs {
+                prop_assert!(!h.per_rotation().is_negative());
+            }
+            if scheme == AllocationScheme::NormalizedProportional {
+                let total: Seconds = hs.iter().map(|h| h.per_rotation()).sum();
+                prop_assert!((total.value() - ring.allocatable().value()).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Interface-device configuration: the constant stage delays.
+
+use hetnet_traffic::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Constant per-stage delays of an interface device.
+///
+/// The paper models the input port, frame switch and the processing parts
+/// of the conversion servers as constant-delay servers whose values are
+/// "measured or specified by the manufacturer" (eqs. 18, 20, 22); this
+/// struct is where a deployment supplies them.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IfDevConfig {
+    /// Delay to collect a frame from the LAN segment (eq. 18).
+    pub input_port_delay: Seconds,
+    /// Delay to switch a frame to its output-port buffer (eq. 20).
+    pub frame_switch_delay: Seconds,
+    /// Maximum processing time to convert one frame into cells
+    /// (Theorem 2, eq. 22).
+    pub segmentation_time: Seconds,
+    /// Maximum processing time to reassemble one frame from its cells on
+    /// the receive path.
+    pub reassembly_time: Seconds,
+}
+
+impl IfDevConfig {
+    /// Representative values for a mid-1990s LAN-ATM edge device.
+    #[must_use]
+    pub fn typical() -> Self {
+        Self {
+            input_port_delay: Seconds::from_micros(20.0),
+            frame_switch_delay: Seconds::from_micros(10.0),
+            segmentation_time: Seconds::from_micros(30.0),
+            reassembly_time: Seconds::from_micros(30.0),
+        }
+    }
+
+    /// Total constant delay on the sender path (FDDI → ATM):
+    /// input port + frame switch + segmentation (eq. 16's constant
+    /// terms; the output-port term is traffic-dependent and analyzed
+    /// separately).
+    #[must_use]
+    pub fn sender_fixed_delay(&self) -> Seconds {
+        self.input_port_delay + self.frame_switch_delay + self.segmentation_time
+    }
+
+    /// Total constant delay on the receiver path (ATM → FDDI):
+    /// input port + reassembly + frame switch; the FDDI transmission is
+    /// traffic-dependent and analyzed by the MAC server.
+    #[must_use]
+    pub fn receiver_fixed_delay(&self) -> Seconds {
+        self.input_port_delay + self.reassembly_time + self.frame_switch_delay
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("input_port_delay", self.input_port_delay),
+            ("frame_switch_delay", self.frame_switch_delay),
+            ("segmentation_time", self.segmentation_time),
+            ("reassembly_time", self.reassembly_time),
+        ] {
+            if v.is_negative() {
+                return Err(format!("{name} must be non-negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for IfDevConfig {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_delays_sum_stages() {
+        let c = IfDevConfig::typical();
+        assert!((c.sender_fixed_delay().as_micros() - 60.0).abs() < 1e-9);
+        assert!((c.receiver_fixed_delay().as_micros() - 60.0).abs() < 1e-9);
+        assert!(c.validate().is_ok());
+        assert_eq!(IfDevConfig::default(), c);
+    }
+
+    #[test]
+    fn validation_rejects_negative() {
+        let mut c = IfDevConfig::typical();
+        c.segmentation_time = Seconds::new(-1.0);
+        assert!(c.validate().is_err());
+    }
+}

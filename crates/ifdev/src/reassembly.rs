@@ -1,0 +1,116 @@
+//! Cell→frame reassembly at the receiving interface device (ID_R).
+//!
+//! Cells arriving from the backbone are assembled back into FDDI frames
+//! (§4.3.3: "the process is reversed"). Because we track the delay of a
+//! packet's *last bit*, waiting for a frame's earlier cells is already
+//! accounted in the upstream per-cell delay; the reassembly server itself
+//! adds only its constant per-frame processing time. The envelope
+//! transform strips cell headers/padding and re-quantizes to whole
+//! frames.
+
+use crate::config::IfDevConfig;
+use hetnet_atm::cell;
+use hetnet_traffic::combinators::{Padded, Scaled};
+use hetnet_traffic::envelope::SharedEnvelope;
+use hetnet_traffic::units::{Bits, Seconds};
+use std::sync::Arc;
+
+/// Result of the reassembly analysis for one connection.
+#[derive(Debug, Clone)]
+pub struct ReassemblyReport {
+    /// Worst-case delay through the reassembly server.
+    pub delay_bound: Seconds,
+    /// Envelope of the reconstructed frame stream (frame bits), offered
+    /// next to the frame switch and then the FDDI MAC of the device.
+    pub output_frames: SharedEnvelope,
+}
+
+/// Reassembles a connection whose envelope at the ID_R input is `input`
+/// (in *wire* bits, as delivered by the last backbone link) back into
+/// frames of `frame_size` bits.
+///
+/// # Panics
+///
+/// Panics if `frame_size` is not strictly positive.
+#[must_use]
+pub fn reassemble_envelope(
+    input: SharedEnvelope,
+    frame_size: Bits,
+    config: &IfDevConfig,
+) -> ReassemblyReport {
+    assert!(frame_size.value() > 0.0, "frame size must be positive");
+    // A frame of F_S bits occupies F_C cells = F_C * 424 wire bits on the
+    // link; every such quantum of wire arrivals yields one frame. The
+    // exact transform is the staircase `ceil(A/wire_per_frame) * F_S`; we
+    // use its affine dominator `A * (F_S/wire_per_frame) + F_S`, which is
+    // a sound upper bound (off by at most one frame) with no staircase
+    // corners for downstream optimizers to enumerate.
+    let f_c = cell::cells_for_payload(frame_size);
+    let wire_per_frame = Bits::new(f_c as f64 * cell::CELL_BITS);
+    let scale = frame_size.value() / wire_per_frame.value();
+    ReassemblyReport {
+        delay_bound: config.reassembly_time,
+        output_frames: Arc::new(Padded::new(
+            Arc::new(Scaled::new(input, scale)),
+            frame_size,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetnet_traffic::envelope::Envelope;
+    use hetnet_traffic::models::ConstantRateEnvelope;
+    use hetnet_traffic::units::BitsPerSec;
+
+    fn cbr(rate: f64) -> SharedEnvelope {
+        Arc::new(ConstantRateEnvelope::new(BitsPerSec::new(rate)))
+    }
+
+    #[test]
+    fn inverse_of_segmentation_in_the_long_run() {
+        // 1000-bit frames -> 3 cells -> 1272 wire bits per frame.
+        let frame = Bits::new(1000.0);
+        let seg = crate::segmentation::segment_envelope(
+            cbr(1000.0),
+            frame,
+            &IfDevConfig::typical(),
+        );
+        let rea = reassemble_envelope(seg.output_wire, frame, &IfDevConfig::typical());
+        // Sustained rate returns to ~the original frame rate.
+        assert!((rea.output_frames.sustained_rate().value() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn affine_dominator_rounds_up() {
+        let frame = Bits::new(1000.0);
+        let rea = reassemble_envelope(cbr(1272.0), frame, &IfDevConfig::typical());
+        // After 0.5 s: 636 wire bits = half a frame's worth; the affine
+        // dominator grants half a frame plus the one-frame pad.
+        assert!((rea.output_frames.arrivals(Seconds::new(0.5)).value() - 1500.0).abs() < 1e-6);
+        // It always dominates the exact staircase ceil(A/1272)*1000.
+        for k in 0..50 {
+            let i = Seconds::new(k as f64 * 0.1);
+            let wire = 1272.0 * i.value();
+            let exact = (wire / 1272.0).ceil() * 1000.0;
+            assert!(
+                rea.output_frames.arrivals(i).value() >= exact - 1e-6,
+                "not a dominator at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_is_processing_constant() {
+        let cfg = IfDevConfig::typical();
+        let rea = reassemble_envelope(cbr(1.0), Bits::new(1000.0), &cfg);
+        assert_eq!(rea.delay_bound, cfg.reassembly_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame size must be positive")]
+    fn zero_frame_size_rejected() {
+        let _ = reassemble_envelope(cbr(1.0), Bits::ZERO, &IfDevConfig::typical());
+    }
+}

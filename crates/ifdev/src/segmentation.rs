@@ -1,0 +1,139 @@
+//! Frame→cell conversion: the paper's Theorem 2.
+//!
+//! A frame of `F_S` bits arriving from the FDDI side is segmented into
+//! `F_C = ⌈F_S / C_S⌉` ATM cells of `C_S = 384` payload bits. Theorem 2
+//! gives the output envelope
+//!
+//! `Γ_out(I)·I = ⌈ I·Γ_in(I) / F_S ⌉ · F_C · C_S`
+//!
+//! i.e. every (possibly partial) frame's worth of arrivals is inflated to
+//! a whole number of cells. The server itself adds only the constant
+//! per-frame processing time (eq. 22): the backbone is faster than the
+//! ring, so a frame is converted before the next one arrives and no
+//! queue forms.
+
+use crate::config::IfDevConfig;
+use hetnet_atm::cell;
+use hetnet_traffic::combinators::Quantized;
+use hetnet_traffic::envelope::SharedEnvelope;
+use hetnet_traffic::units::{Bits, Seconds};
+use std::sync::Arc;
+
+/// Result of the frame→cell conversion analysis for one connection.
+#[derive(Debug, Clone)]
+pub struct SegmentationReport {
+    /// Cells produced per frame (`F_C`).
+    pub cells_per_frame: u64,
+    /// Worst-case delay through the conversion server (eq. 22).
+    pub delay_bound: Seconds,
+    /// Output envelope counted in cell *payload* bits
+    /// (`⌈A/F_S⌉·F_C·C_S` — Theorem 2 verbatim).
+    pub output_payload: SharedEnvelope,
+    /// Output envelope counted in *wire* bits (`⌈A/F_S⌉·F_C·424`) — the
+    /// form the downstream link multiplexer consumes.
+    pub output_wire: SharedEnvelope,
+}
+
+/// Applies Theorem 2 to a connection whose envelope at the conversion
+/// server input is `input` (in frame bits) and whose frames are
+/// `frame_size` bits.
+///
+/// # Panics
+///
+/// Panics if `frame_size` is not strictly positive.
+#[must_use]
+pub fn segment_envelope(
+    input: SharedEnvelope,
+    frame_size: Bits,
+    config: &IfDevConfig,
+) -> SegmentationReport {
+    assert!(frame_size.value() > 0.0, "frame size must be positive");
+    let f_c = cell::cells_for_payload(frame_size);
+    let payload_per_frame = Bits::new(f_c as f64 * cell::PAYLOAD_BITS);
+    let wire_per_frame = Bits::new(f_c as f64 * cell::CELL_BITS);
+    SegmentationReport {
+        cells_per_frame: f_c,
+        delay_bound: config.segmentation_time,
+        output_payload: Arc::new(Quantized::new(
+            Arc::clone(&input),
+            frame_size,
+            payload_per_frame,
+        )),
+        output_wire: Arc::new(Quantized::new(input, frame_size, wire_per_frame)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetnet_traffic::envelope::Envelope;
+    use hetnet_traffic::models::ConstantRateEnvelope;
+    use hetnet_traffic::units::BitsPerSec;
+
+    fn cbr(rate: f64) -> SharedEnvelope {
+        Arc::new(ConstantRateEnvelope::new(BitsPerSec::new(rate)))
+    }
+
+    #[test]
+    fn theorem2_formula_hand_check() {
+        // Frames of 1000 bits -> ceil(1000/384) = 3 cells.
+        let r = segment_envelope(cbr(1000.0), Bits::new(1000.0), &IfDevConfig::typical());
+        assert_eq!(r.cells_per_frame, 3);
+        // A_in(1s) = 1000 bits = 1 frame -> 3*384 payload bits.
+        assert_eq!(
+            r.output_payload.arrivals(Seconds::new(1.0)).value(),
+            3.0 * 384.0
+        );
+        // Wire form: 3*424.
+        assert_eq!(
+            r.output_wire.arrivals(Seconds::new(1.0)).value(),
+            3.0 * 424.0
+        );
+        // A_in(1.5s) = 1500 bits -> 2 frames.
+        assert_eq!(
+            r.output_payload.arrivals(Seconds::new(1.5)).value(),
+            2.0 * 3.0 * 384.0
+        );
+        assert_eq!(r.delay_bound, IfDevConfig::typical().segmentation_time);
+    }
+
+    #[test]
+    fn exact_multiple_of_cell_payload_has_no_padding() {
+        // Frames of 768 bits = exactly 2 cells.
+        let r = segment_envelope(cbr(768.0), Bits::new(768.0), &IfDevConfig::typical());
+        assert_eq!(r.cells_per_frame, 2);
+        assert_eq!(
+            r.output_payload.arrivals(Seconds::new(1.0)).value(),
+            768.0
+        );
+    }
+
+    #[test]
+    fn output_dominates_input() {
+        // Cell padding means the output envelope is never below the input.
+        let input = cbr(5000.0);
+        let r = segment_envelope(Arc::clone(&input), Bits::new(1000.0), &IfDevConfig::typical());
+        for k in 0..100 {
+            let i = Seconds::new(k as f64 * 0.01);
+            assert!(
+                r.output_payload.arrivals(i) >= input.arrivals(i) - Bits::new(1e-4),
+                "at {i}"
+            );
+            assert!(r.output_wire.arrivals(i) >= r.output_payload.arrivals(i) - Bits::new(1e-4));
+        }
+    }
+
+    #[test]
+    fn sustained_rate_inflated_by_padding_and_headers() {
+        let r = segment_envelope(cbr(1000.0), Bits::new(1000.0), &IfDevConfig::typical());
+        // 3 cells per 1000-bit frame: payload rate 1152, wire rate 1272.
+        assert!((r.output_payload.sustained_rate().value() - 1152.0).abs() < 1e-9);
+        assert!((r.output_wire.sustained_rate().value() - 1272.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame size must be positive")]
+    fn zero_frame_size_rejected() {
+        let _ = segment_envelope(cbr(1.0), Bits::ZERO, &IfDevConfig::typical());
+    }
+}

@@ -1,0 +1,181 @@
+//! A minimal deterministic discrete-event scheduler.
+
+use hetnet_traffic::units::Seconds;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queued for execution at a simulated time.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
+        // Ties break by insertion order (seq), making runs deterministic.
+        other
+            .at
+            .total_cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events with equal timestamps fire in insertion order, so a simulation
+/// driven by a seeded RNG reproduces bit-for-bit.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: f64,
+    seq: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped
+    /// event).
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        Seconds::new(self.now)
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current time (events cannot fire in
+    /// the past).
+    pub fn schedule_at(&mut self, at: Seconds, event: E) {
+        assert!(
+            at.value() >= self.now,
+            "cannot schedule into the past: {} < {}",
+            at.value(),
+            self.now
+        );
+        self.heap.push(Scheduled {
+            at: at.value(),
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after `delay` from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    pub fn schedule_in(&mut self, delay: Seconds, event: E) {
+        assert!(!delay.is_negative(), "delay must be non-negative");
+        self.schedule_at(Seconds::new(self.now + delay.value()), event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Seconds, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((Seconds::new(s.at), s.event))
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(Seconds::new(3.0), "c");
+        s.schedule_at(Seconds::new(1.0), "a");
+        s.schedule_at(Seconds::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(Seconds::new(1.0), "first");
+        s.schedule_at(Seconds::new(1.0), "second");
+        s.schedule_at(Seconds::new(1.0), "third");
+        let order: Vec<&str> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.now(), Seconds::ZERO);
+        s.schedule_in(Seconds::new(5.0), ());
+        let (t, ()) = s.pop().unwrap();
+        assert_eq!(t.value(), 5.0);
+        assert_eq!(s.now().value(), 5.0);
+        s.schedule_in(Seconds::new(1.0), ());
+        let (t, ()) = s.pop().unwrap();
+        assert_eq!(t.value(), 6.0);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        assert!(s.is_empty());
+        s.schedule_at(Seconds::new(1.0), 1);
+        assert_eq!(s.len(), 1);
+        let _ = s.pop();
+        assert!(s.is_empty());
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(Seconds::new(2.0), ());
+        let _ = s.pop();
+        s.schedule_at(Seconds::new(1.0), ());
+    }
+}

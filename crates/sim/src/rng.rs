@@ -1,0 +1,102 @@
+//! Random samplers for the paper's workload model.
+//!
+//! Connection requests arrive as a Poisson process with rate λ
+//! (exponential interarrivals) and admitted connections live for an
+//! exponentially distributed time with mean 1/μ (§6). Samplers use the
+//! inverse-transform method on top of any [`rand::Rng`], so experiments
+//! are reproducible from a seed.
+
+use hetnet_traffic::units::Seconds;
+use rand::Rng;
+
+/// Samples an exponential duration with the given mean.
+///
+/// # Panics
+///
+/// Panics if `mean` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: Seconds) -> Seconds {
+    assert!(mean.value() > 0.0, "mean must be positive");
+    // Inverse transform: -mean * ln(U), U in (0, 1].
+    let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    Seconds::new(-mean.value() * u.ln())
+}
+
+/// Samples the next interarrival of a Poisson process with rate
+/// `rate_per_sec`.
+///
+/// # Panics
+///
+/// Panics if `rate_per_sec` is not strictly positive.
+pub fn poisson_interarrival<R: Rng + ?Sized>(rng: &mut R, rate_per_sec: f64) -> Seconds {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    exponential(rng, Seconds::new(1.0 / rate_per_sec))
+}
+
+/// Picks a uniformly random element index from `0..n`, or `None` when
+/// `n == 0`.
+pub fn pick_index<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Option<usize> {
+    if n == 0 {
+        None
+    } else {
+        Some(rng.gen_range(0..n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean = Seconds::new(2.0);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exponential(&mut rng, mean).value()).sum();
+        let avg = total / n as f64;
+        assert!((avg - 2.0).abs() < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(exponential(&mut rng, Seconds::new(0.5)).value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_matches_interarrival_mean() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| poisson_interarrival(&mut rng, 4.0).value())
+            .sum();
+        assert!((total / n as f64 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn pick_index_covers_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(pick_index(&mut rng, 0), None);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[pick_index(&mut rng, 5).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| exponential(&mut rng, Seconds::new(1.0)).value()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| exponential(&mut rng, Seconds::new(1.0)).value()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,144 @@
+//! Validation of the Theorem-1 FDDI MAC bounds against the packet-level
+//! token-ring simulation, isolated from the rest of the network.
+//!
+//! A single connection is simulated across the full path, but with all
+//! other components effectively instantaneous relative to the MAC (the
+//! generous receive allocation and empty backbone), so the observed
+//! end-to-end delay is dominated by the source MAC. The analytic χ plus
+//! the path's fixed costs must dominate every observation, for a range
+//! of allocations and source shapes.
+
+use hetnet_atm::topology::Backbone;
+use hetnet_atm::{LinkConfig, SwitchConfig};
+use hetnet_fddi::mac::analyze_fddi_mac;
+use hetnet_fddi::ring::{RingConfig, SyncBandwidth};
+use hetnet_ifdev::IfDevConfig;
+use hetnet_sim::netsim::{run, E2eScenario, SimConnection};
+use hetnet_sim::source::GreedyDualPeriodic;
+use hetnet_traffic::analysis::AnalysisConfig;
+use hetnet_traffic::envelope::SharedEnvelope;
+use hetnet_traffic::models::DualPeriodicEnvelope;
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+use std::sync::Arc;
+
+fn scenario(conn: SimConnection) -> E2eScenario {
+    let link = LinkConfig::oc3(Seconds::from_micros(5.0));
+    E2eScenario {
+        rings: vec![RingConfig::standard(); 3],
+        hosts_per_ring: 4,
+        ifdev: IfDevConfig::typical(),
+        backbone: Backbone::fully_meshed(3, SwitchConfig::typical(), link),
+        access_link: link,
+        connections: vec![conn],
+        duration: Seconds::from_millis(500.0),
+        drain: Seconds::from_millis(300.0),
+    }
+}
+
+/// The fixed (traffic-independent) path costs outside the two MACs, plus
+/// a generous allowance for the lightly-loaded ATM/S stages: ring
+/// propagations, device stages, one chunk transmission per hop, fabric
+/// latencies and link propagations.
+fn fixed_path_allowance() -> Seconds {
+    // 2 ring propagations + sender/receiver device stages + 3 hops of
+    // (chunk tx at 155 Mb/s + propagation + fabric).
+    let ring_prop = 2.0 * 100.0e-6;
+    let devices = 60.0e-6 + 60.0e-6;
+    let chunk_tx = 3.0 * (10_176.0 / 155.0e6); // 8 kbit chunk in cells
+    let hops = 3.0 * (5.0e-6 + 10.0e-6);
+    Seconds::new(ring_prop + devices + chunk_tx + hops)
+}
+
+fn check(model: DualPeriodicEnvelope, h_s_ms: f64, h_r_ms: f64) {
+    let ring = RingConfig::standard();
+    let cfg = AnalysisConfig::default();
+    let h_s = SyncBandwidth::new(Seconds::from_millis(h_s_ms));
+    let h_r = SyncBandwidth::new(Seconds::from_millis(h_r_ms));
+
+    let env: SharedEnvelope = Arc::new(model);
+    let mac_s = analyze_fddi_mac(Arc::clone(&env), &ring, h_s, None, &cfg)
+        .expect("stable source allocation");
+    let chi_s = mac_s.delay.bounded().expect("bounded");
+
+    // Receive side: bound the MAC delay with the *source* envelope plus a
+    // one-frame pad as a coarse stand-in for the reassembled stream (the
+    // end-to-end analysis in hetnet-cac is tighter; here we only need a
+    // sound dominator for the lightly-loaded single-connection path).
+    let padded: SharedEnvelope = Arc::new(hetnet_traffic::combinators::Padded::new(
+        Arc::clone(&env),
+        Bits::from_bytes(4500.0),
+    ));
+    let mac_r =
+        analyze_fddi_mac(padded, &ring, h_r, None, &cfg).expect("stable receive allocation");
+    let chi_r = mac_r.delay.bounded().expect("bounded");
+
+    let bound = chi_s + chi_r + fixed_path_allowance();
+
+    let report = run(&scenario(SimConnection {
+        id: 1,
+        source_ring: 0,
+        source_station: 0,
+        dest_ring: 1,
+        h_s,
+        h_r,
+        source: GreedyDualPeriodic::new(model, Bits::from_kbits(8.0)),
+        phase: Seconds::ZERO,
+    }));
+    let obs = &report.connections[0];
+    assert_eq!(obs.chunks_sent, obs.chunks_delivered, "stranded chunks");
+    assert!(
+        obs.max_delay <= bound,
+        "observed {} exceeds analytic {} (chi_s {}, chi_r {})",
+        obs.max_delay,
+        bound,
+        chi_s,
+        chi_r
+    );
+    // The bound should not be absurdly loose either (within ~25x for
+    // greedy aligned sources — worst cases need adversarial token phase).
+    assert!(
+        obs.max_delay.value() >= bound.value() / 25.0,
+        "bound suspiciously loose: observed {}, bound {}",
+        obs.max_delay,
+        bound
+    );
+}
+
+fn model(c1_mbit: f64, p1_ms: f64, c2_mbit: f64, p2_ms: f64) -> DualPeriodicEnvelope {
+    DualPeriodicEnvelope::new(
+        Bits::from_mbits(c1_mbit),
+        Seconds::from_millis(p1_ms),
+        Bits::from_mbits(c2_mbit),
+        Seconds::from_millis(p2_ms),
+        BitsPerSec::from_mbps(100.0),
+    )
+    .expect("valid model")
+}
+
+#[test]
+fn paper_source_generous_allocation() {
+    check(model(2.0, 100.0, 0.25, 10.0), 2.4, 2.4);
+}
+
+#[test]
+fn paper_source_tight_allocation() {
+    // Just above stability (20 Mb/s needs 1.6 ms): long busy periods.
+    check(model(2.0, 100.0, 0.25, 10.0), 1.9, 2.4);
+}
+
+#[test]
+fn bursty_source() {
+    // All of C1 in one burst per period.
+    check(model(1.0, 50.0, 1.0, 50.0), 2.4, 2.4);
+}
+
+#[test]
+fn smooth_source() {
+    // Many small bursts: almost CBR.
+    check(model(0.8, 40.0, 0.1, 5.0), 2.4, 2.4);
+}
+
+#[test]
+fn asymmetric_allocations() {
+    check(model(1.5, 100.0, 0.25, 10.0), 3.2, 1.6);
+}

@@ -1,0 +1,117 @@
+//! Numeric tolerance helpers for the floating-point optimizations used
+//! throughout the delay analysis.
+//!
+//! All quantities in this workspace are physical magnitudes (seconds, bits)
+//! evaluated over piecewise-linear and staircase functions, so comparisons
+//! need a small relative slack to absorb accumulated rounding, and
+//! floor/ceil operations on ratios need a nudge so that exact multiples do
+//! not fall on the wrong side of the step.
+
+/// Default relative tolerance used by comparisons.
+pub const REL_TOL: f64 = 1.0e-9;
+
+/// Relative nudge applied to quotients before flooring/ceiling so that a
+/// mathematically exact multiple lands on the intended step despite
+/// floating-point error.
+pub const QUOTIENT_NUDGE: f64 = 1.0e-9;
+
+/// `a ≤ b` up to relative tolerance [`REL_TOL`] (scaled by the larger
+/// magnitude, with an absolute floor so comparisons near zero behave).
+#[inline]
+#[must_use]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + REL_TOL * a.abs().max(b.abs()).max(1.0)
+}
+
+/// `a ≥ b` up to relative tolerance [`REL_TOL`].
+#[inline]
+#[must_use]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    approx_le(b, a)
+}
+
+/// `a == b` up to relative tolerance [`REL_TOL`].
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_le(a, b) && approx_le(b, a)
+}
+
+/// `⌊a / b⌋` with a relative nudge so that exact multiples floor to the
+/// intended integer.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `b` is not strictly positive.
+#[inline]
+#[must_use]
+pub fn floor_div(a: f64, b: f64) -> f64 {
+    debug_assert!(b > 0.0, "floor_div divisor must be positive");
+    let q = a / b;
+    (q + QUOTIENT_NUDGE * q.abs().max(1.0)).floor()
+}
+
+/// `⌈a / b⌉` with a relative nudge so that exact multiples ceil to the
+/// intended integer.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `b` is not strictly positive.
+#[inline]
+#[must_use]
+pub fn ceil_div(a: f64, b: f64) -> f64 {
+    debug_assert!(b > 0.0, "ceil_div divisor must be positive");
+    let q = a / b;
+    (q - QUOTIENT_NUDGE * q.abs().max(1.0)).ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_le_accepts_tiny_overshoot() {
+        assert!(approx_le(1.0 + 1.0e-12, 1.0));
+        assert!(approx_le(1.0e6 + 1.0e-4, 1.0e6));
+        assert!(!approx_le(1.0 + 1.0e-3, 1.0));
+    }
+
+    #[test]
+    fn approx_ge_and_eq() {
+        assert!(approx_ge(1.0, 1.0 + 1.0e-12));
+        assert!(approx_eq(3.0, 3.0 + 3.0e-10));
+        assert!(!approx_eq(3.0, 3.01));
+    }
+
+    #[test]
+    fn approx_near_zero_uses_absolute_floor() {
+        assert!(approx_le(1.0e-12, 0.0));
+        assert!(approx_eq(0.0, -1.0e-12));
+    }
+
+    #[test]
+    fn floor_div_exact_multiple() {
+        // 0.3 / 0.1 is 2.9999999999999996 in f64; the nudge fixes it.
+        assert_eq!(floor_div(0.3, 0.1), 3.0);
+        assert_eq!(floor_div(0.299, 0.1), 2.0);
+        assert_eq!(floor_div(0.0, 0.1), 0.0);
+        assert_eq!(floor_div(-0.05, 0.1), -1.0);
+    }
+
+    #[test]
+    fn ceil_div_exact_multiple() {
+        assert_eq!(ceil_div(0.3, 0.1), 3.0);
+        assert_eq!(ceil_div(0.301, 0.1), 4.0);
+        assert_eq!(ceil_div(0.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn floor_and_ceil_agree_on_exact_multiples() {
+        for k in 1..50 {
+            let b = 0.007;
+            let a = k as f64 * b;
+            assert_eq!(floor_div(a, b), k as f64, "k={k}");
+            assert_eq!(ceil_div(a, b), k as f64, "k={k}");
+        }
+    }
+}

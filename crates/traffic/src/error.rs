@@ -1,0 +1,92 @@
+//! Error types for traffic description and server analysis.
+
+use crate::units::{BitsPerSec, Seconds};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing traffic models or analyzing servers.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum TrafficError {
+    /// A model parameter was out of its valid range.
+    InvalidParameter {
+        /// The offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The long-term arrival rate is not strictly below the long-term
+    /// service rate, so backlog and delay are unbounded.
+    Unstable {
+        /// Long-term arrival rate of the offered traffic.
+        arrival_rate: BitsPerSec,
+        /// Long-term rate the server guarantees.
+        service_rate: BitsPerSec,
+    },
+    /// The busy-interval search exceeded its horizon; the system is either
+    /// unstable in practice or the configured horizon is too small.
+    HorizonExhausted {
+        /// The horizon that was searched.
+        horizon: Seconds,
+    },
+}
+
+impl TrafficError {
+    /// Convenience constructor for [`TrafficError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Self::Unstable {
+                arrival_rate,
+                service_rate,
+            } => write!(
+                f,
+                "unstable server: arrival rate {arrival_rate} is not below service rate {service_rate}"
+            ),
+            Self::HorizonExhausted { horizon } => {
+                write!(f, "busy-interval search exhausted its horizon of {horizon}")
+            }
+        }
+    }
+}
+
+impl Error for TrafficError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TrafficError::invalid("p1", "must be positive");
+        assert_eq!(e.to_string(), "invalid parameter `p1`: must be positive");
+
+        let e = TrafficError::Unstable {
+            arrival_rate: BitsPerSec::new(2.0),
+            service_rate: BitsPerSec::new(1.0),
+        };
+        assert!(e.to_string().contains("unstable"));
+
+        let e = TrafficError::HorizonExhausted {
+            horizon: Seconds::new(1.0),
+        };
+        assert!(e.to_string().contains("horizon"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TrafficError>();
+    }
+}

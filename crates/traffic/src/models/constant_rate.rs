@@ -1,0 +1,101 @@
+//! Constant-bit-rate fluid source.
+
+use crate::envelope::Envelope;
+use crate::units::{Bits, BitsPerSec, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A fluid source emitting at a constant rate: `A(I) = rate · I`.
+///
+/// # Examples
+///
+/// ```
+/// use hetnet_traffic::models::ConstantRateEnvelope;
+/// use hetnet_traffic::units::{BitsPerSec, Seconds};
+/// use hetnet_traffic::Envelope;
+///
+/// let cbr = ConstantRateEnvelope::new(BitsPerSec::from_mbps(1.5));
+/// assert_eq!(cbr.arrivals(Seconds::new(2.0)).value(), 3.0e6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConstantRateEnvelope {
+    rate: BitsPerSec,
+}
+
+impl ConstantRateEnvelope {
+    /// Creates a constant-rate envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative.
+    #[must_use]
+    pub fn new(rate: BitsPerSec) -> Self {
+        assert!(!rate.is_negative(), "rate must be non-negative");
+        Self { rate }
+    }
+
+    /// The constant emission rate.
+    #[must_use]
+    pub fn rate(&self) -> BitsPerSec {
+        self.rate
+    }
+}
+
+impl Envelope for ConstantRateEnvelope {
+    fn arrivals(&self, interval: Seconds) -> Bits {
+        self.rate * interval.clamp_min_zero()
+    }
+
+    fn sustained_rate(&self) -> BitsPerSec {
+        self.rate
+    }
+
+    fn peak_rate(&self) -> BitsPerSec {
+        self.rate
+    }
+
+    fn breakpoints(&self, _horizon: Seconds, _out: &mut Vec<Seconds>) {
+        // A is linear everywhere: no slope changes.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_arrivals() {
+        let e = ConstantRateEnvelope::new(BitsPerSec::new(8.0));
+        assert_eq!(e.arrivals(Seconds::ZERO), Bits::ZERO);
+        assert_eq!(e.arrivals(Seconds::new(0.5)).value(), 4.0);
+        assert_eq!(e.arrivals(Seconds::new(3.0)).value(), 24.0);
+    }
+
+    #[test]
+    fn rates_and_burst() {
+        let e = ConstantRateEnvelope::new(BitsPerSec::new(8.0));
+        assert_eq!(e.sustained_rate().value(), 8.0);
+        assert_eq!(e.peak_rate().value(), 8.0);
+        assert_eq!(e.burst(), Bits::ZERO);
+        assert_eq!(e.rate().value(), 8.0);
+    }
+
+    #[test]
+    fn no_breakpoints() {
+        let e = ConstantRateEnvelope::new(BitsPerSec::new(8.0));
+        let mut pts = Vec::new();
+        e.breakpoints(Seconds::new(100.0), &mut pts);
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn negative_interval_clamped() {
+        let e = ConstantRateEnvelope::new(BitsPerSec::new(8.0));
+        assert_eq!(e.arrivals(Seconds::new(-1.0)), Bits::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_rejected() {
+        let _ = ConstantRateEnvelope::new(BitsPerSec::new(-1.0));
+    }
+}

@@ -1,0 +1,24 @@
+//! Concrete source-traffic models.
+//!
+//! * [`DualPeriodicEnvelope`] — the model used by the paper's evaluation
+//!   (eq. 37): at most `C1` bits in any `P1`, at most `C2` bits in any
+//!   `P2 ≤ P1`, emitted at a finite peak rate.
+//! * [`PeriodicEnvelope`] — the classical single-period model (`C` bits
+//!   per `P`), the special case `P2 = P1`.
+//! * [`LeakyBucketEnvelope`] — Cruz's `(σ, ρ)` characterization, with an
+//!   optional peak-rate cap (a "T-SPEC" style envelope).
+//! * [`ConstantRateEnvelope`] — a fluid constant-bit-rate source.
+//! * [`PiecewiseLinearEnvelope`] — measured/contracted window bounds
+//!   ("at most A_k bits in any I_k") as a concave PWL curve.
+
+mod constant_rate;
+mod dual_periodic;
+mod leaky_bucket;
+mod periodic;
+mod piecewise;
+
+pub use constant_rate::ConstantRateEnvelope;
+pub use dual_periodic::DualPeriodicEnvelope;
+pub use leaky_bucket::LeakyBucketEnvelope;
+pub use periodic::PeriodicEnvelope;
+pub use piecewise::PiecewiseLinearEnvelope;

@@ -1,0 +1,304 @@
+//! User-defined piecewise-linear envelopes.
+//!
+//! Deployments rarely know a closed-form model for every source; what
+//! they have is a measured or contracted arrival curve — "at most 40
+//! kbit in any 5 ms, 100 kbit in any 20 ms, 6 Mb/s sustained". This
+//! type captures exactly that: a concave piecewise-linear `A(I)` given
+//! by its corner points plus a tail rate.
+
+use crate::envelope::Envelope;
+use crate::error::TrafficError;
+use crate::units::{Bits, BitsPerSec, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A concave piecewise-linear arrival envelope defined by corner points
+/// `(I_k, A(I_k))` and a sustained tail rate beyond the last corner.
+///
+/// # Examples
+///
+/// ```
+/// use hetnet_traffic::models::PiecewiseLinearEnvelope;
+/// use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+/// use hetnet_traffic::Envelope;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 40 kbit in any 5 ms, 100 kbit in any 20 ms, 3 Mb/s sustained.
+/// let measured = PiecewiseLinearEnvelope::new(
+///     vec![
+///         (Seconds::from_millis(5.0), Bits::from_kbits(40.0)),
+///         (Seconds::from_millis(20.0), Bits::from_kbits(100.0)),
+///     ],
+///     BitsPerSec::from_mbps(3.0),
+/// )?;
+/// assert_eq!(measured.arrivals(Seconds::from_millis(20.0)).value(), 100_000.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinearEnvelope {
+    /// Corner points, ascending in interval; `(0, 0)` is implicit unless
+    /// the first point is at `I = 0` (an instantaneous burst).
+    points: Vec<(Seconds, Bits)>,
+    tail_rate: BitsPerSec,
+}
+
+impl PiecewiseLinearEnvelope {
+    /// Builds an envelope from corner points and a tail rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrafficError::InvalidParameter`] unless the points are
+    /// strictly increasing in interval, nondecreasing in volume,
+    /// non-negative, and concave (segment slopes nonincreasing, with the
+    /// tail rate no steeper than the last segment). Concavity is what
+    /// makes a set of window constraints self-consistent: the tightest
+    /// combination of "`A_k` bits in any `I_k`" bounds is concave.
+    pub fn new(
+        points: Vec<(Seconds, Bits)>,
+        tail_rate: BitsPerSec,
+    ) -> Result<Self, TrafficError> {
+        if points.is_empty() {
+            return Err(TrafficError::invalid(
+                "points",
+                "at least one corner point is required",
+            ));
+        }
+        if tail_rate.is_negative() {
+            return Err(TrafficError::invalid("tail_rate", "must be non-negative"));
+        }
+        let mut prev = (Seconds::ZERO, Bits::ZERO);
+        let mut prev_slope = f64::INFINITY;
+        for (idx, &(i, a)) in points.iter().enumerate() {
+            if i.is_negative() || a.is_negative() {
+                return Err(TrafficError::invalid("points", "must be non-negative"));
+            }
+            if idx == 0 && i == Seconds::ZERO {
+                // Instantaneous burst: treated as A(0) = a.
+                prev = (i, a);
+                continue;
+            }
+            if i <= prev.0 {
+                return Err(TrafficError::invalid(
+                    "points",
+                    "intervals must be strictly increasing",
+                ));
+            }
+            if a < prev.1 {
+                return Err(TrafficError::invalid(
+                    "points",
+                    "volumes must be nondecreasing",
+                ));
+            }
+            let slope = (a - prev.1).value() / (i - prev.0).value();
+            if slope > prev_slope * (1.0 + 1e-12) {
+                return Err(TrafficError::invalid(
+                    "points",
+                    "corner points must be concave (slopes nonincreasing)",
+                ));
+            }
+            prev_slope = slope;
+            prev = (i, a);
+        }
+        if tail_rate.value() > prev_slope * (1.0 + 1e-12) {
+            return Err(TrafficError::invalid(
+                "tail_rate",
+                "must not exceed the last segment's slope (concavity)",
+            ));
+        }
+        Ok(Self { points, tail_rate })
+    }
+
+    /// The corner points.
+    #[must_use]
+    pub fn points(&self) -> &[(Seconds, Bits)] {
+        &self.points
+    }
+
+    /// The sustained rate past the last corner.
+    #[must_use]
+    pub fn tail_rate(&self) -> BitsPerSec {
+        self.tail_rate
+    }
+}
+
+impl Envelope for PiecewiseLinearEnvelope {
+    fn arrivals(&self, interval: Seconds) -> Bits {
+        let i = interval.clamp_min_zero();
+        let mut prev = (Seconds::ZERO, Bits::ZERO);
+        for &(pi, pa) in &self.points {
+            if i <= pi {
+                if pi == prev.0 {
+                    return pa; // instantaneous burst at 0
+                }
+                let frac = (i - prev.0).value() / (pi - prev.0).value();
+                return prev.1 + (pa - prev.1) * frac;
+            }
+            prev = (pi, pa);
+        }
+        prev.1 + self.tail_rate * (i - prev.0)
+    }
+
+    fn sustained_rate(&self) -> BitsPerSec {
+        self.tail_rate
+    }
+
+    fn peak_rate(&self) -> BitsPerSec {
+        // The first segment's slope is the steepest (concavity).
+        let &(i0, a0) = self.points.first().expect("validated non-empty");
+        if i0 == Seconds::ZERO {
+            // Instantaneous burst: unbounded rate at the origin.
+            return BitsPerSec::new(f64::MAX);
+        }
+        a0 / i0
+    }
+
+    fn breakpoints(&self, horizon: Seconds, out: &mut Vec<Seconds>) {
+        out.extend(
+            self.points
+                .iter()
+                .map(|&(i, _)| i)
+                .filter(|&i| i > Seconds::ZERO && i <= horizon),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> PiecewiseLinearEnvelope {
+        PiecewiseLinearEnvelope::new(
+            vec![
+                (Seconds::from_millis(5.0), Bits::from_kbits(40.0)),
+                (Seconds::from_millis(20.0), Bits::from_kbits(100.0)),
+            ],
+            BitsPerSec::from_mbps(3.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn interpolates_between_corners() {
+        let e = env();
+        assert_eq!(e.arrivals(Seconds::ZERO), Bits::ZERO);
+        assert_eq!(e.arrivals(Seconds::from_millis(2.5)).value(), 20_000.0);
+        assert_eq!(e.arrivals(Seconds::from_millis(5.0)).value(), 40_000.0);
+        assert_eq!(e.arrivals(Seconds::from_millis(12.5)).value(), 70_000.0);
+        assert_eq!(e.arrivals(Seconds::from_millis(20.0)).value(), 100_000.0);
+        // Tail: 100 kbit + 3 Mb/s beyond 20 ms.
+        assert_eq!(e.arrivals(Seconds::from_millis(30.0)).value(), 130_000.0);
+    }
+
+    #[test]
+    fn rates_and_breakpoints() {
+        let e = env();
+        assert_eq!(e.sustained_rate().as_mbps(), 3.0);
+        assert_eq!(e.peak_rate().value(), 40_000.0 / 0.005);
+        let mut pts = Vec::new();
+        e.breakpoints(Seconds::from_millis(25.0), &mut pts);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(e.points().len(), 2);
+        assert_eq!(e.tail_rate().as_mbps(), 3.0);
+    }
+
+    #[test]
+    fn instantaneous_burst_point() {
+        let e = PiecewiseLinearEnvelope::new(
+            vec![
+                (Seconds::ZERO, Bits::from_kbits(8.0)),
+                (Seconds::from_millis(10.0), Bits::from_kbits(20.0)),
+            ],
+            BitsPerSec::from_kbps(500.0),
+        )
+        .unwrap();
+        assert_eq!(e.burst().value(), 8_000.0);
+        assert_eq!(e.arrivals(Seconds::from_millis(5.0)).value(), 14_000.0);
+        assert_eq!(e.peak_rate().value(), f64::MAX);
+    }
+
+    #[test]
+    fn monotone_everywhere() {
+        let e = env();
+        let mut prev = Bits::ZERO;
+        for k in 0..200 {
+            let a = e.arrivals(Seconds::from_millis(k as f64 * 0.3));
+            assert!(a >= prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        // Empty.
+        assert!(PiecewiseLinearEnvelope::new(vec![], BitsPerSec::ZERO).is_err());
+        // Decreasing volume.
+        assert!(PiecewiseLinearEnvelope::new(
+            vec![
+                (Seconds::from_millis(5.0), Bits::from_kbits(40.0)),
+                (Seconds::from_millis(10.0), Bits::from_kbits(30.0)),
+            ],
+            BitsPerSec::ZERO
+        )
+        .is_err());
+        // Non-increasing interval.
+        assert!(PiecewiseLinearEnvelope::new(
+            vec![
+                (Seconds::from_millis(5.0), Bits::from_kbits(40.0)),
+                (Seconds::from_millis(5.0), Bits::from_kbits(50.0)),
+            ],
+            BitsPerSec::ZERO
+        )
+        .is_err());
+        // Convex (slope increases).
+        assert!(PiecewiseLinearEnvelope::new(
+            vec![
+                (Seconds::from_millis(5.0), Bits::from_kbits(10.0)),
+                (Seconds::from_millis(10.0), Bits::from_kbits(100.0)),
+            ],
+            BitsPerSec::ZERO
+        )
+        .is_err());
+        // Tail steeper than last segment.
+        assert!(PiecewiseLinearEnvelope::new(
+            vec![(Seconds::from_millis(5.0), Bits::from_kbits(40.0))],
+            BitsPerSec::from_mbps(50.0)
+        )
+        .is_err());
+        // Negative values.
+        assert!(PiecewiseLinearEnvelope::new(
+            vec![(Seconds::from_millis(5.0), Bits::new(-1.0))],
+            BitsPerSec::ZERO
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn subadditive_by_concavity() {
+        let e = env();
+        for s in 0..20 {
+            for t in 0..20 {
+                let (a, b) = (
+                    Seconds::from_millis(s as f64 * 2.0),
+                    Seconds::from_millis(t as f64 * 2.0),
+                );
+                let lhs = e.arrivals(a + b).value();
+                let rhs = e.arrivals(a).value() + e.arrivals(b).value();
+                assert!(lhs <= rhs + 1e-9, "not subadditive at {a}, {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_the_mac_analysis() {
+        use crate::analysis::{analyze_guaranteed_server, AnalysisConfig};
+        use crate::service::StaircaseService;
+        let e = env();
+        let svc = StaircaseService::timed_token(
+            Seconds::from_millis(8.0),
+            Bits::from_kbits(60.0),
+        );
+        let r = analyze_guaranteed_server(&e, &svc, &AnalysisConfig::default()).unwrap();
+        assert!(r.delay_bound.value() > 0.0);
+        assert!(r.backlog_bound.value() > 0.0);
+    }
+}

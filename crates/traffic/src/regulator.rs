@@ -1,0 +1,232 @@
+//! Leaky-bucket traffic regulators.
+//!
+//! A regulator reshapes a flow so that its departures conform to a
+//! `(σ, ρ)` contract, buffering any excess. The paper's companion work
+//! (Raha-Kamat-Zhao, "Using Traffic Regulation to Meet End-to-End
+//! Deadlines in ATM LANs") places such regulators at interface devices;
+//! this module provides the corresponding worst-case analysis: the delay
+//! and buffer a regulator adds, and the envelope of its (shaped) output.
+
+use crate::analysis::{analyze_guaranteed_server, AnalysisConfig};
+use crate::combinators::{Delayed, MinOf};
+use crate::envelope::SharedEnvelope;
+use crate::error::TrafficError;
+use crate::models::LeakyBucketEnvelope;
+use crate::service::ServiceCurve;
+use crate::units::{Bits, BitsPerSec, Seconds};
+use std::sync::Arc;
+
+/// A `(σ, ρ)` leaky-bucket regulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeakyBucketRegulator {
+    sigma: Bits,
+    rho: BitsPerSec,
+}
+
+/// Worst-case behaviour of a regulator fed by a particular flow.
+#[derive(Debug, Clone)]
+pub struct RegulatorAnalysis {
+    /// Worst-case delay the regulator adds to any bit.
+    pub delay_bound: Seconds,
+    /// Maximum bits buffered inside the regulator.
+    pub backlog_bound: Bits,
+    /// Envelope of the shaped output traffic.
+    pub output: SharedEnvelope,
+}
+
+/// The service a greedy `(σ, ρ)` regulator effectively guarantees: it
+/// releases the initial token bucket at once and then drains at ρ.
+#[derive(Clone, Copy, Debug)]
+struct BurstRateService {
+    sigma: Bits,
+    rho: BitsPerSec,
+}
+
+impl ServiceCurve for BurstRateService {
+    fn provided(&self, t: Seconds) -> Bits {
+        if t <= Seconds::ZERO {
+            Bits::ZERO
+        } else {
+            self.sigma + self.rho * t
+        }
+    }
+
+    fn time_to_provide(&self, bits: Bits) -> Seconds {
+        if bits <= self.sigma {
+            Seconds::ZERO
+        } else {
+            (bits - self.sigma) / self.rho
+        }
+    }
+
+    fn sustained_rate(&self) -> BitsPerSec {
+        self.rho
+    }
+
+    fn breakpoints(&self, _horizon: Seconds, _out: &mut Vec<Seconds>) {
+        // Affine after the origin: no interior corners.
+    }
+
+    fn is_superadditive(&self) -> bool {
+        // S(0+) = sigma: S(s) + S(t) exceeds S(s + t) by sigma.
+        false
+    }
+}
+
+impl LeakyBucketRegulator {
+    /// Creates a regulator enforcing the `(σ, ρ)` contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrafficError::InvalidParameter`] if `σ < 0` or `ρ ≤ 0`.
+    pub fn new(sigma: Bits, rho: BitsPerSec) -> Result<Self, TrafficError> {
+        if sigma.is_negative() {
+            return Err(TrafficError::invalid("sigma", "must be non-negative"));
+        }
+        if rho.value() <= 0.0 {
+            return Err(TrafficError::invalid("rho", "must be positive"));
+        }
+        Ok(Self { sigma, rho })
+    }
+
+    /// The burst allowance σ.
+    #[must_use]
+    pub fn sigma(&self) -> Bits {
+        self.sigma
+    }
+
+    /// The drain rate ρ.
+    #[must_use]
+    pub fn rho(&self) -> BitsPerSec {
+        self.rho
+    }
+
+    /// Whether a flow with envelope `input` passes through unmodified
+    /// (i.e. already conforms to the contract at every breakpoint up to
+    /// `horizon`).
+    #[must_use]
+    pub fn conforms(&self, input: &SharedEnvelope, horizon: Seconds) -> bool {
+        let contract = LeakyBucketEnvelope::new(self.sigma, self.rho)
+            .expect("regulator parameters already validated");
+        let mut pts = vec![horizon];
+        use crate::envelope::Envelope as _;
+        input.breakpoints(horizon, &mut pts);
+        pts.push(Seconds::from_micros(1.0));
+        pts.iter()
+            .all(|&t| input.arrivals(t) <= contract.arrivals(t) + Bits::new(1e-9))
+    }
+
+    /// Analyzes the regulator fed by `input`: worst-case added delay,
+    /// internal backlog, and the envelope of the shaped output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrafficError::Unstable`] if the flow's sustained rate is
+    /// at least ρ, or a horizon error if the backlog never clears within
+    /// the configured horizon.
+    pub fn analyze(
+        &self,
+        input: SharedEnvelope,
+        cfg: &AnalysisConfig,
+    ) -> Result<RegulatorAnalysis, TrafficError> {
+        let service = BurstRateService {
+            sigma: self.sigma,
+            rho: self.rho,
+        };
+        let report = analyze_guaranteed_server(&input, &service, cfg)?;
+        let contract: SharedEnvelope = Arc::new(
+            LeakyBucketEnvelope::new(self.sigma, self.rho)
+                .expect("regulator parameters already validated"),
+        );
+        let shifted: SharedEnvelope =
+            Arc::new(Delayed::new(Arc::clone(&input), report.delay_bound));
+        let output: SharedEnvelope = Arc::new(MinOf::new(contract, shifted));
+        Ok(RegulatorAnalysis {
+            delay_bound: report.delay_bound,
+            backlog_bound: report.backlog_bound,
+            output,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::Envelope;
+    use crate::models::{LeakyBucketEnvelope, PeriodicEnvelope};
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    #[test]
+    fn conforming_flow_suffers_no_delay() {
+        let reg = LeakyBucketRegulator::new(Bits::new(200.0), BitsPerSec::new(150.0)).unwrap();
+        let input: SharedEnvelope = Arc::new(
+            LeakyBucketEnvelope::new(Bits::new(100.0), BitsPerSec::new(100.0)).unwrap(),
+        );
+        assert!(reg.conforms(&input, Seconds::new(10.0)));
+        let r = reg.analyze(input, &cfg()).unwrap();
+        assert!(r.delay_bound.value() < 1e-9, "delay {}", r.delay_bound);
+        assert!(r.backlog_bound.value() < 1e-6);
+    }
+
+    #[test]
+    fn bursty_flow_is_delayed_by_excess_over_bucket() {
+        // Periodic burst of 1000 bits at up to 100 kb/s, every 3 seconds;
+        // regulator allows sigma = 200, rho = 500 b/s (stable: 333 < 500).
+        let reg = LeakyBucketRegulator::new(Bits::new(200.0), BitsPerSec::new(500.0)).unwrap();
+        let input: SharedEnvelope = Arc::new(
+            PeriodicEnvelope::new(Bits::new(1000.0), Seconds::new(3.0), BitsPerSec::new(1.0e5))
+                .unwrap(),
+        );
+        assert!(!reg.conforms(&input, Seconds::new(10.0)));
+        let r = reg.analyze(input, &cfg()).unwrap();
+        // Last bit of the burst (arrives ~t=0.01) waits for the bucket:
+        // (1000-200)/500 = 1.6 s minus its own arrival offset.
+        assert!(
+            (r.delay_bound.value() - (800.0 / 500.0 - 0.01)).abs() < 1e-3,
+            "delay {}",
+            r.delay_bound
+        );
+        // Backlog: burst minus what leaked out immediately.
+        assert!(r.backlog_bound.value() > 700.0 && r.backlog_bound.value() <= 800.0);
+    }
+
+    #[test]
+    fn output_conforms_to_contract() {
+        let reg = LeakyBucketRegulator::new(Bits::new(200.0), BitsPerSec::new(500.0)).unwrap();
+        let input: SharedEnvelope = Arc::new(
+            PeriodicEnvelope::new(Bits::new(1000.0), Seconds::new(3.0), BitsPerSec::new(1.0e5))
+                .unwrap(),
+        );
+        let r = reg.analyze(input, &cfg()).unwrap();
+        for k in 0..100 {
+            let i = Seconds::new(k as f64 * 0.1);
+            let a = r.output.arrivals(i).value();
+            let allowed = 200.0 + 500.0 * i.value();
+            assert!(a <= allowed + 1e-6, "output violates contract at {i}");
+        }
+    }
+
+    #[test]
+    fn unstable_when_rho_too_small() {
+        let reg = LeakyBucketRegulator::new(Bits::new(10.0), BitsPerSec::new(50.0)).unwrap();
+        let input: SharedEnvelope = Arc::new(
+            LeakyBucketEnvelope::new(Bits::new(10.0), BitsPerSec::new(100.0)).unwrap(),
+        );
+        assert!(matches!(
+            reg.analyze(input, &cfg()),
+            Err(TrafficError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(LeakyBucketRegulator::new(Bits::new(-1.0), BitsPerSec::new(1.0)).is_err());
+        assert!(LeakyBucketRegulator::new(Bits::new(1.0), BitsPerSec::ZERO).is_err());
+        let reg = LeakyBucketRegulator::new(Bits::new(5.0), BitsPerSec::new(2.0)).unwrap();
+        assert_eq!(reg.sigma().value(), 5.0);
+        assert_eq!(reg.rho().value(), 2.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Service curves: guaranteed lower bounds on the service a network
+//! element provides to a flow.
+//!
+//! A [`ServiceCurve`] `S(t)` states that in any busy window of length `t`
+//! the server transmits at least `S(t)` bits of the flow. The timed-token
+//! FDDI MAC of the paper guarantees the staircase
+//! `avail(t) = max(0, (⌊t/TTRT⌋ − 1)·H·BW)` ([`StaircaseService`]); links
+//! and schedulers with a latency guarantee are rate-latency curves
+//! ([`RateLatencyService`]).
+
+use crate::approx::{ceil_div, floor_div};
+use crate::units::{Bits, BitsPerSec, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A guaranteed-service lower bound `S(t)`.
+///
+/// # Contract
+///
+/// * `provided(t)` is nondecreasing with `provided(0) = 0`;
+/// * `time_to_provide(b)` is the exact inverse:
+///   `min{τ : provided(τ) ≥ b}`;
+/// * `sustained_rate()` is the long-run slope `lim S(t)/t`.
+pub trait ServiceCurve: fmt::Debug + Send + Sync {
+    /// Minimum bits served in any busy window of length `t`.
+    fn provided(&self, t: Seconds) -> Bits;
+
+    /// `min{τ : provided(τ) ≥ bits}` — how long until `bits` are
+    /// guaranteed to have been served.
+    fn time_to_provide(&self, bits: Bits) -> Seconds;
+
+    /// Long-run guaranteed service rate.
+    fn sustained_rate(&self) -> BitsPerSec;
+
+    /// Appends to `out` the times in `(0, horizon]` at which `S` jumps or
+    /// changes slope.
+    fn breakpoints(&self, horizon: Seconds, out: &mut Vec<Seconds>);
+
+    /// Appends to `out` the *bit levels* in `(0, max_bits]` at which
+    /// [`ServiceCurve::time_to_provide`] is discontinuous (e.g. multiples
+    /// of the per-rotation quantum for a staircase). Delay maximizations
+    /// must evaluate just past the arrival instants crossing these levels.
+    fn level_breakpoints(&self, _max_bits: Bits, _out: &mut Vec<Bits>) {}
+
+    /// Whether `S(s + t) ≥ S(s) + S(t)` for all `s, t ≥ 0`
+    /// (superadditivity). Staircase and rate-latency curves are
+    /// superadditive; curves granting an up-front burst are not. The
+    /// busy-interval search uses this to bound how far past one arrival
+    /// period it must scan: with a subadditive arrival envelope and a
+    /// superadditive service curve, one clean period implies a clean
+    /// future.
+    fn is_superadditive(&self) -> bool {
+        true
+    }
+
+    /// Whether `S` is constant between consecutive breakpoints (a pure
+    /// staircase). Maximizations of `A(t+I) − S(t)` over `t` then attain
+    /// their extrema just before the steps (and at the range endpoints),
+    /// letting the Theorem-1.4 output envelope use an exact, lean
+    /// candidate set.
+    fn is_piecewise_constant(&self) -> bool {
+        false
+    }
+}
+
+/// The timed-token staircase: `quantum` bits become available each
+/// `period`, with the first `latency_periods` periods providing nothing:
+///
+/// `S(t) = max(0, (⌊t/period⌋ − (latency_periods − 1)) · quantum)`
+///
+/// With `latency_periods = 2` this is exactly the FDDI availability
+/// function `avail(t) = max(0, (⌊t/TTRT⌋ − 1) · H·BW)` of the paper's
+/// Theorem 1: a station that becomes backlogged right after releasing the
+/// token must wait up to two rotations before its synchronous allocation
+/// has fully served `quantum` bits.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StaircaseService {
+    period: Seconds,
+    quantum: Bits,
+    latency_periods: u32,
+}
+
+impl StaircaseService {
+    /// Creates a staircase service curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or `quantum` is not strictly positive, or if
+    /// `latency_periods` is zero.
+    #[must_use]
+    pub fn new(period: Seconds, quantum: Bits, latency_periods: u32) -> Self {
+        assert!(period.value() > 0.0, "period must be positive");
+        assert!(quantum.value() > 0.0, "quantum must be positive");
+        assert!(latency_periods >= 1, "latency_periods must be at least 1");
+        Self {
+            period,
+            quantum,
+            latency_periods,
+        }
+    }
+
+    /// The FDDI timed-token availability curve
+    /// `avail(t) = max(0, (⌊t/TTRT⌋ − 1)·quantum)` (Theorem 1), where
+    /// `quantum = H·BW` is the synchronous transmission budget per token
+    /// rotation.
+    #[must_use]
+    pub fn timed_token(ttrt: Seconds, quantum: Bits) -> Self {
+        Self::new(ttrt, quantum, 2)
+    }
+
+    /// The token-rotation period.
+    #[must_use]
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+
+    /// Bits guaranteed per period.
+    #[must_use]
+    pub fn quantum(&self) -> Bits {
+        self.quantum
+    }
+}
+
+impl ServiceCurve for StaircaseService {
+    fn provided(&self, t: Seconds) -> Bits {
+        if t <= Seconds::ZERO {
+            return Bits::ZERO;
+        }
+        let steps = floor_div(t.value(), self.period.value()) - (self.latency_periods - 1) as f64;
+        if steps <= 0.0 {
+            Bits::ZERO
+        } else {
+            self.quantum * steps
+        }
+    }
+
+    fn time_to_provide(&self, bits: Bits) -> Seconds {
+        if bits.value() <= 0.0 {
+            return Seconds::ZERO;
+        }
+        // Any positive demand needs at least one full step.
+        let steps = ceil_div(bits.value(), self.quantum.value()).max(1.0);
+        self.period * (steps + (self.latency_periods - 1) as f64)
+    }
+
+    fn sustained_rate(&self) -> BitsPerSec {
+        self.quantum / self.period
+    }
+
+    fn breakpoints(&self, horizon: Seconds, out: &mut Vec<Seconds>) {
+        let p = self.period.value();
+        let h = horizon.value();
+        let mut t = p;
+        while t <= h {
+            out.push(Seconds::new(t));
+            t += p;
+        }
+    }
+
+    fn level_breakpoints(&self, max_bits: Bits, out: &mut Vec<Bits>) {
+        let q = self.quantum.value();
+        let n = (max_bits.value() / q).floor() as u64;
+        for k in 1..=n.min(16_384) {
+            out.push(Bits::new(k as f64 * q));
+        }
+    }
+
+    fn is_piecewise_constant(&self) -> bool {
+        true
+    }
+}
+
+/// A rate-latency service curve `S(t) = rate · max(0, t − latency)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RateLatencyService {
+    rate: BitsPerSec,
+    latency: Seconds,
+}
+
+impl RateLatencyService {
+    /// Creates a rate-latency curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive or `latency` is negative.
+    #[must_use]
+    pub fn new(rate: BitsPerSec, latency: Seconds) -> Self {
+        assert!(rate.value() > 0.0, "rate must be positive");
+        assert!(!latency.is_negative(), "latency must be non-negative");
+        Self { rate, latency }
+    }
+
+    /// A pure constant-rate server (zero latency).
+    #[must_use]
+    pub fn constant_rate(rate: BitsPerSec) -> Self {
+        Self::new(rate, Seconds::ZERO)
+    }
+
+    /// The guaranteed rate.
+    #[must_use]
+    pub fn rate(&self) -> BitsPerSec {
+        self.rate
+    }
+
+    /// The latency before the rate guarantee starts.
+    #[must_use]
+    pub fn latency(&self) -> Seconds {
+        self.latency
+    }
+}
+
+impl ServiceCurve for RateLatencyService {
+    fn provided(&self, t: Seconds) -> Bits {
+        self.rate * t.saturating_sub(self.latency)
+    }
+
+    fn time_to_provide(&self, bits: Bits) -> Seconds {
+        if bits.value() <= 0.0 {
+            return Seconds::ZERO;
+        }
+        self.latency + bits / self.rate
+    }
+
+    fn sustained_rate(&self) -> BitsPerSec {
+        self.rate
+    }
+
+    fn breakpoints(&self, horizon: Seconds, out: &mut Vec<Seconds>) {
+        if self.latency > Seconds::ZERO && self.latency <= horizon {
+            out.push(self.latency);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_token_matches_paper_avail() {
+        // TTRT = 8 ms, quantum = 0.4 Mbit.
+        let s = StaircaseService::timed_token(Seconds::from_millis(8.0), Bits::new(4.0e5));
+        // avail(t) = 0 for t in [0, 2*TTRT)
+        assert_eq!(s.provided(Seconds::ZERO), Bits::ZERO);
+        assert_eq!(s.provided(Seconds::from_millis(7.9)), Bits::ZERO);
+        assert_eq!(s.provided(Seconds::from_millis(15.9)), Bits::ZERO);
+        // One quantum from 2*TTRT.
+        assert_eq!(s.provided(Seconds::from_millis(16.0)).value(), 4.0e5);
+        assert_eq!(s.provided(Seconds::from_millis(23.9)).value(), 4.0e5);
+        assert_eq!(s.provided(Seconds::from_millis(24.0)).value(), 8.0e5);
+    }
+
+    #[test]
+    fn timed_token_inverse() {
+        let s = StaircaseService::timed_token(Seconds::from_millis(8.0), Bits::new(4.0e5));
+        assert_eq!(s.time_to_provide(Bits::ZERO), Seconds::ZERO);
+        // 1 bit needs one quantum: ready at 2*TTRT.
+        assert_eq!(s.time_to_provide(Bits::new(1.0)).as_millis(), 16.0);
+        // Exactly one quantum also at 2*TTRT.
+        assert_eq!(s.time_to_provide(Bits::new(4.0e5)).as_millis(), 16.0);
+        // One quantum + 1 bit: 3*TTRT.
+        assert_eq!(s.time_to_provide(Bits::new(4.0e5 + 1.0)).as_millis(), 24.0);
+    }
+
+    #[test]
+    fn inverse_is_consistent_with_provided() {
+        let s = StaircaseService::timed_token(Seconds::from_millis(8.0), Bits::new(4.0e5));
+        for k in 1..40 {
+            let b = Bits::new(k as f64 * 1.3e5);
+            let t = s.time_to_provide(b);
+            assert!(s.provided(t) >= b, "k={k}");
+            // Just before t the guarantee must not yet hold.
+            let before = t - Seconds::from_micros(1.0);
+            assert!(s.provided(before) < b, "k={k}");
+        }
+    }
+
+    #[test]
+    fn staircase_sustained_rate_and_breakpoints() {
+        let s = StaircaseService::timed_token(Seconds::from_millis(8.0), Bits::new(4.0e5));
+        assert_eq!(s.sustained_rate().value(), 4.0e5 / 8.0e-3);
+        assert_eq!(s.period().as_millis(), 8.0);
+        assert_eq!(s.quantum().value(), 4.0e5);
+        let mut pts = Vec::new();
+        s.breakpoints(Seconds::from_millis(25.0), &mut pts);
+        let vals: Vec<f64> = pts.iter().map(|p| p.as_millis()).collect();
+        assert_eq!(vals.len(), 3);
+        assert!((vals[0] - 8.0).abs() < 1e-9);
+        assert!((vals[1] - 16.0).abs() < 1e-9);
+        assert!((vals[2] - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_latency_periods() {
+        let s = StaircaseService::new(Seconds::new(1.0), Bits::new(10.0), 1);
+        // With latency 1, service starts after the first period.
+        assert_eq!(s.provided(Seconds::new(0.5)), Bits::ZERO);
+        assert_eq!(s.provided(Seconds::new(1.0)).value(), 10.0);
+        assert_eq!(s.time_to_provide(Bits::new(5.0)).value(), 1.0);
+    }
+
+    #[test]
+    fn rate_latency_curve() {
+        let s = RateLatencyService::new(BitsPerSec::new(100.0), Seconds::new(0.5));
+        assert_eq!(s.provided(Seconds::new(0.25)), Bits::ZERO);
+        assert_eq!(s.provided(Seconds::new(1.5)).value(), 100.0);
+        assert_eq!(s.time_to_provide(Bits::new(100.0)).value(), 1.5);
+        assert_eq!(s.time_to_provide(Bits::ZERO), Seconds::ZERO);
+        assert_eq!(s.sustained_rate().value(), 100.0);
+        assert_eq!(s.rate().value(), 100.0);
+        assert_eq!(s.latency().value(), 0.5);
+        let mut pts = Vec::new();
+        s.breakpoints(Seconds::new(1.0), &mut pts);
+        assert_eq!(pts, vec![Seconds::new(0.5)]);
+    }
+
+    #[test]
+    fn constant_rate_has_no_latency() {
+        let s = RateLatencyService::constant_rate(BitsPerSec::new(155.0e6));
+        assert_eq!(s.latency(), Seconds::ZERO);
+        assert_eq!(s.provided(Seconds::new(1.0)).value(), 155.0e6);
+        let mut pts = Vec::new();
+        s.breakpoints(Seconds::new(1.0), &mut pts);
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = StaircaseService::new(Seconds::ZERO, Bits::new(1.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn zero_quantum_rejected() {
+        let _ = StaircaseService::new(Seconds::new(1.0), Bits::ZERO, 2);
+    }
+}

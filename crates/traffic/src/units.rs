@@ -1,0 +1,426 @@
+//! Dimension-checked scalar quantities: [`Seconds`], [`Bits`] and
+//! [`BitsPerSec`].
+//!
+//! These are thin `f64` newtypes whose arithmetic only compiles when the
+//! dimensions work out (`Bits / Seconds = BitsPerSec`, and so on), which
+//! keeps the dense delay-analysis formulas of the paper honest. Values may
+//! be negative — several intermediate quantities (e.g. `A(t) − avail(t)`)
+//! legitimately go below zero before being clamped — but must always be
+//! finite.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit_newtype {
+    ($(#[$meta:meta])* $name:ident, $unit:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a new quantity from a raw `f64` value.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is NaN or infinite. Negative values are
+            /// allowed (they arise as intermediate differences) but most
+            /// public APIs in this workspace expect non-negative inputs.
+            #[inline]
+            #[must_use]
+            pub fn new(value: f64) -> Self {
+                assert!(value.is_finite(), concat!(stringify!($name), " must be finite"));
+                Self(value)
+            }
+
+            /// Returns the raw `f64` value.
+            #[inline]
+            #[must_use]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                if self.0 <= other.0 { self } else { other }
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                if self.0 >= other.0 { self } else { other }
+            }
+
+            /// Clamps negative values to zero.
+            #[inline]
+            #[must_use]
+            pub fn clamp_min_zero(self) -> Self {
+                if self.0 < 0.0 { Self(0.0) } else { self }
+            }
+
+            /// Subtraction clamped at zero: `max(0, self − other)`.
+            #[inline]
+            #[must_use]
+            pub fn saturating_sub(self, other: Self) -> Self {
+                Self((self.0 - other.0).max(0.0))
+            }
+
+            /// Whether the value is (strictly) negative.
+            #[inline]
+            #[must_use]
+            pub fn is_negative(self) -> bool {
+                self.0 < 0.0
+            }
+
+            /// Total ordering using IEEE-754 `total_cmp` (no NaN can be
+            /// stored, so this is a plain numeric order).
+            #[inline]
+            #[must_use]
+            pub fn total_cmp(&self, other: &Self) -> Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self::new(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name::new(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self::new(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two like quantities (dimensionless).
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// A duration or instant offset, in seconds.
+    Seconds,
+    "s"
+);
+unit_newtype!(
+    /// A quantity of data, in bits.
+    Bits,
+    "bit"
+);
+unit_newtype!(
+    /// A data rate, in bits per second.
+    BitsPerSec,
+    "bit/s"
+);
+
+impl Seconds {
+    /// Creates a duration from milliseconds.
+    #[inline]
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::new(ms * 1.0e-3)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self::new(us * 1.0e-6)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    #[must_use]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::new(ns * 1.0e-9)
+    }
+
+    /// The value expressed in milliseconds.
+    #[inline]
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.value() * 1.0e3
+    }
+
+    /// The value expressed in microseconds.
+    #[inline]
+    #[must_use]
+    pub fn as_micros(self) -> f64 {
+        self.value() * 1.0e6
+    }
+}
+
+impl Bits {
+    /// Creates a data quantity from bytes (octets).
+    #[inline]
+    #[must_use]
+    pub fn from_bytes(bytes: f64) -> Self {
+        Self::new(bytes * 8.0)
+    }
+
+    /// Creates a data quantity from kilobits (10³ bits).
+    #[inline]
+    #[must_use]
+    pub fn from_kbits(kb: f64) -> Self {
+        Self::new(kb * 1.0e3)
+    }
+
+    /// Creates a data quantity from megabits (10⁶ bits).
+    #[inline]
+    #[must_use]
+    pub fn from_mbits(mb: f64) -> Self {
+        Self::new(mb * 1.0e6)
+    }
+
+    /// The value expressed in bytes.
+    #[inline]
+    #[must_use]
+    pub fn as_bytes(self) -> f64 {
+        self.value() / 8.0
+    }
+}
+
+impl BitsPerSec {
+    /// Creates a rate from megabits per second.
+    #[inline]
+    #[must_use]
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self::new(mbps * 1.0e6)
+    }
+
+    /// Creates a rate from kilobits per second.
+    #[inline]
+    #[must_use]
+    pub fn from_kbps(kbps: f64) -> Self {
+        Self::new(kbps * 1.0e3)
+    }
+
+    /// The value expressed in megabits per second.
+    #[inline]
+    #[must_use]
+    pub fn as_mbps(self) -> f64 {
+        self.value() * 1.0e-6
+    }
+}
+
+impl Mul<Seconds> for BitsPerSec {
+    type Output = Bits;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Bits {
+        Bits::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<BitsPerSec> for Seconds {
+    type Output = Bits;
+    #[inline]
+    fn mul(self, rhs: BitsPerSec) -> Bits {
+        Bits::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<Seconds> for Bits {
+    type Output = BitsPerSec;
+    #[inline]
+    fn div(self, rhs: Seconds) -> BitsPerSec {
+        BitsPerSec::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<BitsPerSec> for Bits {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: BitsPerSec) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Seconds::from_millis(2.5).value(), 0.0025);
+        assert_eq!(Seconds::from_micros(3.0).value(), 3.0e-6);
+        assert_eq!(Seconds::from_nanos(4.0).value(), 4.0e-9);
+        assert_eq!(Seconds::new(0.5).as_millis(), 500.0);
+        assert_eq!(Seconds::new(0.5).as_micros(), 500_000.0);
+        assert_eq!(Bits::from_bytes(53.0).value(), 424.0);
+        assert_eq!(Bits::from_kbits(2.0).value(), 2000.0);
+        assert_eq!(Bits::from_mbits(1.5).value(), 1.5e6);
+        assert_eq!(Bits::new(424.0).as_bytes(), 53.0);
+        assert_eq!(BitsPerSec::from_mbps(100.0).value(), 1.0e8);
+        assert_eq!(BitsPerSec::from_kbps(64.0).value(), 64_000.0);
+        assert_eq!(BitsPerSec::new(1.55e8).as_mbps(), 155.0);
+    }
+
+    #[test]
+    fn dimensional_arithmetic() {
+        let rate = BitsPerSec::from_mbps(100.0);
+        let t = Seconds::from_millis(8.0);
+        let b = rate * t;
+        assert_eq!(b.value(), 800_000.0);
+        assert_eq!((t * rate).value(), 800_000.0);
+        assert_eq!((b / rate).value(), t.value());
+        assert_eq!((b / t).value(), rate.value());
+    }
+
+    #[test]
+    fn same_unit_arithmetic() {
+        let a = Seconds::new(3.0);
+        let b = Seconds::new(1.0);
+        assert_eq!((a + b).value(), 4.0);
+        assert_eq!((a - b).value(), 2.0);
+        assert_eq!((b - a).value(), -2.0);
+        assert!((b - a).is_negative());
+        assert_eq!((b - a).clamp_min_zero(), Seconds::ZERO);
+        assert_eq!(b.saturating_sub(a), Seconds::ZERO);
+        assert_eq!(a.saturating_sub(b).value(), 2.0);
+        assert_eq!(a / b, 3.0);
+        assert_eq!((a * 2.0).value(), 6.0);
+        assert_eq!((2.0 * a).value(), 6.0);
+        assert_eq!((a / 2.0).value(), 1.5);
+        assert_eq!((-a).value(), -3.0);
+    }
+
+    #[test]
+    fn min_max_and_ordering() {
+        let a = Bits::new(10.0);
+        let b = Bits::new(20.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(a < b);
+        assert_eq!(a.total_cmp(&b), Ordering::Less);
+        assert_eq!(b.total_cmp(&a), Ordering::Greater);
+        assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn sums() {
+        let total: Seconds = [1.0, 2.0, 3.0].iter().map(|&v| Seconds::new(v)).sum();
+        assert_eq!(total.value(), 6.0);
+        let none: Bits = std::iter::empty().sum();
+        assert_eq!(none, Bits::ZERO);
+    }
+
+    #[test]
+    fn accumulation_ops() {
+        let mut t = Seconds::new(1.0);
+        t += Seconds::new(0.5);
+        assert_eq!(t.value(), 1.5);
+        t -= Seconds::new(1.0);
+        assert_eq!(t.value(), 0.5);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Seconds::new(0.25)), "0.25 s");
+        assert_eq!(format!("{}", Bits::new(42.0)), "42 bit");
+        assert_eq!(format!("{}", BitsPerSec::new(7.0)), "7 bit/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_rejected() {
+        let _ = Seconds::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn infinity_rejected() {
+        let _ = Bits::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Seconds::from_millis(8.0);
+        let json = serde_json_like(t.value());
+        assert_eq!(json, "0.008");
+        // transparent representation: a bare number
+        let parsed: f64 = json.parse().unwrap();
+        assert_eq!(Seconds::new(parsed), t);
+    }
+
+    fn serde_json_like(v: f64) -> String {
+        format!("{v}")
+    }
+}

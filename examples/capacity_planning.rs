@@ -1,0 +1,103 @@
+//! Capacity planning: how ring parameters shape admissible load.
+//!
+//! A network architect chooses the FDDI target token rotation time
+//! (TTRT) when the ring is initialized. Shorter TTRT means lower token
+//! latency (good for tight deadlines) but a smaller synchronous budget
+//! per rotation is left after protocol overheads. This example sweeps
+//! TTRT and the CAC's β and reports how many 10 Mb/s connections with a
+//! 50 ms deadline fit on the paper topology.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use hetnet::cac::cac::{CacConfig, NetworkState};
+use hetnet::cac::connection::ConnectionSpec;
+use hetnet::cac::network::{HetNetwork, HostId};
+use hetnet::traffic::models::DualPeriodicEnvelope;
+use hetnet::traffic::units::{Bits, BitsPerSec, Seconds};
+use hetnet_atm::topology::Backbone;
+use hetnet_atm::{LinkConfig, SwitchConfig};
+use hetnet_fddi::ring::RingConfig;
+use hetnet_ifdev::IfDevConfig;
+use std::error::Error;
+use std::sync::Arc;
+
+fn network_with_ttrt(ttrt_ms: f64) -> Result<HetNetwork, Box<dyn Error>> {
+    let ring = RingConfig {
+        ttrt: Seconds::from_millis(ttrt_ms),
+        // Overhead scales roughly with rotation frequency bookkeeping;
+        // keep the paper's 10% figure.
+        overhead: Seconds::from_millis(0.1 * ttrt_ms),
+        ..RingConfig::standard()
+    };
+    let link = LinkConfig::oc3(Seconds::from_micros(5.0));
+    Ok(HetNetwork::new(
+        vec![ring; 3],
+        4,
+        IfDevConfig::typical(),
+        Backbone::fully_meshed(3, SwitchConfig::typical(), link),
+        link,
+    )?)
+}
+
+fn source() -> Result<Arc<DualPeriodicEnvelope>, Box<dyn Error>> {
+    // 10 Mb/s: 1 Mbit every 100 ms, bursts of 0.2 Mbit every 20 ms.
+    Ok(Arc::new(DualPeriodicEnvelope::new(
+        Bits::from_mbits(1.0),
+        Seconds::from_millis(100.0),
+        Bits::from_mbits(0.2),
+        Seconds::from_millis(20.0),
+        BitsPerSec::from_mbps(100.0),
+    )?))
+}
+
+fn admitted_capacity(net: HetNetwork, cfg: &CacConfig) -> Result<usize, Box<dyn Error>> {
+    let mut state = NetworkState::new(net);
+    let mut admitted = 0;
+    'outer: for round in 0..4 {
+        for ring in 0..3 {
+            let spec = ConnectionSpec {
+                source: HostId { ring, station: round },
+                dest: HostId {
+                    ring: (ring + 1) % 3,
+                    station: round,
+                },
+                envelope: source()? as _,
+                deadline: Seconds::from_millis(50.0),
+            };
+            if !state.request(spec, cfg)?.is_admitted() {
+                break 'outer;
+            }
+            admitted += 1;
+        }
+    }
+    Ok(admitted)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("10 Mb/s connections with 50 ms deadlines admitted before first rejection\n");
+    print!("{:>9} |", "TTRT(ms)");
+    let betas = [0.0, 0.5, 1.0];
+    for b in betas {
+        print!(" beta={b:>4} |");
+    }
+    println!();
+    println!("{:-<10}+{:-<11}+{:-<11}+{:-<11}", "", "", "", "");
+
+    for ttrt in [4.0, 8.0, 16.0, 24.0] {
+        print!("{ttrt:>9.1} |");
+        for beta in betas {
+            let cfg = CacConfig::default().with_beta(beta);
+            let n = admitted_capacity(network_with_ttrt(ttrt)?, &cfg)?;
+            print!(" {n:>9} |");
+        }
+        println!();
+    }
+
+    println!(
+        "\nShort rotations keep token latency (and thus end-to-end bounds) low but are\n\
+         mostly overhead; long rotations have bandwidth to spare that no connection can\n\
+         use within a 50 ms deadline. The sweet spot — and the effect of beta on it —\n\
+         is exactly what the paper's Figures 7-8 quantify via admission probability."
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Quickstart: admit one real-time connection across the FDDI-ATM-FDDI
+//! network and inspect the worst-case delay budget the CAC computed.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hetnet::cac::cac::{CacConfig, Decision, NetworkState};
+use hetnet::cac::connection::ConnectionSpec;
+use hetnet::cac::delay::{evaluate_paths, EvalConfig, PathInput};
+use hetnet::cac::network::{HetNetwork, HostId};
+use hetnet::traffic::models::DualPeriodicEnvelope;
+use hetnet::traffic::units::{Bits, BitsPerSec, Seconds};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The paper's evaluation network: three 100 Mb/s FDDI rings with four
+    // hosts each, joined by interface devices to a triangle of ATM
+    // switches with 155 Mb/s links.
+    let net = HetNetwork::paper_topology();
+    let mut state = NetworkState::new(net);
+
+    // A 20 Mb/s dual-periodic source (eq. 37): 2 Mbit every 100 ms,
+    // bursts of 0.25 Mbit every 10 ms, emitted at ring speed.
+    let video = Arc::new(DualPeriodicEnvelope::new(
+        Bits::from_mbits(2.0),
+        Seconds::from_millis(100.0),
+        Bits::from_mbits(0.25),
+        Seconds::from_millis(10.0),
+        BitsPerSec::from_mbps(100.0),
+    )?);
+
+    let spec = ConnectionSpec {
+        source: HostId { ring: 0, station: 0 },
+        dest: HostId { ring: 1, station: 2 },
+        envelope: Arc::clone(&video) as _,
+        deadline: Seconds::from_millis(100.0),
+    };
+
+    let cfg = CacConfig::default(); // beta = 0.5
+    match state.request(spec, &cfg)? {
+        Decision::Admitted {
+            id,
+            h_s,
+            h_r,
+            delay_bound,
+        } => {
+            println!("{id} admitted");
+            println!("  synchronous bandwidth on source ring:      {h_s}");
+            println!("  synchronous bandwidth on destination ring: {h_r}");
+            println!(
+                "  end-to-end worst-case delay: {:.3} ms (deadline 100 ms)",
+                delay_bound.as_millis()
+            );
+
+            // Recompute the eq.-7 decomposition for a detailed budget.
+            let active = &state.active()[0];
+            let reports = evaluate_paths(
+                state.network(),
+                &[PathInput {
+                    source: active.spec.source,
+                    dest: active.spec.dest,
+                    envelope: Arc::clone(&active.spec.envelope),
+                    h_s: active.h_s,
+                    h_r: active.h_r,
+                }],
+                &EvalConfig::default(),
+            )?
+            .feasible()
+            .expect("admitted connection is feasible");
+            let r = &reports[0];
+            println!("\n  worst-case delay decomposition (paper eq. 7):");
+            println!("    d_FDDI_S = {:8.3} ms (source MAC + ring)", r.fddi_s.as_millis());
+            println!("    d_ID_S   = {:8.3} ms (edge device, FDDI->ATM)", r.id_s.as_millis());
+            println!("    d_ATM    = {:8.3} ms (backbone)", r.atm.as_millis());
+            println!("    d_ID_R   = {:8.3} ms (edge device, ATM->FDDI)", r.id_r.as_millis());
+            println!("    d_FDDI_R = {:8.3} ms (destination MAC + ring)", r.fddi_r.as_millis());
+            println!("    total    = {:8.3} ms", r.total.as_millis());
+            println!(
+                "\n  transmit buffers needed: {:.1} kbit at the source host, {:.1} kbit at the edge device",
+                r.buffer_mac_s.value() / 1.0e3,
+                r.buffer_mac_r.value() / 1.0e3
+            );
+        }
+        Decision::Rejected(reason) => println!("rejected: {reason}"),
+    }
+
+    Ok(())
+}

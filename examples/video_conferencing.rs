@@ -1,0 +1,79 @@
+//! Video conferencing: how many simultaneous conference streams fit, and
+//! how the β allocation knob trades current admissions against room for
+//! future ones.
+//!
+//! Each stream is a 20 Mb/s dual-periodic source with a 100 ms deadline,
+//! the kind of motion-JPEG-era traffic the paper's evaluation models.
+//! With β = 1 every admitted stream grabs all useful bandwidth and the
+//! rings exhaust quickly; with β = 0 streams are packed so tightly that a
+//! newcomer's disturbance at the shared ATM ports violates an existing
+//! deadline; β in between balances the two failure modes.
+//!
+//! Run with: `cargo run --release --example video_conferencing`
+
+use hetnet::cac::cac::{CacConfig, NetworkState};
+use hetnet::cac::connection::ConnectionSpec;
+use hetnet::cac::network::{HetNetwork, HostId};
+use hetnet::traffic::models::DualPeriodicEnvelope;
+use hetnet::traffic::units::{Bits, BitsPerSec, Seconds};
+use std::error::Error;
+use std::sync::Arc;
+
+fn stream() -> Result<Arc<DualPeriodicEnvelope>, Box<dyn Error>> {
+    Ok(Arc::new(DualPeriodicEnvelope::new(
+        Bits::from_mbits(2.0),
+        Seconds::from_millis(100.0),
+        Bits::from_mbits(0.25),
+        Seconds::from_millis(10.0),
+        BitsPerSec::from_mbps(100.0),
+    )?))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("admitting 20 Mb/s conference streams (100 ms deadline) until the first rejection\n");
+    println!("{:>6} | {:>9} | {}", "beta", "admitted", "per-stream H_S (ms/rotation)");
+    println!("{:->6}-+-{:->9}-+-{:-<40}", "", "", "");
+
+    for beta in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let cfg = CacConfig::default().with_beta(beta);
+        let mut state = NetworkState::new(HetNetwork::paper_topology());
+        let mut admitted = 0usize;
+        let mut allocations: Vec<f64> = Vec::new();
+
+        // Pair up hosts across the three rings: 0->1, 1->2, 2->0, ...
+        'admit: for round in 0..4 {
+            for ring in 0..3 {
+                let spec = ConnectionSpec {
+                    source: HostId { ring, station: round },
+                    dest: HostId {
+                        ring: (ring + 1) % 3,
+                        station: round,
+                    },
+                    envelope: stream()? as _,
+                    deadline: Seconds::from_millis(100.0),
+                };
+                match state.request(spec, &cfg)? {
+                    hetnet::cac::cac::Decision::Admitted { h_s, .. } => {
+                        admitted += 1;
+                        allocations.push(h_s.per_rotation().as_millis());
+                    }
+                    hetnet::cac::cac::Decision::Rejected(_) => break 'admit,
+                }
+            }
+        }
+
+        let allocs = allocations
+            .iter()
+            .map(|a| format!("{a:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("{beta:>6.2} | {admitted:>9} | {allocs}");
+    }
+
+    println!(
+        "\nEach ring's synchronous budget is TTRT - delta = 7.2 ms/rotation shared by its\n\
+         four hosts and the inbound side of its interface device; larger beta admits\n\
+         streams with more slack but exhausts that budget sooner."
+    );
+    Ok(())
+}

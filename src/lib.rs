@@ -1,0 +1,11 @@
+//! Facade crate re-exporting the FDDI-ATM-FDDI heterogeneous-network
+//! workspace: traffic envelopes, FDDI and ATM substrates, interface
+//! devices, the discrete-event simulator, and the connection admission
+//! control of Chen, Sahoo, Zhao and Raha (ICDCS 1997).
+
+pub use hetnet_atm as atm;
+pub use hetnet_cac as cac;
+pub use hetnet_fddi as fddi;
+pub use hetnet_ifdev as ifdev;
+pub use hetnet_sim as sim;
+pub use hetnet_traffic as traffic;

@@ -1,0 +1,164 @@
+//! Randomized invariant tests for the admission bookkeeping: any
+//! sequence of admissions and releases must preserve the ring budget
+//! accounting, per-host uniqueness handling, and deadline guarantees.
+
+use hetnet::cac::cac::{CacConfig, Decision, NetworkState};
+use hetnet::cac::connection::{ConnectionId, ConnectionSpec};
+use hetnet::cac::network::{HetNetwork, HostId};
+use hetnet::traffic::models::DualPeriodicEnvelope;
+use hetnet::traffic::units::{Bits, BitsPerSec, Seconds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn model(rate_mbps: f64) -> DualPeriodicEnvelope {
+    // Scale the paper-style source to the requested sustained rate.
+    let c1 = rate_mbps * 0.1; // Mbit per 100 ms
+    DualPeriodicEnvelope::new(
+        Bits::from_mbits(c1),
+        Seconds::from_millis(100.0),
+        Bits::from_mbits((c1 / 4.0).min(c1)),
+        Seconds::from_millis(25.0),
+        BitsPerSec::from_mbps(100.0),
+    )
+    .expect("scaled source is valid")
+}
+
+#[test]
+fn random_admission_release_sequences_preserve_invariants() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let cfg = CacConfig::fast();
+    let mut state = NetworkState::new(HetNetwork::paper_topology());
+    let mut live: Vec<ConnectionId> = Vec::new();
+    let full_budget = state.available_on(0);
+
+    for step in 0..40 {
+        let release = !live.is_empty() && rng.gen_bool(0.4);
+        if release {
+            let idx = rng.gen_range(0..live.len());
+            let id = live.remove(idx);
+            state.release(id).expect("live connection releases");
+        } else {
+            let src_ring = rng.gen_range(0..3);
+            let mut dst_ring = rng.gen_range(0..3);
+            if dst_ring == src_ring {
+                dst_ring = (dst_ring + 1) % 3;
+            }
+            let spec = ConnectionSpec {
+                source: HostId {
+                    ring: src_ring,
+                    station: rng.gen_range(0..4),
+                },
+                dest: HostId {
+                    ring: dst_ring,
+                    station: rng.gen_range(0..4),
+                },
+                envelope: Arc::new(model(rng.gen_range(5.0..20.0))),
+                deadline: Seconds::from_millis(rng.gen_range(60.0..120.0)),
+            };
+            match state.request(spec, &cfg).expect("well-formed") {
+                Decision::Admitted { id, delay_bound, .. } => {
+                    live.push(id);
+                    let conn = state
+                        .active()
+                        .iter()
+                        .find(|c| c.id == id)
+                        .expect("just admitted");
+                    assert!(
+                        delay_bound <= conn.spec.deadline,
+                        "step {step}: admission exceeds deadline"
+                    );
+                }
+                Decision::Rejected(_) => {}
+            }
+        }
+
+        // Invariant 1: allocation tables never exceed the ring budgets.
+        for ring in 0..3 {
+            let available = state.available_on(ring);
+            assert!(
+                available.value() >= -1e-12,
+                "step {step}: ring {ring} over-allocated"
+            );
+            assert!(
+                available <= full_budget,
+                "step {step}: ring {ring} budget inflated"
+            );
+        }
+        // Invariant 2: the live set matches the active set.
+        assert_eq!(live.len(), state.active().len(), "step {step}");
+    }
+
+    // Invariant 3: all deadlines hold for the final set.
+    let delays = state.current_delays(&cfg).expect("consistent");
+    for ((id, d), active) in delays.iter().zip(state.active()) {
+        assert_eq!(*id, active.id);
+        assert!(*d <= active.spec.deadline, "final set violates {id}");
+    }
+
+    // Invariant 4: releasing everything restores the pristine budgets.
+    for id in live {
+        state.release(id).unwrap();
+    }
+    for ring in 0..3 {
+        assert!(
+            (state.available_on(ring).value() - full_budget.value()).abs() < 1e-12,
+            "ring {ring} budget not restored"
+        );
+    }
+}
+
+#[test]
+fn beta_zero_and_one_bracket_intermediate_allocations() {
+    // For the same single request, H(beta) is monotone in beta.
+    let spec = |deadline_ms: f64| ConnectionSpec {
+        source: HostId { ring: 0, station: 0 },
+        dest: HostId { ring: 1, station: 0 },
+        envelope: Arc::new(model(20.0)),
+        deadline: Seconds::from_millis(deadline_ms),
+    };
+    let mut allocations = Vec::new();
+    for beta in [0.0, 0.3, 0.7, 1.0] {
+        let mut state = NetworkState::new(HetNetwork::paper_topology());
+        let cfg = CacConfig::fast().with_beta(beta);
+        match state.request(spec(100.0), &cfg).unwrap() {
+            Decision::Admitted { h_s, .. } => allocations.push(h_s.per_rotation().value()),
+            Decision::Rejected(r) => panic!("beta={beta} rejected: {r}"),
+        }
+    }
+    for w in allocations.windows(2) {
+        assert!(
+            w[0] <= w[1] + 1e-12,
+            "allocation not monotone in beta: {allocations:?}"
+        );
+    }
+}
+
+#[test]
+fn tighter_deadlines_need_bigger_minimum_allocations() {
+    // With beta = 0 the CAC allocates the minimum needed; a tighter
+    // deadline can only need more.
+    let mut allocations = Vec::new();
+    for deadline in [110.0, 80.0, 55.0] {
+        let mut state = NetworkState::new(HetNetwork::paper_topology());
+        let cfg = CacConfig::fast().with_beta(0.0);
+        let spec = ConnectionSpec {
+            source: HostId { ring: 0, station: 0 },
+            dest: HostId { ring: 1, station: 0 },
+            envelope: Arc::new(model(20.0)),
+            deadline: Seconds::from_millis(deadline),
+        };
+        match state.request(spec, &cfg).unwrap() {
+            Decision::Admitted { h_s, h_r, .. } => {
+                allocations.push(h_s.per_rotation().value() + h_r.per_rotation().value());
+            }
+            Decision::Rejected(r) => panic!("deadline={deadline} rejected: {r}"),
+        }
+    }
+    for w in allocations.windows(2) {
+        assert!(
+            w[0] <= w[1] + 1e-9,
+            "tighter deadline got less bandwidth: {allocations:?}"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Cross-crate integration: the CAC's analytic worst-case bounds must
+//! dominate the packet-level simulator's observed delays for admitted
+//! configurations.
+
+use hetnet::cac::cac::{CacConfig, Decision, NetworkState};
+use hetnet::cac::connection::ConnectionSpec;
+use hetnet::cac::network::{HetNetwork, HostId};
+use hetnet::sim::netsim::{run, E2eScenario, SimConnection};
+use hetnet::sim::source::GreedyDualPeriodic;
+use hetnet::traffic::models::DualPeriodicEnvelope;
+use hetnet::traffic::units::{Bits, BitsPerSec, Seconds};
+use hetnet_atm::topology::Backbone;
+use hetnet_atm::{LinkConfig, SwitchConfig};
+use hetnet_fddi::ring::RingConfig;
+use hetnet_ifdev::IfDevConfig;
+use std::sync::Arc;
+
+fn model() -> DualPeriodicEnvelope {
+    DualPeriodicEnvelope::new(
+        Bits::from_mbits(2.0),
+        Seconds::from_millis(100.0),
+        Bits::from_mbits(0.25),
+        Seconds::from_millis(10.0),
+        BitsPerSec::from_mbps(100.0),
+    )
+    .expect("valid paper-style source")
+}
+
+/// Admits `pairs` of (source, dest) with the given CAC config; returns
+/// the admitted (ring, station, dest_ring, h_s, h_r) tuples plus their
+/// *current* delay bounds after all admissions.
+fn admit(
+    state: &mut NetworkState,
+    pairs: &[((usize, usize), (usize, usize))],
+    cfg: &CacConfig,
+) -> Vec<(u64, usize, usize, usize, hetnet_fddi::ring::SyncBandwidth, hetnet_fddi::ring::SyncBandwidth)>
+{
+    let mut out = Vec::new();
+    for (src, dst) in pairs {
+        let spec = ConnectionSpec {
+            source: HostId {
+                ring: src.0,
+                station: src.1,
+            },
+            dest: HostId {
+                ring: dst.0,
+                station: dst.1,
+            },
+            envelope: Arc::new(model()),
+            deadline: Seconds::from_millis(120.0),
+        };
+        if let Decision::Admitted { id, h_s, h_r, .. } =
+            state.request(spec, cfg).expect("well-formed request")
+        {
+            out.push((id.0, src.0, src.1, dst.0, h_s, h_r));
+        }
+    }
+    out
+}
+
+#[test]
+fn simulated_delays_stay_within_analytic_bounds() {
+    let mut state = NetworkState::new(HetNetwork::paper_topology());
+    let cfg = CacConfig::default();
+    let admitted = admit(
+        &mut state,
+        &[
+            ((0, 0), (1, 0)),
+            ((1, 0), (2, 0)),
+            ((2, 0), (0, 0)),
+            ((0, 1), (2, 1)),
+        ],
+        &cfg,
+    );
+    assert!(
+        admitted.len() >= 3,
+        "expected at least three admissions, got {}",
+        admitted.len()
+    );
+    let bounds = state.current_delays(&cfg).expect("consistent state");
+
+    let link = LinkConfig::oc3(Seconds::from_micros(5.0));
+    let scenario = E2eScenario {
+        rings: vec![RingConfig::standard(); 3],
+        hosts_per_ring: 4,
+        ifdev: IfDevConfig::typical(),
+        backbone: Backbone::fully_meshed(3, SwitchConfig::typical(), link),
+        access_link: link,
+        connections: admitted
+            .iter()
+            .map(|(id, ring, station, dest_ring, h_s, h_r)| SimConnection {
+                id: *id,
+                source_ring: *ring,
+                source_station: *station,
+                dest_ring: *dest_ring,
+                h_s: *h_s,
+                h_r: *h_r,
+                source: GreedyDualPeriodic::new(model(), Bits::from_kbits(8.0)),
+                // Aligned phases: the adversarial case.
+                phase: Seconds::ZERO,
+            })
+            .collect(),
+        duration: Seconds::from_millis(400.0),
+        drain: Seconds::from_millis(300.0),
+    };
+    let report = run(&scenario);
+
+    for obs in &report.connections {
+        let bound = bounds
+            .iter()
+            .find(|(cid, _)| cid.0 == obs.id)
+            .map(|(_, d)| *d)
+            .expect("bound recorded");
+        assert_eq!(
+            obs.chunks_sent, obs.chunks_delivered,
+            "connection {} stranded chunks",
+            obs.id
+        );
+        assert!(
+            obs.max_delay <= bound,
+            "connection {}: observed {} exceeds analytic bound {}",
+            obs.id,
+            obs.max_delay,
+            bound
+        );
+    }
+}
+
+#[test]
+fn released_bandwidth_is_reusable() {
+    let mut state = NetworkState::new(HetNetwork::paper_topology());
+    let cfg = CacConfig::default();
+
+    // Fill until the first rejection.
+    let mut ids = Vec::new();
+    for k in 0..6 {
+        let spec = ConnectionSpec {
+            source: HostId { ring: 0, station: k % 4 },
+            dest: HostId {
+                ring: 1 + (k % 2),
+                station: k % 4,
+            },
+            envelope: Arc::new(model()),
+            deadline: Seconds::from_millis(120.0),
+        };
+        match state.request(spec, &cfg).unwrap() {
+            Decision::Admitted { id, .. } => ids.push(id),
+            Decision::Rejected(_) => break,
+        }
+    }
+    assert!(!ids.is_empty());
+    let budget_used = state.available_on(0);
+
+    // Release everything: the full budget must return.
+    for id in ids {
+        state.release(id).unwrap();
+    }
+    assert!(state.active().is_empty());
+    assert!(state.available_on(0) > budget_used);
+    assert!((state.available_on(0).as_millis() - 7.2).abs() < 1e-9);
+
+    // And a fresh admission succeeds again.
+    let spec = ConnectionSpec {
+        source: HostId { ring: 0, station: 0 },
+        dest: HostId { ring: 1, station: 0 },
+        envelope: Arc::new(model()),
+        deadline: Seconds::from_millis(120.0),
+    };
+    assert!(state.request(spec, &cfg).unwrap().is_admitted());
+}
+
+#[test]
+fn admitted_set_always_meets_deadlines() {
+    // Whatever mix of admissions and releases happens, every active
+    // connection's recomputed bound stays within its deadline.
+    let mut state = NetworkState::new(HetNetwork::paper_topology());
+    let cfg = CacConfig::fast();
+    let mut ids = Vec::new();
+    let pairs = [
+        ((0, 0), (1, 0)),
+        ((1, 1), (2, 1)),
+        ((2, 2), (0, 2)),
+        ((0, 3), (2, 3)),
+        ((1, 0), (0, 1)),
+    ];
+    for (i, (src, dst)) in pairs.iter().enumerate() {
+        let spec = ConnectionSpec {
+            source: HostId {
+                ring: src.0,
+                station: src.1,
+            },
+            dest: HostId {
+                ring: dst.0,
+                station: dst.1,
+            },
+            envelope: Arc::new(model()),
+            deadline: Seconds::from_millis(80.0 + 10.0 * i as f64),
+        };
+        if let Decision::Admitted { id, .. } = state.request(spec, &cfg).unwrap() {
+            ids.push(id);
+        }
+        // Interleave a release.
+        if i == 2 && !ids.is_empty() {
+            state.release(ids.remove(0)).unwrap();
+        }
+        let delays = state.current_delays(&cfg).unwrap();
+        for ((_, d), active) in delays.iter().zip(state.active()) {
+            assert!(
+                *d <= active.spec.deadline,
+                "deadline violated after step {i}"
+            );
+        }
+    }
+}
