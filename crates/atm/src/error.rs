@@ -54,7 +54,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        assert!(AtmError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(AtmError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
         let e = AtmError::NoRoute {
             from: SwitchId(0),
             to: SwitchId(2),

@@ -129,8 +129,7 @@ mod tests {
     fn delay_grows_with_flow_count() {
         let mut prev = 0.0;
         for n in [1, 2, 4, 8] {
-            let flows: Vec<SharedEnvelope> =
-                (0..n).map(|_| lb(100_000.0, 155.0 / 16.0)).collect();
+            let flows: Vec<SharedEnvelope> = (0..n).map(|_| lb(100_000.0, 155.0 / 16.0)).collect();
             let r = analyze_mux(&flows, &oc3(), &cfg()).unwrap();
             assert!(r.delay_bound.value() >= prev, "n={n}");
             prev = r.delay_bound.value();

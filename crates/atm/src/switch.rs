@@ -92,8 +92,7 @@ mod tests {
         );
         let link = LinkConfig::oc3(Seconds::from_micros(5.0));
         let switch = SwitchConfig::typical();
-        let r =
-            analyze_output_port(&[flow], &switch, &link, &AnalysisConfig::default()).unwrap();
+        let r = analyze_output_port(&[flow], &switch, &link, &AnalysisConfig::default()).unwrap();
         let expect_fixed = 10.0e-6 + 424.0 / 155.0e6 + 5.0e-6;
         assert!((r.fixed.value() - expect_fixed).abs() < 1e-12);
         assert!((r.queueing.value() - 42_400.0 / 155.0e6).abs() < 1e-9);

@@ -24,8 +24,7 @@ fn flows_strategy() -> impl Strategy<Value = Vec<SharedEnvelope>> {
             .into_iter()
             .map(|(sigma, rho)| {
                 Arc::new(
-                    LeakyBucketEnvelope::new(Bits::new(sigma), BitsPerSec::from_mbps(rho))
-                        .unwrap(),
+                    LeakyBucketEnvelope::new(Bits::new(sigma), BitsPerSec::from_mbps(rho)).unwrap(),
                 ) as SharedEnvelope
             })
             .collect()

@@ -44,10 +44,7 @@ fn bench_mac_analysis(c: &mut Criterion) {
     let cfg = AnalysisConfig::default();
     c.bench_function("theorem1_fddi_mac", |b| {
         b.iter(|| {
-            black_box(
-                analyze_fddi_mac(Arc::clone(&env), &ring, h, None, &cfg)
-                    .expect("stable"),
-            )
+            black_box(analyze_fddi_mac(Arc::clone(&env), &ring, h, None, &cfg).expect("stable"))
         })
     });
 }

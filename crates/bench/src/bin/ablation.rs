@@ -78,9 +78,8 @@ fn run_policy(utilization: f64, policy: Policy, seed: u64) -> f64 {
             .filter(|h| h.ring != source.ring)
             .collect();
         let dest = dests[pick_index(&mut rng, dests.len()).expect("non-empty")];
-        let deadline = Seconds::new(
-            rng.gen_range(workload.deadline.0.value()..=workload.deadline.1.value()),
-        );
+        let deadline =
+            Seconds::new(rng.gen_range(workload.deadline.0.value()..=workload.deadline.1.value()));
         let spec = ConnectionSpec {
             source,
             dest,

@@ -1,0 +1,193 @@
+//! Machine-readable benchmark of the feasible-region sweep: times the
+//! sequential baseline against the parallel sweep on a 17×17 grid with
+//! 8 active background connections, verifies the two produce
+//! bit-identical maps, and writes the numbers (cells/sec, speedup,
+//! cache hit rates) as JSON.
+//!
+//! ```text
+//! cargo run --release -p hetnet-bench --bin bench_json            # full run -> BENCH_region.json
+//! cargo run --release -p hetnet-bench --bin bench_json -- \
+//!     --quick --out target/BENCH_region.quick.json                # CI smoke run
+//! ```
+
+use hetnet_cac::cac::CacConfig;
+use hetnet_cac::connection::ConnectionSpec;
+use hetnet_cac::delay::{CacheStats, PathInput};
+use hetnet_cac::network::{HetNetwork, HostId};
+use hetnet_cac::region::{sample_region_threads, RegionSample};
+use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_traffic::envelope::SharedEnvelope;
+use hetnet_traffic::models::DualPeriodicEnvelope;
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn envelope(c1_mbit: f64, bursts: usize) -> SharedEnvelope {
+    Arc::new(
+        DualPeriodicEnvelope::new(
+            Bits::from_mbits(c1_mbit),
+            Seconds::from_millis(100.0),
+            Bits::from_mbits(c1_mbit / bursts as f64),
+            Seconds::from_millis(100.0 / bursts as f64),
+            BitsPerSec::from_mbps(100.0),
+        )
+        .expect("valid"),
+    )
+}
+
+fn background(k: usize) -> PathInput {
+    let h = SyncBandwidth::new(Seconds::from_millis(2.2));
+    PathInput {
+        source: HostId {
+            ring: k % 3,
+            station: k % 4,
+        },
+        dest: HostId {
+            ring: (k + 1) % 3,
+            station: (k + 2) % 4,
+        },
+        envelope: envelope(0.9 + 0.1 * k as f64, 5),
+        h_s: h,
+        h_r: h,
+    }
+}
+
+/// One timed configuration: best-of-`reps` wall clock plus the cache
+/// statistics of a single representative run.
+struct Measured {
+    seconds: f64,
+    cells_per_sec: f64,
+    stats: CacheStats,
+    sample: RegionSample,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    net: &HetNetwork,
+    active: &[PathInput],
+    spec: &ConnectionSpec,
+    avail: Seconds,
+    grid: usize,
+    cfg: &CacConfig,
+    threads: usize,
+    reps: usize,
+) -> Measured {
+    let mut best = f64::INFINITY;
+    let mut sample = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let s = sample_region_threads(net, active, spec, avail, avail, grid, cfg, threads)
+            .expect("well-formed request");
+        best = best.min(start.elapsed().as_secs_f64());
+        sample = Some(s);
+    }
+    let sample = sample.expect("at least one rep");
+    Measured {
+        seconds: best,
+        cells_per_sec: (grid * grid) as f64 / best,
+        stats: sample.stats,
+        sample,
+    }
+}
+
+fn json_measured(m: &Measured, threads: usize) -> String {
+    format!(
+        concat!(
+            "{{\"threads\": {}, \"seconds\": {:.6}, \"cells_per_sec\": {:.2}, ",
+            "\"stage1_hits\": {}, \"stage1_misses\": {}, \"stage1_hit_rate\": {:.4}, ",
+            "\"mux_hits\": {}, \"mux_misses\": {}, \"mux_hit_rate\": {:.4}}}"
+        ),
+        threads,
+        m.seconds,
+        m.cells_per_sec,
+        m.stats.stage1_hits,
+        m.stats.stage1_misses,
+        m.stats.stage1_hit_rate(),
+        m.stats.mux_hits,
+        m.stats.mux_misses,
+        m.stats.mux_hit_rate(),
+    )
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_region.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (expected --quick / --out <path>)"),
+        }
+    }
+
+    let net = HetNetwork::paper_topology();
+    let cfg = CacConfig::fast();
+    let spec = ConnectionSpec {
+        source: HostId {
+            ring: 0,
+            station: 0,
+        },
+        dest: HostId {
+            ring: 1,
+            station: 0,
+        },
+        envelope: envelope(1.8, 6),
+        deadline: Seconds::from_millis(80.0),
+    };
+    let active: Vec<PathInput> = (0..8).map(background).collect();
+    let avail = Seconds::from_millis(7.2);
+    let (grid, reps) = if quick { (9, 1) } else { (17, 3) };
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    eprintln!(
+        "region sweep: grid {grid}x{grid}, {} active, {threads} hw threads",
+        active.len()
+    );
+    let seq = measure(&net, &active, &spec, avail, grid, &cfg, 1, reps);
+    eprintln!(
+        "  sequential: {:.3} s ({:.1} cells/s)",
+        seq.seconds, seq.cells_per_sec
+    );
+    let par = measure(&net, &active, &spec, avail, grid, &cfg, threads, reps);
+    eprintln!(
+        "  parallel:   {:.3} s ({:.1} cells/s)",
+        par.seconds, par.cells_per_sec
+    );
+
+    let identical = seq.sample.map.cells == par.sample.map.cells;
+    assert!(identical, "parallel sweep diverged from sequential");
+    let speedup = seq.seconds / par.seconds;
+    eprintln!("  speedup: {speedup:.2}x, maps identical: {identical}");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"region_sweep\",\n",
+            "  \"grid\": {},\n",
+            "  \"active_connections\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"hw_threads\": {},\n",
+            "  \"sequential\": {},\n",
+            "  \"parallel\": {},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"maps_identical\": {}\n",
+            "}}\n"
+        ),
+        grid,
+        active.len(),
+        reps,
+        threads,
+        json_measured(&seq, 1),
+        json_measured(&par, threads),
+        speedup,
+        identical,
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out, &json).expect("write benchmark json");
+    println!("wrote {out}");
+}

@@ -69,8 +69,8 @@ fn main() {
         admitted.len()
     );
     println!(
-        "{:>5} | {:>11} | {:>14} | {:>14} | {:>7} | {}",
-        "conn", "phase (ms)", "observed max", "analytic bound", "ratio", "verdict"
+        "{:>5} | {:>11} | {:>14} | {:>14} | {:>7} | verdict",
+        "conn", "phase (ms)", "observed max", "analytic bound", "ratio"
     );
     println!(
         "{:-<6}+{:-<13}+{:-<16}+{:-<16}+{:-<9}+{:-<12}",

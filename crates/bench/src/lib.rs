@@ -19,10 +19,10 @@
 use hetnet_cac::cac::CacConfig;
 use hetnet_cac::experiment::{run_admission_experiment, ExperimentResult, Workload};
 use hetnet_cac::network::HetNetwork;
-use parking_lot::Mutex;
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::Mutex;
 
 /// Number of independent replications (seeds) averaged per point.
 pub const REPLICATIONS: u64 = 2;
@@ -55,22 +55,20 @@ pub struct ApPoint {
 #[must_use]
 pub fn measure_ap(utilization: f64, beta: f64, x: f64) -> ApPoint {
     let results: Mutex<Vec<ExperimentResult>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for seed in 0..REPLICATIONS {
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let net = HetNetwork::paper_topology();
-                let workload =
-                    Workload::paper_style(utilization, REQUESTS_PER_RUN, 1000 + seed);
+                let workload = Workload::paper_style(utilization, REQUESTS_PER_RUN, 1000 + seed);
                 let cfg = CacConfig::fast().with_beta(beta);
                 let r = run_admission_experiment(net, &workload, &cfg)
                     .expect("experiment configuration is valid");
-                results.lock().push(r);
+                results.lock().expect("no poisoned replication").push(r);
             });
         }
-    })
-    .expect("replication threads join");
-    let results = results.into_inner();
+    });
+    let results = results.into_inner().expect("no poisoned replication");
     let aps: Vec<f64> = results.iter().map(|r| r.admission_probability).collect();
     let mean = aps.iter().sum::<f64>() / aps.len() as f64;
     ApPoint {

@@ -80,14 +80,8 @@ pub fn request_with_policy(
             let rho = spec.envelope.sustained_rate();
             let ring_s = *state.network().ring(spec.source.ring);
             let ring_r = *state.network().ring(spec.dest.ring);
-            let h_s = scale(
-                scheme.allocate(&ring_s, &[rho])[0],
-                headroom,
-            );
-            let h_r = scale(
-                scheme.allocate(&ring_r, &[rho])[0],
-                headroom,
-            );
+            let h_s = scale(scheme.allocate(&ring_s, &[rho])[0], headroom);
+            let h_r = scale(scheme.allocate(&ring_r, &[rho])[0], headroom);
             state.request_fixed(spec, h_s, h_r, cfg)
         }
     }

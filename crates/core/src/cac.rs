@@ -28,13 +28,14 @@
 
 use crate::connection::{ActiveConnection, ConnectionId, ConnectionSpec};
 use crate::delay::{
-    evaluate_paths, CandidateOutcome, EvalConfig, EvalOutcome, Evaluator, PathInput, PathReport,
+    evaluate_paths, CacheStats, CandidateOutcome, EvalConfig, EvalOutcome, Evaluator, PathInput,
+    PathReport,
 };
 use crate::error::CacError;
 use crate::network::HetNetwork;
 use hetnet_fddi::alloc::{AllocationKey, SyncAllocationTable};
-use hetnet_fddi::ring::SyncBandwidth;
 use hetnet_fddi::frames;
+use hetnet_fddi::ring::SyncBandwidth;
 use hetnet_traffic::units::Seconds;
 use std::fmt;
 use std::sync::Arc;
@@ -189,6 +190,7 @@ pub struct NetworkState {
     active: Vec<ActiveConnection>,
     tables: Vec<SyncAllocationTable>,
     next_id: u64,
+    last_cache_stats: Option<CacheStats>,
 }
 
 impl NetworkState {
@@ -201,7 +203,17 @@ impl NetworkState {
             active: Vec::new(),
             tables,
             next_id: 0,
+            last_cache_stats: None,
         }
+    }
+
+    /// Cache hit/miss counters of the evaluator used by the most recent
+    /// [`NetworkState::request`] call (`None` before the first request).
+    /// Benchmarks and the experiment harness use this to report how much
+    /// of each admission's line search was served incrementally.
+    #[must_use]
+    pub fn last_cache_stats(&self) -> Option<CacheStats> {
+        self.last_cache_stats
     }
 
     /// The underlying network.
@@ -296,11 +308,7 @@ impl NetworkState {
     /// Returns [`CacError`] for malformed requests or networks;
     /// resource/deadline failures are reported as
     /// [`Decision::Rejected`].
-    pub fn request(
-        &mut self,
-        spec: ConnectionSpec,
-        cfg: &CacConfig,
-    ) -> Result<Decision, CacError> {
+    pub fn request(&mut self, spec: ConnectionSpec, cfg: &CacConfig) -> Result<Decision, CacError> {
         self.validate_spec(&spec)?;
         let ring_s = self.net.ring(spec.source.ring);
         let ring_r = self.net.ring(spec.dest.ring);
@@ -345,150 +353,164 @@ impl NetworkState {
         };
         let mut ev = Evaluator::new(&self.net, cfg.eval.clone());
 
-        // Step 2: the feasible region is empty unless the maximum works —
-        // and because existing connections' delays are nondecreasing in
-        // the newcomer's allocation, verifying them here covers every
-        // smaller allocation the searches will visit.
-        let reports_at_max = match ev.evaluate_full(&mk_inputs(max_s, max_r))? {
-            EvalOutcome::Infeasible(detail) => {
-                return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
-                    detail,
-                }))
+        // Steps 2–5 run inside one closure so that the evaluator's cache
+        // statistics are recorded on *every* exit path (admit, reject,
+        // or error) before the evaluator is dropped.
+        enum Search {
+            Chosen(SyncBandwidth, SyncBandwidth, Vec<PathReport>),
+            Reject(RejectReason),
+        }
+        let searched: Result<Search, CacError> = (|| {
+            // Step 2: the feasible region is empty unless the maximum works —
+            // and because existing connections' delays are nondecreasing in
+            // the newcomer's allocation, verifying them here covers every
+            // smaller allocation the searches will visit.
+            let reports_at_max = match ev.evaluate_full(&mk_inputs(max_s, max_r))? {
+                EvalOutcome::Infeasible(detail) => {
+                    return Ok(Search::Reject(RejectReason::InfeasibleAtMaximum { detail }))
+                }
+                EvalOutcome::Feasible(reports) => reports,
+            };
+            for (i, c) in self.active.iter().enumerate() {
+                if reports_at_max[i].total > c.spec.deadline {
+                    return Ok(Search::Reject(RejectReason::InfeasibleAtMaximum {
+                        detail: format!("existing {} would miss its deadline", c.id),
+                    }));
+                }
             }
-            EvalOutcome::Feasible(reports) => reports,
-        };
-        for (i, c) in self.active.iter().enumerate() {
-            if reports_at_max[i].total > c.spec.deadline {
-                return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
-                    detail: format!("existing {} would miss its deadline", c.id),
+            if reports_at_max.last().expect("candidate included").total > spec.deadline {
+                return Ok(Search::Reject(RejectReason::InfeasibleAtMaximum {
+                    detail: "requesting connection misses its deadline at (H_S^max, H_R^max)"
+                        .into(),
                 }));
             }
-        }
-        if reports_at_max.last().expect("candidate included").total > spec.deadline {
-            return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
-                detail: "requesting connection misses its deadline at (H_S^max, H_R^max)".into(),
-            }));
-        }
 
-        // Reference signature at the maximum, for the eq.-31/32 test.
-        let (ref_total, ref_mux) = match ev.evaluate_candidate(&mk_inputs(max_s, max_r))? {
-            CandidateOutcome::Feasible {
-                candidate,
-                mux_delays,
-            } => (candidate.total, mux_delays),
-            CandidateOutcome::Infeasible(detail) => {
-                return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
-                    detail,
-                }))
-            }
-        };
-
-        // Candidate-only probe: feasibility is the newcomer's own
-        // deadline (existing ones are covered by Step 2 + monotonicity).
-        let probe = |ev: &mut Evaluator,
-                         lambda: f64|
-         -> Result<Option<(Seconds, Vec<Seconds>)>, CacError> {
-            let (hs, hr) = at(lambda);
-            match ev.evaluate_candidate(&mk_inputs(hs, hr))? {
+            // Reference signature at the maximum, for the eq.-31/32 test.
+            let (ref_total, ref_mux) = match ev.evaluate_candidate(&mk_inputs(max_s, max_r))? {
                 CandidateOutcome::Feasible {
                     candidate,
                     mux_delays,
-                } if candidate.total <= spec.deadline => {
-                    Ok(Some((candidate.total, mux_delays)))
+                } => (candidate.total, mux_delays),
+                CandidateOutcome::Infeasible(detail) => {
+                    return Ok(Search::Reject(RejectReason::InfeasibleAtMaximum { detail }))
                 }
-                _ => Ok(None),
-            }
-        };
+            };
 
-        // Step 3: minimum needed allocation along the line.
-        let lambda_min = if probe(&mut ev, 0.0)?.is_some() {
-            0.0
-        } else {
-            let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
-            for _ in 0..cfg.search_iterations {
-                let mid = 0.5 * (lo + hi);
-                if probe(&mut ev, mid)?.is_some() {
-                    hi = mid;
-                } else {
-                    lo = mid;
+            // Candidate-only probe: feasibility is the newcomer's own
+            // deadline (existing ones are covered by Step 2 + monotonicity).
+            let probe = |ev: &mut Evaluator,
+                         lambda: f64|
+             -> Result<Option<(Seconds, Vec<Seconds>)>, CacError> {
+                let (hs, hr) = at(lambda);
+                match ev.evaluate_candidate(&mk_inputs(hs, hr))? {
+                    CandidateOutcome::Feasible {
+                        candidate,
+                        mux_delays,
+                    } if candidate.total <= spec.deadline => {
+                        Ok(Some((candidate.total, mux_delays)))
+                    }
+                    _ => Ok(None),
                 }
-            }
-            hi
-        };
+            };
 
-        // Step 4: maximum needed allocation — the smallest point whose
-        // delay signature matches the maximum-allocation one (eqs.
-        // 31–33). The "excess" of a point is how much delay performance
-        // it still leaves on the table: the candidate's own gap to its
-        // λ = 1 delay plus every multiplexer-bound shift (equal mux
-        // delays imply equal existing-connection totals, since their
-        // sender sides are fixed and their receive sides then see
-        // identical inputs). When delays saturate the excess hits zero
-        // and this is the paper's exact criterion; when they improve
-        // continuously we accept the point realizing all but
-        // `equality_tolerance` of the achievable improvement.
-        let excess = |total: Seconds, mux: &[Seconds]| -> f64 {
-            let mut e = (total.value() - ref_total.value()).abs();
-            if mux.len() == ref_mux.len() {
-                e += mux
-                    .iter()
-                    .zip(&ref_mux)
-                    .map(|(a, b)| (a.value() - b.value()).abs())
-                    .sum::<f64>();
+            // Step 3: minimum needed allocation along the line.
+            let lambda_min = if probe(&mut ev, 0.0)?.is_some() {
+                0.0
             } else {
-                e += ref_total.value();
-            }
-            e
-        };
-        let at_min = probe(&mut ev, lambda_min)?;
-        let improvement_scale = at_min
-            .as_ref()
-            .map_or(0.0, |(total, mux)| excess(*total, mux))
-            .max(1.0e-9);
-        let equals_max =
-            |total: Seconds, mux: &[Seconds]| excess(total, mux) <= cfg.equality_tolerance * improvement_scale;
-        let lambda_max = match at_min {
-            Some((total, ref mux)) if equals_max(total, mux) => lambda_min,
-            _ => {
-                let (mut lo, mut hi) = (lambda_min, 1.0_f64);
+                let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
                 for _ in 0..cfg.search_iterations {
                     let mid = 0.5 * (lo + hi);
-                    match probe(&mut ev, mid)? {
-                        Some((total, ref mux)) if equals_max(total, mux) => hi = mid,
-                        _ => lo = mid,
+                    if probe(&mut ev, mid)?.is_some() {
+                        hi = mid;
+                    } else {
+                        lo = mid;
                     }
                 }
                 hi
-            }
-        };
+            };
 
-        // Step 5: H = H_min_need + beta * (H_max_need - H_min_need).
-        let lambda_star = lambda_min + cfg.beta * (lambda_max - lambda_min);
-        // Final verification is a *full* evaluation: monotonicity is a
-        // theorem about the model, but numerics can chip at it, so check
-        // everything at the chosen point and fall back toward the
-        // maximum on failure.
-        let mut chosen = None;
-        for lambda in [lambda_star, lambda_max, 1.0] {
-            let (hs, hr) = at(lambda);
-            if let EvalOutcome::Feasible(reports) = ev.evaluate_full(&mk_inputs(hs, hr))? {
-                let all_ok = self
-                    .active
-                    .iter()
-                    .enumerate()
-                    .all(|(i, c)| reports[i].total <= c.spec.deadline)
-                    && reports.last().expect("candidate").total <= spec.deadline;
-                if all_ok {
-                    chosen = Some((hs, hr, reports));
-                    break;
+            // Step 4: maximum needed allocation — the smallest point whose
+            // delay signature matches the maximum-allocation one (eqs.
+            // 31–33). The "excess" of a point is how much delay performance
+            // it still leaves on the table: the candidate's own gap to its
+            // λ = 1 delay plus every multiplexer-bound shift (equal mux
+            // delays imply equal existing-connection totals, since their
+            // sender sides are fixed and their receive sides then see
+            // identical inputs). When delays saturate the excess hits zero
+            // and this is the paper's exact criterion; when they improve
+            // continuously we accept the point realizing all but
+            // `equality_tolerance` of the achievable improvement.
+            let excess = |total: Seconds, mux: &[Seconds]| -> f64 {
+                let mut e = (total.value() - ref_total.value()).abs();
+                if mux.len() == ref_mux.len() {
+                    e += mux
+                        .iter()
+                        .zip(&ref_mux)
+                        .map(|(a, b)| (a.value() - b.value()).abs())
+                        .sum::<f64>();
+                } else {
+                    e += ref_total.value();
+                }
+                e
+            };
+            let at_min = probe(&mut ev, lambda_min)?;
+            let improvement_scale = at_min
+                .as_ref()
+                .map_or(0.0, |(total, mux)| excess(*total, mux))
+                .max(1.0e-9);
+            let equals_max = |total: Seconds, mux: &[Seconds]| {
+                excess(total, mux) <= cfg.equality_tolerance * improvement_scale
+            };
+            let lambda_max = match at_min {
+                Some((total, ref mux)) if equals_max(total, mux) => lambda_min,
+                _ => {
+                    let (mut lo, mut hi) = (lambda_min, 1.0_f64);
+                    for _ in 0..cfg.search_iterations {
+                        let mid = 0.5 * (lo + hi);
+                        match probe(&mut ev, mid)? {
+                            Some((total, ref mux)) if equals_max(total, mux) => hi = mid,
+                            _ => lo = mid,
+                        }
+                    }
+                    hi
+                }
+            };
+
+            // Step 5: H = H_min_need + beta * (H_max_need - H_min_need).
+            let lambda_star = lambda_min + cfg.beta * (lambda_max - lambda_min);
+            // Final verification is a *full* evaluation: monotonicity is a
+            // theorem about the model, but numerics can chip at it, so check
+            // everything at the chosen point and fall back toward the
+            // maximum on failure.
+            let mut chosen = None;
+            for lambda in [lambda_star, lambda_max, 1.0] {
+                let (hs, hr) = at(lambda);
+                if let EvalOutcome::Feasible(reports) = ev.evaluate_full(&mk_inputs(hs, hr))? {
+                    let all_ok = self
+                        .active
+                        .iter()
+                        .enumerate()
+                        .all(|(i, c)| reports[i].total <= c.spec.deadline)
+                        && reports.last().expect("candidate").total <= spec.deadline;
+                    if all_ok {
+                        chosen = Some((hs, hr, reports));
+                        break;
+                    }
                 }
             }
-        }
+            match chosen {
+                Some((h_s, h_r, reports)) => Ok(Search::Chosen(h_s, h_r, reports)),
+                None => Ok(Search::Reject(RejectReason::InfeasibleAtMaximum {
+                    detail: "allocation search failed to verify (numerical)".into(),
+                })),
+            }
+        })();
+        let stats = ev.cache_stats();
         drop(ev);
-        let Some((h_s, h_r, reports)) = chosen else {
-            return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
-                detail: "allocation search failed to verify (numerical)".into(),
-            }));
+        self.last_cache_stats = Some(stats);
+        let (h_s, h_r, reports) = match searched? {
+            Search::Chosen(h_s, h_r, reports) => (h_s, h_r, reports),
+            Search::Reject(reason) => return Ok(Decision::Rejected(reason)),
         };
 
         // Commit.
@@ -625,7 +647,10 @@ impl NetworkState {
     /// # Errors
     ///
     /// Returns [`CacError`] if the state is internally inconsistent.
-    pub fn current_delays(&self, cfg: &CacConfig) -> Result<Vec<(ConnectionId, Seconds)>, CacError> {
+    pub fn current_delays(
+        &self,
+        cfg: &CacConfig,
+    ) -> Result<Vec<(ConnectionId, Seconds)>, CacError> {
         let inputs = self.inputs_with(None);
         match evaluate_paths(&self.net, &inputs, &cfg.eval)? {
             EvalOutcome::Feasible(reports) => Ok(self
@@ -659,9 +684,7 @@ impl NetworkState {
             ));
         }
         if spec.deadline.value() <= 0.0 {
-            return Err(CacError::InvalidRequest(
-                "deadline must be positive".into(),
-            ));
+            return Err(CacError::InvalidRequest("deadline must be positive".into()));
         }
         Ok(())
     }
@@ -767,15 +790,15 @@ mod tests {
         else {
             panic!("expected admission")
         };
-        assert!(s.host_busy(HostId { ring: 0, station: 0 }));
+        assert!(s.host_busy(HostId {
+            ring: 0,
+            station: 0
+        }));
         s.release(id).unwrap();
         assert!(s.active().is_empty());
         assert!((s.available_on(0).as_millis() - 7.2).abs() < 1e-9);
         assert!((s.available_on(1).as_millis() - 7.2).abs() < 1e-9);
-        assert!(matches!(
-            s.release(id),
-            Err(CacError::UnknownConnection(_))
-        ));
+        assert!(matches!(s.release(id), Err(CacError::UnknownConnection(_))));
     }
 
     #[test]
@@ -827,6 +850,26 @@ mod tests {
             admitted < 8,
             "greedy allocation must eventually exhaust ring 0"
         );
+    }
+
+    #[test]
+    fn request_reports_cache_hits() {
+        let mut s = state();
+        let cfg = CacConfig::fast();
+        assert!(s.last_cache_stats().is_none());
+        s.request(spec((0, 0), (1, 0), 100.0), &cfg).unwrap();
+        let first = s.last_cache_stats().expect("stats after a request");
+        // Even a lone request reuses its stage-1 analyses and the muxes
+        // untouched between the feasibility check and the searches.
+        assert!(first.stage1_hits > 0, "{first:?}");
+        // A second request runs its line search against the first as
+        // background: the background-only muxes are analyzed once and
+        // then served from cache on every probe.
+        s.request(spec((1, 0), (2, 0), 120.0), &cfg).unwrap();
+        let second = s.last_cache_stats().expect("stats after a request");
+        assert!(second.mux_hits > 0, "{second:?}");
+        assert!(second.mux_hit_rate() > 0.0);
+        assert!(second.stage1_hit_rate() > 0.0);
     }
 
     #[test]
@@ -943,8 +986,7 @@ mod tests {
         use hetnet_traffic::units::Bits;
         // With per-host buffers far below the Theorem-1.2 requirement of
         // this source, admission must fail outright.
-        let net = HetNetwork::paper_topology()
-            .with_buffers(Some(Bits::from_kbits(10.0)), None);
+        let net = HetNetwork::paper_topology().with_buffers(Some(Bits::from_kbits(10.0)), None);
         let mut s = NetworkState::new(net);
         let d = s
             .request(spec((0, 0), (1, 0), 100.0), &CacConfig::fast())

@@ -67,8 +67,14 @@ mod tests {
     #[test]
     fn spec_carries_contract() {
         let spec = ConnectionSpec {
-            source: HostId { ring: 0, station: 1 },
-            dest: HostId { ring: 2, station: 0 },
+            source: HostId {
+                ring: 0,
+                station: 1,
+            },
+            dest: HostId {
+                ring: 2,
+                station: 0,
+            },
             envelope: Arc::new(ConstantRateEnvelope::new(BitsPerSec::from_mbps(1.0))),
             deadline: Seconds::from_millis(50.0),
         };

@@ -11,17 +11,32 @@
 //!
 //! The CAC's binary searches evaluate the same connection set dozens of
 //! times while only the candidate's allocation changes, so the
-//! [`Evaluator`] caches each connection's *sender side* (source-MAC
-//! analysis + segmentation + flattening — the expensive, allocation-
-//! dependent but cross-traffic-independent stage) and offers a
-//! candidate-only mode that skips the receive-side analysis of existing
-//! connections; the paper's monotonicity argument (existing delays are
-//! nondecreasing in the newcomer's allocation, so checking them at the
-//! maximum suffices) makes that sound.
+//! [`Evaluator`] caches two stages of the work:
+//!
+//! * **Stage 1** (per connection): source-MAC analysis + segmentation +
+//!   flattening — expensive, allocation-dependent, but independent of
+//!   cross traffic. Keyed by (envelope identity, ring, `H_S`).
+//! * **Stage 2** (per multiplexer): the aggregate FIFO analysis of one
+//!   port, keyed by the port plus the exact *member set* — each
+//!   member's wire-envelope identity and the chain of (delay, rate)
+//!   transforms its envelope accumulated on earlier hops. During a line
+//!   search only the muxes the candidate traverses (and their
+//!   downstream dependents) change; every background-only mux is
+//!   analyzed once per admission request and then served from cache.
+//!
+//! Cache hits return the identical reports the miss path would compute,
+//! so cached and uncached evaluations are bit-identical. [`CacheStats`]
+//! exposes hit/miss counters for benchmarks and observability.
+//!
+//! The evaluator also offers a candidate-only mode that skips the
+//! receive-side analysis of existing connections; the paper's
+//! monotonicity argument (existing delays are nondecreasing in the
+//! newcomer's allocation, so checking them at the maximum suffices)
+//! makes that sound.
 
 use crate::error::CacError;
 use crate::network::{HetNetwork, HostId};
-use hetnet_atm::mux::{analyze_mux, per_flow_output};
+use hetnet_atm::mux::{analyze_mux, per_flow_output, MuxReport};
 use hetnet_atm::{AtmError, LinkConfig};
 use hetnet_fddi::mac::{analyze_fddi_mac, DelayOutcome};
 use hetnet_fddi::ring::SyncBandwidth;
@@ -153,7 +168,7 @@ pub enum CandidateOutcome {
 }
 
 /// Which multiplexer a hop refers to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum MuxKey {
     /// The sender-side device's output port onto its access link.
     Uplink(usize),
@@ -182,19 +197,118 @@ struct Stage1Key {
     ring: usize,
 }
 
+/// A stage-1 cache slot. `pin` keeps the keyed envelope's allocation
+/// alive for the evaluator's lifetime: the key uses the `Arc`'s address,
+/// and without the pin a dropped-then-reallocated envelope at the same
+/// address would silently alias a stale entry (the ABA hazard).
+#[derive(Clone, Debug)]
+struct Stage1Entry {
+    _pin: SharedEnvelope,
+    result: Stage1,
+}
+
+/// Identity of one flow *as it enters a multiplexer*: the stage-1 wire
+/// envelope it started from (by pinned `Arc` address) plus the exact
+/// chain of `(delay, rate)` transforms earlier hops applied to it. Two
+/// equal signatures denote envelopes with identical arrival functions,
+/// so a mux analysis may be reused across evaluations.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct FlowSig {
+    wire_ptr: usize,
+    hops: Vec<(u64, u64)>,
+}
+
+impl FlowSig {
+    fn after_hop(&self, delay: Seconds, link: &LinkConfig) -> Self {
+        let mut hops = Vec::with_capacity(self.hops.len() + 1);
+        hops.extend_from_slice(&self.hops);
+        hops.push((delay.value().to_bits(), link.rate.value().to_bits()));
+        Self {
+            wire_ptr: self.wire_ptr,
+            hops,
+        }
+    }
+}
+
+/// Stage-2 cache key: one port plus its member flows in arrival order
+/// (order matters — the aggregate sums envelopes in member order, and
+/// floating-point addition is not associative).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct MuxCacheKey {
+    mux: MuxKey,
+    members: Vec<FlowSig>,
+}
+
+/// A cached stage-2 outcome.
+#[derive(Clone, Debug)]
+enum MuxCached {
+    Ready(MuxReport),
+    Infeasible(String),
+}
+
+/// Cache hit/miss counters of an [`Evaluator`] (monotone over its
+/// lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Sender-side (stage-1) analyses served from cache.
+    pub stage1_hits: u64,
+    /// Sender-side (stage-1) analyses computed.
+    pub stage1_misses: u64,
+    /// Multiplexer (stage-2) analyses served from cache.
+    pub mux_hits: u64,
+    /// Multiplexer (stage-2) analyses computed.
+    pub mux_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of stage-1 lookups that hit, or 0 with no lookups.
+    #[must_use]
+    pub fn stage1_hit_rate(&self) -> f64 {
+        let total = self.stage1_hits + self.stage1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stage1_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of stage-2 (mux) lookups that hit, or 0 with no lookups.
+    #[must_use]
+    pub fn mux_hit_rate(&self) -> f64 {
+        let total = self.mux_hits + self.mux_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.mux_hits as f64 / total as f64
+        }
+    }
+
+    /// Adds `other`'s counters into `self` (for aggregating per-worker
+    /// evaluators after a parallel sweep).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.stage1_hits += other.stage1_hits;
+        self.stage1_misses += other.stage1_misses;
+        self.mux_hits += other.mux_hits;
+        self.mux_misses += other.mux_misses;
+    }
+}
+
 /// A reusable, caching end-to-end delay evaluator.
 ///
-/// The sender-side cache is keyed by the envelope's `Arc` pointer
-/// identity (plus ring and allocation), so an evaluator must not outlive
-/// the envelopes it has seen: use one evaluator per admission request or
-/// per region sweep, where every input envelope stays alive throughout —
-/// exactly how [`crate::cac::NetworkState`] and
-/// [`crate::region::sample_region`] use it.
+/// Both caches are keyed by envelope `Arc` identity; every entry pins
+/// the envelope it was keyed by, so entries can never alias a
+/// reallocated envelope. Use one evaluator per admission request or per
+/// region sweep — exactly how [`crate::cac::NetworkState`] and
+/// [`crate::region::sample_region`] use it — and it will amortize
+/// stage-1 across search iterations and stage-2 across every evaluation
+/// in which a mux's member set is unchanged.
 #[derive(Debug)]
 pub struct Evaluator<'a> {
     net: &'a HetNetwork,
     cfg: EvalConfig,
-    stage1: HashMap<Stage1Key, Stage1>,
+    stage1: HashMap<Stage1Key, Stage1Entry>,
+    mux_cache: HashMap<MuxCacheKey, MuxCached>,
+    stats: CacheStats,
 }
 
 struct Resolved {
@@ -227,13 +341,16 @@ impl<'a> Evaluator<'a> {
             net,
             cfg,
             stage1: HashMap::new(),
+            mux_cache: HashMap::new(),
+            stats: CacheStats::default(),
         }
     }
 
-    /// Number of cached sender-side analyses (diagnostic).
+    /// Hit/miss counters of both caches, accumulated over this
+    /// evaluator's lifetime.
     #[must_use]
-    pub fn cache_len(&self) -> usize {
-        self.stage1.len()
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
     }
 
     fn flatten(&self, env: SharedEnvelope) -> SharedEnvelope {
@@ -253,10 +370,7 @@ impl<'a> Evaluator<'a> {
                 )));
             }
             if !self.net.contains(p.dest) {
-                return Err(CacError::InvalidRequest(format!(
-                    "unknown dest {}",
-                    p.dest
-                )));
+                return Err(CacError::InvalidRequest(format!("unknown dest {}", p.dest)));
             }
             if p.source.ring == p.dest.ring {
                 return Err(CacError::InvalidRequest(
@@ -274,8 +388,10 @@ impl<'a> Evaluator<'a> {
             ring: p.source.ring,
         };
         if let Some(hit) = self.stage1.get(&key) {
-            return Ok(hit.clone());
+            self.stats.stage1_hits += 1;
+            return Ok(hit.result.clone());
         }
+        self.stats.stage1_misses += 1;
         let ring = self.net.ring(p.source.ring);
         let computed = if p.h_s.per_rotation().value() <= 0.0 {
             Stage1::Infeasible("zero synchronous allocation".into())
@@ -290,11 +406,7 @@ impl<'a> Evaluator<'a> {
                 Ok(mac) => match mac.delay {
                     DelayOutcome::Bounded(chi_s) => {
                         let f_s = frames::frame_size(ring, p.h_s);
-                        let seg = segment_envelope(
-                            self.flatten(mac.output),
-                            f_s,
-                            self.net.ifdev(),
-                        );
+                        let seg = segment_envelope(self.flatten(mac.output), f_s, self.net.ifdev());
                         let wire = self.flatten(seg.output_wire);
                         Stage1::Ready {
                             chi_s,
@@ -313,7 +425,13 @@ impl<'a> Evaluator<'a> {
                 Err(e) => return Err(e.into()),
             }
         };
-        self.stage1.insert(key, computed.clone());
+        self.stage1.insert(
+            key,
+            Stage1Entry {
+                _pin: Arc::clone(&p.envelope),
+                result: computed.clone(),
+            },
+        );
         Ok(computed)
     }
 
@@ -322,6 +440,8 @@ impl<'a> Evaluator<'a> {
         let mut stage1 = Vec::with_capacity(paths.len());
         let mut hop_keys = Vec::with_capacity(paths.len());
         let mut hop_envs: Vec<Vec<SharedEnvelope>> = Vec::with_capacity(paths.len());
+        // Parallel to `hop_envs`: the cache signature of each envelope.
+        let mut hop_sigs: Vec<Vec<FlowSig>> = Vec::with_capacity(paths.len());
         for p in paths {
             let s1 = self.stage1_for(p)?;
             let (chi_s, buffer, frame_size, wire) = match s1 {
@@ -339,31 +459,33 @@ impl<'a> Evaluator<'a> {
                 ));
             }
             stage1.push((chi_s, buffer, frame_size));
-            let route = self
-                .net
-                .backbone()
-                .route(self.net.switch_of(p.source.ring), self.net.switch_of(p.dest.ring))?;
+            let route = self.net.backbone().route(
+                self.net.switch_of(p.source.ring),
+                self.net.switch_of(p.dest.ring),
+            )?;
             let mut keys = Vec::with_capacity(route.len() + 2);
             keys.push(MuxKey::Uplink(p.source.ring));
             keys.extend(route.iter().map(|l| MuxKey::Backbone(l.0)));
             keys.push(MuxKey::Downlink(p.dest.ring));
             hop_keys.push(keys);
+            // The wire envelope lives in the stage-1 cache for the
+            // evaluator's lifetime, so its address identifies it.
+            hop_sigs.push(vec![FlowSig {
+                wire_ptr: Arc::as_ptr(&wire) as *const () as usize,
+                hops: Vec::new(),
+            }]);
             hop_envs.push(vec![wire]);
         }
 
-        // Stage 2: resolve multiplexers in dependency order.
+        // Stage 2: resolve multiplexers in dependency order, consulting
+        // the mux cache: a port whose member set (by flow signature) was
+        // analyzed before returns its recorded report verbatim.
         let mut mux_members: BTreeMap<MuxKey, Vec<(usize, usize)>> = BTreeMap::new();
         for (pi, keys) in hop_keys.iter().enumerate() {
             for (hi, k) in keys.iter().enumerate() {
                 mux_members.entry(*k).or_default().push((pi, hi));
             }
         }
-        let link_of = |key: MuxKey| -> LinkConfig {
-            match key {
-                MuxKey::Uplink(_) | MuxKey::Downlink(_) => *self.net.access_link(),
-                MuxKey::Backbone(l) => *self.net.backbone().link(hetnet_atm::LinkId(l)),
-            }
-        };
         let mut mux_delay: BTreeMap<MuxKey, Seconds> = BTreeMap::new();
         let mut unresolved: Vec<MuxKey> = mux_members.keys().copied().collect();
         while !unresolved.is_empty() {
@@ -376,23 +498,54 @@ impl<'a> Evaluator<'a> {
                     remaining.push(key);
                     continue;
                 }
-                let flows: Vec<SharedEnvelope> = members
-                    .iter()
-                    .map(|(pi, hi)| Arc::clone(&hop_envs[*pi][*hi]))
-                    .collect();
-                let link = link_of(key);
-                let report = match analyze_mux(&flows, &link, &self.cfg.analysis) {
-                    Ok(r) => r,
-                    Err(AtmError::Analysis(e)) => {
-                        return Ok(ResolveOutcome::Infeasible(format!("{key:?}: {e}")))
+                let link = match key {
+                    MuxKey::Uplink(_) | MuxKey::Downlink(_) => *self.net.access_link(),
+                    MuxKey::Backbone(l) => *self.net.backbone().link(hetnet_atm::LinkId(l)),
+                };
+                let cache_key = MuxCacheKey {
+                    mux: key,
+                    members: members
+                        .iter()
+                        .map(|(pi, hi)| hop_sigs[*pi][*hi].clone())
+                        .collect(),
+                };
+                let report = match self.mux_cache.get(&cache_key) {
+                    Some(MuxCached::Ready(r)) => {
+                        self.stats.mux_hits += 1;
+                        *r
                     }
-                    Err(e) => return Err(e.into()),
+                    Some(MuxCached::Infeasible(msg)) => {
+                        self.stats.mux_hits += 1;
+                        return Ok(ResolveOutcome::Infeasible(msg.clone()));
+                    }
+                    None => {
+                        self.stats.mux_misses += 1;
+                        let flows: Vec<SharedEnvelope> = members
+                            .iter()
+                            .map(|(pi, hi)| Arc::clone(&hop_envs[*pi][*hi]))
+                            .collect();
+                        match analyze_mux(&flows, &link, &self.cfg.analysis) {
+                            Ok(r) => {
+                                self.mux_cache.insert(cache_key, MuxCached::Ready(r));
+                                r
+                            }
+                            Err(AtmError::Analysis(e)) => {
+                                let msg = format!("{key:?}: {e}");
+                                self.mux_cache
+                                    .insert(cache_key, MuxCached::Infeasible(msg.clone()));
+                                return Ok(ResolveOutcome::Infeasible(msg));
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
                 };
                 mux_delay.insert(key, report.delay_bound);
                 for (pi, hi) in members {
                     debug_assert_eq!(hop_envs[*pi].len(), *hi + 1);
                     let env = Arc::clone(&hop_envs[*pi][*hi]);
                     hop_envs[*pi].push(per_flow_output(env, &report, &link));
+                    let sig = hop_sigs[*pi][*hi].after_hop(report.delay_bound, &link);
+                    hop_sigs[*pi].push(sig);
                 }
                 progressed = true;
             }
@@ -451,11 +604,7 @@ impl<'a> Evaluator<'a> {
 
         let id_r = net.ifdev().receiver_fixed_delay();
 
-        let arrived = Arc::clone(
-            resolved.hop_envs[pi]
-                .last()
-                .expect("route has hops"),
-        );
+        let arrived = Arc::clone(resolved.hop_envs[pi].last().expect("route has hops"));
         let rea = reassemble_envelope(arrived, frame_size, net.ifdev());
         let mac_r = match analyze_fddi_mac(
             rea.output_frames,
@@ -740,9 +889,8 @@ mod tests {
         // Four flows converging on ring 1, each needing ~20 Mb/s of
         // synchronous service at the receiving device, with receive
         // allocations adding to more than TTRT can offer.
-        let mut paths: Vec<PathInput> = (0..4)
-            .map(|s| path((0, s), (1, s % 4), 2.0, 0.9))
-            .collect();
+        let mut paths: Vec<PathInput> =
+            (0..4).map(|s| path((0, s), (1, s % 4), 2.0, 0.9)).collect();
         paths.extend((0..3).map(|s| path((2, s), (1, (s + 1) % 4), 2.0, 0.9)));
         let out = evaluate_paths(&net(), &paths, &EvalConfig::default()).unwrap();
         assert!(matches!(out, EvalOutcome::Infeasible(_)));
@@ -752,18 +900,18 @@ mod tests {
     fn undersized_buffers_make_paths_infeasible() {
         // A generous allocation is feasible with unlimited buffers…
         let generous = path((0, 0), (1, 0), 2.4, 2.4);
-        let unlimited = evaluate_paths(&net(), &[generous.clone()], &EvalConfig::default())
+        let unlimited = evaluate_paths(&net(), std::slice::from_ref(&generous), &EvalConfig::default())
             .unwrap()
             .feasible()
             .expect("feasible without buffer limits");
         let needed = unlimited[0].buffer_mac_s;
         // …but a host buffer below the Theorem-1.2 requirement overflows.
         let tiny = net().with_buffers(Some(Bits::new(needed.value() * 0.5)), None);
-        let out = evaluate_paths(&tiny, &[generous.clone()], &EvalConfig::default()).unwrap();
+        let out = evaluate_paths(&tiny, std::slice::from_ref(&generous), &EvalConfig::default()).unwrap();
         assert!(matches!(out, EvalOutcome::Infeasible(_)));
         // A buffer at least the requirement keeps the path feasible.
         let enough = net().with_buffers(Some(Bits::new(needed.value() * 1.2)), None);
-        let out = evaluate_paths(&enough, &[generous.clone()], &EvalConfig::default()).unwrap();
+        let out = evaluate_paths(&enough, std::slice::from_ref(&generous), &EvalConfig::default()).unwrap();
         assert!(matches!(out, EvalOutcome::Feasible(_)));
         // Same on the device side.
         let needed_r = unlimited[0].buffer_mac_r;
@@ -778,16 +926,91 @@ mod tests {
         let mut ev = Evaluator::new(&network, EvalConfig::default());
         let p0 = path((0, 0), (1, 0), 2.4, 2.4);
         let _ = ev.evaluate_full(std::slice::from_ref(&p0)).unwrap();
-        let after_first = ev.cache_len();
-        assert_eq!(after_first, 1);
-        // Same envelope Arc and H_S: cache hit (no growth).
+        let first = ev.cache_stats();
+        assert_eq!(first.stage1_misses, 1);
+        assert_eq!(first.stage1_hits, 0);
+        assert!(first.mux_misses > 0);
+        assert_eq!(first.mux_hits, 0);
+        // Same envelope Arc, H_S, and member sets: both stages hit.
         let _ = ev.evaluate_full(std::slice::from_ref(&p0)).unwrap();
-        assert_eq!(ev.cache_len(), after_first);
-        // Different H_S: new entry.
+        let second = ev.cache_stats();
+        assert_eq!(second.stage1_hits, 1);
+        assert_eq!(second.stage1_misses, 1);
+        assert_eq!(second.mux_hits, first.mux_misses);
+        assert_eq!(second.mux_misses, first.mux_misses);
+        assert!(second.stage1_hit_rate() > 0.0);
+        assert!(second.mux_hit_rate() > 0.0);
+        // Different H_S: a new wire envelope, so stage 1 misses and
+        // every traversed mux's member set changes (misses again).
         let mut p1 = p0.clone();
         p1.h_s = h(3.0);
         let _ = ev.evaluate_full(&[p1]).unwrap();
-        assert_eq!(ev.cache_len(), after_first + 1);
+        let third = ev.cache_stats();
+        assert_eq!(third.stage1_misses, 2);
+        assert!(third.mux_misses > second.mux_misses);
+    }
+
+    #[test]
+    fn cached_evaluations_are_bit_identical() {
+        let network = net();
+        let paths = [
+            path((0, 0), (1, 0), 2.4, 2.4),
+            path((1, 1), (2, 1), 2.4, 2.4),
+        ];
+        let mut warm = Evaluator::new(&network, EvalConfig::default());
+        let a = warm.evaluate_full(&paths).unwrap().feasible().unwrap();
+        let b = warm.evaluate_full(&paths).unwrap().feasible().unwrap();
+        assert!(warm.cache_stats().mux_hits > 0);
+        let fresh = evaluate_paths(&network, &paths, &EvalConfig::default())
+            .unwrap()
+            .feasible()
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, fresh);
+    }
+
+    #[test]
+    fn cache_survives_envelope_reallocation() {
+        // Regression: both caches are keyed by envelope Arc addresses.
+        // Entries pin their envelope, so a dropped envelope's address
+        // cannot be reused while the evaluator lives; without the pin,
+        // an unlucky reallocation would serve a different connection's
+        // analysis (the ABA hazard).
+        let network = net();
+        let cfg = EvalConfig::default();
+        let mut long_lived = Evaluator::new(&network, cfg.clone());
+        let rounds = 16;
+        for round in 0..rounds {
+            // A fresh, slightly different envelope each round, dropped
+            // at the end of the round: the allocator is free to hand a
+            // later round the same address.
+            let mut p = path((0, 0), (1, 0), 2.4, 2.4);
+            p.envelope = Arc::new(
+                DualPeriodicEnvelope::new(
+                    Bits::from_mbits(1.0 + 0.05 * round as f64),
+                    Seconds::from_millis(100.0),
+                    Bits::from_mbits(0.25),
+                    Seconds::from_millis(10.0),
+                    BitsPerSec::from_mbps(100.0),
+                )
+                .unwrap(),
+            );
+            let cached = long_lived
+                .evaluate_full(std::slice::from_ref(&p))
+                .unwrap()
+                .feasible()
+                .unwrap();
+            let fresh = evaluate_paths(&network, std::slice::from_ref(&p), &cfg)
+                .unwrap()
+                .feasible()
+                .unwrap();
+            assert_eq!(cached, fresh, "round {round}");
+        }
+        // Every round used a distinct envelope, so a correct cache sees
+        // all misses; any hit would have been a false (aliased) one.
+        assert_eq!(long_lived.cache_stats().stage1_hits, 0);
+        assert_eq!(long_lived.cache_stats().stage1_misses, rounds);
+        assert_eq!(long_lived.cache_stats().mux_hits, 0);
     }
 
     #[test]
@@ -800,8 +1023,10 @@ mod tests {
             path((2, 2), (0, 2), 2.4, 2.4),
         ];
         let full = ev.evaluate_full(&paths).unwrap().feasible().unwrap();
-        let CandidateOutcome::Feasible { candidate, mux_delays } =
-            ev.evaluate_candidate(&paths).unwrap()
+        let CandidateOutcome::Feasible {
+            candidate,
+            mux_delays,
+        } = ev.evaluate_candidate(&paths).unwrap()
         else {
             panic!("feasible")
         };

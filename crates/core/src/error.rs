@@ -64,8 +64,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CacError::InvalidNetwork("x".into()).to_string().contains("x"));
-        assert!(CacError::InvalidRequest("y".into()).to_string().contains("y"));
+        assert!(CacError::InvalidNetwork("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(CacError::InvalidRequest("y".into())
+            .to_string()
+            .contains("y"));
         assert!(CacError::UnknownConnection(ConnectionId(3))
             .to_string()
             .contains("connection-3"));

@@ -151,10 +151,7 @@ pub fn run_admission_experiment(
     while result.requests < workload.requests as u64 {
         let next_arrival = now + poisson_interarrival(&mut rng, lambda).value();
         // Process departures first.
-        while departures
-            .peek()
-            .is_some_and(|d| d.at <= next_arrival)
-        {
+        while departures.peek().is_some_and(|d| d.at <= next_arrival) {
             let d = departures.pop().expect("peeked");
             active_area += state.active().len() as f64 * (d.at - last_event);
             last_event = d.at;
@@ -283,10 +280,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let w = Workload::paper_style(0.5, 25, 99);
-        let a = run_admission_experiment(HetNetwork::paper_topology(), &w, &CacConfig::fast())
-            .unwrap();
-        let b = run_admission_experiment(HetNetwork::paper_topology(), &w, &CacConfig::fast())
-            .unwrap();
+        let a =
+            run_admission_experiment(HetNetwork::paper_topology(), &w, &CacConfig::fast()).unwrap();
+        let b =
+            run_admission_experiment(HetNetwork::paper_topology(), &w, &CacConfig::fast()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -294,11 +291,9 @@ mod tests {
     fn bad_deadline_range_rejected() {
         let mut w = Workload::paper_style(0.5, 5, 1);
         w.deadline = (Seconds::from_millis(100.0), Seconds::from_millis(50.0));
-        assert!(run_admission_experiment(
-            HetNetwork::paper_topology(),
-            &w,
-            &CacConfig::default()
-        )
-        .is_err());
+        assert!(
+            run_admission_experiment(HetNetwork::paper_topology(), &w, &CacConfig::default())
+                .is_err()
+        );
     }
 }

@@ -59,7 +59,9 @@ impl HetNetwork {
         access_link: LinkConfig,
     ) -> Result<Self, CacError> {
         if rings.is_empty() {
-            return Err(CacError::InvalidNetwork("at least one ring required".into()));
+            return Err(CacError::InvalidNetwork(
+                "at least one ring required".into(),
+            ));
         }
         if hosts_per_ring == 0 {
             return Err(CacError::InvalidNetwork(
@@ -223,9 +225,18 @@ mod tests {
         assert_eq!(net.access_link().rate.as_mbps(), 155.0);
         assert_eq!(net.switch_of(2), SwitchId(2));
         assert_eq!(net.hosts().count(), 12);
-        assert!(net.contains(HostId { ring: 2, station: 3 }));
-        assert!(!net.contains(HostId { ring: 3, station: 0 }));
-        assert!(!net.contains(HostId { ring: 0, station: 4 }));
+        assert!(net.contains(HostId {
+            ring: 2,
+            station: 3
+        }));
+        assert!(!net.contains(HostId {
+            ring: 3,
+            station: 0
+        }));
+        assert!(!net.contains(HostId {
+            ring: 0,
+            station: 4
+        }));
     }
 
     #[test]
@@ -274,6 +285,15 @@ mod tests {
 
     #[test]
     fn host_display() {
-        assert_eq!(format!("{}", HostId { ring: 1, station: 2 }), "host-1.2");
+        assert_eq!(
+            format!(
+                "{}",
+                HostId {
+                    ring: 1,
+                    station: 2
+                }
+            ),
+            "host-1.2"
+        );
     }
 }

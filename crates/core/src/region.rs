@@ -13,7 +13,7 @@
 
 use crate::cac::CacConfig;
 use crate::connection::ConnectionSpec;
-use crate::delay::{CandidateOutcome, Evaluator, PathInput};
+use crate::delay::{CacheStats, CandidateOutcome, Evaluator, PathInput};
 use crate::error::CacError;
 use crate::network::HetNetwork;
 use hetnet_fddi::ring::SyncBandwidth;
@@ -123,8 +123,14 @@ impl RegionMap {
         }
         let cols = self.h_s.len();
         out.push_str(&format!("      +{}\n", "-".repeat(cols)));
-        let lo = self.h_s.first().map_or(0.0, |h| h.per_rotation().as_millis());
-        let hi = self.h_s.last().map_or(0.0, |h| h.per_rotation().as_millis());
+        let lo = self
+            .h_s
+            .first()
+            .map_or(0.0, |h| h.per_rotation().as_millis());
+        let hi = self
+            .h_s
+            .last()
+            .map_or(0.0, |h| h.per_rotation().as_millis());
         out.push_str(&format!(
             "       H_S: {lo:.2} .. {hi:.2} ms/rotation ('#' feasible)\n"
         ));
@@ -132,17 +138,30 @@ impl RegionMap {
     }
 }
 
+/// A sampled region plus the sweep's evaluator cache statistics
+/// (summed over every worker's evaluator when the sweep is parallel).
+#[derive(Clone, Debug)]
+pub struct RegionSample {
+    /// The sampled feasibility map.
+    pub map: RegionMap,
+    /// Cache hit/miss counters accumulated by the sweep.
+    pub stats: CacheStats,
+}
+
 /// Samples the feasible region of `spec` against the currently `active`
 /// connections on a `grid × grid` lattice spanning
 /// `[min_abs, max_avail]` on both axes.
 ///
+/// Cells are evaluated in parallel across the machine's available
+/// cores. Each worker owns a private [`Evaluator`], and cells are
+/// independent, so the result is bit-identical to a sequential sweep
+/// (see [`sample_region_seq`]).
+///
 /// # Errors
 ///
-/// Returns [`CacError`] for malformed requests or networks.
-///
-/// # Panics
-///
-/// Panics if `grid < 2`.
+/// Returns [`CacError`] for malformed requests or networks, including
+/// [`CacError::InvalidRequest`] if `grid < 2` (one sample per axis
+/// cannot span a `[min, max]` interval).
 pub fn sample_region(
     net: &HetNetwork,
     active: &[PathInput],
@@ -152,7 +171,69 @@ pub fn sample_region(
     grid: usize,
     cfg: &CacConfig,
 ) -> Result<RegionMap, CacError> {
-    assert!(grid >= 2, "grid must be at least 2x2");
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    Ok(sample_region_threads(
+        net,
+        active,
+        spec,
+        available_s,
+        available_r,
+        grid,
+        cfg,
+        threads,
+    )?
+    .map)
+}
+
+/// Sequential [`sample_region`]: one evaluator, cells in row-major
+/// order. The benchmark baseline the parallel sweep is measured (and
+/// bit-compared) against.
+///
+/// # Errors
+///
+/// Identical to [`sample_region`].
+pub fn sample_region_seq(
+    net: &HetNetwork,
+    active: &[PathInput],
+    spec: &ConnectionSpec,
+    available_s: Seconds,
+    available_r: Seconds,
+    grid: usize,
+    cfg: &CacConfig,
+) -> Result<RegionMap, CacError> {
+    Ok(sample_region_threads(net, active, spec, available_s, available_r, grid, cfg, 1)?.map)
+}
+
+/// [`sample_region`] with an explicit worker count, returning the
+/// sweep's cache statistics alongside the map.
+///
+/// The `grid × grid` cells are split into `threads` contiguous
+/// row-major chunks, one scoped worker thread per chunk, each with its
+/// own [`Evaluator`]. Because every cell's evaluation is independent of
+/// the others (caches only short-circuit recomputation; hits return the
+/// values the miss path would compute), the stitched result is
+/// bit-identical for every `threads` value. `threads` is clamped to
+/// `[1, grid²]`.
+///
+/// # Errors
+///
+/// Identical to [`sample_region`].
+#[allow(clippy::too_many_arguments)]
+pub fn sample_region_threads(
+    net: &HetNetwork,
+    active: &[PathInput],
+    spec: &ConnectionSpec,
+    available_s: Seconds,
+    available_r: Seconds,
+    grid: usize,
+    cfg: &CacConfig,
+    threads: usize,
+) -> Result<RegionSample, CacError> {
+    if grid < 2 {
+        return Err(CacError::InvalidRequest(format!(
+            "region grid must be at least 2x2, got {grid}x{grid}"
+        )));
+    }
     let ring_s = net.ring(spec.source.ring);
     let ring_r = net.ring(spec.dest.ring);
     let min_s = hetnet_fddi::frames::min_allocation(ring_s, cfg.min_frame_efficiency);
@@ -168,34 +249,77 @@ pub fn sample_region(
     let h_s = axis(min_s, max_s);
     let h_r = axis(min_r, max_r);
 
-    let mut ev = Evaluator::new(net, cfg.eval.clone());
-    let mut cells = Vec::with_capacity(grid);
-    for hr in &h_r {
-        let mut row = Vec::with_capacity(grid);
-        for hs in &h_s {
-            let mut inputs = active.to_vec();
-            inputs.push(PathInput {
-                source: spec.source,
-                dest: spec.dest,
-                envelope: Arc::clone(&spec.envelope),
-                h_s: *hs,
-                h_r: *hr,
-            });
+    // The shared input prefix (active connections + candidate slot) is
+    // built once; each worker clones it once and then only rewrites the
+    // candidate's allocations per cell.
+    let mut base: Vec<PathInput> = active.to_vec();
+    base.push(PathInput {
+        source: spec.source,
+        dest: spec.dest,
+        envelope: Arc::clone(&spec.envelope),
+        h_s: h_s[0],
+        h_r: h_r[0],
+    });
+
+    // Evaluates the row-major cells `range`, returning their
+    // feasibility bits and the worker evaluator's cache statistics.
+    let eval_range = |range: std::ops::Range<usize>| -> Result<(Vec<bool>, CacheStats), CacError> {
+        let mut ev = Evaluator::new(net, cfg.eval.clone());
+        let mut inputs = base.clone();
+        let mut bits = Vec::with_capacity(range.len());
+        for idx in range {
+            let cand = inputs.last_mut().expect("candidate slot present");
+            cand.h_s = h_s[idx % grid];
+            cand.h_r = h_r[idx / grid];
             // Candidate-only feasibility: existing deadlines are
             // monotone in the newcomer's allocation, so the caller
             // checks them once at the maximum corner (as the CAC does);
             // here we map the newcomer's own constraint (eq. 25).
             let feasible = match ev.evaluate_candidate(&inputs)? {
-                CandidateOutcome::Feasible { candidate, .. } => {
-                    candidate.total <= spec.deadline
-                }
+                CandidateOutcome::Feasible { candidate, .. } => candidate.total <= spec.deadline,
                 CandidateOutcome::Infeasible(_) => false,
             };
-            row.push(feasible);
+            bits.push(feasible);
         }
-        cells.push(row);
+        Ok((bits, ev.cache_stats()))
+    };
+
+    let total = grid * grid;
+    let workers = threads.clamp(1, total);
+    let mut flat = Vec::with_capacity(total);
+    let mut stats = CacheStats::default();
+    if workers == 1 {
+        let (bits, s) = eval_range(0..total)?;
+        flat = bits;
+        stats = s;
+    } else {
+        let chunk = total.div_ceil(workers);
+        let chunks: Vec<Result<(Vec<bool>, CacheStats), CacError>> = std::thread::scope(|scope| {
+            let eval_range = &eval_range;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(total);
+                    scope.spawn(move || eval_range(lo..hi.max(lo)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("region worker panicked"))
+                .collect()
+        });
+        for c in chunks {
+            let (bits, s) = c?;
+            flat.extend(bits);
+            stats.merge(&s);
+        }
     }
-    Ok(RegionMap { h_s, h_r, cells })
+    debug_assert_eq!(flat.len(), total);
+    let cells: Vec<Vec<bool>> = flat.chunks(grid).map(<[bool]>::to_vec).collect();
+    Ok(RegionSample {
+        map: RegionMap { h_s, h_r, cells },
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -207,8 +331,14 @@ mod tests {
 
     fn spec(deadline_ms: f64) -> ConnectionSpec {
         ConnectionSpec {
-            source: HostId { ring: 0, station: 0 },
-            dest: HostId { ring: 1, station: 0 },
+            source: HostId {
+                ring: 0,
+                station: 0,
+            },
+            dest: HostId {
+                ring: 1,
+                station: 0,
+            },
             envelope: Arc::new(
                 DualPeriodicEnvelope::new(
                     Bits::from_mbits(2.0),
@@ -262,6 +392,51 @@ mod tests {
         assert!(m.any_feasible());
         assert!(!*m.cells.first().unwrap().first().unwrap());
         assert_eq!(m.convexity_violations(), 0, "{}", m.ascii());
+    }
+
+    #[test]
+    fn degenerate_grid_is_an_error_not_a_panic() {
+        let net = HetNetwork::paper_topology();
+        let cfg = CacConfig::fast();
+        for grid in [0, 1] {
+            let r = sample_region(
+                &net,
+                &[],
+                &spec(100.0),
+                Seconds::from_millis(7.2),
+                Seconds::from_millis(7.2),
+                grid,
+                &cfg,
+            );
+            assert!(matches!(r, Err(CacError::InvalidRequest(_))), "grid {grid}");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_map() {
+        let net = HetNetwork::paper_topology();
+        let cfg = CacConfig::fast();
+        let run = |threads| {
+            sample_region_threads(
+                &net,
+                &[],
+                &spec(60.0),
+                Seconds::from_millis(7.2),
+                Seconds::from_millis(7.2),
+                5,
+                &cfg,
+                threads,
+            )
+            .unwrap()
+        };
+        let seq = run(1);
+        for threads in [2, 3, 7, 64] {
+            let par = run(threads);
+            assert_eq!(par.map.cells, seq.map.cells, "threads {threads}");
+        }
+        // The sequential single evaluator reuses everything it can.
+        assert!(seq.stats.stage1_hits > 0);
+        assert!(seq.stats.mux_hits > 0);
     }
 
     #[test]

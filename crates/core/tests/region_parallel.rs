@@ -1,0 +1,152 @@
+//! Determinism of the parallel region sweep: for every worker count,
+//! the stitched map — cells and both axes — is exactly (bitwise) the
+//! sequential result. Randomizes the candidate source, its deadline,
+//! and the active-connection background; sweeps grids from 2×2 up to
+//! 17×17, including worker counts that do not divide the cell count
+//! evenly.
+
+use hetnet_cac::cac::CacConfig;
+use hetnet_cac::connection::ConnectionSpec;
+use hetnet_cac::delay::PathInput;
+use hetnet_cac::network::{HetNetwork, HostId};
+use hetnet_cac::region::{sample_region_threads, RegionSample};
+use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_traffic::envelope::SharedEnvelope;
+use hetnet_traffic::models::DualPeriodicEnvelope;
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn envelope(c1_mbit: f64, bursts: usize) -> SharedEnvelope {
+    Arc::new(
+        DualPeriodicEnvelope::new(
+            Bits::from_mbits(c1_mbit),
+            Seconds::from_millis(100.0),
+            Bits::from_mbits(c1_mbit / bursts as f64),
+            Seconds::from_millis(100.0 / bursts as f64),
+            BitsPerSec::from_mbps(100.0),
+        )
+        .expect("generated source valid"),
+    )
+}
+
+/// A background connection from ring `k % 3` to the next ring, with a
+/// moderate fixed allocation.
+fn background(k: usize, c1_mbit: f64) -> PathInput {
+    let h = SyncBandwidth::new(Seconds::from_millis(2.2));
+    PathInput {
+        source: HostId {
+            ring: k % 3,
+            station: k % 4,
+        },
+        dest: HostId {
+            ring: (k + 1) % 3,
+            station: (k + 2) % 4,
+        },
+        envelope: envelope(c1_mbit, 5),
+        h_s: h,
+        h_r: h,
+    }
+}
+
+fn candidate(c1_mbit: f64, bursts: usize, deadline_ms: f64) -> ConnectionSpec {
+    ConnectionSpec {
+        source: HostId {
+            ring: 0,
+            station: 0,
+        },
+        dest: HostId {
+            ring: 1,
+            station: 0,
+        },
+        envelope: envelope(c1_mbit, bursts),
+        deadline: Seconds::from_millis(deadline_ms),
+    }
+}
+
+fn sweep(
+    net: &HetNetwork,
+    active: &[PathInput],
+    spec: &ConnectionSpec,
+    grid: usize,
+    threads: usize,
+) -> RegionSample {
+    sample_region_threads(
+        net,
+        active,
+        spec,
+        Seconds::from_millis(7.2),
+        Seconds::from_millis(7.2),
+        grid,
+        &CacConfig::fast(),
+        threads,
+    )
+    .expect("well-formed request")
+}
+
+/// Bitwise equality of an allocation axis.
+fn axis_bits(axis: &[SyncBandwidth]) -> Vec<u64> {
+    axis.iter()
+        .map(|h| h.per_rotation().value().to_bits())
+        .collect()
+}
+
+fn assert_identical(seq: &RegionSample, par: &RegionSample, label: &str) {
+    assert_eq!(par.map.cells, seq.map.cells, "{label}: cells diverged");
+    assert_eq!(
+        axis_bits(&par.map.h_s),
+        axis_bits(&seq.map.h_s),
+        "{label}: H_S axis diverged"
+    );
+    assert_eq!(
+        axis_bits(&par.map.h_r),
+        axis_bits(&seq.map.h_r),
+        "{label}: H_R axis diverged"
+    );
+}
+
+proptest! {
+    // Each case runs one sequential sweep plus three parallel ones.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_sweep_matches_sequential(
+        c1_mbit in 0.8_f64..2.5,
+        bursts in 4_usize..12,
+        deadline_ms in 30.0_f64..150.0,
+        grid in 2_usize..6,
+        n_active in 0_usize..5,
+    ) {
+        let net = HetNetwork::paper_topology();
+        let active: Vec<PathInput> =
+            (0..n_active).map(|k| background(k, 1.0 + 0.2 * k as f64)).collect();
+        let spec = candidate(c1_mbit, bursts, deadline_ms);
+        let seq = sweep(&net, &active, &spec, grid, 1);
+        // 3 and 7 leave ragged final chunks for most grid sizes.
+        for threads in [2, 3, 7] {
+            let par = sweep(&net, &active, &spec, grid, threads);
+            assert_identical(&seq, &par, &format!("grid {grid}, threads {threads}"));
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_sequential_on_large_grid() {
+    // The benchmark configuration: 17×17 cells over 8 active
+    // connections. 5 and 16 workers split 289 cells unevenly.
+    let net = HetNetwork::paper_topology();
+    let active: Vec<PathInput> = (0..8)
+        .map(|k| background(k, 0.9 + 0.1 * k as f64))
+        .collect();
+    let spec = candidate(1.8, 6, 80.0);
+    let seq = sweep(&net, &active, &spec, 17, 1);
+    for threads in [5, 16] {
+        let par = sweep(&net, &active, &spec, 17, threads);
+        assert_identical(&seq, &par, &format!("grid 17, threads {threads}"));
+    }
+    // A 17×17 sweep revisits each column's wire envelope 17 times and
+    // every background-only mux every cell: the caches must be earning
+    // their keep in the sequential sweep.
+    assert!(seq.stats.mux_hits > 0, "{:?}", seq.stats);
+    assert!(seq.stats.stage1_hit_rate() > 0.5, "{:?}", seq.stats);
+}

@@ -24,7 +24,10 @@ impl DelayLine {
     /// Panics if `delay` is negative.
     #[must_use]
     pub fn new(delay: Seconds) -> Self {
-        assert!(!delay.is_negative(), "propagation delay must be non-negative");
+        assert!(
+            !delay.is_negative(),
+            "propagation delay must be non-negative"
+        );
         Self { delay }
     }
 

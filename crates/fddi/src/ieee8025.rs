@@ -151,8 +151,8 @@ mod tests {
 
     #[test]
     fn station_analysis_produces_bounds() {
-        let r = analyze_8025_station(source(500.0), &config(), 1, &AnalysisConfig::default())
-            .unwrap();
+        let r =
+            analyze_8025_station(source(500.0), &config(), 1, &AnalysisConfig::default()).unwrap();
         assert!(r.delay_bound.value() > 0.0);
         // Light load: delay within a few rotations.
         assert!(r.delay_bound.as_millis() < 3.0 * 4.05 + 1e-6);
@@ -166,10 +166,9 @@ mod tests {
         generous.holding_times[0] = Seconds::from_millis(3.0);
         // NOTE: increasing one budget also lengthens the rotation, so this
         // compares station 0 against itself with both effects included.
-        let d_base =
-            analyze_8025_station(source(200.0), &base, 0, &AnalysisConfig::default())
-                .unwrap()
-                .delay_bound;
+        let d_base = analyze_8025_station(source(200.0), &base, 0, &AnalysisConfig::default())
+            .unwrap()
+            .delay_bound;
         let d_generous =
             analyze_8025_station(source(200.0), &generous, 0, &AnalysisConfig::default())
                 .unwrap()

@@ -117,8 +117,8 @@ mod tests {
 
     #[test]
     fn normalized_spends_whole_budget_proportionally() {
-        let hs = AllocationScheme::NormalizedProportional
-            .allocate(&ring(), &[mbps(30.0), mbps(10.0)]);
+        let hs =
+            AllocationScheme::NormalizedProportional.allocate(&ring(), &[mbps(30.0), mbps(10.0)]);
         let total: Seconds = hs.iter().map(|h| h.per_rotation()).sum();
         assert!((total.as_millis() - 7.2).abs() < 1e-9);
         assert!((hs[0].per_rotation() / hs[1].per_rotation() - 3.0).abs() < 1e-9);

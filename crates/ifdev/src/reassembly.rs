@@ -50,10 +50,7 @@ pub fn reassemble_envelope(
     let scale = frame_size.value() / wire_per_frame.value();
     ReassemblyReport {
         delay_bound: config.reassembly_time,
-        output_frames: Arc::new(Padded::new(
-            Arc::new(Scaled::new(input, scale)),
-            frame_size,
-        )),
+        output_frames: Arc::new(Padded::new(Arc::new(Scaled::new(input, scale)), frame_size)),
     }
 }
 
@@ -72,11 +69,8 @@ mod tests {
     fn inverse_of_segmentation_in_the_long_run() {
         // 1000-bit frames -> 3 cells -> 1272 wire bits per frame.
         let frame = Bits::new(1000.0);
-        let seg = crate::segmentation::segment_envelope(
-            cbr(1000.0),
-            frame,
-            &IfDevConfig::typical(),
-        );
+        let seg =
+            crate::segmentation::segment_envelope(cbr(1000.0), frame, &IfDevConfig::typical());
         let rea = reassemble_envelope(seg.output_wire, frame, &IfDevConfig::typical());
         // Sustained rate returns to ~the original frame rate.
         assert!((rea.output_frames.sustained_rate().value() - 1000.0).abs() < 1e-6);

@@ -102,17 +102,18 @@ mod tests {
         // Frames of 768 bits = exactly 2 cells.
         let r = segment_envelope(cbr(768.0), Bits::new(768.0), &IfDevConfig::typical());
         assert_eq!(r.cells_per_frame, 2);
-        assert_eq!(
-            r.output_payload.arrivals(Seconds::new(1.0)).value(),
-            768.0
-        );
+        assert_eq!(r.output_payload.arrivals(Seconds::new(1.0)).value(), 768.0);
     }
 
     #[test]
     fn output_dominates_input() {
         // Cell padding means the output envelope is never below the input.
         let input = cbr(5000.0);
-        let r = segment_envelope(Arc::clone(&input), Bits::new(1000.0), &IfDevConfig::typical());
+        let r = segment_envelope(
+            Arc::clone(&input),
+            Bits::new(1000.0),
+            &IfDevConfig::typical(),
+        );
         for k in 0..100 {
             let i = Seconds::new(k as f64 * 0.01);
             assert!(

@@ -1,0 +1,163 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! The build environment is fully offline, so the real `criterion`
+//! cannot be fetched. This shim keeps the workspace's benches
+//! compiling and *running*: [`Criterion::bench_function`] warms the
+//! closure up, then times `sample_size` batches and prints
+//! min/mean/max per-iteration wall-clock times. No statistical
+//! analysis, HTML reports, or regression detection — swap the real
+//! crate back in for those.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring one benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(600);
+
+/// The benchmark driver (subset of the real API).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark: calibrates an iteration count, then times
+    /// `sample_size` batches and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration pass: how long does one batch of 1 take?
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let budget = TARGET_MEASURE.as_secs_f64() / self.sample_size as f64;
+        let iters = (budget / per_iter.as_secs_f64()).clamp(1.0, 1.0e7) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0_f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:<40} [{} {} {}]  ({} samples x {iters} iters)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            samples.len(),
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1.0e-6 {
+        format!("{:.1} ns", secs * 1.0e9)
+    } else if secs < 1.0e-3 {
+        format!("{:.2} us", secs * 1.0e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1.0e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Times the closure handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the batch's iteration count, timing the whole batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Groups benchmark functions under one callable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1_u64) + black_box(2)));
+    }
+
+    criterion_group!(
+        name = demo;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    );
+
+    #[test]
+    fn group_runs() {
+        demo();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(5.0e-9).ends_with("ns"));
+        assert!(fmt_time(5.0e-6).ends_with("us"));
+        assert!(fmt_time(5.0e-3).ends_with("ms"));
+        assert!(fmt_time(2.5).ends_with("s"));
+    }
+}

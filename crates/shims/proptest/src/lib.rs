@@ -1,0 +1,299 @@
+//! Workspace-local stand-in for `proptest`.
+//!
+//! The build environment is fully offline, so the real `proptest`
+//! cannot be fetched. This shim implements the subset its callers use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! [`prop_assert!`]/[`prop_assert_eq!`], range and tuple strategies,
+//! [`Strategy::prop_map`]/[`Strategy::prop_filter`],
+//! [`collection::vec`] and [`bool::ANY`].
+//!
+//! Differences from upstream, deliberately accepted for tests: no
+//! shrinking (a failing case reports its inputs via the assertion
+//! message instead), and sampling streams are deterministic per test
+//! *name* rather than per persisted failure file. Each test runs
+//! `ProptestConfig::cases` random cases.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (subset of upstream's).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The generator driving strategy sampling.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic generator for a named test.
+#[must_use]
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (resampling otherwise).
+    /// `whence` labels the filter in the panic raised if the predicate
+    /// rejects too often.
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 10000 samples in a row",
+            self.whence
+        );
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategies!(usize, u64, u32, i64, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `size.len()` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// The common imports of a proptest-based test file.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Defines property tests: each `#[test] fn name(bindings in strategies)
+/// { body }` runs `body` for `cases` sampled bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for _ in 0..__cfg.cases {
+                    $( let $pat = $crate::Strategy::sample(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a name the proptest API expects.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name the proptest API expects.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0.0_f64..1.0, 3_usize..=5), v in crate::collection::vec(0_u64..10, 1..4)) {
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((3..=5).contains(&b));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn map_and_filter(x in (0_usize..100).prop_map(|v| v * 2).prop_filter("nonzero", |v| *v > 0)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(x > 0);
+        }
+    }
+
+    #[test]
+    fn named_rng_is_stable() {
+        let mut a = crate::test_rng("t");
+        let mut b = crate::test_rng("t");
+        assert_eq!(
+            crate::Strategy::sample(&(0.0_f64..1.0), &mut a).to_bits(),
+            crate::Strategy::sample(&(0.0_f64..1.0), &mut b).to_bits()
+        );
+    }
+}

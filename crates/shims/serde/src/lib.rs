@@ -1,0 +1,13 @@
+//! Workspace-local stand-in for the `serde` facade.
+//!
+//! The build environment is fully offline, so the real `serde` cannot
+//! be fetched. The workspace uses serde only for `#[derive(Serialize,
+//! Deserialize)]` annotations on config types; nothing serializes at
+//! runtime. This facade re-exports no-op derives (which still accept
+//! `#[serde(...)]` helper attributes) so every annotated type compiles
+//! unchanged. Swapping in the real serde later is a one-line change in
+//! the workspace manifest.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

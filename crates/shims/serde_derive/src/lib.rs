@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment for this workspace is fully offline: no crates
+//! can be fetched from a registry. The workspace only *derives*
+//! `Serialize`/`Deserialize` on config structs (nothing serializes at
+//! runtime yet), so these derives expand to nothing while still
+//! accepting the `#[serde(...)]` helper attributes. When a real
+//! serialization backend lands, this shim is replaced by the real crate
+//! without touching any call site.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -204,11 +204,7 @@ pub fn run(scenario: &E2eScenario) -> SimReport {
         hops.push((
             uplink(c.source_ring),
             scenario.access_link.propagation.value()
-                + scenario
-                    .backbone
-                    .switch(sw_s)
-                    .fabric_latency
-                    .value(),
+                + scenario.backbone.switch(sw_s).fabric_latency.value(),
         ));
         for l in &path {
             let target = scenario.backbone.link_target(*l);
@@ -276,7 +272,13 @@ pub fn run(scenario: &E2eScenario) -> SimReport {
     }
     // Seed one token per ring.
     for r in 0..n_rings {
-        sched.schedule_at(Seconds::ZERO, Ev::Token { ring: r, station: 0 });
+        sched.schedule_at(
+            Seconds::ZERO,
+            Ev::Token {
+                ring: r,
+                station: 0,
+            },
+        );
     }
 
     // Serves up to `budget` bits from `queue` starting at `t`; returns the
@@ -291,7 +293,9 @@ pub fn run(scenario: &E2eScenario) -> SimReport {
         let mut served = 0.0;
         let mut done = Vec::new();
         while served < budget {
-            let Some(front) = queue.front_mut() else { break };
+            let Some(front) = queue.front_mut() else {
+                break;
+            };
             let take = front.remaining.min(budget - served);
             front.remaining -= take;
             served += take;
@@ -330,8 +334,7 @@ pub fn run(scenario: &E2eScenario) -> SimReport {
                     for (ci, c) in scenario.connections.iter().enumerate() {
                         if c.source_ring == ring && c.source_station == station {
                             let budget = c.h_s.quantum(rc.bandwidth).value();
-                            let (used, done) =
-                                serve(&mut src_queue[ci], budget, bw, t + service);
+                            let (used, done) = serve(&mut src_queue[ci], budget, bw, t + service);
                             service += used;
                             for (at, meta) in done {
                                 // Last bit propagates to the interface
@@ -349,8 +352,7 @@ pub fn run(scenario: &E2eScenario) -> SimReport {
                     for (ci, c) in scenario.connections.iter().enumerate() {
                         if c.dest_ring == ring {
                             let budget = c.h_r.quantum(rc.bandwidth).value();
-                            let (used, done) =
-                                serve(&mut idr_queue[ci], budget, bw, t + service);
+                            let (used, done) = serve(&mut idr_queue[ci], budget, bw, t + service);
                             service += used;
                             for (at, meta) in done {
                                 let arrive = at + rc.propagation.value();
@@ -559,7 +561,10 @@ mod tests {
         // Having a second active station cannot reduce conn 0's delay by
         // more than scheduling noise, and everything still delivers.
         assert!(d_duo.value() >= d_solo.value() * 0.5);
-        assert_eq!(duo.connections[1].chunks_sent, duo.connections[1].chunks_delivered);
+        assert_eq!(
+            duo.connections[1].chunks_sent,
+            duo.connections[1].chunks_delivered
+        );
     }
 
     #[test]

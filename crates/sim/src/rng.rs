@@ -91,11 +91,15 @@ mod tests {
     fn deterministic_from_seed() {
         let a: Vec<f64> = {
             let mut rng = StdRng::seed_from_u64(9);
-            (0..10).map(|_| exponential(&mut rng, Seconds::new(1.0)).value()).collect()
+            (0..10)
+                .map(|_| exponential(&mut rng, Seconds::new(1.0)).value())
+                .collect()
         };
         let b: Vec<f64> = {
             let mut rng = StdRng::seed_from_u64(9);
-            (0..10).map(|_| exponential(&mut rng, Seconds::new(1.0)).value()).collect()
+            (0..10)
+                .map(|_| exponential(&mut rng, Seconds::new(1.0)).value())
+                .collect()
         };
         assert_eq!(a, b);
     }

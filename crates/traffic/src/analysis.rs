@@ -165,17 +165,14 @@ fn find_busy_interval(
     // n*S(P) + S(s) <= S(nP+s)). Curves with an up-front burst lack the
     // superadditivity step, so scan several periods before concluding.
     let periods = if service.is_superadditive() { 1.0 } else { 4.0 };
-    let floor = arrival
-        .period_hint()
-        .map_or(Seconds::ZERO, |p| p * periods);
+    let floor = arrival.period_hint().map_or(Seconds::ZERO, |p| p * periods);
     let mut horizon = (seed * 8.0).max(floor).min(cfg.max_horizon);
 
     loop {
         let mut extra = Vec::new();
         service.breakpoints(horizon, &mut extra);
         let ts = candidate_times(&[arrival], &extra, horizon, cfg.guard_subdivisions);
-        let violated =
-            |t: Seconds| t > Seconds::ZERO && arrival.arrivals(t) > service.provided(t);
+        let violated = |t: Seconds| t > Seconds::ZERO && arrival.arrivals(t) > service.provided(t);
 
         let mut last_violation: Option<usize> = None;
         for (idx, &t) in ts.iter().enumerate() {
@@ -547,7 +544,9 @@ mod tests {
         let mut pts = Vec::new();
         out.breakpoints(Seconds::new(2.0), &mut pts);
         assert!(!pts.is_empty());
-        assert!(pts.iter().all(|p| *p > Seconds::ZERO && *p <= Seconds::new(2.0)));
+        assert!(pts
+            .iter()
+            .all(|p| *p > Seconds::ZERO && *p <= Seconds::new(2.0)));
     }
 
     #[test]

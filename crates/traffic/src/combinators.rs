@@ -440,7 +440,7 @@ impl Sampled {
         let ts_raw = crate::envelope::candidate_times(&[&inner], &[], horizon, subdivisions);
         let mut ts = Vec::with_capacity(ts_raw.len() + 1);
         let mut vals = Vec::with_capacity(ts_raw.len() + 1);
-        if ts_raw.first().map_or(true, |t| t.value() > 0.0) {
+        if ts_raw.first().is_none_or(|t| t.value() > 0.0) {
             ts.push(0.0);
             vals.push(inner.arrivals(Seconds::ZERO).value());
         }
@@ -745,8 +745,12 @@ mod tests {
     #[test]
     fn quantized_dominates_input() {
         let inner: SharedEnvelope = Arc::new(
-            PeriodicEnvelope::new(Bits::new(2500.0), Seconds::new(1.0), BitsPerSec::new(10_000.0))
-                .unwrap(),
+            PeriodicEnvelope::new(
+                Bits::new(2500.0),
+                Seconds::new(1.0),
+                BitsPerSec::new(10_000.0),
+            )
+            .unwrap(),
         );
         let q = Quantized::new(Arc::clone(&inner), Bits::new(1000.0), Bits::new(1000.0));
         // With unit_out == unit_in, quantization only rounds up (modulo

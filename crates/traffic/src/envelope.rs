@@ -262,12 +262,7 @@ mod tests {
     #[test]
     fn candidate_times_include_extras_and_subdivisions() {
         let env = ConstantRateEnvelope::new(BitsPerSec::new(1.0));
-        let pts = candidate_times(
-            &[&env],
-            &[Seconds::new(0.25)],
-            Seconds::new(1.0),
-            3,
-        );
+        let pts = candidate_times(&[&env], &[Seconds::new(0.25)], Seconds::new(1.0), 3);
         assert!(pts.iter().any(|p| p.value() == 0.25));
         // Subdivision points between 0.25 and 1.0 should exist.
         assert!(pts.iter().any(|p| p.value() > 0.3 && p.value() < 0.9));

@@ -272,10 +272,7 @@ mod tests {
             let t = k as f64 * 0.00061;
             let lo = e.arrivals(Seconds::new(t - 1e-9)).value();
             let hi = e.arrivals(Seconds::new(t + 1e-9)).value();
-            assert!(
-                (hi - lo) < 1.0e-3,
-                "discontinuity at t={t}: {lo} -> {hi}"
-            );
+            assert!((hi - lo) < 1.0e-3, "discontinuity at t={t}: {lo} -> {hi}");
         }
     }
 

@@ -123,8 +123,7 @@ mod tests {
 
     fn env() -> PeriodicEnvelope {
         // 100 bits every 1 s, peak 1000 b/s (ramp takes 0.1 s).
-        PeriodicEnvelope::new(Bits::new(100.0), Seconds::new(1.0), BitsPerSec::new(1000.0))
-            .unwrap()
+        PeriodicEnvelope::new(Bits::new(100.0), Seconds::new(1.0), BitsPerSec::new(1000.0)).unwrap()
     }
 
     #[test]
@@ -178,16 +177,13 @@ mod tests {
     #[test]
     fn validation() {
         assert!(
-            PeriodicEnvelope::new(Bits::new(0.0), Seconds::new(1.0), BitsPerSec::new(1.0))
-                .is_err()
+            PeriodicEnvelope::new(Bits::new(0.0), Seconds::new(1.0), BitsPerSec::new(1.0)).is_err()
         );
         assert!(
-            PeriodicEnvelope::new(Bits::new(1.0), Seconds::new(0.0), BitsPerSec::new(1.0))
-                .is_err()
+            PeriodicEnvelope::new(Bits::new(1.0), Seconds::new(0.0), BitsPerSec::new(1.0)).is_err()
         );
         assert!(
-            PeriodicEnvelope::new(Bits::new(1.0), Seconds::new(1.0), BitsPerSec::new(0.0))
-                .is_err()
+            PeriodicEnvelope::new(Bits::new(1.0), Seconds::new(1.0), BitsPerSec::new(0.0)).is_err()
         );
         // C > R*P: burst cannot be emitted within one period.
         assert!(

@@ -53,10 +53,7 @@ impl PiecewiseLinearEnvelope {
     /// tail rate no steeper than the last segment). Concavity is what
     /// makes a set of window constraints self-consistent: the tightest
     /// combination of "`A_k` bits in any `I_k`" bounds is concave.
-    pub fn new(
-        points: Vec<(Seconds, Bits)>,
-        tail_rate: BitsPerSec,
-    ) -> Result<Self, TrafficError> {
+    pub fn new(points: Vec<(Seconds, Bits)>, tail_rate: BitsPerSec) -> Result<Self, TrafficError> {
         if points.is_empty() {
             return Err(TrafficError::invalid(
                 "points",
@@ -293,10 +290,7 @@ mod tests {
         use crate::analysis::{analyze_guaranteed_server, AnalysisConfig};
         use crate::service::StaircaseService;
         let e = env();
-        let svc = StaircaseService::timed_token(
-            Seconds::from_millis(8.0),
-            Bits::from_kbits(60.0),
-        );
+        let svc = StaircaseService::timed_token(Seconds::from_millis(8.0), Bits::from_kbits(60.0));
         let r = analyze_guaranteed_server(&e, &svc, &AnalysisConfig::default()).unwrap();
         assert!(r.delay_bound.value() > 0.0);
         assert!(r.backlog_bound.value() > 0.0);

@@ -162,9 +162,8 @@ mod tests {
     #[test]
     fn conforming_flow_suffers_no_delay() {
         let reg = LeakyBucketRegulator::new(Bits::new(200.0), BitsPerSec::new(150.0)).unwrap();
-        let input: SharedEnvelope = Arc::new(
-            LeakyBucketEnvelope::new(Bits::new(100.0), BitsPerSec::new(100.0)).unwrap(),
-        );
+        let input: SharedEnvelope =
+            Arc::new(LeakyBucketEnvelope::new(Bits::new(100.0), BitsPerSec::new(100.0)).unwrap());
         assert!(reg.conforms(&input, Seconds::new(10.0)));
         let r = reg.analyze(input, &cfg()).unwrap();
         assert!(r.delay_bound.value() < 1e-9, "delay {}", r.delay_bound);
@@ -212,9 +211,8 @@ mod tests {
     #[test]
     fn unstable_when_rho_too_small() {
         let reg = LeakyBucketRegulator::new(Bits::new(10.0), BitsPerSec::new(50.0)).unwrap();
-        let input: SharedEnvelope = Arc::new(
-            LeakyBucketEnvelope::new(Bits::new(10.0), BitsPerSec::new(100.0)).unwrap(),
-        );
+        let input: SharedEnvelope =
+            Arc::new(LeakyBucketEnvelope::new(Bits::new(10.0), BitsPerSec::new(100.0)).unwrap());
         assert!(matches!(
             reg.analyze(input, &cfg()),
             Err(TrafficError::Unstable { .. })

@@ -56,7 +56,10 @@ fn admitted_capacity(net: HetNetwork, cfg: &CacConfig) -> Result<usize, Box<dyn 
     'outer: for round in 0..4 {
         for ring in 0..3 {
             let spec = ConnectionSpec {
-                source: HostId { ring, station: round },
+                source: HostId {
+                    ring,
+                    station: round,
+                },
                 dest: HostId {
                     ring: (ring + 1) % 3,
                     station: round,

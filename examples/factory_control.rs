@@ -99,8 +99,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("\npacket-level replay (greedy sources, aligned phases):\n");
     println!(
-        "{:>6} | {:>10} | {:>14} | {:>14} | {}",
-        "loop", "delivered", "observed max", "analytic bound", "verdict"
+        "{:>6} | {:>10} | {:>14} | {:>14} | verdict",
+        "loop", "delivered", "observed max", "analytic bound"
     );
     for (obs, (_, _, _, bound)) in report.connections.iter().zip(&admitted) {
         let ok = obs.max_delay <= *bound;

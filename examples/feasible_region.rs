@@ -31,8 +31,14 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     for deadline_ms in [45.0, 60.0, 100.0] {
         let spec = ConnectionSpec {
-            source: HostId { ring: 0, station: 0 },
-            dest: HostId { ring: 1, station: 0 },
+            source: HostId {
+                ring: 0,
+                station: 0,
+            },
+            dest: HostId {
+                ring: 1,
+                station: 0,
+            },
             envelope: Arc::clone(&source) as _,
             deadline: Seconds::from_millis(deadline_ms),
         };
@@ -45,7 +51,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             25,
             &cfg,
         )?;
-        println!("deadline = {deadline_ms} ms  (feasible fraction {:.0}%)", map.feasible_fraction() * 100.0);
+        println!(
+            "deadline = {deadline_ms} ms  (feasible fraction {:.0}%)",
+            map.feasible_fraction() * 100.0
+        );
         println!("{}", map.ascii());
         println!(
             "convexity violations on the grid: {}\n",

@@ -30,8 +30,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     )?);
 
     let spec = ConnectionSpec {
-        source: HostId { ring: 0, station: 0 },
-        dest: HostId { ring: 1, station: 2 },
+        source: HostId {
+            ring: 0,
+            station: 0,
+        },
+        dest: HostId {
+            ring: 1,
+            station: 2,
+        },
         envelope: Arc::clone(&video) as _,
         deadline: Seconds::from_millis(100.0),
     };
@@ -69,11 +75,23 @@ fn main() -> Result<(), Box<dyn Error>> {
             .expect("admitted connection is feasible");
             let r = &reports[0];
             println!("\n  worst-case delay decomposition (paper eq. 7):");
-            println!("    d_FDDI_S = {:8.3} ms (source MAC + ring)", r.fddi_s.as_millis());
-            println!("    d_ID_S   = {:8.3} ms (edge device, FDDI->ATM)", r.id_s.as_millis());
+            println!(
+                "    d_FDDI_S = {:8.3} ms (source MAC + ring)",
+                r.fddi_s.as_millis()
+            );
+            println!(
+                "    d_ID_S   = {:8.3} ms (edge device, FDDI->ATM)",
+                r.id_s.as_millis()
+            );
             println!("    d_ATM    = {:8.3} ms (backbone)", r.atm.as_millis());
-            println!("    d_ID_R   = {:8.3} ms (edge device, ATM->FDDI)", r.id_r.as_millis());
-            println!("    d_FDDI_R = {:8.3} ms (destination MAC + ring)", r.fddi_r.as_millis());
+            println!(
+                "    d_ID_R   = {:8.3} ms (edge device, ATM->FDDI)",
+                r.id_r.as_millis()
+            );
+            println!(
+                "    d_FDDI_R = {:8.3} ms (destination MAC + ring)",
+                r.fddi_r.as_millis()
+            );
             println!("    total    = {:8.3} ms", r.total.as_millis());
             println!(
                 "\n  transmit buffers needed: {:.1} kbit at the source host, {:.1} kbit at the edge device",

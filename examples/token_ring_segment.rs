@@ -81,7 +81,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     let uplink = analyze_mux(&[Arc::clone(&seg.output_wire)], &access, &cfg)?;
-    println!("  uplink port    : {:7.3} ms", uplink.delay_bound.as_millis());
+    println!(
+        "  uplink port    : {:7.3} ms",
+        uplink.delay_bound.as_millis()
+    );
     let after_uplink = per_flow_output(Arc::clone(&seg.output_wire), &uplink, &access);
 
     // --- one backbone hop + egress port --------------------------------
@@ -102,10 +105,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let fddi = RingConfig::standard();
     let h_r = SyncBandwidth::new(Seconds::from_micros(200.0)); // 2.5 Mb/s
     let mac_r = analyze_fddi_mac(rea.output_frames, &fddi, h_r, None, &cfg)?;
-    let chi_r = mac_r
-        .delay
-        .bounded()
-        .expect("no buffer limit configured");
+    let chi_r = mac_r.delay.bounded().expect("no buffer limit configured");
     println!(
         "  FDDI_R MAC     : {:7.3} ms  (H_R = {:.2} ms/rotation)",
         chi_r.as_millis(),

@@ -31,7 +31,10 @@ fn stream() -> Result<Arc<DualPeriodicEnvelope>, Box<dyn Error>> {
 
 fn main() -> Result<(), Box<dyn Error>> {
     println!("admitting 20 Mb/s conference streams (100 ms deadline) until the first rejection\n");
-    println!("{:>6} | {:>9} | {}", "beta", "admitted", "per-stream H_S (ms/rotation)");
+    println!(
+        "{:>6} | {:>9} | per-stream H_S (ms/rotation)",
+        "beta", "admitted"
+    );
     println!("{:->6}-+-{:->9}-+-{:-<40}", "", "", "");
 
     for beta in [0.0, 0.25, 0.5, 0.75, 1.0] {
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         'admit: for round in 0..4 {
             for ring in 0..3 {
                 let spec = ConnectionSpec {
-                    source: HostId { ring, station: round },
+                    source: HostId {
+                        ring,
+                        station: round,
+                    },
                     dest: HostId {
                         ring: (ring + 1) % 3,
                         station: round,

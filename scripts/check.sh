@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint, and smoke-run the benchmark emitter.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> bench_json smoke run"
+cargo run --release -p hetnet-bench --bin bench_json -- \
+    --quick --out target/BENCH_region.quick.json
+echo "==> all checks passed"

@@ -57,7 +57,9 @@ fn random_admission_release_sequences_preserve_invariants() {
                 deadline: Seconds::from_millis(rng.gen_range(60.0..120.0)),
             };
             match state.request(spec, &cfg).expect("well-formed") {
-                Decision::Admitted { id, delay_bound, .. } => {
+                Decision::Admitted {
+                    id, delay_bound, ..
+                } => {
                     live.push(id);
                     let conn = state
                         .active()
@@ -112,8 +114,14 @@ fn random_admission_release_sequences_preserve_invariants() {
 fn beta_zero_and_one_bracket_intermediate_allocations() {
     // For the same single request, H(beta) is monotone in beta.
     let spec = |deadline_ms: f64| ConnectionSpec {
-        source: HostId { ring: 0, station: 0 },
-        dest: HostId { ring: 1, station: 0 },
+        source: HostId {
+            ring: 0,
+            station: 0,
+        },
+        dest: HostId {
+            ring: 1,
+            station: 0,
+        },
         envelope: Arc::new(model(20.0)),
         deadline: Seconds::from_millis(deadline_ms),
     };
@@ -143,8 +151,14 @@ fn tighter_deadlines_need_bigger_minimum_allocations() {
         let mut state = NetworkState::new(HetNetwork::paper_topology());
         let cfg = CacConfig::fast().with_beta(0.0);
         let spec = ConnectionSpec {
-            source: HostId { ring: 0, station: 0 },
-            dest: HostId { ring: 1, station: 0 },
+            source: HostId {
+                ring: 0,
+                station: 0,
+            },
+            dest: HostId {
+                ring: 1,
+                station: 0,
+            },
             envelope: Arc::new(model(20.0)),
             deadline: Seconds::from_millis(deadline),
         };

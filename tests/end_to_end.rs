@@ -15,6 +15,9 @@ use hetnet_fddi::ring::RingConfig;
 use hetnet_ifdev::IfDevConfig;
 use std::sync::Arc;
 
+/// A (ring, station) endpoint pair for an admission request.
+type HostPair = ((usize, usize), (usize, usize));
+
 fn model() -> DualPeriodicEnvelope {
     DualPeriodicEnvelope::new(
         Bits::from_mbits(2.0),
@@ -31,10 +34,16 @@ fn model() -> DualPeriodicEnvelope {
 /// *current* delay bounds after all admissions.
 fn admit(
     state: &mut NetworkState,
-    pairs: &[((usize, usize), (usize, usize))],
+    pairs: &[HostPair],
     cfg: &CacConfig,
-) -> Vec<(u64, usize, usize, usize, hetnet_fddi::ring::SyncBandwidth, hetnet_fddi::ring::SyncBandwidth)>
-{
+) -> Vec<(
+    u64,
+    usize,
+    usize,
+    usize,
+    hetnet_fddi::ring::SyncBandwidth,
+    hetnet_fddi::ring::SyncBandwidth,
+)> {
     let mut out = Vec::new();
     for (src, dst) in pairs {
         let spec = ConnectionSpec {
@@ -135,7 +144,10 @@ fn released_bandwidth_is_reusable() {
     let mut ids = Vec::new();
     for k in 0..6 {
         let spec = ConnectionSpec {
-            source: HostId { ring: 0, station: k % 4 },
+            source: HostId {
+                ring: 0,
+                station: k % 4,
+            },
             dest: HostId {
                 ring: 1 + (k % 2),
                 station: k % 4,
@@ -161,8 +173,14 @@ fn released_bandwidth_is_reusable() {
 
     // And a fresh admission succeeds again.
     let spec = ConnectionSpec {
-        source: HostId { ring: 0, station: 0 },
-        dest: HostId { ring: 1, station: 0 },
+        source: HostId {
+            ring: 0,
+            station: 0,
+        },
+        dest: HostId {
+            ring: 1,
+            station: 0,
+        },
         envelope: Arc::new(model()),
         deadline: Seconds::from_millis(120.0),
     };
