@@ -1,14 +1,15 @@
-//! Benchmarks of the feasible-region sweep: the sequential baseline
-//! against the parallel default, on a mid-size grid and on the
-//! 17×17-with-8-background configuration reported in
-//! `BENCH_region.json` (see `bench_json` for the JSON emitter).
+//! Benchmarks of the feasible-region solvers: the sequential dense
+//! baseline against the parallel sweep and the frontier tracer, on a
+//! mid-size grid and on the 17×17-with-8-background configuration
+//! reported in `BENCH_region.json` (see `bench_json` for the JSON
+//! emitter).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hetnet_cac::cac::CacConfig;
 use hetnet_cac::connection::ConnectionSpec;
 use hetnet_cac::delay::PathInput;
 use hetnet_cac::network::{HetNetwork, HostId};
-use hetnet_cac::region::sample_region_threads;
+use hetnet_cac::region::{sample_region_frontier, sample_region_threads};
 use hetnet_fddi::ring::SyncBandwidth;
 use hetnet_traffic::envelope::SharedEnvelope;
 use hetnet_traffic::models::DualPeriodicEnvelope;
@@ -82,6 +83,19 @@ fn bench_region_sweep(c: &mut Criterion) {
     run("region_sweep_9x9_par", 9, threads);
     run("region_sweep_17x17_seq", 17, 1);
     run("region_sweep_17x17_par", 17, threads);
+
+    let mut run_frontier = |name: &str, grid: usize| {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    sample_region_frontier(&net, &active, &spec, avail, avail, grid, &cfg)
+                        .expect("well-formed"),
+                )
+            })
+        });
+    };
+    run_frontier("region_frontier_9x9", 9);
+    run_frontier("region_frontier_17x17", 17);
 }
 
 criterion_group!(

@@ -1,0 +1,91 @@
+//! Latency of a single `NetworkState::request` — the CAC's unit of
+//! work — on both decision paths: admissions (empty and loaded
+//! network) and rejections (deadline too tight), the latter with the
+//! evaluator cache cold and kept warm across calls via
+//! `persist_eval_cache` (rejections leave the active set unchanged, so
+//! the retry path is exactly what the persistent cache accelerates).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hetnet_cac::cac::{CacConfig, NetworkState};
+use hetnet_cac::connection::ConnectionSpec;
+use hetnet_cac::network::{HetNetwork, HostId};
+use hetnet_traffic::models::DualPeriodicEnvelope;
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+use std::sync::Arc;
+
+fn paper_source() -> Arc<DualPeriodicEnvelope> {
+    Arc::new(
+        DualPeriodicEnvelope::new(
+            Bits::from_mbits(2.0),
+            Seconds::from_millis(100.0),
+            Bits::from_mbits(0.25),
+            Seconds::from_millis(10.0),
+            BitsPerSec::from_mbps(100.0),
+        )
+        .expect("valid"),
+    )
+}
+
+fn spec(src: (usize, usize), dst: (usize, usize), deadline_ms: f64) -> ConnectionSpec {
+    ConnectionSpec {
+        source: HostId {
+            ring: src.0,
+            station: src.1,
+        },
+        dest: HostId {
+            ring: dst.0,
+            station: dst.1,
+        },
+        envelope: paper_source() as _,
+        deadline: Seconds::from_millis(deadline_ms),
+    }
+}
+
+fn bench_request_latency(c: &mut Criterion) {
+    let cfg = CacConfig::default();
+    let net = HetNetwork::paper_topology();
+
+    // Admissions mutate the active set, so the state is rebuilt per
+    // iteration (NetworkState is not Clone); cloning the prebuilt
+    // network keeps the rebuild cost to a copy, not a re-validation.
+    c.bench_function("request_admit_empty", |b| {
+        b.iter(|| {
+            let mut state = NetworkState::new(net.clone());
+            black_box(state.request(spec((0, 0), (1, 0), 100.0), &cfg).expect("ok"))
+        })
+    });
+
+    c.bench_function("request_admit_loaded", |b| {
+        b.iter(|| {
+            let mut state = NetworkState::new(net.clone());
+            state.request(spec((0, 0), (1, 0), 100.0), &cfg).expect("ok");
+            state.request(spec((1, 0), (2, 0), 100.0), &cfg).expect("ok");
+            state.request(spec((2, 0), (0, 0), 100.0), &cfg).expect("ok");
+            black_box(state.request(spec((0, 1), (2, 1), 100.0), &cfg).expect("ok"))
+        })
+    });
+
+    // Rejections leave the state untouched, so one state serves every
+    // iteration and each call times exactly one request. The spec is
+    // built once and cloned: the evaluator caches key envelopes by Arc
+    // address, so a retry only stays warm if it resubmits the same
+    // envelope (as a retrying application would).
+    let reject_spec = spec((0, 0), (1, 0), 1.0);
+    c.bench_function("request_reject_cold", |b| {
+        let mut state = NetworkState::new(net.clone());
+        b.iter(|| black_box(state.request(reject_spec.clone(), &cfg).expect("ok")))
+    });
+
+    c.bench_function("request_reject_warm", |b| {
+        let mut state = NetworkState::new(net.clone());
+        state.persist_eval_cache(true);
+        b.iter(|| black_box(state.request(reject_spec.clone(), &cfg).expect("ok")))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_request_latency
+);
+criterion_main!(benches);

@@ -1,8 +1,9 @@
-//! Machine-readable benchmark of the feasible-region sweep: times the
-//! sequential baseline against the parallel sweep on a 17×17 grid with
-//! 8 active background connections, verifies the two produce
-//! bit-identical maps, and writes the numbers (cells/sec, speedup,
-//! cache hit rates) as JSON.
+//! Machine-readable benchmark of the feasible-region solvers: times the
+//! sequential dense baseline, the parallel dense sweep, and the
+//! frontier tracer on a 17×17 grid with 8 active background
+//! connections, verifies all three produce bit-identical maps, and
+//! writes the numbers (cells/sec, evals per cell, speedups, cache hit
+//! rates) as JSON.
 //!
 //! ```text
 //! cargo run --release -p hetnet-bench --bin bench_json            # full run -> BENCH_region.json
@@ -14,7 +15,7 @@ use hetnet_cac::cac::CacConfig;
 use hetnet_cac::connection::ConnectionSpec;
 use hetnet_cac::delay::{CacheStats, PathInput};
 use hetnet_cac::network::{HetNetwork, HostId};
-use hetnet_cac::region::{sample_region_threads, RegionSample};
+use hetnet_cac::region::{sample_region_frontier, sample_region_threads, RegionSample};
 use hetnet_fddi::ring::SyncBandwidth;
 use hetnet_traffic::envelope::SharedEnvelope;
 use hetnet_traffic::models::DualPeriodicEnvelope;
@@ -53,7 +54,7 @@ fn background(k: usize) -> PathInput {
 }
 
 /// One timed configuration: best-of-`reps` wall clock plus the cache
-/// statistics of a single representative run.
+/// statistics and evaluation count of a single representative run.
 struct Measured {
     seconds: f64,
     cells_per_sec: f64,
@@ -61,23 +62,12 @@ struct Measured {
     sample: RegionSample,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn measure(
-    net: &HetNetwork,
-    active: &[PathInput],
-    spec: &ConnectionSpec,
-    avail: Seconds,
-    grid: usize,
-    cfg: &CacConfig,
-    threads: usize,
-    reps: usize,
-) -> Measured {
+fn measure(run: impl Fn() -> RegionSample, grid: usize, reps: usize) -> Measured {
     let mut best = f64::INFINITY;
     let mut sample = None;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
-        let s = sample_region_threads(net, active, spec, avail, avail, grid, cfg, threads)
-            .expect("well-formed request");
+        let s = run();
         best = best.min(start.elapsed().as_secs_f64());
         sample = Some(s);
     }
@@ -90,16 +80,19 @@ fn measure(
     }
 }
 
-fn json_measured(m: &Measured, threads: usize) -> String {
+fn json_measured(m: &Measured, grid: usize, threads: usize) -> String {
     format!(
         concat!(
             "{{\"threads\": {}, \"seconds\": {:.6}, \"cells_per_sec\": {:.2}, ",
+            "\"evals\": {}, \"evals_per_cell\": {:.4}, ",
             "\"stage1_hits\": {}, \"stage1_misses\": {}, \"stage1_hit_rate\": {:.4}, ",
             "\"mux_hits\": {}, \"mux_misses\": {}, \"mux_hit_rate\": {:.4}}}"
         ),
         threads,
         m.seconds,
         m.cells_per_sec,
+        m.sample.evals,
+        m.sample.evals as f64 / (grid * grid) as f64,
         m.stats.stage1_hits,
         m.stats.stage1_misses,
         m.stats.stage1_hit_rate(),
@@ -140,25 +133,45 @@ fn main() {
     let (grid, reps) = if quick { (9, 1) } else { (17, 3) };
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
 
+    let dense = |threads: usize| {
+        sample_region_threads(&net, &active, &spec, avail, avail, grid, &cfg, threads)
+            .expect("well-formed request")
+    };
+    let frontier = || {
+        sample_region_frontier(&net, &active, &spec, avail, avail, grid, &cfg)
+            .expect("well-formed request")
+    };
+
     eprintln!(
         "region sweep: grid {grid}x{grid}, {} active, {threads} hw threads",
         active.len()
     );
-    let seq = measure(&net, &active, &spec, avail, grid, &cfg, 1, reps);
+    let seq = measure(|| dense(1), grid, reps);
     eprintln!(
-        "  sequential: {:.3} s ({:.1} cells/s)",
-        seq.seconds, seq.cells_per_sec
+        "  dense sequential: {:.3} s ({:.1} cells/s, {} evals)",
+        seq.seconds, seq.cells_per_sec, seq.sample.evals
     );
-    let par = measure(&net, &active, &spec, avail, grid, &cfg, threads, reps);
+    let par = measure(|| dense(threads), grid, reps);
     eprintln!(
-        "  parallel:   {:.3} s ({:.1} cells/s)",
-        par.seconds, par.cells_per_sec
+        "  dense parallel:   {:.3} s ({:.1} cells/s, {} evals)",
+        par.seconds, par.cells_per_sec, par.sample.evals
+    );
+    let fro = measure(frontier, grid, reps);
+    eprintln!(
+        "  frontier:         {:.3} s ({:.1} cells/s, {} evals, fell_back: {})",
+        fro.seconds, fro.cells_per_sec, fro.sample.evals, fro.sample.fell_back
     );
 
-    let identical = seq.sample.map.cells == par.sample.map.cells;
-    assert!(identical, "parallel sweep diverged from sequential");
+    let identical = seq.sample.map.cells() == par.sample.map.cells()
+        && seq.sample.map.cells() == fro.sample.map.cells();
+    assert!(identical, "solvers diverged from the sequential baseline");
     let speedup = seq.seconds / par.seconds;
-    eprintln!("  speedup: {speedup:.2}x, maps identical: {identical}");
+    let frontier_speedup = seq.seconds / fro.seconds;
+    let eval_reduction = seq.sample.evals as f64 / fro.sample.evals.max(1) as f64;
+    eprintln!(
+        "  parallel speedup: {speedup:.2}x, frontier speedup: {frontier_speedup:.2}x \
+         ({eval_reduction:.1}x fewer evals), maps identical: {identical}"
+    );
 
     let json = format!(
         concat!(
@@ -170,7 +183,12 @@ fn main() {
             "  \"hw_threads\": {},\n",
             "  \"sequential\": {},\n",
             "  \"parallel\": {},\n",
+            "  \"frontier\": {},\n",
             "  \"speedup\": {:.3},\n",
+            "  \"frontier_speedup\": {:.3},\n",
+            "  \"dense_evals\": {},\n",
+            "  \"frontier_evals\": {},\n",
+            "  \"frontier_fell_back\": {},\n",
             "  \"maps_identical\": {}\n",
             "}}\n"
         ),
@@ -178,9 +196,14 @@ fn main() {
         active.len(),
         reps,
         threads,
-        json_measured(&seq, 1),
-        json_measured(&par, threads),
+        json_measured(&seq, grid, 1),
+        json_measured(&par, grid, threads),
+        json_measured(&fro, grid, 1),
         speedup,
+        frontier_speedup,
+        seq.sample.evals,
+        fro.sample.evals,
+        fro.sample.fell_back,
         identical,
     );
     if let Some(dir) = std::path::Path::new(&out).parent() {

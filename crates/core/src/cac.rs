@@ -28,8 +28,8 @@
 
 use crate::connection::{ActiveConnection, ConnectionId, ConnectionSpec};
 use crate::delay::{
-    evaluate_paths, CacheStats, CandidateOutcome, EvalConfig, EvalOutcome, Evaluator, PathInput,
-    PathReport,
+    evaluate_paths, CacheStats, CandidateOutcome, EvalCache, EvalConfig, EvalOutcome, Evaluator,
+    PathInput, PathReport,
 };
 use crate::error::CacError;
 use crate::network::HetNetwork;
@@ -191,6 +191,13 @@ pub struct NetworkState {
     tables: Vec<SyncAllocationTable>,
     next_id: u64,
     last_cache_stats: Option<CacheStats>,
+    persist_cache: bool,
+    /// Evaluator cache carried across [`NetworkState::request`] calls
+    /// when persistence is on. Entries are always sound (keys capture
+    /// everything a result depends on); dropping the cache when the
+    /// active set changes merely bounds its memory to one admission
+    /// epoch while keeping the reject/retry path warm.
+    eval_cache: Option<EvalCache>,
 }
 
 impl NetworkState {
@@ -204,6 +211,21 @@ impl NetworkState {
             tables,
             next_id: 0,
             last_cache_stats: None,
+            persist_cache: false,
+            eval_cache: None,
+        }
+    }
+
+    /// Enables (or disables) carrying the evaluator's caches across
+    /// [`NetworkState::request`] calls. The cache is invalidated
+    /// whenever the active set changes (admission or release), so it
+    /// pays off for rejected or repeated requests against an unchanged
+    /// background — decisions are bit-identical either way, because
+    /// cache hits return exactly what the miss path would compute.
+    pub fn persist_eval_cache(&mut self, enabled: bool) {
+        self.persist_cache = enabled;
+        if !enabled {
+            self.eval_cache = None;
         }
     }
 
@@ -351,7 +373,8 @@ impl NetworkState {
             });
             v
         };
-        let mut ev = Evaluator::new(&self.net, cfg.eval.clone());
+        let carried = self.eval_cache.take().unwrap_or_default();
+        let mut ev = Evaluator::with_cache(&self.net, cfg.eval.clone(), carried);
 
         // Steps 2–5 run inside one closure so that the evaluator's cache
         // statistics are recorded on *every* exit path (admit, reject,
@@ -506,14 +529,19 @@ impl NetworkState {
             }
         })();
         let stats = ev.cache_stats();
-        drop(ev);
+        let cache = ev.into_cache();
         self.last_cache_stats = Some(stats);
+        if self.persist_cache {
+            self.eval_cache = Some(cache);
+        }
         let (h_s, h_r, reports) = match searched? {
             Search::Chosen(h_s, h_r, reports) => (h_s, h_r, reports),
             Search::Reject(reason) => return Ok(Decision::Rejected(reason)),
         };
 
-        // Commit.
+        // Commit (the admission changes the active set, so the carried
+        // cache is dropped — see `persist_eval_cache`).
+        self.eval_cache = None;
         let id = ConnectionId(self.next_id);
         self.next_id += 1;
         let key = AllocationKey(id.0);
@@ -575,6 +603,7 @@ impl NetworkState {
                 detail: "deadline violated at the fixed allocation".into(),
             }));
         };
+        self.eval_cache = None;
         let id = ConnectionId(self.next_id);
         self.next_id += 1;
         let key = AllocationKey(id.0);
@@ -615,6 +644,7 @@ impl NetworkState {
             .position(|c| c.id == id)
             .ok_or(CacError::UnknownConnection(id))?;
         let conn = self.active.remove(idx);
+        self.eval_cache = None;
         let key = AllocationKey(id.0);
         self.tables[conn.spec.source.ring]
             .release(key)
@@ -870,6 +900,78 @@ mod tests {
         assert!(second.mux_hits > 0, "{second:?}");
         assert!(second.mux_hit_rate() > 0.0);
         assert!(second.stage1_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn persistent_cache_warms_repeated_requests() {
+        let cfg = CacConfig::fast();
+        let mut s = state();
+        s.persist_eval_cache(true);
+        // An impossible deadline is rejected at step 2 without touching
+        // the active set, so the carried cache stays valid.
+        let sp = spec((0, 0), (1, 0), 1.0);
+        assert!(!s.request(sp.clone(), &cfg).unwrap().is_admitted());
+        // Retrying the identical request is served entirely from the
+        // carried cache: zero misses in either stage.
+        assert!(!s.request(sp, &cfg).unwrap().is_admitted());
+        let second = s.last_cache_stats().expect("stats recorded");
+        assert_eq!(second.stage1_misses, 0, "{second:?}");
+        assert_eq!(second.mux_misses, 0, "{second:?}");
+        assert!(second.stage1_hits > 0 && second.mux_hits > 0, "{second:?}");
+    }
+
+    #[test]
+    fn persistent_cache_does_not_change_decisions() {
+        let cfg = CacConfig::fast();
+        let mut plain = state();
+        let mut warmed = state();
+        warmed.persist_eval_cache(true);
+        // A mix of admissions and rejections over shared envelopes; the
+        // admitted allocations must agree bit-for-bit.
+        let requests = [
+            spec((0, 0), (1, 0), 100.0),
+            spec((0, 1), (1, 1), 1.0),
+            spec((0, 1), (1, 1), 80.0),
+            spec((1, 0), (2, 0), 120.0),
+        ];
+        for (k, sp) in requests.into_iter().enumerate() {
+            let a = plain.request(sp.clone(), &cfg).unwrap();
+            let b = warmed.request(sp, &cfg).unwrap();
+            match (a, b) {
+                (
+                    Decision::Admitted {
+                        h_s: hs_a,
+                        h_r: hr_a,
+                        delay_bound: d_a,
+                        ..
+                    },
+                    Decision::Admitted {
+                        h_s: hs_b,
+                        h_r: hr_b,
+                        delay_bound: d_b,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(
+                        hs_a.per_rotation().value().to_bits(),
+                        hs_b.per_rotation().value().to_bits(),
+                        "request {k}: H_S diverged"
+                    );
+                    assert_eq!(
+                        hr_a.per_rotation().value().to_bits(),
+                        hr_b.per_rotation().value().to_bits(),
+                        "request {k}: H_R diverged"
+                    );
+                    assert_eq!(
+                        d_a.value().to_bits(),
+                        d_b.value().to_bits(),
+                        "request {k}: delay bound diverged"
+                    );
+                }
+                (Decision::Rejected(_), Decision::Rejected(_)) => {}
+                (a, b) => panic!("request {k}: decisions diverged: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

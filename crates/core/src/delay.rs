@@ -28,6 +28,22 @@
 //! so cached and uncached evaluations are bit-identical. [`CacheStats`]
 //! exposes hit/miss counters for benchmarks and observability.
 //!
+//! Two further mechanisms keep the hot path cheap without changing any
+//! result:
+//!
+//! * **Scratch buffers.** Per-evaluation working state (stage-1 results,
+//!   hop tables, the multiplexer worklist) lives in reusable buffers
+//!   inside the [`Evaluator`], so a warm evaluator resolves a candidate
+//!   without heap allocation; flow identities are interned to small
+//!   integer ids ([`EvalCache`]) so stage-2 cache probes hash a slice of
+//!   `u32`s instead of cloning envelope-chain descriptions.
+//! * **Detachable caches.** Both caches (and the interner) live in an
+//!   [`EvalCache`] that can be taken out of one evaluator
+//!   ([`Evaluator::into_cache`]) and handed to the next
+//!   ([`Evaluator::with_cache`]), which lets an admission engine keep
+//!   background analyses warm across requests
+//!   (see `NetworkState::persist_eval_cache`).
+//!
 //! The evaluator also offers a candidate-only mode that skips the
 //! receive-side analysis of existing connections; the paper's
 //! monotonicity argument (existing delays are nondecreasing in the
@@ -46,7 +62,7 @@ use hetnet_traffic::analysis::AnalysisConfig;
 use hetnet_traffic::combinators::Sampled;
 use hetnet_traffic::envelope::SharedEnvelope;
 use hetnet_traffic::units::{Bits, Seconds};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Tuning for the end-to-end evaluation.
@@ -207,43 +223,139 @@ struct Stage1Entry {
     result: Stage1,
 }
 
-/// Identity of one flow *as it enters a multiplexer*: the stage-1 wire
-/// envelope it started from (by pinned `Arc` address) plus the exact
-/// chain of `(delay, rate)` transforms earlier hops applied to it. Two
-/// equal signatures denote envelopes with identical arrival functions,
-/// so a mux analysis may be reused across evaluations.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-struct FlowSig {
-    wire_ptr: usize,
-    hops: Vec<(u64, u64)>,
-}
-
-impl FlowSig {
-    fn after_hop(&self, delay: Seconds, link: &LinkConfig) -> Self {
-        let mut hops = Vec::with_capacity(self.hops.len() + 1);
-        hops.extend_from_slice(&self.hops);
-        hops.push((delay.value().to_bits(), link.rate.value().to_bits()));
-        Self {
-            wire_ptr: self.wire_ptr,
-            hops,
-        }
-    }
-}
-
-/// Stage-2 cache key: one port plus its member flows in arrival order
-/// (order matters — the aggregate sums envelopes in member order, and
-/// floating-point addition is not associative).
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-struct MuxCacheKey {
-    mux: MuxKey,
-    members: Vec<FlowSig>,
-}
+/// Interned identity of one flow *as it enters a multiplexer*: the
+/// stage-1 wire envelope it started from (by pinned `Arc` address) plus
+/// the exact chain of `(delay, rate)` transforms earlier hops applied to
+/// it. Two flows share an id iff those coincide, i.e. iff their arrival
+/// functions are identical, so a mux analysis keyed by member ids may be
+/// reused across evaluations.
+type SigId = u32;
 
 /// A cached stage-2 outcome.
 #[derive(Clone, Debug)]
 enum MuxCached {
     Ready(MuxReport),
     Infeasible(String),
+}
+
+/// The [`EvalConfig`] a cache's entries were computed under, as exact
+/// bit patterns: a cache attached to an evaluator with any other
+/// configuration is cleared instead of consulted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CfgFingerprint {
+    guard_subdivisions: usize,
+    max_horizon: u64,
+    stability_margin: u64,
+    flatten_horizon: u64,
+    flatten_subdivisions: usize,
+}
+
+impl CfgFingerprint {
+    fn of(cfg: &EvalConfig) -> Self {
+        Self {
+            guard_subdivisions: cfg.analysis.guard_subdivisions,
+            max_horizon: cfg.analysis.max_horizon.value().to_bits(),
+            stability_margin: cfg.analysis.stability_margin.to_bits(),
+            flatten_horizon: cfg.flatten_horizon.value().to_bits(),
+            flatten_subdivisions: cfg.flatten_subdivisions,
+        }
+    }
+}
+
+/// Detachable cache state of an [`Evaluator`]: the stage-1 and stage-2
+/// caches plus the flow-signature interner backing stage-2 keys.
+///
+/// A cache can outlive the evaluator that filled it
+/// ([`Evaluator::into_cache`]) and seed a later one over the same
+/// network ([`Evaluator::with_cache`]). Reuse is sound by the same
+/// argument as within one evaluator: every entry pins the envelopes its
+/// key refers to (no ABA hazard), keys capture everything the cached
+/// result depends on, and a cache built under a different [`EvalConfig`]
+/// is cleared on attach rather than consulted.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    stage1: HashMap<Stage1Key, Stage1Entry>,
+    /// Stage-2 analyses: per port, keyed by the member flows' interned
+    /// signatures *in member order* (order matters — the aggregate sums
+    /// envelopes in member order, and floating-point addition is not
+    /// associative).
+    mux: HashMap<MuxKey, HashMap<Box<[SigId]>, MuxCached>>,
+    /// Wire-envelope identity (pinned `Arc` address) → root signature.
+    root_sigs: HashMap<usize, SigId>,
+    /// `(parent signature, delay bits, link-rate bits)` → signature of
+    /// the flow after that hop.
+    chained_sigs: HashMap<(SigId, u64, u64), SigId>,
+    /// The envelope each signature denotes, indexed by [`SigId`]. Also
+    /// the pin keeping every interned envelope (and hence every
+    /// signature's `Arc` address) alive for the cache's lifetime.
+    sig_envs: Vec<SharedEnvelope>,
+    fingerprint: Option<CfgFingerprint>,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every entry and interned signature.
+    pub fn clear(&mut self) {
+        self.stage1.clear();
+        self.mux.clear();
+        self.root_sigs.clear();
+        self.chained_sigs.clear();
+        self.sig_envs.clear();
+        self.fingerprint = None;
+    }
+
+    /// Number of cached sender-side (stage-1) analyses.
+    #[must_use]
+    pub fn stage1_entries(&self) -> usize {
+        self.stage1.len()
+    }
+
+    /// Number of cached multiplexer (stage-2) analyses.
+    #[must_use]
+    pub fn mux_entries(&self) -> usize {
+        self.mux.values().map(HashMap::len).sum()
+    }
+
+    /// The signature of a wire envelope fresh out of stage 1.
+    fn root_sig(&mut self, wire: &SharedEnvelope) -> SigId {
+        let ptr = Arc::as_ptr(wire) as *const () as usize;
+        if let Some(&id) = self.root_sigs.get(&ptr) {
+            return id;
+        }
+        let id = SigId::try_from(self.sig_envs.len()).expect("interner overflow");
+        self.root_sigs.insert(ptr, id);
+        self.sig_envs.push(Arc::clone(wire));
+        id
+    }
+
+    /// The signature of `parent`'s flow after traversing a mux with the
+    /// given report on `link`; interns (and builds, exactly once) the
+    /// per-flow output envelope.
+    fn chained_sig(&mut self, parent: SigId, report: &MuxReport, link: &LinkConfig) -> SigId {
+        let key = (
+            parent,
+            report.delay_bound.value().to_bits(),
+            link.rate.value().to_bits(),
+        );
+        if let Some(&id) = self.chained_sigs.get(&key) {
+            return id;
+        }
+        let id = SigId::try_from(self.sig_envs.len()).expect("interner overflow");
+        let env = per_flow_output(Arc::clone(&self.sig_envs[parent as usize]), report, link);
+        self.chained_sigs.insert(key, id);
+        self.sig_envs.push(env);
+        id
+    }
+
+    /// The envelope a signature denotes.
+    fn env(&self, sig: SigId) -> &SharedEnvelope {
+        &self.sig_envs[sig as usize]
+    }
 }
 
 /// Cache hit/miss counters of an [`Evaluator`] (monotone over its
@@ -306,28 +418,66 @@ impl CacheStats {
 pub struct Evaluator<'a> {
     net: &'a HetNetwork,
     cfg: EvalConfig,
-    stage1: HashMap<Stage1Key, Stage1Entry>,
-    mux_cache: HashMap<MuxCacheKey, MuxCached>,
+    cache: EvalCache,
+    scratch: Scratch,
     stats: CacheStats,
 }
 
-struct Resolved {
-    /// Per path: chi_s, buffer, frame size, hop keys.
+/// Reusable per-evaluation working state. Everything here is cleared
+/// (but not deallocated) at the start of each `resolve`, so a warm
+/// evaluator's hot path performs no heap allocation.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Per path: chi_s, buffer, frame size.
     stage1: Vec<(Seconds, Bits, Bits)>,
+    /// Per path: the multiplexers it traverses, in hop order.
     hop_keys: Vec<Vec<MuxKey>>,
-    /// Per path: envelope after each hop (index h = env entering hop h;
-    /// index len = env delivered to the receiving device).
-    hop_envs: Vec<Vec<SharedEnvelope>>,
-    mux_delay: BTreeMap<MuxKey, Seconds>,
+    /// Per path: the interned signature of its flow entering each hop
+    /// (index h = entering hop h; index len = delivered to the device).
+    hop_sigs: Vec<Vec<SigId>>,
+    /// All `(mux, path, hop)` memberships, sorted by mux key so each
+    /// port's members appear in canonical (path, hop) order.
+    members: Vec<(MuxKey, u32, u32)>,
+    /// Range of `members` per distinct mux: `(key, start, end)`.
+    groups: Vec<(MuxKey, u32, u32)>,
+    /// Worklist of group indices for the dependency-order loop.
+    unresolved: Vec<u32>,
+    remaining: Vec<u32>,
+    /// Resolved queueing delay per mux, sorted by key (the canonical
+    /// order the CAC's mux-delay signature relies on).
+    mux_delay: Vec<(MuxKey, Seconds)>,
+    /// Member signatures of the mux currently being probed.
+    key_sigs: Vec<SigId>,
+    /// Member envelopes of the mux currently being analyzed.
+    flows: Vec<SharedEnvelope>,
 }
 
-enum ResolveOutcome {
-    Ok(Resolved),
-    Infeasible(String),
+/// Clears a nested buffer down to `n` empty inner vectors, reusing the
+/// inner allocations already present.
+fn reset_nested<T>(v: &mut Vec<Vec<T>>, n: usize) {
+    v.truncate(n);
+    for inner in v.iter_mut() {
+        inner.clear();
+    }
+    while v.len() < n {
+        v.push(Vec::new());
+    }
+}
+
+impl Scratch {
+    /// The resolved queueing delay of `key` (present for every mux of
+    /// the just-resolved path set).
+    fn mux_delay_of(&self, key: MuxKey) -> Seconds {
+        let i = self
+            .mux_delay
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .expect("mux resolved");
+        self.mux_delay[i].1
+    }
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator over `net`.
+    /// Creates an evaluator over `net` with a fresh cache.
     ///
     /// The busy-interval search horizon is clamped to the flattening
     /// horizon: a server still backlogged beyond it cannot meet any
@@ -335,15 +485,36 @@ impl<'a> Evaluator<'a> {
     /// evaluating envelopes past the flattened range would fall through
     /// to the expensive unflattened chains and cascade down the chain.
     #[must_use]
-    pub fn new(net: &'a HetNetwork, mut cfg: EvalConfig) -> Self {
+    pub fn new(net: &'a HetNetwork, cfg: EvalConfig) -> Self {
+        Self::with_cache(net, cfg, EvalCache::new())
+    }
+
+    /// Creates an evaluator over `net` seeded with a previously filled
+    /// [`EvalCache`]. If the cache was built under a different
+    /// [`EvalConfig`] it is cleared first, so results never depend on
+    /// where the cache came from.
+    #[must_use]
+    pub fn with_cache(net: &'a HetNetwork, mut cfg: EvalConfig, mut cache: EvalCache) -> Self {
         cfg.analysis.max_horizon = cfg.analysis.max_horizon.min(cfg.flatten_horizon);
+        let fingerprint = CfgFingerprint::of(&cfg);
+        if cache.fingerprint != Some(fingerprint) {
+            cache.clear();
+            cache.fingerprint = Some(fingerprint);
+        }
         Self {
             net,
             cfg,
-            stage1: HashMap::new(),
-            mux_cache: HashMap::new(),
+            cache,
+            scratch: Scratch::default(),
             stats: CacheStats::default(),
         }
+    }
+
+    /// Consumes the evaluator, handing back its cache for reuse by a
+    /// later evaluator (see [`Evaluator::with_cache`]).
+    #[must_use]
+    pub fn into_cache(self) -> EvalCache {
+        self.cache
     }
 
     /// Hit/miss counters of both caches, accumulated over this
@@ -387,7 +558,7 @@ impl<'a> Evaluator<'a> {
             h_bits: p.h_s.per_rotation().value().to_bits(),
             ring: p.source.ring,
         };
-        if let Some(hit) = self.stage1.get(&key) {
+        if let Some(hit) = self.cache.stage1.get(&key) {
             self.stats.stage1_hits += 1;
             return Ok(hit.result.clone());
         }
@@ -425,7 +596,7 @@ impl<'a> Evaluator<'a> {
                 Err(e) => return Err(e.into()),
             }
         };
-        self.stage1.insert(
+        self.cache.stage1.insert(
             key,
             Stage1Entry {
                 _pin: Arc::clone(&p.envelope),
@@ -435,14 +606,32 @@ impl<'a> Evaluator<'a> {
         Ok(computed)
     }
 
-    fn resolve(&mut self, paths: &[PathInput]) -> Result<ResolveOutcome, CacError> {
+    /// Resolves all stage-1 analyses and multiplexers of `paths` into
+    /// `self.scratch`. Returns `Ok(Some(message))` on infeasibility,
+    /// `Ok(None)` when everything resolved.
+    fn resolve(&mut self, paths: &[PathInput]) -> Result<Option<String>, CacError> {
+        // Detach the scratch so its buffers can be filled while the
+        // caches (also behind `&mut self`) are being consulted.
+        let mut s = std::mem::take(&mut self.scratch);
+        let out = self.resolve_into(paths, &mut s);
+        self.scratch = s;
+        out
+    }
+
+    fn resolve_into(
+        &mut self,
+        paths: &[PathInput],
+        s: &mut Scratch,
+    ) -> Result<Option<String>, CacError> {
+        s.stage1.clear();
+        reset_nested(&mut s.hop_keys, paths.len());
+        reset_nested(&mut s.hop_sigs, paths.len());
+        s.members.clear();
+        s.groups.clear();
+        s.mux_delay.clear();
+
         // Stage 1 (cached): source MAC + segmentation per path.
-        let mut stage1 = Vec::with_capacity(paths.len());
-        let mut hop_keys = Vec::with_capacity(paths.len());
-        let mut hop_envs: Vec<Vec<SharedEnvelope>> = Vec::with_capacity(paths.len());
-        // Parallel to `hop_envs`: the cache signature of each envelope.
-        let mut hop_sigs: Vec<Vec<FlowSig>> = Vec::with_capacity(paths.len());
-        for p in paths {
+        for (pi, p) in paths.iter().enumerate() {
             let s1 = self.stage1_for(p)?;
             let (chi_s, buffer, frame_size, wire) = match s1 {
                 Stage1::Ready {
@@ -451,135 +640,152 @@ impl<'a> Evaluator<'a> {
                     frame_size,
                     wire,
                 } => (chi_s, buffer, frame_size, wire),
-                Stage1::Infeasible(msg) => return Ok(ResolveOutcome::Infeasible(msg)),
+                Stage1::Infeasible(msg) => return Ok(Some(msg)),
             };
             if p.h_r.per_rotation().value() <= 0.0 {
-                return Ok(ResolveOutcome::Infeasible(
+                return Ok(Some(
                     "zero synchronous allocation on the destination ring".into(),
                 ));
             }
-            stage1.push((chi_s, buffer, frame_size));
-            let route = self.net.backbone().route(
-                self.net.switch_of(p.source.ring),
-                self.net.switch_of(p.dest.ring),
-            )?;
-            let mut keys = Vec::with_capacity(route.len() + 2);
+            s.stage1.push((chi_s, buffer, frame_size));
+            let route = self.net.route_between(p.source.ring, p.dest.ring)?;
+            let keys = &mut s.hop_keys[pi];
             keys.push(MuxKey::Uplink(p.source.ring));
             keys.extend(route.iter().map(|l| MuxKey::Backbone(l.0)));
             keys.push(MuxKey::Downlink(p.dest.ring));
-            hop_keys.push(keys);
-            // The wire envelope lives in the stage-1 cache for the
-            // evaluator's lifetime, so its address identifies it.
-            hop_sigs.push(vec![FlowSig {
-                wire_ptr: Arc::as_ptr(&wire) as *const () as usize,
-                hops: Vec::new(),
-            }]);
-            hop_envs.push(vec![wire]);
+            // The wire envelope is pinned by the interner (and the
+            // stage-1 cache), so its address identifies it.
+            s.hop_sigs[pi].push(self.cache.root_sig(&wire));
         }
 
         // Stage 2: resolve multiplexers in dependency order, consulting
         // the mux cache: a port whose member set (by flow signature) was
-        // analyzed before returns its recorded report verbatim.
-        let mut mux_members: BTreeMap<MuxKey, Vec<(usize, usize)>> = BTreeMap::new();
-        for (pi, keys) in hop_keys.iter().enumerate() {
-            for (hi, k) in keys.iter().enumerate() {
-                mux_members.entry(*k).or_default().push((pi, hi));
+        // analyzed before returns its recorded report verbatim. Sorting
+        // the membership triples groups each port's members in canonical
+        // (path, hop) order — the order the aggregate is summed in.
+        for (pi, keys) in s.hop_keys.iter().enumerate() {
+            for (hi, &k) in keys.iter().enumerate() {
+                s.members.push((k, pi as u32, hi as u32));
             }
         }
-        let mut mux_delay: BTreeMap<MuxKey, Seconds> = BTreeMap::new();
-        let mut unresolved: Vec<MuxKey> = mux_members.keys().copied().collect();
-        while !unresolved.is_empty() {
+        s.members.sort_unstable();
+        let mut i = 0;
+        while i < s.members.len() {
+            let key = s.members[i].0;
+            let start = i;
+            while i < s.members.len() && s.members[i].0 == key {
+                i += 1;
+            }
+            s.groups.push((key, start as u32, i as u32));
+        }
+
+        s.unresolved.clear();
+        s.unresolved.extend(0..s.groups.len() as u32);
+        while !s.unresolved.is_empty() {
             let mut progressed = false;
-            let mut remaining = Vec::new();
-            for key in unresolved {
-                let members = &mux_members[&key];
-                let ready = members.iter().all(|(pi, hi)| hop_envs[*pi].len() > *hi);
+            s.remaining.clear();
+            for u in 0..s.unresolved.len() {
+                let gi = s.unresolved[u] as usize;
+                let (key, start, end) = s.groups[gi];
+                let (start, end) = (start as usize, end as usize);
+                let mut ready = true;
+                for &(_, pi, hi) in &s.members[start..end] {
+                    if s.hop_sigs[pi as usize].len() <= hi as usize {
+                        ready = false;
+                        break;
+                    }
+                }
                 if !ready {
-                    remaining.push(key);
+                    s.remaining.push(gi as u32);
                     continue;
                 }
                 let link = match key {
                     MuxKey::Uplink(_) | MuxKey::Downlink(_) => *self.net.access_link(),
                     MuxKey::Backbone(l) => *self.net.backbone().link(hetnet_atm::LinkId(l)),
                 };
-                let cache_key = MuxCacheKey {
-                    mux: key,
-                    members: members
-                        .iter()
-                        .map(|(pi, hi)| hop_sigs[*pi][*hi].clone())
-                        .collect(),
-                };
-                let report = match self.mux_cache.get(&cache_key) {
+                s.key_sigs.clear();
+                for &(_, pi, hi) in &s.members[start..end] {
+                    let sig = s.hop_sigs[pi as usize][hi as usize];
+                    s.key_sigs.push(sig);
+                }
+                let report = match self
+                    .cache
+                    .mux
+                    .get(&key)
+                    .and_then(|port| port.get(s.key_sigs.as_slice()))
+                {
                     Some(MuxCached::Ready(r)) => {
                         self.stats.mux_hits += 1;
                         *r
                     }
                     Some(MuxCached::Infeasible(msg)) => {
                         self.stats.mux_hits += 1;
-                        return Ok(ResolveOutcome::Infeasible(msg.clone()));
+                        return Ok(Some(msg.clone()));
                     }
                     None => {
                         self.stats.mux_misses += 1;
-                        let flows: Vec<SharedEnvelope> = members
-                            .iter()
-                            .map(|(pi, hi)| Arc::clone(&hop_envs[*pi][*hi]))
-                            .collect();
-                        match analyze_mux(&flows, &link, &self.cfg.analysis) {
+                        s.flows.clear();
+                        for &sig in &s.key_sigs {
+                            s.flows.push(Arc::clone(self.cache.env(sig)));
+                        }
+                        match analyze_mux(&s.flows, &link, &self.cfg.analysis) {
                             Ok(r) => {
-                                self.mux_cache.insert(cache_key, MuxCached::Ready(r));
+                                self.cache
+                                    .mux
+                                    .entry(key)
+                                    .or_default()
+                                    .insert(Box::from(s.key_sigs.as_slice()), MuxCached::Ready(r));
                                 r
                             }
                             Err(AtmError::Analysis(e)) => {
                                 let msg = format!("{key:?}: {e}");
-                                self.mux_cache
-                                    .insert(cache_key, MuxCached::Infeasible(msg.clone()));
-                                return Ok(ResolveOutcome::Infeasible(msg));
+                                self.cache.mux.entry(key).or_default().insert(
+                                    Box::from(s.key_sigs.as_slice()),
+                                    MuxCached::Infeasible(msg.clone()),
+                                );
+                                return Ok(Some(msg));
                             }
                             Err(e) => return Err(e.into()),
                         }
                     }
                 };
-                mux_delay.insert(key, report.delay_bound);
-                for (pi, hi) in members {
-                    debug_assert_eq!(hop_envs[*pi].len(), *hi + 1);
-                    let env = Arc::clone(&hop_envs[*pi][*hi]);
-                    hop_envs[*pi].push(per_flow_output(env, &report, &link));
-                    let sig = hop_sigs[*pi][*hi].after_hop(report.delay_bound, &link);
-                    hop_sigs[*pi].push(sig);
+                s.mux_delay.push((key, report.delay_bound));
+                for &(_, pi, hi) in &s.members[start..end] {
+                    let (pi, hi) = (pi as usize, hi as usize);
+                    debug_assert_eq!(s.hop_sigs[pi].len(), hi + 1);
+                    let parent = s.hop_sigs[pi][hi];
+                    let sig = self.cache.chained_sig(parent, &report, &link);
+                    s.hop_sigs[pi].push(sig);
                 }
                 progressed = true;
             }
-            if !progressed && !remaining.is_empty() {
+            if !progressed && !s.remaining.is_empty() {
                 return Err(CacError::InvalidNetwork(
                     "cyclic multiplexer dependencies (routes are not feedforward)".into(),
                 ));
             }
-            unresolved = remaining;
+            std::mem::swap(&mut s.unresolved, &mut s.remaining);
         }
-
-        Ok(ResolveOutcome::Ok(Resolved {
-            stage1,
-            hop_keys,
-            hop_envs,
-            mux_delay,
-        }))
+        // Canonical order for the CAC's mux-delay signature comparison.
+        s.mux_delay.sort_unstable_by_key(|&(k, _)| k);
+        Ok(None)
     }
 
     /// Completes the receive side of path `pi` and assembles its report.
     fn finish_path(
         &self,
         p: &PathInput,
-        resolved: &Resolved,
+        s: &Scratch,
         pi: usize,
     ) -> Result<Result<PathReport, String>, CacError> {
         let net = self.net;
         let ring_s = net.ring(p.source.ring);
         let ring_r = net.ring(p.dest.ring);
-        let keys = &resolved.hop_keys[pi];
-        let (chi_s, buffer_s, frame_size) = resolved.stage1[pi];
+        let keys = &s.hop_keys[pi];
+        let (chi_s, buffer_s, frame_size) = s.stage1[pi];
 
         let fddi_s = chi_s + ring_s.propagation;
-        let uplink_q = resolved.mux_delay[&keys[0]];
+        let uplink_q = s.mux_delay_of(keys[0]);
         let id_s = net.ifdev().sender_fixed_delay() + uplink_q;
 
         let mut atm = net.access_link().propagation
@@ -588,7 +794,7 @@ impl<'a> Evaluator<'a> {
                 .switch(net.switch_of(p.source.ring))
                 .fabric_latency;
         for k in &keys[1..] {
-            atm += resolved.mux_delay[k];
+            atm += s.mux_delay_of(*k);
             match k {
                 MuxKey::Backbone(l) => {
                     let link = net.backbone().link(hetnet_atm::LinkId(*l));
@@ -604,7 +810,10 @@ impl<'a> Evaluator<'a> {
 
         let id_r = net.ifdev().receiver_fixed_delay();
 
-        let arrived = Arc::clone(resolved.hop_envs[pi].last().expect("route has hops"));
+        let arrived = Arc::clone(
+            self.cache
+                .env(*s.hop_sigs[pi].last().expect("route has hops")),
+        );
         let rea = reassemble_envelope(arrived, frame_size, net.ifdev());
         let mac_r = match analyze_fddi_mac(
             rea.output_frames,
@@ -653,13 +862,12 @@ impl<'a> Evaluator<'a> {
         if paths.is_empty() {
             return Ok(EvalOutcome::Feasible(Vec::new()));
         }
-        let resolved = match self.resolve(paths)? {
-            ResolveOutcome::Ok(r) => r,
-            ResolveOutcome::Infeasible(msg) => return Ok(EvalOutcome::Infeasible(msg)),
-        };
+        if let Some(msg) = self.resolve(paths)? {
+            return Ok(EvalOutcome::Infeasible(msg));
+        }
         let mut reports = Vec::with_capacity(paths.len());
         for (pi, p) in paths.iter().enumerate() {
-            match self.finish_path(p, &resolved, pi)? {
+            match self.finish_path(p, &self.scratch, pi)? {
                 Ok(r) => reports.push(r),
                 Err(msg) => return Ok(EvalOutcome::Infeasible(msg)),
             }
@@ -686,15 +894,14 @@ impl<'a> Evaluator<'a> {
     ) -> Result<CandidateOutcome, CacError> {
         assert!(!paths.is_empty(), "candidate evaluation needs paths");
         self.validate(paths)?;
-        let resolved = match self.resolve(paths)? {
-            ResolveOutcome::Ok(r) => r,
-            ResolveOutcome::Infeasible(msg) => return Ok(CandidateOutcome::Infeasible(msg)),
-        };
+        if let Some(msg) = self.resolve(paths)? {
+            return Ok(CandidateOutcome::Infeasible(msg));
+        }
         let last = paths.len() - 1;
-        match self.finish_path(&paths[last], &resolved, last)? {
+        match self.finish_path(&paths[last], &self.scratch, last)? {
             Ok(candidate) => Ok(CandidateOutcome::Feasible {
                 candidate,
-                mux_delays: resolved.mux_delay.values().copied().collect(),
+                mux_delays: self.scratch.mux_delay.iter().map(|&(_, d)| d).collect(),
             }),
             Err(msg) => Ok(CandidateOutcome::Infeasible(msg)),
         }
@@ -1033,6 +1240,56 @@ mod tests {
         // The candidate (last path) must agree exactly with full mode.
         assert!((candidate.total.value() - full[2].total.value()).abs() < 1e-12);
         assert!(!mux_delays.is_empty());
+    }
+
+    #[test]
+    fn detached_cache_seeds_a_later_evaluator() {
+        let network = net();
+        let cfg = EvalConfig::default();
+        let paths = [
+            path((0, 0), (1, 0), 2.4, 2.4),
+            path((1, 1), (2, 1), 2.4, 2.4),
+        ];
+        let mut first = Evaluator::new(&network, cfg.clone());
+        let a = first.evaluate_full(&paths).unwrap().feasible().unwrap();
+        let cache = first.into_cache();
+        assert!(cache.stage1_entries() > 0);
+        assert!(cache.mux_entries() > 0);
+        // A second evaluator over the same cache serves everything from
+        // it — zero misses — and returns bit-identical reports.
+        let mut second = Evaluator::with_cache(&network, cfg, cache);
+        let b = second.evaluate_full(&paths).unwrap().feasible().unwrap();
+        let stats = second.cache_stats();
+        assert_eq!(stats.stage1_misses, 0, "{stats:?}");
+        assert_eq!(stats.mux_misses, 0, "{stats:?}");
+        assert!(stats.stage1_hits > 0 && stats.mux_hits > 0, "{stats:?}");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_change_invalidates_a_detached_cache() {
+        let network = net();
+        let p = path((0, 0), (1, 0), 2.4, 2.4);
+        let mut first = Evaluator::new(&network, EvalConfig::default());
+        let _ = first.evaluate_full(std::slice::from_ref(&p)).unwrap();
+        let cache = first.into_cache();
+        assert!(cache.stage1_entries() > 0);
+        // Attaching under a different config clears the cache: results
+        // must come from the new configuration, not the old entries.
+        let mut second = Evaluator::with_cache(&network, EvalConfig::fast(), cache);
+        let cached = second
+            .evaluate_full(std::slice::from_ref(&p))
+            .unwrap()
+            .feasible()
+            .unwrap();
+        let stats = second.cache_stats();
+        assert_eq!(stats.stage1_hits, 0, "{stats:?}");
+        assert_eq!(stats.mux_hits, 0, "{stats:?}");
+        let fresh = evaluate_paths(&network, std::slice::from_ref(&p), &EvalConfig::fast())
+            .unwrap()
+            .feasible()
+            .unwrap();
+        assert_eq!(cached, fresh);
     }
 
     #[test]

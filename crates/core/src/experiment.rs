@@ -141,6 +141,10 @@ pub fn run_admission_experiment(
     let lambda = workload.arrival_rate(&net);
     let mut rng = StdRng::seed_from_u64(workload.seed);
     let mut state = NetworkState::new(net);
+    // Rejected requests leave the active set unchanged, so carrying the
+    // evaluator cache across them is free accuracy-wise and saves the
+    // mux re-analysis on the next arrival.
+    state.persist_eval_cache(true);
     let mut departures: BinaryHeap<Departure> = BinaryHeap::new();
     let mut result = ExperimentResult::default();
 

@@ -3,7 +3,7 @@
 
 use crate::error::CacError;
 use hetnet_atm::topology::{Backbone, SwitchId};
-use hetnet_atm::{LinkConfig, SwitchConfig};
+use hetnet_atm::{LinkConfig, LinkId, SwitchConfig};
 use hetnet_fddi::ring::RingConfig;
 use hetnet_ifdev::IfDevConfig;
 use hetnet_traffic::units::{Bits, Seconds};
@@ -42,6 +42,12 @@ pub struct HetNetwork {
     access_link: LinkConfig,
     host_buffer: Option<Bits>,
     device_buffer: Option<Bits>,
+    /// Minimum-hop backbone routes between every ordered ring pair,
+    /// indexed `ring_s * rings.len() + ring_r`. Precomputed once so the
+    /// delay evaluator's hot path neither re-runs BFS nor allocates;
+    /// `None` records an unreachable pair (surfaced lazily, like the
+    /// on-demand search used to).
+    routes: Vec<Option<Vec<LinkId>>>,
 }
 
 impl HetNetwork {
@@ -85,6 +91,14 @@ impl HetNetwork {
         access_link
             .validate()
             .map_err(|m| CacError::InvalidNetwork(format!("access link: {m}")))?;
+        let n = rings.len();
+        let routes = (0..n * n)
+            .map(|i| {
+                backbone
+                    .route(SwitchId((i / n) as u32), SwitchId((i % n) as u32))
+                    .ok()
+            })
+            .collect();
         Ok(Self {
             rings,
             hosts_per_ring,
@@ -93,6 +107,7 @@ impl HetNetwork {
             access_link,
             host_buffer: None,
             device_buffer: None,
+            routes,
         })
     }
 
@@ -196,6 +211,30 @@ impl HetNetwork {
         SwitchId(ring as u32)
     }
 
+    /// The precomputed minimum-hop backbone route from `ring_s`'s switch
+    /// to `ring_r`'s switch (empty when they share a switch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError`] if either ring index is out of range or the
+    /// backbone offers no route between the two switches.
+    pub fn route_between(&self, ring_s: usize, ring_r: usize) -> Result<&[LinkId], CacError> {
+        let n = self.rings.len();
+        if ring_s >= n || ring_r >= n {
+            return Err(CacError::InvalidRequest(format!(
+                "ring pair ({ring_s}, {ring_r}) out of range for {n} rings"
+            )));
+        }
+        self.routes[ring_s * n + ring_r]
+            .as_deref()
+            .ok_or_else(|| {
+                CacError::from(hetnet_atm::AtmError::NoRoute {
+                    from: self.switch_of(ring_s),
+                    to: self.switch_of(ring_r),
+                })
+            })
+    }
+
     /// Whether a host id refers to a real host.
     #[must_use]
     pub fn contains(&self, host: HostId) -> bool {
@@ -237,6 +276,19 @@ mod tests {
             ring: 0,
             station: 4
         }));
+    }
+
+    #[test]
+    fn routes_are_precomputed() {
+        let net = HetNetwork::paper_topology();
+        assert!(net.route_between(0, 0).unwrap().is_empty());
+        // The paper backbone is fully meshed: one hop between any pair.
+        assert_eq!(net.route_between(0, 1).unwrap().len(), 1);
+        assert_eq!(net.route_between(2, 0).unwrap().len(), 1);
+        assert!(matches!(
+            net.route_between(0, 9),
+            Err(CacError::InvalidRequest(_))
+        ));
     }
 
     #[test]

@@ -10,6 +10,25 @@
 //! This module materializes the region on a grid: it powers the
 //! `feasible_region` example (the paper's Figure 6 as ASCII art) and
 //! the empirical convexity tests backing the CAC's binary searches.
+//!
+//! Two solvers produce the same map:
+//!
+//! * the **dense sweep** ([`sample_region_seq`],
+//!   [`sample_region_threads`]) evaluates all `G²` cells, optionally
+//!   split across worker threads — the exhaustive baseline;
+//! * the **frontier tracer** ([`sample_region_frontier`], the default
+//!   behind [`sample_region`]) exploits the region's structure: each
+//!   row is a single run of feasible cells whose endpoints move
+//!   monotonically row to row (the staircase Theorems 3–4 guarantee),
+//!   so per row it finds one feasible pivot seeded from the previous
+//!   row's run and bisects both endpoints — `O(G log G)` evaluations
+//!   instead of `G²`. Every evaluation is memoized and the traced map
+//!   is certified afterwards (recorded evaluations must match the
+//!   reconstruction, feasible rows must form one contiguous band
+//!   reaching the top row, and the runs must widen monotonically); any
+//!   witnessed violation discards the trace and re-runs the dense
+//!   sweep with the same warm evaluator, so the returned map is
+//!   bit-identical to [`sample_region_seq`]'s.
 
 use crate::cac::CacConfig;
 use crate::connection::ConnectionSpec;
@@ -20,33 +39,79 @@ use hetnet_fddi::ring::SyncBandwidth;
 use hetnet_traffic::units::Seconds;
 use std::sync::Arc;
 
-/// A sampled map of the feasible region on the `H_S`–`H_R` plane.
+/// A sampled map of the feasible region on the `H_S`–`H_R` plane,
+/// stored row-major (`h_r.len()` rows of `h_s.len()` cells).
 #[derive(Clone, Debug)]
 pub struct RegionMap {
     /// Sampled `H_S` values (columns), ascending.
     pub h_s: Vec<SyncBandwidth>,
     /// Sampled `H_R` values (rows), ascending.
     pub h_r: Vec<SyncBandwidth>,
-    /// `cells[row][col]`: whether `(h_s[col], h_r[row])` is feasible.
-    pub cells: Vec<Vec<bool>>,
+    /// Row-major feasibility bits: cell `(row, col)` lives at
+    /// `row * h_s.len() + col`.
+    cells: Vec<bool>,
 }
 
 impl RegionMap {
+    fn new(h_s: Vec<SyncBandwidth>, h_r: Vec<SyncBandwidth>, cells: Vec<bool>) -> Self {
+        debug_assert_eq!(cells.len(), h_s.len() * h_r.len());
+        Self { h_s, h_r, cells }
+    }
+
+    /// Number of rows (sampled `H_R` values).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.h_r.len()
+    }
+
+    /// Number of columns (sampled `H_S` values).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.h_s.len()
+    }
+
+    /// Whether `(h_s[col], h_r[row])` is feasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(col < self.cols(), "column {col} out of range");
+        self.cells[row * self.cols() + col]
+    }
+
+    /// The flat row-major feasibility bits.
+    #[must_use]
+    pub fn cells(&self) -> &[bool] {
+        &self.cells
+    }
+
+    /// One row of feasibility bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[bool] {
+        let cols = self.cols();
+        &self.cells[row * cols..(row + 1) * cols]
+    }
+
     /// Whether any sampled point is feasible.
     #[must_use]
     pub fn any_feasible(&self) -> bool {
-        self.cells.iter().flatten().any(|&c| c)
+        self.cells.iter().any(|&c| c)
     }
 
     /// Fraction of sampled points that are feasible.
     #[must_use]
     pub fn feasible_fraction(&self) -> f64 {
-        let total = self.cells.len() * self.cells.first().map_or(0, Vec::len);
-        if total == 0 {
+        if self.cells.is_empty() {
             return 0.0;
         }
-        let yes = self.cells.iter().flatten().filter(|&&c| c).count();
-        yes as f64 / total as f64
+        let yes = self.cells.iter().filter(|&&c| c).count();
+        yes as f64 / self.cells.len() as f64
     }
 
     /// Empirical convexity check along rows, columns and both diagonals:
@@ -54,57 +119,7 @@ impl RegionMap {
     /// feasible cells. Returns the number of slices violating that.
     #[must_use]
     pub fn convexity_violations(&self) -> usize {
-        let rows = self.cells.len();
-        if rows == 0 {
-            return 0;
-        }
-        let cols = self.cells[0].len();
-        let mut violations = 0;
-        let mut check = |line: &[bool]| {
-            // A single run: pattern false* true* false*.
-            let mut seen_true = false;
-            let mut ended = false;
-            for &c in line {
-                if c {
-                    if ended {
-                        violations += 1;
-                        return;
-                    }
-                    seen_true = true;
-                } else if seen_true {
-                    ended = true;
-                }
-            }
-        };
-        for row in &self.cells {
-            check(row);
-        }
-        for col in 0..cols {
-            let line: Vec<bool> = (0..rows).map(|r| self.cells[r][col]).collect();
-            check(&line);
-        }
-        // Diagonals (both orientations).
-        for start in 0..rows + cols - 1 {
-            let mut d1 = Vec::new();
-            let mut d2 = Vec::new();
-            for r in 0..rows {
-                let c1 = start as isize - r as isize;
-                if (0..cols as isize).contains(&c1) {
-                    d1.push(self.cells[r][c1 as usize]);
-                }
-                let c2 = r as isize + start as isize - (rows as isize - 1);
-                if (0..cols as isize).contains(&c2) {
-                    d2.push(self.cells[r][c2 as usize]);
-                }
-            }
-            if d1.len() > 1 {
-                check(&d1);
-            }
-            if d2.len() > 1 {
-                check(&d2);
-            }
-        }
-        violations
+        grid_convexity_violations(&self.cells, self.rows(), self.cols())
     }
 
     /// Renders the region as ASCII art (rows printed top-down with
@@ -113,10 +128,10 @@ impl RegionMap {
     pub fn ascii(&self) -> String {
         let mut out = String::new();
         out.push_str("H_R\n");
-        for (ri, row) in self.cells.iter().enumerate().rev() {
+        for ri in (0..self.rows()).rev() {
             let h_r = self.h_r[ri].per_rotation().as_millis();
             out.push_str(&format!("{h_r:5.2} |"));
-            for &cell in row {
+            for &cell in self.row(ri) {
                 out.push(if cell { '#' } else { '.' });
             }
             out.push('\n');
@@ -138,24 +153,88 @@ impl RegionMap {
     }
 }
 
-/// A sampled region plus the sweep's evaluator cache statistics
-/// (summed over every worker's evaluator when the sweep is parallel).
+/// Whether a line of cells is a single run: `false* true* false*`.
+fn single_run(line: impl Iterator<Item = bool>) -> bool {
+    let mut seen_true = false;
+    let mut ended = false;
+    for c in line {
+        if c {
+            if ended {
+                return false;
+            }
+            seen_true = true;
+        } else if seen_true {
+            ended = true;
+        }
+    }
+    true
+}
+
+/// Number of grid lines (rows, columns, both diagonal orientations)
+/// that are not a single run of feasible cells, walked in place.
+fn grid_convexity_violations(cells: &[bool], rows: usize, cols: usize) -> usize {
+    if rows == 0 || cols == 0 {
+        return 0;
+    }
+    let at = |r: usize, c: usize| cells[r * cols + c];
+    let mut violations = 0;
+    for r in 0..rows {
+        if !single_run(cells[r * cols..(r + 1) * cols].iter().copied()) {
+            violations += 1;
+        }
+    }
+    for c in 0..cols {
+        if !single_run((0..rows).map(|r| at(r, c))) {
+            violations += 1;
+        }
+    }
+    // Diagonals (both orientations); only diagonals longer than one
+    // cell can violate.
+    for start in 0..rows + cols - 1 {
+        // Anti-diagonal: col = start - row, so row ranges over
+        // [start-cols+1, start] clamped to the grid.
+        let a_lo = (start + 1).saturating_sub(cols);
+        let a_hi = (rows - 1).min(start);
+        if a_hi - a_lo >= 1 && !single_run((a_lo..=a_hi).map(|r| at(r, start - r))) {
+            violations += 1;
+        }
+        // Main diagonal: col = row + start - (rows-1), so row ranges
+        // over [rows-1-start, rows-1-start+cols-1] clamped to the grid.
+        let m_lo = (rows - 1).saturating_sub(start);
+        let m_hi = (rows - 1).min(rows + cols - 2 - start);
+        if m_hi - m_lo >= 1 && !single_run((m_lo..=m_hi).map(|r| at(r, r + start + 1 - rows))) {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+/// A sampled region plus how the sweep earned it: the evaluator's cache
+/// statistics (summed over every worker's evaluator when the sweep is
+/// parallel) and the number of candidate evaluations performed.
 #[derive(Clone, Debug)]
 pub struct RegionSample {
     /// The sampled feasibility map.
     pub map: RegionMap,
     /// Cache hit/miss counters accumulated by the sweep.
     pub stats: CacheStats,
+    /// Calls to `Evaluator::evaluate_candidate` the sweep performed
+    /// (`grid²` for dense sweeps; typically a few per row for the
+    /// frontier tracer).
+    pub evals: u64,
+    /// Whether a frontier trace failed certification and the map was
+    /// recomputed by the dense sweep (always `false` for dense sweeps).
+    pub fell_back: bool,
 }
 
 /// Samples the feasible region of `spec` against the currently `active`
 /// connections on a `grid × grid` lattice spanning
 /// `[min_abs, max_avail]` on both axes.
 ///
-/// Cells are evaluated in parallel across the machine's available
-/// cores. Each worker owns a private [`Evaluator`], and cells are
-/// independent, so the result is bit-identical to a sequential sweep
-/// (see [`sample_region_seq`]).
+/// Uses the frontier tracer ([`sample_region_frontier`]): `O(G log G)`
+/// evaluations on the staircase regions the analysis produces, with a
+/// certified fallback to the dense sweep, so the result is always
+/// bit-identical to [`sample_region_seq`].
 ///
 /// # Errors
 ///
@@ -171,23 +250,12 @@ pub fn sample_region(
     grid: usize,
     cfg: &CacConfig,
 ) -> Result<RegionMap, CacError> {
-    let threads = std::thread::available_parallelism().map_or(1, usize::from);
-    Ok(sample_region_threads(
-        net,
-        active,
-        spec,
-        available_s,
-        available_r,
-        grid,
-        cfg,
-        threads,
-    )?
-    .map)
+    Ok(sample_region_frontier(net, active, spec, available_s, available_r, grid, cfg)?.map)
 }
 
-/// Sequential [`sample_region`]: one evaluator, cells in row-major
-/// order. The benchmark baseline the parallel sweep is measured (and
-/// bit-compared) against.
+/// Sequential dense sweep: one evaluator, all `grid²` cells in
+/// row-major order. The exhaustive baseline every other solver is
+/// measured (and bit-compared) against.
 ///
 /// # Errors
 ///
@@ -204,8 +272,55 @@ pub fn sample_region_seq(
     Ok(sample_region_threads(net, active, spec, available_s, available_r, grid, cfg, 1)?.map)
 }
 
-/// [`sample_region`] with an explicit worker count, returning the
-/// sweep's cache statistics alongside the map.
+/// Axis samples plus the input vector whose last slot is the
+/// candidate's (rewritten per cell) — what [`sweep_setup`] hands every
+/// solver.
+type SweepSetup = (Vec<SyncBandwidth>, Vec<SyncBandwidth>, Vec<PathInput>);
+
+/// The shared sweep setup: axis samples and the input vector whose last
+/// slot is the candidate's (rewritten per cell).
+fn sweep_setup(
+    net: &HetNetwork,
+    active: &[PathInput],
+    spec: &ConnectionSpec,
+    available_s: Seconds,
+    available_r: Seconds,
+    grid: usize,
+    cfg: &CacConfig,
+) -> Result<SweepSetup, CacError> {
+    if grid < 2 {
+        return Err(CacError::InvalidRequest(format!(
+            "region grid must be at least 2x2, got {grid}x{grid}"
+        )));
+    }
+    let ring_s = net.ring(spec.source.ring);
+    let ring_r = net.ring(spec.dest.ring);
+    let min_s = hetnet_fddi::frames::min_allocation(ring_s, cfg.min_frame_efficiency);
+    let min_r = hetnet_fddi::frames::min_allocation(ring_r, cfg.min_frame_efficiency);
+    let max_s = SyncBandwidth::new(available_s);
+    let max_r = SyncBandwidth::new(available_r);
+
+    let axis = |min: SyncBandwidth, max: SyncBandwidth| -> Vec<SyncBandwidth> {
+        (0..grid)
+            .map(|k| min.lerp(max, k as f64 / (grid - 1) as f64))
+            .collect()
+    };
+    let h_s = axis(min_s, max_s);
+    let h_r = axis(min_r, max_r);
+
+    let mut base: Vec<PathInput> = active.to_vec();
+    base.push(PathInput {
+        source: spec.source,
+        dest: spec.dest,
+        envelope: Arc::clone(&spec.envelope),
+        h_s: h_s[0],
+        h_r: h_r[0],
+    });
+    Ok((h_s, h_r, base))
+}
+
+/// Dense sweep with an explicit worker count, returning the sweep's
+/// cache statistics alongside the map.
 ///
 /// The `grid × grid` cells are split into `threads` contiguous
 /// row-major chunks, one scoped worker thread per chunk, each with its
@@ -229,37 +344,7 @@ pub fn sample_region_threads(
     cfg: &CacConfig,
     threads: usize,
 ) -> Result<RegionSample, CacError> {
-    if grid < 2 {
-        return Err(CacError::InvalidRequest(format!(
-            "region grid must be at least 2x2, got {grid}x{grid}"
-        )));
-    }
-    let ring_s = net.ring(spec.source.ring);
-    let ring_r = net.ring(spec.dest.ring);
-    let min_s = hetnet_fddi::frames::min_allocation(ring_s, cfg.min_frame_efficiency);
-    let min_r = hetnet_fddi::frames::min_allocation(ring_r, cfg.min_frame_efficiency);
-    let max_s = SyncBandwidth::new(available_s);
-    let max_r = SyncBandwidth::new(available_r);
-
-    let axis = |min: SyncBandwidth, max: SyncBandwidth| -> Vec<SyncBandwidth> {
-        (0..grid)
-            .map(|k| min.lerp(max, k as f64 / (grid - 1) as f64))
-            .collect()
-    };
-    let h_s = axis(min_s, max_s);
-    let h_r = axis(min_r, max_r);
-
-    // The shared input prefix (active connections + candidate slot) is
-    // built once; each worker clones it once and then only rewrites the
-    // candidate's allocations per cell.
-    let mut base: Vec<PathInput> = active.to_vec();
-    base.push(PathInput {
-        source: spec.source,
-        dest: spec.dest,
-        envelope: Arc::clone(&spec.envelope),
-        h_s: h_s[0],
-        h_r: h_r[0],
-    });
+    let (h_s, h_r, base) = sweep_setup(net, active, spec, available_s, available_r, grid, cfg)?;
 
     // Evaluates the row-major cells `range`, returning their
     // feasibility bits and the worker evaluator's cache statistics.
@@ -315,11 +400,259 @@ pub fn sample_region_threads(
         }
     }
     debug_assert_eq!(flat.len(), total);
-    let cells: Vec<Vec<bool>> = flat.chunks(grid).map(<[bool]>::to_vec).collect();
     Ok(RegionSample {
-        map: RegionMap { h_s, h_r, cells },
+        map: RegionMap::new(h_s, h_r, flat),
         stats,
+        evals: total as u64,
+        fell_back: false,
     })
+}
+
+/// Frontier-tracing sweep: binary-searches each row's feasible run,
+/// seeded from the previous row (see the module docs), then certifies
+/// the trace and falls back to the dense sweep — reusing the same warm
+/// evaluator, so the result is still bit-identical — if any recorded
+/// evaluation contradicts the traced staircase.
+///
+/// # Errors
+///
+/// Identical to [`sample_region`].
+pub fn sample_region_frontier(
+    net: &HetNetwork,
+    active: &[PathInput],
+    spec: &ConnectionSpec,
+    available_s: Seconds,
+    available_r: Seconds,
+    grid: usize,
+    cfg: &CacConfig,
+) -> Result<RegionSample, CacError> {
+    let (h_s, h_r, mut inputs) =
+        sweep_setup(net, active, spec, available_s, available_r, grid, cfg)?;
+    let mut ev = Evaluator::new(net, cfg.eval.clone());
+    let (flat, evals, fell_back) = frontier_map(grid, |r, c| {
+        let cand = inputs.last_mut().expect("candidate slot present");
+        cand.h_s = h_s[c];
+        cand.h_r = h_r[r];
+        Ok(match ev.evaluate_candidate(&inputs)? {
+            CandidateOutcome::Feasible { candidate, .. } => candidate.total <= spec.deadline,
+            CandidateOutcome::Infeasible(_) => false,
+        })
+    })?;
+    Ok(RegionSample {
+        map: RegionMap::new(h_s, h_r, flat),
+        stats: ev.cache_stats(),
+        evals,
+        fell_back,
+    })
+}
+
+/// A feasibility oracle: `oracle(row, col)` decides one grid cell.
+/// Generic so the tracer can be exercised against synthetic
+/// (adversarial) regions in tests.
+trait Oracle: FnMut(usize, usize) -> Result<bool, CacError> {}
+impl<T: FnMut(usize, usize) -> Result<bool, CacError>> Oracle for T {}
+
+/// Memoized oracle call: each cell is evaluated at most once across
+/// trace *and* fallback, and `evals` counts actual evaluations.
+fn eval_memo(
+    memo: &mut [Option<bool>],
+    evals: &mut u64,
+    oracle: &mut impl Oracle,
+    grid: usize,
+    r: usize,
+    c: usize,
+) -> Result<bool, CacError> {
+    if let Some(v) = memo[r * grid + c] {
+        return Ok(v);
+    }
+    let v = oracle(r, c)?;
+    memo[r * grid + c] = Some(v);
+    *evals += 1;
+    Ok(v)
+}
+
+/// Leftmost feasible column of row `r`, bracketed from the known
+/// feasible `good`: gallop left with doubling steps to find an
+/// infeasible cell (seeding from the previous row's endpoint makes the
+/// first step land next to the answer in the common case), then bisect.
+/// Both sides of the returned boundary end up evaluated.
+fn left_end(
+    memo: &mut [Option<bool>],
+    evals: &mut u64,
+    oracle: &mut impl Oracle,
+    grid: usize,
+    r: usize,
+    mut good: usize,
+) -> Result<usize, CacError> {
+    if good == 0 {
+        return Ok(0);
+    }
+    let mut step = 1usize;
+    let mut bad = loop {
+        let probe = good.saturating_sub(step);
+        if eval_memo(memo, evals, oracle, grid, r, probe)? {
+            good = probe;
+            if good == 0 {
+                return Ok(0);
+            }
+            step = step.saturating_mul(2);
+        } else {
+            break probe;
+        }
+    };
+    while good - bad > 1 {
+        let mid = bad + (good - bad) / 2;
+        if eval_memo(memo, evals, oracle, grid, r, mid)? {
+            good = mid;
+        } else {
+            bad = mid;
+        }
+    }
+    Ok(good)
+}
+
+/// Rightmost feasible column of row `r`, bracketed from the known
+/// feasible `good`. The right edge is probed first: on the staircase
+/// regions the analysis produces, more `H_S` never hurts the candidate,
+/// so the run reaches the edge and this costs one (often memoized)
+/// evaluation.
+fn right_end(
+    memo: &mut [Option<bool>],
+    evals: &mut u64,
+    oracle: &mut impl Oracle,
+    grid: usize,
+    r: usize,
+    mut good: usize,
+) -> Result<usize, CacError> {
+    if eval_memo(memo, evals, oracle, grid, r, grid - 1)? {
+        return Ok(grid - 1);
+    }
+    let mut bad = grid - 1;
+    let mut step = 1usize;
+    while bad - good > 1 {
+        let probe = (good + step).min(bad - 1);
+        if eval_memo(memo, evals, oracle, grid, r, probe)? {
+            good = probe;
+            step = step.saturating_mul(2);
+        } else {
+            bad = probe;
+            break;
+        }
+    }
+    while bad - good > 1 {
+        let mid = good + (bad - good) / 2;
+        if eval_memo(memo, evals, oracle, grid, r, mid)? {
+            good = mid;
+        } else {
+            bad = mid;
+        }
+    }
+    Ok(good)
+}
+
+/// Traces the feasible run `[lo, hi)` of every row bottom-up, seeding
+/// each row's searches from the previous row's run.
+fn trace_frontier(
+    memo: &mut [Option<bool>],
+    evals: &mut u64,
+    oracle: &mut impl Oracle,
+    grid: usize,
+) -> Result<Vec<(usize, usize)>, CacError> {
+    let mut runs = Vec::with_capacity(grid);
+    let mut prev: Option<(usize, usize)> = None;
+    for r in 0..grid {
+        // Pivot discovery: the staircase widens upward, so the previous
+        // row's run (left endpoint first — it anchors the cheap gallop)
+        // is feasible here too; the right edge is the fallback seed and
+        // covers the first nonempty row.
+        let mut pivot = None;
+        if let Some((plo, phi)) = prev {
+            for c in [plo, phi - 1, plo + (phi - plo) / 2] {
+                if eval_memo(memo, evals, oracle, grid, r, c)? {
+                    pivot = Some(c);
+                    break;
+                }
+            }
+        }
+        if pivot.is_none() && eval_memo(memo, evals, oracle, grid, r, grid - 1)? {
+            pivot = Some(grid - 1);
+        }
+        let Some(p) = pivot else {
+            runs.push((0, 0));
+            prev = None;
+            continue;
+        };
+        let lo = left_end(memo, evals, oracle, grid, r, p)?;
+        let hi = right_end(memo, evals, oracle, grid, r, p)? + 1;
+        runs.push((lo, hi));
+        prev = Some((lo, hi));
+    }
+    Ok(runs)
+}
+
+/// Certifies a trace: reconstructs the map from the runs and accepts it
+/// only if (1) every evaluation the trace recorded agrees with the
+/// reconstruction — every run boundary is witnessed by evaluations on
+/// both sides, so under Theorem 3's single-run rows this pins the whole
+/// map — (2) nonempty rows form one contiguous band reaching the top
+/// row, and (3) within the band the runs widen monotonically (`lo`
+/// never grows, `hi` never shrinks with `H_R`) — the staircase shape
+/// the per-row seeding relies on. Note this is deliberately weaker than
+/// full grid convexity: sampled maps of the *analysis* can break the
+/// diagonal single-run property (the run's left endpoint may jump many
+/// columns between adjacent rows at a mux-regime threshold) while every
+/// row remains a single run, and only the latter matters for the
+/// trace's exactness. Returns the flat map, or `None` to demand the
+/// dense fallback.
+fn certify(grid: usize, runs: &[(usize, usize)], memo: &[Option<bool>]) -> Option<Vec<bool>> {
+    let mut flat = vec![false; grid * grid];
+    for (r, &(lo, hi)) in runs.iter().enumerate() {
+        flat[r * grid + lo..r * grid + hi].fill(true);
+    }
+    if memo
+        .iter()
+        .enumerate()
+        .any(|(i, m)| m.is_some_and(|v| v != flat[i]))
+    {
+        return None;
+    }
+    if let Some(first) = runs.iter().position(|&(lo, hi)| hi > lo) {
+        let band = &runs[first..];
+        if band.iter().any(|&(lo, hi)| hi <= lo) {
+            return None;
+        }
+        if band
+            .windows(2)
+            .any(|w| w[1].0 > w[0].0 || w[1].1 < w[0].1)
+        {
+            return None;
+        }
+    }
+    Some(flat)
+}
+
+/// Runs the frontier tracer against `oracle` and certifies the result;
+/// on failure, completes the map densely through the same memo (cells
+/// already evaluated are not re-evaluated, and a deterministic oracle
+/// makes the outcome identical to a pure dense sweep). Returns the flat
+/// map, the number of oracle evaluations, and whether it fell back.
+fn frontier_map(
+    grid: usize,
+    mut oracle: impl Oracle,
+) -> Result<(Vec<bool>, u64, bool), CacError> {
+    let mut memo = vec![None; grid * grid];
+    let mut evals = 0u64;
+    let runs = trace_frontier(&mut memo, &mut evals, &mut oracle, grid)?;
+    if let Some(flat) = certify(grid, &runs, &memo) {
+        return Ok((flat, evals, false));
+    }
+    let mut flat = vec![false; grid * grid];
+    for r in 0..grid {
+        for c in 0..grid {
+            flat[r * grid + c] = eval_memo(&mut memo, &mut evals, &mut oracle, grid, r, c)?;
+        }
+    }
+    Ok((flat, evals, true))
 }
 
 #[cfg(test)]
@@ -374,7 +707,7 @@ mod tests {
         assert!(m.any_feasible());
         assert!(m.feasible_fraction() > 0.3, "{}", m.ascii());
         // The top-right corner (max allocations) is feasible.
-        assert!(*m.cells.last().unwrap().last().unwrap(), "{}", m.ascii());
+        assert!(m.get(m.rows() - 1, m.cols() - 1), "{}", m.ascii());
     }
 
     #[test]
@@ -390,7 +723,7 @@ mod tests {
         // columns and diagonals.
         let m = map(60.0, 9);
         assert!(m.any_feasible());
-        assert!(!*m.cells.first().unwrap().first().unwrap());
+        assert!(!m.get(0, 0));
         assert_eq!(m.convexity_violations(), 0, "{}", m.ascii());
     }
 
@@ -432,11 +765,132 @@ mod tests {
         let seq = run(1);
         for threads in [2, 3, 7, 64] {
             let par = run(threads);
-            assert_eq!(par.map.cells, seq.map.cells, "threads {threads}");
+            assert_eq!(par.map.cells(), seq.map.cells(), "threads {threads}");
         }
         // The sequential single evaluator reuses everything it can.
         assert!(seq.stats.stage1_hits > 0);
         assert!(seq.stats.mux_hits > 0);
+    }
+
+    #[test]
+    fn frontier_matches_dense_and_is_cheaper() {
+        let net = HetNetwork::paper_topology();
+        let cfg = CacConfig::fast();
+        for deadline_ms in [1.0, 60.0, 150.0] {
+            let run = |frontier: bool| {
+                let f = if frontier {
+                    sample_region_frontier
+                } else {
+                    sample_region_seq_sample
+                };
+                f(
+                    &net,
+                    &[],
+                    &spec(deadline_ms),
+                    Seconds::from_millis(7.2),
+                    Seconds::from_millis(7.2),
+                    9,
+                    &cfg,
+                )
+                .unwrap()
+            };
+            let dense = run(false);
+            let frontier = run(true);
+            assert_eq!(
+                frontier.map.cells(),
+                dense.map.cells(),
+                "deadline {deadline_ms}: {}",
+                dense.map.ascii()
+            );
+            assert!(!frontier.fell_back, "deadline {deadline_ms}");
+            assert!(
+                frontier.evals < dense.evals,
+                "deadline {deadline_ms}: {} !< {}",
+                frontier.evals,
+                dense.evals
+            );
+        }
+    }
+
+    fn sample_region_seq_sample(
+        net: &HetNetwork,
+        active: &[PathInput],
+        spec: &ConnectionSpec,
+        available_s: Seconds,
+        available_r: Seconds,
+        grid: usize,
+        cfg: &CacConfig,
+    ) -> Result<RegionSample, CacError> {
+        sample_region_threads(net, active, spec, available_s, available_r, grid, cfg, 1)
+    }
+
+    /// Oracle over a fixed bit-grid, for exercising the tracer against
+    /// shapes the physical analysis never produces.
+    fn grid_oracle(cells: Vec<bool>, grid: usize) -> impl Oracle {
+        move |r: usize, c: usize| Ok(cells[r * grid + c])
+    }
+
+    #[test]
+    fn synthetic_staircases_trace_exactly() {
+        // Monotone staircases of every flavor, including empty and full.
+        let grid = 8;
+        let shapes: Vec<Box<dyn Fn(usize, usize) -> bool>> = vec![
+            Box::new(|_, _| false),
+            Box::new(|_, _| true),
+            Box::new(move |r, c| r + c >= grid),
+            Box::new(move |r, c| c >= grid.saturating_sub(1 + r / 2)),
+            Box::new(move |r, _| r == grid - 1),
+            Box::new(move |r, c| r == grid - 1 && c == grid - 1),
+        ];
+        for (i, shape) in shapes.iter().enumerate() {
+            let dense: Vec<bool> = (0..grid * grid)
+                .map(|idx| shape(idx / grid, idx % grid))
+                .collect();
+            let (flat, evals, fell_back) =
+                frontier_map(grid, grid_oracle(dense.clone(), grid)).unwrap();
+            assert_eq!(flat, dense, "shape {i}");
+            assert!(!fell_back, "shape {i}");
+            assert!(evals <= (grid * grid) as u64, "shape {i}: {evals}");
+        }
+    }
+
+    #[test]
+    fn non_convex_oracle_falls_back_to_dense() {
+        // Two disjoint runs in the bottom row: the trace's probes must
+        // witness the violation and the fallback must return the exact
+        // dense map, at no more than one evaluation per cell.
+        let grid = 8;
+        let dense: Vec<bool> = (0..grid * grid)
+            .map(|idx| {
+                let (r, c) = (idx / grid, idx % grid);
+                if r == 0 {
+                    c < 2 || c >= grid - 2
+                } else {
+                    r + c >= grid
+                }
+            })
+            .collect();
+        let (flat, evals, fell_back) =
+            frontier_map(grid, grid_oracle(dense.clone(), grid)).unwrap();
+        assert!(fell_back);
+        assert_eq!(flat, dense);
+        assert_eq!(evals, (grid * grid) as u64);
+    }
+
+    #[test]
+    fn shrinking_band_oracle_falls_back() {
+        // A row that is nonempty below an empty row breaks the
+        // contiguous-band certificate.
+        let grid = 6;
+        let dense: Vec<bool> = (0..grid * grid)
+            .map(|idx| {
+                let (r, c) = (idx / grid, idx % grid);
+                r == 1 && c >= grid - 2
+            })
+            .collect();
+        let (flat, _, fell_back) = frontier_map(grid, grid_oracle(dense.clone(), grid)).unwrap();
+        assert!(fell_back);
+        assert_eq!(flat, dense);
     }
 
     #[test]

@@ -92,7 +92,7 @@ fn axis_bits(axis: &[SyncBandwidth]) -> Vec<u64> {
 }
 
 fn assert_identical(seq: &RegionSample, par: &RegionSample, label: &str) {
-    assert_eq!(par.map.cells, seq.map.cells, "{label}: cells diverged");
+    assert_eq!(par.map.cells(), seq.map.cells(), "{label}: cells diverged");
     assert_eq!(
         axis_bits(&par.map.h_s),
         axis_bits(&seq.map.h_s),

@@ -53,7 +53,7 @@ proptest! {
         prop_assert_eq!(map.convexity_violations(), 0, "{}", map.ascii());
         // Monotone corners: if any point is feasible, the max corner is.
         if map.any_feasible() {
-            prop_assert!(*map.cells.last().unwrap().last().unwrap(), "{}", map.ascii());
+            prop_assert!(map.get(map.rows() - 1, map.cols() - 1), "{}", map.ascii());
         }
     }
 }

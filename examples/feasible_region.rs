@@ -12,7 +12,7 @@
 use hetnet::cac::cac::CacConfig;
 use hetnet::cac::connection::ConnectionSpec;
 use hetnet::cac::network::{HetNetwork, HostId};
-use hetnet::cac::region::sample_region;
+use hetnet::cac::region::sample_region_frontier;
 use hetnet::traffic::models::DualPeriodicEnvelope;
 use hetnet::traffic::units::{Bits, BitsPerSec, Seconds};
 use std::error::Error;
@@ -42,18 +42,23 @@ fn main() -> Result<(), Box<dyn Error>> {
             envelope: Arc::clone(&source) as _,
             deadline: Seconds::from_millis(deadline_ms),
         };
-        let map = sample_region(
+        let grid = 25;
+        let sample = sample_region_frontier(
             &net,
             &[],
             &spec,
             Seconds::from_millis(7.2),
             Seconds::from_millis(7.2),
-            25,
+            grid,
             &cfg,
         )?;
+        let map = sample.map;
         println!(
-            "deadline = {deadline_ms} ms  (feasible fraction {:.0}%)",
-            map.feasible_fraction() * 100.0
+            "deadline = {deadline_ms} ms  (feasible fraction {:.0}%, \
+             {} of {} cells evaluated by the frontier tracer)",
+            map.feasible_fraction() * 100.0,
+            sample.evals,
+            grid * grid,
         );
         println!("{}", map.ascii());
         println!(

@@ -16,4 +16,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> bench_json smoke run"
 cargo run --release -p hetnet-bench --bin bench_json -- \
     --quick --out target/BENCH_region.quick.json
+
+echo "==> bench_json gate (maps identical, frontier cheaper than dense)"
+python3 - target/BENCH_region.quick.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+if bench["maps_identical"] is not True:
+    sys.exit("FAIL: solver maps are not bit-identical")
+dense, frontier = bench["dense_evals"], bench["frontier_evals"]
+if frontier >= dense:
+    sys.exit(f"FAIL: frontier did {frontier} evals, dense sweep {dense}")
+print(f"ok: maps identical, frontier evals {frontier} < dense {dense}")
+EOF
 echo "==> all checks passed"
