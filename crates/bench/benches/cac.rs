@@ -3,7 +3,7 @@
 //! against existing connections).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hetnet_cac::cac::{CacConfig, NetworkState};
+use hetnet_cac::cac::{AdmissionOptions, CacConfig, NetworkState};
 use hetnet_cac::connection::ConnectionSpec;
 use hetnet_cac::network::{HetNetwork, HostId};
 use hetnet_traffic::models::DualPeriodicEnvelope;
@@ -39,12 +39,12 @@ fn spec(src: (usize, usize), dst: (usize, usize)) -> ConnectionSpec {
 }
 
 fn bench_cac_decision(c: &mut Criterion) {
-    let cfg = CacConfig::default();
+    let opts = AdmissionOptions::beta_search(CacConfig::default());
 
     c.bench_function("cac_admit_on_empty_network", |b| {
         b.iter(|| {
             let mut state = NetworkState::new(HetNetwork::paper_topology());
-            black_box(state.request(spec((0, 0), (1, 0)), &cfg).expect("ok"))
+            black_box(state.admit(spec((0, 0), (1, 0)), &opts).expect("ok"))
         })
     });
 
@@ -54,10 +54,10 @@ fn bench_cac_decision(c: &mut Criterion) {
         // but measure only relative cost.
         b.iter(|| {
             let mut state = NetworkState::new(HetNetwork::paper_topology());
-            state.request(spec((0, 0), (1, 0)), &cfg).expect("ok");
-            state.request(spec((1, 0), (2, 0)), &cfg).expect("ok");
-            state.request(spec((2, 0), (0, 0)), &cfg).expect("ok");
-            black_box(state.request(spec((0, 1), (2, 1)), &cfg).expect("ok"))
+            state.admit(spec((0, 0), (1, 0)), &opts).expect("ok");
+            state.admit(spec((1, 0), (2, 0)), &opts).expect("ok");
+            state.admit(spec((2, 0), (0, 0)), &opts).expect("ok");
+            black_box(state.admit(spec((0, 1), (2, 1)), &opts).expect("ok"))
         })
     });
 
@@ -66,7 +66,7 @@ fn bench_cac_decision(c: &mut Criterion) {
             let mut state = NetworkState::new(HetNetwork::paper_topology());
             let mut s = spec((0, 0), (1, 0));
             s.deadline = Seconds::from_millis(1.0);
-            black_box(state.request(s, &cfg).expect("ok"))
+            black_box(state.admit(s, &opts).expect("ok"))
         })
     });
 }

@@ -6,7 +6,7 @@
 //! the retry path is exactly what the persistent cache accelerates).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hetnet_cac::cac::{CacConfig, NetworkState};
+use hetnet_cac::cac::{AdmissionOptions, CacConfig, NetworkState};
 use hetnet_cac::connection::ConnectionSpec;
 use hetnet_cac::network::{HetNetwork, HostId};
 use hetnet_traffic::models::DualPeriodicEnvelope;
@@ -42,7 +42,7 @@ fn spec(src: (usize, usize), dst: (usize, usize), deadline_ms: f64) -> Connectio
 }
 
 fn bench_request_latency(c: &mut Criterion) {
-    let cfg = CacConfig::default();
+    let opts = AdmissionOptions::beta_search(CacConfig::default());
     let net = HetNetwork::paper_topology();
 
     // Admissions mutate the active set, so the state is rebuilt per
@@ -51,17 +51,17 @@ fn bench_request_latency(c: &mut Criterion) {
     c.bench_function("request_admit_empty", |b| {
         b.iter(|| {
             let mut state = NetworkState::new(net.clone());
-            black_box(state.request(spec((0, 0), (1, 0), 100.0), &cfg).expect("ok"))
+            black_box(state.admit(spec((0, 0), (1, 0), 100.0), &opts).expect("ok"))
         })
     });
 
     c.bench_function("request_admit_loaded", |b| {
         b.iter(|| {
             let mut state = NetworkState::new(net.clone());
-            state.request(spec((0, 0), (1, 0), 100.0), &cfg).expect("ok");
-            state.request(spec((1, 0), (2, 0), 100.0), &cfg).expect("ok");
-            state.request(spec((2, 0), (0, 0), 100.0), &cfg).expect("ok");
-            black_box(state.request(spec((0, 1), (2, 1), 100.0), &cfg).expect("ok"))
+            state.admit(spec((0, 0), (1, 0), 100.0), &opts).expect("ok");
+            state.admit(spec((1, 0), (2, 0), 100.0), &opts).expect("ok");
+            state.admit(spec((2, 0), (0, 0), 100.0), &opts).expect("ok");
+            black_box(state.admit(spec((0, 1), (2, 1), 100.0), &opts).expect("ok"))
         })
     });
 
@@ -73,13 +73,13 @@ fn bench_request_latency(c: &mut Criterion) {
     let reject_spec = spec((0, 0), (1, 0), 1.0);
     c.bench_function("request_reject_cold", |b| {
         let mut state = NetworkState::new(net.clone());
-        b.iter(|| black_box(state.request(reject_spec.clone(), &cfg).expect("ok")))
+        b.iter(|| black_box(state.admit(reject_spec.clone(), &opts).expect("ok")))
     });
 
     c.bench_function("request_reject_warm", |b| {
         let mut state = NetworkState::new(net.clone());
         state.persist_eval_cache(true);
-        b.iter(|| black_box(state.request(reject_spec.clone(), &cfg).expect("ok")))
+        b.iter(|| black_box(state.admit(reject_spec.clone(), &opts).expect("ok")))
     });
 }
 

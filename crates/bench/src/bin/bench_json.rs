@@ -1,9 +1,13 @@
-//! Machine-readable benchmark of the feasible-region solvers: times the
+//! Machine-readable benchmark of the feasible-region solvers and the
+//! churn-driven admission service. The region part times the
 //! sequential dense baseline, the parallel dense sweep, and the
 //! frontier tracer on a 17×17 grid with 8 active background
-//! connections, verifies all three produce bit-identical maps, and
-//! writes the numbers (cells/sec, evals per cell, speedups, cache hit
-//! rates) as JSON.
+//! connections, verifying all three produce bit-identical maps; the
+//! churn part runs a seeded Poisson connect/disconnect workload
+//! through the service layer and reports throughput, decision-latency
+//! percentiles, and blocking probability. Everything lands in one
+//! JSON file (cells/sec, evals per cell, speedups, cache hit rates,
+//! and a `churn` section).
 //!
 //! ```text
 //! cargo run --release -p hetnet-bench --bin bench_json            # full run -> BENCH_region.json
@@ -11,12 +15,13 @@
 //!     --quick --out target/BENCH_region.quick.json                # CI smoke run
 //! ```
 
-use hetnet_cac::cac::CacConfig;
+use hetnet_cac::cac::{AdmissionOptions, CacConfig};
 use hetnet_cac::connection::ConnectionSpec;
 use hetnet_cac::delay::{CacheStats, PathInput};
 use hetnet_cac::network::{HetNetwork, HostId};
 use hetnet_cac::region::{sample_region_frontier, sample_region_threads, RegionSample};
 use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_service::{run as run_service, ServiceConfig};
 use hetnet_traffic::envelope::SharedEnvelope;
 use hetnet_traffic::models::DualPeriodicEnvelope;
 use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
@@ -173,6 +178,32 @@ fn main() {
          ({eval_reduction:.1}x fewer evals), maps identical: {identical}"
     );
 
+    // Churn workload through the service layer: a seeded Poisson
+    // connect/disconnect stream on the paper topology. The seed is
+    // fixed so decisions (and thus blocking probability) are exactly
+    // reproducible; only wall-clock numbers vary between machines.
+    // 0.1 req/s against ~100 s mean holding offers ~10 concurrent
+    // connections to a network that fits ~4: enough pressure for a
+    // meaningful blocking probability, enough departures for real
+    // connect/disconnect churn.
+    let churn_requests = if quick { 80 } else { 400 };
+    let mut service_cfg = ServiceConfig::paper_style(0.1, churn_requests, 42);
+    service_cfg.options = AdmissionOptions::beta_search(CacConfig::fast());
+    eprintln!(
+        "churn service: {churn_requests} requests at 0.1/s (seed 42, beta-search fast)"
+    );
+    let churn = run_service(HetNetwork::paper_topology(), &service_cfg)
+        .expect("churn run is well-formed")
+        .report;
+    eprintln!(
+        "  {:.0} req/s, p99 {:.1} us, blocking {:.3} ({} admitted / {} rejected)",
+        churn.requests_per_sec,
+        churn.latency.p99.value() * 1e6,
+        churn.blocking_probability,
+        churn.counters.admitted,
+        churn.counters.rejected(),
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -189,7 +220,8 @@ fn main() {
             "  \"dense_evals\": {},\n",
             "  \"frontier_evals\": {},\n",
             "  \"frontier_fell_back\": {},\n",
-            "  \"maps_identical\": {}\n",
+            "  \"maps_identical\": {},\n",
+            "  \"churn\": {}\n",
             "}}\n"
         ),
         grid,
@@ -205,6 +237,7 @@ fn main() {
         fro.sample.evals,
         fro.sample.fell_back,
         identical,
+        churn.to_json(),
     );
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {

@@ -13,7 +13,7 @@
 use hetnet_atm::topology::Backbone;
 use hetnet_atm::{LinkConfig, SwitchConfig};
 use hetnet_bench::write_csv;
-use hetnet_cac::cac::{CacConfig, Decision, NetworkState};
+use hetnet_cac::cac::{AdmissionOptions, CacConfig, Decision, NetworkState};
 use hetnet_cac::connection::ConnectionSpec;
 use hetnet_cac::network::{HetNetwork, HostId};
 use hetnet_fddi::ring::RingConfig;
@@ -36,7 +36,7 @@ fn main() {
 
     // Admit six connections (two per ring) with the default CAC.
     let mut state = NetworkState::new(HetNetwork::paper_topology());
-    let cfg = CacConfig::default();
+    let opts = AdmissionOptions::beta_search(CacConfig::default());
     let mut admitted = Vec::new();
     for ring in 0..3usize {
         for station in 0..2usize {
@@ -49,7 +49,7 @@ fn main() {
                 envelope: Arc::new(model),
                 deadline: Seconds::from_millis(120.0),
             };
-            match state.request(spec, &cfg).expect("well-formed request") {
+            match state.admit(spec, &opts).expect("well-formed request") {
                 Decision::Admitted {
                     id,
                     h_s,
@@ -62,7 +62,7 @@ fn main() {
     }
     // Bounds may have tightened as later connections arrived; use the
     // *current* bounds for the comparison.
-    let current = state.current_delays(&cfg).expect("state consistent");
+    let current = state.current_delays(&opts.cac).expect("state consistent");
 
     println!(
         "admitted {} connections; replaying with greedy sources\n",

@@ -14,7 +14,7 @@
 //!   headroom factor, and the connection is admitted iff the deadlines
 //!   happen to hold there.
 
-use crate::cac::{CacConfig, Decision, NetworkState};
+use crate::cac::{AdmissionOptions, CacConfig, Decision, NetworkState};
 use crate::connection::ConnectionSpec;
 use crate::error::CacError;
 use hetnet_fddi::ring::SyncBandwidth;
@@ -60,21 +60,17 @@ pub fn request_with_policy(
 ) -> Result<Decision, CacError> {
     match policy {
         Policy::BetaCac { beta } => {
-            let cfg = cfg.clone().with_beta(beta);
-            state.request(spec, &cfg)
+            let opts = AdmissionOptions::beta_search(cfg.clone().with_beta(beta));
+            state.admit(spec, &opts)
         }
         Policy::GrabEverything => {
             let h_s = SyncBandwidth::new(state.available_on(spec.source.ring));
             let h_r = SyncBandwidth::new(state.available_on(spec.dest.ring));
             if h_s.per_rotation().value() <= 0.0 || h_r.per_rotation().value() <= 0.0 {
-                return state.request_fixed(
-                    spec,
-                    SyncBandwidth::new(Seconds::from_nanos(1.0)),
-                    SyncBandwidth::new(Seconds::from_nanos(1.0)),
-                    cfg,
-                );
+                let floor = SyncBandwidth::new(Seconds::from_nanos(1.0));
+                return state.admit(spec, &AdmissionOptions::fixed(cfg.clone(), floor, floor));
             }
-            state.request_fixed(spec, h_s, h_r, cfg)
+            state.admit(spec, &AdmissionOptions::fixed(cfg.clone(), h_s, h_r))
         }
         Policy::LocalScheme { scheme, headroom } => {
             let rho = spec.envelope.sustained_rate();
@@ -82,7 +78,7 @@ pub fn request_with_policy(
             let ring_r = *state.network().ring(spec.dest.ring);
             let h_s = scale(scheme.allocate(&ring_s, &[rho])[0], headroom);
             let h_r = scale(scheme.allocate(&ring_r, &[rho])[0], headroom);
-            state.request_fixed(spec, h_s, h_r, cfg)
+            state.admit(spec, &AdmissionOptions::fixed(cfg.clone(), h_s, h_r))
         }
     }
 }

@@ -32,7 +32,7 @@ use crate::delay::{
     PathInput, PathReport,
 };
 use crate::error::CacError;
-use crate::network::HetNetwork;
+use crate::network::{HetNetwork, RingId};
 use hetnet_fddi::alloc::{AllocationKey, SyncAllocationTable};
 use hetnet_fddi::frames;
 use hetnet_fddi::ring::SyncBandwidth;
@@ -101,6 +101,95 @@ impl CacConfig {
         self.beta = beta;
         self
     }
+}
+
+/// How the admission engine picks the `(H_S, H_R)` allocation for a
+/// request.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum AllocationPolicy {
+    /// The paper's β-CAC line search (§5.3): find the minimum and
+    /// maximum *needed* allocations and interpolate with β.
+    #[default]
+    BetaSearch,
+    /// Admit at exactly this allocation pair if (and only if) every
+    /// deadline holds there — no searching, no β. Used by the baseline
+    /// policies and by tests.
+    Fixed {
+        /// Synchronous bandwidth to hold on the source ring.
+        h_s: SyncBandwidth,
+        /// Synchronous bandwidth to hold on the destination ring.
+        h_r: SyncBandwidth,
+    },
+}
+
+/// Everything an admission request needs besides the
+/// [`ConnectionSpec`] itself: CAC tuning plus the allocation policy.
+///
+/// This is the single entry point's option block —
+/// [`NetworkState::admit`] subsumes the legacy
+/// [`NetworkState::request`] / [`NetworkState::request_fixed`] pair.
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionOptions {
+    /// CAC tuning parameters (β, search depth, evaluation profile).
+    pub cac: CacConfig,
+    /// Allocation policy: β-search or a fixed pair.
+    pub allocation: AllocationPolicy,
+}
+
+impl AdmissionOptions {
+    /// β-search admission (the paper's algorithm) under `cac`.
+    #[must_use]
+    pub fn beta_search(cac: CacConfig) -> Self {
+        Self {
+            cac,
+            allocation: AllocationPolicy::BetaSearch,
+        }
+    }
+
+    /// Fixed-allocation admission at `(h_s, h_r)` under `cac`.
+    #[must_use]
+    pub fn fixed(cac: CacConfig, h_s: SyncBandwidth, h_r: SyncBandwidth) -> Self {
+        Self {
+            cac,
+            allocation: AllocationPolicy::Fixed { h_s, h_r },
+        }
+    }
+}
+
+impl From<CacConfig> for AdmissionOptions {
+    /// A bare [`CacConfig`] means β-search, the common case.
+    fn from(cac: CacConfig) -> Self {
+        Self::beta_search(cac)
+    }
+}
+
+/// One completed admission decision, as seen by a
+/// [`DecisionObserver`].
+#[derive(Debug)]
+pub struct DecisionRecord<'a> {
+    /// 0-based sequence number (counts every completed
+    /// [`NetworkState::admit`], admitted or rejected).
+    pub seq: u64,
+    /// The state's logical clock at decision time
+    /// ([`NetworkState::set_clock`]); `Seconds::ZERO` if never set.
+    pub at: Seconds,
+    /// The request that was decided.
+    pub spec: &'a ConnectionSpec,
+    /// The verdict.
+    pub decision: &'a Decision,
+    /// Evaluator cache statistics of this decision's line searches
+    /// (all-zero for fixed-allocation admissions, which run a single
+    /// uncached evaluation).
+    pub cache: CacheStats,
+}
+
+/// Callback invoked after every completed admission decision — the
+/// metrics hook the service layer builds its audit log on. Observers
+/// see rejections too; errors (`Err` from [`NetworkState::admit`])
+/// produce no record because no decision was reached.
+pub trait DecisionObserver: Send {
+    /// Called once per decision, in decision order.
+    fn on_decision(&mut self, record: &DecisionRecord<'_>);
 }
 
 /// Why a request was rejected.
@@ -184,7 +273,6 @@ impl Decision {
 
 /// The live state of the network: active connections and per-ring
 /// synchronous-bandwidth tables.
-#[derive(Debug)]
 pub struct NetworkState {
     net: HetNetwork,
     active: Vec<ActiveConnection>,
@@ -192,12 +280,33 @@ pub struct NetworkState {
     next_id: u64,
     last_cache_stats: Option<CacheStats>,
     persist_cache: bool,
-    /// Evaluator cache carried across [`NetworkState::request`] calls
+    /// Evaluator cache carried across [`NetworkState::admit`] calls
     /// when persistence is on. Entries are always sound (keys capture
     /// everything a result depends on); dropping the cache when the
     /// active set changes merely bounds its memory to one admission
     /// epoch while keeping the reject/retry path warm.
     eval_cache: Option<EvalCache>,
+    /// Logical event clock stamped onto [`DecisionRecord`]s.
+    clock: Seconds,
+    /// Completed decisions (admit or reject) so far.
+    decision_seq: u64,
+    observer: Option<Box<dyn DecisionObserver>>,
+}
+
+impl fmt::Debug for NetworkState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetworkState")
+            .field("net", &self.net)
+            .field("active", &self.active)
+            .field("tables", &self.tables)
+            .field("next_id", &self.next_id)
+            .field("last_cache_stats", &self.last_cache_stats)
+            .field("persist_cache", &self.persist_cache)
+            .field("clock", &self.clock)
+            .field("decision_seq", &self.decision_seq)
+            .field("observer", &self.observer.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl NetworkState {
@@ -213,11 +322,48 @@ impl NetworkState {
             last_cache_stats: None,
             persist_cache: false,
             eval_cache: None,
+            clock: Seconds::ZERO,
+            decision_seq: 0,
+            observer: None,
         }
     }
 
+    /// Sets the logical clock stamped onto subsequent
+    /// [`DecisionRecord`]s. Event-driven callers (the service layer)
+    /// advance this to the event timestamp before each
+    /// [`NetworkState::admit`]; it has no effect on decisions.
+    pub fn set_clock(&mut self, now: Seconds) {
+        self.clock = now;
+    }
+
+    /// The current logical clock.
+    #[must_use]
+    pub fn clock(&self) -> Seconds {
+        self.clock
+    }
+
+    /// Number of completed admission decisions (admitted or rejected)
+    /// since construction.
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.decision_seq
+    }
+
+    /// Installs (or clears) the per-decision metrics callback. The
+    /// observer sees every completed decision in order; it cannot
+    /// influence them.
+    pub fn set_observer(&mut self, observer: Option<Box<dyn DecisionObserver>>) {
+        self.observer = observer;
+    }
+
+    /// Removes and returns the installed observer, if any.
+    #[must_use]
+    pub fn take_observer(&mut self) -> Option<Box<dyn DecisionObserver>> {
+        self.observer.take()
+    }
+
     /// Enables (or disables) carrying the evaluator's caches across
-    /// [`NetworkState::request`] calls. The cache is invalidated
+    /// [`NetworkState::admit`] calls. The cache is invalidated
     /// whenever the active set changes (admission or release), so it
     /// pays off for rejected or repeated requests against an unchanged
     /// background — decisions are bit-identical either way, because
@@ -230,7 +376,7 @@ impl NetworkState {
     }
 
     /// Cache hit/miss counters of the evaluator used by the most recent
-    /// [`NetworkState::request`] call (`None` before the first request).
+    /// β-search [`NetworkState::admit`] call (`None` before the first).
     /// Benchmarks and the experiment harness use this to report how much
     /// of each admission's line search was served incrementally.
     #[must_use]
@@ -263,8 +409,9 @@ impl NetworkState {
     ///
     /// Panics if `ring` is out of range.
     #[must_use]
-    pub fn available_on(&self, ring: usize) -> Seconds {
-        self.tables[ring].available(self.net.ring(ring))
+    pub fn available_on(&self, ring: impl Into<RingId>) -> Seconds {
+        let ring = ring.into();
+        self.tables[ring.0].available(self.net.ring(ring))
     }
 
     /// Builds the evaluation inputs for all active connections, plus an
@@ -322,15 +469,79 @@ impl NetworkState {
         }
     }
 
-    /// Runs the CAC (§5.3) on a request. On admission, the allocations
-    /// are recorded and the connection becomes active.
+    /// Decides one admission request under `opts` — the single entry
+    /// point subsuming the legacy [`NetworkState::request`] (β-search)
+    /// and [`NetworkState::request_fixed`] (fixed pair) split. On
+    /// admission, the allocations are recorded and the connection
+    /// becomes active; the installed [`DecisionObserver`], if any, sees
+    /// the decision either way.
     ///
     /// # Errors
     ///
     /// Returns [`CacError`] for malformed requests or networks;
     /// resource/deadline failures are reported as
     /// [`Decision::Rejected`].
+    pub fn admit(
+        &mut self,
+        spec: ConnectionSpec,
+        opts: &AdmissionOptions,
+    ) -> Result<Decision, CacError> {
+        // Keep a (cheap: Arc + copies) clone of the spec for the
+        // observer; the impls consume `spec` on admission.
+        let observed_spec = self.observer.is_some().then(|| spec.clone());
+        let decision = match opts.allocation {
+            AllocationPolicy::BetaSearch => self.admit_beta(spec, &opts.cac)?,
+            AllocationPolicy::Fixed { h_s, h_r } => self.admit_fixed(spec, h_s, h_r, &opts.cac)?,
+        };
+        let seq = self.decision_seq;
+        self.decision_seq += 1;
+        if let Some(spec) = observed_spec {
+            let cache = match opts.allocation {
+                AllocationPolicy::BetaSearch => self.last_cache_stats.unwrap_or_default(),
+                AllocationPolicy::Fixed { .. } => CacheStats::default(),
+            };
+            if let Some(mut obs) = self.observer.take() {
+                obs.on_decision(&DecisionRecord {
+                    seq,
+                    at: self.clock,
+                    spec: &spec,
+                    decision: &decision,
+                    cache,
+                });
+                self.observer = Some(obs);
+            }
+        }
+        Ok(decision)
+    }
+
+    /// Runs the β-CAC on a request (legacy entry point).
+    ///
+    /// # Errors
+    ///
+    /// As for [`NetworkState::admit`].
+    #[deprecated(note = "use `NetworkState::admit` with `AdmissionOptions::beta_search`")]
     pub fn request(&mut self, spec: ConnectionSpec, cfg: &CacConfig) -> Result<Decision, CacError> {
+        self.admit(spec, &AdmissionOptions::beta_search(cfg.clone()))
+    }
+
+    /// Admits at a fixed allocation (legacy entry point).
+    ///
+    /// # Errors
+    ///
+    /// As for [`NetworkState::admit`].
+    #[deprecated(note = "use `NetworkState::admit` with `AdmissionOptions::fixed`")]
+    pub fn request_fixed(
+        &mut self,
+        spec: ConnectionSpec,
+        h_s: SyncBandwidth,
+        h_r: SyncBandwidth,
+        cfg: &CacConfig,
+    ) -> Result<Decision, CacError> {
+        self.admit(spec, &AdmissionOptions::fixed(cfg.clone(), h_s, h_r))
+    }
+
+    /// The CAC of §5.3: β-search along the allocation line.
+    fn admit_beta(&mut self, spec: ConnectionSpec, cfg: &CacConfig) -> Result<Decision, CacError> {
         self.validate_spec(&spec)?;
         let ring_s = self.net.ring(spec.source.ring);
         let ring_r = self.net.ring(spec.dest.ring);
@@ -570,13 +781,8 @@ impl NetworkState {
     }
 
     /// Admits a connection at a *fixed* allocation if (and only if) all
-    /// deadlines hold there — no searching, no β. Used by the baseline
-    /// policies and by tests.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CacError`] for malformed requests.
-    pub fn request_fixed(
+    /// deadlines hold there — no searching, no β.
+    fn admit_fixed(
         &mut self,
         spec: ConnectionSpec,
         h_s: SyncBandwidth,
@@ -759,7 +965,7 @@ mod tests {
     fn admits_a_reasonable_request() {
         let mut s = state();
         let cfg = CacConfig::default();
-        let d = s.request(spec((0, 0), (1, 0), 100.0), &cfg).unwrap();
+        let d = s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap();
         match d {
             Decision::Admitted {
                 h_s,
@@ -784,7 +990,7 @@ mod tests {
         let mut s = state();
         let cfg = CacConfig::default();
         // Two token rotations alone exceed 1 ms.
-        let d = s.request(spec((0, 0), (1, 0), 1.0), &cfg).unwrap();
+        let d = s.admit(spec((0, 0), (1, 0), 1.0), &cfg.clone().into()).unwrap();
         assert!(matches!(
             d,
             Decision::Rejected(RejectReason::InfeasibleAtMaximum { .. })
@@ -802,7 +1008,7 @@ mod tests {
         let mut h = Vec::new();
         for cfg in [&cfg0, &cfg_half, &cfg1] {
             let mut s = state();
-            match s.request(spec((0, 0), (1, 0), 60.0), cfg).unwrap() {
+            match s.admit(spec((0, 0), (1, 0), 60.0), &cfg.clone().into()).unwrap() {
                 Decision::Admitted { h_s, .. } => h.push(h_s.per_rotation().value()),
                 Decision::Rejected(r) => panic!("rejected: {r}"),
             }
@@ -816,7 +1022,7 @@ mod tests {
     fn release_returns_bandwidth() {
         let mut s = state();
         let cfg = CacConfig::default();
-        let Decision::Admitted { id, .. } = s.request(spec((0, 0), (1, 0), 100.0), &cfg).unwrap()
+        let Decision::Admitted { id, .. } = s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap()
         else {
             panic!("expected admission")
         };
@@ -838,7 +1044,7 @@ mod tests {
         // added disturbance would violate it; with beta=0 it is left with
         // a bare-minimum allocation and thus no slack.
         let cfg_tight = CacConfig::default().with_beta(0.0);
-        let first = s.request(spec((0, 0), (1, 0), 60.0), &cfg_tight).unwrap();
+        let first = s.admit(spec((0, 0), (1, 0), 60.0), &cfg_tight.clone().into()).unwrap();
         let Decision::Admitted { delay_bound, .. } = first else {
             panic!("first must be admitted")
         };
@@ -847,7 +1053,7 @@ mod tests {
         // Request a second connection sharing both rings. Whatever the
         // decision, the first connection's deadline must still hold.
         let cfg = CacConfig::default();
-        let _ = s.request(spec((0, 1), (1, 1), 60.0), &cfg).unwrap();
+        let _ = s.admit(spec((0, 1), (1, 1), 60.0), &cfg.clone().into()).unwrap();
         let delays = s.current_delays(&cfg).unwrap();
         for (i, (_, d)) in delays.iter().enumerate() {
             assert!(
@@ -866,7 +1072,7 @@ mod tests {
         // multiple per host for this capacity test.
         for k in 0..8 {
             let d = s
-                .request(spec((0, k % 4), (1 + (k % 2), k % 4), 120.0), &cfg)
+                .admit(spec((0, k % 4), (1 + (k % 2), k % 4), 120.0), &cfg.clone().into())
                 .unwrap();
             if d.is_admitted() {
                 admitted += 1;
@@ -887,7 +1093,7 @@ mod tests {
         let mut s = state();
         let cfg = CacConfig::fast();
         assert!(s.last_cache_stats().is_none());
-        s.request(spec((0, 0), (1, 0), 100.0), &cfg).unwrap();
+        s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap();
         let first = s.last_cache_stats().expect("stats after a request");
         // Even a lone request reuses its stage-1 analyses and the muxes
         // untouched between the feasibility check and the searches.
@@ -895,7 +1101,7 @@ mod tests {
         // A second request runs its line search against the first as
         // background: the background-only muxes are analyzed once and
         // then served from cache on every probe.
-        s.request(spec((1, 0), (2, 0), 120.0), &cfg).unwrap();
+        s.admit(spec((1, 0), (2, 0), 120.0), &cfg.clone().into()).unwrap();
         let second = s.last_cache_stats().expect("stats after a request");
         assert!(second.mux_hits > 0, "{second:?}");
         assert!(second.mux_hit_rate() > 0.0);
@@ -910,10 +1116,10 @@ mod tests {
         // An impossible deadline is rejected at step 2 without touching
         // the active set, so the carried cache stays valid.
         let sp = spec((0, 0), (1, 0), 1.0);
-        assert!(!s.request(sp.clone(), &cfg).unwrap().is_admitted());
+        assert!(!s.admit(sp.clone(), &cfg.clone().into()).unwrap().is_admitted());
         // Retrying the identical request is served entirely from the
         // carried cache: zero misses in either stage.
-        assert!(!s.request(sp, &cfg).unwrap().is_admitted());
+        assert!(!s.admit(sp, &cfg.clone().into()).unwrap().is_admitted());
         let second = s.last_cache_stats().expect("stats recorded");
         assert_eq!(second.stage1_misses, 0, "{second:?}");
         assert_eq!(second.mux_misses, 0, "{second:?}");
@@ -935,8 +1141,8 @@ mod tests {
             spec((1, 0), (2, 0), 120.0),
         ];
         for (k, sp) in requests.into_iter().enumerate() {
-            let a = plain.request(sp.clone(), &cfg).unwrap();
-            let b = warmed.request(sp, &cfg).unwrap();
+            let a = plain.admit(sp.clone(), &cfg.clone().into()).unwrap();
+            let b = warmed.admit(sp, &cfg.clone().into()).unwrap();
             match (a, b) {
                 (
                     Decision::Admitted {
@@ -980,13 +1186,13 @@ mod tests {
         let cfg = CacConfig::default();
         let h = SyncBandwidth::new(Seconds::from_millis(2.4));
         let d = s
-            .request_fixed(spec((0, 0), (1, 0), 100.0), h, h, &cfg)
+            .admit(spec((0, 0), (1, 0), 100.0), &AdmissionOptions::fixed(cfg.clone(), h, h))
             .unwrap();
         assert!(d.is_admitted());
         // Asking for more than remains on ring 0 is rejected outright.
         let whole = SyncBandwidth::new(Seconds::from_millis(7.0));
         let d = s
-            .request_fixed(spec((0, 1), (2, 0), 100.0), whole, h, &cfg)
+            .admit(spec((0, 1), (2, 0), 100.0), &AdmissionOptions::fixed(cfg.clone(), whole, h))
             .unwrap();
         assert!(matches!(
             d,
@@ -995,7 +1201,7 @@ mod tests {
         // An undersized fixed allocation fails the deadline check.
         let tiny = SyncBandwidth::new(Seconds::from_micros(200.0));
         let d = s
-            .request_fixed(spec((0, 1), (2, 0), 100.0), tiny, tiny, &cfg)
+            .admit(spec((0, 1), (2, 0), 100.0), &AdmissionOptions::fixed(cfg.clone(), tiny, tiny))
             .unwrap();
         assert!(matches!(
             d,
@@ -1010,19 +1216,19 @@ mod tests {
         let mut bad = spec((0, 0), (1, 0), 100.0);
         bad.dest.ring = 0;
         assert!(matches!(
-            s.request(bad, &cfg),
+            s.admit(bad, &cfg.clone().into()),
             Err(CacError::InvalidRequest(_))
         ));
         let mut bad = spec((0, 0), (1, 0), 100.0);
         bad.deadline = Seconds::ZERO;
         assert!(matches!(
-            s.request(bad, &cfg),
+            s.admit(bad, &cfg.clone().into()),
             Err(CacError::InvalidRequest(_))
         ));
         let mut bad = spec((0, 0), (1, 0), 100.0);
         bad.source.station = 77;
         assert!(matches!(
-            s.request(bad, &cfg),
+            s.admit(bad, &cfg.clone().into()),
             Err(CacError::InvalidRequest(_))
         ));
     }
@@ -1037,8 +1243,8 @@ mod tests {
     fn slacks_are_nonnegative_and_deadline_bounded() {
         let mut s = state();
         let cfg = CacConfig::fast();
-        s.request(spec((0, 0), (1, 0), 100.0), &cfg).unwrap();
-        s.request(spec((1, 0), (2, 0), 120.0), &cfg).unwrap();
+        s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap();
+        s.admit(spec((1, 0), (2, 0), 120.0), &cfg.clone().into()).unwrap();
         let slacks = s.slacks(&cfg).unwrap();
         assert_eq!(slacks.len(), s.active().len());
         for ((id, slack), c) in slacks.iter().zip(s.active()) {
@@ -1091,11 +1297,72 @@ mod tests {
         let net = HetNetwork::paper_topology().with_buffers(Some(Bits::from_kbits(10.0)), None);
         let mut s = NetworkState::new(net);
         let d = s
-            .request(spec((0, 0), (1, 0), 100.0), &CacConfig::fast())
+            .admit(spec((0, 0), (1, 0), 100.0), &CacConfig::fast().into())
             .unwrap();
         assert!(matches!(
             d,
             Decision::Rejected(RejectReason::InfeasibleAtMaximum { .. })
         ));
+    }
+
+    #[test]
+    fn observer_sees_every_decision_with_clock_and_seq() {
+        use std::sync::Mutex;
+        struct Recorder(Arc<Mutex<Vec<(u64, f64, bool)>>>);
+        impl DecisionObserver for Recorder {
+            fn on_decision(&mut self, r: &DecisionRecord<'_>) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((r.seq, r.at.value(), r.decision.is_admitted()));
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut s = state();
+        let cfg = CacConfig::fast();
+        s.set_observer(Some(Box::new(Recorder(Arc::clone(&seen)))));
+        s.set_clock(Seconds::new(1.5));
+        assert!(s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap().is_admitted());
+        s.set_clock(Seconds::new(2.5));
+        assert!(!s.admit(spec((0, 1), (1, 1), 1.0), &cfg.clone().into()).unwrap().is_admitted());
+        assert_eq!(s.decisions(), 2);
+        assert_eq!(s.clock(), Seconds::new(2.5));
+        let _obs = s.take_observer().expect("installed above");
+        assert!(s.take_observer().is_none());
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (0, 1.5, true));
+        assert_eq!(seen[1], (1, 2.5, false));
+    }
+
+    /// The deprecated wrappers must stay thin: bit-identical decisions
+    /// to the unified entry point they forward to.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_request_wrappers_match_admit() {
+        let cfg = CacConfig::fast();
+        let mut via_wrapper = state();
+        let mut via_admit = state();
+        let sp = spec((0, 0), (1, 0), 100.0);
+        let a = via_wrapper.request(sp.clone(), &cfg).unwrap();
+        let b = via_admit.admit(sp, &cfg.clone().into()).unwrap();
+        match (a, b) {
+            (
+                Decision::Admitted { h_s: ha, h_r: ra, delay_bound: da, .. },
+                Decision::Admitted { h_s: hb, h_r: rb, delay_bound: db, .. },
+            ) => {
+                assert_eq!(ha.per_rotation().value().to_bits(), hb.per_rotation().value().to_bits());
+                assert_eq!(ra.per_rotation().value().to_bits(), rb.per_rotation().value().to_bits());
+                assert_eq!(da.value().to_bits(), db.value().to_bits());
+            }
+            (a, b) => panic!("wrapper diverged: {a:?} vs {b:?}"),
+        }
+        let h = SyncBandwidth::new(Seconds::from_millis(2.0));
+        let sp2 = spec((1, 0), (2, 0), 100.0);
+        let a = via_wrapper.request_fixed(sp2.clone(), h, h, &cfg).unwrap();
+        let b = via_admit
+            .admit(sp2, &AdmissionOptions::fixed(cfg.clone(), h, h))
+            .unwrap();
+        assert_eq!(a.is_admitted(), b.is_admitted());
     }
 }

@@ -1,5 +1,6 @@
 //! Connection identifiers, requests, and live-connection records.
 
+use crate::error::CacError;
 use crate::network::HostId;
 use hetnet_fddi::ring::SyncBandwidth;
 use hetnet_traffic::envelope::SharedEnvelope;
@@ -32,6 +33,88 @@ pub struct ConnectionSpec {
     pub envelope: SharedEnvelope,
     /// QoS requirement: worst-case end-to-end delay bound `D_{i,j}`.
     pub deadline: Seconds,
+}
+
+impl ConnectionSpec {
+    /// Starts building a spec field by field; [`ConnectionSpecBuilder::build`]
+    /// checks that nothing was left out.
+    ///
+    /// ```
+    /// # use hetnet_cac::connection::ConnectionSpec;
+    /// # use hetnet_traffic::models::ConstantRateEnvelope;
+    /// # use hetnet_traffic::units::{BitsPerSec, Seconds};
+    /// # use std::sync::Arc;
+    /// let spec = ConnectionSpec::builder()
+    ///     .source((0, 1))
+    ///     .dest((2, 0))
+    ///     .envelope(Arc::new(ConstantRateEnvelope::new(BitsPerSec::from_mbps(1.0))))
+    ///     .deadline(Seconds::from_millis(50.0))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(spec.dest.ring, 2);
+    /// ```
+    #[must_use]
+    pub fn builder() -> ConnectionSpecBuilder {
+        ConnectionSpecBuilder::default()
+    }
+}
+
+/// Incremental construction of a [`ConnectionSpec`]; see
+/// [`ConnectionSpec::builder`].
+#[derive(Clone, Debug, Default)]
+pub struct ConnectionSpecBuilder {
+    source: Option<HostId>,
+    dest: Option<HostId>,
+    envelope: Option<SharedEnvelope>,
+    deadline: Option<Seconds>,
+}
+
+impl ConnectionSpecBuilder {
+    /// The sending host — a `HostId` or a `(ring, station)` pair.
+    #[must_use]
+    pub fn source(mut self, host: impl Into<HostId>) -> Self {
+        self.source = Some(host.into());
+        self
+    }
+
+    /// The receiving host — a `HostId` or a `(ring, station)` pair.
+    #[must_use]
+    pub fn dest(mut self, host: impl Into<HostId>) -> Self {
+        self.dest = Some(host.into());
+        self
+    }
+
+    /// The source traffic envelope.
+    #[must_use]
+    pub fn envelope(mut self, envelope: SharedEnvelope) -> Self {
+        self.envelope = Some(envelope);
+        self
+    }
+
+    /// The end-to-end worst-case delay bound.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Seconds) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Assembles the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::InvalidRequest`] naming the first missing
+    /// field. Semantic validation (hosts exist, rings differ, deadline
+    /// positive) stays with [`crate::cac::NetworkState::admit`].
+    pub fn build(self) -> Result<ConnectionSpec, CacError> {
+        let missing =
+            |field: &str| CacError::InvalidRequest(format!("spec builder: {field} not set"));
+        Ok(ConnectionSpec {
+            source: self.source.ok_or_else(|| missing("source"))?,
+            dest: self.dest.ok_or_else(|| missing("dest"))?,
+            envelope: self.envelope.ok_or_else(|| missing("envelope"))?,
+            deadline: self.deadline.ok_or_else(|| missing("deadline"))?,
+        })
+    }
 }
 
 /// An admitted connection with its allocated resources.
@@ -81,5 +164,35 @@ mod tests {
         assert_eq!(spec.source.ring, 0);
         assert_eq!(spec.dest.ring, 2);
         assert_eq!(spec.deadline.as_millis(), 50.0);
+    }
+
+    #[test]
+    fn builder_assembles_complete_specs() {
+        let env: SharedEnvelope = Arc::new(ConstantRateEnvelope::new(BitsPerSec::from_mbps(1.0)));
+        let spec = ConnectionSpec::builder()
+            .source((0, 1))
+            .dest(HostId {
+                ring: 2,
+                station: 3,
+            })
+            .envelope(Arc::clone(&env))
+            .deadline(Seconds::from_millis(40.0))
+            .build()
+            .unwrap();
+        assert_eq!(spec.source, HostId { ring: 0, station: 1 });
+        assert_eq!(spec.dest, HostId { ring: 2, station: 3 });
+        assert_eq!(spec.deadline.as_millis(), 40.0);
+    }
+
+    #[test]
+    fn builder_names_the_missing_field() {
+        let err = ConnectionSpec::builder().dest((1, 0)).build().unwrap_err();
+        assert!(err.to_string().contains("source"), "{err}");
+        let err = ConnectionSpec::builder()
+            .source((0, 0))
+            .dest((1, 0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("envelope"), "{err}");
     }
 }

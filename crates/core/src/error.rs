@@ -76,6 +76,63 @@ mod tests {
         assert!(CacError::Substrate("z".into()).to_string().contains("z"));
     }
 
+    /// `CacError` is a real `std::error::Error`: every variant renders a
+    /// non-empty, distinguishing message through both `Display` and the
+    /// trait object, and the enum stays usable behind `dyn Error`.
+    #[test]
+    fn error_trait_covers_every_variant() {
+        let variants: Vec<(CacError, &str)> = vec![
+            (CacError::InvalidNetwork("bad ring".into()), "invalid network"),
+            (CacError::InvalidRequest("bad spec".into()), "invalid request"),
+            (
+                CacError::UnknownConnection(ConnectionId(7)),
+                "unknown connection",
+            ),
+            (CacError::Substrate("mux".into()), "substrate error"),
+        ];
+        for (err, needle) in variants {
+            let through_display = err.to_string();
+            let through_trait = (&err as &dyn Error).to_string();
+            assert!(!through_display.is_empty());
+            assert_eq!(through_display, through_trait);
+            assert!(
+                through_display.contains(needle),
+                "{through_display:?} missing {needle:?}"
+            );
+            // No wrapped source: these are leaf errors (substrate errors
+            // arrive pre-rendered through the From impls).
+            assert!((&err as &dyn Error).source().is_none());
+        }
+    }
+
+    /// Both `CacError` and `RejectReason` are `#[non_exhaustive]`:
+    /// downstream matches need a wildcard arm, which is what lets new
+    /// reject classes ride in without a semver break. (Compile-time
+    /// property; this test documents the match idiom.)
+    #[test]
+    fn non_exhaustive_matching_idiom() {
+        use crate::cac::RejectReason;
+        use hetnet_traffic::units::Seconds;
+        let r = RejectReason::InfeasibleAtMaximum {
+            detail: "x".into(),
+        };
+        // In the defining crate the wildcard is redundant (the compiler
+        // sees all variants); downstream crates are *forced* to write it.
+        #[allow(unreachable_patterns)]
+        let class = match r {
+            RejectReason::SourceBandwidthExhausted { .. } => "src",
+            RejectReason::DestBandwidthExhausted { .. } => "dst",
+            RejectReason::InfeasibleAtMaximum { .. } => "deadline",
+            _ => "other",
+        };
+        assert_eq!(class, "deadline");
+        let r = RejectReason::SourceBandwidthExhausted {
+            available: Seconds::ZERO,
+            required: Seconds::new(1.0),
+        };
+        assert!(r.to_string().contains("exhausted"));
+    }
+
     #[test]
     fn conversions() {
         let e: CacError = FddiError::InvalidConfig("ring".into()).into();

@@ -9,7 +9,7 @@
 //! `L = 3` inter-switch links for its three-switch backbone), so the
 //! driver derives λ from the requested `U`.
 
-use crate::cac::{CacConfig, Decision, NetworkState, RejectReason};
+use crate::cac::{AdmissionOptions, CacConfig, Decision, NetworkState, RejectReason};
 use crate::connection::{ConnectionId, ConnectionSpec};
 use crate::error::CacError;
 use crate::network::{HetNetwork, HostId};
@@ -140,6 +140,7 @@ pub fn run_admission_experiment(
     }
     let lambda = workload.arrival_rate(&net);
     let mut rng = StdRng::seed_from_u64(workload.seed);
+    let opts = AdmissionOptions::beta_search(cfg.clone());
     let mut state = NetworkState::new(net);
     // Rejected requests leave the active set unchanged, so carrying the
     // evaluator cache across them is free accuracy-wise and saves the
@@ -193,7 +194,7 @@ pub fn run_admission_experiment(
         };
 
         result.requests += 1;
-        match state.request(spec, cfg)? {
+        match state.admit(spec, &opts)? {
             Decision::Admitted { id, .. } => {
                 result.admitted += 1;
                 let life = exponential(&mut rng, workload.mean_lifetime).value();

@@ -30,9 +30,9 @@
 //! # Quick start
 //!
 //! ```
-//! use hetnet_cac::cac::{CacConfig, Decision, NetworkState};
+//! use hetnet_cac::cac::{AdmissionOptions, CacConfig, Decision, NetworkState};
 //! use hetnet_cac::connection::ConnectionSpec;
-//! use hetnet_cac::network::{HetNetwork, HostId};
+//! use hetnet_cac::network::HetNetwork;
 //! use hetnet_traffic::models::DualPeriodicEnvelope;
 //! use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
 //! use std::sync::Arc;
@@ -40,20 +40,20 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let net = HetNetwork::paper_topology();
 //! let mut state = NetworkState::new(net);
-//! let cfg = CacConfig::default();
+//! let opts = AdmissionOptions::beta_search(CacConfig::default());
 //!
 //! let video = Arc::new(DualPeriodicEnvelope::new(
 //!     Bits::from_mbits(2.0), Seconds::from_millis(100.0),
 //!     Bits::from_mbits(0.25), Seconds::from_millis(10.0),
 //!     BitsPerSec::from_mbps(100.0),
 //! )?);
-//! let spec = ConnectionSpec {
-//!     source: HostId { ring: 0, station: 0 },
-//!     dest: HostId { ring: 1, station: 2 },
-//!     envelope: video,
-//!     deadline: Seconds::from_millis(100.0),
-//! };
-//! match state.request(spec, &cfg)? {
+//! let spec = ConnectionSpec::builder()
+//!     .source((0, 0))
+//!     .dest((1, 2))
+//!     .envelope(video)
+//!     .deadline(Seconds::from_millis(100.0))
+//!     .build()?;
+//! match state.admit(spec, &opts)? {
 //!     Decision::Admitted { h_s, h_r, delay_bound, .. } => {
 //!         assert!(delay_bound <= Seconds::from_millis(100.0));
 //!         println!("admitted with H_S = {h_s}, H_R = {h_r}");
@@ -76,7 +76,10 @@ pub mod experiment;
 pub mod network;
 pub mod region;
 
-pub use cac::{CacConfig, Decision, NetworkState, RejectReason};
-pub use connection::{ConnectionId, ConnectionSpec};
+pub use cac::{
+    AdmissionOptions, AllocationPolicy, CacConfig, Decision, DecisionObserver, DecisionRecord,
+    NetworkState, RejectReason,
+};
+pub use connection::{ConnectionId, ConnectionSpec, ConnectionSpecBuilder};
 pub use error::CacError;
-pub use network::{HetNetwork, HostId};
+pub use network::{HetNetwork, HostId, RingId};

@@ -10,6 +10,38 @@ use hetnet_traffic::units::{Bits, Seconds};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Identifier of one FDDI ring in the heterogeneous network.
+///
+/// A typed index: public topology lookups ([`HetNetwork::ring`],
+/// [`HetNetwork::switch_of`], [`HetNetwork::route_between`],
+/// [`crate::cac::NetworkState::available_on`]) take `impl Into<RingId>`,
+/// so both `RingId` values and bare `usize` indices (converted at the
+/// boundary) are accepted, but the signatures name the domain type.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RingId(pub usize);
+
+impl RingId {
+    /// The underlying ring index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for RingId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+impl fmt::Display for RingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ring-{}", self.0)
+    }
+}
+
 /// A host on some ring: `station` indexes the hosts of that ring
 /// (`0..hosts_per_ring`); the interface device is a separate, implicit
 /// station.
@@ -21,6 +53,21 @@ pub struct HostId {
     pub ring: usize,
     /// Host station index on that ring.
     pub station: usize,
+}
+
+impl HostId {
+    /// The ring this host sits on, as a typed id.
+    #[must_use]
+    pub fn ring_id(&self) -> RingId {
+        RingId(self.ring)
+    }
+}
+
+impl From<(usize, usize)> for HostId {
+    /// `(ring, station)` in that order.
+    fn from((ring, station): (usize, usize)) -> Self {
+        Self { ring, station }
+    }
 }
 
 impl fmt::Display for HostId {
@@ -171,8 +218,8 @@ impl HetNetwork {
     ///
     /// Panics if `ring` is out of range.
     #[must_use]
-    pub fn ring(&self, ring: usize) -> &RingConfig {
-        &self.rings[ring]
+    pub fn ring(&self, ring: impl Into<RingId>) -> &RingConfig {
+        &self.rings[ring.into().0]
     }
 
     /// Hosts per ring.
@@ -207,8 +254,8 @@ impl HetNetwork {
 
     /// The backbone switch a ring attaches to.
     #[must_use]
-    pub fn switch_of(&self, ring: usize) -> SwitchId {
-        SwitchId(ring as u32)
+    pub fn switch_of(&self, ring: impl Into<RingId>) -> SwitchId {
+        SwitchId(ring.into().0 as u32)
     }
 
     /// The precomputed minimum-hop backbone route from `ring_s`'s switch
@@ -218,7 +265,12 @@ impl HetNetwork {
     ///
     /// Returns [`CacError`] if either ring index is out of range or the
     /// backbone offers no route between the two switches.
-    pub fn route_between(&self, ring_s: usize, ring_r: usize) -> Result<&[LinkId], CacError> {
+    pub fn route_between(
+        &self,
+        ring_s: impl Into<RingId>,
+        ring_r: impl Into<RingId>,
+    ) -> Result<&[LinkId], CacError> {
+        let (ring_s, ring_r) = (ring_s.into().0, ring_r.into().0);
         let n = self.rings.len();
         if ring_s >= n || ring_r >= n {
             return Err(CacError::InvalidRequest(format!(
@@ -333,6 +385,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_buffer_rejected() {
         let _ = HetNetwork::paper_topology().with_buffers(Some(Bits::ZERO), None);
+    }
+
+    #[test]
+    fn ring_id_converts_and_displays() {
+        let net = HetNetwork::paper_topology();
+        // Typed and bare indices resolve identically at every boundary.
+        assert_eq!(net.switch_of(RingId(1)), net.switch_of(1));
+        assert_eq!(net.ring(RingId(2)).ttrt, net.ring(2).ttrt);
+        assert_eq!(
+            net.route_between(RingId(0), RingId(2)).unwrap(),
+            net.route_between(0, 2).unwrap()
+        );
+        assert_eq!(RingId::from(3).index(), 3);
+        assert_eq!(format!("{}", RingId(1)), "ring-1");
+        let host = HostId { ring: 2, station: 0 };
+        assert_eq!(host.ring_id(), RingId(2));
     }
 
     #[test]

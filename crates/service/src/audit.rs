@@ -1,0 +1,265 @@
+//! Append-only decision audit log.
+//!
+//! Every admission decision the service makes — admitted or rejected —
+//! is recorded here in decision order, with enough detail to replay the
+//! run against a bare [`hetnet_cac::cac::NetworkState`] and check
+//! bit-identical outcomes. Entries derive `Serialize` and also render
+//! to JSON through [`AuditLog::to_json`] (the workspace's serde is an
+//! offline no-op shim, so the JSON path is hand-written like the rest
+//! of the bench tooling).
+
+use hetnet_cac::cac::{Decision, RejectReason};
+use hetnet_cac::connection::ConnectionId;
+use hetnet_traffic::units::Seconds;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// The decided outcome, flattened for logging.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum AuditOutcome {
+    /// Admitted with these allocations.
+    Admitted {
+        /// Connection id assigned at admission.
+        id: ConnectionId,
+        /// Source-ring synchronous allocation, seconds per rotation.
+        h_s: f64,
+        /// Destination-ring synchronous allocation, seconds per rotation.
+        h_r: f64,
+        /// Worst-case end-to-end delay at admission, seconds.
+        delay_bound: f64,
+    },
+    /// Rejected, with the reason class and its rendered detail.
+    Rejected {
+        /// Stable reason-class tag (`"source_exhausted"`, …).
+        class: &'static str,
+        /// Human-readable rendering of the full reason.
+        detail: String,
+    },
+}
+
+impl AuditOutcome {
+    /// Flattens a CAC decision.
+    #[must_use]
+    pub fn from_decision(decision: &Decision) -> Self {
+        match decision {
+            Decision::Admitted {
+                id,
+                h_s,
+                h_r,
+                delay_bound,
+            } => Self::Admitted {
+                id: *id,
+                h_s: h_s.per_rotation().value(),
+                h_r: h_r.per_rotation().value(),
+                delay_bound: delay_bound.value(),
+            },
+            Decision::Rejected(reason) => Self::Rejected {
+                class: reason_class(reason),
+                detail: reason.to_string(),
+            },
+        }
+    }
+
+    /// Whether this outcome is an admission.
+    #[must_use]
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Self::Admitted { .. })
+    }
+}
+
+/// Stable machine-readable tag for a rejection class.
+#[must_use]
+pub fn reason_class(reason: &RejectReason) -> &'static str {
+    match reason {
+        RejectReason::SourceBandwidthExhausted { .. } => "source_exhausted",
+        RejectReason::DestBandwidthExhausted { .. } => "dest_exhausted",
+        RejectReason::InfeasibleAtMaximum { .. } => "infeasible",
+        // `RejectReason` is non_exhaustive; unknown classes still log.
+        _ => "other",
+    }
+}
+
+/// One audit-log line: a decision in its event context.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct AuditEntry {
+    /// Decision sequence number (0-based, gap-free).
+    pub seq: u64,
+    /// Event-stream time of the decision.
+    pub at: Seconds,
+    /// Index of the arrival in the churn schedule.
+    pub arrival: usize,
+    /// Requesting `(ring, station)`.
+    pub source: (usize, usize),
+    /// Destination `(ring, station)`.
+    pub dest: (usize, usize),
+    /// Requested end-to-end deadline, seconds.
+    pub deadline: f64,
+    /// The verdict.
+    pub outcome: AuditOutcome,
+}
+
+/// Append-only, decision-ordered audit log.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry.seq` is not the next sequence number — the log
+    /// is append-only and gap-free by construction.
+    pub fn append(&mut self, entry: AuditEntry) {
+        assert_eq!(
+            entry.seq,
+            self.entries.len() as u64,
+            "audit log must stay gap-free and ordered"
+        );
+        self.entries.push(entry);
+    }
+
+    /// The entries, in decision order.
+    #[must_use]
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the log as a JSON array (one object per decision).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"at\":{:.9},\"arrival\":{},\
+                 \"source\":[{},{}],\"dest\":[{},{}],\"deadline\":{:.9},",
+                e.seq, e.at.value(), e.arrival,
+                e.source.0, e.source.1, e.dest.0, e.dest.1, e.deadline,
+            );
+            match &e.outcome {
+                AuditOutcome::Admitted {
+                    id,
+                    h_s,
+                    h_r,
+                    delay_bound,
+                } => {
+                    let _ = write!(
+                        out,
+                        "\"outcome\":\"admitted\",\"id\":{},\"h_s\":{:.12e},\
+                         \"h_r\":{:.12e},\"delay_bound\":{:.9}}}",
+                        id.0, h_s, h_r, delay_bound
+                    );
+                }
+                AuditOutcome::Rejected { class, detail } => {
+                    let _ = write!(
+                        out,
+                        "\"outcome\":\"rejected\",\"class\":\"{}\",\"detail\":\"{}\"}}",
+                        class,
+                        detail.replace('\\', "\\\\").replace('"', "\\\"")
+                    );
+                }
+            }
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64, admitted: bool) -> AuditEntry {
+        AuditEntry {
+            seq,
+            at: Seconds::new(seq as f64),
+            arrival: seq as usize,
+            source: (0, 1),
+            dest: (1, 0),
+            deadline: 0.1,
+            outcome: if admitted {
+                AuditOutcome::Admitted {
+                    id: ConnectionId(seq),
+                    h_s: 1e-4,
+                    h_r: 2e-4,
+                    delay_bound: 0.05,
+                }
+            } else {
+                AuditOutcome::Rejected {
+                    class: "infeasible",
+                    detail: "beyond \"max\"".into(),
+                }
+            },
+        }
+    }
+
+    #[test]
+    fn log_is_append_only_and_ordered() {
+        let mut log = AuditLog::new();
+        log.append(entry(0, true));
+        log.append(entry(1, false));
+        assert_eq!(log.len(), 2);
+        assert!(log.entries()[0].outcome.is_admitted());
+        assert!(!log.entries()[1].outcome.is_admitted());
+    }
+
+    #[test]
+    #[should_panic(expected = "gap-free")]
+    fn log_rejects_gaps() {
+        let mut log = AuditLog::new();
+        log.append(entry(1, true));
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let mut log = AuditLog::new();
+        log.append(entry(0, true));
+        log.append(entry(1, false));
+        let j = log.to_json();
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"outcome\":\"admitted\""));
+        assert!(j.contains("\"class\":\"infeasible\""));
+        // The quoted word inside the detail must be escaped.
+        assert!(j.contains("beyond \\\"max\\\""));
+        assert_eq!(j.matches("\"seq\":").count(), 2);
+    }
+
+    #[test]
+    fn reason_classes_are_stable() {
+        use hetnet_traffic::units::Seconds;
+        assert_eq!(
+            reason_class(&RejectReason::SourceBandwidthExhausted {
+                available: Seconds::ZERO,
+                required: Seconds::new(1.0),
+            }),
+            "source_exhausted"
+        );
+        assert_eq!(
+            reason_class(&RejectReason::InfeasibleAtMaximum { detail: "d".into() }),
+            "infeasible"
+        );
+    }
+}

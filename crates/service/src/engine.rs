@@ -1,0 +1,324 @@
+//! The event-driven admission engine.
+//!
+//! [`run`] consumes a churn schedule as a merged stream of
+//! connect/disconnect events in time order: before each arrival is
+//! decided, every departure due at or before it is released (ties go to
+//! departures, matching the connection-level semantics that a released
+//! allocation is available to a simultaneous request). Each arrival
+//! becomes one [`NetworkState::admit`] call under the configured
+//! [`AdmissionOptions`], so a service run is — by construction —
+//! decision-for-decision identical to driving the bare state machine in
+//! the same event order.
+
+use crate::audit::{AuditEntry, AuditLog, AuditOutcome};
+use crate::metrics::{CacheGauges, DecisionCounters, LatencyHistogram, UtilizationSeries};
+use crate::report::{LatencySummary, ServiceReport};
+use hetnet_cac::cac::{AdmissionOptions, Decision, DecisionObserver, DecisionRecord, NetworkState};
+use hetnet_cac::connection::{ConnectionId, ConnectionSpec};
+use hetnet_cac::error::CacError;
+use hetnet_cac::network::HetNetwork;
+use hetnet_sim::churn::{self, ChurnConfig};
+use hetnet_traffic::envelope::SharedEnvelope;
+use hetnet_traffic::units::Seconds;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Configuration of one service run.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The churn workload to generate and consume.
+    pub churn: ChurnConfig,
+    /// Admission options applied to every request.
+    pub options: AdmissionOptions,
+    /// Ring-utilization sampling period, in processed events.
+    pub sample_period: usize,
+    /// Whether to carry the evaluator cache across decisions
+    /// (admission-neutral; see the core crate's cache tests).
+    pub persist_cache: bool,
+}
+
+impl ServiceConfig {
+    /// A paper-style workload under default β-search options.
+    #[must_use]
+    pub fn paper_style(arrival_rate: f64, requests: usize, seed: u64) -> Self {
+        Self {
+            churn: ChurnConfig::paper_style(arrival_rate, requests, seed),
+            options: AdmissionOptions::default(),
+            sample_period: 16,
+            persist_cache: true,
+        }
+    }
+}
+
+/// Everything a run produces: the aggregate report, the full audit
+/// log, the utilization series, and the final network state.
+#[derive(Debug)]
+pub struct ServiceRun {
+    /// Aggregate metrics.
+    pub report: ServiceReport,
+    /// Decision-ordered audit log (one entry per request).
+    pub audit: AuditLog,
+    /// Sampled ring-utilization time series.
+    pub series: UtilizationSeries,
+    /// The state after the last event, still holding the connections
+    /// whose departures lie beyond the final arrival.
+    pub state: NetworkState,
+}
+
+/// Streaming metrics consumer installed as the state's
+/// [`DecisionObserver`]: accumulates evaluator-cache gauges and checks
+/// the decision sequence stays gap-free.
+struct MetricsHook {
+    gauges: Arc<Mutex<CacheGauges>>,
+    next_seq: u64,
+}
+
+impl DecisionObserver for MetricsHook {
+    fn on_decision(&mut self, record: &DecisionRecord<'_>) {
+        assert_eq!(record.seq, self.next_seq, "decision stream skipped a seq");
+        self.next_seq += 1;
+        self.gauges
+            .lock()
+            .expect("gauges mutex poisoned")
+            .absorb(record.cache);
+    }
+}
+
+/// A pending departure, min-ordered by `(time, connection id)`. Times
+/// are non-negative, so the IEEE-754 bit pattern orders like the value
+/// and gives the heap a total, deterministic order.
+type Departure = Reverse<(u64, u64)>;
+
+fn departure(at: Seconds, id: ConnectionId) -> Departure {
+    Reverse((at.value().to_bits(), id.0))
+}
+
+/// Runs the churn workload of `cfg` against `network`.
+///
+/// # Errors
+///
+/// Returns [`CacError::InvalidRequest`] if the churn shape does not
+/// match the network, and propagates any [`CacError`] from the
+/// underlying admissions (rejections are outcomes, not errors).
+pub fn run(network: HetNetwork, cfg: &ServiceConfig) -> Result<ServiceRun, CacError> {
+    let shape = cfg.churn.shape;
+    if shape.rings != network.rings().len() || shape.hosts_per_ring != network.hosts_per_ring() {
+        return Err(CacError::InvalidRequest(format!(
+            "churn shape {}x{} does not match network {}x{}",
+            shape.rings,
+            shape.hosts_per_ring,
+            network.rings().len(),
+            network.hosts_per_ring()
+        )));
+    }
+    let schedule = churn::generate(&cfg.churn);
+    let envelope: SharedEnvelope = Arc::new(schedule.source);
+
+    let mut state = NetworkState::new(network);
+    state.persist_eval_cache(cfg.persist_cache);
+    let gauges = Arc::new(Mutex::new(CacheGauges::default()));
+    state.set_observer(Some(Box::new(MetricsHook {
+        gauges: Arc::clone(&gauges),
+        next_seq: 0,
+    })));
+
+    let ring_caps: Vec<f64> = state
+        .network()
+        .rings()
+        .iter()
+        .map(|r| r.allocatable().value())
+        .collect();
+
+    let mut departures: BinaryHeap<Departure> = BinaryHeap::new();
+    let mut counters = DecisionCounters::default();
+    let mut latency = LatencyHistogram::new();
+    let mut series = UtilizationSeries::new(cfg.sample_period);
+    let mut audit = AuditLog::new();
+    let mut peak_active = 0usize;
+    let started = Instant::now();
+
+    for (i, a) in schedule.arrivals.iter().enumerate() {
+        // Release every departure due at or before this arrival.
+        while let Some(&Reverse((at_bits, id))) = departures.peek() {
+            let at = Seconds::new(f64::from_bits(at_bits));
+            if at > a.at {
+                break;
+            }
+            departures.pop();
+            state.set_clock(at);
+            state.release(ConnectionId(id))?;
+            let active = state.active().len();
+            series.offer(at, active, || utilization(&state, &ring_caps));
+        }
+
+        state.set_clock(a.at);
+        let spec = ConnectionSpec::builder()
+            .source(a.source)
+            .dest(a.dest)
+            .envelope(Arc::clone(&envelope))
+            .deadline(a.deadline)
+            .build()?;
+        let t0 = Instant::now();
+        let decision = state.admit(spec, &cfg.options)?;
+        latency.record(Seconds::new(t0.elapsed().as_secs_f64()));
+
+        let outcome = AuditOutcome::from_decision(&decision);
+        match &decision {
+            Decision::Admitted { id, .. } => {
+                counters.admitted += 1;
+                departures.push(departure(a.at + a.holding, *id));
+            }
+            Decision::Rejected(reason) => counters.count_rejection(reason),
+        }
+        audit.append(AuditEntry {
+            seq: state.decisions() - 1,
+            at: a.at,
+            arrival: i,
+            source: a.source,
+            dest: a.dest,
+            deadline: a.deadline.value(),
+            outcome,
+        });
+        let active = state.active().len();
+        peak_active = peak_active.max(active);
+        series.offer(a.at, active, || utilization(&state, &ring_caps));
+    }
+
+    let wall_seconds = started.elapsed().as_secs_f64();
+    state.set_observer(None);
+    let cache = *gauges.lock().expect("gauges mutex poisoned");
+    let ring_utilization = (0..ring_caps.len()).map(|r| series.ring_summary(r)).collect();
+    let report = ServiceReport {
+        requests: counters.total(),
+        counters,
+        latency: LatencySummary::from_histogram(&latency),
+        cache,
+        blocking_probability: counters.blocking_probability(),
+        requests_per_sec: if wall_seconds > 0.0 {
+            counters.total() as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        wall_seconds,
+        span: schedule.span(),
+        peak_active,
+        final_active: state.active().len(),
+        ring_utilization,
+        audit_len: audit.len(),
+    };
+    Ok(ServiceRun {
+        report,
+        audit,
+        series,
+        state,
+    })
+}
+
+/// Per-ring utilization: allocated fraction of allocatable time.
+fn utilization(state: &NetworkState, caps: &[f64]) -> Vec<f64> {
+    caps.iter()
+        .enumerate()
+        .map(|(r, &cap)| {
+            let available = state.available_on(r).value();
+            if cap > 0.0 {
+                ((cap - available) / cap).clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetnet_cac::cac::CacConfig;
+
+    fn smoke_cfg() -> ServiceConfig {
+        // High enough rate to saturate the rings and force rejections.
+        let mut cfg = ServiceConfig::paper_style(2.0, 60, 17);
+        cfg.options = AdmissionOptions::beta_search(CacConfig::fast());
+        cfg
+    }
+
+    #[test]
+    fn run_produces_admits_and_rejects() {
+        let run = run(HetNetwork::paper_topology(), &smoke_cfg()).unwrap();
+        let r = &run.report;
+        assert_eq!(r.requests, 60);
+        assert!(r.counters.admitted > 0, "no admissions: {r:?}");
+        assert!(r.counters.rejected() > 0, "no rejections: {r:?}");
+        assert_eq!(r.counters.total(), 60);
+        assert_eq!(r.audit_len, 60);
+        assert_eq!(r.latency.count, 60);
+        assert!(r.latency.p99 >= r.latency.p50);
+        assert!(r.blocking_probability > 0.0 && r.blocking_probability < 1.0);
+        assert!(r.cache.evals() > 0);
+        assert_eq!(r.ring_utilization.len(), 3);
+        assert!(r.peak_active >= r.final_active);
+        assert_eq!(r.final_active, run.state.active().len());
+    }
+
+    #[test]
+    fn audit_is_gap_free_and_matches_counters() {
+        let run = run(HetNetwork::paper_topology(), &smoke_cfg()).unwrap();
+        let admitted = run
+            .audit
+            .entries()
+            .iter()
+            .filter(|e| e.outcome.is_admitted())
+            .count() as u64;
+        assert_eq!(admitted, run.report.counters.admitted);
+        for (i, e) in run.audit.entries().iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.arrival, i);
+        }
+        // Times never decrease along the log.
+        for w in run.audit.entries().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_decisions() {
+        let a = run(HetNetwork::paper_topology(), &smoke_cfg()).unwrap();
+        let b = run(HetNetwork::paper_topology(), &smoke_cfg()).unwrap();
+        assert_eq!(a.audit.entries(), b.audit.entries());
+        assert_eq!(a.report.counters, b.report.counters);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut cfg = smoke_cfg();
+        cfg.churn.shape.rings = 5;
+        let err = run(HetNetwork::paper_topology(), &cfg).unwrap_err();
+        assert!(matches!(err, CacError::InvalidRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn persistent_cache_does_not_change_outcomes() {
+        let mut warm = smoke_cfg();
+        warm.persist_cache = true;
+        let mut cold = smoke_cfg();
+        cold.persist_cache = false;
+        let a = run(HetNetwork::paper_topology(), &warm).unwrap();
+        let b = run(HetNetwork::paper_topology(), &cold).unwrap();
+        // Admissions (ids, allocations, delay bounds) must be
+        // bit-identical; a rejection's *class* must match too, but its
+        // diagnostic detail may name a different failing constraint —
+        // cache hits change which infeasible component the evaluator
+        // reaches first, not whether the point is infeasible.
+        for (w, c) in a.audit.entries().iter().zip(b.audit.entries()) {
+            match (&w.outcome, &c.outcome) {
+                (
+                    crate::audit::AuditOutcome::Rejected { class: wc, .. },
+                    crate::audit::AuditOutcome::Rejected { class: cc, .. },
+                ) => assert_eq!(wc, cc, "seq {}", w.seq),
+                (wo, co) => assert_eq!(wo, co, "seq {}", w.seq),
+            }
+        }
+        assert_eq!(a.report.counters, b.report.counters);
+    }
+}

@@ -1,0 +1,49 @@
+//! Event-driven admission *service* over the β-CAC.
+//!
+//! The core crate decides one request at a time; a deployed controller
+//! lives with *churn* — a continuous stream of connection requests and
+//! teardowns. This crate closes that gap:
+//!
+//! * [`engine`] — consumes a seeded churn schedule
+//!   ([`hetnet_sim::churn`]) as a merged connect/disconnect event
+//!   stream, driving one [`hetnet_cac::cac::NetworkState`] with a
+//!   persistent evaluator cache;
+//! * [`metrics`] — dependency-free structured metrics: decision
+//!   counters per reject class, a fixed-bucket HDR-style latency
+//!   histogram (p50/p95/p99), evaluator-cache gauges, and a sampled
+//!   ring-utilization time series;
+//! * [`audit`] — an append-only, decision-ordered audit log detailed
+//!   enough to replay the run and check bit-identical outcomes;
+//! * [`report`] — the aggregate [`report::ServiceReport`] with a
+//!   hand-written JSON rendering for the bench tooling.
+//!
+//! Every decision the service makes is exactly the decision the bare
+//! state machine would make in the same event order — the engine adds
+//! scheduling and observability, never policy. The
+//! `churn_replay` integration test holds this as a property over
+//! random seeds and rates.
+//!
+//! ```
+//! use hetnet_cac::network::HetNetwork;
+//! use hetnet_service::{run, ServiceConfig};
+//!
+//! let cfg = ServiceConfig::paper_style(0.5, 20, 42);
+//! let run = run(HetNetwork::paper_topology(), &cfg).unwrap();
+//! assert_eq!(run.report.requests, 20);
+//! assert_eq!(run.audit.len(), 20);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod audit;
+pub mod engine;
+pub mod metrics;
+pub mod report;
+
+pub use audit::{AuditEntry, AuditLog, AuditOutcome};
+pub use engine::{run, ServiceConfig, ServiceRun};
+pub use metrics::{
+    CacheGauges, DecisionCounters, LatencyHistogram, UtilizationSample, UtilizationSeries,
+};
+pub use report::{LatencySummary, ServiceReport};

@@ -1,0 +1,416 @@
+//! Structured metrics of the admission service: decision counters,
+//! per-request latency histograms, evaluator cache gauges, and a
+//! ring-utilization time series.
+//!
+//! Everything here is dependency-free on purpose: the histogram is a
+//! fixed-bucket, HDR-style geometric histogram (constant-time record,
+//! bounded relative quantile error) rather than an external crate.
+
+use hetnet_cac::cac::RejectReason;
+use hetnet_cac::delay::CacheStats;
+use hetnet_traffic::units::Seconds;
+use serde::Serialize;
+
+/// Smallest resolvable latency: one bucket boundary sits at 100 ns.
+const FLOOR: f64 = 1e-7;
+/// Sub-buckets per octave; relative quantile error ≤ 2^(1/4) − 1 ≈ 19%.
+const PER_OCTAVE: f64 = 4.0;
+/// Bucket count: covers `FLOOR · 2^(128/4)` ≈ 429 s before overflow.
+const BUCKETS: usize = 128;
+
+/// Fixed-bucket geometric latency histogram.
+///
+/// Bucket `i` (for `i ≥ 1`) covers latencies in
+/// `(FLOOR · 2^((i−1)/4), FLOOR · 2^(i/4)]`; bucket 0 covers
+/// `[0, FLOOR]`, and one final bucket absorbs overflow. Quantiles
+/// report the *upper bound* of the bucket holding the requested rank,
+/// so they never under-estimate.
+#[derive(Clone, Debug, Serialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            overflow: 0,
+            total: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// The bucket index a latency lands in (`BUCKETS` = overflow).
+    fn bucket_of(seconds: f64) -> usize {
+        if seconds <= FLOOR {
+            return 0;
+        }
+        // ceil(PER_OCTAVE * log2(v / FLOOR)), nudged down so an exact
+        // bucket upper bound stays inside its own bucket despite
+        // floating-point rounding in the log.
+        let idx = (PER_OCTAVE * (seconds / FLOOR).log2() - 1e-9).ceil() as usize;
+        idx.min(BUCKETS)
+    }
+
+    /// The inclusive upper bound of bucket `i`.
+    fn upper_bound(i: usize) -> f64 {
+        FLOOR * 2.0_f64.powf(i as f64 / PER_OCTAVE)
+    }
+
+    /// Records one latency observation (negative values clamp to 0).
+    pub fn record(&mut self, latency: Seconds) {
+        let v = latency.value().max(0.0);
+        let b = Self::bucket_of(v);
+        if b >= BUCKETS {
+            self.overflow += 1;
+        } else {
+            self.counts[b] += 1;
+        }
+        self.total += 1;
+        self.sum += v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact arithmetic mean of the recorded values (not bucketized).
+    #[must_use]
+    pub fn mean(&self) -> Seconds {
+        if self.total == 0 {
+            Seconds::ZERO
+        } else {
+            Seconds::new(self.sum / self.total as f64)
+        }
+    }
+
+    /// Exact maximum recorded value.
+    #[must_use]
+    pub fn max(&self) -> Seconds {
+        Seconds::new(self.max)
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
+    /// containing the rank-`⌈q·n⌉` observation; `Seconds::ZERO` when
+    /// empty, the exact max for ranks falling in the overflow bucket.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Seconds {
+        if self.total == 0 {
+            return Seconds::ZERO;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Seconds::new(Self::upper_bound(i).min(self.max.max(FLOOR)));
+            }
+        }
+        Seconds::new(self.max)
+    }
+
+    /// p50 / p95 / p99 in one call.
+    #[must_use]
+    pub fn percentiles(&self) -> (Seconds, Seconds, Seconds) {
+        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+    }
+}
+
+/// Admission-decision counters, split by [`RejectReason`] class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct DecisionCounters {
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Rejected: source ring out of synchronous bandwidth.
+    pub rejected_source_exhausted: u64,
+    /// Rejected: destination ring out of synchronous bandwidth.
+    pub rejected_dest_exhausted: u64,
+    /// Rejected: infeasible even at the maximum allocation.
+    pub rejected_infeasible: u64,
+    /// Rejected for a reason class this build does not know
+    /// (`RejectReason` is `#[non_exhaustive]`).
+    pub rejected_other: u64,
+}
+
+impl DecisionCounters {
+    /// Total rejections across all classes.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected_source_exhausted
+            + self.rejected_dest_exhausted
+            + self.rejected_infeasible
+            + self.rejected_other
+    }
+
+    /// Total decisions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.admitted + self.rejected()
+    }
+
+    /// Fraction of requests rejected (connection blocking probability).
+    #[must_use]
+    pub fn blocking_probability(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.rejected() as f64 / self.total() as f64
+        }
+    }
+
+    /// Tallies one rejection.
+    pub fn count_rejection(&mut self, reason: &RejectReason) {
+        match reason {
+            RejectReason::SourceBandwidthExhausted { .. } => self.rejected_source_exhausted += 1,
+            RejectReason::DestBandwidthExhausted { .. } => self.rejected_dest_exhausted += 1,
+            RejectReason::InfeasibleAtMaximum { .. } => self.rejected_infeasible += 1,
+            // `RejectReason` is non_exhaustive: future classes land here.
+            _ => self.rejected_other += 1,
+        }
+    }
+}
+
+/// Evaluator-cache gauges accumulated across every decision of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CacheGauges {
+    /// Stage-1 (sender-side) analyses served from cache.
+    pub stage1_hits: u64,
+    /// Stage-1 analyses computed.
+    pub stage1_misses: u64,
+    /// Stage-2 (multiplexer) analyses served from cache.
+    pub mux_hits: u64,
+    /// Stage-2 analyses computed.
+    pub mux_misses: u64,
+}
+
+impl CacheGauges {
+    /// Adds one decision's evaluator stats.
+    pub fn absorb(&mut self, stats: CacheStats) {
+        self.stage1_hits += stats.stage1_hits;
+        self.stage1_misses += stats.stage1_misses;
+        self.mux_hits += stats.mux_hits;
+        self.mux_misses += stats.mux_misses;
+    }
+
+    /// Total delay-analysis evaluations actually computed (the paper's
+    /// dominant cost): cache misses at both stages.
+    #[must_use]
+    pub fn evals(&self) -> u64 {
+        self.stage1_misses + self.mux_misses
+    }
+
+    /// Overall hit rate across both stages, 0 with no lookups.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.stage1_hits + self.mux_hits;
+        let total = hits + self.evals();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// One sample of per-ring synchronous-bandwidth utilization.
+#[derive(Clone, Debug, Serialize)]
+pub struct UtilizationSample {
+    /// Event-stream time of the sample.
+    pub at: Seconds,
+    /// Active connections at the sample instant.
+    pub active: usize,
+    /// Utilization (allocated / allocatable synchronous time) per ring.
+    pub rings: Vec<f64>,
+}
+
+/// Append-only ring-utilization time series, sampled every `period`
+/// processed events.
+#[derive(Clone, Debug, Serialize)]
+pub struct UtilizationSeries {
+    period: usize,
+    events_seen: usize,
+    samples: Vec<UtilizationSample>,
+}
+
+impl UtilizationSeries {
+    /// A series sampling every `period` events (`period == 0` is
+    /// treated as 1).
+    #[must_use]
+    pub fn new(period: usize) -> Self {
+        Self {
+            period: period.max(1),
+            events_seen: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Offers one event's post-state; kept if it falls on the period.
+    pub fn offer(&mut self, at: Seconds, active: usize, rings: impl FnOnce() -> Vec<f64>) {
+        self.events_seen += 1;
+        if self.events_seen.is_multiple_of(self.period) {
+            self.samples.push(UtilizationSample {
+                at,
+                active,
+                rings: rings(),
+            });
+        }
+    }
+
+    /// The recorded samples, in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[UtilizationSample] {
+        &self.samples
+    }
+
+    /// Mean and peak utilization of ring `ring` over the series.
+    #[must_use]
+    pub fn ring_summary(&self, ring: usize) -> (f64, f64) {
+        let mut sum = 0.0;
+        let mut peak = 0.0_f64;
+        let mut n = 0usize;
+        for s in &self.samples {
+            if let Some(&u) = s.rings.get(ring) {
+                sum += u;
+                peak = peak.max(u);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (sum / n as f64, peak)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetnet_traffic::units::Seconds;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Values at and just past a bucket's upper bound land in that
+        // bucket and the next one respectively.
+        for i in [1usize, 4, 17, 63] {
+            let ub = LatencyHistogram::upper_bound(i);
+            assert_eq!(LatencyHistogram::bucket_of(ub), i, "ub of bucket {i}");
+            assert_eq!(
+                LatencyHistogram::bucket_of(ub * 1.0001),
+                i + 1,
+                "just past ub of bucket {i}"
+            );
+        }
+        // The floor bucket takes everything down to zero.
+        assert_eq!(LatencyHistogram::bucket_of(0.0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(FLOOR), 0);
+        assert_eq!(LatencyHistogram::bucket_of(FLOOR * 0.5), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_never_underestimate() {
+        let mut h = LatencyHistogram::new();
+        let values = [10e-6, 20e-6, 30e-6, 40e-6, 50e-6, 60e-6, 70e-6, 80e-6, 90e-6, 100e-6];
+        for v in values {
+            h.record(Seconds::new(v));
+        }
+        assert_eq!(h.count(), 10);
+        let (p50, p95, p99) = h.percentiles();
+        // Upper-bound reporting: each quantile ≥ the exact order
+        // statistic and ≤ one bucket-growth factor above it.
+        let growth = 2.0_f64.powf(1.0 / PER_OCTAVE);
+        assert!(p50.value() >= 50e-6 && p50.value() <= 50e-6 * growth, "{p50}");
+        assert!(p95.value() >= 100e-6 * 0.999, "{p95}");
+        assert!(p99.value() <= 100e-6 * growth, "{p99}");
+        assert!((h.mean().value() - 55e-6).abs() < 1e-9);
+        assert_eq!(h.max(), Seconds::new(100e-6));
+    }
+
+    #[test]
+    fn histogram_empty_and_overflow() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), Seconds::ZERO);
+        h.record(Seconds::new(1e9)); // way past the last bucket
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), Seconds::new(1e9)); // exact max
+    }
+
+    #[test]
+    fn histogram_single_value_quantiles_are_tight() {
+        let mut h = LatencyHistogram::new();
+        h.record(Seconds::new(3.3e-4));
+        let growth = 2.0_f64.powf(1.0 / PER_OCTAVE);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q).value();
+            assert!((3.3e-4..=3.3e-4 * growth).contains(&v), "q={q}: {v}");
+        }
+    }
+
+    #[test]
+    fn counters_classify_reasons() {
+        let mut c = DecisionCounters::default();
+        c.admitted += 1;
+        c.count_rejection(&RejectReason::SourceBandwidthExhausted {
+            available: Seconds::ZERO,
+            required: Seconds::new(1.0),
+        });
+        c.count_rejection(&RejectReason::DestBandwidthExhausted {
+            available: Seconds::ZERO,
+            required: Seconds::new(1.0),
+        });
+        c.count_rejection(&RejectReason::InfeasibleAtMaximum { detail: "x".into() });
+        assert_eq!(c.rejected(), 3);
+        assert_eq!(c.total(), 4);
+        assert!((c.blocking_probability() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_gauges_accumulate() {
+        let mut g = CacheGauges::default();
+        g.absorb(CacheStats {
+            stage1_hits: 3,
+            stage1_misses: 1,
+            mux_hits: 10,
+            mux_misses: 2,
+        });
+        g.absorb(CacheStats {
+            stage1_hits: 1,
+            stage1_misses: 1,
+            mux_hits: 0,
+            mux_misses: 2,
+        });
+        assert_eq!(g.evals(), 6);
+        assert!((g.hit_rate() - 14.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_series_samples_on_period() {
+        let mut s = UtilizationSeries::new(3);
+        for i in 0..10 {
+            s.offer(Seconds::new(i as f64), i, || vec![0.1 * i as f64, 0.0]);
+        }
+        assert_eq!(s.samples().len(), 3); // events 3, 6, 9
+        assert_eq!(s.samples()[0].active, 2);
+        let (mean, peak) = s.ring_summary(0);
+        assert!((peak - 0.8).abs() < 1e-12);
+        assert!((mean - (0.2 + 0.5 + 0.8) / 3.0).abs() < 1e-12);
+    }
+}

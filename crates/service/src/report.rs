@@ -1,0 +1,183 @@
+//! The aggregate result of a service run, and its JSON rendering.
+
+use crate::metrics::{CacheGauges, DecisionCounters, LatencyHistogram};
+use hetnet_traffic::units::Seconds;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Fixed latency percentiles extracted from the per-request histogram.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LatencySummary {
+    /// Number of recorded requests.
+    pub count: u64,
+    /// Median decision latency.
+    pub p50: Seconds,
+    /// 95th-percentile decision latency.
+    pub p95: Seconds,
+    /// 99th-percentile decision latency.
+    pub p99: Seconds,
+    /// Exact mean.
+    pub mean: Seconds,
+    /// Exact maximum.
+    pub max: Seconds,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram.
+    #[must_use]
+    pub fn from_histogram(h: &LatencyHistogram) -> Self {
+        let (p50, p95, p99) = h.percentiles();
+        Self {
+            count: h.count(),
+            p50,
+            p95,
+            p99,
+            mean: h.mean(),
+            max: h.max(),
+        }
+    }
+}
+
+/// Aggregate metrics of one churn run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServiceReport {
+    /// Requests decided.
+    pub requests: u64,
+    /// Admitted/rejected counters by reason class.
+    pub counters: DecisionCounters,
+    /// Per-request decision-latency summary.
+    pub latency: LatencySummary,
+    /// Evaluator-cache gauges accumulated over the run.
+    pub cache: CacheGauges,
+    /// Fraction of requests rejected.
+    pub blocking_probability: f64,
+    /// Decision throughput against the wall clock.
+    pub requests_per_sec: f64,
+    /// Wall-clock duration of the run.
+    pub wall_seconds: f64,
+    /// Event-stream time span (first to last arrival).
+    pub span: Seconds,
+    /// Largest concurrent active-connection count observed.
+    pub peak_active: usize,
+    /// Connections still active after the last arrival.
+    pub final_active: usize,
+    /// Per-ring `(mean, peak)` utilization over the sampled series.
+    pub ring_utilization: Vec<(f64, f64)>,
+    /// Entries in the decision audit log (== `requests`).
+    pub audit_len: usize,
+}
+
+impl ServiceReport {
+    /// Renders the report as one JSON object (hand-written — the
+    /// workspace serde is an offline no-op shim).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let c = &self.counters;
+        let l = &self.latency;
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"requests\":{},\"admitted\":{},\"rejected\":{},\
+             \"rejected_by_reason\":{{\"source_exhausted\":{},\"dest_exhausted\":{},\
+             \"infeasible\":{},\"other\":{}}},",
+            self.requests,
+            c.admitted,
+            c.rejected(),
+            c.rejected_source_exhausted,
+            c.rejected_dest_exhausted,
+            c.rejected_infeasible,
+            c.rejected_other,
+        );
+        let _ = write!(
+            out,
+            "\"blocking_probability\":{:.6},\"requests_per_sec\":{:.3},\
+             \"wall_seconds\":{:.6},\"span_seconds\":{:.3},",
+            self.blocking_probability,
+            self.requests_per_sec,
+            self.wall_seconds,
+            self.span.value(),
+        );
+        let _ = write!(
+            out,
+            "\"latency\":{{\"count\":{},\"p50_us\":{:.3},\"p95_us\":{:.3},\
+             \"p99_us\":{:.3},\"mean_us\":{:.3},\"max_us\":{:.3}}},",
+            l.count,
+            l.p50.value() * 1e6,
+            l.p95.value() * 1e6,
+            l.p99.value() * 1e6,
+            l.mean.value() * 1e6,
+            l.max.value() * 1e6,
+        );
+        let _ = write!(
+            out,
+            "\"cache\":{{\"evals\":{},\"hit_rate\":{:.6}}},\
+             \"peak_active\":{},\"final_active\":{},\"audit_len\":{},",
+            self.cache.evals(),
+            self.cache.hit_rate(),
+            self.peak_active,
+            self.final_active,
+            self.audit_len,
+        );
+        out.push_str("\"ring_utilization\":[");
+        for (i, (mean, peak)) in self.ring_utilization.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"mean\":{mean:.6},\"peak\":{peak:.6}}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_shaped_json() {
+        let mut h = LatencyHistogram::new();
+        h.record(Seconds::new(2e-5));
+        h.record(Seconds::new(4e-5));
+        let report = ServiceReport {
+            requests: 2,
+            counters: DecisionCounters {
+                admitted: 1,
+                rejected_infeasible: 1,
+                ..Default::default()
+            },
+            latency: LatencySummary::from_histogram(&h),
+            cache: CacheGauges {
+                stage1_hits: 2,
+                stage1_misses: 2,
+                mux_hits: 0,
+                mux_misses: 0,
+            },
+            blocking_probability: 0.5,
+            requests_per_sec: 1000.0,
+            wall_seconds: 0.002,
+            span: Seconds::new(1.5),
+            peak_active: 1,
+            final_active: 1,
+            ring_utilization: vec![(0.25, 0.5), (0.0, 0.0)],
+            audit_len: 2,
+        };
+        let j = report.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for needle in [
+            "\"requests\":2",
+            "\"admitted\":1",
+            "\"rejected\":1",
+            "\"infeasible\":1",
+            "\"blocking_probability\":0.5",
+            "\"p99_us\":",
+            "\"evals\":2",
+            "\"ring_utilization\":[{\"mean\":0.25",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+        // Balanced braces / brackets — cheap structural sanity.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

@@ -1,0 +1,294 @@
+//! Churn-workload generation: the connection-level arrival process the
+//! admission *service* consumes.
+//!
+//! The paper's β-CAC (§5) is an online algorithm — connections arrive
+//! and depart continuously. This module pre-draws the whole request
+//! stream deterministically from a seed: Poisson arrivals (exponential
+//! interarrivals), uniformly random inter-ring endpoint pairs, uniform
+//! deadlines, and *bounded* exponential holding times (an admitted
+//! connection departs `holding` after its admission, and `holding`
+//! never exceeds the truncation bound, so every run has a finite event
+//! horizon).
+//!
+//! The generator deliberately knows nothing about `NetworkState` or
+//! admission outcomes: the schedule is a pure function of the config,
+//! which is what makes service-layer runs replayable — the same
+//! [`ChurnSchedule`] driven through the service or through bare
+//! `NetworkState` calls in event order must produce bit-identical
+//! decisions.
+
+use crate::rng::{bounded_exponential, pick_index, poisson_interarrival};
+use hetnet_traffic::envelope::Envelope as _;
+use hetnet_traffic::models::DualPeriodicEnvelope;
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The structural shape of the target topology: enough for endpoint
+/// sampling without depending on the CAC crate's `HetNetwork` (which
+/// sits *above* this crate in the dependency order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopologyShape {
+    /// Number of FDDI rings.
+    pub rings: usize,
+    /// Hosts per ring (the interface device is not a host).
+    pub hosts_per_ring: usize,
+}
+
+impl TopologyShape {
+    /// The paper's evaluation topology: three rings of four hosts.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            rings: 3,
+            hosts_per_ring: 4,
+        }
+    }
+}
+
+/// Parameters of the churn workload.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Shape of the network the stream targets.
+    pub shape: TopologyShape,
+    /// Poisson arrival rate λ (requests per second).
+    pub arrival_rate: f64,
+    /// Mean holding time `1/μ` of an admitted connection.
+    pub mean_holding: Seconds,
+    /// Hard upper bound on holding times (truncated exponential).
+    pub max_holding: Seconds,
+    /// End-to-end deadline range; each request draws uniformly.
+    pub deadline: (Seconds, Seconds),
+    /// Source traffic model shared by every connection (eq. 37).
+    pub source: DualPeriodicEnvelope,
+    /// Number of connection requests to draw.
+    pub requests: usize,
+    /// RNG seed; the schedule is a pure function of this config.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// A workload in the spirit of §6 on the paper topology: 20 Mb/s
+    /// dual-periodic sources (2 Mbit / 100 ms, bursts of 0.25 Mbit /
+    /// 10 ms at ring speed), deadlines of 80–160 ms, 100 s mean holding
+    /// truncated at 300 s.
+    ///
+    /// # Panics
+    ///
+    /// Never — the paper-style source parameters are valid.
+    #[must_use]
+    pub fn paper_style(arrival_rate: f64, requests: usize, seed: u64) -> Self {
+        Self {
+            shape: TopologyShape::paper(),
+            arrival_rate,
+            mean_holding: Seconds::new(100.0),
+            max_holding: Seconds::new(300.0),
+            deadline: (Seconds::from_millis(80.0), Seconds::from_millis(160.0)),
+            source: DualPeriodicEnvelope::new(
+                Bits::from_mbits(2.0),
+                Seconds::from_millis(100.0),
+                Bits::from_mbits(0.25),
+                Seconds::from_millis(10.0),
+                BitsPerSec::from_mbps(100.0),
+            )
+            .expect("paper-style source parameters are valid"),
+            requests,
+            seed,
+        }
+    }
+
+    /// The arrival rate λ realizing a target mean utilization `U` of one
+    /// backbone link: `λ = U · L · μ · C_link / ρ` (the §6 formula; `L`
+    /// inter-switch links share the offered load, `ρ` is the source's
+    /// sustained rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not strictly positive.
+    #[must_use]
+    pub fn rate_for_utilization(
+        utilization: f64,
+        links: f64,
+        link_rate: BitsPerSec,
+        mean_holding: Seconds,
+        source: &DualPeriodicEnvelope,
+    ) -> f64 {
+        assert!(utilization > 0.0, "utilization must be positive");
+        let rho = source.sustained_rate().value();
+        let mu = 1.0 / mean_holding.value();
+        utilization * links * mu * link_rate.value() / rho
+    }
+}
+
+/// One connection request in the churn stream. Endpoints are raw
+/// `(ring, station)` pairs — the service layer maps them onto its
+/// network's host ids.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnArrival {
+    /// Arrival (request) time.
+    pub at: Seconds,
+    /// Sending host as `(ring, station)`.
+    pub source: (usize, usize),
+    /// Receiving host as `(ring, station)`, always on another ring.
+    pub dest: (usize, usize),
+    /// End-to-end deadline of the request.
+    pub deadline: Seconds,
+    /// Lifetime if admitted: the connection disconnects at
+    /// `at + holding`.
+    pub holding: Seconds,
+}
+
+/// A fully pre-drawn churn schedule: the arrival stream plus the shared
+/// source model.
+#[derive(Clone, Debug)]
+pub struct ChurnSchedule {
+    /// Source traffic model shared by every request.
+    pub source: DualPeriodicEnvelope,
+    /// Requests in nondecreasing time order.
+    pub arrivals: Vec<ChurnArrival>,
+}
+
+impl ChurnSchedule {
+    /// Event-time span from zero to the last arrival.
+    #[must_use]
+    pub fn span(&self) -> Seconds {
+        self.arrivals.last().map_or(Seconds::ZERO, |a| a.at)
+    }
+}
+
+/// Draws the schedule for `cfg`. Deterministic: equal configs produce
+/// bit-identical schedules.
+///
+/// # Panics
+///
+/// Panics if the shape has fewer than two rings or zero hosts, if the
+/// deadline range is inverted or non-positive, or if the rate/holding
+/// parameters are degenerate (the underlying samplers assert).
+#[must_use]
+pub fn generate(cfg: &ChurnConfig) -> ChurnSchedule {
+    assert!(
+        cfg.shape.rings >= 2,
+        "churn needs at least two rings (intra-ring traffic is out of CAC scope)"
+    );
+    assert!(cfg.shape.hosts_per_ring > 0, "need at least one host per ring");
+    assert!(
+        cfg.deadline.0.value() > 0.0 && cfg.deadline.0 <= cfg.deadline.1,
+        "bad deadline range"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let hosts = cfg.shape.rings * cfg.shape.hosts_per_ring;
+    let mut arrivals = Vec::with_capacity(cfg.requests);
+    let mut now = 0.0_f64;
+    for _ in 0..cfg.requests {
+        now += poisson_interarrival(&mut rng, cfg.arrival_rate).value();
+        // Source: uniform over all hosts. Destination: uniform over the
+        // hosts of the other rings.
+        let s = pick_index(&mut rng, hosts).expect("hosts > 0");
+        let source = (s / cfg.shape.hosts_per_ring, s % cfg.shape.hosts_per_ring);
+        let others = hosts - cfg.shape.hosts_per_ring;
+        let mut d = pick_index(&mut rng, others).expect("two or more rings");
+        // Skip over the source ring's block of stations.
+        if d / cfg.shape.hosts_per_ring >= source.0 {
+            d += cfg.shape.hosts_per_ring;
+        }
+        let dest = (d / cfg.shape.hosts_per_ring, d % cfg.shape.hosts_per_ring);
+        let (dlo, dhi) = (cfg.deadline.0.value(), cfg.deadline.1.value());
+        let deadline = Seconds::new(rng.gen_range(dlo..=dhi));
+        let holding = bounded_exponential(&mut rng, cfg.mean_holding, cfg.max_holding);
+        arrivals.push(ChurnArrival {
+            at: Seconds::new(now),
+            source,
+            dest,
+            deadline,
+            holding,
+        });
+    }
+    ChurnSchedule {
+        source: cfg.source,
+        arrivals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ChurnConfig {
+        ChurnConfig::paper_style(2.0, 200, 11)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&cfg());
+        let b = generate(&cfg());
+        assert_eq!(a.arrivals, b.arrivals);
+        let mut other = cfg();
+        other.seed = 12;
+        assert_ne!(generate(&other).arrivals, a.arrivals);
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_inter_ring() {
+        let s = generate(&cfg());
+        assert_eq!(s.arrivals.len(), 200);
+        for w in s.arrivals.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for a in &s.arrivals {
+            assert_ne!(a.source.0, a.dest.0, "same-ring pair generated");
+            assert!(a.source.0 < 3 && a.dest.0 < 3);
+            assert!(a.source.1 < 4 && a.dest.1 < 4);
+            assert!(a.deadline >= Seconds::from_millis(80.0));
+            assert!(a.deadline <= Seconds::from_millis(160.0));
+            assert!(a.holding.value() > 0.0);
+            assert!(a.holding <= Seconds::new(300.0));
+        }
+        assert_eq!(s.span(), s.arrivals.last().unwrap().at);
+    }
+
+    #[test]
+    fn interarrival_mean_tracks_rate() {
+        let mut c = cfg();
+        c.arrival_rate = 10.0;
+        c.requests = 5000;
+        let s = generate(&c);
+        let mean = s.span().value() / s.arrivals.len() as f64;
+        assert!((mean - 0.1).abs() < 0.01, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn destination_rings_are_roughly_uniform() {
+        let mut c = cfg();
+        c.requests = 3000;
+        let s = generate(&c);
+        let mut by_ring = [0usize; 3];
+        for a in &s.arrivals {
+            by_ring[a.dest.0] += 1;
+        }
+        for (ring, n) in by_ring.iter().enumerate() {
+            assert!((800..1200).contains(n), "ring {ring}: {n} dests");
+        }
+    }
+
+    #[test]
+    fn utilization_rate_formula() {
+        let c = cfg();
+        let rate = ChurnConfig::rate_for_utilization(
+            0.6,
+            3.0,
+            BitsPerSec::from_mbps(155.0),
+            c.mean_holding,
+            &c.source,
+        );
+        // U * L * mu * C / rho = 0.6 * 3 * 0.01 * 155e6 / 20e6
+        assert!((rate - 0.6 * 3.0 * 0.01 * 155.0e6 / 20.0e6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two rings")]
+    fn one_ring_rejected() {
+        let mut c = cfg();
+        c.shape.rings = 1;
+        let _ = generate(&c);
+    }
+}

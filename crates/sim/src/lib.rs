@@ -10,6 +10,9 @@
 //! * [`engine`] — a minimal deterministic event scheduler;
 //! * [`rng`] — inverse-transform samplers for the exponential
 //!   interarrival/lifetime distributions of the paper's workload;
+//! * [`churn`] — the seeded connection-level churn workload (Poisson
+//!   arrivals, bounded holding times) consumed by the admission
+//!   service layer;
 //! * [`source`] — greedy, envelope-conformant dual-periodic traffic
 //!   generators (they emit as aggressively as eq. 37 allows, which is
 //!   what makes simulated delays approach the analytic bounds);
@@ -18,11 +21,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod churn;
 pub mod engine;
 pub mod netsim;
 pub mod rng;
 pub mod source;
 
+pub use churn::{ChurnArrival, ChurnConfig, ChurnSchedule, TopologyShape};
 pub use engine::Scheduler;
 pub use netsim::{ConnectionObs, E2eScenario, SimConnection, SimReport};
 pub use source::GreedyDualPeriodic;

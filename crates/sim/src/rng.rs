@@ -21,6 +21,24 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: Seconds) -> Seconds {
     Seconds::new(-mean.value() * u.ln())
 }
 
+/// Samples an exponential duration with the given mean, truncated to
+/// `max` — the bounded holding times of the churn workload (an admitted
+/// connection never outlives the truncation bound, which keeps every
+/// run's tail departures inside a finite horizon).
+///
+/// # Panics
+///
+/// Panics if `mean` or `max` is not strictly positive.
+pub fn bounded_exponential<R: Rng + ?Sized>(rng: &mut R, mean: Seconds, max: Seconds) -> Seconds {
+    assert!(max.value() > 0.0, "max must be positive");
+    let raw = exponential(rng, mean);
+    if raw > max {
+        max
+    } else {
+        raw
+    }
+}
+
 /// Samples the next interarrival of a Poisson process with rate
 /// `rate_per_sec`.
 ///
@@ -64,6 +82,23 @@ mod tests {
         for _ in 0..1000 {
             assert!(exponential(&mut rng, Seconds::new(0.5)).value() > 0.0);
         }
+    }
+
+    #[test]
+    fn bounded_exponential_clamps_to_max() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean = Seconds::new(2.0);
+        let max = Seconds::new(1.0);
+        let mut clamped = 0;
+        for _ in 0..2000 {
+            let v = bounded_exponential(&mut rng, mean, max);
+            assert!(v.value() > 0.0 && v <= max);
+            if v == max {
+                clamped += 1;
+            }
+        }
+        // P(X > 1) = e^{-1/2} ≈ 0.61 of draws hit the bound.
+        assert!((900..1500).contains(&clamped), "clamped {clamped}");
     }
 
     #[test]

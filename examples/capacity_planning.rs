@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example capacity_planning`
 
-use hetnet::cac::cac::{CacConfig, NetworkState};
+use hetnet::cac::cac::{AdmissionOptions, CacConfig, NetworkState};
 use hetnet::cac::connection::ConnectionSpec;
 use hetnet::cac::network::{HetNetwork, HostId};
 use hetnet::traffic::models::DualPeriodicEnvelope;
@@ -50,7 +50,7 @@ fn source() -> Result<Arc<DualPeriodicEnvelope>, Box<dyn Error>> {
     )?))
 }
 
-fn admitted_capacity(net: HetNetwork, cfg: &CacConfig) -> Result<usize, Box<dyn Error>> {
+fn admitted_capacity(net: HetNetwork, opts: &AdmissionOptions) -> Result<usize, Box<dyn Error>> {
     let mut state = NetworkState::new(net);
     let mut admitted = 0;
     'outer: for round in 0..4 {
@@ -67,7 +67,7 @@ fn admitted_capacity(net: HetNetwork, cfg: &CacConfig) -> Result<usize, Box<dyn 
                 envelope: source()? as _,
                 deadline: Seconds::from_millis(50.0),
             };
-            if !state.request(spec, cfg)?.is_admitted() {
+            if !state.admit(spec, opts)?.is_admitted() {
                 break 'outer;
             }
             admitted += 1;
@@ -89,8 +89,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     for ttrt in [4.0, 8.0, 16.0, 24.0] {
         print!("{ttrt:>9.1} |");
         for beta in betas {
-            let cfg = CacConfig::default().with_beta(beta);
-            let n = admitted_capacity(network_with_ttrt(ttrt)?, &cfg)?;
+            let opts = AdmissionOptions::beta_search(CacConfig::default().with_beta(beta));
+            let n = admitted_capacity(network_with_ttrt(ttrt)?, &opts)?;
             print!(" {n:>9} |");
         }
         println!();

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release --example factory_control`
 
-use hetnet::cac::cac::{CacConfig, Decision, NetworkState};
+use hetnet::cac::cac::{AdmissionOptions, CacConfig, Decision, NetworkState};
 use hetnet::cac::connection::ConnectionSpec;
 use hetnet::cac::network::{HetNetwork, HostId};
 use hetnet::sim::netsim::{run, E2eScenario, SimConnection};
@@ -39,7 +39,7 @@ fn control_source() -> Result<DualPeriodicEnvelope, Box<dyn Error>> {
 fn main() -> Result<(), Box<dyn Error>> {
     let net = HetNetwork::paper_topology();
     let mut state = NetworkState::new(net);
-    let cfg = CacConfig::default();
+    let opts = AdmissionOptions::beta_search(CacConfig::default());
     let model = control_source()?;
 
     println!("admitting factory control loops (6 Mb/s, 60 ms deadline):\n");
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             envelope: Arc::new(model) as _,
             deadline: Seconds::from_millis(60.0),
         };
-        match state.request(spec, &cfg)? {
+        match state.admit(spec, &opts)? {
             Decision::Admitted {
                 id,
                 h_s,

@@ -3,12 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use hetnet::cac::cac::{CacConfig, Decision, NetworkState};
-use hetnet::cac::connection::ConnectionSpec;
 use hetnet::cac::delay::{evaluate_paths, EvalConfig, PathInput};
-use hetnet::cac::network::{HetNetwork, HostId};
-use hetnet::traffic::models::DualPeriodicEnvelope;
-use hetnet::traffic::units::{Bits, BitsPerSec, Seconds};
+use hetnet::prelude::*;
 use std::error::Error;
 use std::sync::Arc;
 
@@ -29,21 +25,15 @@ fn main() -> Result<(), Box<dyn Error>> {
         BitsPerSec::from_mbps(100.0),
     )?);
 
-    let spec = ConnectionSpec {
-        source: HostId {
-            ring: 0,
-            station: 0,
-        },
-        dest: HostId {
-            ring: 1,
-            station: 2,
-        },
-        envelope: Arc::clone(&video) as _,
-        deadline: Seconds::from_millis(100.0),
-    };
+    let spec = ConnectionSpec::builder()
+        .source((0, 0))
+        .dest((1, 2))
+        .envelope(Arc::clone(&video) as _)
+        .deadline(Seconds::from_millis(100.0))
+        .build()?;
 
-    let cfg = CacConfig::default(); // beta = 0.5
-    match state.request(spec, &cfg)? {
+    let opts = AdmissionOptions::beta_search(CacConfig::default()); // beta = 0.5
+    match state.admit(spec, &opts)? {
         Decision::Admitted {
             id,
             h_s,

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release --example video_conferencing`
 
-use hetnet::cac::cac::{CacConfig, NetworkState};
+use hetnet::cac::cac::{AdmissionOptions, CacConfig, NetworkState};
 use hetnet::cac::connection::ConnectionSpec;
 use hetnet::cac::network::{HetNetwork, HostId};
 use hetnet::traffic::models::DualPeriodicEnvelope;
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("{:->6}-+-{:->9}-+-{:-<40}", "", "", "");
 
     for beta in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let cfg = CacConfig::default().with_beta(beta);
+        let opts = AdmissionOptions::beta_search(CacConfig::default().with_beta(beta));
         let mut state = NetworkState::new(HetNetwork::paper_topology());
         let mut admitted = 0usize;
         let mut allocations: Vec<f64> = Vec::new();
@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                     envelope: stream()? as _,
                     deadline: Seconds::from_millis(100.0),
                 };
-                match state.request(spec, &cfg)? {
+                match state.admit(spec, &opts)? {
                     hetnet::cac::cac::Decision::Admitted { h_s, .. } => {
                         admitted += 1;
                         allocations.push(h_s.per_rotation().as_millis());

@@ -17,7 +17,7 @@ echo "==> bench_json smoke run"
 cargo run --release -p hetnet-bench --bin bench_json -- \
     --quick --out target/BENCH_region.quick.json
 
-echo "==> bench_json gate (maps identical, frontier cheaper than dense)"
+echo "==> bench_json gate (maps identical, frontier cheaper than dense, churn smoke)"
 python3 - target/BENCH_region.quick.json <<'EOF'
 import json, sys
 
@@ -29,5 +29,32 @@ dense, frontier = bench["dense_evals"], bench["frontier_evals"]
 if frontier >= dense:
     sys.exit(f"FAIL: frontier did {frontier} evals, dense sweep {dense}")
 print(f"ok: maps identical, frontier evals {frontier} < dense {dense}")
+
+# Churn smoke: the fixed-seed service run must exercise both decision
+# paths and keep the audit log complete.
+churn = bench["churn"]
+if churn["admitted"] <= 0:
+    sys.exit("FAIL: churn run admitted nothing")
+if churn["rejected"] <= 0:
+    sys.exit("FAIL: churn run rejected nothing (load too light to mean anything)")
+if churn["audit_len"] != churn["requests"]:
+    sys.exit(f"FAIL: audit log has {churn['audit_len']} entries for {churn['requests']} requests")
+if not (0.0 < churn["blocking_probability"] < 1.0):
+    sys.exit(f"FAIL: degenerate blocking probability {churn['blocking_probability']}")
+print(
+    f"ok: churn {churn['requests']} requests, {churn['admitted']} admitted, "
+    f"{churn['rejected']} rejected, p99 {churn['latency']['p99_us']:.1f} us"
+)
 EOF
+
+echo "==> deprecated-API gate (legacy request/request_fixed quarantined to core compat tests)"
+# clippy -D warnings already fails any *call* to the deprecated wrappers;
+# this keeps people from silencing it: allow(deprecated) may appear only
+# in crates/core/src/cac.rs, where the wrappers and their compat tests live.
+if grep -rn "allow(deprecated)" --include="*.rs" crates src tests examples \
+    | grep -v "^crates/core/src/cac.rs:"; then
+    echo "FAIL: allow(deprecated) outside crates/core/src/cac.rs"
+    exit 1
+fi
+echo "ok: no deprecated-API escapes"
 echo "==> all checks passed"

@@ -1,11 +1,50 @@
 //! Facade crate re-exporting the FDDI-ATM-FDDI heterogeneous-network
 //! workspace: traffic envelopes, FDDI and ATM substrates, interface
-//! devices, the discrete-event simulator, and the connection admission
-//! control of Chen, Sahoo, Zhao and Raha (ICDCS 1997).
+//! devices, the discrete-event simulator, the connection admission
+//! control of Chen, Sahoo, Zhao and Raha (ICDCS 1997), and the
+//! churn-driven admission service layer.
+//!
+//! Most programs only need [`prelude`]:
+//!
+//! ```
+//! use hetnet::prelude::*;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut state = NetworkState::new(HetNetwork::paper_topology());
+//! let spec = ConnectionSpec::builder()
+//!     .source((0, 0))
+//!     .dest((1, 2))
+//!     .envelope(std::sync::Arc::new(DualPeriodicEnvelope::new(
+//!         Bits::from_mbits(2.0), Seconds::from_millis(100.0),
+//!         Bits::from_mbits(0.25), Seconds::from_millis(10.0),
+//!         BitsPerSec::from_mbps(100.0),
+//!     )?))
+//!     .deadline(Seconds::from_millis(100.0))
+//!     .build()?;
+//! let opts = AdmissionOptions::beta_search(CacConfig::default());
+//! assert!(state.admit(spec, &opts)?.is_admitted());
+//! # Ok(())
+//! # }
+//! ```
 
 pub use hetnet_atm as atm;
 pub use hetnet_cac as cac;
 pub use hetnet_fddi as fddi;
 pub use hetnet_ifdev as ifdev;
+pub use hetnet_service as service;
 pub use hetnet_sim as sim;
 pub use hetnet_traffic as traffic;
+
+/// The quickstart surface: everything needed to build a network, shape
+/// a request, and ask for admission — one `use hetnet::prelude::*;`.
+pub mod prelude {
+    pub use hetnet_cac::cac::{
+        AdmissionOptions, AllocationPolicy, CacConfig, Decision, NetworkState, RejectReason,
+    };
+    pub use hetnet_cac::connection::{ConnectionId, ConnectionSpec, ConnectionSpecBuilder};
+    pub use hetnet_cac::error::CacError;
+    pub use hetnet_cac::network::{HetNetwork, HostId, RingId};
+    pub use hetnet_service::{run as run_service, ServiceConfig, ServiceReport};
+    pub use hetnet_traffic::envelope::SharedEnvelope;
+    pub use hetnet_traffic::models::DualPeriodicEnvelope;
+    pub use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+}

@@ -2,7 +2,7 @@
 //! sequence of admissions and releases must preserve the ring budget
 //! accounting, per-host uniqueness handling, and deadline guarantees.
 
-use hetnet::cac::cac::{CacConfig, Decision, NetworkState};
+use hetnet::cac::cac::{AdmissionOptions, CacConfig, Decision, NetworkState};
 use hetnet::cac::connection::{ConnectionId, ConnectionSpec};
 use hetnet::cac::network::{HetNetwork, HostId};
 use hetnet::traffic::models::DualPeriodicEnvelope;
@@ -27,7 +27,7 @@ fn model(rate_mbps: f64) -> DualPeriodicEnvelope {
 #[test]
 fn random_admission_release_sequences_preserve_invariants() {
     let mut rng = StdRng::seed_from_u64(2024);
-    let cfg = CacConfig::fast();
+    let opts = AdmissionOptions::beta_search(CacConfig::fast());
     let mut state = NetworkState::new(HetNetwork::paper_topology());
     let mut live: Vec<ConnectionId> = Vec::new();
     let full_budget = state.available_on(0);
@@ -56,7 +56,7 @@ fn random_admission_release_sequences_preserve_invariants() {
                 envelope: Arc::new(model(rng.gen_range(5.0..20.0))),
                 deadline: Seconds::from_millis(rng.gen_range(60.0..120.0)),
             };
-            match state.request(spec, &cfg).expect("well-formed") {
+            match state.admit(spec, &opts).expect("well-formed") {
                 Decision::Admitted {
                     id, delay_bound, ..
                 } => {
@@ -92,7 +92,7 @@ fn random_admission_release_sequences_preserve_invariants() {
     }
 
     // Invariant 3: all deadlines hold for the final set.
-    let delays = state.current_delays(&cfg).expect("consistent");
+    let delays = state.current_delays(&opts.cac).expect("consistent");
     for ((id, d), active) in delays.iter().zip(state.active()) {
         assert_eq!(*id, active.id);
         assert!(*d <= active.spec.deadline, "final set violates {id}");
@@ -128,8 +128,8 @@ fn beta_zero_and_one_bracket_intermediate_allocations() {
     let mut allocations = Vec::new();
     for beta in [0.0, 0.3, 0.7, 1.0] {
         let mut state = NetworkState::new(HetNetwork::paper_topology());
-        let cfg = CacConfig::fast().with_beta(beta);
-        match state.request(spec(100.0), &cfg).unwrap() {
+        let opts = AdmissionOptions::beta_search(CacConfig::fast().with_beta(beta));
+        match state.admit(spec(100.0), &opts).unwrap() {
             Decision::Admitted { h_s, .. } => allocations.push(h_s.per_rotation().value()),
             Decision::Rejected(r) => panic!("beta={beta} rejected: {r}"),
         }
@@ -149,7 +149,7 @@ fn tighter_deadlines_need_bigger_minimum_allocations() {
     let mut allocations = Vec::new();
     for deadline in [110.0, 80.0, 55.0] {
         let mut state = NetworkState::new(HetNetwork::paper_topology());
-        let cfg = CacConfig::fast().with_beta(0.0);
+        let opts = AdmissionOptions::beta_search(CacConfig::fast().with_beta(0.0));
         let spec = ConnectionSpec {
             source: HostId {
                 ring: 0,
@@ -162,7 +162,7 @@ fn tighter_deadlines_need_bigger_minimum_allocations() {
             envelope: Arc::new(model(20.0)),
             deadline: Seconds::from_millis(deadline),
         };
-        match state.request(spec, &cfg).unwrap() {
+        match state.admit(spec, &opts).unwrap() {
             Decision::Admitted { h_s, h_r, .. } => {
                 allocations.push(h_s.per_rotation().value() + h_r.per_rotation().value());
             }

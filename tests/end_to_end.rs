@@ -2,7 +2,7 @@
 //! dominate the packet-level simulator's observed delays for admitted
 //! configurations.
 
-use hetnet::cac::cac::{CacConfig, Decision, NetworkState};
+use hetnet::cac::cac::{AdmissionOptions, CacConfig, Decision, NetworkState};
 use hetnet::cac::connection::ConnectionSpec;
 use hetnet::cac::network::{HetNetwork, HostId};
 use hetnet::sim::netsim::{run, E2eScenario, SimConnection};
@@ -29,13 +29,13 @@ fn model() -> DualPeriodicEnvelope {
     .expect("valid paper-style source")
 }
 
-/// Admits `pairs` of (source, dest) with the given CAC config; returns
+/// Admits `pairs` of (source, dest) under the given options; returns
 /// the admitted (ring, station, dest_ring, h_s, h_r) tuples plus their
 /// *current* delay bounds after all admissions.
 fn admit(
     state: &mut NetworkState,
     pairs: &[HostPair],
-    cfg: &CacConfig,
+    opts: &AdmissionOptions,
 ) -> Vec<(
     u64,
     usize,
@@ -59,7 +59,7 @@ fn admit(
             deadline: Seconds::from_millis(120.0),
         };
         if let Decision::Admitted { id, h_s, h_r, .. } =
-            state.request(spec, cfg).expect("well-formed request")
+            state.admit(spec, opts).expect("well-formed request")
         {
             out.push((id.0, src.0, src.1, dst.0, h_s, h_r));
         }
@@ -70,7 +70,7 @@ fn admit(
 #[test]
 fn simulated_delays_stay_within_analytic_bounds() {
     let mut state = NetworkState::new(HetNetwork::paper_topology());
-    let cfg = CacConfig::default();
+    let opts = AdmissionOptions::beta_search(CacConfig::default());
     let admitted = admit(
         &mut state,
         &[
@@ -79,14 +79,14 @@ fn simulated_delays_stay_within_analytic_bounds() {
             ((2, 0), (0, 0)),
             ((0, 1), (2, 1)),
         ],
-        &cfg,
+        &opts,
     );
     assert!(
         admitted.len() >= 3,
         "expected at least three admissions, got {}",
         admitted.len()
     );
-    let bounds = state.current_delays(&cfg).expect("consistent state");
+    let bounds = state.current_delays(&opts.cac).expect("consistent state");
 
     let link = LinkConfig::oc3(Seconds::from_micros(5.0));
     let scenario = E2eScenario {
@@ -138,7 +138,7 @@ fn simulated_delays_stay_within_analytic_bounds() {
 #[test]
 fn released_bandwidth_is_reusable() {
     let mut state = NetworkState::new(HetNetwork::paper_topology());
-    let cfg = CacConfig::default();
+    let opts = AdmissionOptions::beta_search(CacConfig::default());
 
     // Fill until the first rejection.
     let mut ids = Vec::new();
@@ -155,7 +155,7 @@ fn released_bandwidth_is_reusable() {
             envelope: Arc::new(model()),
             deadline: Seconds::from_millis(120.0),
         };
-        match state.request(spec, &cfg).unwrap() {
+        match state.admit(spec, &opts).unwrap() {
             Decision::Admitted { id, .. } => ids.push(id),
             Decision::Rejected(_) => break,
         }
@@ -184,7 +184,7 @@ fn released_bandwidth_is_reusable() {
         envelope: Arc::new(model()),
         deadline: Seconds::from_millis(120.0),
     };
-    assert!(state.request(spec, &cfg).unwrap().is_admitted());
+    assert!(state.admit(spec, &opts).unwrap().is_admitted());
 }
 
 #[test]
@@ -192,7 +192,7 @@ fn admitted_set_always_meets_deadlines() {
     // Whatever mix of admissions and releases happens, every active
     // connection's recomputed bound stays within its deadline.
     let mut state = NetworkState::new(HetNetwork::paper_topology());
-    let cfg = CacConfig::fast();
+    let opts = AdmissionOptions::beta_search(CacConfig::fast());
     let mut ids = Vec::new();
     let pairs = [
         ((0, 0), (1, 0)),
@@ -214,14 +214,14 @@ fn admitted_set_always_meets_deadlines() {
             envelope: Arc::new(model()),
             deadline: Seconds::from_millis(80.0 + 10.0 * i as f64),
         };
-        if let Decision::Admitted { id, .. } = state.request(spec, &cfg).unwrap() {
+        if let Decision::Admitted { id, .. } = state.admit(spec, &opts).unwrap() {
             ids.push(id);
         }
         // Interleave a release.
         if i == 2 && !ids.is_empty() {
             state.release(ids.remove(0)).unwrap();
         }
-        let delays = state.current_delays(&cfg).unwrap();
+        let delays = state.current_delays(&opts.cac).unwrap();
         for ((_, d), active) in delays.iter().zip(state.active()) {
             assert!(
                 *d <= active.spec.deadline,
