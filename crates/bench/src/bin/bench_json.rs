@@ -7,7 +7,8 @@
 //! through the service layer and reports throughput, decision-latency
 //! percentiles, and blocking probability. Everything lands in one
 //! JSON file (cells/sec, evals per cell, speedups, cache hit rates,
-//! and a `churn` section).
+//! a `churn` section, and an `obs` section measuring the decision-
+//! tracing layer's cost with tracing disabled and enabled).
 //!
 //! ```text
 //! cargo run --release -p hetnet-bench --bin bench_json            # full run -> BENCH_region.json
@@ -204,6 +205,86 @@ fn main() {
         churn.counters.rejected(),
     );
 
+    // Observability cost: the same fixed-seed service workload run with
+    // decision tracing disabled (twice — an A/A pair that bounds the
+    // measurement noise), then with tracing enabled under an installed
+    // `hetnet-obs` collector. Disabled runs never build a trace and the
+    // event hooks early-return, so `disabled_delta_pct` is pure timing
+    // noise; `enabled_overhead_pct` is the real cost of turning the
+    // layer on. Best-of-reps, with the arm order rotated every rep:
+    // on throttled single-core machines each rep slows down monotonically
+    // (burst-credit exhaustion), so a fixed order would systematically
+    // penalize whichever arm runs last. Rotation gives every arm one run
+    // in every position, and taking the min then compares like with like.
+    let obs_requests = if quick { 120 } else { 200 };
+    let obs_reps = if quick { 2 } else { 5 };
+    let mut obs_cfg = ServiceConfig::paper_style(0.1, obs_requests, 7);
+    obs_cfg.options = AdmissionOptions::beta_search(CacConfig::fast());
+    obs_cfg.trace_decisions = false;
+    let mut traced_cfg = obs_cfg.clone();
+    traced_cfg.trace_decisions = true;
+    let timed = |cfg: &ServiceConfig| {
+        run_service(HetNetwork::paper_topology(), cfg)
+            .expect("obs workload is well-formed")
+            .report
+    };
+    eprintln!("obs overhead: {obs_requests} requests x {obs_reps} reps (seed 7)");
+    // One untimed pass absorbs cold-start effects (page faults, branch
+    // predictors, allocator growth) that would otherwise land entirely
+    // on the first measured arm and masquerade as an A/A difference.
+    let _ = timed(&obs_cfg);
+    let mut disabled = f64::INFINITY;
+    let mut disabled_repeat = f64::INFINITY;
+    let mut enabled = f64::INFINITY;
+    let mut trace_records = 0u64;
+    let mut traced_report = None;
+    for rep in 0..obs_reps {
+        for pos in 0..3 {
+            match (pos + rep) % 3 {
+                0 => disabled = disabled.min(timed(&obs_cfg).wall_seconds),
+                1 => disabled_repeat = disabled_repeat.min(timed(&obs_cfg).wall_seconds),
+                _ => {
+                    let (report, trace) = hetnet_obs::collect(1 << 16, || timed(&traced_cfg));
+                    enabled = enabled.min(report.wall_seconds);
+                    trace_records = trace.records().len() as u64 + trace.dropped();
+                    traced_report = Some(report);
+                }
+            }
+        }
+    }
+    let traced_report = traced_report.expect("at least one traced rep");
+    let attribution = &traced_report.delay_attribution;
+    let disabled_delta_pct = (disabled_repeat - disabled) / disabled * 100.0;
+    let enabled_overhead_pct = (enabled - disabled) / disabled * 100.0;
+    eprintln!(
+        "  disabled {disabled:.6} s (repeat delta {disabled_delta_pct:+.2}%), \
+         enabled {enabled:.6} s ({enabled_overhead_pct:+.2}%), \
+         {trace_records} obs records, {} decision traces",
+        attribution.traced
+    );
+    let obs_json = format!(
+        concat!(
+            "{{\"workload_decisions\": {}, \"reps\": {}, ",
+            "\"disabled_seconds\": {:.6}, \"disabled_repeat_seconds\": {:.6}, ",
+            "\"disabled_delta_pct\": {:.3}, ",
+            "\"enabled_seconds\": {:.6}, \"enabled_overhead_pct\": {:.3}, ",
+            "\"trace_records\": {}, \"decision_traces\": {}, ",
+            "\"admitted\": {}, \"rejected\": {}, \"rejects_with_binding\": {}}}"
+        ),
+        obs_requests,
+        obs_reps,
+        disabled,
+        disabled_repeat,
+        disabled_delta_pct,
+        enabled,
+        enabled_overhead_pct,
+        trace_records,
+        attribution.traced,
+        traced_report.counters.admitted,
+        traced_report.counters.rejected(),
+        attribution.rejects_with_binding,
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -221,7 +302,8 @@ fn main() {
             "  \"frontier_evals\": {},\n",
             "  \"frontier_fell_back\": {},\n",
             "  \"maps_identical\": {},\n",
-            "  \"churn\": {}\n",
+            "  \"churn\": {},\n",
+            "  \"obs\": {}\n",
             "}}\n"
         ),
         grid,
@@ -238,6 +320,7 @@ fn main() {
         fro.sample.fell_back,
         identical,
         churn.to_json(),
+        obs_json,
     );
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {

@@ -33,6 +33,8 @@ use crate::delay::{
 };
 use crate::error::CacError;
 use crate::network::{HetNetwork, RingId};
+use crate::trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};
+use hetnet_obs as obs;
 use hetnet_fddi::alloc::{AllocationKey, SyncAllocationTable};
 use hetnet_fddi::frames;
 use hetnet_fddi::ring::SyncBandwidth;
@@ -181,6 +183,9 @@ pub struct DecisionRecord<'a> {
     /// (all-zero for fixed-allocation admissions, which run a single
     /// uncached evaluation).
     pub cache: CacheStats,
+    /// The decision's structured explanation — present iff
+    /// [`NetworkState::set_decision_tracing`] is on.
+    pub trace: Option<&'a DecisionTrace>,
 }
 
 /// Callback invoked after every completed admission decision — the
@@ -291,6 +296,48 @@ pub struct NetworkState {
     /// Completed decisions (admit or reject) so far.
     decision_seq: u64,
     observer: Option<Box<dyn DecisionObserver>>,
+    /// Whether [`NetworkState::admit`] assembles a [`DecisionTrace`]
+    /// per decision. Off by default: the hot path stays allocation-free.
+    trace_decisions: bool,
+    last_trace: Option<DecisionTrace>,
+}
+
+/// The trace ingredients an admission path hands back to
+/// [`NetworkState::admit`] (which stamps seq/clock/cache onto them).
+/// Built only when decision tracing is on.
+struct TraceParts {
+    allocation: Option<(SyncBandwidth, SyncBandwidth)>,
+    connections: Vec<ConnectionTrace>,
+    binding: Option<BindingConstraint>,
+}
+
+/// What a fixed-allocation feasibility check found.
+enum FixedCheck {
+    /// Every deadline holds; per-connection reports, candidate last.
+    Feasible(Vec<PathReport>),
+    /// No finite bound exists (some server unstable), verbatim detail.
+    Unstable(String),
+    /// Bounds exist but a deadline is missed: `victim` indexes the
+    /// first violated active connection (`None` = the candidate).
+    DeadlineMiss {
+        victim: Option<usize>,
+        reports: Vec<PathReport>,
+    },
+}
+
+/// The [`BindingConstraint`] for a path that missed its deadline.
+fn deadline_binding(
+    connection: Option<ConnectionId>,
+    report: &PathReport,
+    deadline: Seconds,
+) -> BindingConstraint {
+    BindingConstraint::DeadlineExceeded {
+        connection,
+        stage: ServerStage::dominant(report),
+        delay: report.total,
+        deadline,
+        excess: report.total - deadline,
+    }
 }
 
 impl fmt::Debug for NetworkState {
@@ -305,6 +352,7 @@ impl fmt::Debug for NetworkState {
             .field("clock", &self.clock)
             .field("decision_seq", &self.decision_seq)
             .field("observer", &self.observer.as_ref().map(|_| "<hook>"))
+            .field("trace_decisions", &self.trace_decisions)
             .finish()
     }
 }
@@ -325,7 +373,28 @@ impl NetworkState {
             clock: Seconds::ZERO,
             decision_seq: 0,
             observer: None,
+            trace_decisions: false,
+            last_trace: None,
         }
+    }
+
+    /// Turns per-decision [`DecisionTrace`] assembly on or off. When
+    /// on, every completed [`NetworkState::admit`] stores its trace
+    /// ([`NetworkState::last_decision_trace`]) and hands it to the
+    /// installed [`DecisionObserver`]; when off (the default) the
+    /// admission path builds nothing.
+    pub fn set_decision_tracing(&mut self, enabled: bool) {
+        self.trace_decisions = enabled;
+        if !enabled {
+            self.last_trace = None;
+        }
+    }
+
+    /// The trace of the most recent completed decision, if tracing is
+    /// on and at least one decision has completed since.
+    #[must_use]
+    pub fn last_decision_trace(&self) -> Option<&DecisionTrace> {
+        self.last_trace.as_ref()
     }
 
     /// Sets the logical clock stamped onto subsequent
@@ -443,30 +512,67 @@ impl NetworkState {
         v
     }
 
-    /// Evaluates all deadlines with the candidate at `(hs, hr)`.
-    /// Returns the per-connection reports if every deadline holds.
+    /// Evaluates all deadlines with the candidate at `(hs, hr)`,
+    /// keeping enough detail to attribute a failure: *which* path first
+    /// missed its deadline, or why no bound exists at all.
     fn feasible_with(
         &self,
         spec: &ConnectionSpec,
         hs: SyncBandwidth,
         hr: SyncBandwidth,
         cfg: &CacConfig,
-    ) -> Result<Option<Vec<PathReport>>, CacError> {
+    ) -> Result<FixedCheck, CacError> {
         let inputs = self.inputs_with(Some((spec, hs, hr)));
         match evaluate_paths(&self.net, &inputs, &cfg.eval)? {
-            EvalOutcome::Infeasible(_) => Ok(None),
+            EvalOutcome::Infeasible(detail) => Ok(FixedCheck::Unstable(detail)),
             EvalOutcome::Feasible(reports) => {
                 for (i, c) in self.active.iter().enumerate() {
                     if reports[i].total > c.spec.deadline {
-                        return Ok(None);
+                        return Ok(FixedCheck::DeadlineMiss {
+                            victim: Some(i),
+                            reports,
+                        });
                     }
                 }
                 if reports.last().expect("candidate included").total > spec.deadline {
-                    return Ok(None);
+                    return Ok(FixedCheck::DeadlineMiss {
+                        victim: None,
+                        reports,
+                    });
                 }
-                Ok(Some(reports))
+                Ok(FixedCheck::Feasible(reports))
             }
         }
+    }
+
+    /// Trace entries for `reports` evaluated against the current active
+    /// set plus the not-yet-admitted candidate as the last path.
+    fn traces_with_candidate(
+        &self,
+        reports: &[PathReport],
+        spec: &ConnectionSpec,
+    ) -> Vec<ConnectionTrace> {
+        let mut v: Vec<ConnectionTrace> = self
+            .active
+            .iter()
+            .zip(reports)
+            .map(|(c, r)| ConnectionTrace::new(Some(c.id), *r, c.spec.deadline))
+            .collect();
+        if let Some(last) = reports.get(self.active.len()) {
+            v.push(ConnectionTrace::new(None, *last, spec.deadline));
+        }
+        v
+    }
+
+    /// Trace entries for `reports` once the candidate has been
+    /// committed (the active set already includes it, last, with its
+    /// real id).
+    fn traces_committed(&self, reports: &[PathReport]) -> Vec<ConnectionTrace> {
+        self.active
+            .iter()
+            .zip(reports)
+            .map(|(c, r)| ConnectionTrace::new(Some(c.id), *r, c.spec.deadline))
+            .collect()
     }
 
     /// Decides one admission request under `opts` — the single entry
@@ -486,29 +592,65 @@ impl NetworkState {
         spec: ConnectionSpec,
         opts: &AdmissionOptions,
     ) -> Result<Decision, CacError> {
+        let _admit_span = obs::span("admit");
         // Keep a (cheap: Arc + copies) clone of the spec for the
         // observer; the impls consume `spec` on admission.
         let observed_spec = self.observer.is_some().then(|| spec.clone());
-        let decision = match opts.allocation {
-            AllocationPolicy::BetaSearch => self.admit_beta(spec, &opts.cac)?,
-            AllocationPolicy::Fixed { h_s, h_r } => self.admit_fixed(spec, h_s, h_r, &opts.cac)?,
+        let result = match opts.allocation {
+            AllocationPolicy::BetaSearch => self.admit_beta(spec, &opts.cac),
+            AllocationPolicy::Fixed { h_s, h_r } => self.admit_fixed(spec, h_s, h_r, &opts.cac),
+        };
+        let (decision, parts) = match result {
+            Ok(pair) => pair,
+            Err(e) => {
+                obs::event("admit_error", &[("kind", obs::FieldValue::Str(e.kind()))]);
+                return Err(e);
+            }
         };
         let seq = self.decision_seq;
         self.decision_seq += 1;
+        let cache = match opts.allocation {
+            AllocationPolicy::BetaSearch => self.last_cache_stats.unwrap_or_default(),
+            AllocationPolicy::Fixed { .. } => CacheStats::default(),
+        };
+        // `parts` is `Some` iff tracing is on, so a disabled state never
+        // retains a stale trace.
+        self.last_trace = parts.map(|p| DecisionTrace {
+            seq,
+            at: self.clock,
+            admitted: decision.is_admitted(),
+            allocation: p.allocation,
+            connections: p.connections,
+            binding: p.binding,
+            cache,
+        });
+        obs::event(
+            "decision",
+            &[
+                ("seq", obs::FieldValue::U64(seq)),
+                ("admitted", obs::FieldValue::Bool(decision.is_admitted())),
+                (
+                    "binding",
+                    obs::FieldValue::Str(
+                        self.last_trace
+                            .as_ref()
+                            .and_then(|t| t.binding.as_ref())
+                            .map_or("", BindingConstraint::kind),
+                    ),
+                ),
+            ],
+        );
         if let Some(spec) = observed_spec {
-            let cache = match opts.allocation {
-                AllocationPolicy::BetaSearch => self.last_cache_stats.unwrap_or_default(),
-                AllocationPolicy::Fixed { .. } => CacheStats::default(),
-            };
-            if let Some(mut obs) = self.observer.take() {
-                obs.on_decision(&DecisionRecord {
+            if let Some(mut hook) = self.observer.take() {
+                hook.on_decision(&DecisionRecord {
                     seq,
                     at: self.clock,
                     spec: &spec,
                     decision: &decision,
                     cache,
+                    trace: self.last_trace.as_ref(),
                 });
-                self.observer = Some(obs);
+                self.observer = Some(hook);
             }
         }
         Ok(decision)
@@ -541,8 +683,13 @@ impl NetworkState {
     }
 
     /// The CAC of §5.3: β-search along the allocation line.
-    fn admit_beta(&mut self, spec: ConnectionSpec, cfg: &CacConfig) -> Result<Decision, CacError> {
+    fn admit_beta(
+        &mut self,
+        spec: ConnectionSpec,
+        cfg: &CacConfig,
+    ) -> Result<(Decision, Option<TraceParts>), CacError> {
         self.validate_spec(&spec)?;
+        let tracing = self.trace_decisions;
         let ring_s = self.net.ring(spec.source.ring);
         let ring_r = self.net.ring(spec.dest.ring);
 
@@ -552,16 +699,40 @@ impl NetworkState {
         let avail_s = self.available_on(spec.source.ring);
         let avail_r = self.available_on(spec.dest.ring);
         if avail_s < min_s.per_rotation() {
-            return Ok(Decision::Rejected(RejectReason::SourceBandwidthExhausted {
-                available: avail_s,
-                required: min_s.per_rotation(),
-            }));
+            let parts = tracing.then(|| TraceParts {
+                allocation: None,
+                connections: Vec::new(),
+                binding: Some(BindingConstraint::SourceBandwidth {
+                    ring: spec.source.ring.into(),
+                    available: avail_s,
+                    required: min_s.per_rotation(),
+                }),
+            });
+            return Ok((
+                Decision::Rejected(RejectReason::SourceBandwidthExhausted {
+                    available: avail_s,
+                    required: min_s.per_rotation(),
+                }),
+                parts,
+            ));
         }
         if avail_r < min_r.per_rotation() {
-            return Ok(Decision::Rejected(RejectReason::DestBandwidthExhausted {
-                available: avail_r,
-                required: min_r.per_rotation(),
-            }));
+            let parts = tracing.then(|| TraceParts {
+                allocation: None,
+                connections: Vec::new(),
+                binding: Some(BindingConstraint::DestBandwidth {
+                    ring: spec.dest.ring.into(),
+                    available: avail_r,
+                    required: min_r.per_rotation(),
+                }),
+            });
+            return Ok((
+                Decision::Rejected(RejectReason::DestBandwidthExhausted {
+                    available: avail_r,
+                    required: min_r.per_rotation(),
+                }),
+                parts,
+            ));
         }
         let max_s = SyncBandwidth::new(avail_s);
         let max_r = SyncBandwidth::new(avail_r);
@@ -592,7 +763,7 @@ impl NetworkState {
         // or error) before the evaluator is dropped.
         enum Search {
             Chosen(SyncBandwidth, SyncBandwidth, Vec<PathReport>),
-            Reject(RejectReason),
+            Reject(RejectReason, Option<TraceParts>),
         }
         let searched: Result<Search, CacError> = (|| {
             // Step 2: the feasible region is empty unless the maximum works —
@@ -601,22 +772,53 @@ impl NetworkState {
             // smaller allocation the searches will visit.
             let reports_at_max = match ev.evaluate_full(&mk_inputs(max_s, max_r))? {
                 EvalOutcome::Infeasible(detail) => {
-                    return Ok(Search::Reject(RejectReason::InfeasibleAtMaximum { detail }))
+                    let parts = tracing.then(|| TraceParts {
+                        allocation: Some((max_s, max_r)),
+                        connections: Vec::new(),
+                        binding: Some(BindingConstraint::ServerUnstable {
+                            detail: detail.clone(),
+                        }),
+                    });
+                    return Ok(Search::Reject(
+                        RejectReason::InfeasibleAtMaximum { detail },
+                        parts,
+                    ));
                 }
                 EvalOutcome::Feasible(reports) => reports,
             };
             for (i, c) in self.active.iter().enumerate() {
                 if reports_at_max[i].total > c.spec.deadline {
-                    return Ok(Search::Reject(RejectReason::InfeasibleAtMaximum {
-                        detail: format!("existing {} would miss its deadline", c.id),
-                    }));
+                    let parts = tracing.then(|| TraceParts {
+                        allocation: Some((max_s, max_r)),
+                        connections: self.traces_with_candidate(&reports_at_max, &spec),
+                        binding: Some(deadline_binding(
+                            Some(c.id),
+                            &reports_at_max[i],
+                            c.spec.deadline,
+                        )),
+                    });
+                    return Ok(Search::Reject(
+                        RejectReason::InfeasibleAtMaximum {
+                            detail: format!("existing {} would miss its deadline", c.id),
+                        },
+                        parts,
+                    ));
                 }
             }
-            if reports_at_max.last().expect("candidate included").total > spec.deadline {
-                return Ok(Search::Reject(RejectReason::InfeasibleAtMaximum {
-                    detail: "requesting connection misses its deadline at (H_S^max, H_R^max)"
-                        .into(),
-                }));
+            let candidate_at_max = *reports_at_max.last().expect("candidate included");
+            if candidate_at_max.total > spec.deadline {
+                let parts = tracing.then(|| TraceParts {
+                    allocation: Some((max_s, max_r)),
+                    connections: self.traces_with_candidate(&reports_at_max, &spec),
+                    binding: Some(deadline_binding(None, &candidate_at_max, spec.deadline)),
+                });
+                return Ok(Search::Reject(
+                    RejectReason::InfeasibleAtMaximum {
+                        detail: "requesting connection misses its deadline at (H_S^max, H_R^max)"
+                            .into(),
+                    },
+                    parts,
+                ));
             }
 
             // Reference signature at the maximum, for the eq.-31/32 test.
@@ -626,7 +828,17 @@ impl NetworkState {
                     mux_delays,
                 } => (candidate.total, mux_delays),
                 CandidateOutcome::Infeasible(detail) => {
-                    return Ok(Search::Reject(RejectReason::InfeasibleAtMaximum { detail }))
+                    let parts = tracing.then(|| TraceParts {
+                        allocation: Some((max_s, max_r)),
+                        connections: self.traces_with_candidate(&reports_at_max, &spec),
+                        binding: Some(BindingConstraint::ServerUnstable {
+                            detail: detail.clone(),
+                        }),
+                    });
+                    return Ok(Search::Reject(
+                        RejectReason::InfeasibleAtMaximum { detail },
+                        parts,
+                    ));
                 }
             };
 
@@ -734,9 +946,21 @@ impl NetworkState {
             }
             match chosen {
                 Some((h_s, h_r, reports)) => Ok(Search::Chosen(h_s, h_r, reports)),
-                None => Ok(Search::Reject(RejectReason::InfeasibleAtMaximum {
-                    detail: "allocation search failed to verify (numerical)".into(),
-                })),
+                None => {
+                    let parts = tracing.then(|| TraceParts {
+                        allocation: Some((max_s, max_r)),
+                        connections: self.traces_with_candidate(&reports_at_max, &spec),
+                        binding: Some(BindingConstraint::ServerUnstable {
+                            detail: "allocation search failed to verify (numerical)".into(),
+                        }),
+                    });
+                    Ok(Search::Reject(
+                        RejectReason::InfeasibleAtMaximum {
+                            detail: "allocation search failed to verify (numerical)".into(),
+                        },
+                        parts,
+                    ))
+                }
             }
         })();
         let stats = ev.cache_stats();
@@ -747,7 +971,7 @@ impl NetworkState {
         }
         let (h_s, h_r, reports) = match searched? {
             Search::Chosen(h_s, h_r, reports) => (h_s, h_r, reports),
-            Search::Reject(reason) => return Ok(Decision::Rejected(reason)),
+            Search::Reject(reason, parts) => return Ok((Decision::Rejected(reason), parts)),
         };
 
         // Commit (the admission changes the active set, so the carried
@@ -772,12 +996,22 @@ impl NetworkState {
             h_r,
             delay_bound,
         });
-        Ok(Decision::Admitted {
-            id,
-            h_s,
-            h_r,
-            delay_bound,
-        })
+        // Build the trace after the push so the candidate's entry (the
+        // last) carries its real id.
+        let parts = tracing.then(|| TraceParts {
+            allocation: Some((h_s, h_r)),
+            connections: self.traces_committed(&reports),
+            binding: None,
+        });
+        Ok((
+            Decision::Admitted {
+                id,
+                h_s,
+                h_r,
+                delay_bound,
+            },
+            parts,
+        ))
     }
 
     /// Admits a connection at a *fixed* allocation if (and only if) all
@@ -788,26 +1022,89 @@ impl NetworkState {
         h_s: SyncBandwidth,
         h_r: SyncBandwidth,
         cfg: &CacConfig,
-    ) -> Result<Decision, CacError> {
+    ) -> Result<(Decision, Option<TraceParts>), CacError> {
         self.validate_spec(&spec)?;
+        let tracing = self.trace_decisions;
         let avail_s = self.available_on(spec.source.ring);
         let avail_r = self.available_on(spec.dest.ring);
         if h_s.per_rotation() > avail_s {
-            return Ok(Decision::Rejected(RejectReason::SourceBandwidthExhausted {
-                available: avail_s,
-                required: h_s.per_rotation(),
-            }));
+            let parts = tracing.then(|| TraceParts {
+                allocation: None,
+                connections: Vec::new(),
+                binding: Some(BindingConstraint::SourceBandwidth {
+                    ring: spec.source.ring.into(),
+                    available: avail_s,
+                    required: h_s.per_rotation(),
+                }),
+            });
+            return Ok((
+                Decision::Rejected(RejectReason::SourceBandwidthExhausted {
+                    available: avail_s,
+                    required: h_s.per_rotation(),
+                }),
+                parts,
+            ));
         }
         if h_r.per_rotation() > avail_r {
-            return Ok(Decision::Rejected(RejectReason::DestBandwidthExhausted {
-                available: avail_r,
-                required: h_r.per_rotation(),
-            }));
+            let parts = tracing.then(|| TraceParts {
+                allocation: None,
+                connections: Vec::new(),
+                binding: Some(BindingConstraint::DestBandwidth {
+                    ring: spec.dest.ring.into(),
+                    available: avail_r,
+                    required: h_r.per_rotation(),
+                }),
+            });
+            return Ok((
+                Decision::Rejected(RejectReason::DestBandwidthExhausted {
+                    available: avail_r,
+                    required: h_r.per_rotation(),
+                }),
+                parts,
+            ));
         }
-        let Some(reports) = self.feasible_with(&spec, h_s, h_r, cfg)? else {
-            return Ok(Decision::Rejected(RejectReason::InfeasibleAtMaximum {
-                detail: "deadline violated at the fixed allocation".into(),
-            }));
+        let reports = match self.feasible_with(&spec, h_s, h_r, cfg)? {
+            FixedCheck::Feasible(reports) => reports,
+            FixedCheck::Unstable(detail) => {
+                let parts = tracing.then(|| TraceParts {
+                    allocation: Some((h_s, h_r)),
+                    connections: Vec::new(),
+                    binding: Some(BindingConstraint::ServerUnstable {
+                        detail: detail.clone(),
+                    }),
+                });
+                return Ok((
+                    Decision::Rejected(RejectReason::InfeasibleAtMaximum { detail }),
+                    parts,
+                ));
+            }
+            FixedCheck::DeadlineMiss { victim, reports } => {
+                let parts = tracing.then(|| {
+                    let binding = match victim {
+                        Some(i) => deadline_binding(
+                            Some(self.active[i].id),
+                            &reports[i],
+                            self.active[i].spec.deadline,
+                        ),
+                        None => deadline_binding(
+                            None,
+                            reports.last().expect("candidate included"),
+                            spec.deadline,
+                        ),
+                    };
+                    TraceParts {
+                        allocation: Some((h_s, h_r)),
+                        connections: self.traces_with_candidate(&reports, &spec),
+                        binding: Some(binding),
+                    }
+                });
+                return Ok((
+                    Decision::Rejected(RejectReason::InfeasibleAtMaximum {
+                        detail: "deadline violated at the fixed allocation".into(),
+                    }),
+                    parts,
+                ));
+            }
         };
         self.eval_cache = None;
         let id = ConnectionId(self.next_id);
@@ -830,12 +1127,20 @@ impl NetworkState {
             h_r,
             delay_bound,
         });
-        Ok(Decision::Admitted {
-            id,
-            h_s,
-            h_r,
-            delay_bound,
-        })
+        let parts = tracing.then(|| TraceParts {
+            allocation: Some((h_s, h_r)),
+            connections: self.traces_committed(&reports),
+            binding: None,
+        });
+        Ok((
+            Decision::Admitted {
+                id,
+                h_s,
+                h_r,
+                delay_bound,
+            },
+            parts,
+        ))
     }
 
     /// Tears down an active connection, releasing its allocations.
@@ -1333,6 +1638,152 @@ mod tests {
         assert_eq!(seen.len(), 2);
         assert_eq!(seen[0], (0, 1.5, true));
         assert_eq!(seen[1], (1, 2.5, false));
+    }
+
+    #[test]
+    fn decision_tracing_explains_admits_and_rejects() {
+        let mut s = state();
+        let cfg = CacConfig::fast();
+        // Off by default: decisions leave no trace.
+        assert!(s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap().is_admitted());
+        assert!(s.last_decision_trace().is_none());
+
+        s.set_decision_tracing(true);
+        // Admit: allocation recorded, candidate entry last with its id,
+        // nonnegative slack, no binding constraint.
+        let d = s.admit(spec((1, 0), (2, 0), 120.0), &cfg.clone().into()).unwrap();
+        let Decision::Admitted { id, h_s, delay_bound, .. } = d else {
+            panic!("expected admission")
+        };
+        let t = s.last_decision_trace().expect("trace recorded").clone();
+        assert!(t.admitted);
+        assert_eq!(t.seq, 1);
+        assert!(t.binding.is_none());
+        let (th_s, _) = t.allocation.expect("allocation recorded");
+        assert_eq!(
+            th_s.per_rotation().value().to_bits(),
+            h_s.per_rotation().value().to_bits()
+        );
+        assert_eq!(t.connections.len(), s.active().len());
+        let cand = t.candidate().expect("candidate entry");
+        assert_eq!(cand.id, Some(id));
+        assert_eq!(
+            cand.report.total.value().to_bits(),
+            delay_bound.value().to_bits()
+        );
+        assert!(!cand.slack.is_negative());
+        assert!(t.cache.stage1_hits > 0 || t.cache.stage1_misses > 0);
+
+        // Reject (deadline): the binding constraint names the candidate
+        // (no id) and a dominant stage, with positive excess.
+        let d = s.admit(spec((0, 1), (1, 1), 1.0), &cfg.clone().into()).unwrap();
+        assert!(!d.is_admitted());
+        let t = s.last_decision_trace().expect("trace recorded");
+        assert!(!t.admitted);
+        match t.binding.as_ref().expect("reject names a constraint") {
+            BindingConstraint::DeadlineExceeded {
+                connection,
+                excess,
+                deadline,
+                delay,
+                ..
+            } => {
+                assert_eq!(*connection, None);
+                assert!(excess.value() > 0.0);
+                assert!((delay.value() - deadline.value() - excess.value()).abs() < 1e-12);
+            }
+            other => panic!("unexpected binding: {other:?}"),
+        }
+        assert_eq!(t.candidate().expect("evaluated paths").id, None);
+        assert!(t.candidate().unwrap().slack.is_negative());
+        assert!(!t.to_json_line().is_empty());
+
+        // Disabling clears the stored trace.
+        s.set_decision_tracing(false);
+        assert!(s.last_decision_trace().is_none());
+    }
+
+    #[test]
+    fn fixed_rejects_carry_bindings_too() {
+        let mut s = state();
+        s.set_decision_tracing(true);
+        let cfg = CacConfig::default();
+        // Oversized: source-bandwidth binding.
+        let whole = SyncBandwidth::new(Seconds::from_millis(8.0));
+        let d = s
+            .admit(
+                spec((0, 0), (1, 0), 100.0),
+                &AdmissionOptions::fixed(cfg.clone(), whole, whole),
+            )
+            .unwrap();
+        assert!(!d.is_admitted());
+        let t = s.last_decision_trace().unwrap();
+        assert!(matches!(
+            t.binding,
+            Some(BindingConstraint::SourceBandwidth { .. })
+        ));
+        assert!(t.allocation.is_none());
+
+        // Undersized: at 200 us per rotation the source MAC can't even
+        // keep up with the arrival rate — the binding pinpoints the
+        // unstable server rather than a bare "infeasible".
+        let tiny = SyncBandwidth::new(Seconds::from_micros(200.0));
+        let d = s
+            .admit(
+                spec((0, 0), (1, 0), 100.0),
+                &AdmissionOptions::fixed(cfg.clone(), tiny, tiny),
+            )
+            .unwrap();
+        assert!(!d.is_admitted());
+        let t = s.last_decision_trace().unwrap();
+        match t.binding.as_ref().expect("binding named") {
+            BindingConstraint::ServerUnstable { detail } => {
+                assert!(detail.contains("unstable"), "{detail}");
+            }
+            other => panic!("unexpected binding: {other:?}"),
+        }
+        // Fixed admissions trace too, with all-zero cache counters.
+        let h = SyncBandwidth::new(Seconds::from_millis(2.4));
+        let d = s
+            .admit(
+                spec((0, 0), (1, 0), 100.0),
+                &AdmissionOptions::fixed(cfg, h, h),
+            )
+            .unwrap();
+        assert!(d.is_admitted());
+        let t = s.last_decision_trace().unwrap();
+        assert!(t.admitted && t.binding.is_none());
+        assert_eq!(t.cache, CacheStats::default());
+        assert!(t.candidate().unwrap().id.is_some());
+    }
+
+    #[test]
+    fn observer_receives_the_trace_when_tracing() {
+        use std::sync::Mutex;
+        type Seen = Arc<Mutex<Vec<(u64, bool, Option<String>)>>>;
+        struct Recorder(Seen);
+        impl DecisionObserver for Recorder {
+            fn on_decision(&mut self, r: &DecisionRecord<'_>) {
+                self.0.lock().unwrap().push((
+                    r.seq,
+                    r.trace.is_some(),
+                    r.trace
+                        .and_then(|t| t.binding.as_ref())
+                        .map(|b| b.kind().to_string()),
+                ));
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut s = state();
+        let cfg = CacConfig::fast();
+        s.set_observer(Some(Box::new(Recorder(Arc::clone(&seen)))));
+        s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap();
+        s.set_decision_tracing(true);
+        s.admit(spec((0, 1), (1, 1), 1.0), &cfg.clone().into()).unwrap();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (0, false, None));
+        assert_eq!(seen[1], (1, true, Some("deadline".into())));
     }
 
     /// The deprecated wrappers must stay thin: bit-identical decisions

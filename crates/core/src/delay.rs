@@ -58,6 +58,7 @@ use hetnet_fddi::mac::{analyze_fddi_mac, DelayOutcome};
 use hetnet_fddi::ring::SyncBandwidth;
 use hetnet_fddi::{frames, FddiError};
 use hetnet_ifdev::{reassemble_envelope, segment_envelope};
+use hetnet_obs as obs;
 use hetnet_traffic::analysis::AnalysisConfig;
 use hetnet_traffic::combinators::Sampled;
 use hetnet_traffic::envelope::SharedEnvelope;
@@ -192,6 +193,17 @@ enum MuxKey {
     Backbone(usize),
     /// The egress switch's port onto the access link toward a device.
     Downlink(usize),
+}
+
+impl MuxKey {
+    /// `(kind, index)` as stable trace labels.
+    fn parts(self) -> (&'static str, usize) {
+        match self {
+            Self::Uplink(i) => ("uplink", i),
+            Self::Backbone(i) => ("backbone", i),
+            Self::Downlink(i) => ("downlink", i),
+        }
+    }
 }
 
 /// Cached sender-side analysis of one (envelope, ring, H_S) triple.
@@ -560,9 +572,23 @@ impl<'a> Evaluator<'a> {
         };
         if let Some(hit) = self.cache.stage1.get(&key) {
             self.stats.stage1_hits += 1;
+            obs::event(
+                "stage1",
+                &[
+                    ("ring", obs::FieldValue::U64(p.source.ring as u64)),
+                    ("hit", obs::FieldValue::Bool(true)),
+                ],
+            );
             return Ok(hit.result.clone());
         }
         self.stats.stage1_misses += 1;
+        obs::event(
+            "stage1",
+            &[
+                ("ring", obs::FieldValue::U64(p.source.ring as u64)),
+                ("hit", obs::FieldValue::Bool(false)),
+            ],
+        );
         let ring = self.net.ring(p.source.ring);
         let computed = if p.h_s.per_rotation().value() <= 0.0 {
             Stage1::Infeasible("zero synchronous allocation".into())
@@ -708,6 +734,21 @@ impl<'a> Evaluator<'a> {
                     let sig = s.hop_sigs[pi as usize][hi as usize];
                     s.key_sigs.push(sig);
                 }
+                let (mux_kind, mux_index) = key.parts();
+                let mux_event = |hit: bool, delay: Option<Seconds>| {
+                    obs::event(
+                        if delay.is_some() { "mux" } else { "mux_infeasible" },
+                        &[
+                            ("kind", obs::FieldValue::Str(mux_kind)),
+                            ("index", obs::FieldValue::U64(mux_index as u64)),
+                            ("hit", obs::FieldValue::Bool(hit)),
+                            (
+                                "delay_s",
+                                obs::FieldValue::F64(delay.map_or(f64::NAN, Seconds::value)),
+                            ),
+                        ],
+                    );
+                };
                 let report = match self
                     .cache
                     .mux
@@ -716,10 +757,12 @@ impl<'a> Evaluator<'a> {
                 {
                     Some(MuxCached::Ready(r)) => {
                         self.stats.mux_hits += 1;
+                        mux_event(true, Some(r.delay_bound));
                         *r
                     }
                     Some(MuxCached::Infeasible(msg)) => {
                         self.stats.mux_hits += 1;
+                        mux_event(true, None);
                         return Ok(Some(msg.clone()));
                     }
                     None => {
@@ -735,6 +778,7 @@ impl<'a> Evaluator<'a> {
                                     .entry(key)
                                     .or_default()
                                     .insert(Box::from(s.key_sigs.as_slice()), MuxCached::Ready(r));
+                                mux_event(false, Some(r.delay_bound));
                                 r
                             }
                             Err(AtmError::Analysis(e)) => {
@@ -743,6 +787,7 @@ impl<'a> Evaluator<'a> {
                                     Box::from(s.key_sigs.as_slice()),
                                     MuxCached::Infeasible(msg.clone()),
                                 );
+                                mux_event(false, None);
                                 return Ok(Some(msg));
                             }
                             Err(e) => return Err(e.into()),
@@ -858,6 +903,7 @@ impl<'a> Evaluator<'a> {
     /// [`CacError`] for malformed inputs; instability yields
     /// `Ok(EvalOutcome::Infeasible)`.
     pub fn evaluate_full(&mut self, paths: &[PathInput]) -> Result<EvalOutcome, CacError> {
+        let _span = obs::span("evaluate_full");
         self.validate(paths)?;
         if paths.is_empty() {
             return Ok(EvalOutcome::Feasible(Vec::new()));
@@ -892,6 +938,7 @@ impl<'a> Evaluator<'a> {
         &mut self,
         paths: &[PathInput],
     ) -> Result<CandidateOutcome, CacError> {
+        let _span = obs::span("evaluate_candidate");
         assert!(!paths.is_empty(), "candidate evaluation needs paths");
         self.validate(paths)?;
         if let Some(msg) = self.resolve(paths)? {
@@ -1301,5 +1348,70 @@ mod tests {
             ev.evaluate_candidate(&paths).unwrap(),
             CandidateOutcome::Infeasible(_)
         ));
+    }
+
+    /// With zero lookups the hit rates are a well-defined 0.0, not the
+    /// 0/0 NaN that would poison every JSON report they feed.
+    #[test]
+    fn hit_rates_are_zero_not_nan_without_lookups() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.stage1_hit_rate(), 0.0);
+        assert_eq!(stats.mux_hit_rate(), 0.0);
+        // A fresh evaluator that never evaluated reports the same.
+        let network = net();
+        let ev = Evaluator::new(&network, EvalConfig::default());
+        let fresh = ev.cache_stats();
+        assert!(!fresh.stage1_hit_rate().is_nan());
+        assert!(!fresh.mux_hit_rate().is_nan());
+        // One-sided counters stay finite and in range too.
+        let hits_only = CacheStats {
+            stage1_hits: 3,
+            ..CacheStats::default()
+        };
+        assert_eq!(hits_only.stage1_hit_rate(), 1.0);
+        assert_eq!(hits_only.mux_hit_rate(), 0.0);
+        let misses_only = CacheStats {
+            mux_misses: 4,
+            ..CacheStats::default()
+        };
+        assert_eq!(misses_only.mux_hit_rate(), 0.0);
+    }
+
+    /// The evaluator narrates its cache behaviour: one `stage1` event
+    /// per lookup and one `mux` event per port probe, each tagged with
+    /// hit/miss, matching [`CacheStats`] exactly.
+    #[test]
+    fn evaluator_emits_cache_attribution_events() {
+        let network = net();
+        let p = path((0, 0), (1, 0), 2.4, 2.4);
+        let (stats, trace) = obs::collect(4096, || {
+            let mut ev = Evaluator::new(&network, EvalConfig::fast());
+            let _ = ev.evaluate_full(std::slice::from_ref(&p)).unwrap();
+            let _ = ev.evaluate_full(std::slice::from_ref(&p)).unwrap();
+            ev.cache_stats()
+        });
+        let count = |name: &str, hit: bool| {
+            trace
+                .records()
+                .iter()
+                .filter(|r| {
+                    r.name == name
+                        && r.fields
+                            .iter()
+                            .any(|(k, v)| *k == "hit" && *v == obs::FieldValue::Bool(hit))
+                })
+                .count() as u64
+        };
+        assert_eq!(count("stage1", true), stats.stage1_hits);
+        assert_eq!(count("stage1", false), stats.stage1_misses);
+        assert_eq!(count("mux", true), stats.mux_hits);
+        assert_eq!(count("mux", false), stats.mux_misses);
+        // Both evaluations ran under an `evaluate_full` span.
+        let spans = trace
+            .records()
+            .iter()
+            .filter(|r| r.kind == obs::RecordKind::SpanStart && r.name == "evaluate_full")
+            .count();
+        assert_eq!(spans, 2);
     }
 }

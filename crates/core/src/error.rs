@@ -27,6 +27,22 @@ pub enum CacError {
     Substrate(String),
 }
 
+impl CacError {
+    /// Stable lowercase tag for metrics and trace labels
+    /// (`"invalid_network"`, `"invalid_request"`, `"unknown_connection"`,
+    /// `"substrate"`). Unlike `Display`, the tag carries no free-form
+    /// detail, so counters keyed by it stay low-cardinality.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::InvalidNetwork(_) => "invalid_network",
+            Self::InvalidRequest(_) => "invalid_request",
+            Self::UnknownConnection(_) => "unknown_connection",
+            Self::Substrate(_) => "substrate",
+        }
+    }
+}
+
 impl fmt::Display for CacError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -61,6 +77,17 @@ impl From<TrafficError> for CacError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kind_tags_are_stable_and_detail_free() {
+        assert_eq!(CacError::InvalidNetwork("x".into()).kind(), "invalid_network");
+        assert_eq!(CacError::InvalidRequest("y".into()).kind(), "invalid_request");
+        assert_eq!(
+            CacError::UnknownConnection(ConnectionId(3)).kind(),
+            "unknown_connection"
+        );
+        assert_eq!(CacError::Substrate("z".into()).kind(), "substrate");
+    }
 
     #[test]
     fn display_variants() {

@@ -75,6 +75,7 @@ pub mod error;
 pub mod experiment;
 pub mod network;
 pub mod region;
+pub mod trace;
 
 pub use cac::{
     AdmissionOptions, AllocationPolicy, CacConfig, Decision, DecisionObserver, DecisionRecord,
@@ -82,4 +83,5 @@ pub use cac::{
 };
 pub use connection::{ConnectionId, ConnectionSpec, ConnectionSpecBuilder};
 pub use error::CacError;
-pub use network::{HetNetwork, HostId, RingId};
+pub use network::{HetNetwork, HostId, RingId, TopologySummary};
+pub use trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};

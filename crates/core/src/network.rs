@@ -76,6 +76,32 @@ impl fmt::Display for HostId {
     }
 }
 
+/// Compact shape of a [`HetNetwork`], for trace labels and reports.
+///
+/// Carries only counts — enough to identify *which* topology produced a
+/// trace or report without serialising the full configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopologySummary {
+    /// Number of FDDI rings.
+    pub rings: usize,
+    /// Hosts per ring (the interface device is an extra station).
+    pub hosts_per_ring: usize,
+    /// Backbone switch count.
+    pub switches: usize,
+    /// Backbone link count.
+    pub links: usize,
+}
+
+impl fmt::Display for TopologySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rings x {} hosts, {} switches, {} links",
+            self.rings, self.hosts_per_ring, self.switches, self.links
+        )
+    }
+}
+
 /// The FDDI-ATM-FDDI heterogeneous network.
 ///
 /// Ring `i` attaches through interface device `i` (an extra station on
@@ -287,6 +313,17 @@ impl HetNetwork {
             })
     }
 
+    /// The compact shape of this network, for trace labels and reports.
+    #[must_use]
+    pub fn summary(&self) -> TopologySummary {
+        TopologySummary {
+            rings: self.rings.len(),
+            hosts_per_ring: self.hosts_per_ring,
+            switches: self.backbone.switch_count(),
+            links: self.backbone.link_count(),
+        }
+    }
+
     /// Whether a host id refers to a real host.
     #[must_use]
     pub fn contains(&self, host: HostId) -> bool {
@@ -401,6 +438,21 @@ mod tests {
         assert_eq!(format!("{}", RingId(1)), "ring-1");
         let host = HostId { ring: 2, station: 0 };
         assert_eq!(host.ring_id(), RingId(2));
+    }
+
+    #[test]
+    fn topology_summary_counts_and_label() {
+        let s = HetNetwork::paper_topology().summary();
+        assert_eq!(
+            s,
+            TopologySummary {
+                rings: 3,
+                hosts_per_ring: 4,
+                switches: 3,
+                links: 6
+            }
+        );
+        assert_eq!(s.to_string(), "3 rings x 4 hosts, 3 switches, 6 links");
     }
 
     #[test]

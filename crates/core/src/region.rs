@@ -36,6 +36,7 @@ use crate::delay::{CacheStats, CandidateOutcome, Evaluator, PathInput};
 use crate::error::CacError;
 use crate::network::HetNetwork;
 use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_obs as obs;
 use hetnet_traffic::units::Seconds;
 use std::sync::Arc;
 
@@ -426,6 +427,7 @@ pub fn sample_region_frontier(
     grid: usize,
     cfg: &CacConfig,
 ) -> Result<RegionSample, CacError> {
+    let _span = obs::span("sample_region_frontier");
     let (h_s, h_r, mut inputs) =
         sweep_setup(net, active, spec, available_s, available_r, grid, cfg)?;
     let mut ev = Evaluator::new(net, cfg.eval.clone());
@@ -471,6 +473,19 @@ fn eval_memo(
     Ok(v)
 }
 
+/// One gallop/bisect probe, narrated for the tracing layer.
+fn step_event(name: &'static str, side: &'static str, r: usize, c: usize, feasible: bool) {
+    obs::event(
+        name,
+        &[
+            ("row", obs::FieldValue::U64(r as u64)),
+            ("col", obs::FieldValue::U64(c as u64)),
+            ("side", obs::FieldValue::Str(side)),
+            ("feasible", obs::FieldValue::Bool(feasible)),
+        ],
+    );
+}
+
 /// Leftmost feasible column of row `r`, bracketed from the known
 /// feasible `good`: gallop left with doubling steps to find an
 /// infeasible cell (seeding from the previous row's endpoint makes the
@@ -490,7 +505,9 @@ fn left_end(
     let mut step = 1usize;
     let mut bad = loop {
         let probe = good.saturating_sub(step);
-        if eval_memo(memo, evals, oracle, grid, r, probe)? {
+        let feasible = eval_memo(memo, evals, oracle, grid, r, probe)?;
+        step_event("gallop_step", "left", r, probe, feasible);
+        if feasible {
             good = probe;
             if good == 0 {
                 return Ok(0);
@@ -502,7 +519,9 @@ fn left_end(
     };
     while good - bad > 1 {
         let mid = bad + (good - bad) / 2;
-        if eval_memo(memo, evals, oracle, grid, r, mid)? {
+        let feasible = eval_memo(memo, evals, oracle, grid, r, mid)?;
+        step_event("bisect_step", "left", r, mid, feasible);
+        if feasible {
             good = mid;
         } else {
             bad = mid;
@@ -524,14 +543,18 @@ fn right_end(
     r: usize,
     mut good: usize,
 ) -> Result<usize, CacError> {
-    if eval_memo(memo, evals, oracle, grid, r, grid - 1)? {
+    let edge = eval_memo(memo, evals, oracle, grid, r, grid - 1)?;
+    step_event("gallop_step", "right", r, grid - 1, edge);
+    if edge {
         return Ok(grid - 1);
     }
     let mut bad = grid - 1;
     let mut step = 1usize;
     while bad - good > 1 {
         let probe = (good + step).min(bad - 1);
-        if eval_memo(memo, evals, oracle, grid, r, probe)? {
+        let feasible = eval_memo(memo, evals, oracle, grid, r, probe)?;
+        step_event("gallop_step", "right", r, probe, feasible);
+        if feasible {
             good = probe;
             step = step.saturating_mul(2);
         } else {
@@ -541,7 +564,9 @@ fn right_end(
     }
     while bad - good > 1 {
         let mid = good + (bad - good) / 2;
-        if eval_memo(memo, evals, oracle, grid, r, mid)? {
+        let feasible = eval_memo(memo, evals, oracle, grid, r, mid)?;
+        step_event("bisect_step", "right", r, mid, feasible);
+        if feasible {
             good = mid;
         } else {
             bad = mid;
@@ -561,6 +586,7 @@ fn trace_frontier(
     let mut runs = Vec::with_capacity(grid);
     let mut prev: Option<(usize, usize)> = None;
     for r in 0..grid {
+        let evals_before = *evals;
         // Pivot discovery: the staircase widens upward, so the previous
         // row's run (left endpoint first — it anchors the cheap gallop)
         // is feasible here too; the right edge is the fallback seed and
@@ -577,15 +603,25 @@ fn trace_frontier(
         if pivot.is_none() && eval_memo(memo, evals, oracle, grid, r, grid - 1)? {
             pivot = Some(grid - 1);
         }
-        let Some(p) = pivot else {
-            runs.push((0, 0));
-            prev = None;
-            continue;
+        let run = match pivot {
+            Some(p) => {
+                let lo = left_end(memo, evals, oracle, grid, r, p)?;
+                let hi = right_end(memo, evals, oracle, grid, r, p)? + 1;
+                (lo, hi)
+            }
+            None => (0, 0),
         };
-        let lo = left_end(memo, evals, oracle, grid, r, p)?;
-        let hi = right_end(memo, evals, oracle, grid, r, p)? + 1;
-        runs.push((lo, hi));
-        prev = Some((lo, hi));
+        obs::event(
+            "frontier_row",
+            &[
+                ("row", obs::FieldValue::U64(r as u64)),
+                ("lo", obs::FieldValue::U64(run.0 as u64)),
+                ("hi", obs::FieldValue::U64(run.1 as u64)),
+                ("evals", obs::FieldValue::U64(*evals - evals_before)),
+            ],
+        );
+        runs.push(run);
+        prev = (run.1 > run.0).then_some(run);
     }
     Ok(runs)
 }
@@ -770,6 +806,56 @@ mod tests {
         // The sequential single evaluator reuses everything it can.
         assert!(seq.stats.stage1_hits > 0);
         assert!(seq.stats.mux_hits > 0);
+    }
+
+    /// The frontier tracer narrates its work: one `frontier_row` event
+    /// per row whose per-row eval counts sum to the sample's total, all
+    /// inside a `sample_region_frontier` span.
+    #[test]
+    fn frontier_emits_row_and_step_events() {
+        let net = HetNetwork::paper_topology();
+        let cfg = CacConfig::fast();
+        let grid = 7;
+        let (sample, trace) = obs::collect(1 << 16, || {
+            sample_region_frontier(
+                &net,
+                &[],
+                &spec(60.0),
+                Seconds::from_millis(7.2),
+                Seconds::from_millis(7.2),
+                grid,
+                &cfg,
+            )
+            .unwrap()
+        });
+        let field = |r: &obs::TraceRecord, key: &str| -> u64 {
+            r.fields
+                .iter()
+                .find_map(|(k, v)| match (k, v) {
+                    (k, obs::FieldValue::U64(v)) if *k == key => Some(*v),
+                    _ => None,
+                })
+                .expect("u64 field present")
+        };
+        let rows: Vec<&obs::TraceRecord> = trace
+            .records()
+            .iter()
+            .filter(|r| r.name == "frontier_row")
+            .collect();
+        assert_eq!(rows.len(), grid);
+        assert!(!sample.fell_back);
+        assert_eq!(
+            rows.iter().map(|r| field(r, "evals")).sum::<u64>(),
+            sample.evals
+        );
+        // Boundary searches leave gallop/bisect breadcrumbs.
+        assert!(trace.records().iter().any(|r| r.name == "gallop_step"));
+        let span_started = trace
+            .records()
+            .iter()
+            .any(|r| r.kind == obs::RecordKind::SpanStart && r.name == "sample_region_frontier");
+        assert!(span_started);
+        assert_eq!(trace.dropped(), 0);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property tests for [`hetnet_cac::trace::DecisionTrace`] invariants:
+//! whatever the workload, every traced decision must decompose its
+//! delay budget consistently (the five eq.-7 stage terms sum to the
+//! reported total), every admitted candidate must keep nonnegative
+//! slack, and every rejection must name its binding constraint.
+
+use hetnet_cac::cac::{AdmissionOptions, CacConfig, NetworkState};
+use hetnet_cac::connection::ConnectionSpec;
+use hetnet_cac::network::{HetNetwork, HostId};
+use hetnet_cac::trace::{BindingConstraint, ServerStage};
+use hetnet_traffic::models::DualPeriodicEnvelope;
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    // Each case drives several admissions through a fresh state; a
+    // couple dozen cases cover admits, deadline rejects, and
+    // bandwidth-exhaustion rejects across the deadline range.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn decision_traces_hold_their_invariants(
+        c1_mbit in 1.0_f64..2.5,
+        bursts in 4_usize..10,
+        deadline_ms in 2.0_f64..160.0,
+        requests in 3_usize..8,
+        seed in 0_usize..1000,
+    ) {
+        let env: hetnet_traffic::envelope::SharedEnvelope = Arc::new(
+            DualPeriodicEnvelope::new(
+                Bits::from_mbits(c1_mbit),
+                Seconds::from_millis(100.0),
+                Bits::from_mbits(c1_mbit / bursts as f64),
+                Seconds::from_millis(100.0 / bursts as f64),
+                BitsPerSec::from_mbps(100.0),
+            )
+            .expect("generated source valid"),
+        );
+        let opts = AdmissionOptions::beta_search(CacConfig::fast());
+        let mut s = NetworkState::new(HetNetwork::paper_topology());
+        s.set_decision_tracing(true);
+
+        for k in 0..requests {
+            let src_ring = (seed + k) % 3;
+            let spec = ConnectionSpec {
+                source: HostId { ring: src_ring, station: (seed / 3 + k) % 4 },
+                // Different ring by construction (same-ring is invalid).
+                dest: HostId { ring: (src_ring + 1 + k % 2) % 3, station: (seed / 7 + 2 * k) % 4 },
+                envelope: Arc::clone(&env),
+                deadline: Seconds::from_millis(deadline_ms * (1.0 + 0.25 * k as f64)),
+            };
+            let decision = s.admit(spec, &opts).expect("well-formed request");
+            let t = s.last_decision_trace().expect("tracing is on");
+            prop_assert_eq!(t.admitted, decision.is_admitted());
+
+            if t.admitted {
+                // Admit: committed allocation, no binding, a candidate
+                // entry with its id and nonnegative slack.
+                prop_assert!(t.binding.is_none());
+                prop_assert!(t.allocation.is_some());
+                let cand = t.candidate().expect("admit evaluated paths");
+                prop_assert!(cand.id.is_some());
+                prop_assert!(cand.slack.value() >= -1e-12, "slack {}", cand.slack);
+            } else {
+                // Reject: always a named binding constraint.
+                let b = t.binding.as_ref().expect("reject names a binding");
+                prop_assert!(
+                    matches!(
+                        b.kind(),
+                        "source_bandwidth" | "dest_bandwidth" | "deadline" | "unstable"
+                    ),
+                    "unknown binding kind {}",
+                    b.kind()
+                );
+                if let BindingConstraint::DeadlineExceeded { delay, deadline, excess, .. } = b {
+                    prop_assert!(excess.value() > 0.0);
+                    prop_assert!(
+                        (delay.value() - deadline.value() - excess.value()).abs() <= 1e-12
+                    );
+                }
+            }
+
+            for c in &t.connections {
+                // The five eq.-7 stage terms sum to the reported total
+                // (ulp-scaled tolerance: the total is the same sum
+                // computed once in the evaluator).
+                let sum: f64 = ServerStage::ALL
+                    .iter()
+                    .map(|stage| stage.of(&c.report).value())
+                    .sum();
+                let total = c.report.total.value();
+                let eps = 8.0 * f64::EPSILON * total.abs().max(1e-9);
+                prop_assert!((sum - total).abs() <= eps, "sum {sum} vs total {total}");
+                // Slack is exactly deadline minus total.
+                prop_assert!(
+                    (c.slack.value() - (c.deadline.value() - total)).abs() <= eps,
+                    "slack {} vs {} - {}", c.slack, c.deadline, c.report.total
+                );
+                // The dominant stage is the largest term.
+                for stage in ServerStage::ALL {
+                    prop_assert!(stage.of(&c.report) <= c.dominant.of(&c.report));
+                }
+            }
+
+            // The JSON-lines rendering stays a single well-delimited line.
+            let line = t.to_json_line();
+            prop_assert!(line.starts_with('{') && line.ends_with('}'));
+            prop_assert!(!line.contains('\n'));
+        }
+    }
+}

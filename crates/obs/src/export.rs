@@ -1,0 +1,201 @@
+//! Hand-written exporters for a collected [`Trace`].
+//!
+//! Two formats cover the two consumers the ISSUE names:
+//! [`Trace::to_json_lines`] for per-record forensics ("explain this
+//! rejection") and [`Trace::to_prometheus`] for scrape-style counters
+//! over a run.
+
+use crate::{FieldValue, RecordKind, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Appends `text` to `out` as a JSON string literal (quotes included).
+pub fn push_json_str(out: &mut String, text: &str) {
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_field_value(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::Str(v) => push_json_str(out, v),
+        FieldValue::Text(v) => push_json_str(out, v),
+    }
+}
+
+impl Trace {
+    /// One JSON object per record, one record per line:
+    ///
+    /// ```text
+    /// {"seq":0,"at_ns":120,"kind":"span_start","name":"admit","span":1,"fields":{}}
+    /// {"seq":1,"at_ns":480,"kind":"event","name":"stage1","span":1,"fields":{"ring":0,"hit":true}}
+    /// ```
+    ///
+    /// The line shape is fixed (six keys, this order); only the
+    /// `fields` object varies by record name. Non-finite floats export
+    /// as `null`.
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::with_capacity(self.records().len() * 96);
+        for r in self.records() {
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"at_ns\":{},\"kind\":\"{}\",\"name\":",
+                r.seq,
+                r.at_nanos,
+                r.kind.name()
+            );
+            push_json_str(&mut out, r.name);
+            let _ = write!(out, ",\"span\":{},\"fields\":{{", r.span);
+            for (i, (key, value)) in r.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, key);
+                out.push(':');
+                push_field_value(&mut out, value);
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+
+    /// Prometheus text exposition: event counts per name, span counts
+    /// and total durations per name (start/end pairs matched by span
+    /// id; unclosed spans count but contribute no duration), and the
+    /// ring-buffer drop counter. Output order is deterministic
+    /// (names sorted).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut events: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut spans: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new(); // count, sum ns
+        let mut open: BTreeMap<u64, u64> = BTreeMap::new(); // span id -> start ns
+        for r in self.records() {
+            match r.kind {
+                RecordKind::Event => *events.entry(r.name).or_insert(0) += 1,
+                RecordKind::SpanStart => {
+                    spans.entry(r.name).or_insert((0, 0)).0 += 1;
+                    open.insert(r.span, r.at_nanos);
+                }
+                RecordKind::SpanEnd => {
+                    // A start overwritten by the ring buffer leaves the
+                    // end unmatched; count the span, skip the duration.
+                    let entry = spans.entry(r.name).or_insert((0, 0));
+                    if let Some(start) = open.remove(&r.span) {
+                        entry.1 += r.at_nanos.saturating_sub(start);
+                    } else {
+                        entry.0 += 1;
+                    }
+                }
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str("# TYPE hetnet_obs_events_total counter\n");
+        for (name, count) in &events {
+            let _ = writeln!(out, "hetnet_obs_events_total{{name=\"{name}\"}} {count}");
+        }
+        out.push_str("# TYPE hetnet_obs_span_duration_seconds summary\n");
+        for (name, (count, sum_ns)) in &spans {
+            let _ = writeln!(
+                out,
+                "hetnet_obs_span_duration_seconds_count{{name=\"{name}\"}} {count}"
+            );
+            let _ = writeln!(
+                out,
+                "hetnet_obs_span_duration_seconds_sum{{name=\"{name}\"}} {:.9}",
+                *sum_ns as f64 * 1e-9
+            );
+        }
+        out.push_str("# TYPE hetnet_obs_dropped_records_total counter\n");
+        let _ = writeln!(out, "hetnet_obs_dropped_records_total {}", self.dropped());
+        out
+    }
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use crate::{collect, event, span, FieldValue};
+
+    fn sample() -> crate::Trace {
+        let ((), trace) = collect(64, || {
+            let _admit = span("admit");
+            event(
+                "stage1",
+                &[
+                    ("ring", FieldValue::U64(2)),
+                    ("hit", FieldValue::Bool(false)),
+                    ("delay_s", FieldValue::F64(0.0125)),
+                    ("kind", FieldValue::Str("uplink")),
+                    ("note", FieldValue::Text("a \"quoted\"\nmsg".into())),
+                    ("bad", FieldValue::F64(f64::NAN)),
+                    ("neg", FieldValue::I64(-3)),
+                ],
+            );
+            event("stage1", &[]);
+        });
+        trace
+    }
+
+    #[test]
+    fn json_lines_shape_and_escaping() {
+        let lines: Vec<String> = sample().to_json_lines().lines().map(String::from).collect();
+        assert_eq!(lines.len(), 4); // span start, two events, span end
+        for line in &lines {
+            assert!(line.starts_with("{\"seq\":"), "line {line}");
+            assert!(line.contains("\"kind\":\""));
+            assert!(line.ends_with("}}"), "line {line}");
+        }
+        let rich = &lines[1];
+        assert!(rich.contains("\"ring\":2"));
+        assert!(rich.contains("\"hit\":false"));
+        assert!(rich.contains("\"delay_s\":0.0125"));
+        assert!(rich.contains("\"kind\":\"uplink\""));
+        assert!(rich.contains("\"note\":\"a \\\"quoted\\\"\\nmsg\""));
+        assert!(rich.contains("\"bad\":null"));
+        assert!(rich.contains("\"neg\":-3"));
+    }
+
+    #[test]
+    fn prometheus_counts_and_durations() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("hetnet_obs_events_total{name=\"stage1\"} 2"));
+        assert!(text.contains("hetnet_obs_span_duration_seconds_count{name=\"admit\"} 1"));
+        assert!(text.contains("hetnet_obs_span_duration_seconds_sum{name=\"admit\"} "));
+        assert!(text.contains("hetnet_obs_dropped_records_total 0"));
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let trace = crate::Trace::default();
+        assert_eq!(trace.to_json_lines(), "");
+        assert!(trace
+            .to_prometheus()
+            .contains("hetnet_obs_dropped_records_total 0"));
+    }
+}

@@ -11,8 +11,10 @@
 //! the same event order.
 
 use crate::audit::{AuditEntry, AuditLog, AuditOutcome};
-use crate::metrics::{CacheGauges, DecisionCounters, LatencyHistogram, UtilizationSeries};
-use crate::report::{LatencySummary, ServiceReport};
+use crate::metrics::{
+    CacheGauges, DecisionCounters, DelayAttribution, LatencyHistogram, UtilizationSeries,
+};
+use crate::report::{LatencySummary, ServiceReport, StageDelaySummary};
 use hetnet_cac::cac::{AdmissionOptions, Decision, DecisionObserver, DecisionRecord, NetworkState};
 use hetnet_cac::connection::{ConnectionId, ConnectionSpec};
 use hetnet_cac::error::CacError;
@@ -37,6 +39,10 @@ pub struct ServiceConfig {
     /// Whether to carry the evaluator cache across decisions
     /// (admission-neutral; see the core crate's cache tests).
     pub persist_cache: bool,
+    /// Whether the state emits a [`hetnet_cac::trace::DecisionTrace`]
+    /// per decision, feeding the report's delay attribution. Admission-
+    /// neutral; costs one trace allocation per decision.
+    pub trace_decisions: bool,
 }
 
 impl ServiceConfig {
@@ -48,6 +54,7 @@ impl ServiceConfig {
             options: AdmissionOptions::default(),
             sample_period: 16,
             persist_cache: true,
+            trace_decisions: true,
         }
     }
 }
@@ -68,10 +75,12 @@ pub struct ServiceRun {
 }
 
 /// Streaming metrics consumer installed as the state's
-/// [`DecisionObserver`]: accumulates evaluator-cache gauges and checks
-/// the decision sequence stays gap-free.
+/// [`DecisionObserver`]: accumulates evaluator-cache gauges and the
+/// delay-budget attribution, and checks the decision sequence stays
+/// gap-free.
 struct MetricsHook {
     gauges: Arc<Mutex<CacheGauges>>,
+    attribution: Arc<Mutex<DelayAttribution>>,
     next_seq: u64,
 }
 
@@ -83,6 +92,12 @@ impl DecisionObserver for MetricsHook {
             .lock()
             .expect("gauges mutex poisoned")
             .absorb(record.cache);
+        if let Some(trace) = record.trace {
+            self.attribution
+                .lock()
+                .expect("attribution mutex poisoned")
+                .absorb(trace);
+        }
     }
 }
 
@@ -116,11 +131,15 @@ pub fn run(network: HetNetwork, cfg: &ServiceConfig) -> Result<ServiceRun, CacEr
     let schedule = churn::generate(&cfg.churn);
     let envelope: SharedEnvelope = Arc::new(schedule.source);
 
+    let topology = network.summary().to_string();
     let mut state = NetworkState::new(network);
     state.persist_eval_cache(cfg.persist_cache);
+    state.set_decision_tracing(cfg.trace_decisions);
     let gauges = Arc::new(Mutex::new(CacheGauges::default()));
+    let attribution = Arc::new(Mutex::new(DelayAttribution::default()));
     state.set_observer(Some(Box::new(MetricsHook {
         gauges: Arc::clone(&gauges),
+        attribution: Arc::clone(&attribution),
         next_seq: 0,
     })));
 
@@ -189,6 +208,9 @@ pub fn run(network: HetNetwork, cfg: &ServiceConfig) -> Result<ServiceRun, CacEr
     let wall_seconds = started.elapsed().as_secs_f64();
     state.set_observer(None);
     let cache = *gauges.lock().expect("gauges mutex poisoned");
+    let delay_attribution = StageDelaySummary::from_attribution(
+        &attribution.lock().expect("attribution mutex poisoned"),
+    );
     let ring_utilization = (0..ring_caps.len()).map(|r| series.ring_summary(r)).collect();
     let report = ServiceReport {
         requests: counters.total(),
@@ -207,6 +229,8 @@ pub fn run(network: HetNetwork, cfg: &ServiceConfig) -> Result<ServiceRun, CacEr
         final_active: state.active().len(),
         ring_utilization,
         audit_len: audit.len(),
+        topology,
+        delay_attribution,
     };
     Ok(ServiceRun {
         report,
@@ -248,6 +272,19 @@ mod tests {
         let run = run(HetNetwork::paper_topology(), &smoke_cfg()).unwrap();
         let r = &run.report;
         assert_eq!(r.requests, 60);
+        // Every decision was traced, and every rejection's trace named
+        // the binding constraint that decided it.
+        let d = &r.delay_attribution;
+        assert_eq!(d.traced, 60);
+        assert_eq!(d.rejects_with_binding, r.counters.rejected());
+        assert_eq!(d.bindings.total(), r.counters.rejected());
+        // Every admit (and every reject that got past the bandwidth
+        // pre-checks) evaluated a path decomposition.
+        assert!(d.total.count >= r.counters.admitted && d.total.count <= 60);
+        assert_eq!(d.slack.count, r.counters.admitted);
+        assert_eq!(d.atm.count, d.fddi_s.count);
+        assert!(d.total.max >= d.atm.max);
+        assert_eq!(r.topology, "3 rings x 4 hosts, 3 switches, 6 links");
         assert!(r.counters.admitted > 0, "no admissions: {r:?}");
         assert!(r.counters.rejected() > 0, "no rejections: {r:?}");
         assert_eq!(r.counters.total(), 60);
@@ -287,6 +324,21 @@ mod tests {
         let b = run(HetNetwork::paper_topology(), &smoke_cfg()).unwrap();
         assert_eq!(a.audit.entries(), b.audit.entries());
         assert_eq!(a.report.counters, b.report.counters);
+    }
+
+    #[test]
+    fn tracing_is_admission_neutral_and_off_means_empty_attribution() {
+        let traced = run(HetNetwork::paper_topology(), &smoke_cfg()).unwrap();
+        let mut cfg = smoke_cfg();
+        cfg.trace_decisions = false;
+        let untraced = run(HetNetwork::paper_topology(), &cfg).unwrap();
+        assert_eq!(traced.audit.entries(), untraced.audit.entries());
+        assert_eq!(traced.report.counters, untraced.report.counters);
+        let d = &untraced.report.delay_attribution;
+        assert_eq!(d.traced, 0);
+        assert_eq!(d.rejects_with_binding, 0);
+        assert_eq!(d.bindings.total(), 0);
+        assert_eq!(d.total.count, 0);
     }
 
     #[test]

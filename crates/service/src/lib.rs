@@ -44,6 +44,7 @@ pub mod report;
 pub use audit::{AuditEntry, AuditLog, AuditOutcome};
 pub use engine::{run, ServiceConfig, ServiceRun};
 pub use metrics::{
-    CacheGauges, DecisionCounters, LatencyHistogram, UtilizationSample, UtilizationSeries,
+    BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, LatencyHistogram,
+    UtilizationSample, UtilizationSeries,
 };
-pub use report::{LatencySummary, ServiceReport};
+pub use report::{LatencySummary, ServiceReport, StageDelaySummary};

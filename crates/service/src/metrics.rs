@@ -8,6 +8,7 @@
 
 use hetnet_cac::cac::RejectReason;
 use hetnet_cac::delay::CacheStats;
+use hetnet_cac::trace::{BindingConstraint, DecisionTrace, ServerStage};
 use hetnet_traffic::units::Seconds;
 use serde::Serialize;
 
@@ -230,6 +231,106 @@ impl CacheGauges {
     }
 }
 
+/// Rejection counters keyed by the *binding constraint* of the
+/// decision trace — the single check that failed — rather than the
+/// coarser [`RejectReason`] class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct BindingCounters {
+    /// Source ring out of synchronous bandwidth.
+    pub source_bandwidth: u64,
+    /// Destination ring out of synchronous bandwidth.
+    pub dest_bandwidth: u64,
+    /// A connection's worst-case delay exceeded its deadline.
+    pub deadline: u64,
+    /// A server along some path cannot keep up (unbounded delay).
+    pub unstable: u64,
+    /// A constraint class this build does not know
+    /// (`BindingConstraint` is `#[non_exhaustive]`).
+    pub other: u64,
+}
+
+impl BindingCounters {
+    /// Tallies one binding constraint.
+    pub fn count(&mut self, binding: &BindingConstraint) {
+        match binding {
+            BindingConstraint::SourceBandwidth { .. } => self.source_bandwidth += 1,
+            BindingConstraint::DestBandwidth { .. } => self.dest_bandwidth += 1,
+            BindingConstraint::DeadlineExceeded { .. } => self.deadline += 1,
+            BindingConstraint::ServerUnstable { .. } => self.unstable += 1,
+            _ => self.other += 1,
+        }
+    }
+
+    /// Total bindings tallied.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.source_bandwidth + self.dest_bandwidth + self.deadline + self.unstable + self.other
+    }
+}
+
+/// Delay-budget attribution accumulated from [`DecisionTrace`]s: one
+/// histogram per server stage of the paper's eq. 7 decomposition, plus
+/// end-to-end totals, deadline slack of admitted connections, and
+/// binding-constraint counters for rejections.
+///
+/// Empty (all counts zero) when decision tracing is disabled.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct DelayAttribution {
+    /// Decisions that carried a trace.
+    pub traced: u64,
+    /// Rejections whose trace named a binding constraint.
+    pub rejects_with_binding: u64,
+    /// Which constraint bound, per rejection.
+    pub bindings: BindingCounters,
+    /// Source-ring FDDI MAC worst-case delay of each candidate.
+    pub fddi_s: LatencyHistogram,
+    /// Sender-side interface-device delay.
+    pub id_s: LatencyHistogram,
+    /// ATM backbone delay.
+    pub atm: LatencyHistogram,
+    /// Receiver-side interface-device delay.
+    pub id_r: LatencyHistogram,
+    /// Destination-ring FDDI MAC delay.
+    pub fddi_r: LatencyHistogram,
+    /// End-to-end worst-case delay (sum of the five stages).
+    pub total: LatencyHistogram,
+    /// Deadline slack of *admitted* candidates.
+    pub slack: LatencyHistogram,
+}
+
+impl DelayAttribution {
+    /// The histogram tracking one server stage.
+    pub fn stage_mut(&mut self, stage: ServerStage) -> &mut LatencyHistogram {
+        match stage {
+            ServerStage::FddiS => &mut self.fddi_s,
+            ServerStage::IdS => &mut self.id_s,
+            ServerStage::Atm => &mut self.atm,
+            ServerStage::IdR => &mut self.id_r,
+            ServerStage::FddiR => &mut self.fddi_r,
+        }
+    }
+
+    /// Folds one decision's trace into the attribution.
+    pub fn absorb(&mut self, trace: &DecisionTrace) {
+        self.traced += 1;
+        if let Some(c) = trace.candidate() {
+            for stage in ServerStage::ALL {
+                self.stage_mut(stage).record(stage.of(&c.report));
+            }
+            self.total.record(c.report.total);
+            if trace.admitted {
+                self.slack.record(c.slack);
+            }
+        }
+        if !trace.admitted {
+            if let Some(binding) = &trace.binding {
+                self.rejects_with_binding += 1;
+                self.bindings.count(binding);
+            }
+        }
+    }
+}
+
 /// One sample of per-ring synchronous-bandwidth utilization.
 #[derive(Clone, Debug, Serialize)]
 pub struct UtilizationSample {
@@ -399,6 +500,112 @@ mod tests {
         });
         assert_eq!(g.evals(), 6);
         assert!((g.hit_rate() - 14.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_attribution_folds_traces() {
+        use hetnet_cac::connection::ConnectionId;
+        use hetnet_cac::delay::PathReport;
+        use hetnet_cac::trace::ConnectionTrace;
+        use hetnet_traffic::units::Bits;
+
+        let report = |terms: [f64; 5]| {
+            let [fddi_s, id_s, atm, id_r, fddi_r] = terms.map(Seconds::new);
+            PathReport {
+                fddi_s,
+                id_s,
+                atm,
+                id_r,
+                fddi_r,
+                total: fddi_s + id_s + atm + id_r + fddi_r,
+                buffer_mac_s: Bits::new(1000.0),
+                buffer_mac_r: Bits::new(2000.0),
+            }
+        };
+        let admit = DecisionTrace {
+            seq: 0,
+            at: Seconds::ZERO,
+            admitted: true,
+            allocation: None,
+            connections: vec![ConnectionTrace::new(
+                Some(ConnectionId(0)),
+                report([0.01, 0.002, 0.03, 0.002, 0.01]),
+                Seconds::from_millis(80.0),
+            )],
+            binding: None,
+            cache: CacheStats::default(),
+        };
+        let reject = DecisionTrace {
+            seq: 1,
+            at: Seconds::new(1.0),
+            admitted: false,
+            allocation: None,
+            connections: vec![ConnectionTrace::new(
+                None,
+                report([0.02, 0.002, 0.05, 0.002, 0.02]),
+                Seconds::from_millis(60.0),
+            )],
+            binding: Some(BindingConstraint::DeadlineExceeded {
+                connection: None,
+                stage: ServerStage::Atm,
+                delay: Seconds::from_millis(94.0),
+                deadline: Seconds::from_millis(60.0),
+                excess: Seconds::from_millis(34.0),
+            }),
+            cache: CacheStats::default(),
+        };
+        // A pre-allocation bandwidth reject carries no connections.
+        let bare = DecisionTrace {
+            seq: 2,
+            at: Seconds::new(2.0),
+            admitted: false,
+            allocation: None,
+            connections: vec![],
+            binding: Some(BindingConstraint::SourceBandwidth {
+                ring: hetnet_cac::network::RingId(0),
+                available: Seconds::from_millis(1.0),
+                required: Seconds::from_millis(2.0),
+            }),
+            cache: CacheStats::default(),
+        };
+
+        let mut a = DelayAttribution::default();
+        for t in [&admit, &reject, &bare] {
+            a.absorb(t);
+        }
+        assert_eq!(a.traced, 3);
+        assert_eq!(a.rejects_with_binding, 2);
+        assert_eq!(a.bindings.deadline, 1);
+        assert_eq!(a.bindings.source_bandwidth, 1);
+        assert_eq!(a.bindings.total(), 2);
+        // Two candidates had paths; only the admit recorded slack.
+        for stage in ServerStage::ALL {
+            assert_eq!(a.stage_mut(stage).count(), 2, "{stage}");
+        }
+        assert_eq!(a.total.count(), 2);
+        assert_eq!(a.slack.count(), 1);
+        assert!((a.atm.max().value() - 0.05).abs() < 1e-12);
+        assert!((a.slack.max().value() - (0.08 - 0.054)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binding_counters_cover_every_kind() {
+        let mut c = BindingCounters::default();
+        c.count(&BindingConstraint::SourceBandwidth {
+            ring: hetnet_cac::network::RingId(0),
+            available: Seconds::ZERO,
+            required: Seconds::new(1.0),
+        });
+        c.count(&BindingConstraint::DestBandwidth {
+            ring: hetnet_cac::network::RingId(1),
+            available: Seconds::ZERO,
+            required: Seconds::new(1.0),
+        });
+        c.count(&BindingConstraint::ServerUnstable { detail: "x".into() });
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.dest_bandwidth, 1);
+        assert_eq!(c.unstable, 1);
+        assert_eq!(c.other, 0);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The aggregate result of a service run, and its JSON rendering.
 
-use crate::metrics::{CacheGauges, DecisionCounters, LatencyHistogram};
+use crate::metrics::{
+    BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, LatencyHistogram,
+};
+use hetnet_obs::export::push_json_str;
 use hetnet_traffic::units::Seconds;
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -38,6 +41,66 @@ impl LatencySummary {
     }
 }
 
+/// Percentile summaries of the per-server-stage delay histograms, plus
+/// the binding-constraint counters — the report-level view of a run's
+/// [`DelayAttribution`]. All counts are zero when decision tracing was
+/// disabled for the run.
+#[derive(Clone, Debug, Serialize)]
+pub struct StageDelaySummary {
+    /// Decisions that carried a trace.
+    pub traced: u64,
+    /// Rejections whose trace named a binding constraint.
+    pub rejects_with_binding: u64,
+    /// Which constraint bound, per rejection.
+    pub bindings: BindingCounters,
+    /// Source-ring FDDI MAC delay of each candidate path.
+    pub fddi_s: LatencySummary,
+    /// Sender-side interface-device delay.
+    pub id_s: LatencySummary,
+    /// ATM backbone delay.
+    pub atm: LatencySummary,
+    /// Receiver-side interface-device delay.
+    pub id_r: LatencySummary,
+    /// Destination-ring FDDI MAC delay.
+    pub fddi_r: LatencySummary,
+    /// End-to-end worst-case delay.
+    pub total: LatencySummary,
+    /// Deadline slack of admitted candidates.
+    pub slack: LatencySummary,
+}
+
+impl StageDelaySummary {
+    /// Summarizes a run's accumulated attribution.
+    #[must_use]
+    pub fn from_attribution(a: &DelayAttribution) -> Self {
+        Self {
+            traced: a.traced,
+            rejects_with_binding: a.rejects_with_binding,
+            bindings: a.bindings,
+            fddi_s: LatencySummary::from_histogram(&a.fddi_s),
+            id_s: LatencySummary::from_histogram(&a.id_s),
+            atm: LatencySummary::from_histogram(&a.atm),
+            id_r: LatencySummary::from_histogram(&a.id_r),
+            fddi_r: LatencySummary::from_histogram(&a.fddi_r),
+            total: LatencySummary::from_histogram(&a.total),
+            slack: LatencySummary::from_histogram(&a.slack),
+        }
+    }
+
+    /// `(name, summary)` pairs in eq.-7 path order, then total + slack.
+    fn sections(&self) -> [(&'static str, &LatencySummary); 7] {
+        [
+            ("fddi_s", &self.fddi_s),
+            ("id_s", &self.id_s),
+            ("atm", &self.atm),
+            ("id_r", &self.id_r),
+            ("fddi_r", &self.fddi_r),
+            ("total", &self.total),
+            ("slack", &self.slack),
+        ]
+    }
+}
+
 /// Aggregate metrics of one churn run.
 #[derive(Clone, Debug, Serialize)]
 pub struct ServiceReport {
@@ -65,6 +128,11 @@ pub struct ServiceReport {
     pub ring_utilization: Vec<(f64, f64)>,
     /// Entries in the decision audit log (== `requests`).
     pub audit_len: usize,
+    /// Compact label of the topology the run drove.
+    pub topology: String,
+    /// Delay-budget attribution from decision traces (all-zero counts
+    /// when tracing was disabled).
+    pub delay_attribution: StageDelaySummary,
 }
 
 impl ServiceReport {
@@ -125,9 +193,49 @@ impl ServiceReport {
             }
             let _ = write!(out, "{{\"mean\":{mean:.6},\"peak\":{peak:.6}}}");
         }
-        out.push_str("]}");
+        out.push_str("],");
+        out.push_str("\"topology\":");
+        push_json_str(&mut out, &self.topology);
+        let d = &self.delay_attribution;
+        let b = &d.bindings;
+        let _ = write!(
+            out,
+            ",\"delay_attribution\":{{\"traced\":{},\"rejects_with_binding\":{},\
+             \"bindings\":{{\"source_bandwidth\":{},\"dest_bandwidth\":{},\
+             \"deadline\":{},\"unstable\":{},\"other\":{}}},\"stages\":{{",
+            d.traced,
+            d.rejects_with_binding,
+            b.source_bandwidth,
+            b.dest_bandwidth,
+            b.deadline,
+            b.unstable,
+            b.other,
+        );
+        for (i, (name, s)) in d.sections().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_stage_json(&mut out, name, s);
+        }
+        out.push_str("}}}");
         out
     }
+}
+
+/// One stage summary as `"name":{...}`, in milliseconds (worst-case
+/// path delays live in the 1–100 ms range of the paper's deadlines).
+fn push_stage_json(out: &mut String, name: &str, s: &LatencySummary) {
+    let _ = write!(
+        out,
+        "\"{name}\":{{\"count\":{},\"p50_ms\":{:.6},\"p95_ms\":{:.6},\
+         \"p99_ms\":{:.6},\"mean_ms\":{:.6},\"max_ms\":{:.6}}}",
+        s.count,
+        s.p50.value() * 1e3,
+        s.p95.value() * 1e3,
+        s.p99.value() * 1e3,
+        s.mean.value() * 1e3,
+        s.max.value() * 1e3,
+    );
 }
 
 #[cfg(test)]
@@ -136,9 +244,30 @@ mod tests {
 
     #[test]
     fn report_renders_valid_shaped_json() {
+        use hetnet_cac::delay::CacheStats;
+        use hetnet_cac::trace::{BindingConstraint, DecisionTrace, ServerStage};
+
         let mut h = LatencyHistogram::new();
         h.record(Seconds::new(2e-5));
         h.record(Seconds::new(4e-5));
+        // One traced rejection with a deadline binding but no evaluated
+        // paths (stage histograms stay empty).
+        let mut attribution = DelayAttribution::default();
+        attribution.absorb(&DecisionTrace {
+            seq: 1,
+            at: Seconds::new(1.0),
+            admitted: false,
+            allocation: None,
+            connections: vec![],
+            binding: Some(BindingConstraint::DeadlineExceeded {
+                connection: None,
+                stage: ServerStage::Atm,
+                delay: Seconds::from_millis(94.0),
+                deadline: Seconds::from_millis(60.0),
+                excess: Seconds::from_millis(34.0),
+            }),
+            cache: CacheStats::default(),
+        });
         let report = ServiceReport {
             requests: 2,
             counters: DecisionCounters {
@@ -161,6 +290,8 @@ mod tests {
             final_active: 1,
             ring_utilization: vec![(0.25, 0.5), (0.0, 0.0)],
             audit_len: 2,
+            topology: "3 rings x 4 hosts, 3 switches, 6 links".into(),
+            delay_attribution: StageDelaySummary::from_attribution(&attribution),
         };
         let j = report.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -173,6 +304,12 @@ mod tests {
             "\"p99_us\":",
             "\"evals\":2",
             "\"ring_utilization\":[{\"mean\":0.25",
+            "\"topology\":\"3 rings x 4 hosts, 3 switches, 6 links\"",
+            "\"delay_attribution\":{\"traced\":1,\"rejects_with_binding\":1,",
+            "\"bindings\":{\"source_bandwidth\":0,\"dest_bandwidth\":0,\"deadline\":1,",
+            "\"stages\":{\"fddi_s\":{\"count\":0,",
+            "\"atm\":{\"count\":0,",
+            "\"slack\":{\"count\":0,",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }

@@ -30,6 +30,7 @@ pub use hetnet_atm as atm;
 pub use hetnet_cac as cac;
 pub use hetnet_fddi as fddi;
 pub use hetnet_ifdev as ifdev;
+pub use hetnet_obs as obs;
 pub use hetnet_service as service;
 pub use hetnet_sim as sim;
 pub use hetnet_traffic as traffic;
@@ -42,7 +43,8 @@ pub mod prelude {
     };
     pub use hetnet_cac::connection::{ConnectionId, ConnectionSpec, ConnectionSpecBuilder};
     pub use hetnet_cac::error::CacError;
-    pub use hetnet_cac::network::{HetNetwork, HostId, RingId};
+    pub use hetnet_cac::network::{HetNetwork, HostId, RingId, TopologySummary};
+    pub use hetnet_cac::trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};
     pub use hetnet_service::{run as run_service, ServiceConfig, ServiceReport};
     pub use hetnet_traffic::envelope::SharedEnvelope;
     pub use hetnet_traffic::models::DualPeriodicEnvelope;
