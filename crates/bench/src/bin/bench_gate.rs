@@ -1,0 +1,241 @@
+//! CI gate over the benchmark JSON — the Rust port of what used to be
+//! two inline `python3` scripts in `scripts/check.sh`, so CI needs no
+//! Python at all.
+//!
+//! ```text
+//! bench_gate quick target/BENCH_region.quick.json   # fresh smoke-run invariants
+//! bench_gate committed BENCH_region.json            # committed-file performance gates
+//! ```
+//!
+//! `quick` checks run invariants on a just-generated file: solver maps
+//! bit-identical, the frontier tracer cheaper than the dense sweep, the
+//! churn run exercising both decision paths with a complete audit log
+//! and full decision-trace attribution, the obs section producing
+//! records, and the fault section draining every fault, re-admitting
+//! connections, and recovering bit-identically from its checkpoint.
+//!
+//! `committed` checks the repository's pinned `BENCH_region.json`: the
+//! enabled-tracing overhead must stay within the measured A/A noise
+//! floor plus one percentage point, and the recorded fault-recovery run
+//! must have been bit-identical and fully drained.
+
+use hetnet_bench::json::Json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match args.as_slice() {
+        [mode, path] if mode == "quick" || mode == "committed" => (mode.as_str(), path.as_str()),
+        _ => {
+            eprintln!("usage: bench_gate <quick|committed> <path-to-json>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bench = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("FAIL: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match mode {
+        "quick" => quick_gates(&bench),
+        _ => committed_gates(&bench),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fetches a number at `path`, failing with a message naming it.
+fn num(bench: &Json, path: &str) -> Result<f64, String> {
+    bench
+        .at(path)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {path:?}"))
+}
+
+/// Fetches a bool at `path`, failing with a message naming it.
+fn flag(bench: &Json, path: &str) -> Result<bool, String> {
+    bench
+        .at(path)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing or non-boolean field {path:?}"))
+}
+
+fn quick_gates(bench: &Json) -> Result<(), String> {
+    // Region solvers: all three must agree bit for bit, and the
+    // frontier tracer must actually save evaluations.
+    if !flag(bench, "maps_identical")? {
+        return Err("solver maps are not bit-identical".into());
+    }
+    let dense = num(bench, "dense_evals")?;
+    let frontier = num(bench, "frontier_evals")?;
+    if frontier >= dense {
+        return Err(format!(
+            "frontier did {frontier} evals, dense sweep {dense}"
+        ));
+    }
+    println!("ok: maps identical, frontier evals {frontier} < dense {dense}");
+
+    // Churn smoke: the fixed-seed service run must exercise both
+    // decision paths and keep the audit log complete.
+    let admitted = num(bench, "churn.admitted")?;
+    let rejected = num(bench, "churn.rejected")?;
+    let requests = num(bench, "churn.requests")?;
+    if admitted <= 0.0 {
+        return Err("churn run admitted nothing".into());
+    }
+    if rejected <= 0.0 {
+        return Err("churn run rejected nothing (load too light to mean anything)".into());
+    }
+    let audit_len = num(bench, "churn.audit_len")?;
+    if audit_len != requests {
+        return Err(format!(
+            "audit log has {audit_len} entries for {requests} requests"
+        ));
+    }
+    let blocking = num(bench, "churn.blocking_probability")?;
+    if !(blocking > 0.0 && blocking < 1.0) {
+        return Err(format!("degenerate blocking probability {blocking}"));
+    }
+    let p99 = num(bench, "churn.latency.p99_us")?;
+    println!(
+        "ok: churn {requests} requests, {admitted} admitted, {rejected} rejected, \
+         p99 {p99:.1} us"
+    );
+
+    // Decision-trace attribution: every decision of the churn run must
+    // be traced and every rejection's trace must name its binding.
+    let traced = num(bench, "churn.delay_attribution.traced")?;
+    if traced != requests {
+        return Err(format!("{traced} traces for {requests} churn requests"));
+    }
+    let bindings = num(bench, "churn.delay_attribution.rejects_with_binding")?;
+    if bindings != rejected {
+        return Err(format!("{bindings} bindings for {rejected} rejections"));
+    }
+    if num(bench, "churn.delay_attribution.stages.total.count")? <= 0.0 {
+        return Err("churn run recorded no per-stage delay decompositions".into());
+    }
+    println!("ok: churn attribution traced {traced}, {bindings} rejects all carry bindings");
+
+    // Observability section: the traced arm must produce records, and
+    // its decision traces must cover every decision and rejection.
+    let records = num(bench, "obs.trace_records")?;
+    if records <= 0.0 {
+        return Err("enabled-tracing run produced no obs records".into());
+    }
+    let decision_traces = num(bench, "obs.decision_traces")?;
+    let obs_decisions = num(bench, "obs.admitted")? + num(bench, "obs.rejected")?;
+    if decision_traces != obs_decisions {
+        return Err(format!(
+            "{decision_traces} decision traces for {obs_decisions} decisions"
+        ));
+    }
+    let obs_bindings = num(bench, "obs.rejects_with_binding")?;
+    let obs_rejected = num(bench, "obs.rejected")?;
+    if obs_bindings != obs_rejected {
+        return Err(format!(
+            "{obs_bindings} bindings for {obs_rejected} rejections"
+        ));
+    }
+    let aa_delta = num(bench, "obs.disabled_delta_pct")?;
+    println!(
+        "ok: obs section {records} records, {decision_traces} decision traces, \
+         disabled A/A delta {aa_delta:+.2}%"
+    );
+
+    fault_gates(bench)
+}
+
+/// Fault-injection and recovery invariants, shared by both modes: the
+/// seeded fault-churn run must inject faults that all drain, tear down
+/// and reclaim real connections, re-admit greedily, keep the audit log
+/// gap-free, and recover bit-identically from its mid-run checkpoint.
+fn fault_gates(bench: &Json) -> Result<(), String> {
+    if bench.at("faults").is_none() {
+        return Err("no faults section; regenerate the benchmark JSON".into());
+    }
+    if !flag(bench, "faults.recovery_bit_identical")? {
+        return Err("recovered state diverged from the original run".into());
+    }
+    if !flag(bench, "faults.audit_gap_free")? {
+        return Err("faulted run's audit log has sequence gaps".into());
+    }
+    let injected = num(bench, "faults.report.recovery.faults_injected")?;
+    if injected <= 0.0 {
+        return Err("fault schedule injected nothing".into());
+    }
+    let undrained = num(bench, "faults.report.recovery.undrained")?;
+    if undrained != 0.0 {
+        return Err(format!("{undrained} faults never drained"));
+    }
+    let downed = num(bench, "faults.report.recovery.components_downed")?;
+    let restored = num(bench, "faults.report.recovery.components_restored")?;
+    if downed != restored {
+        return Err(format!("{downed} components downed, {restored} restored"));
+    }
+    let dropped = num(bench, "faults.report.recovery.connections_dropped")?;
+    if dropped <= 0.0 {
+        return Err("faults tore down no connections (schedule too light)".into());
+    }
+    let reclaimed_s = num(bench, "faults.report.recovery.reclaimed_s")?;
+    let reclaimed_r = num(bench, "faults.report.recovery.reclaimed_r")?;
+    if reclaimed_s <= 0.0 || reclaimed_r <= 0.0 {
+        return Err(format!(
+            "teardowns reclaimed no bandwidth (H_S {reclaimed_s}, H_R {reclaimed_r})"
+        ));
+    }
+    let readmitted = num(bench, "faults.report.recovery.readmitted")?;
+    if readmitted <= 0.0 {
+        return Err("no torn-down connection was ever re-admitted".into());
+    }
+    let tail = num(bench, "faults.tail_decisions")?;
+    println!(
+        "ok: faults {injected} injected, {dropped} dropped, {readmitted} readmitted, \
+         all drained, recovery replayed {tail} decisions bit-identically"
+    );
+    Ok(())
+}
+
+fn committed_gates(bench: &Json) -> Result<(), String> {
+    if bench.at("obs").is_none() {
+        return Err("committed benchmark JSON has no obs section; regenerate it".into());
+    }
+    // The A/A pair runs the identical disabled-tracing configuration
+    // twice (best-of-reps, rotated arm order, warmed up), so its delta
+    // is the machine's timing noise floor by construction. The gate is
+    // therefore self-calibrating: enabled-tracing overhead must stay
+    // within that measured floor plus one percentage point. On a quiet
+    // machine the floor is a fraction of a percent and this is
+    // effectively a 1% gate; on a throttled shared core it still
+    // catches a real regression without failing on noise the
+    // identical-config pair also exhibits.
+    let floor = num(bench, "obs.disabled_delta_pct")?.abs();
+    let overhead = num(bench, "obs.enabled_overhead_pct")?;
+    if overhead >= floor + 1.0 {
+        return Err(format!(
+            "enabled-tracing overhead {overhead:+.2}% exceeds the measured A/A noise \
+             floor ({floor:.2}%) by >= 1%; rerun `cargo run --release -p hetnet-bench \
+             --bin bench_json` on a quiet machine or investigate a real slowdown on \
+             the admit path"
+        ));
+    }
+    println!(
+        "ok: enabled-tracing overhead {overhead:+.2}% within A/A noise floor \
+         {floor:.2}% + 1%"
+    );
+    fault_gates(bench)
+}

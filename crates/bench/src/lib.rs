@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use hetnet_cac::cac::CacConfig;
 use hetnet_cac::experiment::{run_admission_experiment, ExperimentResult, Workload};
 use hetnet_cac::network::HetNetwork;

@@ -32,13 +32,15 @@ use crate::delay::{
     PathInput, PathReport,
 };
 use crate::error::CacError;
-use crate::network::{HetNetwork, RingId};
+use crate::network::{Component, HetNetwork, RingId};
+use crate::snapshot::{ConnectionSnapshot, StateSnapshot, SNAPSHOT_VERSION};
 use crate::trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};
-use hetnet_obs as obs;
 use hetnet_fddi::alloc::{AllocationKey, SyncAllocationTable};
 use hetnet_fddi::frames;
 use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_obs as obs;
 use hetnet_traffic::units::Seconds;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -224,6 +226,13 @@ pub enum RejectReason {
         /// Human-readable detail (which constraint failed).
         detail: String,
     },
+    /// A component on the request's path is down
+    /// ([`NetworkState::set_component_down`]): no allocation exists
+    /// until it is restored.
+    ComponentUnavailable {
+        /// The failed component.
+        component: Component,
+    },
 }
 
 impl fmt::Display for RejectReason {
@@ -245,6 +254,9 @@ impl fmt::Display for RejectReason {
             ),
             Self::InfeasibleAtMaximum { detail } => {
                 write!(f, "infeasible even at maximum allocation: {detail}")
+            }
+            Self::ComponentUnavailable { component } => {
+                write!(f, "component {component} is down on the request's path")
             }
         }
     }
@@ -276,6 +288,24 @@ impl Decision {
     }
 }
 
+/// What [`NetworkState::set_component_down`] tore down: the evicted
+/// connections (with their full specs, so the caller can park and
+/// later re-admit them) and the synchronous bandwidth reclaimed.
+#[derive(Debug)]
+pub struct TeardownReport {
+    /// The component that failed.
+    pub component: Component,
+    /// `true` when the component was already down (nothing new torn).
+    pub already_down: bool,
+    /// The evicted connections, in admission order.
+    pub torn: Vec<ActiveConnection>,
+    /// Total `H_S` (source-ring synchronous time per rotation)
+    /// reclaimed across the evictions.
+    pub reclaimed_s: Seconds,
+    /// Total `H_R` reclaimed across the evictions.
+    pub reclaimed_r: Seconds,
+}
+
 /// The live state of the network: active connections and per-ring
 /// synchronous-bandwidth tables.
 pub struct NetworkState {
@@ -291,6 +321,9 @@ pub struct NetworkState {
     /// active set changes merely bounds its memory to one admission
     /// epoch while keeping the reject/retry path warm.
     eval_cache: Option<EvalCache>,
+    /// Components currently marked down by fault injection; requests
+    /// whose path crosses one are rejected without evaluation.
+    down: BTreeSet<Component>,
     /// Logical event clock stamped onto [`DecisionRecord`]s.
     clock: Seconds,
     /// Completed decisions (admit or reject) so far.
@@ -349,6 +382,7 @@ impl fmt::Debug for NetworkState {
             .field("next_id", &self.next_id)
             .field("last_cache_stats", &self.last_cache_stats)
             .field("persist_cache", &self.persist_cache)
+            .field("down", &self.down)
             .field("clock", &self.clock)
             .field("decision_seq", &self.decision_seq)
             .field("observer", &self.observer.as_ref().map(|_| "<hook>"))
@@ -370,6 +404,7 @@ impl NetworkState {
             last_cache_stats: None,
             persist_cache: false,
             eval_cache: None,
+            down: BTreeSet::new(),
             clock: Seconds::ZERO,
             decision_seq: 0,
             observer: None,
@@ -690,6 +725,17 @@ impl NetworkState {
     ) -> Result<(Decision, Option<TraceParts>), CacError> {
         self.validate_spec(&spec)?;
         let tracing = self.trace_decisions;
+        if let Some(component) = self.down_on_path(&spec)? {
+            let parts = tracing.then(|| TraceParts {
+                allocation: None,
+                connections: Vec::new(),
+                binding: Some(BindingConstraint::ComponentDown { component }),
+            });
+            return Ok((
+                Decision::Rejected(RejectReason::ComponentUnavailable { component }),
+                parts,
+            ));
+        }
         let ring_s = self.net.ring(spec.source.ring);
         let ring_r = self.net.ring(spec.dest.ring);
 
@@ -1025,6 +1071,17 @@ impl NetworkState {
     ) -> Result<(Decision, Option<TraceParts>), CacError> {
         self.validate_spec(&spec)?;
         let tracing = self.trace_decisions;
+        if let Some(component) = self.down_on_path(&spec)? {
+            let parts = tracing.then(|| TraceParts {
+                allocation: None,
+                connections: Vec::new(),
+                binding: Some(BindingConstraint::ComponentDown { component }),
+            });
+            return Ok((
+                Decision::Rejected(RejectReason::ComponentUnavailable { component }),
+                parts,
+            ));
+        }
         let avail_s = self.available_on(spec.source.ring);
         let avail_r = self.available_on(spec.dest.ring);
         if h_s.per_rotation() > avail_s {
@@ -1166,6 +1223,264 @@ impl NetworkState {
         Ok(())
     }
 
+    /// Marks a component as failed, tearing down every active
+    /// connection whose path crosses it and reclaiming their `H_S` /
+    /// `H_R` allocations. Idempotent: downing an already-down component
+    /// tears down nothing further (its connections are already gone).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::InvalidNetwork`] for a component outside
+    /// this topology; propagates bookkeeping errors from teardown.
+    pub fn set_component_down(&mut self, component: Component) -> Result<TeardownReport, CacError> {
+        self.validate_component(component)?;
+        let newly = self.down.insert(component);
+        let mut report = TeardownReport {
+            component,
+            already_down: !newly,
+            torn: Vec::new(),
+            reclaimed_s: Seconds::ZERO,
+            reclaimed_r: Seconds::ZERO,
+        };
+        if newly {
+            let victims: Vec<ConnectionId> = self
+                .active
+                .iter()
+                .filter(|c| Self::crosses(&self.net, &c.spec, component))
+                .map(|c| c.id)
+                .collect();
+            for id in victims {
+                let idx = self
+                    .active
+                    .iter()
+                    .position(|c| c.id == id)
+                    .expect("victim is active");
+                let conn = self.active.remove(idx);
+                self.eval_cache = None;
+                let key = AllocationKey(id.0);
+                self.tables[conn.spec.source.ring]
+                    .release(key)
+                    .map_err(CacError::from)?;
+                self.tables[conn.spec.dest.ring]
+                    .release(key)
+                    .map_err(CacError::from)?;
+                report.reclaimed_s += conn.h_s.per_rotation();
+                report.reclaimed_r += conn.h_r.per_rotation();
+                report.torn.push(conn);
+            }
+        }
+        obs::event(
+            "component_down",
+            &[
+                ("kind", obs::FieldValue::Str(component.kind())),
+                ("index", obs::FieldValue::U64(component.index() as u64)),
+                ("torn", obs::FieldValue::U64(report.torn.len() as u64)),
+            ],
+        );
+        Ok(report)
+    }
+
+    /// Restores a failed component. Returns whether it was down (a
+    /// repeat restore is a no-op returning `false`). Torn-down
+    /// connections do *not* come back automatically — re-admission is a
+    /// policy decision left to the caller (the service layer's
+    /// "re-admit greedily").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::InvalidNetwork`] for a component outside
+    /// this topology.
+    pub fn set_component_up(&mut self, component: Component) -> Result<bool, CacError> {
+        self.validate_component(component)?;
+        let was_down = self.down.remove(&component);
+        obs::event(
+            "component_up",
+            &[
+                ("kind", obs::FieldValue::Str(component.kind())),
+                ("index", obs::FieldValue::U64(component.index() as u64)),
+                ("was_down", obs::FieldValue::Bool(was_down)),
+            ],
+        );
+        Ok(was_down)
+    }
+
+    /// The components currently marked down, in sorted order.
+    #[must_use]
+    pub fn down_components(&self) -> Vec<Component> {
+        self.down.iter().copied().collect()
+    }
+
+    /// The first down component on a request's path, if any — checked
+    /// in a fixed order (source ring, source device, backbone links in
+    /// route order, destination device, destination ring) so decisions
+    /// stay deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError`] if the rings are out of range or unrouted.
+    pub fn down_on_path(&self, spec: &ConnectionSpec) -> Result<Option<Component>, CacError> {
+        if self.down.is_empty() {
+            return Ok(None);
+        }
+        let ordered = [
+            Component::Ring(RingId(spec.source.ring)),
+            Component::IfDev(RingId(spec.source.ring)),
+        ];
+        for c in ordered {
+            if self.down.contains(&c) {
+                return Ok(Some(c));
+            }
+        }
+        for link in self.net.route_between(spec.source.ring, spec.dest.ring)? {
+            let c = Component::Link(*link);
+            if self.down.contains(&c) {
+                return Ok(Some(c));
+            }
+        }
+        for c in [
+            Component::IfDev(RingId(spec.dest.ring)),
+            Component::Ring(RingId(spec.dest.ring)),
+        ] {
+            if self.down.contains(&c) {
+                return Ok(Some(c));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Whether a spec's path crosses `component` (used to pick teardown
+    /// victims).
+    fn crosses(net: &HetNetwork, spec: &ConnectionSpec, component: Component) -> bool {
+        match component {
+            Component::Ring(r) | Component::IfDev(r) => {
+                spec.source.ring == r.0 || spec.dest.ring == r.0
+            }
+            Component::Link(l) => net
+                .route_between(spec.source.ring, spec.dest.ring)
+                .is_ok_and(|route| route.contains(&l)),
+        }
+    }
+
+    fn validate_component(&self, component: Component) -> Result<(), CacError> {
+        let ok = match component {
+            Component::Ring(r) | Component::IfDev(r) => r.0 < self.net.rings().len(),
+            Component::Link(l) => l.0 < self.net.backbone().link_count(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CacError::InvalidNetwork(format!(
+                "unknown component {component}"
+            )))
+        }
+    }
+
+    /// Captures the full admission state in a versioned, restorable
+    /// form; see [`crate::snapshot`] for the lossless-ness contract.
+    #[must_use]
+    pub fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot {
+            version: SNAPSHOT_VERSION,
+            topology: self.net.summary(),
+            connections: self
+                .active
+                .iter()
+                .map(|c| ConnectionSnapshot {
+                    id: c.id,
+                    source: c.spec.source,
+                    dest: c.spec.dest,
+                    envelope: Arc::clone(&c.spec.envelope),
+                    deadline: c.spec.deadline,
+                    h_s: c.h_s,
+                    h_r: c.h_r,
+                    delay_bound: c.delay_bound,
+                })
+                .collect(),
+            down: self.down.iter().copied().collect(),
+            next_id: self.next_id,
+            clock: self.clock,
+            decision_seq: self.decision_seq,
+        }
+    }
+
+    /// Replaces this state's admission bookkeeping with the snapshot's:
+    /// active set, allocation tables (rebuilt by re-allocating in
+    /// admission order, which reproduces the original tables
+    /// bit-for-bit), down set, id counter, clock and decision sequence.
+    /// The evaluator cache and last-decision trace are cleared (both
+    /// are decision-neutral); the installed observer and tracing flag
+    /// are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::SnapshotMismatch`] for a wrong version or
+    /// topology, or if the snapshot's allocations do not fit the rings
+    /// (a corrupted snapshot).
+    pub fn restore(&mut self, snap: &StateSnapshot) -> Result<(), CacError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(CacError::SnapshotMismatch(format!(
+                "snapshot version {} != supported {SNAPSHOT_VERSION}",
+                snap.version
+            )));
+        }
+        if snap.topology != self.net.summary() {
+            return Err(CacError::SnapshotMismatch(format!(
+                "snapshot topology ({}) != this network ({})",
+                snap.topology,
+                self.net.summary()
+            )));
+        }
+        let mut tables = vec![SyncAllocationTable::new(); self.net.rings().len()];
+        let mut active = Vec::with_capacity(snap.connections.len());
+        for c in &snap.connections {
+            if c.id.0 >= snap.next_id {
+                return Err(CacError::SnapshotMismatch(format!(
+                    "{} not below next_id {}",
+                    c.id, snap.next_id
+                )));
+            }
+            let key = AllocationKey(c.id.0);
+            let fit = |e: hetnet_fddi::FddiError| {
+                CacError::SnapshotMismatch(format!("snapshot allocations do not fit: {e}"))
+            };
+            tables[c.source.ring]
+                .allocate(key, c.h_s, self.net.ring(c.source.ring))
+                .map_err(fit)?;
+            tables[c.dest.ring]
+                .allocate(key, c.h_r, self.net.ring(c.dest.ring))
+                .map_err(fit)?;
+            active.push(ActiveConnection {
+                id: c.id,
+                spec: c.spec(),
+                h_s: c.h_s,
+                h_r: c.h_r,
+                delay_bound: c.delay_bound,
+            });
+        }
+        self.tables = tables;
+        self.active = active;
+        self.down = snap.down.iter().copied().collect();
+        self.next_id = snap.next_id;
+        self.clock = snap.clock;
+        self.decision_seq = snap.decision_seq;
+        self.eval_cache = None;
+        self.last_cache_stats = None;
+        self.last_trace = None;
+        Ok(())
+    }
+
+    /// Builds a fresh state over `net` directly from a snapshot —
+    /// [`NetworkState::new`] followed by [`NetworkState::restore`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`NetworkState::restore`].
+    pub fn from_snapshot(net: HetNetwork, snap: &StateSnapshot) -> Result<Self, CacError> {
+        let mut state = Self::new(net);
+        state.restore(snap)?;
+        Ok(state)
+    }
+
     /// Recomputes every active connection's *slack*: deadline minus the
     /// current worst-case delay bound. Operators watch these to see how
     /// close the admitted set runs to its contracts (a β = 0 network
@@ -1270,7 +1585,9 @@ mod tests {
     fn admits_a_reasonable_request() {
         let mut s = state();
         let cfg = CacConfig::default();
-        let d = s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap();
+        let d = s
+            .admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into())
+            .unwrap();
         match d {
             Decision::Admitted {
                 h_s,
@@ -1295,7 +1612,9 @@ mod tests {
         let mut s = state();
         let cfg = CacConfig::default();
         // Two token rotations alone exceed 1 ms.
-        let d = s.admit(spec((0, 0), (1, 0), 1.0), &cfg.clone().into()).unwrap();
+        let d = s
+            .admit(spec((0, 0), (1, 0), 1.0), &cfg.clone().into())
+            .unwrap();
         assert!(matches!(
             d,
             Decision::Rejected(RejectReason::InfeasibleAtMaximum { .. })
@@ -1313,7 +1632,10 @@ mod tests {
         let mut h = Vec::new();
         for cfg in [&cfg0, &cfg_half, &cfg1] {
             let mut s = state();
-            match s.admit(spec((0, 0), (1, 0), 60.0), &cfg.clone().into()).unwrap() {
+            match s
+                .admit(spec((0, 0), (1, 0), 60.0), &cfg.clone().into())
+                .unwrap()
+            {
                 Decision::Admitted { h_s, .. } => h.push(h_s.per_rotation().value()),
                 Decision::Rejected(r) => panic!("rejected: {r}"),
             }
@@ -1327,7 +1649,9 @@ mod tests {
     fn release_returns_bandwidth() {
         let mut s = state();
         let cfg = CacConfig::default();
-        let Decision::Admitted { id, .. } = s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap()
+        let Decision::Admitted { id, .. } = s
+            .admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into())
+            .unwrap()
         else {
             panic!("expected admission")
         };
@@ -1349,7 +1673,9 @@ mod tests {
         // added disturbance would violate it; with beta=0 it is left with
         // a bare-minimum allocation and thus no slack.
         let cfg_tight = CacConfig::default().with_beta(0.0);
-        let first = s.admit(spec((0, 0), (1, 0), 60.0), &cfg_tight.clone().into()).unwrap();
+        let first = s
+            .admit(spec((0, 0), (1, 0), 60.0), &cfg_tight.clone().into())
+            .unwrap();
         let Decision::Admitted { delay_bound, .. } = first else {
             panic!("first must be admitted")
         };
@@ -1358,7 +1684,9 @@ mod tests {
         // Request a second connection sharing both rings. Whatever the
         // decision, the first connection's deadline must still hold.
         let cfg = CacConfig::default();
-        let _ = s.admit(spec((0, 1), (1, 1), 60.0), &cfg.clone().into()).unwrap();
+        let _ = s
+            .admit(spec((0, 1), (1, 1), 60.0), &cfg.clone().into())
+            .unwrap();
         let delays = s.current_delays(&cfg).unwrap();
         for (i, (_, d)) in delays.iter().enumerate() {
             assert!(
@@ -1377,7 +1705,10 @@ mod tests {
         // multiple per host for this capacity test.
         for k in 0..8 {
             let d = s
-                .admit(spec((0, k % 4), (1 + (k % 2), k % 4), 120.0), &cfg.clone().into())
+                .admit(
+                    spec((0, k % 4), (1 + (k % 2), k % 4), 120.0),
+                    &cfg.clone().into(),
+                )
                 .unwrap();
             if d.is_admitted() {
                 admitted += 1;
@@ -1398,7 +1729,8 @@ mod tests {
         let mut s = state();
         let cfg = CacConfig::fast();
         assert!(s.last_cache_stats().is_none());
-        s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap();
+        s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into())
+            .unwrap();
         let first = s.last_cache_stats().expect("stats after a request");
         // Even a lone request reuses its stage-1 analyses and the muxes
         // untouched between the feasibility check and the searches.
@@ -1406,7 +1738,8 @@ mod tests {
         // A second request runs its line search against the first as
         // background: the background-only muxes are analyzed once and
         // then served from cache on every probe.
-        s.admit(spec((1, 0), (2, 0), 120.0), &cfg.clone().into()).unwrap();
+        s.admit(spec((1, 0), (2, 0), 120.0), &cfg.clone().into())
+            .unwrap();
         let second = s.last_cache_stats().expect("stats after a request");
         assert!(second.mux_hits > 0, "{second:?}");
         assert!(second.mux_hit_rate() > 0.0);
@@ -1421,7 +1754,10 @@ mod tests {
         // An impossible deadline is rejected at step 2 without touching
         // the active set, so the carried cache stays valid.
         let sp = spec((0, 0), (1, 0), 1.0);
-        assert!(!s.admit(sp.clone(), &cfg.clone().into()).unwrap().is_admitted());
+        assert!(!s
+            .admit(sp.clone(), &cfg.clone().into())
+            .unwrap()
+            .is_admitted());
         // Retrying the identical request is served entirely from the
         // carried cache: zero misses in either stage.
         assert!(!s.admit(sp, &cfg.clone().into()).unwrap().is_admitted());
@@ -1491,13 +1827,19 @@ mod tests {
         let cfg = CacConfig::default();
         let h = SyncBandwidth::new(Seconds::from_millis(2.4));
         let d = s
-            .admit(spec((0, 0), (1, 0), 100.0), &AdmissionOptions::fixed(cfg.clone(), h, h))
+            .admit(
+                spec((0, 0), (1, 0), 100.0),
+                &AdmissionOptions::fixed(cfg.clone(), h, h),
+            )
             .unwrap();
         assert!(d.is_admitted());
         // Asking for more than remains on ring 0 is rejected outright.
         let whole = SyncBandwidth::new(Seconds::from_millis(7.0));
         let d = s
-            .admit(spec((0, 1), (2, 0), 100.0), &AdmissionOptions::fixed(cfg.clone(), whole, h))
+            .admit(
+                spec((0, 1), (2, 0), 100.0),
+                &AdmissionOptions::fixed(cfg.clone(), whole, h),
+            )
             .unwrap();
         assert!(matches!(
             d,
@@ -1506,7 +1848,10 @@ mod tests {
         // An undersized fixed allocation fails the deadline check.
         let tiny = SyncBandwidth::new(Seconds::from_micros(200.0));
         let d = s
-            .admit(spec((0, 1), (2, 0), 100.0), &AdmissionOptions::fixed(cfg.clone(), tiny, tiny))
+            .admit(
+                spec((0, 1), (2, 0), 100.0),
+                &AdmissionOptions::fixed(cfg.clone(), tiny, tiny),
+            )
             .unwrap();
         assert!(matches!(
             d,
@@ -1548,8 +1893,10 @@ mod tests {
     fn slacks_are_nonnegative_and_deadline_bounded() {
         let mut s = state();
         let cfg = CacConfig::fast();
-        s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap();
-        s.admit(spec((1, 0), (2, 0), 120.0), &cfg.clone().into()).unwrap();
+        s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into())
+            .unwrap();
+        s.admit(spec((1, 0), (2, 0), 120.0), &cfg.clone().into())
+            .unwrap();
         let slacks = s.slacks(&cfg).unwrap();
         assert_eq!(slacks.len(), s.active().len());
         for ((id, slack), c) in slacks.iter().zip(s.active()) {
@@ -1627,9 +1974,15 @@ mod tests {
         let cfg = CacConfig::fast();
         s.set_observer(Some(Box::new(Recorder(Arc::clone(&seen)))));
         s.set_clock(Seconds::new(1.5));
-        assert!(s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap().is_admitted());
+        assert!(s
+            .admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into())
+            .unwrap()
+            .is_admitted());
         s.set_clock(Seconds::new(2.5));
-        assert!(!s.admit(spec((0, 1), (1, 1), 1.0), &cfg.clone().into()).unwrap().is_admitted());
+        assert!(!s
+            .admit(spec((0, 1), (1, 1), 1.0), &cfg.clone().into())
+            .unwrap()
+            .is_admitted());
         assert_eq!(s.decisions(), 2);
         assert_eq!(s.clock(), Seconds::new(2.5));
         let _obs = s.take_observer().expect("installed above");
@@ -1645,14 +1998,25 @@ mod tests {
         let mut s = state();
         let cfg = CacConfig::fast();
         // Off by default: decisions leave no trace.
-        assert!(s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap().is_admitted());
+        assert!(s
+            .admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into())
+            .unwrap()
+            .is_admitted());
         assert!(s.last_decision_trace().is_none());
 
         s.set_decision_tracing(true);
         // Admit: allocation recorded, candidate entry last with its id,
         // nonnegative slack, no binding constraint.
-        let d = s.admit(spec((1, 0), (2, 0), 120.0), &cfg.clone().into()).unwrap();
-        let Decision::Admitted { id, h_s, delay_bound, .. } = d else {
+        let d = s
+            .admit(spec((1, 0), (2, 0), 120.0), &cfg.clone().into())
+            .unwrap();
+        let Decision::Admitted {
+            id,
+            h_s,
+            delay_bound,
+            ..
+        } = d
+        else {
             panic!("expected admission")
         };
         let t = s.last_decision_trace().expect("trace recorded").clone();
@@ -1676,7 +2040,9 @@ mod tests {
 
         // Reject (deadline): the binding constraint names the candidate
         // (no id) and a dominant stage, with positive excess.
-        let d = s.admit(spec((0, 1), (1, 1), 1.0), &cfg.clone().into()).unwrap();
+        let d = s
+            .admit(spec((0, 1), (1, 1), 1.0), &cfg.clone().into())
+            .unwrap();
         assert!(!d.is_admitted());
         let t = s.last_decision_trace().expect("trace recorded");
         assert!(!t.admitted);
@@ -1777,9 +2143,11 @@ mod tests {
         let mut s = state();
         let cfg = CacConfig::fast();
         s.set_observer(Some(Box::new(Recorder(Arc::clone(&seen)))));
-        s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into()).unwrap();
+        s.admit(spec((0, 0), (1, 0), 100.0), &cfg.clone().into())
+            .unwrap();
         s.set_decision_tracing(true);
-        s.admit(spec((0, 1), (1, 1), 1.0), &cfg.clone().into()).unwrap();
+        s.admit(spec((0, 1), (1, 1), 1.0), &cfg.clone().into())
+            .unwrap();
         let seen = seen.lock().unwrap();
         assert_eq!(seen.len(), 2);
         assert_eq!(seen[0], (0, false, None));
@@ -1799,11 +2167,27 @@ mod tests {
         let b = via_admit.admit(sp, &cfg.clone().into()).unwrap();
         match (a, b) {
             (
-                Decision::Admitted { h_s: ha, h_r: ra, delay_bound: da, .. },
-                Decision::Admitted { h_s: hb, h_r: rb, delay_bound: db, .. },
+                Decision::Admitted {
+                    h_s: ha,
+                    h_r: ra,
+                    delay_bound: da,
+                    ..
+                },
+                Decision::Admitted {
+                    h_s: hb,
+                    h_r: rb,
+                    delay_bound: db,
+                    ..
+                },
             ) => {
-                assert_eq!(ha.per_rotation().value().to_bits(), hb.per_rotation().value().to_bits());
-                assert_eq!(ra.per_rotation().value().to_bits(), rb.per_rotation().value().to_bits());
+                assert_eq!(
+                    ha.per_rotation().value().to_bits(),
+                    hb.per_rotation().value().to_bits()
+                );
+                assert_eq!(
+                    ra.per_rotation().value().to_bits(),
+                    rb.per_rotation().value().to_bits()
+                );
                 assert_eq!(da.value().to_bits(), db.value().to_bits());
             }
             (a, b) => panic!("wrapper diverged: {a:?} vs {b:?}"),
@@ -1815,5 +2199,179 @@ mod tests {
             .admit(sp2, &AdmissionOptions::fixed(cfg.clone(), h, h))
             .unwrap();
         assert_eq!(a.is_admitted(), b.is_admitted());
+    }
+
+    #[test]
+    fn ring_failure_tears_down_and_reclaims() {
+        let mut s = state();
+        let cfg = CacConfig::fast();
+        let opts: AdmissionOptions = cfg.clone().into();
+        // Two connections touch ring 1, one does not.
+        assert!(s
+            .admit(spec((0, 0), (1, 0), 100.0), &opts)
+            .unwrap()
+            .is_admitted());
+        assert!(s
+            .admit(spec((1, 1), (2, 0), 100.0), &opts)
+            .unwrap()
+            .is_admitted());
+        assert!(s
+            .admit(spec((0, 1), (2, 1), 100.0), &opts)
+            .unwrap()
+            .is_admitted());
+        let report = s.set_component_down(Component::Ring(RingId(1))).unwrap();
+        assert!(!report.already_down);
+        assert_eq!(report.torn.len(), 2);
+        assert!(report.reclaimed_s.value() > 0.0);
+        assert!(report.reclaimed_r.value() > 0.0);
+        assert_eq!(s.active().len(), 1);
+        // Ring 1's budget is fully back; ring 0 still carries the survivor.
+        assert!((s.available_on(1).as_millis() - 7.2).abs() < 1e-9);
+        assert!(s.available_on(0) < Seconds::from_millis(7.2));
+        // Downing again is a no-op.
+        let again = s.set_component_down(Component::Ring(RingId(1))).unwrap();
+        assert!(again.already_down);
+        assert!(again.torn.is_empty());
+    }
+
+    #[test]
+    fn down_component_rejects_without_evaluation() {
+        let mut s = state();
+        let opts: AdmissionOptions = CacConfig::fast().into();
+        s.set_component_down(Component::IfDev(RingId(2))).unwrap();
+        s.set_decision_tracing(true);
+        let d = s.admit(spec((0, 0), (2, 0), 100.0), &opts).unwrap();
+        assert!(matches!(
+            d,
+            Decision::Rejected(RejectReason::ComponentUnavailable {
+                component: Component::IfDev(RingId(2))
+            })
+        ));
+        let t = s.last_decision_trace().unwrap();
+        assert_eq!(t.binding.as_ref().unwrap().kind(), "component_down");
+        assert!(t.connections.is_empty());
+        // A path avoiding ring 2 is unaffected.
+        assert!(s
+            .admit(spec((0, 0), (1, 0), 100.0), &opts)
+            .unwrap()
+            .is_admitted());
+        // Restore; the previously blocked path admits again.
+        assert!(s.set_component_up(Component::IfDev(RingId(2))).unwrap());
+        assert!(!s.set_component_up(Component::IfDev(RingId(2))).unwrap());
+        assert!(s
+            .admit(spec((0, 1), (2, 0), 100.0), &opts)
+            .unwrap()
+            .is_admitted());
+    }
+
+    #[test]
+    fn link_failure_hits_only_routed_pairs() {
+        let mut s = state();
+        let opts: AdmissionOptions = CacConfig::fast().into();
+        assert!(s
+            .admit(spec((0, 0), (1, 0), 100.0), &opts)
+            .unwrap()
+            .is_admitted());
+        assert!(s
+            .admit(spec((1, 1), (2, 0), 100.0), &opts)
+            .unwrap()
+            .is_admitted());
+        // Find the link carrying the 0->1 route and fail it.
+        let link = s.network().route_between(0, 1).unwrap()[0];
+        let report = s.set_component_down(Component::Link(link)).unwrap();
+        assert_eq!(report.torn.len(), 1);
+        assert_eq!(report.torn[0].spec.source.ring, 0);
+        // The fully-meshed backbone routes 1->2 over a different link.
+        assert_eq!(s.active().len(), 1);
+        let d = s.admit(spec((0, 1), (1, 2), 100.0), &opts).unwrap();
+        assert!(matches!(
+            d,
+            Decision::Rejected(RejectReason::ComponentUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_components_are_rejected() {
+        let mut s = state();
+        assert!(matches!(
+            s.set_component_down(Component::Ring(RingId(9))),
+            Err(CacError::InvalidNetwork(_))
+        ));
+        assert!(matches!(
+            s.set_component_up(Component::Link(hetnet_atm::topology::LinkId(99))),
+            Err(CacError::InvalidNetwork(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_is_lossless_here() {
+        let mut s = state();
+        let opts: AdmissionOptions = CacConfig::fast().into();
+        s.set_clock(Seconds::new(12.5));
+        assert!(s
+            .admit(spec((0, 0), (1, 0), 100.0), &opts)
+            .unwrap()
+            .is_admitted());
+        assert!(s
+            .admit(spec((1, 1), (2, 0), 90.0), &opts)
+            .unwrap()
+            .is_admitted());
+        s.set_component_down(Component::Ring(RingId(2))).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.version, crate::snapshot::SNAPSHOT_VERSION);
+        assert_eq!(snap.connections.len(), 1); // ring-2 teardown removed one
+        assert_eq!(snap.down, vec![Component::Ring(RingId(2))]);
+
+        let mut restored =
+            NetworkState::from_snapshot(HetNetwork::paper_topology(), &snap).unwrap();
+        assert_eq!(restored.snapshot().to_json(), snap.to_json());
+        assert_eq!(
+            restored.available_on(0).value().to_bits(),
+            s.available_on(0).value().to_bits()
+        );
+        assert_eq!(
+            restored.clock().value().to_bits(),
+            s.clock().value().to_bits()
+        );
+        assert_eq!(restored.decisions(), s.decisions());
+        // Both copies now make bit-identical decisions.
+        let sp = spec((0, 1), (1, 2), 100.0);
+        match (
+            s.admit(sp.clone(), &opts).unwrap(),
+            restored.admit(sp, &opts).unwrap(),
+        ) {
+            (
+                Decision::Admitted {
+                    id: ia, h_s: ha, ..
+                },
+                Decision::Admitted {
+                    id: ib, h_s: hb, ..
+                },
+            ) => {
+                assert_eq!(ia, ib);
+                assert_eq!(
+                    ha.per_rotation().value().to_bits(),
+                    hb.per_rotation().value().to_bits()
+                );
+            }
+            (a, b) => panic!("diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatches() {
+        let s = state();
+        let mut snap = s.snapshot();
+        snap.version = 99;
+        assert!(matches!(
+            NetworkState::new(HetNetwork::paper_topology()).restore(&snap),
+            Err(CacError::SnapshotMismatch(_))
+        ));
+        let mut snap = s.snapshot();
+        snap.topology.rings = 7;
+        assert!(matches!(
+            NetworkState::new(HetNetwork::paper_topology()).restore(&snap),
+            Err(CacError::SnapshotMismatch(_))
+        ));
     }
 }

@@ -179,8 +179,20 @@ mod tests {
             .deadline(Seconds::from_millis(40.0))
             .build()
             .unwrap();
-        assert_eq!(spec.source, HostId { ring: 0, station: 1 });
-        assert_eq!(spec.dest, HostId { ring: 2, station: 3 });
+        assert_eq!(
+            spec.source,
+            HostId {
+                ring: 0,
+                station: 1
+            }
+        );
+        assert_eq!(
+            spec.dest,
+            HostId {
+                ring: 2,
+                station: 3
+            }
+        );
         assert_eq!(spec.deadline.as_millis(), 40.0);
     }
 

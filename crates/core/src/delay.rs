@@ -737,7 +737,11 @@ impl<'a> Evaluator<'a> {
                 let (mux_kind, mux_index) = key.parts();
                 let mux_event = |hit: bool, delay: Option<Seconds>| {
                     obs::event(
-                        if delay.is_some() { "mux" } else { "mux_infeasible" },
+                        if delay.is_some() {
+                            "mux"
+                        } else {
+                            "mux_infeasible"
+                        },
                         &[
                             ("kind", obs::FieldValue::Str(mux_kind)),
                             ("index", obs::FieldValue::U64(mux_index as u64)),
@@ -1154,18 +1158,32 @@ mod tests {
     fn undersized_buffers_make_paths_infeasible() {
         // A generous allocation is feasible with unlimited buffers…
         let generous = path((0, 0), (1, 0), 2.4, 2.4);
-        let unlimited = evaluate_paths(&net(), std::slice::from_ref(&generous), &EvalConfig::default())
-            .unwrap()
-            .feasible()
-            .expect("feasible without buffer limits");
+        let unlimited = evaluate_paths(
+            &net(),
+            std::slice::from_ref(&generous),
+            &EvalConfig::default(),
+        )
+        .unwrap()
+        .feasible()
+        .expect("feasible without buffer limits");
         let needed = unlimited[0].buffer_mac_s;
         // …but a host buffer below the Theorem-1.2 requirement overflows.
         let tiny = net().with_buffers(Some(Bits::new(needed.value() * 0.5)), None);
-        let out = evaluate_paths(&tiny, std::slice::from_ref(&generous), &EvalConfig::default()).unwrap();
+        let out = evaluate_paths(
+            &tiny,
+            std::slice::from_ref(&generous),
+            &EvalConfig::default(),
+        )
+        .unwrap();
         assert!(matches!(out, EvalOutcome::Infeasible(_)));
         // A buffer at least the requirement keeps the path feasible.
         let enough = net().with_buffers(Some(Bits::new(needed.value() * 1.2)), None);
-        let out = evaluate_paths(&enough, std::slice::from_ref(&generous), &EvalConfig::default()).unwrap();
+        let out = evaluate_paths(
+            &enough,
+            std::slice::from_ref(&generous),
+            &EvalConfig::default(),
+        )
+        .unwrap();
         assert!(matches!(out, EvalOutcome::Feasible(_)));
         // Same on the device side.
         let needed_r = unlimited[0].buffer_mac_r;

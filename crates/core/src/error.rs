@@ -25,6 +25,9 @@ pub enum CacError {
     UnknownConnection(ConnectionId),
     /// An underlying substrate reported a configuration error.
     Substrate(String),
+    /// A [`crate::snapshot::StateSnapshot`] cannot be restored here:
+    /// wrong version, wrong topology, or internally inconsistent.
+    SnapshotMismatch(String),
 }
 
 impl CacError {
@@ -39,6 +42,7 @@ impl CacError {
             Self::InvalidRequest(_) => "invalid_request",
             Self::UnknownConnection(_) => "unknown_connection",
             Self::Substrate(_) => "substrate",
+            Self::SnapshotMismatch(_) => "snapshot_mismatch",
         }
     }
 }
@@ -50,6 +54,7 @@ impl fmt::Display for CacError {
             Self::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             Self::UnknownConnection(id) => write!(f, "unknown connection {id}"),
             Self::Substrate(m) => write!(f, "substrate error: {m}"),
+            Self::SnapshotMismatch(m) => write!(f, "snapshot mismatch: {m}"),
         }
     }
 }
@@ -80,13 +85,23 @@ mod tests {
 
     #[test]
     fn kind_tags_are_stable_and_detail_free() {
-        assert_eq!(CacError::InvalidNetwork("x".into()).kind(), "invalid_network");
-        assert_eq!(CacError::InvalidRequest("y".into()).kind(), "invalid_request");
+        assert_eq!(
+            CacError::InvalidNetwork("x".into()).kind(),
+            "invalid_network"
+        );
+        assert_eq!(
+            CacError::InvalidRequest("y".into()).kind(),
+            "invalid_request"
+        );
         assert_eq!(
             CacError::UnknownConnection(ConnectionId(3)).kind(),
             "unknown_connection"
         );
         assert_eq!(CacError::Substrate("z".into()).kind(), "substrate");
+        assert_eq!(
+            CacError::SnapshotMismatch("v".into()).kind(),
+            "snapshot_mismatch"
+        );
     }
 
     #[test]
@@ -109,13 +124,23 @@ mod tests {
     #[test]
     fn error_trait_covers_every_variant() {
         let variants: Vec<(CacError, &str)> = vec![
-            (CacError::InvalidNetwork("bad ring".into()), "invalid network"),
-            (CacError::InvalidRequest("bad spec".into()), "invalid request"),
+            (
+                CacError::InvalidNetwork("bad ring".into()),
+                "invalid network",
+            ),
+            (
+                CacError::InvalidRequest("bad spec".into()),
+                "invalid request",
+            ),
             (
                 CacError::UnknownConnection(ConnectionId(7)),
                 "unknown connection",
             ),
             (CacError::Substrate("mux".into()), "substrate error"),
+            (
+                CacError::SnapshotMismatch("version 2 != 1".into()),
+                "snapshot mismatch",
+            ),
         ];
         for (err, needle) in variants {
             let through_display = err.to_string();
@@ -140,9 +165,7 @@ mod tests {
     fn non_exhaustive_matching_idiom() {
         use crate::cac::RejectReason;
         use hetnet_traffic::units::Seconds;
-        let r = RejectReason::InfeasibleAtMaximum {
-            detail: "x".into(),
-        };
+        let r = RejectReason::InfeasibleAtMaximum { detail: "x".into() };
         // In the defining crate the wildcard is redundant (the compiler
         // sees all variants); downstream crates are *forced* to write it.
         #[allow(unreachable_patterns)]

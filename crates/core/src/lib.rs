@@ -75,13 +75,15 @@ pub mod error;
 pub mod experiment;
 pub mod network;
 pub mod region;
+pub mod snapshot;
 pub mod trace;
 
 pub use cac::{
     AdmissionOptions, AllocationPolicy, CacConfig, Decision, DecisionObserver, DecisionRecord,
-    NetworkState, RejectReason,
+    NetworkState, RejectReason, TeardownReport,
 };
 pub use connection::{ConnectionId, ConnectionSpec, ConnectionSpecBuilder};
 pub use error::CacError;
-pub use network::{HetNetwork, HostId, RingId, TopologySummary};
+pub use network::{Component, HetNetwork, HostId, LinkId, RingId, TopologySummary};
+pub use snapshot::{ConnectionSnapshot, StateSnapshot, SNAPSHOT_VERSION};
 pub use trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};

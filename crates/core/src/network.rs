@@ -3,7 +3,8 @@
 
 use crate::error::CacError;
 use hetnet_atm::topology::{Backbone, SwitchId};
-use hetnet_atm::{LinkConfig, LinkId, SwitchConfig};
+pub use hetnet_atm::LinkId;
+use hetnet_atm::{LinkConfig, SwitchConfig};
 use hetnet_fddi::ring::RingConfig;
 use hetnet_ifdev::IfDevConfig;
 use hetnet_traffic::units::{Bits, Seconds};
@@ -73,6 +74,59 @@ impl From<(usize, usize)> for HostId {
 impl fmt::Display for HostId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "host-{}.{}", self.ring, self.station)
+    }
+}
+
+/// A failable piece of the heterogeneous network, as seen by fault
+/// injection and admission control.
+///
+/// Granularity follows the paper's server model: a connection crosses
+/// its source ring, the source interface device, the backbone links of
+/// its route, the destination interface device, and the destination
+/// ring. Any of those going down makes the connection's path
+/// unavailable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// An entire FDDI ring (trunk break / ring wrap failure): every
+    /// connection sourced or sunk on it loses service.
+    Ring(RingId),
+    /// One backbone link between ATM switches.
+    Link(LinkId),
+    /// The interface device attaching ring `i` to its switch. Downing
+    /// it severs the ring from the backbone but (unlike [`Self::Ring`])
+    /// the model keeps same-switch semantics identical here: every
+    /// connection touching the ring crosses its interface device.
+    IfDev(RingId),
+}
+
+impl Component {
+    /// Stable lowercase tag for JSON and metrics keys.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Ring(_) => "ring",
+            Self::Link(_) => "link",
+            Self::IfDev(_) => "ifdev",
+        }
+    }
+
+    /// The component's index within its kind.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match self {
+            Self::Ring(r) | Self::IfDev(r) => r.0,
+            Self::Link(l) => l.0,
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Ring(r) => write!(f, "ring-{}", r.0),
+            Self::Link(l) => write!(f, "link-{}", l.0),
+            Self::IfDev(r) => write!(f, "ifdev-{}", r.0),
+        }
     }
 }
 
@@ -303,14 +357,12 @@ impl HetNetwork {
                 "ring pair ({ring_s}, {ring_r}) out of range for {n} rings"
             )));
         }
-        self.routes[ring_s * n + ring_r]
-            .as_deref()
-            .ok_or_else(|| {
-                CacError::from(hetnet_atm::AtmError::NoRoute {
-                    from: self.switch_of(ring_s),
-                    to: self.switch_of(ring_r),
-                })
+        self.routes[ring_s * n + ring_r].as_deref().ok_or_else(|| {
+            CacError::from(hetnet_atm::AtmError::NoRoute {
+                from: self.switch_of(ring_s),
+                to: self.switch_of(ring_r),
             })
+        })
     }
 
     /// The compact shape of this network, for trace labels and reports.
@@ -436,7 +488,10 @@ mod tests {
         );
         assert_eq!(RingId::from(3).index(), 3);
         assert_eq!(format!("{}", RingId(1)), "ring-1");
-        let host = HostId { ring: 2, station: 0 };
+        let host = HostId {
+            ring: 2,
+            station: 0,
+        };
         assert_eq!(host.ring_id(), RingId(2));
     }
 

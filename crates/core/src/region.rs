@@ -657,10 +657,7 @@ fn certify(grid: usize, runs: &[(usize, usize)], memo: &[Option<bool>]) -> Optio
         if band.iter().any(|&(lo, hi)| hi <= lo) {
             return None;
         }
-        if band
-            .windows(2)
-            .any(|w| w[1].0 > w[0].0 || w[1].1 < w[0].1)
-        {
+        if band.windows(2).any(|w| w[1].0 > w[0].0 || w[1].1 < w[0].1) {
             return None;
         }
     }
@@ -672,10 +669,7 @@ fn certify(grid: usize, runs: &[(usize, usize)], memo: &[Option<bool>]) -> Optio
 /// already evaluated are not re-evaluated, and a deterministic oracle
 /// makes the outcome identical to a pure dense sweep). Returns the flat
 /// map, the number of oracle evaluations, and whether it fell back.
-fn frontier_map(
-    grid: usize,
-    mut oracle: impl Oracle,
-) -> Result<(Vec<bool>, u64, bool), CacError> {
+fn frontier_map(grid: usize, mut oracle: impl Oracle) -> Result<(Vec<bool>, u64, bool), CacError> {
     let mut memo = vec![None; grid * grid];
     let mut evals = 0u64;
     let runs = trace_frontier(&mut memo, &mut evals, &mut oracle, grid)?;

@@ -11,7 +11,7 @@
 
 use crate::connection::ConnectionId;
 use crate::delay::{CacheStats, PathReport};
-use crate::network::RingId;
+use crate::network::{Component, RingId};
 use hetnet_fddi::ring::SyncBandwidth;
 use hetnet_obs::export::push_json_str;
 use hetnet_traffic::units::Seconds;
@@ -161,12 +161,19 @@ pub enum BindingConstraint {
         /// Which server, verbatim from the evaluator.
         detail: String,
     },
+    /// A component on the request's path is marked down (fault
+    /// injection / operational failure): no allocation can help until
+    /// it is restored.
+    ComponentDown {
+        /// The failed component.
+        component: Component,
+    },
 }
 
 impl BindingConstraint {
     /// Stable kind tag used by exporters and metrics
     /// (`"source_bandwidth"`, `"dest_bandwidth"`, `"deadline"`,
-    /// `"unstable"`).
+    /// `"unstable"`, `"component_down"`).
     #[must_use]
     pub fn kind(&self) -> &'static str {
         match self {
@@ -174,6 +181,7 @@ impl BindingConstraint {
             Self::DestBandwidth { .. } => "dest_bandwidth",
             Self::DeadlineExceeded { .. } => "deadline",
             Self::ServerUnstable { .. } => "unstable",
+            Self::ComponentDown { .. } => "component_down",
         }
     }
 }
@@ -214,6 +222,9 @@ impl fmt::Display for BindingConstraint {
                 )
             }
             Self::ServerUnstable { detail } => write!(f, "server unstable: {detail}"),
+            Self::ComponentDown { component } => {
+                write!(f, "component {component} is down on the request's path")
+            }
         }
     }
 }
@@ -392,6 +403,15 @@ fn push_binding_json(out: &mut String, b: &BindingConstraint) {
             push_json_str(out, detail);
             out.push('}');
         }
+        BindingConstraint::ComponentDown { component } => {
+            let _ = write!(
+                out,
+                "\"component\":\"{}\",\"component_kind\":\"{}\",\"component_index\":{}}}",
+                component,
+                component.kind(),
+                component.index()
+            );
+        }
     }
 }
 
@@ -472,6 +492,12 @@ mod tests {
                 },
                 "unstable",
             ),
+            (
+                BindingConstraint::ComponentDown {
+                    component: Component::Ring(RingId(1)),
+                },
+                "component_down",
+            ),
         ];
         for (b, kind) in cases {
             assert_eq!(b.kind(), kind);
@@ -518,14 +544,32 @@ mod tests {
         let line = trace.to_json_line();
         assert!(line.starts_with("{\"seq\":4,\"at_s\":12.5,\"admitted\":false,"));
         assert!(line.contains("\"allocation\":{\"h_s_s\":0.002,\"h_r_s\":0.0025}"));
-        assert!(line.contains("\"binding\":{\"kind\":\"deadline\",\"connection\":null,\"stage\":\"atm\""));
-        assert!(line.contains("\"cache\":{\"stage1_hits\":5,\"stage1_misses\":1,\"mux_hits\":10,\"mux_misses\":2}"));
+        assert!(line
+            .contains("\"binding\":{\"kind\":\"deadline\",\"connection\":null,\"stage\":\"atm\""));
+        assert!(line.contains(
+            "\"cache\":{\"stage1_hits\":5,\"stage1_misses\":1,\"mux_hits\":10,\"mux_misses\":2}"
+        ));
         assert!(line.contains("\"id\":2,"));
         assert!(line.contains("\"id\":null,"));
         assert!(line.contains("\"dominant\":\"atm\""));
         assert!(line.ends_with("]}"));
         assert!(!line.contains('\n'));
         assert_eq!(trace.candidate().unwrap().id, None);
+    }
+
+    #[test]
+    fn component_down_binding_json() {
+        use hetnet_atm::topology::LinkId;
+        let b = BindingConstraint::ComponentDown {
+            component: Component::Link(LinkId(4)),
+        };
+        let mut out = String::new();
+        push_binding_json(&mut out, &b);
+        assert_eq!(
+            out,
+            "{\"kind\":\"component_down\",\"component\":\"link-4\",\
+             \"component_kind\":\"link\",\"component_index\":4}"
+        );
     }
 
     #[test]

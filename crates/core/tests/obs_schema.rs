@@ -1,8 +1,9 @@
 //! Golden-file schema check for the observability JSON-lines formats.
 //!
 //! A pinned admission scenario (two admits, a deadline reject, a
-//! bandwidth reject, an unstable-server reject) is run with decision
-//! tracing on under an installed `hetnet-obs` collector. Every
+//! bandwidth reject, an unstable-server reject, a component failure
+//! with teardown, a component-down reject, and a restore) is run with
+//! decision tracing on under an installed `hetnet-obs` collector. Every
 //! [`DecisionTrace::to_json_line`] line, every obs record from
 //! [`Trace::to_json_lines`], and every Prometheus exposition line is
 //! reduced to its *shape* — keys, structure, and deterministic string
@@ -19,7 +20,7 @@
 
 use hetnet_cac::cac::{AdmissionOptions, CacConfig, NetworkState};
 use hetnet_cac::connection::ConnectionSpec;
-use hetnet_cac::network::{HetNetwork, HostId};
+use hetnet_cac::network::{Component, HetNetwork, HostId, RingId};
 use hetnet_fddi::ring::SyncBandwidth;
 use hetnet_traffic::models::DualPeriodicEnvelope;
 use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
@@ -120,6 +121,21 @@ fn exporter_schemas_match_golden_file() {
                     .to_json_line(),
             );
         }
+        // Fail ring 1 (tears down both admitted connections), observe a
+        // component-down reject, then restore.
+        let report = s
+            .set_component_down(Component::Ring(RingId(1)))
+            .expect("known component");
+        assert_eq!(report.torn.len(), 2);
+        s.admit(spec((1, 2), (2, 3), 100.0), &beta)
+            .expect("well-formed request");
+        lines.push(
+            s.last_decision_trace()
+                .expect("tracing is on")
+                .to_json_line(),
+        );
+        s.set_component_up(Component::Ring(RingId(1)))
+            .expect("known component");
         lines
     });
     assert_eq!(trace.dropped(), 0, "capacity too small for the scenario");
@@ -153,7 +169,8 @@ fn exporter_schemas_match_golden_file() {
         )
     });
     assert_eq!(
-        rendered, golden,
+        rendered,
+        golden,
         "exporter schema drifted from {}; if the change is intentional, \
          regenerate with OBS_SCHEMA_WRITE=1",
         golden_path.display()

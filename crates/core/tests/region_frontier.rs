@@ -63,7 +63,12 @@ fn candidate(c1_mbit: f64, bursts: usize, deadline_ms: f64) -> ConnectionSpec {
     }
 }
 
-fn dense(net: &HetNetwork, active: &[PathInput], spec: &ConnectionSpec, grid: usize) -> RegionSample {
+fn dense(
+    net: &HetNetwork,
+    active: &[PathInput],
+    spec: &ConnectionSpec,
+    grid: usize,
+) -> RegionSample {
     sample_region_threads(
         net,
         active,
@@ -165,7 +170,10 @@ fn frontier_matches_dense_on_benchmark_grid() {
     let d = dense(&net, &active, &spec, 17);
     let f = frontier(&net, &active, &spec, 17);
     assert_identical(&d, &f, "grid 17");
-    assert!(!f.fell_back, "benchmark region is convex; no fallback expected");
+    assert!(
+        !f.fell_back,
+        "benchmark region is convex; no fallback expected"
+    );
     assert!(
         f.evals * 3 <= d.evals,
         "frontier did {} evals vs dense {} (needs ≤ 1/3)",

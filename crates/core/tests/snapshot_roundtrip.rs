@@ -1,0 +1,193 @@
+//! Snapshot losslessness: `restore(snapshot(s))` reproduces a state
+//! observably identical to `s` — same JSON rendering (bit-identical
+//! numeric fields), same per-ring availability bits, and the same
+//! admit/reject outcome on a randomized churn replay. A pinned golden
+//! snapshot locks the JSON format (and, through shortest-roundtrip
+//! float formatting, the exact bits) against drift.
+//!
+//! Regenerate the golden file with `SNAPSHOT_WRITE=1 cargo test -p
+//! hetnet-cac --test snapshot_roundtrip` after an intentional format
+//! change, and say why in the commit.
+
+use hetnet_cac::cac::{AdmissionOptions, CacConfig, Decision, NetworkState};
+use hetnet_cac::connection::ConnectionSpec;
+use hetnet_cac::network::{Component, HetNetwork, HostId, RingId};
+use hetnet_traffic::models::DualPeriodicEnvelope;
+use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
+use proptest::prelude::*;
+use std::path::Path;
+use std::sync::Arc;
+
+fn spec(
+    src: (usize, usize),
+    dst: (usize, usize),
+    deadline_ms: f64,
+    c1_mbit: f64,
+) -> ConnectionSpec {
+    ConnectionSpec {
+        source: HostId {
+            ring: src.0,
+            station: src.1,
+        },
+        dest: HostId {
+            ring: dst.0,
+            station: dst.1,
+        },
+        envelope: Arc::new(
+            DualPeriodicEnvelope::new(
+                Bits::from_mbits(c1_mbit),
+                Seconds::from_millis(100.0),
+                Bits::from_mbits(c1_mbit / 8.0),
+                Seconds::from_millis(12.5),
+                BitsPerSec::from_mbps(100.0),
+            )
+            .expect("valid source"),
+        ),
+        deadline: Seconds::from_millis(deadline_ms),
+    }
+}
+
+/// Drives a deterministic mixed scenario (admits, a teardown, a
+/// failure) and returns the state.
+fn pinned_state() -> NetworkState {
+    let mut s = NetworkState::new(HetNetwork::paper_topology());
+    let opts = AdmissionOptions::beta_search(CacConfig::fast());
+    s.set_clock(Seconds::new(3.25));
+    assert!(s
+        .admit(spec((0, 0), (1, 0), 100.0, 2.0), &opts)
+        .unwrap()
+        .is_admitted());
+    s.set_clock(Seconds::new(7.5));
+    assert!(s
+        .admit(spec((1, 1), (2, 0), 90.0, 1.5), &opts)
+        .unwrap()
+        .is_admitted());
+    s.set_clock(Seconds::new(11.0));
+    assert!(s
+        .admit(spec((2, 1), (0, 2), 120.0, 1.0), &opts)
+        .unwrap()
+        .is_admitted());
+    // One infeasible request (counted in decision_seq, no state change).
+    assert!(!s
+        .admit(spec((0, 3), (2, 3), 1.0, 2.0), &opts)
+        .unwrap()
+        .is_admitted());
+    s.set_component_down(Component::IfDev(RingId(1))).unwrap();
+    s
+}
+
+#[test]
+fn pinned_snapshot_matches_golden() {
+    let golden = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/state_snapshot.json");
+    let json = pinned_state().snapshot().to_json();
+    if std::env::var_os("SNAPSHOT_WRITE").is_some() {
+        std::fs::write(&golden, format!("{json}\n")).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden)
+        .expect("golden snapshot missing; regenerate with SNAPSHOT_WRITE=1");
+    assert_eq!(
+        json,
+        want.trim_end(),
+        "snapshot JSON drifted from the pinned golden; if intentional, \
+         regenerate with SNAPSHOT_WRITE=1 and explain in the commit"
+    );
+}
+
+#[test]
+fn pinned_snapshot_restores_bit_identically() {
+    let s = pinned_state();
+    let snap = s.snapshot();
+    let restored = NetworkState::from_snapshot(HetNetwork::paper_topology(), &snap).unwrap();
+    assert_eq!(restored.snapshot().to_json(), snap.to_json());
+    for ring in 0..3 {
+        assert_eq!(
+            restored.available_on(ring).value().to_bits(),
+            s.available_on(ring).value().to_bits(),
+            "ring {ring} availability drifted through restore"
+        );
+    }
+    assert_eq!(restored.down_components(), s.down_components());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized round-trip: after a random admission history (some of
+    /// which reject) and an optional component failure, the restored
+    /// state matches bit-for-bit and decides the next request
+    /// identically.
+    #[test]
+    fn restore_reproduces_state_and_decisions(
+        seed in 0_u64..1_000_000,
+        n_requests in 2_usize..10,
+        // 0..3 fail that ring; 3 injects no fault.
+        fail_ring in 0_usize..4,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opts = AdmissionOptions::beta_search(CacConfig::fast());
+        let mut s = NetworkState::new(HetNetwork::paper_topology());
+        for i in 0..n_requests {
+            let src_ring = rng.gen_range(0..3usize);
+            let mut dst_ring = rng.gen_range(0..3usize);
+            if dst_ring == src_ring {
+                dst_ring = (dst_ring + 1) % 3;
+            }
+            let sp = spec(
+                (src_ring, rng.gen_range(0..4usize)),
+                (dst_ring, rng.gen_range(0..4usize)),
+                rng.gen_range(40.0..160.0),
+                rng.gen_range(0.5..2.5),
+            );
+            s.set_clock(Seconds::new(i as f64));
+            let _ = s.admit(sp, &opts).unwrap();
+        }
+        if fail_ring < 3 {
+            s.set_component_down(Component::Ring(RingId(fail_ring)))
+                .unwrap();
+        }
+        let snap = s.snapshot();
+        let mut restored =
+            NetworkState::from_snapshot(HetNetwork::paper_topology(), &snap).unwrap();
+        prop_assert_eq!(restored.snapshot().to_json(), snap.to_json());
+        for ring in 0..3 {
+            prop_assert_eq!(
+                restored.available_on(ring).value().to_bits(),
+                s.available_on(ring).value().to_bits()
+            );
+        }
+        // The next decision (chosen to cross rings that may be down or
+        // loaded) is identical in both copies, including allocations.
+        let probe = spec(
+            (0, rng.gen_range(0..4usize)),
+            (rng.gen_range(1..3usize), 0),
+            rng.gen_range(40.0..160.0),
+            rng.gen_range(0.5..2.5),
+        );
+        let a = s.admit(probe.clone(), &opts).unwrap();
+        let b = restored.admit(probe, &opts).unwrap();
+        match (a, b) {
+            (
+                Decision::Admitted { id: ia, h_s: ha, h_r: ra, delay_bound: da },
+                Decision::Admitted { id: ib, h_s: hb, h_r: rb, delay_bound: db },
+            ) => {
+                prop_assert_eq!(ia, ib);
+                prop_assert_eq!(
+                    ha.per_rotation().value().to_bits(),
+                    hb.per_rotation().value().to_bits()
+                );
+                prop_assert_eq!(
+                    ra.per_rotation().value().to_bits(),
+                    rb.per_rotation().value().to_bits()
+                );
+                prop_assert_eq!(da.value().to_bits(), db.value().to_bits());
+            }
+            (Decision::Rejected(ra), Decision::Rejected(rb)) => {
+                prop_assert_eq!(ra.to_string(), rb.to_string());
+            }
+            (a, b) => prop_assert!(false, "decisions diverged: {:?} vs {:?}", a, b),
+        }
+    }
+}

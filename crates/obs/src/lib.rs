@@ -191,7 +191,13 @@ mod collector {
         })
     }
 
-    fn push(col: &mut Collector, kind: RecordKind, name: &'static str, span: u64, fields: &[(&'static str, FieldValue)]) {
+    fn push(
+        col: &mut Collector,
+        kind: RecordKind,
+        name: &'static str,
+        span: u64,
+        fields: &[(&'static str, FieldValue)],
+    ) {
         let record = TraceRecord {
             seq: col.next_seq,
             at_nanos: u64::try_from(col.origin.elapsed().as_nanos()).unwrap_or(u64::MAX),

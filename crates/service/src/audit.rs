@@ -14,6 +14,28 @@ use hetnet_traffic::units::Seconds;
 use serde::Serialize;
 use std::fmt::Write as _;
 
+/// Why the engine made a decision: a scheduled churn arrival, or a
+/// re-admission attempt for a connection torn down by a fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum AuditKind {
+    /// A scheduled arrival from the churn workload.
+    Arrival,
+    /// A fault-recovery re-admission attempt (the `arrival` field names
+    /// the original schedule index the connection came from).
+    Readmit,
+}
+
+impl AuditKind {
+    /// Stable lowercase tag for JSON.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Arrival => "arrival",
+            Self::Readmit => "readmit",
+        }
+    }
+}
+
 /// The decided outcome, flattened for logging.
 #[derive(Clone, Debug, PartialEq, Serialize)]
 pub enum AuditOutcome {
@@ -74,6 +96,7 @@ pub fn reason_class(reason: &RejectReason) -> &'static str {
         RejectReason::SourceBandwidthExhausted { .. } => "source_exhausted",
         RejectReason::DestBandwidthExhausted { .. } => "dest_exhausted",
         RejectReason::InfeasibleAtMaximum { .. } => "infeasible",
+        RejectReason::ComponentUnavailable { .. } => "component_down",
         // `RejectReason` is non_exhaustive; unknown classes still log.
         _ => "other",
     }
@@ -86,6 +109,8 @@ pub struct AuditEntry {
     pub seq: u64,
     /// Event-stream time of the decision.
     pub at: Seconds,
+    /// What triggered the decision.
+    pub kind: AuditKind,
     /// Index of the arrival in the churn schedule.
     pub arrival: usize,
     /// Requesting `(ring, station)`.
@@ -102,13 +127,31 @@ pub struct AuditEntry {
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct AuditLog {
     entries: Vec<AuditEntry>,
+    start: u64,
 }
 
 impl AuditLog {
-    /// An empty log.
+    /// An empty log starting at sequence 0.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty log whose first entry must carry sequence `start` — the
+    /// tail of a longer log, as written by an engine recovered from a
+    /// snapshot taken after `start` decisions.
+    #[must_use]
+    pub fn starting_at(start: u64) -> Self {
+        Self {
+            entries: Vec::new(),
+            start,
+        }
+    }
+
+    /// The sequence number the log starts at (0 for a full-run log).
+    #[must_use]
+    pub fn start(&self) -> u64 {
+        self.start
     }
 
     /// Appends one entry.
@@ -120,7 +163,7 @@ impl AuditLog {
     pub fn append(&mut self, entry: AuditEntry) {
         assert_eq!(
             entry.seq,
-            self.entries.len() as u64,
+            self.start + self.entries.len() as u64,
             "audit log must stay gap-free and ordered"
         );
         self.entries.push(entry);
@@ -154,10 +197,17 @@ impl AuditLog {
             }
             let _ = write!(
                 out,
-                "{{\"seq\":{},\"at\":{:.9},\"arrival\":{},\
+                "{{\"seq\":{},\"at\":{:.9},\"kind\":\"{}\",\"arrival\":{},\
                  \"source\":[{},{}],\"dest\":[{},{}],\"deadline\":{:.9},",
-                e.seq, e.at.value(), e.arrival,
-                e.source.0, e.source.1, e.dest.0, e.dest.1, e.deadline,
+                e.seq,
+                e.at.value(),
+                e.kind.name(),
+                e.arrival,
+                e.source.0,
+                e.source.1,
+                e.dest.0,
+                e.dest.1,
+                e.deadline,
             );
             match &e.outcome {
                 AuditOutcome::Admitted {
@@ -196,6 +246,7 @@ mod tests {
         AuditEntry {
             seq,
             at: Seconds::new(seq as f64),
+            kind: AuditKind::Arrival,
             arrival: seq as usize,
             source: (0, 1),
             dest: (1, 0),
@@ -234,12 +285,29 @@ mod tests {
     }
 
     #[test]
+    fn tail_log_starts_at_its_offset() {
+        let mut log = AuditLog::starting_at(7);
+        assert_eq!(log.start(), 7);
+        log.append(entry(7, true));
+        log.append(entry(8, false));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap-free")]
+    fn tail_log_rejects_wrong_offset() {
+        let mut log = AuditLog::starting_at(7);
+        log.append(entry(0, true));
+    }
+
+    #[test]
     fn json_escapes_and_structures() {
         let mut log = AuditLog::new();
         log.append(entry(0, true));
         log.append(entry(1, false));
         let j = log.to_json();
         assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"kind\":\"arrival\""));
         assert!(j.contains("\"outcome\":\"admitted\""));
         assert!(j.contains("\"class\":\"infeasible\""));
         // The quoted word inside the detail must be escaped.
@@ -261,5 +329,13 @@ mod tests {
             reason_class(&RejectReason::InfeasibleAtMaximum { detail: "d".into() }),
             "infeasible"
         );
+        assert_eq!(
+            reason_class(&RejectReason::ComponentUnavailable {
+                component: hetnet_cac::network::Component::Ring(hetnet_cac::network::RingId(1)),
+            }),
+            "component_down"
+        );
+        assert_eq!(AuditKind::Arrival.name(), "arrival");
+        assert_eq!(AuditKind::Readmit.name(), "readmit");
     }
 }

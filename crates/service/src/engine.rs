@@ -1,29 +1,52 @@
-//! The event-driven admission engine.
+//! The event-driven admission engine, with fault injection and
+//! snapshot-based recovery.
 //!
-//! [`run`] consumes a churn schedule as a merged stream of
-//! connect/disconnect events in time order: before each arrival is
-//! decided, every departure due at or before it is released (ties go to
-//! departures, matching the connection-level semantics that a released
-//! allocation is available to a simultaneous request). Each arrival
-//! becomes one [`NetworkState::admit`] call under the configured
+//! [`ServiceEngine`] consumes a churn schedule as a merged stream of
+//! connect/disconnect/fault events in time order: before each arrival
+//! is decided, every departure and fault due at or before it is
+//! processed (ties resolve departure < fault < arrival, matching the
+//! connection-level semantics that a released allocation is available
+//! to a simultaneous request). Each arrival becomes one
+//! [`NetworkState::admit`] call under the configured
 //! [`AdmissionOptions`], so a service run is — by construction —
 //! decision-for-decision identical to driving the bare state machine in
 //! the same event order.
+//!
+//! Fault events come from the seeded [`hetnet_sim::fault`] schedule: a
+//! component failure tears down every connection crossing it (the CAC
+//! reclaims its synchronous bandwidth), a repair optionally re-admits
+//! the torn-down connections greedily, and a deadline shrink evicts
+//! connections whose admission-time bound no longer fits. Every
+//! fault-driven decision lands in the same gap-free audit log as the
+//! scheduled arrivals, tagged [`AuditKind::Readmit`].
+//!
+//! Because the churn and fault schedules are pure functions of the
+//! config, the whole run is reproducible from `(config, seed)` — and,
+//! with [`ServiceEngine::checkpoint`] / [`ServiceEngine::recover`],
+//! from a [`StateSnapshot`]-based checkpoint plus the audit-log tail:
+//! [`verify_recovery`] replays the remainder of a run from a checkpoint
+//! and fails with [`CacError::SnapshotMismatch`] unless every replayed
+//! decision is bit-identical to the recorded one.
 
-use crate::audit::{AuditEntry, AuditLog, AuditOutcome};
+use crate::audit::{AuditEntry, AuditKind, AuditLog, AuditOutcome};
 use crate::metrics::{
-    CacheGauges, DecisionCounters, DelayAttribution, LatencyHistogram, UtilizationSeries,
+    CacheGauges, DecisionCounters, DelayAttribution, LatencyHistogram, RecoveryMetrics,
+    UtilizationSeries,
 };
 use crate::report::{LatencySummary, ServiceReport, StageDelaySummary};
-use hetnet_cac::cac::{AdmissionOptions, Decision, DecisionObserver, DecisionRecord, NetworkState};
+use hetnet_cac::cac::{
+    AdmissionOptions, Decision, DecisionObserver, DecisionRecord, NetworkState, RejectReason,
+};
 use hetnet_cac::connection::{ConnectionId, ConnectionSpec};
 use hetnet_cac::error::CacError;
-use hetnet_cac::network::HetNetwork;
-use hetnet_sim::churn::{self, ChurnConfig};
+use hetnet_cac::network::{Component, HetNetwork, LinkId, RingId};
+use hetnet_cac::snapshot::StateSnapshot;
+use hetnet_sim::churn::{self, ChurnConfig, ChurnSchedule};
+use hetnet_sim::fault::{generate_faults, FaultConfig, FaultEvent, FaultKind};
 use hetnet_traffic::envelope::SharedEnvelope;
 use hetnet_traffic::units::Seconds;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -43,10 +66,17 @@ pub struct ServiceConfig {
     /// per decision, feeding the report's delay attribution. Admission-
     /// neutral; costs one trace allocation per decision.
     pub trace_decisions: bool,
+    /// Seeded fault schedule injected into the run; `None` disables
+    /// fault injection entirely.
+    pub faults: Option<FaultConfig>,
+    /// Whether a component repair greedily re-admits the connections
+    /// its failure tore down (ignored without fault injection).
+    pub readmit: bool,
 }
 
 impl ServiceConfig {
-    /// A paper-style workload under default β-search options.
+    /// A paper-style workload under default β-search options, without
+    /// fault injection.
     #[must_use]
     pub fn paper_style(arrival_rate: f64, requests: usize, seed: u64) -> Self {
         Self {
@@ -55,7 +85,16 @@ impl ServiceConfig {
             sample_period: 16,
             persist_cache: true,
             trace_decisions: true,
+            faults: None,
+            readmit: true,
         }
+    }
+
+    /// Adds a fault schedule to the run.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
     }
 }
 
@@ -65,7 +104,8 @@ impl ServiceConfig {
 pub struct ServiceRun {
     /// Aggregate metrics.
     pub report: ServiceReport,
-    /// Decision-ordered audit log (one entry per request).
+    /// Decision-ordered audit log (one entry per decision; for a
+    /// recovered engine this is the post-checkpoint tail).
     pub audit: AuditLog,
     /// Sampled ring-utilization time series.
     pub series: UtilizationSeries,
@@ -110,7 +150,565 @@ fn departure(at: Seconds, id: ConnectionId) -> Departure {
     Reverse((at.value().to_bits(), id.0))
 }
 
-/// Runs the churn workload of `cfg` against `network`.
+/// A connection torn down by a fault, waiting for a repair to attempt
+/// re-admission. The spec is re-derived from the churn schedule by
+/// arrival index, so parking carries no envelope state.
+#[derive(Clone, Copy, Debug)]
+struct Parked {
+    arrival: usize,
+    departs_bits: u64,
+}
+
+/// A resumable engine position: the [`StateSnapshot`] of the network
+/// plus the engine's scheduling state (pending departures, parked
+/// connections, open faults, and stream cursors). Everything else —
+/// the churn and fault schedules — is regenerated from the config, so
+/// a checkpoint is small and fully deterministic.
+#[derive(Clone, Debug)]
+pub struct EngineCheckpoint {
+    state: StateSnapshot,
+    departures: Vec<(u64, u64)>,
+    live: Vec<(u64, usize, u64)>,
+    parked: Vec<(usize, u64)>,
+    open_faults: Vec<(Component, u64)>,
+    next_arrival: usize,
+    next_fault: usize,
+}
+
+impl EngineCheckpoint {
+    /// The network snapshot the checkpoint carries.
+    #[must_use]
+    pub fn state(&self) -> &StateSnapshot {
+        &self.state
+    }
+
+    /// Decisions made before the checkpoint — the audit-log offset a
+    /// recovered engine resumes at.
+    #[must_use]
+    pub fn decision_seq(&self) -> u64 {
+        self.state.decision_seq
+    }
+}
+
+/// The stepwise admission engine: [`ServiceEngine::new`] positions it
+/// at the start of the schedule, [`ServiceEngine::step_arrival`]
+/// processes one arrival (plus every departure and fault due before
+/// it), and [`ServiceEngine::finish`] runs to completion and assembles
+/// the [`ServiceRun`]. The free function [`run`] does all three.
+#[derive(Debug)]
+pub struct ServiceEngine {
+    cfg: ServiceConfig,
+    state: NetworkState,
+    schedule: ChurnSchedule,
+    faults: Vec<FaultEvent>,
+    envelope: SharedEnvelope,
+    departures: BinaryHeap<Departure>,
+    /// Live connection id → (schedule arrival index, departure bits).
+    live: BTreeMap<u64, (usize, u64)>,
+    parked: Vec<Parked>,
+    /// Component → down-time bits, for time-to-drain accounting.
+    open_faults: BTreeMap<Component, u64>,
+    next_arrival: usize,
+    next_fault: usize,
+    counters: DecisionCounters,
+    latency: LatencyHistogram,
+    series: UtilizationSeries,
+    audit: AuditLog,
+    recovery: RecoveryMetrics,
+    gauges: Arc<Mutex<CacheGauges>>,
+    attribution: Arc<Mutex<DelayAttribution>>,
+    peak_active: usize,
+    ring_caps: Vec<f64>,
+    topology: String,
+    started: Instant,
+}
+
+impl ServiceEngine {
+    /// Builds an engine positioned before the first event of `cfg`'s
+    /// schedules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::InvalidRequest`] if the churn shape does not
+    /// match the network.
+    pub fn new(network: HetNetwork, cfg: &ServiceConfig) -> Result<Self, CacError> {
+        let shape = cfg.churn.shape;
+        if shape.rings != network.rings().len() || shape.hosts_per_ring != network.hosts_per_ring()
+        {
+            return Err(CacError::InvalidRequest(format!(
+                "churn shape {}x{} does not match network {}x{}",
+                shape.rings,
+                shape.hosts_per_ring,
+                network.rings().len(),
+                network.hosts_per_ring()
+            )));
+        }
+        let schedule = churn::generate(&cfg.churn);
+        let envelope: SharedEnvelope = Arc::new(schedule.source);
+        let faults = match &cfg.faults {
+            Some(f) if !schedule.arrivals.is_empty() => generate_faults(
+                f,
+                network.rings().len(),
+                network.backbone().link_count(),
+                schedule.span(),
+            ),
+            _ => Vec::new(),
+        };
+
+        let topology = network.summary().to_string();
+        let mut state = NetworkState::new(network);
+        state.persist_eval_cache(cfg.persist_cache);
+        state.set_decision_tracing(cfg.trace_decisions);
+        let gauges = Arc::new(Mutex::new(CacheGauges::default()));
+        let attribution = Arc::new(Mutex::new(DelayAttribution::default()));
+        state.set_observer(Some(Box::new(MetricsHook {
+            gauges: Arc::clone(&gauges),
+            attribution: Arc::clone(&attribution),
+            next_seq: 0,
+        })));
+        let ring_caps: Vec<f64> = state
+            .network()
+            .rings()
+            .iter()
+            .map(|r| r.allocatable().value())
+            .collect();
+        let sample_period = cfg.sample_period;
+        Ok(Self {
+            cfg: cfg.clone(),
+            state,
+            schedule,
+            faults,
+            envelope,
+            departures: BinaryHeap::new(),
+            live: BTreeMap::new(),
+            parked: Vec::new(),
+            open_faults: BTreeMap::new(),
+            next_arrival: 0,
+            next_fault: 0,
+            counters: DecisionCounters::default(),
+            latency: LatencyHistogram::new(),
+            series: UtilizationSeries::new(sample_period),
+            audit: AuditLog::new(),
+            recovery: RecoveryMetrics::default(),
+            gauges,
+            attribution,
+            peak_active: 0,
+            ring_caps,
+            topology,
+            started: Instant::now(),
+        })
+    }
+
+    /// Rebuilds an engine mid-run from a checkpoint: the network state
+    /// is restored bit-for-bit from the snapshot, the churn and fault
+    /// schedules are regenerated from `cfg`, and the scheduling state
+    /// (departures, parked connections, cursors) comes from the
+    /// checkpoint. Stepping the result reproduces the original run's
+    /// remaining decisions exactly.
+    ///
+    /// Metrics (counters, latency, utilization, recovery) restart at
+    /// zero and cover only the post-checkpoint segment; the audit log
+    /// resumes at the checkpoint's decision sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::SnapshotMismatch`] if the snapshot does not
+    /// fit the network or the cursors exceed the regenerated schedules,
+    /// and [`CacError::InvalidRequest`] on a churn-shape mismatch.
+    pub fn recover(
+        network: HetNetwork,
+        cfg: &ServiceConfig,
+        checkpoint: &EngineCheckpoint,
+    ) -> Result<Self, CacError> {
+        let mut engine = Self::new(network, cfg)?;
+        if checkpoint.next_arrival > engine.schedule.arrivals.len()
+            || checkpoint.next_fault > engine.faults.len()
+        {
+            return Err(CacError::SnapshotMismatch(
+                "checkpoint cursors exceed the regenerated schedules".into(),
+            ));
+        }
+        engine.state.restore(&checkpoint.state)?;
+        // Reinstall the observer so the gap-free sequence check resumes
+        // at the snapshot's decision count.
+        engine.state.set_observer(Some(Box::new(MetricsHook {
+            gauges: Arc::clone(&engine.gauges),
+            attribution: Arc::clone(&engine.attribution),
+            next_seq: checkpoint.state.decision_seq,
+        })));
+        engine.audit = AuditLog::starting_at(checkpoint.state.decision_seq);
+        engine.departures = checkpoint.departures.iter().map(|&p| Reverse(p)).collect();
+        engine.live = checkpoint
+            .live
+            .iter()
+            .map(|&(id, arrival, departs)| (id, (arrival, departs)))
+            .collect();
+        engine.parked = checkpoint
+            .parked
+            .iter()
+            .map(|&(arrival, departs_bits)| Parked {
+                arrival,
+                departs_bits,
+            })
+            .collect();
+        engine.open_faults = checkpoint.open_faults.iter().copied().collect();
+        engine.next_arrival = checkpoint.next_arrival;
+        engine.next_fault = checkpoint.next_fault;
+        Ok(engine)
+    }
+
+    /// Captures the engine's position between arrivals.
+    #[must_use]
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        let mut departures: Vec<(u64, u64)> = self.departures.iter().map(|&Reverse(p)| p).collect();
+        departures.sort_unstable();
+        EngineCheckpoint {
+            state: self.state.snapshot(),
+            departures,
+            live: self
+                .live
+                .iter()
+                .map(|(&id, &(arrival, departs))| (id, arrival, departs))
+                .collect(),
+            parked: self
+                .parked
+                .iter()
+                .map(|p| (p.arrival, p.departs_bits))
+                .collect(),
+            open_faults: self.open_faults.iter().map(|(&c, &b)| (c, b)).collect(),
+            next_arrival: self.next_arrival,
+            next_fault: self.next_fault,
+        }
+    }
+
+    /// The network state as of the last processed event.
+    #[must_use]
+    pub fn state(&self) -> &NetworkState {
+        &self.state
+    }
+
+    /// The audit log so far.
+    #[must_use]
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Arrivals not yet processed.
+    #[must_use]
+    pub fn pending_arrivals(&self) -> usize {
+        self.schedule.arrivals.len() - self.next_arrival
+    }
+
+    /// Processes the next scheduled arrival, after every departure and
+    /// fault due at or before it (ties: departure < fault < arrival).
+    /// Returns `false` when the schedule is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`CacError`] from the underlying admissions and
+    /// releases (rejections are outcomes, not errors).
+    pub fn step_arrival(&mut self) -> Result<bool, CacError> {
+        let Some(&a) = self.schedule.arrivals.get(self.next_arrival) else {
+            return Ok(false);
+        };
+        self.advance_to(a.at)?;
+        let spec = ConnectionSpec::builder()
+            .source(a.source)
+            .dest(a.dest)
+            .envelope(Arc::clone(&self.envelope))
+            .deadline(a.deadline)
+            .build()?;
+        let idx = self.next_arrival;
+        self.decide(a.at, AuditKind::Arrival, idx, spec, a.at + a.holding)?;
+        self.next_arrival += 1;
+        Ok(true)
+    }
+
+    /// Runs every remaining event and assembles the [`ServiceRun`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`CacError`] from the remaining events.
+    pub fn finish(mut self) -> Result<ServiceRun, CacError> {
+        while self.step_arrival()? {}
+        // Drain faults scheduled past the last arrival. The generated
+        // schedules end well inside the horizon, so this is normally a
+        // no-op, but it keeps `undrained` honest for hand-built ones.
+        while let Some(e) = self.faults.get(self.next_fault).copied() {
+            self.advance_to(e.at)?;
+        }
+        Ok(self.into_run())
+    }
+
+    /// Processes every departure and fault due at or before `t`, in
+    /// time order, departures first on ties.
+    fn advance_to(&mut self, t: Seconds) -> Result<(), CacError> {
+        loop {
+            let dep_at = self
+                .departures
+                .peek()
+                .map(|&Reverse((bits, _))| f64::from_bits(bits));
+            let fault_at = self.faults.get(self.next_fault).map(|e| e.at.value());
+            let dep_due = dep_at.is_some_and(|at| at <= t.value());
+            let fault_due = fault_at.is_some_and(|at| at <= t.value());
+            if dep_due && (!fault_due || dep_at <= fault_at) {
+                self.pop_departure()?;
+            } else if fault_due {
+                let e = self.faults[self.next_fault];
+                self.next_fault += 1;
+                self.apply_fault(e)?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Pops one departure. Connections already torn down by a fault
+    /// left their heap entry behind; popping it is a no-op.
+    fn pop_departure(&mut self) -> Result<(), CacError> {
+        let Reverse((at_bits, id)) = self.departures.pop().expect("caller peeked a departure");
+        if self.live.remove(&id).is_none() {
+            return Ok(());
+        }
+        let at = Seconds::new(f64::from_bits(at_bits));
+        self.state.set_clock(at);
+        self.state.release(ConnectionId(id))?;
+        self.offer_sample(at);
+        Ok(())
+    }
+
+    /// Applies one fault event at its scheduled time.
+    fn apply_fault(&mut self, e: FaultEvent) -> Result<(), CacError> {
+        self.state.set_clock(e.at);
+        self.recovery.faults_injected += 1;
+        match e.kind {
+            FaultKind::LinkDown(i) => self.component_down(e.at, Component::Link(LinkId(i))),
+            FaultKind::RingDown(i) => self.component_down(e.at, Component::Ring(RingId(i))),
+            FaultKind::IfDevDown(i) => self.component_down(e.at, Component::IfDev(RingId(i))),
+            FaultKind::LinkUp(i) => self.component_up(e.at, Component::Link(LinkId(i))),
+            FaultKind::RingUp(i) => self.component_up(e.at, Component::Ring(RingId(i))),
+            FaultKind::IfDevUp(i) => self.component_up(e.at, Component::IfDev(RingId(i))),
+            FaultKind::DeadlineShrink { factor } => self.deadline_shrink(e.at, factor),
+            // `FaultKind` is non_exhaustive; unknown events are inert.
+            _ => Ok(()),
+        }
+    }
+
+    /// A component fails: the CAC tears down every connection crossing
+    /// it and reclaims their synchronous bandwidth; the engine parks
+    /// the victims for re-admission at repair time.
+    fn component_down(&mut self, at: Seconds, component: Component) -> Result<(), CacError> {
+        let report = self.state.set_component_down(component)?;
+        if !report.already_down {
+            self.recovery.components_downed += 1;
+            self.open_faults.insert(component, at.value().to_bits());
+        }
+        self.recovery.connections_dropped += report.torn.len() as u64;
+        self.recovery.reclaimed_s += report.reclaimed_s.value();
+        self.recovery.reclaimed_r += report.reclaimed_r.value();
+        for torn in &report.torn {
+            if let Some((arrival, departs_bits)) = self.live.remove(&torn.id.0) {
+                self.parked.push(Parked {
+                    arrival,
+                    departs_bits,
+                });
+            }
+        }
+        self.offer_sample(at);
+        Ok(())
+    }
+
+    /// A component is repaired: record the drain time and (when
+    /// configured) greedily re-admit the parked connections.
+    fn component_up(&mut self, at: Seconds, component: Component) -> Result<(), CacError> {
+        let was_down = self.state.set_component_up(component)?;
+        if was_down {
+            self.recovery.components_restored += 1;
+            if let Some(bits) = self.open_faults.remove(&component) {
+                let drain = at.value() - f64::from_bits(bits);
+                if drain > self.recovery.max_time_to_drain {
+                    self.recovery.max_time_to_drain = drain;
+                }
+            }
+        }
+        if self.cfg.readmit {
+            self.readmit_parked(at)?;
+        }
+        Ok(())
+    }
+
+    /// The network shrinks every admitted connection's effective
+    /// deadline to `deadline * factor` for this instant: connections
+    /// whose admission-time bound exceeds it are evicted and (when
+    /// configured) immediately re-admitted at a fresh allocation.
+    fn deadline_shrink(&mut self, at: Seconds, factor: f64) -> Result<(), CacError> {
+        let victims: Vec<(ConnectionId, f64, f64)> = self
+            .state
+            .active()
+            .iter()
+            .filter(|c| c.delay_bound.value() > c.spec.deadline.value() * factor)
+            .map(|c| {
+                (
+                    c.id,
+                    c.h_s.per_rotation().value(),
+                    c.h_r.per_rotation().value(),
+                )
+            })
+            .collect();
+        for (id, h_s, h_r) in victims {
+            self.state.release(id)?;
+            self.recovery.connections_dropped += 1;
+            self.recovery.reclaimed_s += h_s;
+            self.recovery.reclaimed_r += h_r;
+            if let Some((arrival, departs_bits)) = self.live.remove(&id.0) {
+                self.parked.push(Parked {
+                    arrival,
+                    departs_bits,
+                });
+            }
+        }
+        self.offer_sample(at);
+        if self.cfg.readmit {
+            self.readmit_parked(at)?;
+        }
+        Ok(())
+    }
+
+    /// Attempts to re-admit every parked connection whose holding time
+    /// has not yet expired. Successes rejoin the departure heap at
+    /// their original departure time; connections still blocked by a
+    /// down component stay parked for the next repair; all other
+    /// rejections abandon the connection.
+    fn readmit_parked(&mut self, now: Seconds) -> Result<(), CacError> {
+        let parked = std::mem::take(&mut self.parked);
+        for p in parked {
+            let departs = f64::from_bits(p.departs_bits);
+            if departs <= now.value() {
+                self.recovery.expired_in_park += 1;
+                continue;
+            }
+            let a = self.schedule.arrivals[p.arrival];
+            let spec = ConnectionSpec::builder()
+                .source(a.source)
+                .dest(a.dest)
+                .envelope(Arc::clone(&self.envelope))
+                .deadline(a.deadline)
+                .build()?;
+            self.recovery.readmit_attempts += 1;
+            let decision = self.decide(
+                now,
+                AuditKind::Readmit,
+                p.arrival,
+                spec,
+                Seconds::new(departs),
+            )?;
+            match &decision {
+                Decision::Admitted { .. } => self.recovery.readmitted += 1,
+                Decision::Rejected(RejectReason::ComponentUnavailable { .. }) => {
+                    // The path is still blocked: wait for the next repair.
+                    self.parked.push(p);
+                }
+                Decision::Rejected(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// One admission decision, with all its bookkeeping: latency,
+    /// counters, the departure heap, the live map, the audit log, and
+    /// the utilization series.
+    fn decide(
+        &mut self,
+        at: Seconds,
+        kind: AuditKind,
+        arrival: usize,
+        spec: ConnectionSpec,
+        departs: Seconds,
+    ) -> Result<Decision, CacError> {
+        let source = (spec.source.ring, spec.source.station);
+        let dest = (spec.dest.ring, spec.dest.station);
+        let deadline = spec.deadline.value();
+        self.state.set_clock(at);
+        let t0 = Instant::now();
+        let decision = self.state.admit(spec, &self.cfg.options)?;
+        self.latency
+            .record(Seconds::new(t0.elapsed().as_secs_f64()));
+        let outcome = AuditOutcome::from_decision(&decision);
+        match &decision {
+            Decision::Admitted { id, .. } => {
+                self.counters.admitted += 1;
+                self.departures.push(departure(departs, *id));
+                self.live.insert(id.0, (arrival, departs.value().to_bits()));
+            }
+            Decision::Rejected(reason) => self.counters.count_rejection(reason),
+        }
+        self.audit.append(AuditEntry {
+            seq: self.state.decisions() - 1,
+            at,
+            kind,
+            arrival,
+            source,
+            dest,
+            deadline,
+            outcome,
+        });
+        self.offer_sample(at);
+        Ok(decision)
+    }
+
+    /// Offers a post-event utilization sample and tracks the peak.
+    fn offer_sample(&mut self, at: Seconds) {
+        let active = self.state.active().len();
+        self.peak_active = self.peak_active.max(active);
+        let state = &self.state;
+        let caps = &self.ring_caps;
+        self.series.offer(at, active, || utilization(state, caps));
+    }
+
+    /// Assembles the final [`ServiceRun`].
+    fn into_run(mut self) -> ServiceRun {
+        self.recovery.undrained = self.open_faults.len() as u64;
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        self.state.set_observer(None);
+        let cache = *self.gauges.lock().expect("gauges mutex poisoned");
+        let delay_attribution = StageDelaySummary::from_attribution(
+            &self.attribution.lock().expect("attribution mutex poisoned"),
+        );
+        let ring_utilization = (0..self.ring_caps.len())
+            .map(|r| self.series.ring_summary(r))
+            .collect();
+        let counters = self.counters;
+        let report = ServiceReport {
+            requests: counters.total(),
+            counters,
+            latency: LatencySummary::from_histogram(&self.latency),
+            cache,
+            blocking_probability: counters.blocking_probability(),
+            requests_per_sec: if wall_seconds > 0.0 {
+                counters.total() as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            wall_seconds,
+            span: self.schedule.span(),
+            peak_active: self.peak_active,
+            final_active: self.state.active().len(),
+            ring_utilization,
+            audit_len: self.audit.len(),
+            topology: self.topology,
+            delay_attribution,
+            recovery: self.recovery,
+        };
+        ServiceRun {
+            report,
+            audit: self.audit,
+            series: self.series,
+            state: self.state,
+        }
+    }
+}
+
+/// Runs the churn workload of `cfg` against `network` to completion.
 ///
 /// # Errors
 ///
@@ -118,126 +716,90 @@ fn departure(at: Seconds, id: ConnectionId) -> Departure {
 /// match the network, and propagates any [`CacError`] from the
 /// underlying admissions (rejections are outcomes, not errors).
 pub fn run(network: HetNetwork, cfg: &ServiceConfig) -> Result<ServiceRun, CacError> {
-    let shape = cfg.churn.shape;
-    if shape.rings != network.rings().len() || shape.hosts_per_ring != network.hosts_per_ring() {
-        return Err(CacError::InvalidRequest(format!(
-            "churn shape {}x{} does not match network {}x{}",
-            shape.rings,
-            shape.hosts_per_ring,
-            network.rings().len(),
-            network.hosts_per_ring()
+    ServiceEngine::new(network, cfg)?.finish()
+}
+
+/// Recovers an engine from `checkpoint`, replays the remainder of the
+/// run, and verifies every replayed decision matches the recorded
+/// audit-log tail (`tail` must be the original run's entries from the
+/// checkpoint's decision sequence onwards): admissions bit-identical
+/// in id, allocations, and delay bound; rejections identical in reason
+/// class. A rejection's free-text *detail* may name a different
+/// infeasible component — it is evaluator-cache sensitive, and the
+/// recovered engine's cache has a different warm-up history (the
+/// engine's persistent-cache test pins the same tolerance).
+///
+/// # Errors
+///
+/// Returns [`CacError::SnapshotMismatch`] if the replay diverges from
+/// the recorded log in length or in any entry, plus anything
+/// [`ServiceEngine::recover`] can return.
+pub fn verify_recovery(
+    network: HetNetwork,
+    cfg: &ServiceConfig,
+    checkpoint: &EngineCheckpoint,
+    tail: &[AuditEntry],
+) -> Result<ServiceRun, CacError> {
+    let engine = ServiceEngine::recover(network, cfg, checkpoint)?;
+    let run = engine.finish()?;
+    if run.audit.len() != tail.len() {
+        return Err(CacError::SnapshotMismatch(format!(
+            "recovered run produced {} decisions, the audit tail records {}",
+            run.audit.len(),
+            tail.len()
         )));
     }
-    let schedule = churn::generate(&cfg.churn);
-    let envelope: SharedEnvelope = Arc::new(schedule.source);
-
-    let topology = network.summary().to_string();
-    let mut state = NetworkState::new(network);
-    state.persist_eval_cache(cfg.persist_cache);
-    state.set_decision_tracing(cfg.trace_decisions);
-    let gauges = Arc::new(Mutex::new(CacheGauges::default()));
-    let attribution = Arc::new(Mutex::new(DelayAttribution::default()));
-    state.set_observer(Some(Box::new(MetricsHook {
-        gauges: Arc::clone(&gauges),
-        attribution: Arc::clone(&attribution),
-        next_seq: 0,
-    })));
-
-    let ring_caps: Vec<f64> = state
-        .network()
-        .rings()
-        .iter()
-        .map(|r| r.allocatable().value())
-        .collect();
-
-    let mut departures: BinaryHeap<Departure> = BinaryHeap::new();
-    let mut counters = DecisionCounters::default();
-    let mut latency = LatencyHistogram::new();
-    let mut series = UtilizationSeries::new(cfg.sample_period);
-    let mut audit = AuditLog::new();
-    let mut peak_active = 0usize;
-    let started = Instant::now();
-
-    for (i, a) in schedule.arrivals.iter().enumerate() {
-        // Release every departure due at or before this arrival.
-        while let Some(&Reverse((at_bits, id))) = departures.peek() {
-            let at = Seconds::new(f64::from_bits(at_bits));
-            if at > a.at {
-                break;
-            }
-            departures.pop();
-            state.set_clock(at);
-            state.release(ConnectionId(id))?;
-            let active = state.active().len();
-            series.offer(at, active, || utilization(&state, &ring_caps));
+    for (got, want) in run.audit.entries().iter().zip(tail) {
+        if !entries_equivalent(got, want) {
+            return Err(CacError::SnapshotMismatch(format!(
+                "recovered decision {} diverged from the audit log: \
+                 replayed {got:?}, recorded {want:?}",
+                got.seq
+            )));
         }
-
-        state.set_clock(a.at);
-        let spec = ConnectionSpec::builder()
-            .source(a.source)
-            .dest(a.dest)
-            .envelope(Arc::clone(&envelope))
-            .deadline(a.deadline)
-            .build()?;
-        let t0 = Instant::now();
-        let decision = state.admit(spec, &cfg.options)?;
-        latency.record(Seconds::new(t0.elapsed().as_secs_f64()));
-
-        let outcome = AuditOutcome::from_decision(&decision);
-        match &decision {
-            Decision::Admitted { id, .. } => {
-                counters.admitted += 1;
-                departures.push(departure(a.at + a.holding, *id));
-            }
-            Decision::Rejected(reason) => counters.count_rejection(reason),
-        }
-        audit.append(AuditEntry {
-            seq: state.decisions() - 1,
-            at: a.at,
-            arrival: i,
-            source: a.source,
-            dest: a.dest,
-            deadline: a.deadline.value(),
-            outcome,
-        });
-        let active = state.active().len();
-        peak_active = peak_active.max(active);
-        series.offer(a.at, active, || utilization(&state, &ring_caps));
     }
+    Ok(run)
+}
 
-    let wall_seconds = started.elapsed().as_secs_f64();
-    state.set_observer(None);
-    let cache = *gauges.lock().expect("gauges mutex poisoned");
-    let delay_attribution = StageDelaySummary::from_attribution(
-        &attribution.lock().expect("attribution mutex poisoned"),
-    );
-    let ring_utilization = (0..ring_caps.len()).map(|r| series.ring_summary(r)).collect();
-    let report = ServiceReport {
-        requests: counters.total(),
-        counters,
-        latency: LatencySummary::from_histogram(&latency),
-        cache,
-        blocking_probability: counters.blocking_probability(),
-        requests_per_sec: if wall_seconds > 0.0 {
-            counters.total() as f64 / wall_seconds
-        } else {
-            0.0
-        },
-        wall_seconds,
-        span: schedule.span(),
-        peak_active,
-        final_active: state.active().len(),
-        ring_utilization,
-        audit_len: audit.len(),
-        topology,
-        delay_attribution,
-    };
-    Ok(ServiceRun {
-        report,
-        audit,
-        series,
-        state,
-    })
+/// Bit-level equivalence of two audit entries, modulo the rejection
+/// diagnostic string (see [`verify_recovery`]).
+fn entries_equivalent(a: &AuditEntry, b: &AuditEntry) -> bool {
+    use crate::audit::AuditOutcome;
+    let context_matches = a.seq == b.seq
+        && a.at.value().to_bits() == b.at.value().to_bits()
+        && a.kind == b.kind
+        && a.arrival == b.arrival
+        && a.source == b.source
+        && a.dest == b.dest
+        && a.deadline.to_bits() == b.deadline.to_bits();
+    if !context_matches {
+        return false;
+    }
+    match (&a.outcome, &b.outcome) {
+        (
+            AuditOutcome::Admitted {
+                id,
+                h_s,
+                h_r,
+                delay_bound,
+            },
+            AuditOutcome::Admitted {
+                id: id2,
+                h_s: h_s2,
+                h_r: h_r2,
+                delay_bound: delay_bound2,
+            },
+        ) => {
+            id == id2
+                && h_s.to_bits() == h_s2.to_bits()
+                && h_r.to_bits() == h_r2.to_bits()
+                && delay_bound.to_bits() == delay_bound2.to_bits()
+        }
+        (AuditOutcome::Rejected { class, .. }, AuditOutcome::Rejected { class: class2, .. }) => {
+            class == class2
+        }
+        _ => false,
+    }
 }
 
 /// Per-ring utilization: allocated fraction of allocatable time.
@@ -264,6 +826,21 @@ mod tests {
         // High enough rate to saturate the rings and force rejections.
         let mut cfg = ServiceConfig::paper_style(2.0, 60, 17);
         cfg.options = AdmissionOptions::beta_search(CacConfig::fast());
+        cfg
+    }
+
+    /// A churn workload with a dense fault schedule: incidents every
+    /// ~8 s over a ~`requests / 2.0` s run.
+    fn faulted_cfg(requests: usize, seed: u64) -> ServiceConfig {
+        let mut cfg = ServiceConfig::paper_style(2.0, requests, seed);
+        cfg.options = AdmissionOptions::beta_search(CacConfig::fast());
+        cfg.faults = Some(FaultConfig {
+            mean_gap: Seconds::new(8.0),
+            mean_outage: Seconds::new(4.0),
+            max_outage: Seconds::new(8.0),
+            shrink_factor: Some(0.85),
+            seed: seed ^ 0x5eed,
+        });
         cfg
     }
 
@@ -296,6 +873,8 @@ mod tests {
         assert_eq!(r.ring_utilization.len(), 3);
         assert!(r.peak_active >= r.final_active);
         assert_eq!(r.final_active, run.state.active().len());
+        // No faults configured: the recovery section is all-zero.
+        assert_eq!(r.recovery, RecoveryMetrics::default());
     }
 
     #[test]
@@ -311,6 +890,7 @@ mod tests {
         for (i, e) in run.audit.entries().iter().enumerate() {
             assert_eq!(e.seq, i as u64);
             assert_eq!(e.arrival, i);
+            assert_eq!(e.kind, AuditKind::Arrival);
         }
         // Times never decrease along the log.
         for w in run.audit.entries().windows(2) {
@@ -372,5 +952,125 @@ mod tests {
             }
         }
         assert_eq!(a.report.counters, b.report.counters);
+    }
+
+    #[test]
+    fn faulted_run_drains_and_reclaims() {
+        let cfg = faulted_cfg(200, 11);
+        let run = run(HetNetwork::paper_topology(), &cfg).unwrap();
+        let rec = &run.report.recovery;
+        assert!(rec.faults_injected > 0, "no faults fired: {rec:?}");
+        assert_eq!(rec.undrained, 0, "faults left components down: {rec:?}");
+        assert_eq!(rec.components_downed, rec.components_restored);
+        assert!(rec.connections_dropped > 0, "no teardowns: {rec:?}");
+        assert!(rec.reclaimed_s > 0.0 && rec.reclaimed_r > 0.0);
+        assert!(rec.max_time_to_drain > 0.0);
+        assert!(rec.readmit_attempts >= rec.readmitted);
+        assert_eq!(run.state.down_components(), vec![]);
+        // Every decision — scheduled or fault-driven — is audited.
+        assert_eq!(run.report.audit_len as u64, run.report.requests);
+        assert!(run.report.requests >= 200, "readmits add decisions");
+        for (i, e) in run.audit.entries().iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "audit log must stay gap-free");
+        }
+        let readmits = run
+            .audit
+            .entries()
+            .iter()
+            .filter(|e| e.kind == AuditKind::Readmit)
+            .count() as u64;
+        assert_eq!(readmits, rec.readmit_attempts);
+        assert!(readmits > 0, "expected re-admission attempts: {rec:?}");
+        // Reclaimed bandwidth is really back: per ring, available ==
+        // allocatable - sum of held allocations (to float tolerance;
+        // the core's snapshot tests pin the bit-exact version).
+        let mut held_s = [0.0f64; 3];
+        let mut held_r = [0.0f64; 3];
+        for c in run.state.active() {
+            held_s[c.spec.source.ring] += c.h_s.per_rotation().value();
+            held_r[c.spec.dest.ring] += c.h_r.per_rotation().value();
+        }
+        for ring in 0..3 {
+            let cap = run.state.network().rings()[ring].allocatable().value();
+            let available = run.state.available_on(ring).value();
+            let held = held_s[ring] + held_r[ring];
+            assert!(
+                (cap - available - held).abs() < 1e-12,
+                "ring {ring}: cap {cap} - available {available} != held {held}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let cfg = faulted_cfg(120, 29);
+        let a = run(HetNetwork::paper_topology(), &cfg).unwrap();
+        let b = run(HetNetwork::paper_topology(), &cfg).unwrap();
+        assert_eq!(a.audit.entries(), b.audit.entries());
+        assert_eq!(a.report.counters, b.report.counters);
+        assert_eq!(a.report.recovery, b.report.recovery);
+        assert_eq!(
+            a.state.snapshot().to_json(),
+            b.state.snapshot().to_json(),
+            "final states must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn readmit_can_be_disabled() {
+        let mut cfg = faulted_cfg(150, 11);
+        cfg.readmit = false;
+        let run = run(HetNetwork::paper_topology(), &cfg).unwrap();
+        let rec = &run.report.recovery;
+        assert_eq!(rec.readmit_attempts, 0);
+        assert_eq!(rec.readmitted, 0);
+        assert!(rec.connections_dropped > 0);
+        assert_eq!(run.report.requests, 150, "only scheduled arrivals decide");
+        assert!(run
+            .audit
+            .entries()
+            .iter()
+            .all(|e| e.kind == AuditKind::Arrival));
+    }
+
+    #[test]
+    fn checkpoint_recovery_replays_the_audit_tail() {
+        let cfg = faulted_cfg(150, 23);
+        let mut engine = ServiceEngine::new(HetNetwork::paper_topology(), &cfg).unwrap();
+        for _ in 0..60 {
+            assert!(engine.step_arrival().unwrap());
+        }
+        let checkpoint = engine.checkpoint();
+        let seq0 = checkpoint.decision_seq() as usize;
+        assert_eq!(seq0, engine.audit().len());
+        let full = engine.finish().unwrap();
+        let tail = &full.audit.entries()[seq0..];
+        assert!(!tail.is_empty());
+        let recovered =
+            verify_recovery(HetNetwork::paper_topology(), &cfg, &checkpoint, tail).unwrap();
+        assert_eq!(
+            recovered.state.snapshot().to_json(),
+            full.state.snapshot().to_json(),
+            "recovered final state must be bit-identical"
+        );
+        assert_eq!(recovered.audit.start(), seq0 as u64);
+        assert_eq!(recovered.audit.len(), tail.len());
+    }
+
+    #[test]
+    fn recovery_flags_divergence_from_the_log() {
+        let cfg = faulted_cfg(100, 31);
+        let mut engine = ServiceEngine::new(HetNetwork::paper_topology(), &cfg).unwrap();
+        for _ in 0..40 {
+            assert!(engine.step_arrival().unwrap());
+        }
+        let checkpoint = engine.checkpoint();
+        let seq0 = checkpoint.decision_seq() as usize;
+        let full = engine.finish().unwrap();
+        let mut tail = full.audit.entries()[seq0..].to_vec();
+        tail[0].deadline += 1.0; // corrupt one recorded field
+        let err =
+            verify_recovery(HetNetwork::paper_topology(), &cfg, &checkpoint, &tail).unwrap_err();
+        assert!(matches!(err, CacError::SnapshotMismatch(_)), "{err}");
     }
 }

@@ -5,9 +5,12 @@
 //! teardowns. This crate closes that gap:
 //!
 //! * [`engine`] — consumes a seeded churn schedule
-//!   ([`hetnet_sim::churn`]) as a merged connect/disconnect event
-//!   stream, driving one [`hetnet_cac::cac::NetworkState`] with a
-//!   persistent evaluator cache;
+//!   ([`hetnet_sim::churn`]) as a merged connect/disconnect/fault
+//!   event stream, driving one [`hetnet_cac::cac::NetworkState`] with
+//!   a persistent evaluator cache; supports checkpointing a run to a
+//!   [`hetnet_cac::snapshot::StateSnapshot`] and deterministically
+//!   recovering it against the audit-log tail
+//!   ([`engine::verify_recovery`]);
 //! * [`metrics`] — dependency-free structured metrics: decision
 //!   counters per reject class, a fixed-bucket HDR-style latency
 //!   histogram (p50/p95/p99), evaluator-cache gauges, and a sampled
@@ -41,10 +44,12 @@ pub mod engine;
 pub mod metrics;
 pub mod report;
 
-pub use audit::{AuditEntry, AuditLog, AuditOutcome};
-pub use engine::{run, ServiceConfig, ServiceRun};
+pub use audit::{AuditEntry, AuditKind, AuditLog, AuditOutcome};
+pub use engine::{
+    run, verify_recovery, EngineCheckpoint, ServiceConfig, ServiceEngine, ServiceRun,
+};
 pub use metrics::{
     BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, LatencyHistogram,
-    UtilizationSample, UtilizationSeries,
+    RecoveryMetrics, UtilizationSample, UtilizationSeries,
 };
 pub use report::{LatencySummary, ServiceReport, StageDelaySummary};

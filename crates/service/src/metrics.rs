@@ -131,7 +131,11 @@ impl LatencyHistogram {
     /// p50 / p95 / p99 in one call.
     #[must_use]
     pub fn percentiles(&self) -> (Seconds, Seconds, Seconds) {
-        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
     }
 }
 
@@ -146,6 +150,8 @@ pub struct DecisionCounters {
     pub rejected_dest_exhausted: u64,
     /// Rejected: infeasible even at the maximum allocation.
     pub rejected_infeasible: u64,
+    /// Rejected: a component on the request's path is down.
+    pub rejected_component_down: u64,
     /// Rejected for a reason class this build does not know
     /// (`RejectReason` is `#[non_exhaustive]`).
     pub rejected_other: u64,
@@ -158,6 +164,7 @@ impl DecisionCounters {
         self.rejected_source_exhausted
             + self.rejected_dest_exhausted
             + self.rejected_infeasible
+            + self.rejected_component_down
             + self.rejected_other
     }
 
@@ -183,6 +190,7 @@ impl DecisionCounters {
             RejectReason::SourceBandwidthExhausted { .. } => self.rejected_source_exhausted += 1,
             RejectReason::DestBandwidthExhausted { .. } => self.rejected_dest_exhausted += 1,
             RejectReason::InfeasibleAtMaximum { .. } => self.rejected_infeasible += 1,
+            RejectReason::ComponentUnavailable { .. } => self.rejected_component_down += 1,
             // `RejectReason` is non_exhaustive: future classes land here.
             _ => self.rejected_other += 1,
         }
@@ -244,6 +252,8 @@ pub struct BindingCounters {
     pub deadline: u64,
     /// A server along some path cannot keep up (unbounded delay).
     pub unstable: u64,
+    /// A component on the request's path is down.
+    pub component_down: u64,
     /// A constraint class this build does not know
     /// (`BindingConstraint` is `#[non_exhaustive]`).
     pub other: u64,
@@ -257,6 +267,7 @@ impl BindingCounters {
             BindingConstraint::DestBandwidth { .. } => self.dest_bandwidth += 1,
             BindingConstraint::DeadlineExceeded { .. } => self.deadline += 1,
             BindingConstraint::ServerUnstable { .. } => self.unstable += 1,
+            BindingConstraint::ComponentDown { .. } => self.component_down += 1,
             _ => self.other += 1,
         }
     }
@@ -264,8 +275,45 @@ impl BindingCounters {
     /// Total bindings tallied.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.source_bandwidth + self.dest_bandwidth + self.deadline + self.unstable + self.other
+        self.source_bandwidth
+            + self.dest_bandwidth
+            + self.deadline
+            + self.unstable
+            + self.component_down
+            + self.other
     }
+}
+
+/// Fault-recovery counters of one service run: what the fault schedule
+/// did to the network and how the engine drained it. All zero for a
+/// run without fault injection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct RecoveryMetrics {
+    /// Fault events applied (downs + ups + deadline shrinks).
+    pub faults_injected: u64,
+    /// Components newly taken down (idempotent re-downs not counted).
+    pub components_downed: u64,
+    /// Components restored from a down state.
+    pub components_restored: u64,
+    /// Connections torn down by failures and deadline shrinks.
+    pub connections_dropped: u64,
+    /// Source-ring synchronous time reclaimed from drops, s/rotation.
+    pub reclaimed_s: f64,
+    /// Destination-ring synchronous time reclaimed from drops,
+    /// s/rotation.
+    pub reclaimed_r: f64,
+    /// Re-admission attempts for dropped connections.
+    pub readmit_attempts: u64,
+    /// Dropped connections successfully re-admitted.
+    pub readmitted: u64,
+    /// Parked connections whose holding time expired before a
+    /// re-admission window opened.
+    pub expired_in_park: u64,
+    /// Longest down-to-restored interval of any component, seconds.
+    pub max_time_to_drain: f64,
+    /// Components still down when the run ended (0 when every fault
+    /// drained, which the generated schedules guarantee).
+    pub undrained: u64,
 }
 
 /// Delay-budget attribution accumulated from [`DecisionTrace`]s: one
@@ -429,7 +477,9 @@ mod tests {
     #[test]
     fn histogram_quantiles_never_underestimate() {
         let mut h = LatencyHistogram::new();
-        let values = [10e-6, 20e-6, 30e-6, 40e-6, 50e-6, 60e-6, 70e-6, 80e-6, 90e-6, 100e-6];
+        let values = [
+            10e-6, 20e-6, 30e-6, 40e-6, 50e-6, 60e-6, 70e-6, 80e-6, 90e-6, 100e-6,
+        ];
         for v in values {
             h.record(Seconds::new(v));
         }
@@ -438,7 +488,10 @@ mod tests {
         // Upper-bound reporting: each quantile ≥ the exact order
         // statistic and ≤ one bucket-growth factor above it.
         let growth = 2.0_f64.powf(1.0 / PER_OCTAVE);
-        assert!(p50.value() >= 50e-6 && p50.value() <= 50e-6 * growth, "{p50}");
+        assert!(
+            p50.value() >= 50e-6 && p50.value() <= 50e-6 * growth,
+            "{p50}"
+        );
         assert!(p95.value() >= 100e-6 * 0.999, "{p95}");
         assert!(p99.value() <= 100e-6 * growth, "{p99}");
         assert!((h.mean().value() - 55e-6).abs() < 1e-9);
@@ -478,9 +531,13 @@ mod tests {
             required: Seconds::new(1.0),
         });
         c.count_rejection(&RejectReason::InfeasibleAtMaximum { detail: "x".into() });
-        assert_eq!(c.rejected(), 3);
-        assert_eq!(c.total(), 4);
-        assert!((c.blocking_probability() - 0.75).abs() < 1e-12);
+        c.count_rejection(&RejectReason::ComponentUnavailable {
+            component: hetnet_cac::network::Component::Ring(hetnet_cac::network::RingId(0)),
+        });
+        assert_eq!(c.rejected_component_down, 1);
+        assert_eq!(c.rejected(), 4);
+        assert_eq!(c.total(), 5);
+        assert!((c.blocking_probability() - 0.8).abs() < 1e-12);
     }
 
     #[test]
@@ -602,9 +659,13 @@ mod tests {
             required: Seconds::new(1.0),
         });
         c.count(&BindingConstraint::ServerUnstable { detail: "x".into() });
-        assert_eq!(c.total(), 3);
+        c.count(&BindingConstraint::ComponentDown {
+            component: hetnet_cac::network::Component::IfDev(hetnet_cac::network::RingId(2)),
+        });
+        assert_eq!(c.total(), 4);
         assert_eq!(c.dest_bandwidth, 1);
         assert_eq!(c.unstable, 1);
+        assert_eq!(c.component_down, 1);
         assert_eq!(c.other, 0);
     }
 

@@ -2,6 +2,7 @@
 
 use crate::metrics::{
     BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, LatencyHistogram,
+    RecoveryMetrics,
 };
 use hetnet_obs::export::push_json_str;
 use hetnet_traffic::units::Seconds;
@@ -133,6 +134,9 @@ pub struct ServiceReport {
     /// Delay-budget attribution from decision traces (all-zero counts
     /// when tracing was disabled).
     pub delay_attribution: StageDelaySummary,
+    /// Fault-injection and recovery accounting (all-zero when the run
+    /// had no fault schedule).
+    pub recovery: RecoveryMetrics,
 }
 
 impl ServiceReport {
@@ -147,13 +151,14 @@ impl ServiceReport {
             out,
             "\"requests\":{},\"admitted\":{},\"rejected\":{},\
              \"rejected_by_reason\":{{\"source_exhausted\":{},\"dest_exhausted\":{},\
-             \"infeasible\":{},\"other\":{}}},",
+             \"infeasible\":{},\"component_down\":{},\"other\":{}}},",
             self.requests,
             c.admitted,
             c.rejected(),
             c.rejected_source_exhausted,
             c.rejected_dest_exhausted,
             c.rejected_infeasible,
+            c.rejected_component_down,
             c.rejected_other,
         );
         let _ = write!(
@@ -202,13 +207,15 @@ impl ServiceReport {
             out,
             ",\"delay_attribution\":{{\"traced\":{},\"rejects_with_binding\":{},\
              \"bindings\":{{\"source_bandwidth\":{},\"dest_bandwidth\":{},\
-             \"deadline\":{},\"unstable\":{},\"other\":{}}},\"stages\":{{",
+             \"deadline\":{},\"unstable\":{},\"component_down\":{},\"other\":{}}},\
+             \"stages\":{{",
             d.traced,
             d.rejects_with_binding,
             b.source_bandwidth,
             b.dest_bandwidth,
             b.deadline,
             b.unstable,
+            b.component_down,
             b.other,
         );
         for (i, (name, s)) in d.sections().iter().enumerate() {
@@ -217,7 +224,28 @@ impl ServiceReport {
             }
             push_stage_json(&mut out, name, s);
         }
-        out.push_str("}}}");
+        out.push_str("}},");
+        let r = &self.recovery;
+        let _ = write!(
+            out,
+            "\"recovery\":{{\"faults_injected\":{},\"components_downed\":{},\
+             \"components_restored\":{},\"connections_dropped\":{},\
+             \"reclaimed_s\":{:.12e},\"reclaimed_r\":{:.12e},\
+             \"readmit_attempts\":{},\"readmitted\":{},\"expired_in_park\":{},\
+             \"max_time_to_drain_s\":{:.6},\"undrained\":{}}}",
+            r.faults_injected,
+            r.components_downed,
+            r.components_restored,
+            r.connections_dropped,
+            r.reclaimed_s,
+            r.reclaimed_r,
+            r.readmit_attempts,
+            r.readmitted,
+            r.expired_in_park,
+            r.max_time_to_drain,
+            r.undrained,
+        );
+        out.push('}');
         out
     }
 }
@@ -292,6 +320,19 @@ mod tests {
             audit_len: 2,
             topology: "3 rings x 4 hosts, 3 switches, 6 links".into(),
             delay_attribution: StageDelaySummary::from_attribution(&attribution),
+            recovery: RecoveryMetrics {
+                faults_injected: 3,
+                components_downed: 1,
+                components_restored: 1,
+                connections_dropped: 2,
+                reclaimed_s: 1.5e-4,
+                reclaimed_r: 2.5e-4,
+                readmit_attempts: 2,
+                readmitted: 1,
+                expired_in_park: 0,
+                max_time_to_drain: 12.5,
+                undrained: 0,
+            },
         };
         let j = report.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -300,6 +341,7 @@ mod tests {
             "\"admitted\":1",
             "\"rejected\":1",
             "\"infeasible\":1",
+            "\"component_down\":0",
             "\"blocking_probability\":0.5",
             "\"p99_us\":",
             "\"evals\":2",
@@ -310,6 +352,9 @@ mod tests {
             "\"stages\":{\"fddi_s\":{\"count\":0,",
             "\"atm\":{\"count\":0,",
             "\"slack\":{\"count\":0,",
+            "\"recovery\":{\"faults_injected\":3,",
+            "\"max_time_to_drain_s\":12.500000",
+            "\"undrained\":0",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }

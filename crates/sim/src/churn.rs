@@ -170,7 +170,10 @@ pub fn generate(cfg: &ChurnConfig) -> ChurnSchedule {
         cfg.shape.rings >= 2,
         "churn needs at least two rings (intra-ring traffic is out of CAC scope)"
     );
-    assert!(cfg.shape.hosts_per_ring > 0, "need at least one host per ring");
+    assert!(
+        cfg.shape.hosts_per_ring > 0,
+        "need at least one host per ring"
+    );
     assert!(
         cfg.deadline.0.value() > 0.0 && cfg.deadline.0 <= cfg.deadline.1,
         "bad deadline range"

@@ -1,0 +1,323 @@
+//! Seeded fault-schedule generation: component failures and repairs
+//! injected into a churn run.
+//!
+//! Like [`crate::churn`], the schedule is a pure function of its
+//! config — the service layer's deterministic recovery depends on
+//! being able to *regenerate* the exact fault stream from
+//! `(config, links, horizon)` rather than persisting it.
+//!
+//! Faults come in down/up *incidents*: a component goes down at some
+//! time and comes back after a bounded-exponential outage, and the
+//! next incident only starts after the previous one's repair. That
+//! keeps the stream pre-sorted, makes same-component overlap
+//! impossible, and — because generation stops early enough in the
+//! horizon — guarantees every injected failure is repaired before the
+//! run's last arrival ("every fault drains").
+//!
+//! The component kinds mirror the failure modes of the paper's
+//! topology: a whole FDDI ring (trunk break), one backbone link, or an
+//! interface device. A fourth kind, [`FaultKind::DeadlineShrink`],
+//! models a *contract* fault rather than a hardware one: the network
+//! tightens every admitted connection's effective deadline by a
+//! factor, evicting connections whose admission-time bound no longer
+//! fits (a "deadline-budget shrink").
+
+use crate::rng::{bounded_exponential, exponential, pick_index};
+use hetnet_traffic::units::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a fault event does. Component indices are raw (`ring`/`link`
+/// index into the target topology) — this crate sits below the CAC
+/// crate and cannot name its typed ids; the service layer maps them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Backbone link `.0` fails.
+    LinkDown(usize),
+    /// Backbone link `.0` is repaired.
+    LinkUp(usize),
+    /// FDDI ring `.0` fails (trunk break / ring wrap).
+    RingDown(usize),
+    /// FDDI ring `.0` is repaired.
+    RingUp(usize),
+    /// The interface device of ring `.0` fails.
+    IfDevDown(usize),
+    /// The interface device of ring `.0` is repaired.
+    IfDevUp(usize),
+    /// Every admitted connection's effective deadline shrinks to
+    /// `deadline * factor` (0 < factor < 1) for this instant:
+    /// connections whose admission-time delay bound exceeds the shrunk
+    /// deadline are torn down (and may be re-admitted immediately at a
+    /// fresh allocation).
+    DeadlineShrink {
+        /// Multiplier applied to every deadline, in (0, 1).
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// Stable lowercase tag for logs and JSON.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::LinkDown(_) => "link_down",
+            Self::LinkUp(_) => "link_up",
+            Self::RingDown(_) => "ring_down",
+            Self::RingUp(_) => "ring_up",
+            Self::IfDevDown(_) => "ifdev_down",
+            Self::IfDevUp(_) => "ifdev_up",
+            Self::DeadlineShrink { .. } => "deadline_shrink",
+        }
+    }
+
+    /// Whether this event takes a component *down* (including the
+    /// instantaneous deadline shrink, which evicts connections).
+    #[must_use]
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            Self::LinkDown(_)
+                | Self::RingDown(_)
+                | Self::IfDevDown(_)
+                | Self::DeadlineShrink { .. }
+        )
+    }
+}
+
+/// One timed fault event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the event fires.
+    pub at: Seconds,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Parameters of the fault workload.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Mean gap between the end of one incident and the start of the
+    /// next (exponential).
+    pub mean_gap: Seconds,
+    /// Mean outage duration (bounded exponential).
+    pub mean_outage: Seconds,
+    /// Hard cap on outage durations.
+    pub max_outage: Seconds,
+    /// When `Some(f)`, each drawn incident is a deadline shrink by `f`
+    /// with probability 1/4 instead of a component failure.
+    pub shrink_factor: Option<f64>,
+    /// RNG seed; the schedule is a pure function of this config plus
+    /// the topology bounds passed to [`generate_faults`].
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A moderate fault load for the paper topology: incidents every
+    /// ~40 s on average, outages of ~15 s capped at 30 s, with
+    /// occasional deadline shrinks to 85%.
+    #[must_use]
+    pub fn paper_style(seed: u64) -> Self {
+        Self {
+            mean_gap: Seconds::new(40.0),
+            mean_outage: Seconds::new(15.0),
+            max_outage: Seconds::new(30.0),
+            shrink_factor: Some(0.85),
+            seed,
+        }
+    }
+}
+
+/// Draws the fault schedule for a run over `rings` rings and `links`
+/// backbone links lasting `horizon` (the last churn arrival time).
+/// Deterministic: equal inputs produce bit-identical schedules.
+///
+/// Every down event's matching up event lands strictly before
+/// `0.9 * horizon`, so a service run that processes events up to its
+/// last arrival always sees every fault repaired ("drained").
+///
+/// # Panics
+///
+/// Panics if `rings < 2`, `links == 0`, the horizon is non-positive,
+/// or a configured shrink factor is outside (0, 1).
+#[must_use]
+pub fn generate_faults(
+    cfg: &FaultConfig,
+    rings: usize,
+    links: usize,
+    horizon: Seconds,
+) -> Vec<FaultEvent> {
+    assert!(rings >= 2, "fault injection needs the multi-ring topology");
+    assert!(links > 0, "need at least one backbone link");
+    assert!(horizon.value() > 0.0, "horizon must be positive");
+    if let Some(f) = cfg.shrink_factor {
+        assert!(
+            (0.0..1.0).contains(&f) && f > 0.0,
+            "shrink factor must be in (0, 1)"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cutoff = horizon.value() * 0.9;
+    let mut events = Vec::new();
+    let mut now = 0.0_f64;
+    loop {
+        now += exponential(&mut rng, cfg.mean_gap).value();
+        let outage = bounded_exponential(&mut rng, cfg.mean_outage, cfg.max_outage).value();
+        if now + outage >= cutoff {
+            break;
+        }
+        // Draw the incident kind *after* the feasibility check so the
+        // stream prefix is stable under horizon growth.
+        let shrink = cfg.shrink_factor.filter(|_| rng.gen_range(0..4usize) == 0);
+        if let Some(factor) = shrink {
+            events.push(FaultEvent {
+                at: Seconds::new(now),
+                kind: FaultKind::DeadlineShrink { factor },
+            });
+            // A shrink is instantaneous: no matching up event, and the
+            // next incident may start right away.
+            continue;
+        }
+        let (down, up) = match rng.gen_range(0..3usize) {
+            0 => {
+                let l = pick_index(&mut rng, links).expect("links > 0");
+                (FaultKind::LinkDown(l), FaultKind::LinkUp(l))
+            }
+            1 => {
+                let r = pick_index(&mut rng, rings).expect("rings > 0");
+                (FaultKind::RingDown(r), FaultKind::RingUp(r))
+            }
+            _ => {
+                let r = pick_index(&mut rng, rings).expect("rings > 0");
+                (FaultKind::IfDevDown(r), FaultKind::IfDevUp(r))
+            }
+        };
+        events.push(FaultEvent {
+            at: Seconds::new(now),
+            kind: down,
+        });
+        now += outage;
+        events.push(FaultEvent {
+            at: Seconds::new(now),
+            kind: up,
+        });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FaultConfig {
+        FaultConfig::paper_style(7)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_faults(&cfg(), 3, 6, Seconds::new(800.0));
+        let b = generate_faults(&cfg(), 3, 6, Seconds::new(800.0));
+        assert_eq!(a, b);
+        let mut other = cfg();
+        other.seed = 8;
+        assert_ne!(generate_faults(&other, 3, 6, Seconds::new(800.0)), a);
+    }
+
+    #[test]
+    fn events_are_ordered_paired_and_drained() {
+        let horizon = Seconds::new(1000.0);
+        let events = generate_faults(&cfg(), 3, 6, horizon);
+        assert!(!events.is_empty(), "expected some faults over 1000 s");
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at, "out of order: {w:?}");
+        }
+        // Every down has a later matching up before 0.9 * horizon, and
+        // same-component incidents never overlap.
+        let mut open: Vec<FaultKind> = Vec::new();
+        for e in &events {
+            assert!(e.at.value() < horizon.value() * 0.9);
+            match e.kind {
+                FaultKind::LinkDown(i) => {
+                    assert!(!open.contains(&FaultKind::LinkUp(i)), "overlap on link {i}");
+                    open.push(FaultKind::LinkUp(i));
+                }
+                FaultKind::RingDown(i) => {
+                    assert!(!open.contains(&FaultKind::RingUp(i)), "overlap on ring {i}");
+                    open.push(FaultKind::RingUp(i));
+                }
+                FaultKind::IfDevDown(i) => {
+                    assert!(
+                        !open.contains(&FaultKind::IfDevUp(i)),
+                        "overlap on ifdev {i}"
+                    );
+                    open.push(FaultKind::IfDevUp(i));
+                }
+                up @ (FaultKind::LinkUp(_) | FaultKind::RingUp(_) | FaultKind::IfDevUp(_)) => {
+                    let pos = open
+                        .iter()
+                        .position(|k| *k == up)
+                        .expect("up without matching down");
+                    open.remove(pos);
+                }
+                FaultKind::DeadlineShrink { factor } => {
+                    assert!(factor > 0.0 && factor < 1.0);
+                }
+            }
+        }
+        assert!(open.is_empty(), "undrained incidents: {open:?}");
+    }
+
+    #[test]
+    fn indices_stay_in_range() {
+        let events = generate_faults(&cfg(), 3, 6, Seconds::new(2000.0));
+        for e in &events {
+            match e.kind {
+                FaultKind::LinkDown(i) | FaultKind::LinkUp(i) => assert!(i < 6),
+                FaultKind::RingDown(i)
+                | FaultKind::RingUp(i)
+                | FaultKind::IfDevDown(i)
+                | FaultKind::IfDevUp(i) => assert!(i < 3),
+                FaultKind::DeadlineShrink { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_faults_appear_when_configured() {
+        let events = generate_faults(&cfg(), 3, 6, Seconds::new(5000.0));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::DeadlineShrink { .. })));
+        let mut no_shrink = cfg();
+        no_shrink.shrink_factor = None;
+        assert!(generate_faults(&no_shrink, 3, 6, Seconds::new(5000.0))
+            .iter()
+            .all(|e| !matches!(e.kind, FaultKind::DeadlineShrink { .. })));
+    }
+
+    #[test]
+    fn short_horizon_yields_no_faults() {
+        assert!(generate_faults(&cfg(), 3, 6, Seconds::new(0.001)).is_empty());
+    }
+
+    #[test]
+    fn names_and_failure_flags() {
+        assert_eq!(FaultKind::LinkDown(0).name(), "link_down");
+        assert_eq!(FaultKind::RingUp(1).name(), "ring_up");
+        assert_eq!(
+            FaultKind::DeadlineShrink { factor: 0.5 }.name(),
+            "deadline_shrink"
+        );
+        assert!(FaultKind::RingDown(0).is_failure());
+        assert!(FaultKind::DeadlineShrink { factor: 0.5 }.is_failure());
+        assert!(!FaultKind::IfDevUp(2).is_failure());
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink factor")]
+    fn bad_shrink_factor_rejected() {
+        let mut c = cfg();
+        c.shrink_factor = Some(1.5);
+        let _ = generate_faults(&c, 3, 6, Seconds::new(100.0));
+    }
+}

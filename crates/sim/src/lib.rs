@@ -13,6 +13,8 @@
 //! * [`churn`] — the seeded connection-level churn workload (Poisson
 //!   arrivals, bounded holding times) consumed by the admission
 //!   service layer;
+//! * [`fault`] — the seeded fault workload (component failures and
+//!   repairs, deadline shrinks) injected into churn runs;
 //! * [`source`] — greedy, envelope-conformant dual-periodic traffic
 //!   generators (they emit as aggressively as eq. 37 allows, which is
 //!   what makes simulated delays approach the analytic bounds);
@@ -23,11 +25,13 @@
 
 pub mod churn;
 pub mod engine;
+pub mod fault;
 pub mod netsim;
 pub mod rng;
 pub mod source;
 
 pub use churn::{ChurnArrival, ChurnConfig, ChurnSchedule, TopologyShape};
 pub use engine::Scheduler;
+pub use fault::{FaultConfig, FaultEvent, FaultKind};
 pub use netsim::{ConnectionObs, E2eScenario, SimConnection, SimReport};
 pub use source::GreedyDualPeriodic;

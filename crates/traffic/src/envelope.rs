@@ -17,6 +17,91 @@ use std::sync::Arc;
 /// A shared, immutable traffic envelope.
 pub type SharedEnvelope = Arc<dyn Envelope>;
 
+/// A model-level description of an envelope's parameters — the
+/// serializable face of the `Arc<dyn Envelope>` trait object.
+///
+/// Snapshot and audit tooling cannot serialize a trait object, so every
+/// envelope can instead *describe* itself ([`Envelope::describe`]) as
+/// one of the known parametric models, which
+/// [`EnvelopeDescriptor::reify`](crate::models) turns back into a live
+/// envelope. Models without a parametric form fall back to
+/// [`EnvelopeDescriptor::Opaque`], which round-trips as documentation
+/// only.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum EnvelopeDescriptor {
+    /// A fluid constant-bit-rate source.
+    ConstantRate {
+        /// The constant rate.
+        rate: BitsPerSec,
+    },
+    /// The paper's eq.-37 dual-periodic model.
+    DualPeriodic {
+        /// Bits per long period.
+        c1: Bits,
+        /// The long period.
+        p1: Seconds,
+        /// Bits per short period.
+        c2: Bits,
+        /// The short period.
+        p2: Seconds,
+        /// Peak emission rate.
+        peak: BitsPerSec,
+    },
+    /// An envelope with no known parametric form; `detail` is its
+    /// `Debug` rendering, kept for humans, not for reconstruction.
+    Opaque {
+        /// Debug rendering of the underlying model.
+        detail: String,
+    },
+}
+
+impl EnvelopeDescriptor {
+    /// Stable machine-readable tag of the descriptor kind.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::ConstantRate { .. } => "constant_rate",
+            Self::DualPeriodic { .. } => "dual_periodic",
+            Self::Opaque { .. } => "opaque",
+        }
+    }
+
+    /// Renders the descriptor as one JSON object. Numeric fields use
+    /// Rust's shortest-roundtrip `f64` formatting, so two descriptors
+    /// render identically iff their parameters are bit-identical.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::ConstantRate { rate } => {
+                format!(
+                    "{{\"model\":\"constant_rate\",\"rate_bps\":{}}}",
+                    rate.value()
+                )
+            }
+            Self::DualPeriodic {
+                c1,
+                p1,
+                c2,
+                p2,
+                peak,
+            } => format!(
+                "{{\"model\":\"dual_periodic\",\"c1_bits\":{},\"p1_s\":{},\
+                 \"c2_bits\":{},\"p2_s\":{},\"peak_bps\":{}}}",
+                c1.value(),
+                p1.value(),
+                c2.value(),
+                p2.value(),
+                peak.value()
+            ),
+            Self::Opaque { detail } => {
+                let escaped = detail.replace('\\', "\\\\").replace('"', "\\\"");
+                format!("{{\"model\":\"opaque\",\"detail\":\"{escaped}\"}}")
+            }
+        }
+    }
+}
+
 /// An upper bound on the traffic of a connection observed at some point in
 /// the network.
 ///
@@ -71,6 +156,15 @@ pub trait Envelope: fmt::Debug + Send + Sync {
     fn burst(&self) -> Bits {
         self.arrivals(Seconds::ZERO)
     }
+
+    /// The envelope's serializable parameter description. Parametric
+    /// models override this; the default is an opaque `Debug` render
+    /// (still deterministic, but not reconstructible).
+    fn describe(&self) -> EnvelopeDescriptor {
+        EnvelopeDescriptor::Opaque {
+            detail: format!("{self:?}"),
+        }
+    }
 }
 
 impl<E: Envelope + ?Sized> Envelope for Arc<E> {
@@ -89,6 +183,9 @@ impl<E: Envelope + ?Sized> Envelope for Arc<E> {
     fn breakpoints(&self, horizon: Seconds, out: &mut Vec<Seconds>) {
         (**self).breakpoints(horizon, out);
     }
+    fn describe(&self) -> EnvelopeDescriptor {
+        (**self).describe()
+    }
 }
 
 impl<E: Envelope + ?Sized> Envelope for &E {
@@ -106,6 +203,9 @@ impl<E: Envelope + ?Sized> Envelope for &E {
     }
     fn breakpoints(&self, horizon: Seconds, out: &mut Vec<Seconds>) {
         (**self).breakpoints(horizon, out);
+    }
+    fn describe(&self) -> EnvelopeDescriptor {
+        (**self).describe()
     }
 }
 

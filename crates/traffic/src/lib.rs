@@ -66,7 +66,7 @@ pub mod service;
 pub mod units;
 
 pub use analysis::{analyze_guaranteed_server, AnalysisConfig, ServerAnalysis};
-pub use envelope::{Envelope, SharedEnvelope};
+pub use envelope::{Envelope, EnvelopeDescriptor, SharedEnvelope};
 pub use error::TrafficError;
 pub use service::ServiceCurve;
 pub use units::{Bits, BitsPerSec, Seconds};

@@ -56,6 +56,10 @@ impl Envelope for ConstantRateEnvelope {
     fn breakpoints(&self, _horizon: Seconds, _out: &mut Vec<Seconds>) {
         // A is linear everywhere: no slope changes.
     }
+
+    fn describe(&self) -> crate::envelope::EnvelopeDescriptor {
+        crate::envelope::EnvelopeDescriptor::ConstantRate { rate: self.rate }
+    }
 }
 
 #[cfg(test)]

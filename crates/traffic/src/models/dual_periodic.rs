@@ -137,6 +137,12 @@ impl DualPeriodicEnvelope {
         self.p2
     }
 
+    /// The peak emission rate (`R`).
+    #[must_use]
+    pub fn peak(&self) -> BitsPerSec {
+        self.peak
+    }
+
     /// Arrivals within a single long period, for `0 ≤ r1 ≤ P1`.
     fn within_period(&self, r1: f64) -> f64 {
         let n2 = floor_div(r1, self.p2.value());
@@ -164,6 +170,16 @@ impl Envelope for DualPeriodicEnvelope {
 
     fn period_hint(&self) -> Option<Seconds> {
         Some(self.p1)
+    }
+
+    fn describe(&self) -> crate::envelope::EnvelopeDescriptor {
+        crate::envelope::EnvelopeDescriptor::DualPeriodic {
+            c1: self.c1,
+            p1: self.p1,
+            c2: self.c2,
+            p2: self.p2,
+            peak: self.peak,
+        }
     }
 
     fn breakpoints(&self, horizon: Seconds, out: &mut Vec<Seconds>) {

@@ -22,3 +22,107 @@ pub use dual_periodic::DualPeriodicEnvelope;
 pub use leaky_bucket::LeakyBucketEnvelope;
 pub use periodic::PeriodicEnvelope;
 pub use piecewise::PiecewiseLinearEnvelope;
+
+use crate::envelope::{EnvelopeDescriptor, SharedEnvelope};
+use crate::error::TrafficError;
+use std::sync::Arc;
+
+impl EnvelopeDescriptor {
+    /// Reconstructs a live envelope from the description. For the
+    /// parametric models the result is parameter-for-parameter (and
+    /// therefore evaluation-for-evaluation) identical to the envelope
+    /// that produced the descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrafficError::InvalidParameter`] for
+    /// [`EnvelopeDescriptor::Opaque`] (nothing to reconstruct from) and
+    /// for parametric descriptors whose parameters fail the model's own
+    /// validation.
+    pub fn reify(&self) -> Result<SharedEnvelope, TrafficError> {
+        match self {
+            Self::ConstantRate { rate } => Ok(Arc::new(ConstantRateEnvelope::new(*rate))),
+            Self::DualPeriodic {
+                c1,
+                p1,
+                c2,
+                p2,
+                peak,
+            } => Ok(Arc::new(DualPeriodicEnvelope::new(
+                *c1, *p1, *c2, *p2, *peak,
+            )?)),
+            Self::Opaque { detail } => Err(TrafficError::invalid(
+                "descriptor",
+                format!("opaque envelope cannot be reified: {detail}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod descriptor_tests {
+    use super::*;
+    use crate::envelope::Envelope;
+    use crate::units::{Bits, BitsPerSec, Seconds};
+
+    #[test]
+    fn dual_periodic_round_trips_bit_exactly() {
+        let src = DualPeriodicEnvelope::new(
+            Bits::from_mbits(2.0),
+            Seconds::from_millis(100.0),
+            Bits::from_mbits(0.25),
+            Seconds::from_millis(10.0),
+            BitsPerSec::from_mbps(100.0),
+        )
+        .unwrap();
+        let d = src.describe();
+        assert_eq!(d.kind(), "dual_periodic");
+        let back = d.reify().unwrap();
+        for i in [0.0, 0.004, 0.01, 0.095, 0.21] {
+            let i = Seconds::new(i);
+            assert_eq!(
+                src.arrivals(i).value().to_bits(),
+                back.arrivals(i).value().to_bits(),
+                "arrivals diverged at {i}"
+            );
+        }
+        assert_eq!(back.describe(), d, "re-description drifted");
+    }
+
+    #[test]
+    fn constant_rate_round_trips() {
+        let src = ConstantRateEnvelope::new(BitsPerSec::from_mbps(1.5));
+        let back = src.describe().reify().unwrap();
+        assert_eq!(
+            back.sustained_rate().value().to_bits(),
+            src.sustained_rate().value().to_bits()
+        );
+    }
+
+    #[test]
+    fn opaque_descriptors_do_not_reify() {
+        let src =
+            PeriodicEnvelope::new(Bits::new(100.0), Seconds::new(1.0), BitsPerSec::new(1000.0))
+                .unwrap();
+        let d = src.describe();
+        assert_eq!(d.kind(), "opaque");
+        assert!(d.reify().is_err());
+        assert!(d.to_json().contains("\"model\":\"opaque\""));
+    }
+
+    #[test]
+    fn descriptor_json_is_shortest_roundtrip() {
+        let src = DualPeriodicEnvelope::new(
+            Bits::from_mbits(2.0),
+            Seconds::from_millis(100.0),
+            Bits::from_mbits(0.25),
+            Seconds::from_millis(10.0),
+            BitsPerSec::from_mbps(100.0),
+        )
+        .unwrap();
+        let j = src.describe().to_json();
+        assert!(j.contains("\"model\":\"dual_periodic\""), "{j}");
+        assert!(j.contains("\"c1_bits\":2000000"), "{j}");
+        assert!(j.contains("\"p1_s\":0.1"), "{j}");
+    }
+}

@@ -1,134 +1,83 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, lint, and smoke-run the benchmark emitter.
-# Usage: scripts/check.sh
+# Local CI gate, stage-addressable so the CI workflow can run stages as
+# separate jobs. No Python anywhere: the benchmark-JSON gates live in
+# the Rust `bench_gate` binary.
+#
+# Usage: scripts/check.sh [build|test|lint|bench|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release --workspace
+stage="${1:-all}"
 
-echo "==> cargo test"
-cargo test --workspace -q
+build() {
+    echo "==> cargo build --release"
+    cargo build --release --workspace
 
-echo "==> cargo clippy (warnings denied)"
-cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> hetnet-obs compiles out cleanly (--no-default-features)"
+    cargo build --release -p hetnet-obs --no-default-features
+}
 
-echo "==> hetnet-obs compiles out cleanly (--no-default-features)"
-cargo build --release -p hetnet-obs --no-default-features
+test_stage() {
+    echo "==> cargo test"
+    cargo test --workspace -q
 
-echo "==> obs-schema gate (exporter JSON-lines shapes match the golden file)"
-cargo test --release -p hetnet-cac --test obs_schema -q
+    echo "==> obs-schema gate (exporter JSON-lines shapes match the golden file)"
+    cargo test --release -p hetnet-cac --test obs_schema -q
 
-echo "==> bench_json smoke run"
-cargo run --release -p hetnet-bench --bin bench_json -- \
-    --quick --out target/BENCH_region.quick.json
+    echo "==> snapshot gate (state snapshot round-trip + pinned golden file)"
+    cargo test --release -p hetnet-cac --test snapshot_roundtrip -q
 
-echo "==> bench_json gate (maps identical, frontier cheaper than dense, churn smoke)"
-python3 - target/BENCH_region.quick.json <<'EOF'
-import json, sys
+    echo "==> recovery gate (faulted runs replay bit-identically from checkpoints)"
+    cargo test --release -p hetnet-service --test churn_replay -q
+}
 
-with open(sys.argv[1]) as f:
-    bench = json.load(f)
-if bench["maps_identical"] is not True:
-    sys.exit("FAIL: solver maps are not bit-identical")
-dense, frontier = bench["dense_evals"], bench["frontier_evals"]
-if frontier >= dense:
-    sys.exit(f"FAIL: frontier did {frontier} evals, dense sweep {dense}")
-print(f"ok: maps identical, frontier evals {frontier} < dense {dense}")
+lint() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
 
-# Churn smoke: the fixed-seed service run must exercise both decision
-# paths and keep the audit log complete.
-churn = bench["churn"]
-if churn["admitted"] <= 0:
-    sys.exit("FAIL: churn run admitted nothing")
-if churn["rejected"] <= 0:
-    sys.exit("FAIL: churn run rejected nothing (load too light to mean anything)")
-if churn["audit_len"] != churn["requests"]:
-    sys.exit(f"FAIL: audit log has {churn['audit_len']} entries for {churn['requests']} requests")
-if not (0.0 < churn["blocking_probability"] < 1.0):
-    sys.exit(f"FAIL: degenerate blocking probability {churn['blocking_probability']}")
-print(
-    f"ok: churn {churn['requests']} requests, {churn['admitted']} admitted, "
-    f"{churn['rejected']} rejected, p99 {churn['latency']['p99_us']:.1f} us"
-)
+    echo "==> cargo clippy (warnings denied)"
+    cargo clippy --workspace --all-targets -- -D warnings
 
-# Decision-trace attribution: every decision of the churn run must be
-# traced and every rejection's trace must name its binding constraint.
-da = churn["delay_attribution"]
-if da["traced"] != churn["requests"]:
-    sys.exit(f"FAIL: {da['traced']} traces for {churn['requests']} churn requests")
-if da["rejects_with_binding"] != churn["rejected"]:
-    sys.exit(
-        f"FAIL: {da['rejects_with_binding']} bindings for {churn['rejected']} rejections"
-    )
-if da["stages"]["total"]["count"] <= 0:
-    sys.exit("FAIL: churn run recorded no per-stage delay decompositions")
-print(
-    f"ok: churn attribution traced {da['traced']}, "
-    f"{da['rejects_with_binding']} rejects all carry bindings"
-)
+    echo "==> deprecated-API gate (legacy request/request_fixed quarantined to core compat tests)"
+    # clippy -D warnings already fails any *call* to the deprecated wrappers;
+    # this keeps people from silencing it: allow(deprecated) may appear only
+    # in crates/core/src/cac.rs, where the wrappers and their compat tests live.
+    if grep -rn "allow(deprecated)" --include="*.rs" crates src tests examples \
+        | grep -v "^crates/core/src/cac.rs:"; then
+        echo "FAIL: allow(deprecated) outside crates/core/src/cac.rs"
+        exit 1
+    fi
+    echo "ok: no deprecated-API escapes"
+}
 
-# Observability section: the traced arm must actually produce records,
-# and its decision traces must cover every decision and rejection.
-obs = bench["obs"]
-if obs["trace_records"] <= 0:
-    sys.exit("FAIL: enabled-tracing run produced no obs records")
-if obs["decision_traces"] != obs["admitted"] + obs["rejected"]:
-    sys.exit(
-        f"FAIL: {obs['decision_traces']} decision traces for "
-        f"{obs['admitted'] + obs['rejected']} decisions"
-    )
-if obs["rejects_with_binding"] != obs["rejected"]:
-    sys.exit(
-        f"FAIL: {obs['rejects_with_binding']} bindings for {obs['rejected']} rejections"
-    )
-print(
-    f"ok: obs section {obs['trace_records']} records, "
-    f"{obs['decision_traces']} decision traces, "
-    f"disabled A/A delta {obs['disabled_delta_pct']:+.2f}%"
-)
-EOF
+bench() {
+    echo "==> bench_json smoke run"
+    cargo run --release -p hetnet-bench --bin bench_json -- \
+        --quick --out target/BENCH_region.quick.json
 
-echo "==> obs overhead gate (committed BENCH_region.json: disabled tracing is free)"
-python3 - BENCH_region.json <<'EOF'
-import json, sys
+    echo "==> bench gate (maps identical, frontier cheaper, churn + obs + fault-recovery smoke)"
+    cargo run --release -p hetnet-bench --bin bench_gate -- \
+        quick target/BENCH_region.quick.json
 
-with open(sys.argv[1]) as f:
-    bench = json.load(f)
-obs = bench.get("obs")
-if obs is None:
-    sys.exit("FAIL: committed BENCH_region.json has no obs section; regenerate it")
-# The A/A pair runs the identical disabled-tracing configuration twice
-# (best-of-reps, rotated arm order, warmed up), so its delta is the
-# machine's timing noise floor by construction. The gate is therefore
-# self-calibrating: enabled-tracing overhead must stay within that
-# measured floor plus one percentage point. On a quiet machine the
-# floor is a fraction of a percent and this is effectively a 1% gate;
-# on a throttled shared core it still catches a real regression without
-# failing on noise the identical-config pair also exhibits.
-floor = abs(obs["disabled_delta_pct"])
-overhead = obs["enabled_overhead_pct"]
-if overhead >= floor + 1.0:
-    sys.exit(
-        f"FAIL: enabled-tracing overhead {overhead:+.2f}% exceeds the measured "
-        f"A/A noise floor ({floor:.2f}%) by >= 1%; rerun `cargo run --release "
-        "-p hetnet-bench --bin bench_json` on a quiet machine or investigate "
-        "a real slowdown on the admit path"
-    )
-print(
-    f"ok: enabled-tracing overhead {overhead:+.2f}% within A/A noise floor "
-    f"{floor:.2f}% + 1%"
-)
-EOF
+    echo "==> committed-benchmark gate (BENCH_region.json: obs overhead + fault recovery)"
+    cargo run --release -p hetnet-bench --bin bench_gate -- \
+        committed BENCH_region.json
+}
 
-echo "==> deprecated-API gate (legacy request/request_fixed quarantined to core compat tests)"
-# clippy -D warnings already fails any *call* to the deprecated wrappers;
-# this keeps people from silencing it: allow(deprecated) may appear only
-# in crates/core/src/cac.rs, where the wrappers and their compat tests live.
-if grep -rn "allow(deprecated)" --include="*.rs" crates src tests examples \
-    | grep -v "^crates/core/src/cac.rs:"; then
-    echo "FAIL: allow(deprecated) outside crates/core/src/cac.rs"
-    exit 1
-fi
-echo "ok: no deprecated-API escapes"
-echo "==> all checks passed"
+case "$stage" in
+    build) build ;;
+    test) test_stage ;;
+    lint) lint ;;
+    bench) bench ;;
+    all)
+        build
+        test_stage
+        lint
+        bench
+        echo "==> all checks passed"
+        ;;
+    *)
+        echo "usage: scripts/check.sh [build|test|lint|bench|all]" >&2
+        exit 2
+        ;;
+esac

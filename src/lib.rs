@@ -38,14 +38,20 @@ pub use hetnet_traffic as traffic;
 /// The quickstart surface: everything needed to build a network, shape
 /// a request, and ask for admission — one `use hetnet::prelude::*;`.
 pub mod prelude {
+    pub use hetnet_cac::cac::TeardownReport;
     pub use hetnet_cac::cac::{
         AdmissionOptions, AllocationPolicy, CacConfig, Decision, NetworkState, RejectReason,
     };
     pub use hetnet_cac::connection::{ConnectionId, ConnectionSpec, ConnectionSpecBuilder};
     pub use hetnet_cac::error::CacError;
-    pub use hetnet_cac::network::{HetNetwork, HostId, RingId, TopologySummary};
+    pub use hetnet_cac::network::{Component, HetNetwork, HostId, LinkId, RingId, TopologySummary};
+    pub use hetnet_cac::snapshot::{StateSnapshot, SNAPSHOT_VERSION};
     pub use hetnet_cac::trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};
-    pub use hetnet_service::{run as run_service, ServiceConfig, ServiceReport};
+    pub use hetnet_service::{
+        run as run_service, verify_recovery, EngineCheckpoint, RecoveryMetrics, ServiceConfig,
+        ServiceEngine, ServiceReport,
+    };
+    pub use hetnet_sim::fault::{FaultConfig, FaultEvent, FaultKind};
     pub use hetnet_traffic::envelope::SharedEnvelope;
     pub use hetnet_traffic::models::DualPeriodicEnvelope;
     pub use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
