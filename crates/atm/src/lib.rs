@@ -11,6 +11,8 @@
 //! * [`link`] — link rate/propagation parameters;
 //! * [`mux`] — worst-case FIFO multiplexer analysis (busy period, delay
 //!   bound, backlog, per-flow output envelopes);
+//! * [`affine`] — closed-form `(σ, ρ)` over-approximations of the mux
+//!   analysis used by the admission fast path;
 //! * [`switch`] — an output port = multiplexer + fixed switching latency
 //!   + store-and-forward cell time;
 //! * [`topology`] — backbone graphs (the paper's three-switch backbone,
@@ -19,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod affine;
 pub mod cell;
 pub mod error;
 pub mod link;
@@ -26,6 +29,7 @@ pub mod mux;
 pub mod switch;
 pub mod topology;
 
+pub use affine::{fifo_bounds, AffineBound, FifoBounds};
 pub use error::AtmError;
 pub use link::LinkConfig;
 pub use mux::{analyze_mux, per_flow_output, MuxReport};

@@ -357,9 +357,14 @@ mod tests {
         // A trimmed copy of the bench emitter's structure, including
         // the escaped-string and exponent forms it produces.
         let doc = Json::parse(
-            "{\n  \"speedup\": 1.234,\n  \"maps_identical\": true,\n  \
+            "{\n  \"speedup\": 1.234,\n  \"hw_threads\": 1,\n  \"maps_identical\": true,\n  \
              \"churn\": {\"topology\": \"3 rings x 4 hosts\", \
+             \"latency\": {\"p99_us\": 2.493948e5}, \
+             \"fast_path\": {\"fast_accepts\": 120, \"fast_rejects\": 60, \
+             \"fallbacks\": 20, \"hit_rate\": 0.900000}, \
              \"recovery\": {\"reclaimed_s\": 1.500000000000e-4}},\n  \
+             \"decision_latency\": {\"decisions\": 2000, \"p99_us\": 51.200, \
+             \"fast_hit_rate\": 0.923077},\n  \
              \"ring_utilization\": [{\"mean\":0.25,\"peak\":0.5}]\n}",
         )
         .unwrap();
@@ -374,6 +379,28 @@ mod tests {
             doc.at("churn.topology").unwrap().as_str(),
             Some("3 rings x 4 hosts")
         );
+        // The gate's dotted paths into the fast-path sections must
+        // resolve exactly as the emitter writes them.
+        let churn_p99 = doc.at("churn.latency.p99_us").unwrap().as_f64().unwrap();
+        assert!((churn_p99 - 249_394.8).abs() < 0.1);
+        assert_eq!(
+            doc.at("churn.fast_path.fast_accepts").unwrap().as_f64(),
+            Some(120.0)
+        );
+        assert_eq!(
+            doc.at("churn.fast_path.hit_rate").unwrap().as_f64(),
+            Some(0.9)
+        );
+        let p99 = doc.at("decision_latency.p99_us").unwrap().as_f64().unwrap();
+        assert!((p99 - 51.2).abs() < 1e-9);
+        let hit = doc
+            .at("decision_latency.fast_hit_rate")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(hit > 0.9 && hit < 1.0);
+        assert_eq!(doc.at("hw_threads").unwrap().as_f64(), Some(1.0));
+        assert!(doc.at("decision_latency.missing").is_none());
     }
 
     #[test]

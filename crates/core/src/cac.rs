@@ -32,6 +32,7 @@ use crate::delay::{
     PathInput, PathReport,
 };
 use crate::error::CacError;
+use crate::incremental::{FastContext, FastPathStats, IncrementalState};
 use crate::network::{Component, HetNetwork, RingId};
 use crate::snapshot::{ConnectionSnapshot, StateSnapshot, SNAPSHOT_VERSION};
 use crate::trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};
@@ -185,6 +186,9 @@ pub struct DecisionRecord<'a> {
     /// (all-zero for fixed-allocation admissions, which run a single
     /// uncached evaluation).
     pub cache: CacheStats,
+    /// Fast-ladder probe counters of this decision's β search
+    /// (all-zero when the fast path is off or the allocation is fixed).
+    pub fast_path: FastPathStats,
     /// The decision's structured explanation — present iff
     /// [`NetworkState::set_decision_tracing`] is on.
     pub trace: Option<&'a DecisionTrace>,
@@ -317,10 +321,19 @@ pub struct NetworkState {
     persist_cache: bool,
     /// Evaluator cache carried across [`NetworkState::admit`] calls
     /// when persistence is on. Entries are always sound (keys capture
-    /// everything a result depends on); dropping the cache when the
-    /// active set changes merely bounds its memory to one admission
-    /// epoch while keeping the reject/retry path warm.
+    /// everything a result depends on — envelope identity, allocations,
+    /// and the full transform chain), so with persistence on the cache
+    /// survives admissions and releases too; an entry cap at the start
+    /// of each search bounds its memory. With persistence off it is
+    /// dropped whenever the active set changes.
     eval_cache: Option<EvalCache>,
+    /// Whether β-search probes may be decided by the fast ladder
+    /// ([`NetworkState::set_fast_path`]).
+    fast_path: bool,
+    /// Per-server incremental admission state, maintained by deltas on
+    /// admit/release/teardown while the fast path is enabled.
+    incremental: Option<IncrementalState>,
+    last_fast_stats: Option<FastPathStats>,
     /// Components currently marked down by fault injection; requests
     /// whose path crosses one are rejected without evaluation.
     down: BTreeSet<Component>,
@@ -382,6 +395,7 @@ impl fmt::Debug for NetworkState {
             .field("next_id", &self.next_id)
             .field("last_cache_stats", &self.last_cache_stats)
             .field("persist_cache", &self.persist_cache)
+            .field("fast_path", &self.fast_path)
             .field("down", &self.down)
             .field("clock", &self.clock)
             .field("decision_seq", &self.decision_seq)
@@ -404,6 +418,9 @@ impl NetworkState {
             last_cache_stats: None,
             persist_cache: false,
             eval_cache: None,
+            fast_path: false,
+            incremental: None,
+            last_fast_stats: None,
             down: BTreeSet::new(),
             clock: Seconds::ZERO,
             decision_seq: 0,
@@ -467,16 +484,58 @@ impl NetworkState {
     }
 
     /// Enables (or disables) carrying the evaluator's caches across
-    /// [`NetworkState::admit`] calls. The cache is invalidated
-    /// whenever the active set changes (admission or release), so it
-    /// pays off for rejected or repeated requests against an unchanged
-    /// background — decisions are bit-identical either way, because
+    /// [`NetworkState::admit`] calls — including across admissions,
+    /// releases, and teardowns: cache keys capture everything a result
+    /// depends on (envelope identity, allocation bits, and the exact
+    /// transform chain a flow went through), so entries stay sound when
+    /// the active set changes and simply stop being hit once their
+    /// flows are gone. An entry cap at the start of each search bounds
+    /// the memory. Decisions are bit-identical either way, because
     /// cache hits return exactly what the miss path would compute.
     pub fn persist_eval_cache(&mut self, enabled: bool) {
         self.persist_cache = enabled;
         if !enabled {
             self.eval_cache = None;
         }
+    }
+
+    /// Enables (or disables) the incremental fast path: with it on, the
+    /// β bisection's boolean feasible-at-λ probes may be decided by the
+    /// closed-form decision ladder ([`crate::incremental`]) instead of
+    /// the dense evaluator, and the per-server
+    /// [`IncrementalState`](crate::incremental) is maintained by deltas
+    /// across admissions, releases, and teardowns. Every quantity that
+    /// reaches a decision, a trace, or an allocation table still comes
+    /// from the dense evaluator, so decisions are bit-identical with
+    /// the fast path on or off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError`] if the per-server state cannot be built
+    /// from the current active set (unrouted rings — impossible for
+    /// connections this state admitted itself).
+    pub fn set_fast_path(&mut self, enabled: bool) -> Result<(), CacError> {
+        self.fast_path = enabled;
+        self.incremental = if enabled {
+            Some(IncrementalState::rebuild(&self.net, &self.active)?)
+        } else {
+            None
+        };
+        Ok(())
+    }
+
+    /// Whether the incremental fast path is enabled.
+    #[must_use]
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    /// Fast-path probe counters of the most recent β-search
+    /// [`NetworkState::admit`] call (`None` before the first; all-zero
+    /// when the fast path is disabled).
+    #[must_use]
+    pub fn last_fast_path_stats(&self) -> Option<FastPathStats> {
+        self.last_fast_stats
     }
 
     /// Cache hit/miss counters of the evaluator used by the most recent
@@ -648,6 +707,10 @@ impl NetworkState {
             AllocationPolicy::BetaSearch => self.last_cache_stats.unwrap_or_default(),
             AllocationPolicy::Fixed { .. } => CacheStats::default(),
         };
+        let fast_path = match opts.allocation {
+            AllocationPolicy::BetaSearch => self.last_fast_stats.unwrap_or_default(),
+            AllocationPolicy::Fixed { .. } => FastPathStats::default(),
+        };
         // `parts` is `Some` iff tracing is on, so a disabled state never
         // retains a stale trace.
         self.last_trace = parts.map(|p| DecisionTrace {
@@ -658,6 +721,7 @@ impl NetworkState {
             connections: p.connections,
             binding: p.binding,
             cache,
+            fast_path,
         });
         obs::event(
             "decision",
@@ -683,6 +747,7 @@ impl NetworkState {
                     spec: &spec,
                     decision: &decision,
                     cache,
+                    fast_path,
                     trace: self.last_trace.as_ref(),
                 });
                 self.observer = Some(hook);
@@ -801,8 +866,17 @@ impl NetworkState {
             });
             v
         };
-        let carried = self.eval_cache.take().unwrap_or_default();
+        let mut carried = self.eval_cache.take().unwrap_or_default();
+        // A persisted cache survives active-set changes (its keys are
+        // content-addressed), so bound its growth here instead.
+        if carried.stage1_entries() > 1024
+            || carried.mux_entries() > 8192
+            || carried.receive_entries() > 8192
+        {
+            carried.clear();
+        }
         let mut ev = Evaluator::with_cache(&self.net, cfg.eval.clone(), carried);
+        let mut fast_stats = FastPathStats::default();
 
         // Steps 2–5 run inside one closure so that the evaluator's cache
         // statistics are recorded on *every* exit path (admit, reject,
@@ -888,6 +962,22 @@ impl NetworkState {
                 }
             };
 
+            // Fast decision ladder for step 3's boolean probes (see
+            // `crate::incremental`): assembled per decision from the
+            // delta-maintained per-server state and the evaluator's
+            // cached stage-1 summaries; `None` runs everything densely.
+            let fast_ctx = match (&self.incremental, self.fast_path) {
+                (Some(state), true) => FastContext::new(
+                    &mut ev,
+                    &self.net,
+                    state,
+                    &self.active,
+                    spec.source,
+                    spec.dest,
+                )?,
+                _ => None,
+            };
+
             // Candidate-only probe: feasibility is the newcomer's own
             // deadline (existing ones are covered by Step 2 + monotonicity).
             let probe = |ev: &mut Evaluator,
@@ -905,14 +995,37 @@ impl NetworkState {
                 }
             };
 
+            // Boolean wrapper for the step-3 bisection: the ladder may
+            // decide feasibility outright, falling back to the dense
+            // probe when no rung is decisive. Only these booleans ever
+            // come from the ladder — steps 4–5 consume dense *values* —
+            // so sound rungs keep the bisection path, and with it every
+            // committed number, bit-identical to the fast-off run.
+            let mut probe_hit = |ev: &mut Evaluator, lambda: f64| -> Result<bool, CacError> {
+                if let Some(ctx) = fast_ctx.as_ref() {
+                    let (hs, hr) = at(lambda);
+                    let cand = PathInput {
+                        source: spec.source,
+                        dest: spec.dest,
+                        envelope: Arc::clone(&spec.envelope),
+                        h_s: hs,
+                        h_r: hr,
+                    };
+                    if let Some(decided) = ctx.probe(ev, &cand, spec.deadline, &mut fast_stats)? {
+                        return Ok(decided);
+                    }
+                }
+                Ok(probe(ev, lambda)?.is_some())
+            };
+
             // Step 3: minimum needed allocation along the line.
-            let lambda_min = if probe(&mut ev, 0.0)?.is_some() {
+            let lambda_min = if probe_hit(&mut ev, 0.0)? {
                 0.0
             } else {
                 let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
                 for _ in 0..cfg.search_iterations {
                     let mid = 0.5 * (lo + hi);
-                    if probe(&mut ev, mid)?.is_some() {
+                    if probe_hit(&mut ev, mid)? {
                         hi = mid;
                     } else {
                         lo = mid;
@@ -1012,6 +1125,7 @@ impl NetworkState {
         let stats = ev.cache_stats();
         let cache = ev.into_cache();
         self.last_cache_stats = Some(stats);
+        self.last_fast_stats = Some(fast_stats);
         if self.persist_cache {
             self.eval_cache = Some(cache);
         }
@@ -1020,9 +1134,11 @@ impl NetworkState {
             Search::Reject(reason, parts) => return Ok((Decision::Rejected(reason), parts)),
         };
 
-        // Commit (the admission changes the active set, so the carried
-        // cache is dropped — see `persist_eval_cache`).
-        self.eval_cache = None;
+        // Commit. A non-persisted cache dies with the active-set change;
+        // a persisted one stays valid — see `persist_eval_cache`.
+        if !self.persist_cache {
+            self.eval_cache = None;
+        }
         let id = ConnectionId(self.next_id);
         self.next_id += 1;
         let key = AllocationKey(id.0);
@@ -1033,6 +1149,9 @@ impl NetworkState {
             // Roll back the source allocation before surfacing the error.
             let _ = self.tables[spec.source.ring].release(key);
             return Err(e.into());
+        }
+        if let Some(state) = self.incremental.as_mut() {
+            state.admit(&self.net, id, &spec, h_s, h_r)?;
         }
         let delay_bound = reports.last().expect("candidate included").total;
         self.active.push(ActiveConnection {
@@ -1163,7 +1282,9 @@ impl NetworkState {
                 ));
             }
         };
-        self.eval_cache = None;
+        if !self.persist_cache {
+            self.eval_cache = None;
+        }
         let id = ConnectionId(self.next_id);
         self.next_id += 1;
         let key = AllocationKey(id.0);
@@ -1175,6 +1296,9 @@ impl NetworkState {
         {
             let _ = self.tables[spec.source.ring].release(key);
             return Err(e.into());
+        }
+        if let Some(state) = self.incremental.as_mut() {
+            state.admit(&self.net, id, &spec, h_s, h_r)?;
         }
         let delay_bound = reports.last().expect("candidate included").total;
         self.active.push(ActiveConnection {
@@ -1212,7 +1336,12 @@ impl NetworkState {
             .position(|c| c.id == id)
             .ok_or(CacError::UnknownConnection(id))?;
         let conn = self.active.remove(idx);
-        self.eval_cache = None;
+        if !self.persist_cache {
+            self.eval_cache = None;
+        }
+        if let Some(state) = self.incremental.as_mut() {
+            state.release(id);
+        }
         let key = AllocationKey(id.0);
         self.tables[conn.spec.source.ring]
             .release(key)
@@ -1256,7 +1385,12 @@ impl NetworkState {
                     .position(|c| c.id == id)
                     .expect("victim is active");
                 let conn = self.active.remove(idx);
-                self.eval_cache = None;
+                if !self.persist_cache {
+                    self.eval_cache = None;
+                }
+                if let Some(state) = self.incremental.as_mut() {
+                    state.release(id);
+                }
                 let key = AllocationKey(id.0);
                 self.tables[conn.spec.source.ring]
                     .release(key)
@@ -1465,7 +1599,11 @@ impl NetworkState {
         self.decision_seq = snap.decision_seq;
         self.eval_cache = None;
         self.last_cache_stats = None;
+        self.last_fast_stats = None;
         self.last_trace = None;
+        if self.fast_path {
+            self.incremental = Some(IncrementalState::rebuild(&self.net, &self.active)?);
+        }
         Ok(())
     }
 

@@ -23,6 +23,11 @@
 //!   search only the muxes the candidate traverses (and their
 //!   downstream dependents) change; every background-only mux is
 //!   analyzed once per admission request and then served from cache.
+//! * **Stage 3** (per receive side): reassembly plus the destination
+//!   ring's MAC analysis, keyed by the arrived flow's interned
+//!   signature, the frame size, the destination ring, and `H_R`. A
+//!   connection whose arrived envelope is unchanged (every mux on its
+//!   path hit) skips the second busy-period search entirely.
 //!
 //! Cache hits return the identical reports the miss path would compute,
 //! so cached and uncached evaluations are bit-identical. [`CacheStats`]
@@ -52,6 +57,7 @@
 
 use crate::error::CacError;
 use crate::network::{HetNetwork, HostId};
+use hetnet_atm::affine::AffineBound;
 use hetnet_atm::mux::{analyze_mux, per_flow_output, MuxReport};
 use hetnet_atm::{AtmError, LinkConfig};
 use hetnet_fddi::mac::{analyze_fddi_mac, DelayOutcome};
@@ -61,7 +67,7 @@ use hetnet_ifdev::{reassemble_envelope, segment_envelope};
 use hetnet_obs as obs;
 use hetnet_traffic::analysis::AnalysisConfig;
 use hetnet_traffic::combinators::Sampled;
-use hetnet_traffic::envelope::SharedEnvelope;
+use hetnet_traffic::envelope::{Envelope, SharedEnvelope};
 use hetnet_traffic::units::{Bits, Seconds};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -186,7 +192,7 @@ pub enum CandidateOutcome {
 
 /// Which multiplexer a hop refers to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-enum MuxKey {
+pub(crate) enum MuxKey {
     /// The sender-side device's output port onto its access link.
     Uplink(usize),
     /// A backbone link's output port.
@@ -197,7 +203,7 @@ enum MuxKey {
 
 impl MuxKey {
     /// `(kind, index)` as stable trace labels.
-    fn parts(self) -> (&'static str, usize) {
+    pub(crate) fn parts(self) -> (&'static str, usize) {
         match self {
             Self::Uplink(i) => ("uplink", i),
             Self::Backbone(i) => ("backbone", i),
@@ -213,7 +219,11 @@ enum Stage1 {
         chi_s: Seconds,
         buffer: Bits,
         frame_size: Bits,
-        wire: SharedEnvelope,
+        wire: Arc<Sampled>,
+        /// Tightest affine `(σ, ρ)` dominating `wire`'s sample table —
+        /// derived once per stage-1 computation for the admission fast
+        /// path, valid on the flattening horizon.
+        wire_affine: AffineBound,
     },
     Infeasible(String),
 }
@@ -247,6 +257,25 @@ type SigId = u32;
 #[derive(Clone, Debug)]
 enum MuxCached {
     Ready(MuxReport),
+    Infeasible(String),
+}
+
+/// Key of a cached receive-side (stage-3) analysis: reassembly and the
+/// destination MAC depend only on the arrived flow (by interned
+/// signature — signatures are never recycled while the cache lives), the
+/// frame size it is reassembled into, the destination ring, and `H_R`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct ReceiveKey {
+    arrived_sig: SigId,
+    frame_bits: u64,
+    h_bits: u64,
+    ring: usize,
+}
+
+/// A cached stage-3 outcome.
+#[derive(Clone, Debug)]
+enum ReceiveCached {
+    Ready { chi_r: Seconds, buffer: Bits },
     Infeasible(String),
 }
 
@@ -297,6 +326,8 @@ pub struct EvalCache {
     /// `(parent signature, delay bits, link-rate bits)` → signature of
     /// the flow after that hop.
     chained_sigs: HashMap<(SigId, u64, u64), SigId>,
+    /// Receive-side (stage-3) analyses.
+    receive: HashMap<ReceiveKey, ReceiveCached>,
     /// The envelope each signature denotes, indexed by [`SigId`]. Also
     /// the pin keeping every interned envelope (and hence every
     /// signature's `Arc` address) alive for the cache's lifetime.
@@ -317,6 +348,7 @@ impl EvalCache {
         self.mux.clear();
         self.root_sigs.clear();
         self.chained_sigs.clear();
+        self.receive.clear();
         self.sig_envs.clear();
         self.fingerprint = None;
     }
@@ -331,6 +363,12 @@ impl EvalCache {
     #[must_use]
     pub fn mux_entries(&self) -> usize {
         self.mux.values().map(HashMap::len).sum()
+    }
+
+    /// Number of cached receive-side (stage-3) analyses.
+    #[must_use]
+    pub fn receive_entries(&self) -> usize {
+        self.receive.len()
     }
 
     /// The signature of a wire envelope fresh out of stage 1.
@@ -382,6 +420,10 @@ pub struct CacheStats {
     pub mux_hits: u64,
     /// Multiplexer (stage-2) analyses computed.
     pub mux_misses: u64,
+    /// Receive-side (stage-3) analyses served from cache.
+    pub receive_hits: u64,
+    /// Receive-side (stage-3) analyses computed.
+    pub receive_misses: u64,
 }
 
 impl CacheStats {
@@ -407,6 +449,18 @@ impl CacheStats {
         }
     }
 
+    /// Fraction of stage-3 (receive) lookups that hit, or 0 with no
+    /// lookups.
+    #[must_use]
+    pub fn receive_hit_rate(&self) -> f64 {
+        let total = self.receive_hits + self.receive_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.receive_hits as f64 / total as f64
+        }
+    }
+
     /// Adds `other`'s counters into `self` (for aggregating per-worker
     /// evaluators after a parallel sweep).
     pub fn merge(&mut self, other: &CacheStats) {
@@ -414,6 +468,8 @@ impl CacheStats {
         self.stage1_misses += other.stage1_misses;
         self.mux_hits += other.mux_hits;
         self.mux_misses += other.mux_misses;
+        self.receive_hits += other.receive_hits;
+        self.receive_misses += other.receive_misses;
     }
 }
 
@@ -536,7 +592,7 @@ impl<'a> Evaluator<'a> {
         self.stats
     }
 
-    fn flatten(&self, env: SharedEnvelope) -> SharedEnvelope {
+    fn flatten(&self, env: SharedEnvelope) -> Arc<Sampled> {
         Arc::new(Sampled::flatten(
             env,
             self.cfg.flatten_horizon,
@@ -605,11 +661,15 @@ impl<'a> Evaluator<'a> {
                         let f_s = frames::frame_size(ring, p.h_s);
                         let seg = segment_envelope(self.flatten(mac.output), f_s, self.net.ifdev());
                         let wire = self.flatten(seg.output_wire);
+                        let (ts, vals) = wire.samples();
+                        let wire_affine =
+                            AffineBound::from_samples(ts, vals, wire.sustained_rate());
                         Stage1::Ready {
                             chi_s,
                             buffer: mac.buffer_required,
                             frame_size: f_s,
                             wire,
+                            wire_affine,
                         }
                     }
                     DelayOutcome::BufferOverflow { .. } => {
@@ -659,12 +719,13 @@ impl<'a> Evaluator<'a> {
         // Stage 1 (cached): source MAC + segmentation per path.
         for (pi, p) in paths.iter().enumerate() {
             let s1 = self.stage1_for(p)?;
-            let (chi_s, buffer, frame_size, wire) = match s1 {
+            let (chi_s, buffer, frame_size, wire): (_, _, _, SharedEnvelope) = match s1 {
                 Stage1::Ready {
                     chi_s,
                     buffer,
                     frame_size,
                     wire,
+                    ..
                 } => (chi_s, buffer, frame_size, wire),
                 Stage1::Infeasible(msg) => return Ok(Some(msg)),
             };
@@ -821,8 +882,10 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Completes the receive side of path `pi` and assembles its report.
+    /// Needs `&mut self` for the stage-3 cache; callers detach the
+    /// scratch first (see [`Evaluator::resolve`]).
     fn finish_path(
-        &self,
+        &mut self,
         p: &PathInput,
         s: &Scratch,
         pi: usize,
@@ -859,32 +922,59 @@ impl<'a> Evaluator<'a> {
 
         let id_r = net.ifdev().receiver_fixed_delay();
 
-        let arrived = Arc::clone(
-            self.cache
-                .env(*s.hop_sigs[pi].last().expect("route has hops")),
-        );
-        let rea = reassemble_envelope(arrived, frame_size, net.ifdev());
-        let mac_r = match analyze_fddi_mac(
-            rea.output_frames,
-            ring_r,
-            p.h_r,
-            net.device_buffer(),
-            &self.cfg.analysis,
-        ) {
-            Ok(m) => m,
-            Err(FddiError::Analysis(e)) => {
-                return Ok(Err(format!("receive MAC on ring {}: {e}", p.dest.ring)))
-            }
-            Err(e) => return Err(e.into()),
+        let arrived_sig = *s.hop_sigs[pi].last().expect("route has hops");
+        let key = ReceiveKey {
+            arrived_sig,
+            frame_bits: frame_size.value().to_bits(),
+            h_bits: p.h_r.per_rotation().value().to_bits(),
+            ring: p.dest.ring,
         };
-        let chi_r = match mac_r.delay {
-            DelayOutcome::Bounded(d) => d,
-            DelayOutcome::BufferOverflow { .. } => {
-                return Ok(Err(format!(
-                    "receive MAC buffer overflow on ring {}",
-                    p.dest.ring
-                )))
-            }
+        let receive_event = |hit: bool| {
+            obs::event(
+                "receive",
+                &[
+                    ("ring", obs::FieldValue::U64(p.dest.ring as u64)),
+                    ("hit", obs::FieldValue::Bool(hit)),
+                ],
+            );
+        };
+        let cached = if let Some(hit) = self.cache.receive.get(&key) {
+            self.stats.receive_hits += 1;
+            receive_event(true);
+            hit.clone()
+        } else {
+            self.stats.receive_misses += 1;
+            receive_event(false);
+            let arrived = Arc::clone(self.cache.env(arrived_sig));
+            let rea = reassemble_envelope(arrived, frame_size, net.ifdev());
+            let computed = match analyze_fddi_mac(
+                rea.output_frames,
+                ring_r,
+                p.h_r,
+                net.device_buffer(),
+                &self.cfg.analysis,
+            ) {
+                Ok(m) => match m.delay {
+                    DelayOutcome::Bounded(chi_r) => ReceiveCached::Ready {
+                        chi_r,
+                        buffer: m.buffer_required,
+                    },
+                    DelayOutcome::BufferOverflow { .. } => ReceiveCached::Infeasible(format!(
+                        "receive MAC buffer overflow on ring {}",
+                        p.dest.ring
+                    )),
+                },
+                Err(FddiError::Analysis(e)) => {
+                    ReceiveCached::Infeasible(format!("receive MAC on ring {}: {e}", p.dest.ring))
+                }
+                Err(e) => return Err(e.into()),
+            };
+            self.cache.receive.insert(key, computed.clone());
+            computed
+        };
+        let (chi_r, buffer_r) = match cached {
+            ReceiveCached::Ready { chi_r, buffer } => (chi_r, buffer),
+            ReceiveCached::Infeasible(msg) => return Ok(Err(msg)),
         };
         let fddi_r = chi_r + ring_r.propagation;
         let total = fddi_s + id_s + atm + id_r + fddi_r;
@@ -896,7 +986,7 @@ impl<'a> Evaluator<'a> {
             fddi_r,
             total,
             buffer_mac_s: buffer_s,
-            buffer_mac_r: mac_r.buffer_required,
+            buffer_mac_r: buffer_r,
         }))
     }
 
@@ -915,14 +1005,19 @@ impl<'a> Evaluator<'a> {
         if let Some(msg) = self.resolve(paths)? {
             return Ok(EvalOutcome::Infeasible(msg));
         }
-        let mut reports = Vec::with_capacity(paths.len());
-        for (pi, p) in paths.iter().enumerate() {
-            match self.finish_path(p, &self.scratch, pi)? {
-                Ok(r) => reports.push(r),
-                Err(msg) => return Ok(EvalOutcome::Infeasible(msg)),
+        let s = std::mem::take(&mut self.scratch);
+        let out = (|| {
+            let mut reports = Vec::with_capacity(paths.len());
+            for (pi, p) in paths.iter().enumerate() {
+                match self.finish_path(p, &s, pi)? {
+                    Ok(r) => reports.push(r),
+                    Err(msg) => return Ok(EvalOutcome::Infeasible(msg)),
+                }
             }
-        }
-        Ok(EvalOutcome::Feasible(reports))
+            Ok(EvalOutcome::Feasible(reports))
+        })();
+        self.scratch = s;
+        out
     }
 
     /// Evaluates only the *last* path's full report (the CAC's search
@@ -949,14 +1044,63 @@ impl<'a> Evaluator<'a> {
             return Ok(CandidateOutcome::Infeasible(msg));
         }
         let last = paths.len() - 1;
-        match self.finish_path(&paths[last], &self.scratch, last)? {
-            Ok(candidate) => Ok(CandidateOutcome::Feasible {
+        let s = std::mem::take(&mut self.scratch);
+        let out = match self.finish_path(&paths[last], &s, last) {
+            Ok(Ok(candidate)) => Ok(CandidateOutcome::Feasible {
                 candidate,
-                mux_delays: self.scratch.mux_delay.iter().map(|&(_, d)| d).collect(),
+                mux_delays: s.mux_delay.iter().map(|&(_, d)| d).collect(),
             }),
-            Err(msg) => Ok(CandidateOutcome::Infeasible(msg)),
-        }
+            Ok(Err(msg)) => Ok(CandidateOutcome::Infeasible(msg)),
+            Err(e) => Err(e),
+        };
+        self.scratch = s;
+        out
     }
+
+    /// Sender-side quantities the admission fast path needs for one path
+    /// at one allocation, served from (and filling) the stage-1 cache:
+    /// the exact `χ_S`, the frame size, and the affine wire bound.
+    /// `None` when stage 1 is infeasible at this allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard configuration errors exactly like
+    /// [`Evaluator::evaluate_candidate`].
+    pub(crate) fn fast_stage1(&mut self, p: &PathInput) -> Result<Option<FastStage1>, CacError> {
+        Ok(match self.stage1_for(p)? {
+            Stage1::Ready {
+                chi_s,
+                frame_size,
+                wire,
+                wire_affine,
+                ..
+            } => Some(FastStage1 {
+                chi_s,
+                frame_size,
+                wire_affine,
+                window: wire.horizon(),
+            }),
+            Stage1::Infeasible(_) => None,
+        })
+    }
+
+    /// The (clamped) configuration this evaluator analyzes under.
+    pub(crate) fn config(&self) -> &EvalConfig {
+        &self.cfg
+    }
+}
+
+/// Sender-side stage-1 summary for the admission fast path.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FastStage1 {
+    /// Exact source-MAC delay `χ_S` (identical to the dense path's).
+    pub(crate) chi_s: Seconds,
+    /// Frame size `F_S` on the source ring at this allocation.
+    pub(crate) frame_size: Bits,
+    /// Affine bound dominating the dense wire envelope on `[0, window]`.
+    pub(crate) wire_affine: AffineBound,
+    /// Horizon (seconds) of the wire envelope's sample table.
+    pub(crate) window: f64,
 }
 
 /// Evaluates the worst-case delays of all `paths` simultaneously
@@ -1203,15 +1347,18 @@ mod tests {
         assert_eq!(first.stage1_hits, 0);
         assert!(first.mux_misses > 0);
         assert_eq!(first.mux_hits, 0);
-        // Same envelope Arc, H_S, and member sets: both stages hit.
+        // Same envelope Arc, H_S, and member sets: all three stages hit.
         let _ = ev.evaluate_full(std::slice::from_ref(&p0)).unwrap();
         let second = ev.cache_stats();
         assert_eq!(second.stage1_hits, 1);
         assert_eq!(second.stage1_misses, 1);
         assert_eq!(second.mux_hits, first.mux_misses);
         assert_eq!(second.mux_misses, first.mux_misses);
+        assert_eq!(second.receive_hits, 1);
+        assert_eq!(second.receive_misses, 1);
         assert!(second.stage1_hit_rate() > 0.0);
         assert!(second.mux_hit_rate() > 0.0);
+        assert!(second.receive_hit_rate() > 0.0);
         // Different H_S: a new wire envelope, so stage 1 misses and
         // every traversed mux's member set changes (misses again).
         let mut p1 = p0.clone();
@@ -1327,7 +1474,9 @@ mod tests {
         let stats = second.cache_stats();
         assert_eq!(stats.stage1_misses, 0, "{stats:?}");
         assert_eq!(stats.mux_misses, 0, "{stats:?}");
+        assert_eq!(stats.receive_misses, 0, "{stats:?}");
         assert!(stats.stage1_hits > 0 && stats.mux_hits > 0, "{stats:?}");
+        assert!(stats.receive_hits > 0, "{stats:?}");
         assert_eq!(a, b);
     }
 
@@ -1424,6 +1573,9 @@ mod tests {
         assert_eq!(count("stage1", false), stats.stage1_misses);
         assert_eq!(count("mux", true), stats.mux_hits);
         assert_eq!(count("mux", false), stats.mux_misses);
+        assert_eq!(count("receive", true), stats.receive_hits);
+        assert_eq!(count("receive", false), stats.receive_misses);
+        assert!(stats.receive_hits > 0 && stats.receive_misses > 0);
         // Both evaluations ran under an `evaluate_full` span.
         let spans = trace
             .records()

@@ -1,0 +1,888 @@
+//! Incremental per-server admission state and the fast decision ladder.
+//!
+//! The dense evaluator recomputes every multiplexer and both ring MACs
+//! from scratch for each β-search probe, so a probe costs
+//! `O(active × path length)` even when only the candidate's allocation
+//! moved. This module maintains the cross-request state that makes a
+//! probe `O(path length)`:
+//!
+//! * [`IncrementalState`] — per-ring Theorem-1 aggregate terms and
+//!   per-multiplexer membership, updated by deltas on every
+//!   admit/release/teardown. Equality with a from-scratch rebuild is a
+//!   maintained invariant (ring totals are re-summed in connection-id
+//!   order on each change, so they are bit-identical to a rebuild, not
+//!   merely close).
+//! * [`FastContext`] — a per-decision snapshot combining that state
+//!   with the dense evaluator's cached stage-1 summaries, through which
+//!   each probe runs a five-rung decision ladder:
+//!
+//!   1. **source-stability reject** — the exact comparison the dense
+//!      source-MAC analysis performs, on three floats;
+//!   2. **stage-1 reject** — the dense (cached) source-MAC analysis of
+//!      the candidate alone;
+//!   3. **lower-bound reject** — λ-independent fixed delays plus the
+//!      source MAC delay already exceed the deadline;
+//!   4. **upper-bound accept** — closed-form affine `(σ, ρ)` envelope
+//!      arithmetic ([`hetnet_atm::affine`]) over every multiplexer and
+//!      the receive MAC, guarded so it provably dominates the dense
+//!      analysis;
+//!   5. **fallback** — anything not decided by rungs 1–4 goes to the
+//!      dense probe.
+//!
+//! Only the *boolean* feasible-at-λ probes of the β bisection consult
+//! the ladder; every numeric quantity that reaches a decision, a trace,
+//! or an allocation table still comes from the dense evaluator, which
+//! is how decisions stay bit-identical with the fast path on or off
+//! (property-tested in `tests/fast_path.rs`).
+
+use crate::connection::{ActiveConnection, ConnectionId, ConnectionSpec};
+use crate::delay::{Evaluator, FastStage1, MuxKey, PathInput};
+use crate::error::CacError;
+use crate::network::{HetNetwork, HostId};
+use hetnet_atm::affine::{fifo_bounds, AffineBound};
+use hetnet_atm::cell;
+use hetnet_fddi::mac::mac_service;
+use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_obs as obs;
+use hetnet_traffic::service::ServiceCurve;
+use hetnet_traffic::units::Seconds;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Relative slack applied to every fast-path comparison, covering the
+/// floating-point daylight between this module's sums and the dense
+/// evaluator's (same terms, different association order — relative
+/// error well under `1e-12` for the path lengths involved).
+const GUARD: f64 = 1e-9;
+
+/// The dense busy-period search widens its bracket geometrically (by
+/// `2.2×` per step), so it may probe intervals up to that factor beyond
+/// the true busy period before converging. The affine busy bound must
+/// leave that much headroom below the analysis horizon before the fast
+/// path may conclude the dense search would have succeeded.
+const BUSY_SEARCH_HEADROOM: f64 = 2.3;
+
+/// Counters for how β-search probes were decided, per decision (and
+/// accumulated per service via the metrics layer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FastPathStats {
+    /// Probes accepted by the closed-form upper bound (rung 4).
+    pub fast_accepts: u64,
+    /// Probes rejected by rungs 1–3.
+    pub fast_rejects: u64,
+    /// Probes the ladder handed to the dense evaluator (rung 5).
+    pub fallbacks: u64,
+}
+
+impl FastPathStats {
+    /// Total probes that consulted the ladder.
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.fast_accepts + self.fast_rejects + self.fallbacks
+    }
+
+    /// Fraction of probes decided without the dense evaluator
+    /// (`0.0` when no probe consulted the ladder).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.probes();
+        if probes == 0 {
+            0.0
+        } else {
+            (self.fast_accepts + self.fast_rejects) as f64 / probes as f64
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        self.fast_accepts += other.fast_accepts;
+        self.fast_rejects += other.fast_rejects;
+        self.fallbacks += other.fallbacks;
+    }
+}
+
+/// Per-ring Theorem-1 aggregate terms: total synchronous bandwidth held
+/// by senders (`Σ H_S`) and receiving interface devices (`Σ H_R`), and
+/// the total sustained rate of the sources transmitting on the ring.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub(crate) struct RingTerms {
+    /// `Σ H_S` of connections sourced on this ring (seconds/rotation).
+    pub(crate) h_s_total: f64,
+    /// `Σ H_R` of connections terminating on this ring.
+    pub(crate) h_r_total: f64,
+    /// `Σ ρ` of source envelopes on this ring (bits/second).
+    pub(crate) rho_total: f64,
+}
+
+/// What one admitted connection contributes to the incremental state.
+#[derive(Clone, Debug, PartialEq)]
+struct FlowTerms {
+    source_ring: usize,
+    dest_ring: usize,
+    h_s: f64,
+    h_r: f64,
+    rho: f64,
+    /// The multiplexers the flow traverses, in path order.
+    hops: Vec<MuxKey>,
+}
+
+/// Membership of one backbone multiplexer: which connection crosses it
+/// and at which hop of its path, in connection-id order (admission ids
+/// are monotone, so this is also admission order — the canonical order
+/// the dense evaluator sums each aggregate in).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct ServerTerms {
+    members: Vec<(ConnectionId, u32)>,
+}
+
+impl ServerTerms {
+    /// The `(connection, hop index)` members in connection-id order.
+    pub(crate) fn members(&self) -> &[(ConnectionId, u32)] {
+        &self.members
+    }
+}
+
+/// Persistent admission state maintained by deltas.
+///
+/// `PartialEq` compares every term (floats included): ring totals are
+/// recomputed from zero in id order on each mutation, so an
+/// incrementally maintained state is bit-identical to
+/// [`IncrementalState::rebuild`] of the same active set — the invariant
+/// the property tests pin down.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct IncrementalState {
+    flows: BTreeMap<ConnectionId, FlowTerms>,
+    servers: BTreeMap<MuxKey, ServerTerms>,
+    rings: Vec<RingTerms>,
+}
+
+impl IncrementalState {
+    /// Empty state for a network of `ring_count` rings.
+    pub(crate) fn new(ring_count: usize) -> Self {
+        Self {
+            flows: BTreeMap::new(),
+            servers: BTreeMap::new(),
+            rings: vec![RingTerms::default(); ring_count],
+        }
+    }
+
+    /// Builds the state of `active` from scratch (the reference the
+    /// delta-maintained state must stay equal to).
+    pub(crate) fn rebuild(net: &HetNetwork, active: &[ActiveConnection]) -> Result<Self, CacError> {
+        let mut state = Self::new(net.rings().len());
+        for c in active {
+            state.admit(net, c.id, &c.spec, c.h_s, c.h_r)?;
+        }
+        Ok(state)
+    }
+
+    /// Records an admitted connection.
+    pub(crate) fn admit(
+        &mut self,
+        net: &HetNetwork,
+        id: ConnectionId,
+        spec: &ConnectionSpec,
+        h_s: SyncBandwidth,
+        h_r: SyncBandwidth,
+    ) -> Result<(), CacError> {
+        let hops = hops_for(net, spec.source, spec.dest)?;
+        for (hi, key) in hops.iter().enumerate() {
+            let server = self.servers.entry(*key).or_default();
+            let pos = server.members.partition_point(|&(mid, _)| mid < id);
+            server.members.insert(pos, (id, hi as u32));
+        }
+        self.flows.insert(
+            id,
+            FlowTerms {
+                source_ring: spec.source.ring,
+                dest_ring: spec.dest.ring,
+                h_s: h_s.per_rotation().value(),
+                h_r: h_r.per_rotation().value(),
+                rho: spec.envelope.sustained_rate().value(),
+                hops,
+            },
+        );
+        self.recompute_rings();
+        Ok(())
+    }
+
+    /// Removes a released (or torn-down) connection. Unknown ids are
+    /// ignored, so teardown sweeps can release unconditionally.
+    pub(crate) fn release(&mut self, id: ConnectionId) {
+        let Some(flow) = self.flows.remove(&id) else {
+            return;
+        };
+        for key in &flow.hops {
+            let now_empty = match self.servers.get_mut(key) {
+                Some(server) => {
+                    server.members.retain(|&(mid, _)| mid != id);
+                    server.members.is_empty()
+                }
+                None => false,
+            };
+            if now_empty {
+                self.servers.remove(key);
+            }
+        }
+        self.recompute_rings();
+    }
+
+    /// The Theorem-1 aggregate terms of one ring.
+    #[cfg(test)]
+    pub(crate) fn ring_totals(&self, ring: usize) -> RingTerms {
+        self.rings[ring]
+    }
+
+    /// Number of tracked connections.
+    #[cfg(test)]
+    pub(crate) fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Ring totals are *re-summed from zero in connection-id order* on
+    /// every mutation rather than adjusted by `+=`/`-=` deltas: float
+    /// addition is not associative, and delta adjustment would let the
+    /// totals drift away (bitwise) from what a rebuild produces.
+    fn recompute_rings(&mut self) {
+        for r in &mut self.rings {
+            *r = RingTerms::default();
+        }
+        for f in self.flows.values() {
+            self.rings[f.source_ring].h_s_total += f.h_s;
+            self.rings[f.source_ring].rho_total += f.rho;
+            self.rings[f.dest_ring].h_r_total += f.h_r;
+        }
+    }
+}
+
+/// The multiplexers a `source → dest` path traverses, in path order.
+fn hops_for(net: &HetNetwork, source: HostId, dest: HostId) -> Result<Vec<MuxKey>, CacError> {
+    let route = net.route_between(source.ring, dest.ring)?;
+    let mut hops = Vec::with_capacity(route.len() + 2);
+    hops.push(MuxKey::Uplink(source.ring));
+    hops.extend(route.iter().map(|l| MuxKey::Backbone(l.0)));
+    hops.push(MuxKey::Downlink(dest.ring));
+    Ok(hops)
+}
+
+/// One multiplexer group of a [`FastContext`]: its service rate and the
+/// `(path index, hop index)` members crossing it, with the candidate as
+/// the last path index.
+#[derive(Clone, Debug)]
+struct Group {
+    rate: f64,
+    members: Vec<(u32, u32)>,
+}
+
+/// How a ladder probe came out (see [`FastContext::classify`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LadderOutcome {
+    /// `Some(feasible)` when a rung was decisive, `None` on fallback.
+    pub(crate) decision: Option<bool>,
+    /// Which rung decided (or where the ladder gave up).
+    pub(crate) rung: &'static str,
+    /// Certain lower bound on the candidate's dense total delay, when
+    /// stage 1 completed (seconds).
+    pub(crate) lower: Option<f64>,
+    /// Affine upper bound on the candidate's dense total delay, when
+    /// rung 4 completed (seconds).
+    pub(crate) upper: Option<f64>,
+}
+
+impl LadderOutcome {
+    fn reject(rung: &'static str) -> Self {
+        Self {
+            decision: Some(false),
+            rung,
+            lower: None,
+            upper: None,
+        }
+    }
+
+    fn fallback(rung: &'static str, lower: f64) -> Self {
+        Self {
+            decision: None,
+            rung,
+            lower: Some(lower),
+            upper: None,
+        }
+    }
+}
+
+/// Per-decision snapshot driving the fast ladder: the dense evaluator's
+/// cached stage-1 summaries of every active connection, the multiplexer
+/// membership (actives from [`IncrementalState`], candidate appended),
+/// in dependency order, and the candidate's λ-independent fixed delays.
+#[derive(Debug)]
+pub(crate) struct FastContext<'n> {
+    net: &'n HetNetwork,
+    /// Stage-1 summaries of the active paths, in path (= id) order.
+    flows: Vec<FastStage1>,
+    /// All multiplexers touched by actives or candidate, in an order
+    /// that resolves each path's hops front to back.
+    groups: Vec<Group>,
+    /// Path index of the candidate (`flows.len()`).
+    cand_pi: usize,
+    /// The candidate's λ-independent delay terms: propagation, fixed
+    /// interface-device delays, and switch fabric latencies.
+    consts: f64,
+}
+
+impl<'n> FastContext<'n> {
+    /// Assembles the snapshot, or `None` when the fast path cannot be
+    /// used for this decision (an active's stage-1 summary is
+    /// unavailable or infeasible, the state is out of sync with the
+    /// active set, or the mux dependencies are not feedforward) — the
+    /// caller then runs every probe densely, which is always correct.
+    pub(crate) fn new(
+        ev: &mut Evaluator<'_>,
+        net: &'n HetNetwork,
+        state: &IncrementalState,
+        active: &[ActiveConnection],
+        source: HostId,
+        dest: HostId,
+    ) -> Result<Option<Self>, CacError> {
+        let mut flows = Vec::with_capacity(active.len());
+        for c in active {
+            let p = PathInput {
+                source: c.spec.source,
+                dest: c.spec.dest,
+                envelope: Arc::clone(&c.spec.envelope),
+                h_s: c.h_s,
+                h_r: c.h_r,
+            };
+            match ev.fast_stage1(&p)? {
+                Some(summary) => flows.push(summary),
+                None => return Ok(None),
+            }
+        }
+
+        let cand_pi = active.len();
+        let mut grouped: BTreeMap<MuxKey, Vec<(u32, u32)>> = BTreeMap::new();
+        for (key, server) in &state.servers {
+            let mut members = Vec::with_capacity(server.members().len());
+            for &(id, hi) in server.members() {
+                // Actives are kept in id order, so the position of an id
+                // in `active` is its path index.
+                match active.binary_search_by_key(&id, |c| c.id) {
+                    Ok(pi) => members.push((pi as u32, hi)),
+                    Err(_) => return Ok(None),
+                }
+            }
+            grouped.insert(*key, members);
+        }
+        let cand_hops = hops_for(net, source, dest)?;
+        for (hi, key) in cand_hops.iter().enumerate() {
+            grouped
+                .entry(*key)
+                .or_default()
+                .push((cand_pi as u32, hi as u32));
+        }
+
+        // Order the groups so every path's hops resolve front to back —
+        // the same dependency order the dense resolver uses.
+        let keys: Vec<MuxKey> = grouped.keys().copied().collect();
+        let mut resolved = vec![0u32; cand_pi + 1];
+        let mut remaining: Vec<usize> = (0..keys.len()).collect();
+        let mut groups = Vec::with_capacity(keys.len());
+        while !remaining.is_empty() {
+            let mut next = Vec::new();
+            let mut progressed = false;
+            for gi in remaining {
+                let members = &grouped[&keys[gi]];
+                if members.iter().all(|&(pi, hi)| hi == resolved[pi as usize]) {
+                    for &(pi, _) in members {
+                        resolved[pi as usize] += 1;
+                    }
+                    let rate = match keys[gi] {
+                        MuxKey::Uplink(_) | MuxKey::Downlink(_) => net.access_link().rate,
+                        MuxKey::Backbone(l) => net.backbone().link(hetnet_atm::LinkId(l)).rate,
+                    };
+                    groups.push(Group {
+                        rate: rate.value(),
+                        members: members.clone(),
+                    });
+                    progressed = true;
+                } else {
+                    next.push(gi);
+                }
+            }
+            if !progressed {
+                return Ok(None);
+            }
+            remaining = next;
+        }
+
+        // λ-independent candidate delay terms, mirroring the dense
+        // path-report composition minus the MAC and queueing delays.
+        let mut consts = net.ring(source.ring).propagation.value()
+            + net.ifdev().sender_fixed_delay().value()
+            + net.access_link().propagation.value()
+            + net
+                .backbone()
+                .switch(net.switch_of(source.ring))
+                .fabric_latency
+                .value();
+        for key in &cand_hops[1..] {
+            match *key {
+                MuxKey::Backbone(l) => {
+                    let lid = hetnet_atm::LinkId(l);
+                    consts += net.backbone().link(lid).propagation.value()
+                        + net
+                            .backbone()
+                            .switch(net.backbone().link_target(lid))
+                            .fabric_latency
+                            .value();
+                }
+                MuxKey::Downlink(_) => consts += net.access_link().propagation.value(),
+                MuxKey::Uplink(_) => {}
+            }
+        }
+        consts +=
+            net.ifdev().receiver_fixed_delay().value() + net.ring(dest.ring).propagation.value();
+
+        Ok(Some(Self {
+            net,
+            flows,
+            groups,
+            cand_pi,
+            consts,
+        }))
+    }
+
+    /// The stage-1 summary of path `pi` (`cand_pi` → the candidate's).
+    fn flow<'s>(&'s self, pi: usize, cand: &'s FastStage1) -> &'s FastStage1 {
+        if pi == self.cand_pi {
+            cand
+        } else {
+            &self.flows[pi]
+        }
+    }
+
+    /// Runs the decision ladder on one β-search probe.
+    ///
+    /// A `Some(feasible)` decision is sound to substitute for the dense
+    /// probe's boolean: rungs 1–2 replicate the dense computation
+    /// exactly, rung 3 compares a certain lower bound, and rung 4's
+    /// guards ensure its affine arithmetic dominates every dense bound
+    /// the probe would have computed (see the module docs).
+    pub(crate) fn classify(
+        &self,
+        ev: &mut Evaluator<'_>,
+        cand: &PathInput,
+        deadline: Seconds,
+    ) -> Result<LadderOutcome, CacError> {
+        let margin = ev.config().analysis.stability_margin;
+        let horizon = ev.config().analysis.max_horizon.value();
+
+        // Rung 1: the dense source-MAC analysis starts by rejecting
+        // allocations whose service rate cannot keep up with the
+        // source's sustained rate; replicate that exact comparison
+        // before paying for anything else.
+        if cand.h_s.per_rotation().value() <= 0.0 {
+            return Ok(LadderOutcome::reject("source-unstable"));
+        }
+        let ring_s = self.net.ring(cand.source.ring);
+        let rho = cand.envelope.sustained_rate().value();
+        let srv = mac_service(ring_s, cand.h_s).sustained_rate().value();
+        if rho >= srv * (1.0 - margin) {
+            return Ok(LadderOutcome::reject("source-unstable"));
+        }
+
+        // Rung 2: the dense (cached) stage-1 analysis of the candidate.
+        let Some(s1) = ev.fast_stage1(cand)? else {
+            return Ok(LadderOutcome::reject("stage1-infeasible"));
+        };
+        if cand.h_r.per_rotation().value() <= 0.0 {
+            return Ok(LadderOutcome::reject("zero-receive-allocation"));
+        }
+
+        // Rung 3: the dense total is at least the source MAC delay plus
+        // the λ-independent fixed terms.
+        let lower = s1.chi_s.value() + self.consts;
+        if lower * (1.0 - GUARD) > deadline.value() {
+            return Ok(LadderOutcome {
+                decision: Some(false),
+                rung: "lower-bound",
+                lower: Some(lower),
+                upper: None,
+            });
+        }
+
+        // Rung 4: affine upper bound. `shift[pi]` accumulates the delay
+        // bounds of path `pi`'s already-processed hops — the envelope a
+        // flow presents downstream is its wire envelope delayed by that
+        // much, which dominates the dense chained envelope as long as
+        // every query stays inside the flattening window.
+        let mut shift = vec![0.0_f64; self.flows.len() + 1];
+        for group in &self.groups {
+            let mut agg = AffineBound::ZERO;
+            for &(pi, _) in &group.members {
+                let flow = self.flow(pi as usize, &s1);
+                agg = agg.plus(&flow.wire_affine.delayed(Seconds::new(shift[pi as usize])));
+            }
+            // Continuing past this guard certifies the dense aggregate
+            // (whose rate never exceeds `agg.rho`, modulo summation
+            // ulps) is stable too.
+            if agg.rho >= group.rate * (1.0 - margin) * (1.0 - GUARD) {
+                return Ok(LadderOutcome::fallback("mux-saturated", lower));
+            }
+            let Some(fb) = fifo_bounds(&agg, hetnet_traffic::units::BitsPerSec::new(group.rate))
+            else {
+                return Ok(LadderOutcome::fallback("mux-saturated", lower));
+            };
+            if fb.busy * BUSY_SEARCH_HEADROOM > horizon {
+                return Ok(LadderOutcome::fallback("mux-horizon", lower));
+            }
+            for &(pi, _) in &group.members {
+                if fb.busy + shift[pi as usize] > self.flow(pi as usize, &s1).window {
+                    return Ok(LadderOutcome::fallback("mux-window", lower));
+                }
+            }
+            for &(pi, _) in &group.members {
+                shift[pi as usize] += fb.delay;
+            }
+        }
+
+        // Receive side of the candidate: reassembly is exactly affine,
+        // and the timed-token MAC of the destination ring admits closed
+        // forms for an affine arrival `σ + ρt` served by quantum `q`
+        // per rotation `T` (latency two rotations):
+        //   delay ≤ 2T + σT/q,  backlog ≤ σ + 2q,
+        //   busy ≤ (σ + 2q)/(q/T − ρ).
+        let arrived = s1.wire_affine.delayed(Seconds::new(shift[self.cand_pi]));
+        let cells = cell::cells_for_payload(s1.frame_size) as f64;
+        let scale = s1.frame_size.value() / (cells * cell::CELL_BITS);
+        let rea = arrived.scaled_padded(scale, s1.frame_size);
+        let ring_r = self.net.ring(cand.dest.ring);
+        let t_r = ring_r.ttrt.value();
+        let q = cand.h_r.quantum(ring_r.bandwidth).value();
+        let srv_r = q / t_r;
+        if rea.rho >= srv_r * (1.0 - margin) * (1.0 - GUARD) {
+            return Ok(LadderOutcome::fallback("receive-saturated", lower));
+        }
+        let busy_r = (rea.sigma + 2.0 * q) / (srv_r - rea.rho);
+        if busy_r * BUSY_SEARCH_HEADROOM > horizon || busy_r + shift[self.cand_pi] > s1.window {
+            return Ok(LadderOutcome::fallback("receive-horizon", lower));
+        }
+        if let Some(buffer) = self.net.device_buffer() {
+            if rea.sigma + 2.0 * q > buffer.value() {
+                return Ok(LadderOutcome::fallback("receive-buffer", lower));
+            }
+        }
+        let chi_r = 2.0 * t_r + rea.sigma * t_r / q;
+
+        let upper = s1.chi_s.value() + self.consts + shift[self.cand_pi] + chi_r;
+        if upper * (1.0 + GUARD) <= deadline.value() {
+            return Ok(LadderOutcome {
+                decision: Some(true),
+                rung: "upper-bound",
+                lower: Some(lower),
+                upper: Some(upper),
+            });
+        }
+        Ok(LadderOutcome {
+            decision: None,
+            rung: "ambiguous",
+            lower: Some(lower),
+            upper: Some(upper),
+        })
+    }
+
+    /// [`FastContext::classify`] plus bookkeeping: bumps `stats` and
+    /// emits a `fast_path` observability event naming the deciding rung.
+    pub(crate) fn probe(
+        &self,
+        ev: &mut Evaluator<'_>,
+        cand: &PathInput,
+        deadline: Seconds,
+        stats: &mut FastPathStats,
+    ) -> Result<Option<bool>, CacError> {
+        let out = self.classify(ev, cand, deadline)?;
+        let label = match out.decision {
+            Some(true) => {
+                stats.fast_accepts += 1;
+                "accept"
+            }
+            Some(false) => {
+                stats.fast_rejects += 1;
+                "reject"
+            }
+            None => {
+                stats.fallbacks += 1;
+                "fallback"
+            }
+        };
+        obs::event(
+            "fast_path",
+            &[
+                ("rung", obs::FieldValue::Str(out.rung)),
+                ("decision", obs::FieldValue::Str(label)),
+                // Non-finite exports as JSON null (bound not computed).
+                (
+                    "lower_s",
+                    obs::FieldValue::F64(out.lower.unwrap_or(f64::NAN)),
+                ),
+                (
+                    "upper_s",
+                    obs::FieldValue::F64(out.upper.unwrap_or(f64::NAN)),
+                ),
+            ],
+        );
+        Ok(out.decision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{CandidateOutcome, EvalConfig};
+    use hetnet_fddi::frames;
+    use hetnet_traffic::models::DualPeriodicEnvelope;
+    use hetnet_traffic::units::{Bits, BitsPerSec};
+    use proptest::prelude::*;
+
+    fn env(c1_mbit: f64) -> crate::connection::ConnectionSpec {
+        ConnectionSpec {
+            source: HostId {
+                ring: 0,
+                station: 0,
+            },
+            dest: HostId {
+                ring: 1,
+                station: 0,
+            },
+            envelope: Arc::new(
+                DualPeriodicEnvelope::new(
+                    Bits::from_mbits(c1_mbit),
+                    Seconds::from_millis(100.0),
+                    Bits::from_mbits(c1_mbit / 8.0),
+                    Seconds::from_millis(12.5),
+                    BitsPerSec::from_mbps(100.0),
+                )
+                .unwrap(),
+            ),
+            deadline: Seconds::from_millis(100.0),
+        }
+    }
+
+    fn spec_between(c1_mbit: f64, src: usize, dst: usize) -> ConnectionSpec {
+        let mut s = env(c1_mbit);
+        s.source = HostId {
+            ring: src,
+            station: 0,
+        };
+        s.dest = HostId {
+            ring: dst,
+            station: 0,
+        };
+        s
+    }
+
+    #[test]
+    fn stats_merge_and_hit_rate() {
+        let mut a = FastPathStats {
+            fast_accepts: 3,
+            fast_rejects: 1,
+            fallbacks: 0,
+        };
+        let b = FastPathStats {
+            fast_accepts: 0,
+            fast_rejects: 0,
+            fallbacks: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.probes(), 8);
+        assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(FastPathStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn ladder_decides_easy_cases() {
+        let net = HetNetwork::paper_topology();
+        let state = IncrementalState::new(net.rings().len());
+        let mut ev = Evaluator::new(&net, EvalConfig::fast());
+        let ctx = FastContext::new(
+            &mut ev,
+            &net,
+            &state,
+            &[],
+            HostId {
+                ring: 0,
+                station: 0,
+            },
+            HostId {
+                ring: 1,
+                station: 0,
+            },
+        )
+        .unwrap()
+        .expect("empty state always builds a context");
+        let h = SyncBandwidth::new(Seconds::from_millis(7.2));
+        let cand = PathInput {
+            source: HostId {
+                ring: 0,
+                station: 0,
+            },
+            dest: HostId {
+                ring: 1,
+                station: 0,
+            },
+            envelope: Arc::clone(&env(1.0).envelope),
+            h_s: h,
+            h_r: h,
+        };
+        // A microsecond deadline dies on the λ-independent fixed terms.
+        let out = ctx
+            .classify(&mut ev, &cand, Seconds::from_micros(1.0))
+            .unwrap();
+        assert_eq!(out.decision, Some(false));
+        assert_eq!(out.rung, "lower-bound");
+        // A half-second deadline is accepted by the affine upper bound.
+        let out = ctx
+            .classify(&mut ev, &cand, Seconds::from_millis(500.0))
+            .unwrap();
+        assert_eq!(out.decision, Some(true), "rung {}", out.rung);
+        // Zero allocation is the dense stage-1 stability reject.
+        let zero = PathInput {
+            h_s: SyncBandwidth::new(Seconds::ZERO),
+            ..cand.clone()
+        };
+        let out = ctx
+            .classify(&mut ev, &zero, Seconds::from_millis(500.0))
+            .unwrap();
+        assert_eq!(out.decision, Some(false));
+        assert_eq!(out.rung, "source-unstable");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Delta maintenance must stay bit-identical to a from-scratch
+        /// rebuild across arbitrary admit/release interleavings.
+        #[test]
+        fn incremental_state_matches_rebuild(
+            ops in proptest::collection::vec((0usize..3, 0usize..3, 0usize..3), 1..40),
+        ) {
+            let net = HetNetwork::paper_topology();
+            let mut state = IncrementalState::new(net.rings().len());
+            let mut active: Vec<ActiveConnection> = Vec::new();
+            let mut next_id = 0u64;
+            for (op, a, b) in ops {
+                if op < 2 || active.is_empty() {
+                    let (src, dst) = if a == b { (a, (a + 1) % 3) } else { (a, b) };
+                    let id = ConnectionId(next_id);
+                    next_id += 1;
+                    let spec = spec_between(0.5 + a as f64, src, dst);
+                    let h = SyncBandwidth::new(Seconds::from_millis(0.5 + b as f64));
+                    state.admit(&net, id, &spec, h, h).unwrap();
+                    active.push(ActiveConnection {
+                        id,
+                        spec,
+                        h_s: h,
+                        h_r: h,
+                        delay_bound: Seconds::ZERO,
+                    });
+                } else {
+                    let victim = active.remove((a * 7 + b) % active.len());
+                    state.release(victim.id);
+                }
+                let rebuilt = IncrementalState::rebuild(&net, &active).unwrap();
+                prop_assert!(state == rebuilt, "diverged after {} ops", active.len());
+                let totals = state.ring_totals(0);
+                prop_assert!(totals.h_s_total >= 0.0 && totals.rho_total >= 0.0);
+                prop_assert_eq!(state.flow_count(), active.len());
+            }
+            for c in &active {
+                state.release(c.id);
+            }
+            prop_assert!(state == IncrementalState::new(net.rings().len()));
+        }
+
+        /// Every decisive ladder answer must agree with the dense probe,
+        /// and the bounds must bracket the dense total.
+        #[test]
+        fn ladder_is_sound_against_the_dense_evaluator(
+            c1 in 0.4f64..2.0,
+            deadline_ms in 2.0f64..120.0,
+            lambda in 0.0f64..1.0,
+            n_active in 0usize..3,
+        ) {
+            let net = HetNetwork::paper_topology();
+            let mut active = Vec::new();
+            for i in 0..n_active {
+                let spec = spec_between(0.5, i % 3, (i + 1) % 3);
+                let h = SyncBandwidth::new(Seconds::from_millis(2.0));
+                active.push(ActiveConnection {
+                    id: ConnectionId(i as u64),
+                    spec,
+                    h_s: h,
+                    h_r: h,
+                    delay_bound: Seconds::ZERO,
+                });
+            }
+            let state = IncrementalState::rebuild(&net, &active).unwrap();
+            let mut ev = Evaluator::new(&net, EvalConfig::fast());
+            let src = HostId { ring: 0, station: 1 };
+            let dst = HostId { ring: 2, station: 1 };
+            let Some(ctx) =
+                FastContext::new(&mut ev, &net, &state, &active, src, dst).unwrap()
+            else {
+                return;
+            };
+            let ring = net.ring(0);
+            let min_h = frames::min_allocation(ring, 0.9);
+            let max_h = SyncBandwidth::new(Seconds::from_millis(7.2));
+            let h = min_h.lerp(max_h, lambda);
+            let mut spec = spec_between(c1, src.ring, dst.ring);
+            spec.deadline = Seconds::from_millis(deadline_ms);
+            let cand = PathInput {
+                source: src,
+                dest: dst,
+                envelope: Arc::clone(&spec.envelope),
+                h_s: h,
+                h_r: h,
+            };
+            let out = ctx.classify(&mut ev, &cand, spec.deadline).unwrap();
+
+            // Dense reference: actives plus candidate, candidate last.
+            let mut inputs: Vec<PathInput> = active
+                .iter()
+                .map(|c| PathInput {
+                    source: c.spec.source,
+                    dest: c.spec.dest,
+                    envelope: Arc::clone(&c.spec.envelope),
+                    h_s: c.h_s,
+                    h_r: c.h_r,
+                })
+                .collect();
+            inputs.push(cand);
+            let dense = ev.evaluate_candidate(&inputs).unwrap();
+            let dense_total = match &dense {
+                CandidateOutcome::Feasible { candidate, .. } => Some(candidate.total.value()),
+                CandidateOutcome::Infeasible(_) => None,
+            };
+            let dense_ok =
+                dense_total.is_some_and(|t| t <= spec.deadline.value());
+            if let Some(decided) = out.decision {
+                prop_assert_eq!(
+                    decided, dense_ok,
+                    "rung {} disagrees with dense (total {:?})",
+                    out.rung, dense_total
+                );
+            }
+            if let (Some(total), Some(lower)) = (dense_total, out.lower) {
+                prop_assert!(
+                    lower * (1.0 - 10.0 * GUARD) <= total,
+                    "lower {lower} above dense total {total}"
+                );
+            }
+            if let (Some(total), Some(upper)) = (dense_total, out.upper) {
+                prop_assert!(
+                    upper * (1.0 + 10.0 * GUARD) >= total,
+                    "upper {upper} below dense total {total}"
+                );
+            }
+        }
+    }
+}

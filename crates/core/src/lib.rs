@@ -23,6 +23,8 @@
 //!   §4 (eq. 7), coupling connections through shared multiplexers;
 //! * [`cac`] — the β-CAC of §5.3 and the admission bookkeeping
 //!   ([`cac::NetworkState`]);
+//! * [`incremental`] — persistent per-server admission state and the
+//!   closed-form decision ladder behind the sub-millisecond fast path;
 //! * [`experiment`] — the §6 admission-probability simulation;
 //! * [`baselines`] — FDDI-only local allocation applied naively to the
 //!   heterogeneous network (the strawman of §5/§7), for ablations.
@@ -73,6 +75,7 @@ pub mod connection;
 pub mod delay;
 pub mod error;
 pub mod experiment;
+pub mod incremental;
 pub mod network;
 pub mod region;
 pub mod snapshot;
@@ -84,6 +87,7 @@ pub use cac::{
 };
 pub use connection::{ConnectionId, ConnectionSpec, ConnectionSpecBuilder};
 pub use error::CacError;
+pub use incremental::FastPathStats;
 pub use network::{Component, HetNetwork, HostId, LinkId, RingId, TopologySummary};
 pub use snapshot::{ConnectionSnapshot, StateSnapshot, SNAPSHOT_VERSION};
 pub use trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};

@@ -11,6 +11,7 @@
 
 use crate::connection::ConnectionId;
 use crate::delay::{CacheStats, PathReport};
+use crate::incremental::FastPathStats;
 use crate::network::{Component, RingId};
 use hetnet_fddi::ring::SyncBandwidth;
 use hetnet_obs::export::push_json_str;
@@ -252,6 +253,10 @@ pub struct DecisionTrace {
     /// Evaluator cache counters of the decision's searches (all-zero
     /// for fixed-allocation decisions, which run uncached).
     pub cache: CacheStats,
+    /// How the decision's β-search probes were resolved by the fast
+    /// decision ladder (all-zero when the fast path is disabled or for
+    /// fixed-allocation decisions, which never probe).
+    pub fast_path: FastPathStats,
 }
 
 impl DecisionTrace {
@@ -298,11 +303,22 @@ impl DecisionTrace {
         }
         let _ = write!(
             out,
-            ",\"cache\":{{\"stage1_hits\":{},\"stage1_misses\":{},\"mux_hits\":{},\"mux_misses\":{}}}",
+            concat!(
+                ",\"cache\":{{\"stage1_hits\":{},\"stage1_misses\":{},",
+                "\"mux_hits\":{},\"mux_misses\":{},",
+                "\"receive_hits\":{},\"receive_misses\":{}}}"
+            ),
             self.cache.stage1_hits,
             self.cache.stage1_misses,
             self.cache.mux_hits,
-            self.cache.mux_misses
+            self.cache.mux_misses,
+            self.cache.receive_hits,
+            self.cache.receive_misses
+        );
+        let _ = write!(
+            out,
+            ",\"fast_path\":{{\"fast_accepts\":{},\"fast_rejects\":{},\"fallbacks\":{}}}",
+            self.fast_path.fast_accepts, self.fast_path.fast_rejects, self.fast_path.fallbacks
         );
         out.push_str(",\"connections\":[");
         for (i, c) in self.connections.iter().enumerate() {
@@ -539,6 +555,13 @@ mod tests {
                 stage1_misses: 1,
                 mux_hits: 10,
                 mux_misses: 2,
+                receive_hits: 3,
+                receive_misses: 1,
+            },
+            fast_path: FastPathStats {
+                fast_accepts: 6,
+                fast_rejects: 2,
+                fallbacks: 1,
             },
         };
         let line = trace.to_json_line();
@@ -547,8 +570,12 @@ mod tests {
         assert!(line
             .contains("\"binding\":{\"kind\":\"deadline\",\"connection\":null,\"stage\":\"atm\""));
         assert!(line.contains(
-            "\"cache\":{\"stage1_hits\":5,\"stage1_misses\":1,\"mux_hits\":10,\"mux_misses\":2}"
+            "\"cache\":{\"stage1_hits\":5,\"stage1_misses\":1,\"mux_hits\":10,\"mux_misses\":2,\
+             \"receive_hits\":3,\"receive_misses\":1}"
         ));
+        assert!(
+            line.contains("\"fast_path\":{\"fast_accepts\":6,\"fast_rejects\":2,\"fallbacks\":1}")
+        );
         assert!(line.contains("\"id\":2,"));
         assert!(line.contains("\"id\":null,"));
         assert!(line.contains("\"dominant\":\"atm\""));

@@ -30,8 +30,8 @@
 
 use crate::audit::{AuditEntry, AuditKind, AuditLog, AuditOutcome};
 use crate::metrics::{
-    CacheGauges, DecisionCounters, DelayAttribution, LatencyHistogram, RecoveryMetrics,
-    UtilizationSeries,
+    CacheGauges, DecisionCounters, DelayAttribution, FastPathGauges, LatencyHistogram,
+    RecoveryMetrics, UtilizationSeries,
 };
 use crate::report::{LatencySummary, ServiceReport, StageDelaySummary};
 use hetnet_cac::cac::{
@@ -62,6 +62,11 @@ pub struct ServiceConfig {
     /// Whether to carry the evaluator cache across decisions
     /// (admission-neutral; see the core crate's cache tests).
     pub persist_cache: bool,
+    /// Whether to run the incremental fast-path decision ladder ahead
+    /// of the dense evaluator (decision-neutral by construction; the
+    /// core crate's `fast_path` certification tests pin bit-identical
+    /// outcomes).
+    pub fast_path: bool,
     /// Whether the state emits a [`hetnet_cac::trace::DecisionTrace`]
     /// per decision, feeding the report's delay attribution. Admission-
     /// neutral; costs one trace allocation per decision.
@@ -84,6 +89,7 @@ impl ServiceConfig {
             options: AdmissionOptions::default(),
             sample_period: 16,
             persist_cache: true,
+            fast_path: true,
             trace_decisions: true,
             faults: None,
             readmit: true,
@@ -120,6 +126,7 @@ pub struct ServiceRun {
 /// gap-free.
 struct MetricsHook {
     gauges: Arc<Mutex<CacheGauges>>,
+    fast: Arc<Mutex<FastPathGauges>>,
     attribution: Arc<Mutex<DelayAttribution>>,
     next_seq: u64,
 }
@@ -132,6 +139,10 @@ impl DecisionObserver for MetricsHook {
             .lock()
             .expect("gauges mutex poisoned")
             .absorb(record.cache);
+        self.fast
+            .lock()
+            .expect("fast-path mutex poisoned")
+            .absorb(record.fast_path);
         if let Some(trace) = record.trace {
             self.attribution
                 .lock()
@@ -216,6 +227,7 @@ pub struct ServiceEngine {
     audit: AuditLog,
     recovery: RecoveryMetrics,
     gauges: Arc<Mutex<CacheGauges>>,
+    fast: Arc<Mutex<FastPathGauges>>,
     attribution: Arc<Mutex<DelayAttribution>>,
     peak_active: usize,
     ring_caps: Vec<f64>,
@@ -258,11 +270,14 @@ impl ServiceEngine {
         let topology = network.summary().to_string();
         let mut state = NetworkState::new(network);
         state.persist_eval_cache(cfg.persist_cache);
+        state.set_fast_path(cfg.fast_path)?;
         state.set_decision_tracing(cfg.trace_decisions);
         let gauges = Arc::new(Mutex::new(CacheGauges::default()));
+        let fast = Arc::new(Mutex::new(FastPathGauges::default()));
         let attribution = Arc::new(Mutex::new(DelayAttribution::default()));
         state.set_observer(Some(Box::new(MetricsHook {
             gauges: Arc::clone(&gauges),
+            fast: Arc::clone(&fast),
             attribution: Arc::clone(&attribution),
             next_seq: 0,
         })));
@@ -291,6 +306,7 @@ impl ServiceEngine {
             audit: AuditLog::new(),
             recovery: RecoveryMetrics::default(),
             gauges,
+            fast,
             attribution,
             peak_active: 0,
             ring_caps,
@@ -333,6 +349,7 @@ impl ServiceEngine {
         // at the snapshot's decision count.
         engine.state.set_observer(Some(Box::new(MetricsHook {
             gauges: Arc::clone(&engine.gauges),
+            fast: Arc::clone(&engine.fast),
             attribution: Arc::clone(&engine.attribution),
             next_seq: checkpoint.state.decision_seq,
         })));
@@ -671,6 +688,7 @@ impl ServiceEngine {
         let wall_seconds = self.started.elapsed().as_secs_f64();
         self.state.set_observer(None);
         let cache = *self.gauges.lock().expect("gauges mutex poisoned");
+        let fast_path = *self.fast.lock().expect("fast-path mutex poisoned");
         let delay_attribution = StageDelaySummary::from_attribution(
             &self.attribution.lock().expect("attribution mutex poisoned"),
         );
@@ -683,6 +701,7 @@ impl ServiceEngine {
             counters,
             latency: LatencySummary::from_histogram(&self.latency),
             cache,
+            fast_path,
             blocking_probability: counters.blocking_probability(),
             requests_per_sec: if wall_seconds > 0.0 {
                 counters.total() as f64 / wall_seconds
@@ -952,6 +971,28 @@ mod tests {
             }
         }
         assert_eq!(a.report.counters, b.report.counters);
+    }
+
+    #[test]
+    fn fast_path_is_decision_neutral_and_reports_probes() {
+        let mut on = faulted_cfg(120, 13);
+        on.fast_path = true;
+        let mut off = faulted_cfg(120, 13);
+        off.fast_path = false;
+        let a = run(HetNetwork::paper_topology(), &on).unwrap();
+        let b = run(HetNetwork::paper_topology(), &off).unwrap();
+        // Unlike the cache-persistence tolerance, the fast path must be
+        // *fully* decision-neutral: it substitutes probe booleans, not
+        // evaluation order, so even rejection details agree.
+        assert_eq!(a.audit.entries(), b.audit.entries());
+        assert_eq!(a.report.counters, b.report.counters);
+        let f = &a.report.fast_path;
+        assert!(f.probes() > 0, "ladder never ran: {f:?}");
+        assert!(
+            f.fast_accepts + f.fast_rejects > 0,
+            "ladder decided nothing: {f:?}"
+        );
+        assert_eq!(b.report.fast_path, FastPathGauges::default());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use engine::{
     run, verify_recovery, EngineCheckpoint, ServiceConfig, ServiceEngine, ServiceRun,
 };
 pub use metrics::{
-    BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, LatencyHistogram,
-    RecoveryMetrics, UtilizationSample, UtilizationSeries,
+    BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, FastPathGauges,
+    LatencyHistogram, RecoveryMetrics, UtilizationSample, UtilizationSeries,
 };
 pub use report::{LatencySummary, ServiceReport, StageDelaySummary};

@@ -8,6 +8,7 @@
 
 use hetnet_cac::cac::RejectReason;
 use hetnet_cac::delay::CacheStats;
+use hetnet_cac::incremental::FastPathStats;
 use hetnet_cac::trace::{BindingConstraint, DecisionTrace, ServerStage};
 use hetnet_traffic::units::Seconds;
 use serde::Serialize;
@@ -208,6 +209,10 @@ pub struct CacheGauges {
     pub mux_hits: u64,
     /// Stage-2 analyses computed.
     pub mux_misses: u64,
+    /// Stage-3 (receiver-side) analyses served from cache.
+    pub receive_hits: u64,
+    /// Stage-3 analyses computed.
+    pub receive_misses: u64,
 }
 
 impl CacheGauges {
@@ -217,24 +222,68 @@ impl CacheGauges {
         self.stage1_misses += stats.stage1_misses;
         self.mux_hits += stats.mux_hits;
         self.mux_misses += stats.mux_misses;
+        self.receive_hits += stats.receive_hits;
+        self.receive_misses += stats.receive_misses;
     }
 
     /// Total delay-analysis evaluations actually computed (the paper's
-    /// dominant cost): cache misses at both stages.
+    /// dominant cost): cache misses at all three stages.
     #[must_use]
     pub fn evals(&self) -> u64 {
-        self.stage1_misses + self.mux_misses
+        self.stage1_misses + self.mux_misses + self.receive_misses
     }
 
-    /// Overall hit rate across both stages, 0 with no lookups.
+    /// Overall hit rate across all stages, 0 with no lookups.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.stage1_hits + self.mux_hits;
+        let hits = self.stage1_hits + self.mux_hits + self.receive_hits;
         let total = hits + self.evals();
         if total == 0 {
             0.0
         } else {
             hits as f64 / total as f64
+        }
+    }
+}
+
+/// Fast-path decision-ladder gauges accumulated across every β-search
+/// probe of a run: how many probes the closed-form bounds decided
+/// outright versus how many fell back to the dense evaluator. All zero
+/// when the fast path is disabled (or every decision used a fixed
+/// allocation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct FastPathGauges {
+    /// Probes decided "feasible" by the upper bound alone.
+    pub fast_accepts: u64,
+    /// Probes decided "infeasible" by a closed-form reject rung.
+    pub fast_rejects: u64,
+    /// Probes the ladder could not decide (dense evaluation ran).
+    pub fallbacks: u64,
+}
+
+impl FastPathGauges {
+    /// Adds one decision's fast-path stats.
+    pub fn absorb(&mut self, stats: FastPathStats) {
+        self.fast_accepts += stats.fast_accepts;
+        self.fast_rejects += stats.fast_rejects;
+        self.fallbacks += stats.fallbacks;
+    }
+
+    /// Total probes the ladder classified.
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.fast_accepts + self.fast_rejects + self.fallbacks
+    }
+
+    /// Fraction of probes decided without the dense evaluator, 0 when
+    /// no probes ran.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.probes();
+        if probes == 0 {
+            0.0
+        } else {
+            (self.fast_accepts + self.fast_rejects) as f64 / probes as f64
         }
     }
 }
@@ -548,15 +597,37 @@ mod tests {
             stage1_misses: 1,
             mux_hits: 10,
             mux_misses: 2,
+            receive_hits: 4,
+            receive_misses: 1,
         });
         g.absorb(CacheStats {
             stage1_hits: 1,
             stage1_misses: 1,
             mux_hits: 0,
             mux_misses: 2,
+            receive_hits: 0,
+            receive_misses: 1,
         });
-        assert_eq!(g.evals(), 6);
-        assert!((g.hit_rate() - 14.0 / 20.0).abs() < 1e-12);
+        assert_eq!(g.evals(), 8);
+        assert!((g.hit_rate() - 18.0 / 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_path_gauges_accumulate() {
+        let mut g = FastPathGauges::default();
+        assert_eq!(g.hit_rate(), 0.0, "no probes yet");
+        g.absorb(FastPathStats {
+            fast_accepts: 6,
+            fast_rejects: 2,
+            fallbacks: 2,
+        });
+        g.absorb(FastPathStats {
+            fast_accepts: 0,
+            fast_rejects: 1,
+            fallbacks: 1,
+        });
+        assert_eq!(g.probes(), 12);
+        assert!((g.hit_rate() - 9.0 / 12.0).abs() < 1e-12);
     }
 
     #[test]
@@ -591,6 +662,7 @@ mod tests {
             )],
             binding: None,
             cache: CacheStats::default(),
+            fast_path: FastPathStats::default(),
         };
         let reject = DecisionTrace {
             seq: 1,
@@ -610,6 +682,7 @@ mod tests {
                 excess: Seconds::from_millis(34.0),
             }),
             cache: CacheStats::default(),
+            fast_path: FastPathStats::default(),
         };
         // A pre-allocation bandwidth reject carries no connections.
         let bare = DecisionTrace {
@@ -624,6 +697,7 @@ mod tests {
                 required: Seconds::from_millis(2.0),
             }),
             cache: CacheStats::default(),
+            fast_path: FastPathStats::default(),
         };
 
         let mut a = DelayAttribution::default();

@@ -1,8 +1,8 @@
 //! The aggregate result of a service run, and its JSON rendering.
 
 use crate::metrics::{
-    BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, LatencyHistogram,
-    RecoveryMetrics,
+    BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, FastPathGauges,
+    LatencyHistogram, RecoveryMetrics,
 };
 use hetnet_obs::export::push_json_str;
 use hetnet_traffic::units::Seconds;
@@ -113,6 +113,9 @@ pub struct ServiceReport {
     pub latency: LatencySummary,
     /// Evaluator-cache gauges accumulated over the run.
     pub cache: CacheGauges,
+    /// Fast-path decision-ladder gauges accumulated over the run
+    /// (all-zero when the fast path is disabled).
+    pub fast_path: FastPathGauges,
     /// Fraction of requests rejected.
     pub blocking_probability: f64,
     /// Decision throughput against the wall clock.
@@ -183,10 +186,20 @@ impl ServiceReport {
         );
         let _ = write!(
             out,
-            "\"cache\":{{\"evals\":{},\"hit_rate\":{:.6}}},\
-             \"peak_active\":{},\"final_active\":{},\"audit_len\":{},",
+            "\"cache\":{{\"evals\":{},\"hit_rate\":{:.6}}},",
             self.cache.evals(),
             self.cache.hit_rate(),
+        );
+        let f = &self.fast_path;
+        let _ = write!(
+            out,
+            "\"fast_path\":{{\"fast_accepts\":{},\"fast_rejects\":{},\
+             \"fallbacks\":{},\"hit_rate\":{:.6}}},\
+             \"peak_active\":{},\"final_active\":{},\"audit_len\":{},",
+            f.fast_accepts,
+            f.fast_rejects,
+            f.fallbacks,
+            f.hit_rate(),
             self.peak_active,
             self.final_active,
             self.audit_len,
@@ -295,6 +308,7 @@ mod tests {
                 excess: Seconds::from_millis(34.0),
             }),
             cache: CacheStats::default(),
+            fast_path: hetnet_cac::incremental::FastPathStats::default(),
         });
         let report = ServiceReport {
             requests: 2,
@@ -309,6 +323,13 @@ mod tests {
                 stage1_misses: 2,
                 mux_hits: 0,
                 mux_misses: 0,
+                receive_hits: 1,
+                receive_misses: 1,
+            },
+            fast_path: FastPathGauges {
+                fast_accepts: 6,
+                fast_rejects: 2,
+                fallbacks: 2,
             },
             blocking_probability: 0.5,
             requests_per_sec: 1000.0,
@@ -344,7 +365,8 @@ mod tests {
             "\"component_down\":0",
             "\"blocking_probability\":0.5",
             "\"p99_us\":",
-            "\"evals\":2",
+            "\"evals\":3",
+            "\"fast_path\":{\"fast_accepts\":6,\"fast_rejects\":2,\"fallbacks\":2,\"hit_rate\":0.800000}",
             "\"ring_utilization\":[{\"mean\":0.25",
             "\"topology\":\"3 rings x 4 hosts, 3 switches, 6 links\"",
             "\"delay_attribution\":{\"traced\":1,\"rejects_with_binding\":1,",

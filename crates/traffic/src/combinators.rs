@@ -486,6 +486,23 @@ impl Sampled {
         self.ts.len()
     }
 
+    /// The sample table: interval points (seconds) paired with arrival
+    /// values (bits). Within the horizon, `arrivals` is exactly the
+    /// linear interpolation of this table (constant beyond the last
+    /// sample), so any affine function dominating the table at its
+    /// sample points dominates the served envelope on `[0, horizon]`.
+    #[must_use]
+    pub fn samples(&self) -> (&[f64], &[f64]) {
+        (&self.ts, &self.vals)
+    }
+
+    /// The flattening horizon in seconds. Queries beyond it fall through
+    /// to the inner envelope and are not covered by the sample table.
+    #[must_use]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
     /// Whether the cache is empty (never true for a flattened envelope).
     #[must_use]
     pub fn is_empty(&self) -> bool {
