@@ -92,6 +92,35 @@ impl Backbone {
         b
     }
 
+    /// A `cols × rows` grid with bidirectional links between horizontal
+    /// and vertical neighbors — the scalable stand-in for a large
+    /// campus backbone. Switch `(c, r)` has id `r * cols + c`; average
+    /// route length grows as `O(cols + rows)`, so hundreds of rings
+    /// stay well short of the fully-meshed link explosion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn grid(cols: usize, rows: usize, switch: SwitchConfig, link: LinkConfig) -> Self {
+        assert!(cols > 0 && rows > 0, "grid dimensions must be positive");
+        let mut b = Self::new(cols * rows, switch);
+        let id = |c: usize, r: usize| SwitchId((r * cols + c) as u32);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    b.add_link(id(c, r), id(c + 1, r), link);
+                    b.add_link(id(c + 1, r), id(c, r), link);
+                }
+                if r + 1 < rows {
+                    b.add_link(id(c, r), id(c, r + 1), link);
+                    b.add_link(id(c, r + 1), id(c, r), link);
+                }
+            }
+        }
+        b
+    }
+
     /// Adds a directed link and returns its id.
     ///
     /// # Panics
@@ -167,33 +196,64 @@ impl Backbone {
         if from == to {
             return Ok(Vec::new());
         }
+        let prev = self.shortest_path_tree(from);
+        self.reconstruct(from, to, &prev)
+            .ok_or(AtmError::NoRoute { from, to })
+    }
+
+    /// The BFS predecessor tree rooted at `from`: for every switch, the
+    /// link its minimum-hop route from `from` arrives on (`None` for
+    /// the root and for unreachable switches). One call serves every
+    /// destination — the all-pairs precompute does `n` of these instead
+    /// of `n²` single-destination searches.
+    ///
+    /// Out-links are scanned per node in ascending link-id order, the
+    /// same tie-break single-destination BFS used, so the reconstructed
+    /// routes are identical.
+    #[must_use]
+    pub fn shortest_path_tree(&self, from: SwitchId) -> Vec<Option<LinkId>> {
         let n = self.switches.len();
+        // Adjacency index built in one O(links) pass; pushes preserve
+        // link-id order per node.
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (idx, link) in self.links.iter().enumerate() {
+            out[link.from.0 as usize].push(idx);
+        }
         let mut prev: Vec<Option<LinkId>> = vec![None; n];
         let mut seen = vec![false; n];
         seen[from.0 as usize] = true;
         let mut queue = VecDeque::from([from]);
         while let Some(u) = queue.pop_front() {
-            for (idx, link) in self.links.iter().enumerate() {
-                if link.from == u && !seen[link.to.0 as usize] {
+            for &idx in &out[u.0 as usize] {
+                let link = &self.links[idx];
+                if !seen[link.to.0 as usize] {
                     seen[link.to.0 as usize] = true;
                     prev[link.to.0 as usize] = Some(LinkId(idx));
-                    if link.to == to {
-                        // Reconstruct.
-                        let mut path = Vec::new();
-                        let mut cur = to;
-                        while cur != from {
-                            let l = prev[cur.0 as usize].expect("predecessor recorded");
-                            path.push(l);
-                            cur = self.links[l.0].from;
-                        }
-                        path.reverse();
-                        return Ok(path);
-                    }
                     queue.push_back(link.to);
                 }
             }
         }
-        Err(AtmError::NoRoute { from, to })
+        prev
+    }
+
+    /// Rebuilds the route `from → to` out of a predecessor tree from
+    /// [`Backbone::shortest_path_tree`]; `None` if `to` is unreachable.
+    #[must_use]
+    pub fn reconstruct(
+        &self,
+        from: SwitchId,
+        to: SwitchId,
+        prev: &[Option<LinkId>],
+    ) -> Option<Vec<LinkId>> {
+        let mut path = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let l = prev[cur.0 as usize]?;
+            path.push(l);
+            cur = self.links[l.0].from;
+        }
+        path.reverse();
+        Some(path)
     }
 }
 
@@ -241,6 +301,38 @@ mod tests {
             b.route(SwitchId(0), SwitchId(1)),
             Err(AtmError::NoRoute { .. })
         ));
+    }
+
+    #[test]
+    fn grid_routes_manhattan() {
+        let b = Backbone::grid(4, 3, SwitchConfig::typical(), link());
+        assert_eq!(b.switch_count(), 12);
+        // Interior horizontal + vertical edges, two directions each.
+        assert_eq!(b.link_count(), 2 * (3 * 3 + 4 * 2));
+        // Corner to corner is a Manhattan-distance route.
+        let r = b.route(SwitchId(0), SwitchId(11)).unwrap();
+        assert_eq!(r.len(), 3 + 2);
+        assert_eq!(b.link_source(r[0]), SwitchId(0));
+        assert_eq!(b.link_target(r[4]), SwitchId(11));
+    }
+
+    #[test]
+    fn path_tree_matches_single_destination_routes() {
+        for b in [
+            Backbone::grid(3, 3, SwitchConfig::typical(), link()),
+            Backbone::fully_meshed(4, SwitchConfig::typical(), link()),
+            Backbone::line(5, SwitchConfig::typical(), link()),
+        ] {
+            let n = b.switch_count() as u32;
+            for from in 0..n {
+                let prev = b.shortest_path_tree(SwitchId(from));
+                for to in 0..n {
+                    let direct = b.route(SwitchId(from), SwitchId(to)).unwrap();
+                    let via_tree = b.reconstruct(SwitchId(from), SwitchId(to), &prev).unwrap();
+                    assert_eq!(direct, via_tree, "{from} -> {to}");
+                }
+            }
+        }
     }
 
     #[test]

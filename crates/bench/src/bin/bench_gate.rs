@@ -126,6 +126,7 @@ fn quick_gates(bench: &Json) -> Result<(), String> {
 
     speedup_gate(bench)?;
     decision_latency_gates(bench)?;
+    shard_scale_gates(bench, false)?;
 
     // Decision-trace attribution: every decision of the churn run must
     // be traced and every rejection's trace must name its binding.
@@ -302,6 +303,69 @@ fn fault_gates(bench: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Sharded-engine scale gates. Both modes require the determinism
+/// certificate — the N-worker audit bit-identical to the one-worker
+/// replay AND to the monolithic sequential engine over the shared
+/// schedule prefix — and a bounded conflict-retry rate (the optimistic
+/// committer's recompute path must stay the exception). The committed
+/// file holds conflicts under 5% and additionally pins the scale
+/// claims themselves: a ≥ 64-ring topology, ≥ 4 worker shards, ≥ 10^5
+/// peak concurrent connections, and churn throughput at least 4x the
+/// single-thread engine at equal offered load. The quick run is sized
+/// for CI — per-ring load is denser, so its conflict ceiling is 10% —
+/// and only sanity-checks the scale numbers (the speedup on a small
+/// prefix with a near-empty network is not a meaningful measurement).
+fn shard_scale_gates(bench: &Json, committed: bool) -> Result<(), String> {
+    if bench.at("shard_scale").is_none() {
+        return Err("no shard_scale section; regenerate the benchmark JSON".into());
+    }
+    if !flag(bench, "shard_scale.audits_identical")? {
+        return Err(
+            "sharded decisions diverged from sequential replay (audits not bit-identical)".into(),
+        );
+    }
+    let conflict_ceiling = if committed { 0.05 } else { 0.10 };
+    let conflict_rate = num(bench, "shard_scale.conflict_rate")?;
+    if conflict_rate > conflict_ceiling {
+        return Err(format!(
+            "shard conflict-retry rate {conflict_rate:.4} exceeds the {conflict_ceiling} \
+             ceiling; speculation is thrashing"
+        ));
+    }
+    let rings = num(bench, "shard_scale.rings")?;
+    let workers = num(bench, "shard_scale.workers")?;
+    let peak_active = num(bench, "shard_scale.peak_active")?;
+    let speedup = num(bench, "shard_scale.speedup")?;
+    if peak_active <= 0.0 {
+        return Err("shard-scale run carried no concurrent connections".into());
+    }
+    if committed {
+        if rings < 64.0 {
+            return Err(format!("shard-scale topology has {rings} rings (< 64)"));
+        }
+        if workers < 4.0 {
+            return Err(format!("shard-scale run used {workers} workers (< 4)"));
+        }
+        if peak_active < 100_000.0 {
+            return Err(format!(
+                "shard-scale peak active {peak_active} fell below the 10^5 floor"
+            ));
+        }
+        if speedup < 4.0 {
+            return Err(format!(
+                "sharded churn throughput only {speedup:.2}x the single-thread engine \
+                 (floor: 4x at equal offered load)"
+            ));
+        }
+    }
+    println!(
+        "ok: shard scale {rings} rings x {workers} workers, peak active {peak_active}, \
+         {speedup:.1}x vs single-thread, conflict rate {conflict_rate:.4}, \
+         audits bit-identical"
+    );
+    Ok(())
+}
+
 fn committed_gates(bench: &Json) -> Result<(), String> {
     if bench.at("obs").is_none() {
         return Err("committed benchmark JSON has no obs section; regenerate it".into());
@@ -333,5 +397,6 @@ fn committed_gates(bench: &Json) -> Result<(), String> {
     println!("ok: churn p99 {p99:.1} us under the {CHURN_P99_CEILING_US:.0} us ceiling");
     speedup_gate(bench)?;
     decision_latency_gates(bench)?;
+    shard_scale_gates(bench, true)?;
     fault_gates(bench)
 }

@@ -23,9 +23,10 @@ use hetnet_cac::network::{HetNetwork, HostId};
 use hetnet_cac::region::{sample_region_frontier, sample_region_threads, RegionSample};
 use hetnet_fddi::ring::SyncBandwidth;
 use hetnet_service::{
-    run as run_service, verify_recovery, FastPathGauges, LatencyHistogram, ServiceConfig,
-    ServiceEngine,
+    entries_equivalent, run as run_service, run_sharded, sharded_runs_equivalent, verify_recovery,
+    FastPathGauges, LatencyHistogram, ServiceConfig, ServiceEngine,
 };
+use hetnet_sim::churn::{ChurnConfig, TopologyShape, TrafficPattern};
 use hetnet_sim::fault::FaultConfig;
 use hetnet_traffic::envelope::SharedEnvelope;
 use hetnet_traffic::models::DualPeriodicEnvelope;
@@ -414,6 +415,145 @@ fn main() {
         attribution.rejects_with_binding,
     );
 
+    // Sharded admission at scale: a seeded Poisson churn workload on a
+    // grid topology far beyond the paper's three rings, run through the
+    // ring-partitioned engine. Three arms over the same schedule:
+    //
+    //   1. the sharded engine at `ss_workers` workers (the headline
+    //      throughput and peak-active numbers),
+    //   2. the sharded engine at one worker — same committer, same
+    //      event order — whose audit must match bit for bit
+    //      (full-scale determinism certificate),
+    //   3. the monolithic single-thread `ServiceEngine` on a prefix of
+    //      the schedule at the same offered load, giving the equal-load
+    //      throughput baseline and a true sequential-replay decision
+    //      check over the prefix.
+    //
+    // The monolith's per-decision cost grows with the *global* active
+    // set (it re-resolves every admitted connection on each decision)
+    // while the sharded engine touches only the dependency closure of
+    // the candidate's rings. The prefix must therefore be long enough
+    // for the monolith to reach a meaningful occupancy — a few hundred
+    // requests measure it against a near-empty network and say nothing
+    // — yet short enough to finish: 3000 requests put it at ~1500 mean
+    // active (roughly ten wall-clock minutes), still two orders of
+    // magnitude below the occupancy the sharded arm sustains, so the
+    // comparison if anything understates the sharded advantage.
+    let (ss_rings, ss_rate, ss_requests, ss_prefix) = if quick {
+        (64usize, 120.0f64, 4_000usize, 300usize)
+    } else {
+        (4096, 2000.0, 220_000, 3_000)
+    };
+    let ss_workers = 4;
+    let ss_seed = 424_242;
+    let mut shard_cfg = ServiceConfig::paper_style(1.0, ss_requests, ss_seed);
+    shard_cfg.churn = ChurnConfig {
+        shape: TopologyShape {
+            rings: ss_rings,
+            hosts_per_ring: 3,
+        },
+        pattern: TrafficPattern::Paired,
+        source_weights: None,
+        arrival_rate: ss_rate,
+        mean_holding: Seconds::new(80.0),
+        max_holding: Seconds::new(240.0),
+        deadline: (Seconds::from_millis(300.0), Seconds::from_millis(500.0)),
+        source: DualPeriodicEnvelope::new(
+            Bits::from_mbits(0.002),
+            Seconds::from_millis(100.0),
+            Bits::from_mbits(0.0005),
+            Seconds::from_millis(25.0),
+            BitsPerSec::from_mbps(100.0),
+        )
+        .expect("valid shard-scale envelope"),
+        requests: ss_requests,
+        seed: ss_seed,
+    };
+    let mut ss_cac = CacConfig::fast().with_beta(0.0);
+    ss_cac.min_frame_efficiency = 0.8;
+    shard_cfg.options = AdmissionOptions::beta_search(ss_cac);
+    shard_cfg.sample_period = 64;
+    // Tracing off: the screened evaluation path is the one this bench
+    // claims numbers for, and every arm must run the same mode anyway
+    // for the decision streams to be comparable.
+    shard_cfg.trace_decisions = false;
+    eprintln!(
+        "shard scale: {ss_rings} rings, {ss_requests} requests at {ss_rate}/s, \
+         {ss_workers} workers (seed {ss_seed})"
+    );
+    let start = Instant::now();
+    let sharded = run_sharded(HetNetwork::grid(ss_rings, 3), &shard_cfg, ss_workers)
+        .expect("sharded run is well-formed");
+    let sharded_seconds = start.elapsed().as_secs_f64();
+    let sharded_dps = ss_requests as f64 / sharded_seconds;
+    eprintln!(
+        "  sharded {ss_workers}w: {sharded_seconds:.1} s ({sharded_dps:.0} dec/s), \
+         peak_active {}, {} admitted / {} rejected, conflict rate {:.4}",
+        sharded.report.peak_active,
+        sharded.report.counters.admitted,
+        sharded.report.counters.rejected(),
+        sharded.sharding.conflict_rate(),
+    );
+    let replay = run_sharded(HetNetwork::grid(ss_rings, 3), &shard_cfg, 1)
+        .expect("single-worker replay is well-formed");
+    let full_identical = sharded_runs_equivalent(&sharded, &replay);
+    let mut mono_cfg = shard_cfg.clone();
+    mono_cfg.churn.requests = ss_prefix;
+    let start = Instant::now();
+    let mono = run_service(HetNetwork::grid(ss_rings, 3), &mono_cfg)
+        .expect("monolith prefix run is well-formed");
+    let mono_seconds = start.elapsed().as_secs_f64();
+    let mono_dps = ss_prefix as f64 / mono_seconds;
+    let prefix_identical = mono.audit.len() == ss_prefix
+        && sharded.audit.entries()[..ss_prefix]
+            .iter()
+            .zip(mono.audit.entries())
+            .all(|(a, b)| entries_equivalent(a, b));
+    let audits_identical = full_identical && prefix_identical;
+    let shard_speedup = sharded_dps / mono_dps;
+    let decisions = (sharded.sharding.speculated + sharded.sharding.inline_decisions).max(1);
+    eprintln!(
+        "  replay identical: {full_identical}, monolith prefix {ss_prefix}: \
+         {mono_seconds:.1} s ({mono_dps:.0} dec/s, prefix identical: {prefix_identical}), \
+         speedup {shard_speedup:.1}x"
+    );
+    let shard_scale_json = format!(
+        concat!(
+            "{{\"rings\": {}, \"workers\": {}, \"hw_threads\": {}, \"requests\": {}, ",
+            "\"offered_rate_per_sec\": {:.1}, \"sharded_seconds\": {:.3}, ",
+            "\"sharded_decisions_per_sec\": {:.2}, \"monolith_prefix\": {}, ",
+            "\"monolith_seconds\": {:.3}, \"monolith_decisions_per_sec\": {:.2}, ",
+            "\"speedup\": {:.3}, \"peak_active\": {}, \"admitted\": {}, \"rejected\": {}, ",
+            "\"blocking_probability\": {:.6}, \"p99_us\": {:.1}, ",
+            "\"speculated\": {}, \"conflicts\": {}, \"conflict_rate\": {:.6}, ",
+            "\"inline_decisions\": {}, \"peak_closure\": {}, \"mean_closure\": {:.2}, ",
+            "\"audits_identical\": {}}}"
+        ),
+        ss_rings,
+        ss_workers,
+        threads,
+        ss_requests,
+        ss_rate,
+        sharded_seconds,
+        sharded_dps,
+        ss_prefix,
+        mono_seconds,
+        mono_dps,
+        shard_speedup,
+        sharded.report.peak_active,
+        sharded.report.counters.admitted,
+        sharded.report.counters.rejected(),
+        sharded.report.blocking_probability,
+        sharded.report.latency.p99.value() * 1e6,
+        sharded.sharding.speculated,
+        sharded.sharding.conflicts,
+        sharded.sharding.conflict_rate(),
+        sharded.sharding.inline_decisions,
+        sharded.sharding.peak_closure,
+        sharded.sharding.closure_sum as f64 / decisions as f64,
+        audits_identical,
+    );
+
     // Fault injection and recovery: a fixed-seed faulted churn run
     // (component failures, repairs, deadline shrinks), checkpointed
     // mid-stream and recovered. The gate checks every fault drained,
@@ -495,6 +635,7 @@ fn main() {
             "  \"churn\": {},\n",
             "  \"decision_latency\": {},\n",
             "  \"obs\": {},\n",
+            "  \"shard_scale\": {},\n",
             "  \"faults\": {}\n",
             "}}\n"
         ),
@@ -514,6 +655,7 @@ fn main() {
         churn.to_json(),
         decision_latency_json,
         obs_json,
+        shard_scale_json,
         faults_json,
     );
     if let Some(dir) = std::path::Path::new(&out).parent() {

@@ -29,7 +29,7 @@
 use crate::connection::{ActiveConnection, ConnectionId, ConnectionSpec};
 use crate::delay::{
     evaluate_paths, CacheStats, CandidateOutcome, EvalCache, EvalConfig, EvalOutcome, Evaluator,
-    PathInput, PathReport,
+    PathInput, PathReport, ScreenedOutcome,
 };
 use crate::error::CacError;
 use crate::incremental::{FastContext, FastPathStats, IncrementalState};
@@ -310,15 +310,47 @@ pub struct TeardownReport {
     pub reclaimed_r: Seconds,
 }
 
+/// Entry caps applied to a persisted evaluator cache at the start of
+/// each search: when any tier exceeds its cap the whole cache is
+/// cleared. Caps bound memory only — cache hits return exactly what the
+/// miss path would compute, so decisions are identical at any setting.
+/// Callers working repeatedly over large active subsets (the sharded
+/// engine's closure states) raise them so a single big decision does
+/// not evict the working set every iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalCacheCaps {
+    /// Max stage-1 (source MAC analysis) entries.
+    pub stage1: usize,
+    /// Max per-multiplexer analysis entries.
+    pub mux: usize,
+    /// Max receive-side analysis entries.
+    pub receive: usize,
+}
+
+impl Default for EvalCacheCaps {
+    fn default() -> Self {
+        Self {
+            stage1: 1024,
+            mux: 8192,
+            receive: 8192,
+        }
+    }
+}
+
 /// The live state of the network: active connections and per-ring
 /// synchronous-bandwidth tables.
 pub struct NetworkState {
-    net: HetNetwork,
+    /// The immutable topology, shareable across states: the sharded
+    /// engine builds one short-lived scoped state per decision, and an
+    /// `Arc` makes that construction O(active subset) instead of a
+    /// deep topology clone.
+    net: Arc<HetNetwork>,
     active: Vec<ActiveConnection>,
     tables: Vec<SyncAllocationTable>,
     next_id: u64,
     last_cache_stats: Option<CacheStats>,
     persist_cache: bool,
+    cache_caps: EvalCacheCaps,
     /// Evaluator cache carried across [`NetworkState::admit`] calls
     /// when persistence is on. Entries are always sound (keys capture
     /// everything a result depends on — envelope identity, allocations,
@@ -409,6 +441,15 @@ impl NetworkState {
     /// A fresh state with no connections.
     #[must_use]
     pub fn new(net: HetNetwork) -> Self {
+        Self::new_shared(Arc::new(net))
+    }
+
+    /// A fresh state over an already-shared topology. Equivalent to
+    /// [`NetworkState::new`] but avoids duplicating the (route-table
+    /// bearing) [`HetNetwork`] when many states are built over the same
+    /// topology, as the sharded engine does per decision.
+    #[must_use]
+    pub fn new_shared(net: Arc<HetNetwork>) -> Self {
         let tables = vec![SyncAllocationTable::new(); net.rings().len()];
         Self {
             net,
@@ -417,6 +458,7 @@ impl NetworkState {
             next_id: 0,
             last_cache_stats: None,
             persist_cache: false,
+            cache_caps: EvalCacheCaps::default(),
             eval_cache: None,
             fast_path: false,
             incremental: None,
@@ -551,6 +593,36 @@ impl NetworkState {
     #[must_use]
     pub fn network(&self) -> &HetNetwork {
         &self.net
+    }
+
+    /// The shared handle to the underlying network, for building
+    /// further states over the same topology without cloning it.
+    #[must_use]
+    pub fn shared_network(&self) -> &Arc<HetNetwork> {
+        &self.net
+    }
+
+    /// Replaces the entry caps applied to a persisted evaluator cache
+    /// (see [`EvalCacheCaps`]). Decision-neutral.
+    pub fn set_cache_caps(&mut self, caps: EvalCacheCaps) {
+        self.cache_caps = caps;
+    }
+
+    /// Removes and returns the persisted evaluator cache, if any. The
+    /// sharded engine moves one long-lived cache between the short-lived
+    /// scoped states a worker builds; keys are content-addressed, so a
+    /// cache is sound under any active set over the same topology.
+    #[must_use]
+    pub fn take_eval_cache(&mut self) -> Option<EvalCache> {
+        self.eval_cache.take()
+    }
+
+    /// Installs a previously taken evaluator cache (see
+    /// [`NetworkState::take_eval_cache`]). Only meaningful with
+    /// [`NetworkState::persist_eval_cache`] enabled, which governs
+    /// whether the cache is carried forward after the next decision.
+    pub fn inject_eval_cache(&mut self, cache: EvalCache) {
+        self.eval_cache = Some(cache);
     }
 
     /// Currently active connections.
@@ -869,9 +941,9 @@ impl NetworkState {
         let mut carried = self.eval_cache.take().unwrap_or_default();
         // A persisted cache survives active-set changes (its keys are
         // content-addressed), so bound its growth here instead.
-        if carried.stage1_entries() > 1024
-            || carried.mux_entries() > 8192
-            || carried.receive_entries() > 8192
+        if carried.stage1_entries() > self.cache_caps.stage1
+            || carried.mux_entries() > self.cache_caps.mux
+            || carried.receive_entries() > self.cache_caps.receive
         {
             carried.clear();
         }
@@ -885,80 +957,134 @@ impl NetworkState {
             Chosen(SyncBandwidth, SyncBandwidth, Vec<PathReport>),
             Reject(RejectReason, Option<TraceParts>),
         }
+        // Deadlines of the existing connections, in `active` (= input)
+        // order, for the screened evaluations below.
+        let deadlines: Vec<Seconds> = self.active.iter().map(|c| c.spec.deadline).collect();
         let searched: Result<Search, CacError> = (|| {
             // Step 2: the feasible region is empty unless the maximum works —
             // and because existing connections' delays are nondecreasing in
             // the newcomer's allocation, verifying them here covers every
             // smaller allocation the searches will visit.
-            let reports_at_max = match ev.evaluate_full(&mk_inputs(max_s, max_r))? {
-                EvalOutcome::Infeasible(detail) => {
-                    let parts = tracing.then(|| TraceParts {
-                        allocation: Some((max_s, max_r)),
-                        connections: Vec::new(),
-                        binding: Some(BindingConstraint::ServerUnstable {
-                            detail: detail.clone(),
-                        }),
-                    });
-                    return Ok(Search::Reject(
-                        RejectReason::InfeasibleAtMaximum { detail },
-                        parts,
-                    ));
+            //
+            // Without decision tracing nobody reads the per-connection
+            // reports, so existing paths go through the screened check
+            // (exact cache → monotone screening bound → dense): the
+            // accept/reject outcome is identical, only the reports are
+            // not materialized. `reports_at_max` stays empty then — it
+            // is only ever consumed inside `tracing.then` closures.
+            let reports_at_max = if !tracing {
+                match ev.evaluate_screened(&mk_inputs(max_s, max_r), &deadlines)? {
+                    ScreenedOutcome::Infeasible(detail) => {
+                        return Ok(Search::Reject(
+                            RejectReason::InfeasibleAtMaximum { detail },
+                            None,
+                        ));
+                    }
+                    ScreenedOutcome::DeadlineMiss { index, .. } => {
+                        return Ok(Search::Reject(
+                            RejectReason::InfeasibleAtMaximum {
+                                detail: format!(
+                                    "existing {} would miss its deadline",
+                                    self.active[index].id
+                                ),
+                            },
+                            None,
+                        ));
+                    }
+                    ScreenedOutcome::Feasible { candidate } => {
+                        if candidate.total > spec.deadline {
+                            return Ok(Search::Reject(
+                                RejectReason::InfeasibleAtMaximum {
+                                    detail: "requesting connection misses its deadline at \
+                                             (H_S^max, H_R^max)"
+                                        .into(),
+                                },
+                                None,
+                            ));
+                        }
+                        Vec::new()
+                    }
                 }
-                EvalOutcome::Feasible(reports) => reports,
-            };
-            for (i, c) in self.active.iter().enumerate() {
-                if reports_at_max[i].total > c.spec.deadline {
+            } else {
+                let reports_at_max = match ev.evaluate_full(&mk_inputs(max_s, max_r))? {
+                    EvalOutcome::Infeasible(detail) => {
+                        let parts = tracing.then(|| TraceParts {
+                            allocation: Some((max_s, max_r)),
+                            connections: Vec::new(),
+                            binding: Some(BindingConstraint::ServerUnstable {
+                                detail: detail.clone(),
+                            }),
+                        });
+                        return Ok(Search::Reject(
+                            RejectReason::InfeasibleAtMaximum { detail },
+                            parts,
+                        ));
+                    }
+                    EvalOutcome::Feasible(reports) => reports,
+                };
+                for (i, c) in self.active.iter().enumerate() {
+                    if reports_at_max[i].total > c.spec.deadline {
+                        let parts = tracing.then(|| TraceParts {
+                            allocation: Some((max_s, max_r)),
+                            connections: self.traces_with_candidate(&reports_at_max, &spec),
+                            binding: Some(deadline_binding(
+                                Some(c.id),
+                                &reports_at_max[i],
+                                c.spec.deadline,
+                            )),
+                        });
+                        return Ok(Search::Reject(
+                            RejectReason::InfeasibleAtMaximum {
+                                detail: format!("existing {} would miss its deadline", c.id),
+                            },
+                            parts,
+                        ));
+                    }
+                }
+                let candidate_at_max = *reports_at_max.last().expect("candidate included");
+                if candidate_at_max.total > spec.deadline {
                     let parts = tracing.then(|| TraceParts {
                         allocation: Some((max_s, max_r)),
                         connections: self.traces_with_candidate(&reports_at_max, &spec),
-                        binding: Some(deadline_binding(
-                            Some(c.id),
-                            &reports_at_max[i],
-                            c.spec.deadline,
-                        )),
+                        binding: Some(deadline_binding(None, &candidate_at_max, spec.deadline)),
                     });
                     return Ok(Search::Reject(
                         RejectReason::InfeasibleAtMaximum {
-                            detail: format!("existing {} would miss its deadline", c.id),
+                            detail:
+                                "requesting connection misses its deadline at (H_S^max, H_R^max)"
+                                    .into(),
                         },
                         parts,
                     ));
                 }
-            }
-            let candidate_at_max = *reports_at_max.last().expect("candidate included");
-            if candidate_at_max.total > spec.deadline {
-                let parts = tracing.then(|| TraceParts {
-                    allocation: Some((max_s, max_r)),
-                    connections: self.traces_with_candidate(&reports_at_max, &spec),
-                    binding: Some(deadline_binding(None, &candidate_at_max, spec.deadline)),
-                });
-                return Ok(Search::Reject(
-                    RejectReason::InfeasibleAtMaximum {
-                        detail: "requesting connection misses its deadline at (H_S^max, H_R^max)"
-                            .into(),
-                    },
-                    parts,
-                ));
-            }
+                reports_at_max
+            };
 
             // Reference signature at the maximum, for the eq.-31/32 test.
-            let (ref_total, ref_mux) = match ev.evaluate_candidate(&mk_inputs(max_s, max_r))? {
-                CandidateOutcome::Feasible {
-                    candidate,
-                    mux_delays,
-                } => (candidate.total, mux_delays),
-                CandidateOutcome::Infeasible(detail) => {
-                    let parts = tracing.then(|| TraceParts {
-                        allocation: Some((max_s, max_r)),
-                        connections: self.traces_with_candidate(&reports_at_max, &spec),
-                        binding: Some(BindingConstraint::ServerUnstable {
-                            detail: detail.clone(),
-                        }),
-                    });
-                    return Ok(Search::Reject(
-                        RejectReason::InfeasibleAtMaximum { detail },
-                        parts,
-                    ));
+            // β = 0 never consumes it: λ* degenerates to λ_min, so the
+            // whole step-4 signature search (the dense-probe storm of a
+            // loaded closure) is skipped below.
+            let ref_sig = if cfg.beta == 0.0 {
+                None
+            } else {
+                match ev.evaluate_candidate(&mk_inputs(max_s, max_r))? {
+                    CandidateOutcome::Feasible {
+                        candidate,
+                        mux_delays,
+                    } => Some((candidate.total, mux_delays)),
+                    CandidateOutcome::Infeasible(detail) => {
+                        let parts = tracing.then(|| TraceParts {
+                            allocation: Some((max_s, max_r)),
+                            connections: self.traces_with_candidate(&reports_at_max, &spec),
+                            binding: Some(BindingConstraint::ServerUnstable {
+                                detail: detail.clone(),
+                            }),
+                        });
+                        return Ok(Search::Reject(
+                            RejectReason::InfeasibleAtMaximum { detail },
+                            parts,
+                        ));
+                    }
                 }
             };
 
@@ -967,14 +1093,29 @@ impl NetworkState {
             // delta-maintained per-server state and the evaluator's
             // cached stage-1 summaries; `None` runs everything densely.
             let fast_ctx = match (&self.incremental, self.fast_path) {
-                (Some(state), true) => FastContext::new(
-                    &mut ev,
-                    &self.net,
-                    state,
-                    &self.active,
-                    spec.source,
-                    spec.dest,
-                )?,
+                (Some(state), true) => {
+                    match FastContext::assemble(
+                        &mut ev,
+                        &self.net,
+                        state,
+                        &self.active,
+                        spec.source,
+                        spec.dest,
+                    )? {
+                        Ok(ctx) => Some(ctx),
+                        Err(cause) => {
+                            // The whole decision runs densely; count it
+                            // so a depressed service-level hit rate is
+                            // attributable to its cause.
+                            fast_stats.record_skip(cause);
+                            obs::event(
+                                "fast_path_skipped",
+                                &[("cause", obs::FieldValue::Str(cause))],
+                            );
+                            None
+                        }
+                    }
+                }
                 _ => None,
             };
 
@@ -1045,39 +1186,45 @@ impl NetworkState {
             // and this is the paper's exact criterion; when they improve
             // continuously we accept the point realizing all but
             // `equality_tolerance` of the achievable improvement.
-            let excess = |total: Seconds, mux: &[Seconds]| -> f64 {
-                let mut e = (total.value() - ref_total.value()).abs();
-                if mux.len() == ref_mux.len() {
-                    e += mux
-                        .iter()
-                        .zip(&ref_mux)
-                        .map(|(a, b)| (a.value() - b.value()).abs())
-                        .sum::<f64>();
-                } else {
-                    e += ref_total.value();
-                }
-                e
-            };
-            let at_min = probe(&mut ev, lambda_min)?;
-            let improvement_scale = at_min
-                .as_ref()
-                .map_or(0.0, |(total, mux)| excess(*total, mux))
-                .max(1.0e-9);
-            let equals_max = |total: Seconds, mux: &[Seconds]| {
-                excess(total, mux) <= cfg.equality_tolerance * improvement_scale
-            };
-            let lambda_max = match at_min {
-                Some((total, ref mux)) if equals_max(total, mux) => lambda_min,
-                _ => {
-                    let (mut lo, mut hi) = (lambda_min, 1.0_f64);
-                    for _ in 0..cfg.search_iterations {
-                        let mid = 0.5 * (lo + hi);
-                        match probe(&mut ev, mid)? {
-                            Some((total, ref mux)) if equals_max(total, mux) => hi = mid,
-                            _ => lo = mid,
+            let lambda_max = match &ref_sig {
+                // β = 0: λ* = λ_min regardless of λ_max, so don't search.
+                None => lambda_min,
+                Some((ref_total, ref_mux)) => {
+                    let excess = |total: Seconds, mux: &[Seconds]| -> f64 {
+                        let mut e = (total.value() - ref_total.value()).abs();
+                        if mux.len() == ref_mux.len() {
+                            e += mux
+                                .iter()
+                                .zip(ref_mux)
+                                .map(|(a, b)| (a.value() - b.value()).abs())
+                                .sum::<f64>();
+                        } else {
+                            e += ref_total.value();
+                        }
+                        e
+                    };
+                    let at_min = probe(&mut ev, lambda_min)?;
+                    let improvement_scale = at_min
+                        .as_ref()
+                        .map_or(0.0, |(total, mux)| excess(*total, mux))
+                        .max(1.0e-9);
+                    let equals_max = |total: Seconds, mux: &[Seconds]| {
+                        excess(total, mux) <= cfg.equality_tolerance * improvement_scale
+                    };
+                    match at_min {
+                        Some((total, ref mux)) if equals_max(total, mux) => lambda_min,
+                        _ => {
+                            let (mut lo, mut hi) = (lambda_min, 1.0_f64);
+                            for _ in 0..cfg.search_iterations {
+                                let mid = 0.5 * (lo + hi);
+                                match probe(&mut ev, mid)? {
+                                    Some((total, ref mux)) if equals_max(total, mux) => hi = mid,
+                                    _ => lo = mid,
+                                }
+                            }
+                            hi
                         }
                     }
-                    hi
                 }
             };
 
@@ -1090,7 +1237,23 @@ impl NetworkState {
             let mut chosen = None;
             for lambda in [lambda_star, lambda_max, 1.0] {
                 let (hs, hr) = at(lambda);
-                if let EvalOutcome::Feasible(reports) = ev.evaluate_full(&mk_inputs(hs, hr))? {
+                if !tracing {
+                    // Screened twin of the dense arm below: identical
+                    // accept set (the screening bound only ever passes
+                    // paths the dense check would pass), but only the
+                    // candidate's report is materialized — which is the
+                    // only one the commit path reads.
+                    if let ScreenedOutcome::Feasible { candidate } =
+                        ev.evaluate_screened(&mk_inputs(hs, hr), &deadlines)?
+                    {
+                        if candidate.total <= spec.deadline {
+                            chosen = Some((hs, hr, vec![candidate]));
+                            break;
+                        }
+                    }
+                } else if let EvalOutcome::Feasible(reports) =
+                    ev.evaluate_full(&mk_inputs(hs, hr))?
+                {
                     let all_ok = self
                         .active
                         .iter()
@@ -1465,7 +1628,11 @@ impl NetworkState {
                 return Ok(Some(c));
             }
         }
-        for link in self.net.route_between(spec.source.ring, spec.dest.ring)? {
+        for link in self
+            .net
+            .route_between(spec.source.ring, spec.dest.ring)?
+            .iter()
+        {
             let c = Component::Link(*link);
             if self.down.contains(&c) {
                 return Ok(Some(c));
@@ -1616,6 +1783,62 @@ impl NetworkState {
     pub fn from_snapshot(net: HetNetwork, snap: &StateSnapshot) -> Result<Self, CacError> {
         let mut state = Self::new(net);
         state.restore(snap)?;
+        Ok(state)
+    }
+
+    /// Builds a state over a shared topology that holds exactly
+    /// `connections` — a subset of some larger admitted set, in id
+    /// order — with allocation tables replayed in that same order, the
+    /// loop [`NetworkState::restore`] runs. `next_id` seeds the id
+    /// counter so that an admission in this state is assigned the id
+    /// the full sequential state would assign next, and `down` carries
+    /// the failed-component set forward.
+    ///
+    /// The sharded engine builds one of these per decision from a
+    /// dependency closure of the candidate: a set closed under
+    /// "shares a multiplexer with". Over such a subset every quantity
+    /// the admission computes — allocation-table availability on the
+    /// endpoint rings, per-multiplexer aggregates, existing flows'
+    /// delay bounds — is bit-identical to the full state's, because
+    /// every flow that could contribute to them is present and in the
+    /// same relative order (see `DESIGN.md` §12).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::SnapshotMismatch`] if `connections` is not
+    /// strictly id-ordered below `next_id`, or its allocations do not
+    /// fit the rings (either means the caller's partitioned state is
+    /// corrupt).
+    pub fn scoped(
+        net: Arc<HetNetwork>,
+        connections: Vec<ActiveConnection>,
+        down: BTreeSet<Component>,
+        next_id: u64,
+    ) -> Result<Self, CacError> {
+        let mut state = Self::new_shared(net);
+        let mut prev: Option<u64> = None;
+        for c in &connections {
+            if c.id.0 >= next_id || prev.is_some_and(|p| p >= c.id.0) {
+                return Err(CacError::SnapshotMismatch(format!(
+                    "scoped subset not strictly id-ordered below next_id {next_id} at {}",
+                    c.id
+                )));
+            }
+            prev = Some(c.id.0);
+            let key = AllocationKey(c.id.0);
+            let fit = |e: hetnet_fddi::FddiError| {
+                CacError::SnapshotMismatch(format!("scoped allocations do not fit: {e}"))
+            };
+            state.tables[c.spec.source.ring]
+                .allocate(key, c.h_s, state.net.ring(c.spec.source.ring))
+                .map_err(fit)?;
+            state.tables[c.spec.dest.ring]
+                .allocate(key, c.h_r, state.net.ring(c.spec.dest.ring))
+                .map_err(fit)?;
+        }
+        state.active = connections;
+        state.down = down;
+        state.next_id = next_id;
         Ok(state)
     }
 

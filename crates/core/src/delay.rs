@@ -190,6 +190,54 @@ pub enum CandidateOutcome {
     Infeasible(String),
 }
 
+/// Result of a screened evaluation: existing paths are only checked
+/// against their deadlines — exactly when cached, via the monotone
+/// screening bound otherwise — while the candidate (the last path)
+/// always gets a dense, exact report. The accept/reject outcome is
+/// identical to a dense evaluation's in every case.
+#[derive(Clone, Debug)]
+pub enum ScreenedOutcome {
+    /// All servers stable and every existing deadline holds.
+    Feasible {
+        /// Report for the candidate (the last input path).
+        candidate: PathReport,
+    },
+    /// Some server is unstable or unbounded at these allocations.
+    Infeasible(String),
+    /// An existing connection's deadline is violated.
+    DeadlineMiss {
+        /// Index of the first path (in input order) whose deadline fails.
+        index: usize,
+        /// Its exact end-to-end bound.
+        total: Seconds,
+    },
+}
+
+/// Outcome of one existing-path deadline check.
+#[derive(Clone, Copy, Debug)]
+enum DeadlineCheck {
+    Pass,
+    Miss { total: Seconds },
+}
+
+/// Receive-independent delay terms of one path, read off the resolved
+/// scratch (every term of the end-to-end total except `fddi_r`).
+#[derive(Clone, Copy, Debug)]
+struct FixedParts {
+    fddi_s: Seconds,
+    id_s: Seconds,
+    atm: Seconds,
+    id_r: Seconds,
+    buffer_s: Bits,
+    frame_size: Bits,
+}
+
+impl FixedParts {
+    fn sum(&self) -> Seconds {
+        self.fddi_s + self.id_s + self.atm + self.id_r
+    }
+}
+
 /// Which multiplexer a hop refers to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub(crate) enum MuxKey {
@@ -279,6 +327,34 @@ enum ReceiveCached {
     Infeasible(String),
 }
 
+/// Key of a receive-side *screening* bound: the flow's root (wire)
+/// signature instead of its arrived signature. One entry serves every
+/// arrival of the same wire flow whose per-hop queueing bounds are
+/// dominated by the entry's, because the chained arrival envelope —
+/// `min(C·I, A(I + d))` per hop — and the receive-MAC delay behind it
+/// are pointwise nondecreasing in each hop's delay bound `d`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct ScreenKey {
+    root_sig: SigId,
+    frame_bits: u64,
+    h_bits: u64,
+    ring: usize,
+}
+
+/// A receive analysis recorded together with the per-hop delay bounds
+/// it was computed at, reusable as an upper bound whenever the current
+/// path traverses the *same multiplexer sequence* (each hop's link rate
+/// shapes the chained envelope, so the muxes must match exactly) with
+/// every delay bound dominated hop for hop.
+#[derive(Clone, Debug)]
+struct ScreenEntry {
+    /// `(multiplexer, its queueing-delay bound)` for each hop, in path
+    /// order, at the time `chi_r` was computed.
+    hops: Box<[(MuxKey, Seconds)]>,
+    /// The exact receive-MAC delay at those bounds.
+    chi_r: Seconds,
+}
+
 /// The [`EvalConfig`] a cache's entries were computed under, as exact
 /// bit patterns: a cache attached to an evaluator with any other
 /// configuration is cleared instead of consulted.
@@ -328,6 +404,11 @@ pub struct EvalCache {
     chained_sigs: HashMap<(SigId, u64, u64), SigId>,
     /// Receive-side (stage-3) analyses.
     receive: HashMap<ReceiveKey, ReceiveCached>,
+    /// Receive-side screening bounds (see [`ScreenKey`]): consulted by
+    /// [`Evaluator::evaluate_screened`] to certify an existing path's
+    /// deadline without re-running its receive analysis after every
+    /// upstream multiplexer change.
+    screen: HashMap<ScreenKey, ScreenEntry>,
     /// The envelope each signature denotes, indexed by [`SigId`]. Also
     /// the pin keeping every interned envelope (and hence every
     /// signature's `Arc` address) alive for the cache's lifetime.
@@ -349,6 +430,7 @@ impl EvalCache {
         self.root_sigs.clear();
         self.chained_sigs.clear();
         self.receive.clear();
+        self.screen.clear();
         self.sig_envs.clear();
         self.fingerprint = None;
     }
@@ -424,6 +506,11 @@ pub struct CacheStats {
     pub receive_hits: u64,
     /// Receive-side (stage-3) analyses computed.
     pub receive_misses: u64,
+    /// Existing-path deadline checks certified by a screening bound
+    /// (no receive analysis run at all).
+    pub screen_hits: u64,
+    /// Screened checks that fell through to a dense receive analysis.
+    pub screen_misses: u64,
 }
 
 impl CacheStats {
@@ -470,6 +557,20 @@ impl CacheStats {
         self.mux_misses += other.mux_misses;
         self.receive_hits += other.receive_hits;
         self.receive_misses += other.receive_misses;
+        self.screen_hits += other.screen_hits;
+        self.screen_misses += other.screen_misses;
+    }
+
+    /// Fraction of screened deadline checks decided without a dense
+    /// receive analysis, or 0 with no screened checks.
+    #[must_use]
+    pub fn screen_hit_rate(&self) -> f64 {
+        let total = self.screen_hits + self.screen_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.screen_hits as f64 / total as f64
+        }
     }
 }
 
@@ -881,18 +982,11 @@ impl<'a> Evaluator<'a> {
         Ok(None)
     }
 
-    /// Completes the receive side of path `pi` and assembles its report.
-    /// Needs `&mut self` for the stage-3 cache; callers detach the
-    /// scratch first (see [`Evaluator::resolve`]).
-    fn finish_path(
-        &mut self,
-        p: &PathInput,
-        s: &Scratch,
-        pi: usize,
-    ) -> Result<Result<PathReport, String>, CacError> {
+    /// The receive-independent delay pieces of path `pi`, read off the
+    /// resolved scratch: every term of the total except `fddi_r`.
+    fn fixed_parts(&self, p: &PathInput, s: &Scratch, pi: usize) -> FixedParts {
         let net = self.net;
         let ring_s = net.ring(p.source.ring);
-        let ring_r = net.ring(p.dest.ring);
         let keys = &s.hop_keys[pi];
         let (chi_s, buffer_s, frame_size) = s.stage1[pi];
 
@@ -921,8 +1015,26 @@ impl<'a> Evaluator<'a> {
         }
 
         let id_r = net.ifdev().receiver_fixed_delay();
+        FixedParts {
+            fddi_s,
+            id_s,
+            atm,
+            id_r,
+            buffer_s,
+            frame_size,
+        }
+    }
 
-        let arrived_sig = *s.hop_sigs[pi].last().expect("route has hops");
+    /// The receive-side (stage-3) analysis for path `pi`'s arrived flow,
+    /// served from (and filling) the exact receive cache.
+    fn receive_for(
+        &mut self,
+        p: &PathInput,
+        arrived_sig: SigId,
+        frame_size: Bits,
+    ) -> Result<ReceiveCached, CacError> {
+        let net = self.net;
+        let ring_r = net.ring(p.dest.ring);
         let key = ReceiveKey {
             arrived_sig,
             frame_bits: frame_size.value().to_bits(),
@@ -938,55 +1050,165 @@ impl<'a> Evaluator<'a> {
                 ],
             );
         };
-        let cached = if let Some(hit) = self.cache.receive.get(&key) {
+        if let Some(hit) = self.cache.receive.get(&key) {
             self.stats.receive_hits += 1;
             receive_event(true);
-            hit.clone()
-        } else {
-            self.stats.receive_misses += 1;
-            receive_event(false);
-            let arrived = Arc::clone(self.cache.env(arrived_sig));
-            let rea = reassemble_envelope(arrived, frame_size, net.ifdev());
-            let computed = match analyze_fddi_mac(
-                rea.output_frames,
-                ring_r,
-                p.h_r,
-                net.device_buffer(),
-                &self.cfg.analysis,
-            ) {
-                Ok(m) => match m.delay {
-                    DelayOutcome::Bounded(chi_r) => ReceiveCached::Ready {
-                        chi_r,
-                        buffer: m.buffer_required,
-                    },
-                    DelayOutcome::BufferOverflow { .. } => ReceiveCached::Infeasible(format!(
-                        "receive MAC buffer overflow on ring {}",
-                        p.dest.ring
-                    )),
+            return Ok(hit.clone());
+        }
+        self.stats.receive_misses += 1;
+        receive_event(false);
+        let arrived = Arc::clone(self.cache.env(arrived_sig));
+        let rea = reassemble_envelope(arrived, frame_size, net.ifdev());
+        let computed = match analyze_fddi_mac(
+            rea.output_frames,
+            ring_r,
+            p.h_r,
+            net.device_buffer(),
+            &self.cfg.analysis,
+        ) {
+            Ok(m) => match m.delay {
+                DelayOutcome::Bounded(chi_r) => ReceiveCached::Ready {
+                    chi_r,
+                    buffer: m.buffer_required,
                 },
-                Err(FddiError::Analysis(e)) => {
-                    ReceiveCached::Infeasible(format!("receive MAC on ring {}: {e}", p.dest.ring))
-                }
-                Err(e) => return Err(e.into()),
-            };
-            self.cache.receive.insert(key, computed.clone());
-            computed
+                DelayOutcome::BufferOverflow { .. } => ReceiveCached::Infeasible(format!(
+                    "receive MAC buffer overflow on ring {}",
+                    p.dest.ring
+                )),
+            },
+            Err(FddiError::Analysis(e)) => {
+                ReceiveCached::Infeasible(format!("receive MAC on ring {}: {e}", p.dest.ring))
+            }
+            Err(e) => return Err(e.into()),
         };
+        self.cache.receive.insert(key, computed.clone());
+        Ok(computed)
+    }
+
+    /// Completes the receive side of path `pi` and assembles its report.
+    /// Needs `&mut self` for the stage-3 cache; callers detach the
+    /// scratch first (see [`Evaluator::resolve`]).
+    fn finish_path(
+        &mut self,
+        p: &PathInput,
+        s: &Scratch,
+        pi: usize,
+    ) -> Result<Result<PathReport, String>, CacError> {
+        let fixed = self.fixed_parts(p, s, pi);
+        let arrived_sig = *s.hop_sigs[pi].last().expect("route has hops");
+        let cached = self.receive_for(p, arrived_sig, fixed.frame_size)?;
         let (chi_r, buffer_r) = match cached {
             ReceiveCached::Ready { chi_r, buffer } => (chi_r, buffer),
             ReceiveCached::Infeasible(msg) => return Ok(Err(msg)),
         };
-        let fddi_r = chi_r + ring_r.propagation;
-        let total = fddi_s + id_s + atm + id_r + fddi_r;
+        let fddi_r = chi_r + self.net.ring(p.dest.ring).propagation;
+        let total = fixed.sum() + fddi_r;
         Ok(Ok(PathReport {
-            fddi_s,
-            id_s,
-            atm,
-            id_r,
+            fddi_s: fixed.fddi_s,
+            id_s: fixed.id_s,
+            atm: fixed.atm,
+            id_r: fixed.id_r,
             fddi_r,
             total,
-            buffer_mac_s: buffer_s,
+            buffer_mac_s: fixed.buffer_s,
             buffer_mac_r: buffer_r,
+        }))
+    }
+
+    /// Checks `total ≤ deadline` for existing path `pi`, trying in
+    /// order: the exact receive cache, the monotone screening bound,
+    /// and only then a dense receive analysis (whose result refreshes
+    /// the screening entry). The boolean outcome is identical to the
+    /// dense check's in every case — the screening bound only ever
+    /// *passes* a path, and a bound passing implies the exact total
+    /// passes — so decisions never depend on the cache's history.
+    fn deadline_check(
+        &mut self,
+        p: &PathInput,
+        s: &Scratch,
+        pi: usize,
+        deadline: Seconds,
+    ) -> Result<Result<DeadlineCheck, String>, CacError> {
+        let fixed = self.fixed_parts(p, s, pi);
+        let before_receive = fixed.sum() + self.net.ring(p.dest.ring).propagation;
+        let arrived_sig = *s.hop_sigs[pi].last().expect("route has hops");
+        let exact_key = ReceiveKey {
+            arrived_sig,
+            frame_bits: fixed.frame_size.value().to_bits(),
+            h_bits: p.h_r.per_rotation().value().to_bits(),
+            ring: p.dest.ring,
+        };
+        // Exact result already known: no bound needed.
+        if let Some(hit) = self.cache.receive.get(&exact_key) {
+            self.stats.receive_hits += 1;
+            return Ok(match hit {
+                ReceiveCached::Ready { chi_r, .. } => {
+                    let total = before_receive + *chi_r;
+                    Ok(if total <= deadline {
+                        DeadlineCheck::Pass
+                    } else {
+                        DeadlineCheck::Miss { total }
+                    })
+                }
+                ReceiveCached::Infeasible(msg) => Err(msg.clone()),
+            });
+        }
+        let screen_key = ScreenKey {
+            root_sig: s.hop_sigs[pi][0],
+            frame_bits: exact_key.frame_bits,
+            h_bits: exact_key.h_bits,
+            ring: p.dest.ring,
+        };
+        let keys = &s.hop_keys[pi];
+        if let Some(entry) = self.cache.screen.get(&screen_key) {
+            let dominated = entry.hops.len() == keys.len()
+                && keys
+                    .iter()
+                    .zip(entry.hops.iter())
+                    .all(|(k, (ek, bound))| k == ek && s.mux_delay_of(*k) <= *bound);
+            if dominated && before_receive + entry.chi_r <= deadline {
+                self.stats.screen_hits += 1;
+                return Ok(Ok(DeadlineCheck::Pass));
+            }
+        }
+        self.stats.screen_misses += 1;
+        let cached = self.receive_for(p, arrived_sig, fixed.frame_size)?;
+        let chi_r = match cached {
+            ReceiveCached::Ready { chi_r, .. } => chi_r,
+            ReceiveCached::Infeasible(msg) => return Ok(Err(msg)),
+        };
+        // Refresh the screening entry whenever the new bounds dominate
+        // the recorded ones (hop bounds grow as the closure fills, so
+        // the dominant analysis is also the most recent in practice).
+        let hops: Box<[(MuxKey, Seconds)]> =
+            keys.iter().map(|k| (*k, s.mux_delay_of(*k))).collect();
+        match self.cache.screen.entry(screen_key) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(ScreenEntry { hops, chi_r });
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let old = o.get();
+                let dominates = old.hops.len() != hops.len()
+                    || old
+                        .hops
+                        .iter()
+                        .zip(hops.iter())
+                        .any(|((ok, _), (nk, _))| ok != nk)
+                    || old
+                        .hops
+                        .iter()
+                        .zip(hops.iter())
+                        .all(|((_, a), (_, b))| a <= b);
+                if dominates {
+                    o.insert(ScreenEntry { hops, chi_r });
+                }
+            }
+        }
+        let total = before_receive + chi_r;
+        Ok(Ok(if total <= deadline {
+            DeadlineCheck::Pass
+        } else {
+            DeadlineCheck::Miss { total }
         }))
     }
 
@@ -1015,6 +1237,60 @@ impl<'a> Evaluator<'a> {
                 }
             }
             Ok(EvalOutcome::Feasible(reports))
+        })();
+        self.scratch = s;
+        out
+    }
+
+    /// Evaluates like [`Evaluator::evaluate_full`] but verifies existing
+    /// paths' deadlines without materializing their reports: each is
+    /// checked against the exact receive cache, then the monotone
+    /// screening bound, and only densely when both miss (the dense
+    /// result then refreshes the screening entry). The candidate (last
+    /// path) always gets a dense, exact report. Because the screening
+    /// bound only ever *passes* a path — and a bound passing implies the
+    /// exact check passes — the outcome never depends on cache history.
+    ///
+    /// # Errors
+    ///
+    /// [`CacError`] for malformed inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty or `deadlines` does not hold exactly
+    /// one deadline per existing (non-candidate) path.
+    pub fn evaluate_screened(
+        &mut self,
+        paths: &[PathInput],
+        deadlines: &[Seconds],
+    ) -> Result<ScreenedOutcome, CacError> {
+        let _span = obs::span("evaluate_screened");
+        assert!(!paths.is_empty(), "screened evaluation needs paths");
+        assert_eq!(
+            deadlines.len(),
+            paths.len() - 1,
+            "one deadline per existing path"
+        );
+        self.validate(paths)?;
+        if let Some(msg) = self.resolve(paths)? {
+            return Ok(ScreenedOutcome::Infeasible(msg));
+        }
+        let last = paths.len() - 1;
+        let s = std::mem::take(&mut self.scratch);
+        let out = (|| {
+            for (pi, (p, deadline)) in paths[..last].iter().zip(deadlines).enumerate() {
+                match self.deadline_check(p, &s, pi, *deadline)? {
+                    Ok(DeadlineCheck::Pass) => {}
+                    Ok(DeadlineCheck::Miss { total }) => {
+                        return Ok(ScreenedOutcome::DeadlineMiss { index: pi, total });
+                    }
+                    Err(msg) => return Ok(ScreenedOutcome::Infeasible(msg)),
+                }
+            }
+            match self.finish_path(&paths[last], &s, last)? {
+                Ok(candidate) => Ok(ScreenedOutcome::Feasible { candidate }),
+                Err(msg) => Ok(ScreenedOutcome::Infeasible(msg)),
+            }
         })();
         self.scratch = s;
         out

@@ -62,6 +62,25 @@ const GUARD: f64 = 1e-9;
 /// path may conclude the dense search would have succeeded.
 const BUSY_SEARCH_HEADROOM: f64 = 2.3;
 
+/// The reasons rung 4 (or the receive-side closed forms) can decline to
+/// decide a probe, in the order the ladder checks them — the index into
+/// [`FastPathStats::fallback_causes`]. `"ambiguous"` means every guard
+/// passed but the affine bracket straddled the deadline.
+pub const FALLBACK_CAUSES: [&str; 7] = [
+    "mux-saturated",
+    "mux-horizon",
+    "mux-window",
+    "receive-saturated",
+    "receive-horizon",
+    "receive-buffer",
+    "ambiguous",
+];
+
+/// The reasons [`FastContext`] can fail to assemble at all, making the
+/// whole decision run densely without consulting the ladder — the index
+/// into [`FastPathStats::skip_causes`].
+pub const SKIP_CAUSES: [&str; 3] = ["stage1-unavailable", "stale-active-set", "non-feedforward"];
+
 /// Counters for how β-search probes were decided, per decision (and
 /// accumulated per service via the metrics layer).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -72,6 +91,16 @@ pub struct FastPathStats {
     pub fast_rejects: u64,
     /// Probes the ladder handed to the dense evaluator (rung 5).
     pub fallbacks: u64,
+    /// Rung-5 fallbacks by cause, indexed per [`FALLBACK_CAUSES`]
+    /// (sums to `fallbacks`).
+    pub fallback_causes: [u64; FALLBACK_CAUSES.len()],
+    /// Decisions (not probes) that ran densely because no ladder
+    /// context could be assembled. These never enter `probes()` or
+    /// `hit_rate()` — the denominators differ — which is exactly why a
+    /// low service-level hit rate needs this counter to be explainable.
+    pub no_context: u64,
+    /// `no_context` by cause, indexed per [`SKIP_CAUSES`].
+    pub skip_causes: [u64; SKIP_CAUSES.len()],
 }
 
 impl FastPathStats {
@@ -98,6 +127,21 @@ impl FastPathStats {
         self.fast_accepts += other.fast_accepts;
         self.fast_rejects += other.fast_rejects;
         self.fallbacks += other.fallbacks;
+        for (a, b) in self.fallback_causes.iter_mut().zip(&other.fallback_causes) {
+            *a += b;
+        }
+        self.no_context += other.no_context;
+        for (a, b) in self.skip_causes.iter_mut().zip(&other.skip_causes) {
+            *a += b;
+        }
+    }
+
+    /// Records a decision that ran without a ladder context.
+    pub fn record_skip(&mut self, cause: &'static str) {
+        self.no_context += 1;
+        if let Some(i) = SKIP_CAUSES.iter().position(|&c| c == cause) {
+            self.skip_causes[i] += 1;
+        }
     }
 }
 
@@ -171,13 +215,33 @@ impl IncrementalState {
     pub(crate) fn rebuild(net: &HetNetwork, active: &[ActiveConnection]) -> Result<Self, CacError> {
         let mut state = Self::new(net.rings().len());
         for c in active {
-            state.admit(net, c.id, &c.spec, c.h_s, c.h_r)?;
+            state.insert(net, c.id, &c.spec, c.h_s, c.h_r)?;
         }
+        // One recompute for the whole batch instead of one per flow:
+        // `recompute_rings` re-sums from zero over the id-ordered flow
+        // map, so its final result depends only on the final map —
+        // bitwise identical to recomputing after every insert.
+        state.recompute_rings();
         Ok(state)
     }
 
     /// Records an admitted connection.
     pub(crate) fn admit(
+        &mut self,
+        net: &HetNetwork,
+        id: ConnectionId,
+        spec: &ConnectionSpec,
+        h_s: SyncBandwidth,
+        h_r: SyncBandwidth,
+    ) -> Result<(), CacError> {
+        self.insert(net, id, spec, h_s, h_r)?;
+        self.recompute_rings();
+        Ok(())
+    }
+
+    /// Inserts a flow's per-server terms without refreshing ring
+    /// totals; callers must `recompute_rings` before the state is read.
+    fn insert(
         &mut self,
         net: &HetNetwork,
         id: ConnectionId,
@@ -202,7 +266,6 @@ impl IncrementalState {
                 hops,
             },
         );
-        self.recompute_rings();
         Ok(())
     }
 
@@ -256,7 +319,11 @@ impl IncrementalState {
 }
 
 /// The multiplexers a `source → dest` path traverses, in path order.
-fn hops_for(net: &HetNetwork, source: HostId, dest: HostId) -> Result<Vec<MuxKey>, CacError> {
+pub(crate) fn hops_for(
+    net: &HetNetwork,
+    source: HostId,
+    dest: HostId,
+) -> Result<Vec<MuxKey>, CacError> {
     let route = net.route_between(source.ring, dest.ring)?;
     let mut hops = Vec::with_capacity(route.len() + 2);
     hops.push(MuxKey::Uplink(source.ring));
@@ -334,6 +401,7 @@ impl<'n> FastContext<'n> {
     /// unavailable or infeasible, the state is out of sync with the
     /// active set, or the mux dependencies are not feedforward) — the
     /// caller then runs every probe densely, which is always correct.
+    #[cfg(test)]
     pub(crate) fn new(
         ev: &mut Evaluator<'_>,
         net: &'n HetNetwork,
@@ -342,6 +410,19 @@ impl<'n> FastContext<'n> {
         source: HostId,
         dest: HostId,
     ) -> Result<Option<Self>, CacError> {
+        Ok(Self::assemble(ev, net, state, active, source, dest)?.ok())
+    }
+
+    /// [`FastContext::new`], but a failed assembly names its cause (one
+    /// of [`SKIP_CAUSES`]) so the caller can attribute the dense run.
+    pub(crate) fn assemble(
+        ev: &mut Evaluator<'_>,
+        net: &'n HetNetwork,
+        state: &IncrementalState,
+        active: &[ActiveConnection],
+        source: HostId,
+        dest: HostId,
+    ) -> Result<Result<Self, &'static str>, CacError> {
         let mut flows = Vec::with_capacity(active.len());
         for c in active {
             let p = PathInput {
@@ -353,7 +434,7 @@ impl<'n> FastContext<'n> {
             };
             match ev.fast_stage1(&p)? {
                 Some(summary) => flows.push(summary),
-                None => return Ok(None),
+                None => return Ok(Err("stage1-unavailable")),
             }
         }
 
@@ -366,7 +447,7 @@ impl<'n> FastContext<'n> {
                 // in `active` is its path index.
                 match active.binary_search_by_key(&id, |c| c.id) {
                     Ok(pi) => members.push((pi as u32, hi)),
-                    Err(_) => return Ok(None),
+                    Err(_) => return Ok(Err("stale-active-set")),
                 }
             }
             grouped.insert(*key, members);
@@ -408,7 +489,7 @@ impl<'n> FastContext<'n> {
                 }
             }
             if !progressed {
-                return Ok(None);
+                return Ok(Err("non-feedforward"));
             }
             remaining = next;
         }
@@ -441,7 +522,7 @@ impl<'n> FastContext<'n> {
         consts +=
             net.ifdev().receiver_fixed_delay().value() + net.ring(dest.ring).propagation.value();
 
-        Ok(Some(Self {
+        Ok(Ok(Self {
             net,
             flows,
             groups,
@@ -610,6 +691,9 @@ impl<'n> FastContext<'n> {
             }
             None => {
                 stats.fallbacks += 1;
+                if let Some(i) = FALLBACK_CAUSES.iter().position(|&c| c == out.rung) {
+                    stats.fallback_causes[i] += 1;
+                }
                 "fallback"
             }
         };
@@ -684,16 +768,22 @@ mod tests {
         let mut a = FastPathStats {
             fast_accepts: 3,
             fast_rejects: 1,
-            fallbacks: 0,
+            ..FastPathStats::default()
         };
-        let b = FastPathStats {
-            fast_accepts: 0,
-            fast_rejects: 0,
+        let mut b = FastPathStats {
             fallbacks: 4,
+            ..FastPathStats::default()
         };
+        b.fallback_causes[0] = 3;
+        b.fallback_causes[6] = 1;
+        b.record_skip("non-feedforward");
+        b.record_skip("not-a-real-cause");
         a.merge(&b);
         assert_eq!(a.probes(), 8);
         assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(a.fallback_causes.iter().sum::<u64>(), a.fallbacks);
+        assert_eq!(a.no_context, 2);
+        assert_eq!(a.skip_causes, [0, 0, 1]);
         assert_eq!(FastPathStats::default().hit_rate(), 0.0);
     }
 

@@ -78,16 +78,18 @@ pub mod experiment;
 pub mod incremental;
 pub mod network;
 pub mod region;
+pub mod shard;
 pub mod snapshot;
 pub mod trace;
 
 pub use cac::{
     AdmissionOptions, AllocationPolicy, CacConfig, Decision, DecisionObserver, DecisionRecord,
-    NetworkState, RejectReason, TeardownReport,
+    EvalCacheCaps, NetworkState, RejectReason, TeardownReport,
 };
 pub use connection::{ConnectionId, ConnectionSpec, ConnectionSpecBuilder};
 pub use error::CacError;
 pub use incremental::FastPathStats;
 pub use network::{Component, HetNetwork, HostId, LinkId, RingId, TopologySummary};
+pub use shard::{Footprint, ShardCut, ShardedCut, ShardedState, Speculation};
 pub use snapshot::{ConnectionSnapshot, StateSnapshot, SNAPSHOT_VERSION};
 pub use trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};

@@ -9,7 +9,9 @@ use hetnet_fddi::ring::RingConfig;
 use hetnet_ifdev::IfDevConfig;
 use hetnet_traffic::units::{Bits, Seconds};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of one FDDI ring in the heterogeneous network.
 ///
@@ -169,12 +171,31 @@ pub struct HetNetwork {
     access_link: LinkConfig,
     host_buffer: Option<Bits>,
     device_buffer: Option<Bits>,
-    /// Minimum-hop backbone routes between every ordered ring pair,
-    /// indexed `ring_s * rings.len() + ring_r`. Precomputed once so the
-    /// delay evaluator's hot path neither re-runs BFS nor allocates;
-    /// `None` records an unreachable pair (surfaced lazily, like the
-    /// on-demand search used to).
-    routes: Vec<Option<Vec<LinkId>>>,
+    /// Minimum-hop backbone routes between ordered ring pairs,
+    /// materialized on first use and cached for the run's lifetime.
+    /// Eager all-pairs precompute is `O(rings²·hops)` memory — ~1 GB
+    /// by two thousand rings — while a churn run only ever touches the
+    /// pairs its schedule names, so the cache stays proportional to
+    /// the traffic pattern and thousands-of-rings grids fit easily.
+    /// `None` records an unreachable pair.
+    routes: RouteCache,
+}
+
+/// Thread-safe lazy route store. Each miss rebuilds the source's full
+/// shortest-path tree and reconstructs just the requested destination:
+/// identical link-id tie-breaking to the old eager precompute, so the
+/// cached route for a pair never depends on query order.
+type RouteMap = HashMap<(u32, u32), Option<Arc<[LinkId]>>>;
+
+#[derive(Debug, Default)]
+struct RouteCache(std::sync::RwLock<RouteMap>);
+
+impl Clone for RouteCache {
+    fn clone(&self) -> Self {
+        Self(std::sync::RwLock::new(
+            self.0.read().expect("route cache poisoned").clone(),
+        ))
+    }
 }
 
 impl HetNetwork {
@@ -218,14 +239,6 @@ impl HetNetwork {
         access_link
             .validate()
             .map_err(|m| CacError::InvalidNetwork(format!("access link: {m}")))?;
-        let n = rings.len();
-        let routes = (0..n * n)
-            .map(|i| {
-                backbone
-                    .route(SwitchId((i / n) as u32), SwitchId((i % n) as u32))
-                    .ok()
-            })
-            .collect();
         Ok(Self {
             rings,
             hosts_per_ring,
@@ -234,7 +247,7 @@ impl HetNetwork {
             access_link,
             host_buffer: None,
             device_buffer: None,
-            routes,
+            routes: RouteCache::default(),
         })
     }
 
@@ -284,6 +297,36 @@ impl HetNetwork {
             link,
         )
         .expect("paper topology is well-formed")
+    }
+
+    /// A scaled-out topology: `rings` standard FDDI rings of
+    /// `hosts_per_ring` hosts, each attached to its own switch of a
+    /// near-square [`Backbone::grid`], with the paper's interface
+    /// devices and OC-3 access links. This is the generator big-bench
+    /// and shard tests use instead of hand-building configs; ring `i`
+    /// attaches to grid switch `i` (row-major), so neighboring ring
+    /// indices are usually one backbone hop apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rings` or `hosts_per_ring` is zero.
+    #[must_use]
+    pub fn grid(rings: usize, hosts_per_ring: usize) -> Self {
+        assert!(
+            rings > 0 && hosts_per_ring > 0,
+            "grid needs rings and hosts"
+        );
+        let link = LinkConfig::oc3(Seconds::from_micros(5.0));
+        let cols = (1..).find(|c| c * c >= rings).expect("some square fits");
+        let rows = rings.div_ceil(cols);
+        Self::new(
+            vec![RingConfig::standard(); rings],
+            hosts_per_ring,
+            IfDevConfig::typical(),
+            Backbone::grid(cols, rows, SwitchConfig::typical(), link),
+            link,
+        )
+        .expect("grid topology is well-formed")
     }
 
     /// Ring configurations.
@@ -338,8 +381,9 @@ impl HetNetwork {
         SwitchId(ring.into().0 as u32)
     }
 
-    /// The precomputed minimum-hop backbone route from `ring_s`'s switch
-    /// to `ring_r`'s switch (empty when they share a switch).
+    /// The minimum-hop backbone route from `ring_s`'s switch to
+    /// `ring_r`'s switch (empty when they share a switch), materialized
+    /// on first use and cached.
     ///
     /// # Errors
     ///
@@ -349,7 +393,7 @@ impl HetNetwork {
         &self,
         ring_s: impl Into<RingId>,
         ring_r: impl Into<RingId>,
-    ) -> Result<&[LinkId], CacError> {
+    ) -> Result<Arc<[LinkId]>, CacError> {
         let (ring_s, ring_r) = (ring_s.into().0, ring_r.into().0);
         let n = self.rings.len();
         if ring_s >= n || ring_r >= n {
@@ -357,7 +401,33 @@ impl HetNetwork {
                 "ring pair ({ring_s}, {ring_r}) out of range for {n} rings"
             )));
         }
-        self.routes[ring_s * n + ring_r].as_deref().ok_or_else(|| {
+        let key = (ring_s as u32, ring_r as u32);
+        let cached = self
+            .routes
+            .0
+            .read()
+            .expect("route cache poisoned")
+            .get(&key)
+            .cloned();
+        let route = match cached {
+            Some(r) => r,
+            None => {
+                let from = self.switch_of(ring_s);
+                let prev = self.backbone.shortest_path_tree(from);
+                let route = self
+                    .backbone
+                    .reconstruct(from, self.switch_of(ring_r), &prev)
+                    .map(Arc::from);
+                self.routes
+                    .0
+                    .write()
+                    .expect("route cache poisoned")
+                    .entry(key)
+                    .or_insert(route)
+                    .clone()
+            }
+        };
+        route.ok_or_else(|| {
             CacError::from(hetnet_atm::AtmError::NoRoute {
                 from: self.switch_of(ring_s),
                 to: self.switch_of(ring_r),
@@ -420,7 +490,7 @@ mod tests {
     }
 
     #[test]
-    fn routes_are_precomputed() {
+    fn routes_materialize_lazily() {
         let net = HetNetwork::paper_topology();
         assert!(net.route_between(0, 0).unwrap().is_empty());
         // The paper backbone is fully meshed: one hop between any pair.
@@ -430,6 +500,24 @@ mod tests {
             net.route_between(0, 9),
             Err(CacError::InvalidRequest(_))
         ));
+    }
+
+    #[test]
+    fn grid_generator_scales() {
+        let net = HetNetwork::grid(10, 2);
+        assert_eq!(net.rings().len(), 10);
+        assert_eq!(net.hosts_per_ring(), 2);
+        // 10 rings fit a 4x3 grid: 12 switches, row-major attachment.
+        assert_eq!(net.backbone().switch_count(), 12);
+        assert_eq!(net.switch_of(7), SwitchId(7));
+        // Corner rings route at Manhattan distance across the grid.
+        assert_eq!(net.route_between(0, 1).unwrap().len(), 1);
+        assert_eq!(net.route_between(0, 9).unwrap().len(), 3);
+        assert!(net.route_between(3, 3).unwrap().is_empty());
+        // A single-ring grid degenerates cleanly.
+        let one = HetNetwork::grid(1, 1);
+        assert_eq!(one.backbone().switch_count(), 1);
+        assert!(one.route_between(0, 0).unwrap().is_empty());
     }
 
     #[test]

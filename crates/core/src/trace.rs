@@ -557,11 +557,13 @@ mod tests {
                 mux_misses: 2,
                 receive_hits: 3,
                 receive_misses: 1,
+                ..CacheStats::default()
             },
             fast_path: FastPathStats {
                 fast_accepts: 6,
                 fast_rejects: 2,
                 fallbacks: 1,
+                ..FastPathStats::default()
             },
         };
         let line = trace.to_json_line();

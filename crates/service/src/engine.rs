@@ -155,9 +155,9 @@ impl DecisionObserver for MetricsHook {
 /// A pending departure, min-ordered by `(time, connection id)`. Times
 /// are non-negative, so the IEEE-754 bit pattern orders like the value
 /// and gives the heap a total, deterministic order.
-type Departure = Reverse<(u64, u64)>;
+pub(crate) type Departure = Reverse<(u64, u64)>;
 
-fn departure(at: Seconds, id: ConnectionId) -> Departure {
+pub(crate) fn departure(at: Seconds, id: ConnectionId) -> Departure {
     Reverse((at.value().to_bits(), id.0))
 }
 
@@ -177,13 +177,13 @@ struct Parked {
 /// a checkpoint is small and fully deterministic.
 #[derive(Clone, Debug)]
 pub struct EngineCheckpoint {
-    state: StateSnapshot,
-    departures: Vec<(u64, u64)>,
-    live: Vec<(u64, usize, u64)>,
-    parked: Vec<(usize, u64)>,
-    open_faults: Vec<(Component, u64)>,
-    next_arrival: usize,
-    next_fault: usize,
+    pub(crate) state: StateSnapshot,
+    pub(crate) departures: Vec<(u64, u64)>,
+    pub(crate) live: Vec<(u64, usize, u64)>,
+    pub(crate) parked: Vec<(usize, u64)>,
+    pub(crate) open_faults: Vec<(Component, u64)>,
+    pub(crate) next_arrival: usize,
+    pub(crate) next_fault: usize,
 }
 
 impl EngineCheckpoint {
@@ -781,8 +781,12 @@ pub fn verify_recovery(
 }
 
 /// Bit-level equivalence of two audit entries, modulo the rejection
-/// diagnostic string (see [`verify_recovery`]).
-fn entries_equivalent(a: &AuditEntry, b: &AuditEntry) -> bool {
+/// diagnostic string (see [`verify_recovery`]): context fields and
+/// admissions compare bitwise, rejections by reason class. This is the
+/// certification predicate both recovery and the sharded engine's
+/// decision-equivalence checks use.
+#[must_use]
+pub fn entries_equivalent(a: &AuditEntry, b: &AuditEntry) -> bool {
     use crate::audit::AuditOutcome;
     let context_matches = a.seq == b.seq
         && a.at.value().to_bits() == b.at.value().to_bits()

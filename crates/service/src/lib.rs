@@ -43,13 +43,18 @@ pub mod audit;
 pub mod engine;
 pub mod metrics;
 pub mod report;
+pub mod sharded;
 
 pub use audit::{AuditEntry, AuditKind, AuditLog, AuditOutcome};
 pub use engine::{
-    run, verify_recovery, EngineCheckpoint, ServiceConfig, ServiceEngine, ServiceRun,
+    entries_equivalent, run, verify_recovery, EngineCheckpoint, ServiceConfig, ServiceEngine,
+    ServiceRun,
 };
 pub use metrics::{
     BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, FastPathGauges,
     LatencyHistogram, RecoveryMetrics, UtilizationSample, UtilizationSeries,
 };
 pub use report::{LatencySummary, ServiceReport, StageDelaySummary};
+pub use sharded::{
+    run_sharded, runs_equivalent, sharded_runs_equivalent, ShardedEngine, ShardedRun, ShardingStats,
+};

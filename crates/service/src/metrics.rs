@@ -259,6 +259,15 @@ pub struct FastPathGauges {
     pub fast_rejects: u64,
     /// Probes the ladder could not decide (dense evaluation ran).
     pub fallbacks: u64,
+    /// `fallbacks` split by cause, indexed per
+    /// [`hetnet_cac::incremental::FALLBACK_CAUSES`].
+    pub fallback_causes: [u64; hetnet_cac::incremental::FALLBACK_CAUSES.len()],
+    /// Decisions that ran densely without a ladder context at all
+    /// (their probes appear in no other counter).
+    pub no_context: u64,
+    /// `no_context` split by cause, indexed per
+    /// [`hetnet_cac::incremental::SKIP_CAUSES`].
+    pub skip_causes: [u64; hetnet_cac::incremental::SKIP_CAUSES.len()],
 }
 
 impl FastPathGauges {
@@ -267,6 +276,13 @@ impl FastPathGauges {
         self.fast_accepts += stats.fast_accepts;
         self.fast_rejects += stats.fast_rejects;
         self.fallbacks += stats.fallbacks;
+        for (a, b) in self.fallback_causes.iter_mut().zip(&stats.fallback_causes) {
+            *a += b;
+        }
+        self.no_context += stats.no_context;
+        for (a, b) in self.skip_causes.iter_mut().zip(&stats.skip_causes) {
+            *a += b;
+        }
     }
 
     /// Total probes the ladder classified.
@@ -599,6 +615,7 @@ mod tests {
             mux_misses: 2,
             receive_hits: 4,
             receive_misses: 1,
+            ..CacheStats::default()
         });
         g.absorb(CacheStats {
             stage1_hits: 1,
@@ -607,6 +624,7 @@ mod tests {
             mux_misses: 2,
             receive_hits: 0,
             receive_misses: 1,
+            ..CacheStats::default()
         });
         assert_eq!(g.evals(), 8);
         assert!((g.hit_rate() - 18.0 / 26.0).abs() < 1e-12);
@@ -616,18 +634,27 @@ mod tests {
     fn fast_path_gauges_accumulate() {
         let mut g = FastPathGauges::default();
         assert_eq!(g.hit_rate(), 0.0, "no probes yet");
-        g.absorb(FastPathStats {
+        let mut first = FastPathStats {
             fast_accepts: 6,
             fast_rejects: 2,
             fallbacks: 2,
-        });
-        g.absorb(FastPathStats {
-            fast_accepts: 0,
+            ..FastPathStats::default()
+        };
+        first.fallback_causes[0] = 2;
+        g.absorb(first);
+        let mut second = FastPathStats {
             fast_rejects: 1,
             fallbacks: 1,
-        });
+            ..FastPathStats::default()
+        };
+        second.fallback_causes[6] = 1;
+        second.record_skip("stage1-unavailable");
+        g.absorb(second);
         assert_eq!(g.probes(), 12);
         assert!((g.hit_rate() - 9.0 / 12.0).abs() < 1e-12);
+        assert_eq!(g.fallback_causes.iter().sum::<u64>(), g.fallbacks);
+        assert_eq!(g.no_context, 1);
+        assert_eq!(g.skip_causes, [1, 0, 0]);
     }
 
     #[test]

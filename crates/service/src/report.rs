@@ -194,15 +194,34 @@ impl ServiceReport {
         let _ = write!(
             out,
             "\"fast_path\":{{\"fast_accepts\":{},\"fast_rejects\":{},\
-             \"fallbacks\":{},\"hit_rate\":{:.6}}},\
-             \"peak_active\":{},\"final_active\":{},\"audit_len\":{},",
+             \"fallbacks\":{},\"hit_rate\":{:.6},\"no_context\":{},",
             f.fast_accepts,
             f.fast_rejects,
             f.fallbacks,
             f.hit_rate(),
-            self.peak_active,
-            self.final_active,
-            self.audit_len,
+            f.no_context,
+        );
+        out.push_str("\"fallback_causes\":{");
+        let causes = hetnet_cac::incremental::FALLBACK_CAUSES;
+        for (i, (name, n)) in causes.iter().zip(&f.fallback_causes).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{n}");
+        }
+        out.push_str("},\"skip_causes\":{");
+        let skips = hetnet_cac::incremental::SKIP_CAUSES;
+        for (i, (name, n)) in skips.iter().zip(&f.skip_causes).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{n}");
+        }
+        out.push_str("}},");
+        let _ = write!(
+            out,
+            "\"peak_active\":{},\"final_active\":{},\"audit_len\":{},",
+            self.peak_active, self.final_active, self.audit_len,
         );
         out.push_str("\"ring_utilization\":[");
         for (i, (mean, peak)) in self.ring_utilization.iter().enumerate() {
@@ -326,10 +345,18 @@ mod tests {
                 receive_hits: 1,
                 receive_misses: 1,
             },
-            fast_path: FastPathGauges {
-                fast_accepts: 6,
-                fast_rejects: 2,
-                fallbacks: 2,
+            fast_path: {
+                let mut f = FastPathGauges {
+                    fast_accepts: 6,
+                    fast_rejects: 2,
+                    fallbacks: 2,
+                    no_context: 1,
+                    ..FastPathGauges::default()
+                };
+                f.fallback_causes[0] = 1;
+                f.fallback_causes[6] = 1;
+                f.skip_causes[2] = 1;
+                f
             },
             blocking_probability: 0.5,
             requests_per_sec: 1000.0,
@@ -366,7 +393,10 @@ mod tests {
             "\"blocking_probability\":0.5",
             "\"p99_us\":",
             "\"evals\":3",
-            "\"fast_path\":{\"fast_accepts\":6,\"fast_rejects\":2,\"fallbacks\":2,\"hit_rate\":0.800000}",
+            "\"fast_path\":{\"fast_accepts\":6,\"fast_rejects\":2,\"fallbacks\":2,\"hit_rate\":0.800000,\"no_context\":1,",
+            "\"fallback_causes\":{\"mux-saturated\":1,\"mux-horizon\":0,\"mux-window\":0,\
+             \"receive-saturated\":0,\"receive-horizon\":0,\"receive-buffer\":0,\"ambiguous\":1}",
+            "\"skip_causes\":{\"stage1-unavailable\":0,\"stale-active-set\":0,\"non-feedforward\":1}",
             "\"ring_utilization\":[{\"mean\":0.25",
             "\"topology\":\"3 rings x 4 hosts, 3 switches, 6 links\"",
             "\"delay_attribution\":{\"traced\":1,\"rejects_with_binding\":1,",

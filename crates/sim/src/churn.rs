@@ -46,11 +46,40 @@ impl TopologyShape {
     }
 }
 
+/// How destination endpoints are drawn relative to the source ring.
+///
+/// [`TrafficPattern::Uniform`] reproduces the original draw sequence
+/// bit-for-bit; the other patterns exist for scaled-out topologies,
+/// where destination locality controls how widely backbone multiplexers
+/// couple otherwise-independent rings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Destination uniform over the hosts of every other ring (the
+    /// paper-style default).
+    Uniform,
+    /// Destination on the source ring's partner ring (`2i ↔ 2i+1`;
+    /// an odd trailing ring partners downward). Traffic decomposes
+    /// into disjoint ring pairs — the fully-parallel admission case.
+    Paired,
+    /// Destination uniform over the `k` rings on either side of the
+    /// source ring (wrapping), bounding mux coupling to a
+    /// neighborhood without fully decoupling it.
+    Local(usize),
+}
+
 /// Parameters of the churn workload.
 #[derive(Clone, Debug)]
 pub struct ChurnConfig {
     /// Shape of the network the stream targets.
     pub shape: TopologyShape,
+    /// Destination-locality pattern (see [`TrafficPattern`]).
+    pub pattern: TrafficPattern,
+    /// Per-ring relative source load; `None` is uniform. When set, the
+    /// length must equal `shape.rings` and the weights must be
+    /// non-negative with a positive sum — source rings are drawn from
+    /// this distribution (stations stay uniform within the ring), which
+    /// is how heterogeneous per-ring offered load is expressed.
+    pub source_weights: Option<Vec<f64>>,
     /// Poisson arrival rate λ (requests per second).
     pub arrival_rate: f64,
     /// Mean holding time `1/μ` of an admitted connection.
@@ -80,6 +109,8 @@ impl ChurnConfig {
     pub fn paper_style(arrival_rate: f64, requests: usize, seed: u64) -> Self {
         Self {
             shape: TopologyShape::paper(),
+            pattern: TrafficPattern::Uniform,
+            source_weights: None,
             arrival_rate,
             mean_holding: Seconds::new(100.0),
             max_holding: Seconds::new(300.0),
@@ -117,6 +148,40 @@ impl ChurnConfig {
         let rho = source.sustained_rate().value();
         let mu = 1.0 / mean_holding.value();
         utilization * links * mu * link_rate.value() / rho
+    }
+
+    /// The arrival rate λ that drives the *hottest ring* to a target
+    /// mean synchronous utilization `U`, under per-ring source weights
+    /// `weights` (relative load; pass all-equal for uniform). A ring
+    /// with load share `w` sources `λ·w` requests/s, each holding a
+    /// mean `alloc_fraction` of the ring's allocatable synchronous
+    /// capacity for `mean_holding` seconds, so
+    /// `U = λ · max_share · alloc_fraction · mean_holding` and the
+    /// returned rate inverts that. For uniform weights over `n` rings
+    /// this reduces to `λ = U · n / (alloc_fraction · mean_holding)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` or `alloc_fraction` is not strictly
+    /// positive, or `weights` is empty, negative, or sums to zero.
+    #[must_use]
+    pub fn rate_for_ring_utilization(
+        utilization: f64,
+        weights: &[f64],
+        alloc_fraction: f64,
+        mean_holding: Seconds,
+    ) -> f64 {
+        assert!(utilization > 0.0, "utilization must be positive");
+        assert!(alloc_fraction > 0.0, "allocation fraction must be positive");
+        assert!(!weights.is_empty(), "need at least one ring weight");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "ring weights must be non-negative"
+        );
+        let sum: f64 = weights.iter().sum();
+        assert!(sum > 0.0, "ring weights must not all be zero");
+        let max_share = weights.iter().cloned().fold(0.0_f64, f64::max) / sum;
+        utilization / (max_share * alloc_fraction * mean_holding.value())
     }
 }
 
@@ -178,23 +243,76 @@ pub fn generate(cfg: &ChurnConfig) -> ChurnSchedule {
         cfg.deadline.0.value() > 0.0 && cfg.deadline.0 <= cfg.deadline.1,
         "bad deadline range"
     );
+    if let Some(w) = &cfg.source_weights {
+        assert_eq!(w.len(), cfg.shape.rings, "one weight per ring");
+        assert!(
+            w.iter().all(|&x| x >= 0.0) && w.iter().sum::<f64>() > 0.0,
+            "weights must be non-negative with a positive sum"
+        );
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let hosts = cfg.shape.rings * cfg.shape.hosts_per_ring;
+    let hpr = cfg.shape.hosts_per_ring;
+    let hosts = cfg.shape.rings * hpr;
     let mut arrivals = Vec::with_capacity(cfg.requests);
     let mut now = 0.0_f64;
     for _ in 0..cfg.requests {
         now += poisson_interarrival(&mut rng, cfg.arrival_rate).value();
-        // Source: uniform over all hosts. Destination: uniform over the
-        // hosts of the other rings.
-        let s = pick_index(&mut rng, hosts).expect("hosts > 0");
-        let source = (s / cfg.shape.hosts_per_ring, s % cfg.shape.hosts_per_ring);
-        let others = hosts - cfg.shape.hosts_per_ring;
-        let mut d = pick_index(&mut rng, others).expect("two or more rings");
-        // Skip over the source ring's block of stations.
-        if d / cfg.shape.hosts_per_ring >= source.0 {
-            d += cfg.shape.hosts_per_ring;
-        }
-        let dest = (d / cfg.shape.hosts_per_ring, d % cfg.shape.hosts_per_ring);
+        // Source: uniform over all hosts — or ring-by-weight, station
+        // uniform, when heterogeneous load is configured. The unweighted
+        // draw is kept verbatim so legacy schedules stay bit-identical.
+        let source = match &cfg.source_weights {
+            None => {
+                let s = pick_index(&mut rng, hosts).expect("hosts > 0");
+                (s / hpr, s % hpr)
+            }
+            Some(w) => {
+                let total: f64 = w.iter().sum();
+                let mut x = rng.gen_range(0.0..total);
+                let mut ring = w.len() - 1;
+                for (i, &wi) in w.iter().enumerate() {
+                    if x < wi {
+                        ring = i;
+                        break;
+                    }
+                    x -= wi;
+                }
+                (ring, pick_index(&mut rng, hpr).expect("hosts > 0"))
+            }
+        };
+        // Destination: uniform over the pattern's candidate rings.
+        let dest = match cfg.pattern {
+            TrafficPattern::Uniform => {
+                let others = hosts - hpr;
+                let mut d = pick_index(&mut rng, others).expect("two or more rings");
+                // Skip over the source ring's block of stations.
+                if d / hpr >= source.0 {
+                    d += hpr;
+                }
+                (d / hpr, d % hpr)
+            }
+            TrafficPattern::Paired => {
+                let partner = match source.0 % 2 {
+                    0 if source.0 + 1 < cfg.shape.rings => source.0 + 1,
+                    _ => source.0 - 1,
+                };
+                (partner, pick_index(&mut rng, hpr).expect("hosts > 0"))
+            }
+            TrafficPattern::Local(k) => {
+                assert!(k >= 1, "Local pattern needs k >= 1");
+                let n = cfg.shape.rings;
+                let mut candidates = Vec::with_capacity(2 * k);
+                for d in 1..=k.min(n - 1) {
+                    for r in [(source.0 + d) % n, (source.0 + n - d) % n] {
+                        if r != source.0 && !candidates.contains(&r) {
+                            candidates.push(r);
+                        }
+                    }
+                }
+                let ring = candidates
+                    [pick_index(&mut rng, candidates.len()).expect("at least one neighbor")];
+                (ring, pick_index(&mut rng, hpr).expect("hosts > 0"))
+            }
+        };
         let (dlo, dhi) = (cfg.deadline.0.value(), cfg.deadline.1.value());
         let deadline = Seconds::new(rng.gen_range(dlo..=dhi));
         let holding = bounded_exponential(&mut rng, cfg.mean_holding, cfg.max_holding);
@@ -285,6 +403,68 @@ mod tests {
         );
         // U * L * mu * C / rho = 0.6 * 3 * 0.01 * 155e6 / 20e6
         assert!((rate - 0.6 * 3.0 * 0.01 * 155.0e6 / 20.0e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paired_pattern_decomposes_into_ring_pairs() {
+        let mut c = cfg();
+        c.shape = TopologyShape {
+            rings: 7,
+            hosts_per_ring: 3,
+        };
+        c.pattern = TrafficPattern::Paired;
+        c.requests = 500;
+        for a in &generate(&c).arrivals {
+            let (s, d) = (a.source.0, a.dest.0);
+            assert_ne!(s, d);
+            if s < 6 {
+                assert_eq!(d, s ^ 1, "source {s} left its pair");
+            } else {
+                assert_eq!(d, 5, "trailing odd ring partners downward");
+            }
+            assert!(a.source.1 < 3 && a.dest.1 < 3);
+        }
+    }
+
+    #[test]
+    fn local_pattern_stays_in_the_neighborhood() {
+        let mut c = cfg();
+        c.shape = TopologyShape {
+            rings: 10,
+            hosts_per_ring: 2,
+        };
+        c.pattern = TrafficPattern::Local(2);
+        c.requests = 500;
+        for a in &generate(&c).arrivals {
+            let (s, d) = (a.source.0 as isize, a.dest.0 as isize);
+            let dist = (s - d).rem_euclid(10).min((d - s).rem_euclid(10));
+            assert!((1..=2).contains(&dist), "{s} -> {d} outside Local(2)");
+        }
+    }
+
+    #[test]
+    fn source_weights_skew_the_offered_load() {
+        let mut c = cfg();
+        c.source_weights = Some(vec![8.0, 1.0, 1.0]);
+        c.requests = 2000;
+        let mut by_ring = [0usize; 3];
+        for a in &generate(&c).arrivals {
+            by_ring[a.source.0] += 1;
+        }
+        assert!(by_ring[0] > 1400, "hot ring underweighted: {by_ring:?}");
+        assert!(by_ring[1] > 50 && by_ring[2] > 50, "{by_ring:?}");
+    }
+
+    #[test]
+    fn ring_utilization_rate_formula() {
+        let holding = Seconds::new(100.0);
+        // Uniform weights over 4 rings reduce to U * n / (f * T).
+        let uniform = ChurnConfig::rate_for_ring_utilization(0.5, &[1.0; 4], 0.02, holding);
+        assert!((uniform - 0.5 * 4.0 / (0.02 * 100.0)).abs() < 1e-12);
+        // A hot ring holding half the load halves the safe rate.
+        let skewed =
+            ChurnConfig::rate_for_ring_utilization(0.5, &[3.0, 1.0, 1.0, 1.0], 0.02, holding);
+        assert!((skewed - 0.5 / (0.5 * 0.02 * 100.0)).abs() < 1e-12);
     }
 
     #[test]
