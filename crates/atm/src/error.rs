@@ -20,6 +20,10 @@ pub enum AtmError {
     },
     /// The underlying envelope analysis failed (e.g. an overloaded link).
     Analysis(TrafficError),
+    /// A scheduler analysis was asked about an empty flow set. An idle
+    /// port has no well-defined busy period; callers decide what "idle"
+    /// means (typically zero queueing) instead of the analysis guessing.
+    EmptyFlowSet,
 }
 
 impl fmt::Display for AtmError {
@@ -28,6 +32,9 @@ impl fmt::Display for AtmError {
             Self::InvalidConfig(msg) => write!(f, "invalid ATM configuration: {msg}"),
             Self::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
             Self::Analysis(e) => write!(f, "multiplexer analysis failed: {e}"),
+            Self::EmptyFlowSet => {
+                write!(f, "scheduler analysis requires a non-empty flow set")
+            }
         }
     }
 }

@@ -11,6 +11,8 @@
 //! * [`link`] — link rate/propagation parameters;
 //! * [`mux`] — worst-case FIFO multiplexer analysis (busy period, delay
 //!   bound, backlog, per-flow output envelopes);
+//! * [`sched`] — pluggable per-class scheduler analyses behind the
+//!   [`SchedulerAnalysis`] trait: FIFO (the paper), IWRR, and DRR;
 //! * [`affine`] — closed-form `(σ, ρ)` over-approximations of the mux
 //!   analysis used by the admission fast path;
 //! * [`switch`] — an output port = multiplexer + fixed switching latency
@@ -26,6 +28,7 @@ pub mod cell;
 pub mod error;
 pub mod link;
 pub mod mux;
+pub mod sched;
 pub mod switch;
 pub mod topology;
 
@@ -33,5 +36,6 @@ pub use affine::{fifo_bounds, AffineBound, FifoBounds};
 pub use error::AtmError;
 pub use link::LinkConfig;
 pub use mux::{analyze_mux, per_flow_output, MuxReport};
+pub use sched::{ClassedFlow, SchedReport, Scheduler, SchedulerAnalysis};
 pub use switch::{OutputPortReport, SwitchConfig};
 pub use topology::{Backbone, LinkId, SwitchId};

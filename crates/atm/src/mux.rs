@@ -42,11 +42,12 @@ pub struct MuxReport {
 /// Analyzes the FIFO multiplexing of `flows` (envelopes *in wire bits* at
 /// this port) onto `link`.
 ///
-/// An empty flow set yields all-zero bounds.
-///
 /// # Errors
 ///
-/// Returns [`AtmError::Analysis`] if the aggregate sustained rate reaches
+/// Returns [`AtmError::EmptyFlowSet`] for an empty flow set (an idle
+/// port has no busy period to analyze — callers that can see idle ports
+/// decide what that means instead of receiving silent all-zero bounds),
+/// [`AtmError::Analysis`] if the aggregate sustained rate reaches
 /// the link rate (unstable) or the busy-period search fails, and
 /// [`AtmError::InvalidConfig`] for an invalid link.
 pub fn analyze_mux(
@@ -56,11 +57,7 @@ pub fn analyze_mux(
 ) -> Result<MuxReport, AtmError> {
     link.validate().map_err(AtmError::InvalidConfig)?;
     if flows.is_empty() {
-        return Ok(MuxReport {
-            busy_period: Seconds::ZERO,
-            delay_bound: Seconds::ZERO,
-            backlog_bound: Bits::ZERO,
-        });
+        return Err(AtmError::EmptyFlowSet);
     }
     let aggregate = Aggregate::new(flows.to_vec());
     let service = RateLatencyService::constant_rate(link.rate);
@@ -108,11 +105,13 @@ mod tests {
     }
 
     #[test]
-    fn empty_port_is_idle() {
-        let r = analyze_mux(&[], &oc3(), &cfg()).unwrap();
-        assert_eq!(r.delay_bound, Seconds::ZERO);
-        assert_eq!(r.backlog_bound, Bits::ZERO);
-        assert_eq!(r.busy_period, Seconds::ZERO);
+    fn empty_port_is_an_explicit_error() {
+        // The old all-zero sentinel made "idle" indistinguishable from
+        // "instantaneous"; the contract now refuses empty flow sets.
+        assert!(matches!(
+            analyze_mux(&[], &oc3(), &cfg()),
+            Err(AtmError::EmptyFlowSet)
+        ));
     }
 
     #[test]

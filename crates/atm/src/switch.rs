@@ -58,6 +58,10 @@ pub struct OutputPortReport {
 /// every connection currently multiplexed onto `link`, and `switch` is
 /// the switch housing the port.
 ///
+/// An idle port (empty `flows`) pays only the fixed cost: the port
+/// decides what "idle" means rather than the multiplexer analysis
+/// (which refuses empty flow sets).
+///
 /// # Errors
 ///
 /// Propagates [`AtmError`] from the multiplexer analysis.
@@ -67,7 +71,16 @@ pub fn analyze_output_port(
     link: &LinkConfig,
     cfg: &AnalysisConfig,
 ) -> Result<OutputPortReport, AtmError> {
-    let mux = analyze_mux(flows, link, cfg)?;
+    link.validate().map_err(AtmError::InvalidConfig)?;
+    let mux = if flows.is_empty() {
+        MuxReport {
+            busy_period: Seconds::ZERO,
+            delay_bound: Seconds::ZERO,
+            backlog_bound: Bits::ZERO,
+        }
+    } else {
+        analyze_mux(flows, link, cfg)?
+    };
     let fixed = switch.fabric_latency + link.cell_time() + link.propagation;
     Ok(OutputPortReport {
         queueing: mux.delay_bound,

@@ -52,9 +52,14 @@ proptest! {
         );
     }
 
-    /// Adding a flow never shrinks the delay or backlog bound.
+    /// Adding a flow never shrinks the delay or backlog bound. (An
+    /// empty flow set is a contract error, so the comparison needs at
+    /// least two flows; a singleton trivially dominates an idle port.)
     #[test]
     fn mux_monotone_in_flow_set(flows in flows_strategy()) {
+        if flows.len() < 2 {
+            return;
+        }
         let link = LinkConfig::oc3(Seconds::ZERO);
         let cfg = AnalysisConfig::default();
         let all = analyze_mux(&flows, &link, &cfg).unwrap();

@@ -70,6 +70,7 @@ fn bench_path_evaluation(c: &mut Criterion) {
         envelope: Arc::new(paper_source()),
         h_s: SyncBandwidth::new(Seconds::from_millis(2.4)),
         h_r: SyncBandwidth::new(Seconds::from_millis(2.4)),
+        class: 0,
     };
     let one = vec![mk(0, 0)];
     let three = vec![mk(0, 0), mk(1, 0), mk(2, 0)];

@@ -35,6 +35,7 @@ fn spec(src: (usize, usize), dst: (usize, usize)) -> ConnectionSpec {
         },
         envelope: paper_source() as _,
         deadline: Seconds::from_millis(100.0),
+        class: 0,
     }
 }
 

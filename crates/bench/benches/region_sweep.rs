@@ -43,6 +43,7 @@ fn background(k: usize) -> PathInput {
         envelope: envelope(0.9 + 0.1 * k as f64, 5),
         h_s: h,
         h_r: h,
+        class: 0,
     }
 }
 
@@ -58,6 +59,7 @@ fn candidate() -> ConnectionSpec {
         },
         envelope: envelope(1.8, 6),
         deadline: Seconds::from_millis(80.0),
+        class: 0,
     }
 }
 

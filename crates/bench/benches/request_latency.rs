@@ -45,6 +45,7 @@ fn spec(src: (usize, usize), dst: (usize, usize), deadline_ms: f64) -> Connectio
         },
         envelope: paper_source() as _,
         deadline: Seconds::from_millis(deadline_ms),
+        class: 0,
     }
 }
 
@@ -128,6 +129,7 @@ fn bench_request_latency_p99(c: &mut Criterion) {
             },
             envelope: burst_envelope(0.9 + 0.1 * k as f64, 5) as _,
             deadline: Seconds::from_millis(100.0),
+            class: 0,
         };
         state.admit(bg, &opts).expect("background admit");
     }
@@ -142,6 +144,7 @@ fn bench_request_latency_p99(c: &mut Criterion) {
         },
         envelope: burst_envelope(1.2, 5) as _,
         deadline: Seconds::from_millis(120.0),
+        class: 0,
     };
     let cycle =
         |state: &mut NetworkState| match state.admit(admit_spec.clone(), &opts).expect("admit") {

@@ -85,6 +85,7 @@ fn run_policy(utilization: f64, policy: Policy, seed: u64) -> f64 {
             dest,
             envelope: Arc::new(workload.source),
             deadline,
+            class: 0,
         };
         requests += 1;
         if let Decision::Admitted { id, .. } =

@@ -126,6 +126,7 @@ fn quick_gates(bench: &Json) -> Result<(), String> {
 
     speedup_gate(bench)?;
     decision_latency_gates(bench)?;
+    scheduler_compare_gates(bench)?;
     shard_scale_gates(bench, false)?;
 
     // Decision-trace attribution: every decision of the churn run must
@@ -179,6 +180,48 @@ fn quick_gates(bench: &Json) -> Result<(), String> {
 /// over the measured value, not a precision target — the precision
 /// target lives in [`decision_latency_gates`].
 const CHURN_P99_CEILING_US: f64 = 600_000.0;
+
+/// Scheduler-comparison gates, shared by both modes: all three
+/// disciplines present, each arm carrying a `true` cell-level DES
+/// soundness certificate and real admissions, the explicit-FIFO arm
+/// decision-identical to the default engine, and the FIFO arm's p99
+/// held to the same regression ceiling as the class-blind churn run
+/// (the scheduler indirection must not tax the baseline).
+fn scheduler_compare_gates(bench: &Json) -> Result<(), String> {
+    if bench.at("scheduler_compare").is_none() {
+        return Err("no scheduler_compare section; regenerate the benchmark JSON".into());
+    }
+    for arm in ["fifo", "iwrr", "drr"] {
+        if bench.at(&format!("scheduler_compare.{arm}")).is_none() {
+            return Err(format!("scheduler_compare is missing the {arm} arm"));
+        }
+        if !flag(bench, &format!("scheduler_compare.{arm}.des_validated"))? {
+            return Err(format!(
+                "{arm}: cell-level DES observed a delay above the analytic bound"
+            ));
+        }
+        let admitted = num(bench, &format!("scheduler_compare.{arm}.admitted"))?;
+        if admitted <= 0.0 {
+            return Err(format!("scheduler_compare {arm} arm admitted nothing"));
+        }
+    }
+    if !flag(bench, "scheduler_compare.fifo.matches_default_engine")? {
+        return Err("explicit FIFO decisions diverged from the default engine".into());
+    }
+    let p99 = num(bench, "scheduler_compare.fifo.p99_us")?;
+    if p99 >= CHURN_P99_CEILING_US {
+        return Err(format!(
+            "scheduler_compare FIFO p99 {p99:.1} us breaches the \
+             {CHURN_P99_CEILING_US:.0} us ceiling; the scheduler indirection is \
+             taxing the baseline"
+        ));
+    }
+    println!(
+        "ok: scheduler compare fifo/iwrr/drr all DES-validated, fifo matches the \
+         default engine, fifo p99 {p99:.1} us"
+    );
+    Ok(())
+}
 
 /// Churn-workload p99 regression ceiling, shared by both modes.
 fn churn_latency_gate(bench: &Json) -> Result<f64, String> {
@@ -397,6 +440,7 @@ fn committed_gates(bench: &Json) -> Result<(), String> {
     println!("ok: churn p99 {p99:.1} us under the {CHURN_P99_CEILING_US:.0} us ceiling");
     speedup_gate(bench)?;
     decision_latency_gates(bench)?;
+    scheduler_compare_gates(bench)?;
     shard_scale_gates(bench, true)?;
     fault_gates(bench)
 }

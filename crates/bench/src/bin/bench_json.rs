@@ -7,8 +7,10 @@
 //! through the service layer and reports throughput, decision-latency
 //! percentiles, and blocking probability. Everything lands in one
 //! JSON file (cells/sec, evals per cell, speedups, cache hit rates,
-//! a `churn` section, and an `obs` section measuring the decision-
-//! tracing layer's cost with tracing disabled and enabled).
+//! a `churn` section, a `scheduler_compare` section re-running the
+//! churn workload under FIFO/IWRR/DRR with a cell-level DES soundness
+//! certificate per discipline, and an `obs` section measuring the
+//! decision-tracing layer's cost with tracing disabled and enabled).
 //!
 //! ```text
 //! cargo run --release -p hetnet-bench --bin bench_json            # full run -> BENCH_region.json
@@ -16,18 +18,23 @@
 //!     --quick --out target/BENCH_region.quick.json                # CI smoke run
 //! ```
 
+use hetnet_atm::topology::Backbone;
+use hetnet_atm::{LinkConfig, SwitchConfig};
 use hetnet_cac::cac::{AdmissionOptions, CacConfig, Decision, NetworkState};
 use hetnet_cac::connection::ConnectionSpec;
 use hetnet_cac::delay::{CacheStats, PathInput};
-use hetnet_cac::network::{HetNetwork, HostId};
+use hetnet_cac::network::{HetNetwork, HostId, Scheduler};
 use hetnet_cac::region::{sample_region_frontier, sample_region_threads, RegionSample};
-use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_fddi::ring::{RingConfig, SyncBandwidth};
+use hetnet_ifdev::IfDevConfig;
 use hetnet_service::{
     entries_equivalent, run as run_service, run_sharded, sharded_runs_equivalent, verify_recovery,
     FastPathGauges, LatencyHistogram, ServiceConfig, ServiceEngine,
 };
 use hetnet_sim::churn::{ChurnConfig, TopologyShape, TrafficPattern};
 use hetnet_sim::fault::FaultConfig;
+use hetnet_sim::netsim::{run as run_netsim, E2eScenario, SimConnection};
+use hetnet_sim::source::GreedyDualPeriodic;
 use hetnet_traffic::envelope::SharedEnvelope;
 use hetnet_traffic::models::DualPeriodicEnvelope;
 use hetnet_traffic::units::{Bits, BitsPerSec, Seconds};
@@ -61,6 +68,7 @@ fn background(k: usize) -> PathInput {
         envelope: envelope(0.9 + 0.1 * k as f64, 5),
         h_s: h,
         h_r: h,
+        class: 0,
     }
 }
 
@@ -113,6 +121,104 @@ fn json_measured(m: &Measured, grid: usize, threads: usize) -> String {
     )
 }
 
+/// Admits a small paper-style mix under `scheduler` and replays the
+/// admitted configuration in the cell-level simulator with greedy
+/// (envelope-maximal) sources: returns whether every observed delay
+/// stayed at or below its analytic bound. This is the soundness
+/// certificate the bench gate pins for every discipline in the
+/// `scheduler_compare` section.
+fn scheduler_des_validated(scheduler: &Scheduler, quick: bool) -> bool {
+    let model = DualPeriodicEnvelope::new(
+        Bits::from_mbits(2.0),
+        Seconds::from_millis(100.0),
+        Bits::from_mbits(0.25),
+        Seconds::from_millis(10.0),
+        BitsPerSec::from_mbps(100.0),
+    )
+    .expect("valid paper-style source");
+    let net = HetNetwork::paper_topology().with_scheduler(scheduler.clone());
+    let mut state = NetworkState::new(net);
+    let opts = AdmissionOptions::beta_search(CacConfig::default());
+    let classes = scheduler.weight_map().map_or(1, <[u32]>::len);
+    let pairs = [
+        ((0, 0), (1, 0)),
+        ((1, 0), (2, 0)),
+        ((2, 0), (0, 0)),
+        ((0, 1), (2, 1)),
+    ];
+    let mut admitted = Vec::new();
+    for (i, (src, dst)) in pairs.iter().enumerate() {
+        let class = (i % classes) as u8;
+        let spec = ConnectionSpec {
+            source: HostId {
+                ring: src.0,
+                station: src.1,
+            },
+            dest: HostId {
+                ring: dst.0,
+                station: dst.1,
+            },
+            envelope: Arc::new(model),
+            deadline: Seconds::from_millis(140.0),
+            class,
+        };
+        if let Decision::Admitted { id, h_s, h_r, .. } =
+            state.admit(spec, &opts).expect("well-formed request")
+        {
+            admitted.push((id.0, *src, dst.0, h_s, h_r, class));
+        }
+    }
+    if admitted.len() < 2 {
+        return false;
+    }
+    let Ok(bounds) = state.current_delays(&opts.cac) else {
+        return false;
+    };
+    let link = LinkConfig::oc3(Seconds::from_micros(5.0));
+    let phases: &[f64] = if quick { &[0.0] } else { &[0.0, 1.7] };
+    for &phase_step_ms in phases {
+        let scenario = E2eScenario {
+            rings: vec![RingConfig::standard(); 3],
+            hosts_per_ring: 4,
+            ifdev: IfDevConfig::typical(),
+            backbone: Backbone::fully_meshed(3, SwitchConfig::typical(), link),
+            access_link: link,
+            connections: admitted
+                .iter()
+                .enumerate()
+                .map(|(k, (id, src, dest_ring, h_s, h_r, class))| SimConnection {
+                    id: *id,
+                    source_ring: src.0,
+                    source_station: src.1,
+                    dest_ring: *dest_ring,
+                    h_s: *h_s,
+                    h_r: *h_r,
+                    source: GreedyDualPeriodic::new(model, Bits::from_kbits(8.0)),
+                    phase: Seconds::from_millis(k as f64 * phase_step_ms),
+                    class: *class,
+                })
+                .collect(),
+            duration: Seconds::from_millis(if quick { 250.0 } else { 400.0 }),
+            drain: Seconds::from_millis(300.0),
+            scheduler: scheduler.clone(),
+        };
+        let report = run_netsim(&scenario);
+        for obs in &report.connections {
+            let Some(bound) = bounds
+                .iter()
+                .find(|(cid, _)| cid.0 == obs.id)
+                .map(|(_, d)| *d)
+            else {
+                return false;
+            };
+            if obs.chunks_sent != obs.chunks_delivered || obs.max_delay > bound {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 fn main() {
     let mut quick = false;
     let mut out = String::from("BENCH_region.json");
@@ -138,6 +244,7 @@ fn main() {
         },
         envelope: envelope(1.8, 6),
         deadline: Seconds::from_millis(80.0),
+        class: 0,
     };
     let active: Vec<PathInput> = (0..8).map(background).collect();
     let avail = Seconds::from_millis(7.2);
@@ -208,6 +315,75 @@ fn main() {
         churn.counters.rejected(),
     );
 
+    // Scheduler comparison campaign: the identical fixed-seed churn
+    // workload re-run under each backbone discipline, plus a greedy
+    // cell-level DES replay per discipline certifying the analytic
+    // bounds stay sound. FIFO is the baseline — its decisions must
+    // match the plain churn run above exactly (the scheduler plumbing
+    // is the identity for FIFO) — while the weighted disciplines trade
+    // FIFO's aggregate coupling for a per-class rate share plus a
+    // round-robin latency term, which can move admission probability
+    // in either direction depending on the class mix.
+    let sched_arms: [(&str, Scheduler, u8); 3] = [
+        ("fifo", Scheduler::Fifo, 1),
+        (
+            "iwrr",
+            Scheduler::Iwrr {
+                weights: vec![2, 1],
+            },
+            2,
+        ),
+        ("drr", Scheduler::Drr { quanta: vec![3, 2] }, 2),
+    ];
+    eprintln!("scheduler compare: {churn_requests} requests at 0.1/s (seed 42) per discipline");
+    let mut sched_jsons = Vec::new();
+    for (name, scheduler, classes) in sched_arms {
+        let mut arm_cfg = ServiceConfig::paper_style(0.1, churn_requests, 42);
+        arm_cfg.options = AdmissionOptions::beta_search(CacConfig::fast());
+        let arm_cfg = arm_cfg.with_scheduler(scheduler.clone(), classes);
+        let arm = run_service(HetNetwork::paper_topology(), &arm_cfg)
+            .expect("scheduler arm run is well-formed")
+            .report;
+        let des_validated = scheduler_des_validated(&scheduler, quick);
+        let p99_us = arm.latency.p99.value() * 1e6;
+        let admission_probability = arm.counters.admitted as f64 / arm.requests as f64;
+        eprintln!(
+            "  {name:>4}: admission probability {admission_probability:.3} \
+             ({} admitted / {} rejected), p99 {p99_us:.1} us, DES validated: {des_validated}",
+            arm.counters.admitted,
+            arm.counters.rejected(),
+        );
+        let fifo_cert = if name == "fifo" {
+            let matches = arm.counters.admitted == churn.counters.admitted
+                && arm.counters.rejected() == churn.counters.rejected();
+            format!(", \"matches_default_engine\": {matches}")
+        } else {
+            String::new()
+        };
+        sched_jsons.push(format!(
+            concat!(
+                "\"{}\": {{\"scheduler\": \"{}\", \"classes\": {}, \"requests\": {}, ",
+                "\"admitted\": {}, \"rejected\": {}, \"admission_probability\": {:.6}, ",
+                "\"p50_us\": {:.3}, \"p99_us\": {:.3}, \"des_validated\": {}{}}}"
+            ),
+            name,
+            scheduler,
+            classes,
+            arm.requests,
+            arm.counters.admitted,
+            arm.counters.rejected(),
+            admission_probability,
+            arm.latency.p50.value() * 1e6,
+            p99_us,
+            des_validated,
+            fifo_cert,
+        ));
+    }
+    let scheduler_compare_json = format!(
+        "{{\"requests\": {churn_requests}, {}}}",
+        sched_jsons.join(", ")
+    );
+
     // Single-decision latency in steady state: the paper's operating
     // point is a controller answering one request at a time against a
     // loaded network, so this measures exactly that — a warm
@@ -236,6 +412,7 @@ fn main() {
             },
             envelope: envelope(0.9 + 0.1 * k as f64, 5),
             deadline: Seconds::from_millis(100.0),
+            class: 0,
         };
         assert!(
             matches!(
@@ -256,6 +433,7 @@ fn main() {
         },
         envelope: envelope(1.2, 5),
         deadline: Seconds::from_millis(120.0),
+        class: 0,
     };
     let reject_spec = ConnectionSpec {
         source: HostId {
@@ -268,6 +446,7 @@ fn main() {
         },
         envelope: envelope(1.2, 5),
         deadline: Seconds::from_millis(1.0),
+        class: 0,
     };
     // Untimed warmup settles the caches and the incremental state.
     for i in 0..16 {
@@ -633,6 +812,7 @@ fn main() {
             "  \"frontier_fell_back\": {},\n",
             "  \"maps_identical\": {},\n",
             "  \"churn\": {},\n",
+            "  \"scheduler_compare\": {},\n",
             "  \"decision_latency\": {},\n",
             "  \"obs\": {},\n",
             "  \"shard_scale\": {},\n",
@@ -653,6 +833,7 @@ fn main() {
         fro.sample.fell_back,
         identical,
         churn.to_json(),
+        scheduler_compare_json,
         decision_latency_json,
         obs_json,
         shard_scale_json,

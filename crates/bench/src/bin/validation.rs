@@ -48,6 +48,7 @@ fn main() {
                 },
                 envelope: Arc::new(model),
                 deadline: Seconds::from_millis(120.0),
+                class: 0,
             };
             match state.admit(spec, &opts).expect("well-formed request") {
                 Decision::Admitted {
@@ -100,10 +101,12 @@ fn main() {
                     h_r: *h_r,
                     source: GreedyDualPeriodic::new(model, Bits::from_kbits(8.0)),
                     phase: Seconds::from_millis(k as f64 * phase_step_ms),
+                    class: 0,
                 })
                 .collect(),
             duration: Seconds::from_millis(600.0),
             drain: Seconds::from_millis(300.0),
+            scheduler: Default::default(),
         };
         let report = run(&scenario);
         for obs in &report.connections {

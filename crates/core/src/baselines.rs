@@ -116,6 +116,7 @@ mod tests {
                 .unwrap(),
             ),
             deadline: Seconds::from_millis(100.0),
+            class: 0,
         }
     }
 

@@ -664,6 +664,7 @@ impl NetworkState {
                 envelope: Arc::clone(&c.spec.envelope),
                 h_s: c.h_s,
                 h_r: c.h_r,
+                class: c.spec.class,
             })
             .collect();
         if let Some((spec, hs, hr)) = candidate {
@@ -673,6 +674,7 @@ impl NetworkState {
                 envelope: Arc::clone(&spec.envelope),
                 h_s: hs,
                 h_r: hr,
+                class: spec.class,
             });
         }
         v
@@ -789,6 +791,7 @@ impl NetworkState {
             seq,
             at: self.clock,
             admitted: decision.is_admitted(),
+            scheduler: self.net.scheduler().to_string(),
             allocation: p.allocation,
             connections: p.connections,
             binding: p.binding,
@@ -826,32 +829,6 @@ impl NetworkState {
             }
         }
         Ok(decision)
-    }
-
-    /// Runs the β-CAC on a request (legacy entry point).
-    ///
-    /// # Errors
-    ///
-    /// As for [`NetworkState::admit`].
-    #[deprecated(note = "use `NetworkState::admit` with `AdmissionOptions::beta_search`")]
-    pub fn request(&mut self, spec: ConnectionSpec, cfg: &CacConfig) -> Result<Decision, CacError> {
-        self.admit(spec, &AdmissionOptions::beta_search(cfg.clone()))
-    }
-
-    /// Admits at a fixed allocation (legacy entry point).
-    ///
-    /// # Errors
-    ///
-    /// As for [`NetworkState::admit`].
-    #[deprecated(note = "use `NetworkState::admit` with `AdmissionOptions::fixed`")]
-    pub fn request_fixed(
-        &mut self,
-        spec: ConnectionSpec,
-        h_s: SyncBandwidth,
-        h_r: SyncBandwidth,
-        cfg: &CacConfig,
-    ) -> Result<Decision, CacError> {
-        self.admit(spec, &AdmissionOptions::fixed(cfg.clone(), h_s, h_r))
     }
 
     /// The CAC of §5.3: β-search along the allocation line.
@@ -935,6 +912,7 @@ impl NetworkState {
                 envelope: Arc::clone(&spec.envelope),
                 h_s: hs,
                 h_r: hr,
+                class: spec.class,
             });
             v
         };
@@ -1151,6 +1129,7 @@ impl NetworkState {
                         envelope: Arc::clone(&spec.envelope),
                         h_s: hs,
                         h_r: hr,
+                        class: spec.class,
                     };
                     if let Some(decided) = ctx.probe(ev, &cand, spec.deadline, &mut fast_stats)? {
                         return Ok(decided);
@@ -1692,6 +1671,7 @@ impl NetworkState {
                     dest: c.spec.dest,
                     envelope: Arc::clone(&c.spec.envelope),
                     deadline: c.spec.deadline,
+                    class: c.spec.class,
                     h_s: c.h_s,
                     h_r: c.h_r,
                     delay_bound: c.delay_bound,
@@ -1939,6 +1919,7 @@ mod tests {
                 .unwrap(),
             ),
             deadline: Seconds::from_millis(deadline_ms),
+            class: 0,
         }
     }
 
@@ -2513,53 +2494,6 @@ mod tests {
         assert_eq!(seen.len(), 2);
         assert_eq!(seen[0], (0, false, None));
         assert_eq!(seen[1], (1, true, Some("deadline".into())));
-    }
-
-    /// The deprecated wrappers must stay thin: bit-identical decisions
-    /// to the unified entry point they forward to.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_request_wrappers_match_admit() {
-        let cfg = CacConfig::fast();
-        let mut via_wrapper = state();
-        let mut via_admit = state();
-        let sp = spec((0, 0), (1, 0), 100.0);
-        let a = via_wrapper.request(sp.clone(), &cfg).unwrap();
-        let b = via_admit.admit(sp, &cfg.clone().into()).unwrap();
-        match (a, b) {
-            (
-                Decision::Admitted {
-                    h_s: ha,
-                    h_r: ra,
-                    delay_bound: da,
-                    ..
-                },
-                Decision::Admitted {
-                    h_s: hb,
-                    h_r: rb,
-                    delay_bound: db,
-                    ..
-                },
-            ) => {
-                assert_eq!(
-                    ha.per_rotation().value().to_bits(),
-                    hb.per_rotation().value().to_bits()
-                );
-                assert_eq!(
-                    ra.per_rotation().value().to_bits(),
-                    rb.per_rotation().value().to_bits()
-                );
-                assert_eq!(da.value().to_bits(), db.value().to_bits());
-            }
-            (a, b) => panic!("wrapper diverged: {a:?} vs {b:?}"),
-        }
-        let h = SyncBandwidth::new(Seconds::from_millis(2.0));
-        let sp2 = spec((1, 0), (2, 0), 100.0);
-        let a = via_wrapper.request_fixed(sp2.clone(), h, h, &cfg).unwrap();
-        let b = via_admit
-            .admit(sp2, &AdmissionOptions::fixed(cfg.clone(), h, h))
-            .unwrap();
-        assert_eq!(a.is_admitted(), b.is_admitted());
     }
 
     #[test]

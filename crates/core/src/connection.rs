@@ -33,6 +33,10 @@ pub struct ConnectionSpec {
     pub envelope: SharedEnvelope,
     /// QoS requirement: worst-case end-to-end delay bound `D_{i,j}`.
     pub deadline: Seconds,
+    /// Traffic class the backbone scheduler files this connection under.
+    /// FIFO (the paper's discipline) ignores it; IWRR/DRR use it to index
+    /// their weight/quantum maps. `0` is the conventional default class.
+    pub class: u8,
 }
 
 impl ConnectionSpec {
@@ -67,6 +71,7 @@ pub struct ConnectionSpecBuilder {
     dest: Option<HostId>,
     envelope: Option<SharedEnvelope>,
     deadline: Option<Seconds>,
+    class: u8,
 }
 
 impl ConnectionSpecBuilder {
@@ -98,6 +103,13 @@ impl ConnectionSpecBuilder {
         self
     }
 
+    /// The backbone scheduler traffic class (optional; defaults to `0`).
+    #[must_use]
+    pub fn class(mut self, class: u8) -> Self {
+        self.class = class;
+        self
+    }
+
     /// Assembles the spec.
     ///
     /// # Errors
@@ -113,6 +125,7 @@ impl ConnectionSpecBuilder {
             dest: self.dest.ok_or_else(|| missing("dest"))?,
             envelope: self.envelope.ok_or_else(|| missing("envelope"))?,
             deadline: self.deadline.ok_or_else(|| missing("deadline"))?,
+            class: self.class,
         })
     }
 }
@@ -160,10 +173,12 @@ mod tests {
             },
             envelope: Arc::new(ConstantRateEnvelope::new(BitsPerSec::from_mbps(1.0))),
             deadline: Seconds::from_millis(50.0),
+            class: 0,
         };
         assert_eq!(spec.source.ring, 0);
         assert_eq!(spec.dest.ring, 2);
         assert_eq!(spec.deadline.as_millis(), 50.0);
+        assert_eq!(spec.class, 0);
     }
 
     #[test]
@@ -177,6 +192,7 @@ mod tests {
             })
             .envelope(Arc::clone(&env))
             .deadline(Seconds::from_millis(40.0))
+            .class(2)
             .build()
             .unwrap();
         assert_eq!(
@@ -194,6 +210,7 @@ mod tests {
             }
         );
         assert_eq!(spec.deadline.as_millis(), 40.0);
+        assert_eq!(spec.class, 2);
     }
 
     #[test]

@@ -58,7 +58,7 @@
 use crate::error::CacError;
 use crate::network::{HetNetwork, HostId};
 use hetnet_atm::affine::AffineBound;
-use hetnet_atm::mux::{analyze_mux, per_flow_output, MuxReport};
+use hetnet_atm::sched::{ClassedFlow, SchedReport, Scheduler, SchedulerAnalysis};
 use hetnet_atm::{AtmError, LinkConfig};
 use hetnet_fddi::mac::{analyze_fddi_mac, DelayOutcome};
 use hetnet_fddi::ring::SyncBandwidth;
@@ -125,6 +125,8 @@ pub struct PathInput {
     pub h_s: SyncBandwidth,
     /// Synchronous allocation on the destination ring.
     pub h_r: SyncBandwidth,
+    /// Traffic class at the backbone scheduler (ignored under FIFO).
+    pub class: u8,
 }
 
 /// Per-connection worst-case delay decomposition (eq. 7).
@@ -301,10 +303,16 @@ struct Stage1Entry {
 /// reused across evaluations.
 type SigId = u32;
 
+/// One stage-2 cache-key element: a member flow's interned signature
+/// plus the traffic class it presents to the port's scheduler (the
+/// per-class disciplines produce different bounds for different class
+/// assignments of the very same envelopes).
+type MemberKey = (SigId, u8);
+
 /// A cached stage-2 outcome.
 #[derive(Clone, Debug)]
 enum MuxCached {
-    Ready(MuxReport),
+    Ready(SchedReport),
     Infeasible(String),
 }
 
@@ -339,6 +347,11 @@ struct ScreenKey {
     frame_bits: u64,
     h_bits: u64,
     ring: usize,
+    /// Traffic class: per-class schedulers give different hop delays to
+    /// different classes of the same wire flow, so entries must not be
+    /// shared across classes (under FIFO every path carries class 0 or
+    /// its own class consistently, so the key is simply finer).
+    class: u8,
 }
 
 /// A receive analysis recorded together with the per-hop delay bounds
@@ -365,16 +378,21 @@ struct CfgFingerprint {
     stability_margin: u64,
     flatten_horizon: u64,
     flatten_subdivisions: usize,
+    /// Digest of the network's backbone scheduler (discipline + weight
+    /// map): a cache filled under one discipline must never serve an
+    /// evaluator analyzing under another.
+    scheduler: u64,
 }
 
 impl CfgFingerprint {
-    fn of(cfg: &EvalConfig) -> Self {
+    fn of(cfg: &EvalConfig, scheduler: &Scheduler) -> Self {
         Self {
             guard_subdivisions: cfg.analysis.guard_subdivisions,
             max_horizon: cfg.analysis.max_horizon.value().to_bits(),
             stability_margin: cfg.analysis.stability_margin.to_bits(),
             flatten_horizon: cfg.flatten_horizon.value().to_bits(),
             flatten_subdivisions: cfg.flatten_subdivisions,
+            scheduler: scheduler.fingerprint(),
         }
     }
 }
@@ -393,10 +411,11 @@ impl CfgFingerprint {
 pub struct EvalCache {
     stage1: HashMap<Stage1Key, Stage1Entry>,
     /// Stage-2 analyses: per port, keyed by the member flows' interned
-    /// signatures *in member order* (order matters — the aggregate sums
-    /// envelopes in member order, and floating-point addition is not
-    /// associative).
-    mux: HashMap<MuxKey, HashMap<Box<[SigId]>, MuxCached>>,
+    /// `(signature, class)` pairs *in member order* (order matters — the
+    /// aggregates sum envelopes in member order, and floating-point
+    /// addition is not associative; class matters because the per-class
+    /// schedulers partition the members by it).
+    mux: HashMap<MuxKey, HashMap<Box<[MemberKey]>, MuxCached>>,
     /// Wire-envelope identity (pinned `Arc` address) → root signature.
     root_sigs: HashMap<usize, SigId>,
     /// `(parent signature, delay bits, link-rate bits)` → signature of
@@ -465,20 +484,22 @@ impl EvalCache {
         id
     }
 
-    /// The signature of `parent`'s flow after traversing a mux with the
-    /// given report on `link`; interns (and builds, exactly once) the
-    /// per-flow output envelope.
-    fn chained_sig(&mut self, parent: SigId, report: &MuxReport, link: &LinkConfig) -> SigId {
-        let key = (
-            parent,
-            report.delay_bound.value().to_bits(),
-            link.rate.value().to_bits(),
-        );
+    /// The signature of `parent`'s flow after traversing a port that
+    /// bounds its class's queueing by `delay` on `link`; interns (and
+    /// builds, exactly once) the scheduler's per-flow output envelope.
+    fn chained_sig(
+        &mut self,
+        sched: &Scheduler,
+        parent: SigId,
+        delay: Seconds,
+        link: &LinkConfig,
+    ) -> SigId {
+        let key = (parent, delay.value().to_bits(), link.rate.value().to_bits());
         if let Some(&id) = self.chained_sigs.get(&key) {
             return id;
         }
         let id = SigId::try_from(self.sig_envs.len()).expect("interner overflow");
-        let env = per_flow_output(Arc::clone(&self.sig_envs[parent as usize]), report, link);
+        let env = sched.flow_output(Arc::clone(&self.sig_envs[parent as usize]), delay, link);
         self.chained_sigs.insert(key, id);
         self.sig_envs.push(env);
         id
@@ -612,13 +633,16 @@ struct Scratch {
     /// Worklist of group indices for the dependency-order loop.
     unresolved: Vec<u32>,
     remaining: Vec<u32>,
-    /// Resolved queueing delay per mux, sorted by key (the canonical
-    /// order the CAC's mux-delay signature relies on).
+    /// Resolved port-wide queueing delay per mux, sorted by key (the
+    /// canonical order the CAC's mux-delay signature relies on).
     mux_delay: Vec<(MuxKey, Seconds)>,
-    /// Member signatures of the mux currently being probed.
-    key_sigs: Vec<SigId>,
-    /// Member envelopes of the mux currently being analyzed.
-    flows: Vec<SharedEnvelope>,
+    /// Per path: the queueing delay *its class* sees at each of its hops
+    /// (equal to the port-wide bound under FIFO).
+    hop_delay: Vec<Vec<Seconds>>,
+    /// Member `(signature, class)` pairs of the mux currently probed.
+    key_sigs: Vec<MemberKey>,
+    /// Member flows of the mux currently being analyzed.
+    flows: Vec<ClassedFlow>,
 }
 
 /// Clears a nested buffer down to `n` empty inner vectors, reusing the
@@ -630,18 +654,6 @@ fn reset_nested<T>(v: &mut Vec<Vec<T>>, n: usize) {
     }
     while v.len() < n {
         v.push(Vec::new());
-    }
-}
-
-impl Scratch {
-    /// The resolved queueing delay of `key` (present for every mux of
-    /// the just-resolved path set).
-    fn mux_delay_of(&self, key: MuxKey) -> Seconds {
-        let i = self
-            .mux_delay
-            .binary_search_by_key(&key, |&(k, _)| k)
-            .expect("mux resolved");
-        self.mux_delay[i].1
     }
 }
 
@@ -665,7 +677,7 @@ impl<'a> Evaluator<'a> {
     #[must_use]
     pub fn with_cache(net: &'a HetNetwork, mut cfg: EvalConfig, mut cache: EvalCache) -> Self {
         cfg.analysis.max_horizon = cfg.analysis.max_horizon.min(cfg.flatten_horizon);
-        let fingerprint = CfgFingerprint::of(&cfg);
+        let fingerprint = CfgFingerprint::of(&cfg, net.scheduler());
         if cache.fingerprint != Some(fingerprint) {
             cache.clear();
             cache.fingerprint = Some(fingerprint);
@@ -813,6 +825,7 @@ impl<'a> Evaluator<'a> {
         s.stage1.clear();
         reset_nested(&mut s.hop_keys, paths.len());
         reset_nested(&mut s.hop_sigs, paths.len());
+        reset_nested(&mut s.hop_delay, paths.len());
         s.members.clear();
         s.groups.clear();
         s.mux_delay.clear();
@@ -894,7 +907,7 @@ impl<'a> Evaluator<'a> {
                 s.key_sigs.clear();
                 for &(_, pi, hi) in &s.members[start..end] {
                     let sig = s.hop_sigs[pi as usize][hi as usize];
-                    s.key_sigs.push(sig);
+                    s.key_sigs.push((sig, paths[pi as usize].class));
                 }
                 let (mux_kind, mux_index) = key.parts();
                 let mux_event = |hit: bool, delay: Option<Seconds>| {
@@ -924,7 +937,7 @@ impl<'a> Evaluator<'a> {
                     Some(MuxCached::Ready(r)) => {
                         self.stats.mux_hits += 1;
                         mux_event(true, Some(r.delay_bound));
-                        *r
+                        r.clone()
                     }
                     Some(MuxCached::Infeasible(msg)) => {
                         self.stats.mux_hits += 1;
@@ -934,16 +947,20 @@ impl<'a> Evaluator<'a> {
                     None => {
                         self.stats.mux_misses += 1;
                         s.flows.clear();
-                        for &sig in &s.key_sigs {
-                            s.flows.push(Arc::clone(self.cache.env(sig)));
+                        for &(sig, class) in &s.key_sigs {
+                            s.flows
+                                .push(ClassedFlow::new(Arc::clone(self.cache.env(sig)), class));
                         }
-                        match analyze_mux(&s.flows, &link, &self.cfg.analysis) {
+                        match self
+                            .net
+                            .scheduler()
+                            .analyze(&s.flows, &link, &self.cfg.analysis)
+                        {
                             Ok(r) => {
-                                self.cache
-                                    .mux
-                                    .entry(key)
-                                    .or_default()
-                                    .insert(Box::from(s.key_sigs.as_slice()), MuxCached::Ready(r));
+                                self.cache.mux.entry(key).or_default().insert(
+                                    Box::from(s.key_sigs.as_slice()),
+                                    MuxCached::Ready(r.clone()),
+                                );
                                 mux_event(false, Some(r.delay_bound));
                                 r
                             }
@@ -961,12 +978,15 @@ impl<'a> Evaluator<'a> {
                     }
                 };
                 s.mux_delay.push((key, report.delay_bound));
+                let sched = self.net.scheduler();
                 for &(_, pi, hi) in &s.members[start..end] {
                     let (pi, hi) = (pi as usize, hi as usize);
                     debug_assert_eq!(s.hop_sigs[pi].len(), hi + 1);
+                    let class_delay = report.delay_of_class(paths[pi].class);
                     let parent = s.hop_sigs[pi][hi];
-                    let sig = self.cache.chained_sig(parent, &report, &link);
+                    let sig = self.cache.chained_sig(sched, parent, class_delay, &link);
                     s.hop_sigs[pi].push(sig);
+                    s.hop_delay[pi].push(class_delay);
                 }
                 progressed = true;
             }
@@ -991,7 +1011,7 @@ impl<'a> Evaluator<'a> {
         let (chi_s, buffer_s, frame_size) = s.stage1[pi];
 
         let fddi_s = chi_s + ring_s.propagation;
-        let uplink_q = s.mux_delay_of(keys[0]);
+        let uplink_q = s.hop_delay[pi][0];
         let id_s = net.ifdev().sender_fixed_delay() + uplink_q;
 
         let mut atm = net.access_link().propagation
@@ -999,8 +1019,8 @@ impl<'a> Evaluator<'a> {
                 .backbone()
                 .switch(net.switch_of(p.source.ring))
                 .fabric_latency;
-        for k in &keys[1..] {
-            atm += s.mux_delay_of(*k);
+        for (hi, k) in keys.iter().enumerate().skip(1) {
+            atm += s.hop_delay[pi][hi];
             match k {
                 MuxKey::Backbone(l) => {
                     let link = net.backbone().link(hetnet_atm::LinkId(*l));
@@ -1158,14 +1178,16 @@ impl<'a> Evaluator<'a> {
             frame_bits: exact_key.frame_bits,
             h_bits: exact_key.h_bits,
             ring: p.dest.ring,
+            class: p.class,
         };
         let keys = &s.hop_keys[pi];
         if let Some(entry) = self.cache.screen.get(&screen_key) {
             let dominated = entry.hops.len() == keys.len()
                 && keys
                     .iter()
+                    .zip(&s.hop_delay[pi])
                     .zip(entry.hops.iter())
-                    .all(|(k, (ek, bound))| k == ek && s.mux_delay_of(*k) <= *bound);
+                    .all(|((k, d), (ek, bound))| k == ek && *d <= *bound);
             if dominated && before_receive + entry.chi_r <= deadline {
                 self.stats.screen_hits += 1;
                 return Ok(Ok(DeadlineCheck::Pass));
@@ -1180,8 +1202,11 @@ impl<'a> Evaluator<'a> {
         // Refresh the screening entry whenever the new bounds dominate
         // the recorded ones (hop bounds grow as the closure fills, so
         // the dominant analysis is also the most recent in practice).
-        let hops: Box<[(MuxKey, Seconds)]> =
-            keys.iter().map(|k| (*k, s.mux_delay_of(*k))).collect();
+        let hops: Box<[(MuxKey, Seconds)]> = keys
+            .iter()
+            .zip(&s.hop_delay[pi])
+            .map(|(k, d)| (*k, *d))
+            .collect();
         match self.cache.screen.entry(screen_key) {
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(ScreenEntry { hops, chi_r });
@@ -1435,6 +1460,7 @@ mod tests {
             envelope: source(),
             h_s: h(hs),
             h_r: h(hr),
+            class: 0,
         }
     }
 

@@ -41,6 +41,11 @@ pub struct Workload {
     pub requests: usize,
     /// RNG seed (experiments are reproducible bit-for-bit).
     pub seed: u64,
+    /// Number of backbone traffic classes; each request draws its class
+    /// uniformly from `0..classes`. With `1` (the paper's setting) every
+    /// connection is class 0 and no RNG draw is spent, so pre-scheduler
+    /// experiment results replay bit-for-bit.
+    pub classes: u8,
 }
 
 impl Workload {
@@ -67,6 +72,7 @@ impl Workload {
             links_for_utilization: 3.0,
             requests,
             seed,
+            classes: 1,
         }
     }
 
@@ -186,11 +192,17 @@ pub fn run_admission_experiment(
         let dest = dests[pick_index(&mut rng, dests.len()).expect("other rings exist")];
         let (dlo, dhi) = (workload.deadline.0.value(), workload.deadline.1.value());
         let deadline = Seconds::new(rng.gen_range(dlo..=dhi));
+        let class = if workload.classes > 1 {
+            rng.gen_range(0..usize::from(workload.classes)) as u8
+        } else {
+            0
+        };
         let spec = ConnectionSpec {
             source,
             dest,
             envelope: Arc::new(workload.source),
             deadline,
+            class,
         };
 
         result.requests += 1;

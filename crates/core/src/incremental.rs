@@ -79,7 +79,12 @@ pub const FALLBACK_CAUSES: [&str; 7] = [
 /// The reasons [`FastContext`] can fail to assemble at all, making the
 /// whole decision run densely without consulting the ladder — the index
 /// into [`FastPathStats::skip_causes`].
-pub const SKIP_CAUSES: [&str; 3] = ["stage1-unavailable", "stale-active-set", "non-feedforward"];
+pub const SKIP_CAUSES: [&str; 4] = [
+    "stage1-unavailable",
+    "stale-active-set",
+    "non-feedforward",
+    "non-fifo-scheduler",
+];
 
 /// Counters for how β-search probes were decided, per decision (and
 /// accumulated per service via the metrics layer).
@@ -423,6 +428,13 @@ impl<'n> FastContext<'n> {
         source: HostId,
         dest: HostId,
     ) -> Result<Result<Self, &'static str>, CacError> {
+        // Every rung of the ladder models the port as a FIFO aggregate
+        // served at the full link rate; a weighted per-class scheduler
+        // gives classes different (and laxer) bounds, so the only sound
+        // move is to run the whole decision densely.
+        if !net.scheduler().is_fifo() {
+            return Ok(Err("non-fifo-scheduler"));
+        }
         let mut flows = Vec::with_capacity(active.len());
         for c in active {
             let p = PathInput {
@@ -431,6 +443,7 @@ impl<'n> FastContext<'n> {
                 envelope: Arc::clone(&c.spec.envelope),
                 h_s: c.h_s,
                 h_r: c.h_r,
+                class: c.spec.class,
             };
             match ev.fast_stage1(&p)? {
                 Some(summary) => flows.push(summary),
@@ -747,6 +760,7 @@ mod tests {
                 .unwrap(),
             ),
             deadline: Seconds::from_millis(100.0),
+            class: 0,
         }
     }
 
@@ -783,7 +797,7 @@ mod tests {
         assert!((a.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(a.fallback_causes.iter().sum::<u64>(), a.fallbacks);
         assert_eq!(a.no_context, 2);
-        assert_eq!(a.skip_causes, [0, 0, 1]);
+        assert_eq!(a.skip_causes, [0, 0, 1, 0]);
         assert_eq!(FastPathStats::default().hit_rate(), 0.0);
     }
 
@@ -821,6 +835,7 @@ mod tests {
             envelope: Arc::clone(&env(1.0).envelope),
             h_s: h,
             h_r: h,
+            class: 0,
         };
         // A microsecond deadline dies on the λ-independent fixed terms.
         let out = ctx
@@ -932,6 +947,7 @@ mod tests {
                 envelope: Arc::clone(&spec.envelope),
                 h_s: h,
                 h_r: h,
+                class: 0,
             };
             let out = ctx.classify(&mut ev, &cand, spec.deadline).unwrap();
 
@@ -944,6 +960,7 @@ mod tests {
                     envelope: Arc::clone(&c.spec.envelope),
                     h_s: c.h_s,
                     h_r: c.h_r,
+                    class: c.spec.class,
                 })
                 .collect();
             inputs.push(cand);

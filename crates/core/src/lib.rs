@@ -89,7 +89,7 @@ pub use cac::{
 pub use connection::{ConnectionId, ConnectionSpec, ConnectionSpecBuilder};
 pub use error::CacError;
 pub use incremental::FastPathStats;
-pub use network::{Component, HetNetwork, HostId, LinkId, RingId, TopologySummary};
+pub use network::{Component, HetNetwork, HostId, LinkId, RingId, Scheduler, TopologySummary};
 pub use shard::{Footprint, ShardCut, ShardedCut, ShardedState, Speculation};
 pub use snapshot::{ConnectionSnapshot, StateSnapshot, SNAPSHOT_VERSION};
 pub use trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};

@@ -4,6 +4,7 @@
 use crate::error::CacError;
 use hetnet_atm::topology::{Backbone, SwitchId};
 pub use hetnet_atm::LinkId;
+pub use hetnet_atm::Scheduler;
 use hetnet_atm::{LinkConfig, SwitchConfig};
 use hetnet_fddi::ring::RingConfig;
 use hetnet_ifdev::IfDevConfig;
@@ -171,6 +172,9 @@ pub struct HetNetwork {
     access_link: LinkConfig,
     host_buffer: Option<Bits>,
     device_buffer: Option<Bits>,
+    /// Output-port scheduling discipline of every multiplexer in the
+    /// network (access uplinks, backbone links, egress downlinks).
+    scheduler: Scheduler,
     /// Minimum-hop backbone routes between ordered ring pairs,
     /// materialized on first use and cached for the run's lifetime.
     /// Eager all-pairs precompute is `O(rings²·hops)` memory — ~1 GB
@@ -247,8 +251,35 @@ impl HetNetwork {
             access_link,
             host_buffer: None,
             device_buffer: None,
+            scheduler: Scheduler::Fifo,
             routes: RouteCache::default(),
         })
+    }
+
+    /// Replaces the output-port scheduling discipline used at every
+    /// multiplexer of the network. The default is [`Scheduler::Fifo`]
+    /// (the paper's analysis); weighted disciplines bound each traffic
+    /// class separately and need a weight entry for every class that
+    /// will be admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler configuration is invalid (e.g. an empty
+    /// or zero weight map) — misconfiguration is a build-time bug, not
+    /// a per-request reject.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        scheduler
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid scheduler: {e}"));
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The output-port scheduling discipline of this network.
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
     }
 
     /// Restricts the transmit buffers available per connection: `host`

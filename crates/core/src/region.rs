@@ -316,6 +316,7 @@ fn sweep_setup(
         envelope: Arc::clone(&spec.envelope),
         h_s: h_s[0],
         h_r: h_r[0],
+        class: spec.class,
     });
     Ok((h_s, h_r, base))
 }
@@ -713,6 +714,7 @@ mod tests {
                 .unwrap(),
             ),
             deadline: Seconds::from_millis(deadline_ms),
+            class: 0,
         }
     }
 

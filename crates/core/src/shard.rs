@@ -491,6 +491,7 @@ impl ShardedState {
                         dest: c.spec.dest,
                         envelope: Arc::clone(&c.spec.envelope),
                         deadline: c.spec.deadline,
+                        class: c.spec.class,
                         h_s: c.h_s,
                         h_r: c.h_r,
                         delay_bound: c.delay_bound,
@@ -570,6 +571,7 @@ impl ShardedState {
                             dest: c.spec.dest,
                             envelope: Arc::clone(&c.spec.envelope),
                             deadline: c.spec.deadline,
+                            class: c.spec.class,
                             h_s: c.h_s,
                             h_r: c.h_r,
                             delay_bound: c.delay_bound,

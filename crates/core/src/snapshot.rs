@@ -36,7 +36,10 @@ use std::fmt::Write as _;
 /// Format version stamped into every snapshot. Bump on any change to
 /// the snapshot's field set or meaning; [`NetworkState::restore`]
 /// refuses other versions rather than guessing.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2 added the per-connection backbone traffic `class` (scheduler
+/// support); v1 snapshots predate classes and are refused.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// One active connection as captured by a snapshot: the admission-time
 /// contract plus the committed allocations.
@@ -53,6 +56,8 @@ pub struct ConnectionSnapshot {
     pub envelope: SharedEnvelope,
     /// The connection's end-to-end deadline.
     pub deadline: Seconds,
+    /// Backbone scheduler traffic class.
+    pub class: u8,
     /// Synchronous bandwidth held on the source ring.
     pub h_s: SyncBandwidth,
     /// Synchronous bandwidth held on the destination ring.
@@ -69,6 +74,7 @@ impl fmt::Debug for ConnectionSnapshot {
             .field("dest", &self.dest)
             .field("envelope", &self.envelope.describe())
             .field("deadline", &self.deadline)
+            .field("class", &self.class)
             .field("h_s", &self.h_s)
             .field("h_r", &self.h_r)
             .field("delay_bound", &self.delay_bound)
@@ -85,6 +91,7 @@ impl ConnectionSnapshot {
             dest: self.dest,
             envelope: std::sync::Arc::clone(&self.envelope),
             deadline: self.deadline,
+            class: self.class,
         }
     }
 }
@@ -153,13 +160,14 @@ impl StateSnapshot {
             let _ = write!(
                 out,
                 "{{\"id\":{},\"source\":[{},{}],\"dest\":[{},{}],\"deadline_s\":{},\
-                 \"h_s_s\":{},\"h_r_s\":{},\"delay_bound_s\":{},\"envelope\":",
+                 \"class\":{},\"h_s_s\":{},\"h_r_s\":{},\"delay_bound_s\":{},\"envelope\":",
                 c.id.0,
                 c.source.ring,
                 c.source.station,
                 c.dest.ring,
                 c.dest.station,
                 json_f64(c.deadline.value()),
+                c.class,
                 json_f64(c.h_s.per_rotation().value()),
                 json_f64(c.h_r.per_rotation().value()),
                 json_f64(c.delay_bound.value()),

@@ -240,6 +240,11 @@ pub struct DecisionTrace {
     pub at: Seconds,
     /// The verdict.
     pub admitted: bool,
+    /// Display form of the backbone scheduler the decision was analyzed
+    /// under (`"fifo"`, `"iwrr[..]"`, `"drr[..]"`) — bounds from
+    /// different disciplines are not comparable, so every trace names
+    /// its discipline.
+    pub scheduler: String,
     /// The `(H_S, H_R)` pair the verdict was reached at — the committed
     /// allocation on admit, `None` when the reject happened before any
     /// allocation was evaluated (bandwidth pre-checks).
@@ -271,7 +276,7 @@ impl DecisionTrace {
     /// stream so the two can be interleaved in one log:
     ///
     /// ```text
-    /// {"seq":4,"at_s":12.5,"admitted":false,"allocation":null,
+    /// {"seq":4,"at_s":12.5,"admitted":false,"scheduler":"fifo","allocation":null,
     ///  "binding":{"kind":"deadline","connection":2,"stage":"atm",...},
     ///  "cache":{...},"connections":[{"id":2,"fddi_s_s":...,...},...]}
     /// ```
@@ -280,10 +285,11 @@ impl DecisionTrace {
         let mut out = String::with_capacity(256 + self.connections.len() * 224);
         let _ = write!(
             out,
-            "{{\"seq\":{},\"at_s\":{},\"admitted\":{},",
+            "{{\"seq\":{},\"at_s\":{},\"admitted\":{},\"scheduler\":\"{}\",",
             self.seq,
             json_f64(self.at.value()),
-            self.admitted
+            self.admitted,
+            self.scheduler
         );
         match self.allocation {
             Some((h_s, h_r)) => {
@@ -527,6 +533,7 @@ mod tests {
             seq: 4,
             at: Seconds::new(12.5),
             admitted: false,
+            scheduler: "fifo".into(),
             allocation: Some((
                 SyncBandwidth::new(Seconds::from_millis(2.0)),
                 SyncBandwidth::new(Seconds::from_millis(2.5)),
@@ -567,7 +574,9 @@ mod tests {
             },
         };
         let line = trace.to_json_line();
-        assert!(line.starts_with("{\"seq\":4,\"at_s\":12.5,\"admitted\":false,"));
+        assert!(
+            line.starts_with("{\"seq\":4,\"at_s\":12.5,\"admitted\":false,\"scheduler\":\"fifo\",")
+        );
         assert!(line.contains("\"allocation\":{\"h_s_s\":0.002,\"h_r_s\":0.0025}"));
         assert!(line
             .contains("\"binding\":{\"kind\":\"deadline\",\"connection\":null,\"stage\":\"atm\""));

@@ -49,6 +49,7 @@ proptest! {
                 dest: HostId { ring: (src_ring + 1 + k % 2) % 3, station: (seed / 7 + 2 * k) % 4 },
                 envelope: Arc::clone(&env),
                 deadline: Seconds::from_millis(deadline_ms * (1.0 + 0.25 * k as f64)),
+            class: 0,
             };
             let decision = s.admit(spec, &opts).expect("well-formed request");
             let t = s.last_decision_trace().expect("tracing is on");

@@ -49,6 +49,7 @@ fn spec(src: (usize, usize), dst: (usize, usize), deadline_ms: f64) -> Connectio
             .unwrap(),
         ),
         deadline: Seconds::from_millis(deadline_ms),
+        class: 0,
     }
 }
 

@@ -45,6 +45,7 @@ fn background(k: usize, c1_mbit: f64) -> PathInput {
         envelope: envelope(c1_mbit, 5),
         h_s: h,
         h_r: h,
+        class: 0,
     }
 }
 
@@ -60,6 +61,7 @@ fn candidate(c1_mbit: f64, bursts: usize, deadline_ms: f64) -> ConnectionSpec {
         },
         envelope: envelope(c1_mbit, bursts),
         deadline: Seconds::from_millis(deadline_ms),
+        class: 0,
     }
 }
 

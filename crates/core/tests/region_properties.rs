@@ -38,6 +38,7 @@ proptest! {
             dest: HostId { ring: 1, station: 0 },
             envelope: Arc::new(env),
             deadline: Seconds::from_millis(deadline_ms),
+        class: 0,
         };
         let net = HetNetwork::paper_topology();
         let map = sample_region(

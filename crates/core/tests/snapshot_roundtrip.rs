@@ -44,6 +44,7 @@ fn spec(
             .expect("valid source"),
         ),
         deadline: Seconds::from_millis(deadline_ms),
+        class: 0,
     }
 }
 

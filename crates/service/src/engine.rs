@@ -39,7 +39,7 @@ use hetnet_cac::cac::{
 };
 use hetnet_cac::connection::{ConnectionId, ConnectionSpec};
 use hetnet_cac::error::CacError;
-use hetnet_cac::network::{Component, HetNetwork, LinkId, RingId};
+use hetnet_cac::network::{Component, HetNetwork, LinkId, RingId, Scheduler};
 use hetnet_cac::snapshot::StateSnapshot;
 use hetnet_sim::churn::{self, ChurnConfig, ChurnSchedule};
 use hetnet_sim::fault::{generate_faults, FaultConfig, FaultEvent, FaultKind};
@@ -77,6 +77,17 @@ pub struct ServiceConfig {
     /// Whether a component repair greedily re-admits the connections
     /// its failure tore down (ignored without fault injection).
     pub readmit: bool,
+    /// Backbone scheduling discipline installed on the network before
+    /// the run starts; `None` keeps whatever the supplied
+    /// [`HetNetwork`] already uses (FIFO for
+    /// [`HetNetwork::paper_topology`]).
+    pub scheduler: Option<Scheduler>,
+    /// Number of backbone traffic classes the churn connections spread
+    /// over. The class is derived from the source host as
+    /// `(ring + station) % classes`, so the churn schedule itself is
+    /// bit-identical across settings; `0` or `1` keeps every
+    /// connection in class 0 (the FIFO behavior).
+    pub classes: u8,
 }
 
 impl ServiceConfig {
@@ -93,7 +104,18 @@ impl ServiceConfig {
             trace_decisions: true,
             faults: None,
             readmit: true,
+            scheduler: None,
+            classes: 1,
         }
+    }
+
+    /// Installs a backbone scheduler (and the number of traffic
+    /// classes the churn connections spread over) for the run.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Scheduler, classes: u8) -> Self {
+        self.scheduler = Some(scheduler);
+        self.classes = classes;
+        self
     }
 
     /// Adds a fault schedule to the run.
@@ -255,6 +277,23 @@ impl ServiceEngine {
                 network.hosts_per_ring()
             )));
         }
+        let network = match &cfg.scheduler {
+            Some(s) => {
+                s.validate()
+                    .map_err(|e| CacError::InvalidRequest(format!("scheduler: {e}")))?;
+                if let Some(map) = s.weight_map() {
+                    if usize::from(cfg.classes.max(1)) > map.len() {
+                        return Err(CacError::InvalidRequest(format!(
+                            "classes {} exceed the {} classes mapped by scheduler {s}",
+                            cfg.classes,
+                            map.len()
+                        )));
+                    }
+                }
+                network.with_scheduler(s.clone())
+            }
+            None => network,
+        };
         let schedule = churn::generate(&cfg.churn);
         let envelope: SharedEnvelope = Arc::new(schedule.source);
         let faults = match &cfg.faults {
@@ -416,6 +455,17 @@ impl ServiceEngine {
         self.schedule.arrivals.len() - self.next_arrival
     }
 
+    /// Backbone traffic class for a churn connection, derived from the
+    /// source host (`(ring + station) % classes`) so the class mix is
+    /// deterministic without perturbing the churn RNG stream.
+    fn class_of(&self, source: (usize, usize)) -> u8 {
+        if self.cfg.classes > 1 {
+            ((source.0 + source.1) % usize::from(self.cfg.classes)) as u8
+        } else {
+            0
+        }
+    }
+
     /// Processes the next scheduled arrival, after every departure and
     /// fault due at or before it (ties: departure < fault < arrival).
     /// Returns `false` when the schedule is exhausted.
@@ -434,6 +484,7 @@ impl ServiceEngine {
             .dest(a.dest)
             .envelope(Arc::clone(&self.envelope))
             .deadline(a.deadline)
+            .class(self.class_of(a.source))
             .build()?;
         let idx = self.next_arrival;
         self.decide(a.at, AuditKind::Arrival, idx, spec, a.at + a.holding)?;
@@ -610,6 +661,7 @@ impl ServiceEngine {
                 .dest(a.dest)
                 .envelope(Arc::clone(&self.envelope))
                 .deadline(a.deadline)
+                .class(self.class_of(a.source))
                 .build()?;
             self.recovery.readmit_attempts += 1;
             let decision = self.decide(
@@ -865,6 +917,56 @@ mod tests {
             seed: seed ^ 0x5eed,
         });
         cfg
+    }
+
+    #[test]
+    fn scheduler_config_threads_through_the_run() {
+        let cfg = smoke_cfg().with_scheduler(
+            Scheduler::Iwrr {
+                weights: vec![2, 1],
+            },
+            2,
+        );
+        let run = run(HetNetwork::paper_topology(), &cfg).unwrap();
+        assert_eq!(
+            run.state.network().scheduler(),
+            &Scheduler::Iwrr {
+                weights: vec![2, 1]
+            }
+        );
+        assert!(run.report.counters.admitted > 0, "no admissions under IWRR");
+        // Both classes actually occur in the admitted set: the class is
+        // (ring + station) % 2, and the paper-style workload spreads
+        // sources over every host.
+        let classes: std::collections::BTreeSet<u8> =
+            run.state.active().iter().map(|c| c.spec.class).collect();
+        assert!(
+            classes.len() == 2 || run.state.active().len() < 2,
+            "expected both classes in the admitted set, got {classes:?}"
+        );
+        // Non-FIFO bounds come from the dense evaluator: no ladder
+        // probe ever ran, and the skips carry the dedicated cause.
+        let fp = &run.report.fast_path;
+        assert_eq!(fp.probes(), 0, "fast path must sit out non-FIFO runs");
+        let idx = hetnet_cac::incremental::SKIP_CAUSES
+            .iter()
+            .position(|&c| c == "non-fifo-scheduler")
+            .expect("cause registered");
+        assert!(fp.skip_causes[idx] > 0, "non-FIFO skip cause never fired");
+    }
+
+    #[test]
+    fn invalid_scheduler_config_is_rejected_up_front() {
+        let cfg = smoke_cfg().with_scheduler(Scheduler::Iwrr { weights: vec![] }, 1);
+        let err = ServiceEngine::new(HetNetwork::paper_topology(), &cfg).unwrap_err();
+        assert!(matches!(err, CacError::InvalidRequest(ref m) if m.contains("scheduler")));
+
+        let cfg = smoke_cfg().with_scheduler(Scheduler::Drr { quanta: vec![3, 2] }, 3);
+        let err = ServiceEngine::new(HetNetwork::paper_topology(), &cfg).unwrap_err();
+        assert!(
+            matches!(err, CacError::InvalidRequest(ref m) if m.contains("classes")),
+            "3 classes over a 2-entry quantum map must be rejected"
+        );
     }
 
     #[test]

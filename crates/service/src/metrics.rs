@@ -654,7 +654,7 @@ mod tests {
         assert!((g.hit_rate() - 9.0 / 12.0).abs() < 1e-12);
         assert_eq!(g.fallback_causes.iter().sum::<u64>(), g.fallbacks);
         assert_eq!(g.no_context, 1);
-        assert_eq!(g.skip_causes, [1, 0, 0]);
+        assert_eq!(g.skip_causes, [1, 0, 0, 0]);
     }
 
     #[test]
@@ -681,6 +681,7 @@ mod tests {
             seq: 0,
             at: Seconds::ZERO,
             admitted: true,
+            scheduler: "fifo".into(),
             allocation: None,
             connections: vec![ConnectionTrace::new(
                 Some(ConnectionId(0)),
@@ -695,6 +696,7 @@ mod tests {
             seq: 1,
             at: Seconds::new(1.0),
             admitted: false,
+            scheduler: "fifo".into(),
             allocation: None,
             connections: vec![ConnectionTrace::new(
                 None,
@@ -716,6 +718,7 @@ mod tests {
             seq: 2,
             at: Seconds::new(2.0),
             admitted: false,
+            scheduler: "fifo".into(),
             allocation: None,
             connections: vec![],
             binding: Some(BindingConstraint::SourceBandwidth {

@@ -317,6 +317,7 @@ mod tests {
             seq: 1,
             at: Seconds::new(1.0),
             admitted: false,
+            scheduler: "fifo".into(),
             allocation: None,
             connections: vec![],
             binding: Some(BindingConstraint::DeadlineExceeded {
@@ -396,7 +397,8 @@ mod tests {
             "\"fast_path\":{\"fast_accepts\":6,\"fast_rejects\":2,\"fallbacks\":2,\"hit_rate\":0.800000,\"no_context\":1,",
             "\"fallback_causes\":{\"mux-saturated\":1,\"mux-horizon\":0,\"mux-window\":0,\
              \"receive-saturated\":0,\"receive-horizon\":0,\"receive-buffer\":0,\"ambiguous\":1}",
-            "\"skip_causes\":{\"stage1-unavailable\":0,\"stale-active-set\":0,\"non-feedforward\":1}",
+            "\"skip_causes\":{\"stage1-unavailable\":0,\"stale-active-set\":0,\"non-feedforward\":1,\
+             \"non-fifo-scheduler\":0}",
             "\"ring_utilization\":[{\"mean\":0.25",
             "\"topology\":\"3 rings x 4 hosts, 3 switches, 6 links\"",
             "\"delay_attribution\":{\"traced\":1,\"rejects_with_binding\":1,",

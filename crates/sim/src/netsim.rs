@@ -14,11 +14,11 @@
 //! worst-case end-to-end bit delay per connection — the quantity the
 //! analytic bound of the `hetnet-cac` crate must dominate.
 
-use crate::engine::Scheduler;
+use crate::engine::Scheduler as EventQueue;
 use crate::source::GreedyDualPeriodic;
 use hetnet_atm::cell;
 use hetnet_atm::topology::Backbone;
-use hetnet_atm::LinkConfig;
+use hetnet_atm::{LinkConfig, Scheduler};
 use hetnet_fddi::ring::{RingConfig, SyncBandwidth};
 use hetnet_ifdev::IfDevConfig;
 use hetnet_traffic::units::{Bits, Seconds};
@@ -45,6 +45,9 @@ pub struct SimConnection {
     /// Start-time offset of the generator (worst cases align phases;
     /// randomized phases model steady state).
     pub phase: Seconds,
+    /// Backbone traffic class. Ignored under FIFO; under IWRR/DRR it
+    /// indexes the scheduler's weight map at every multiplexer.
+    pub class: u8,
 }
 
 /// A complete simulation scenario.
@@ -68,6 +71,10 @@ pub struct E2eScenario {
     pub duration: Seconds,
     /// Extra time allowed for queues to drain after sources stop.
     pub drain: Seconds,
+    /// Output-port discipline of every multiplexer. FIFO transmits
+    /// whole chunks in arrival order (the paper's model); IWRR and DRR
+    /// serve per-class queues cell by cell (424 wire bits per slot).
+    pub scheduler: Scheduler,
 }
 
 /// Observed per-connection statistics.
@@ -128,6 +135,8 @@ enum Ev {
     },
     /// The multiplexer finishes its current transmission.
     MuxTxDone { mux: usize },
+    /// A round-robin multiplexer finishes one cell slot (IWRR/DRR).
+    MuxCellDone { mux: usize },
     /// A chunk joins the receiver-side device's MAC queue.
     AtIfdevR(ChunkMeta),
     /// A chunk's last bit reaches the destination host.
@@ -141,16 +150,127 @@ struct MuxState {
     current: Option<(usize, f64, ChunkMeta)>,
     backlog: f64,
     max_backlog: f64,
+    /// Per-class round-robin state; `None` under FIFO, where the flat
+    /// `queue`/`current` pair above carries the whole port.
+    rr: Option<RrState>,
 }
 
 impl MuxState {
-    fn new(rate: f64) -> Self {
+    fn new(rate: f64, scheduler: &Scheduler) -> Self {
         Self {
             rate,
             queue: VecDeque::new(),
             current: None,
             backlog: 0.0,
             max_backlog: 0.0,
+            rr: RrState::new(scheduler),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum RrKind {
+    Iwrr,
+    Drr,
+}
+
+/// Cell-granular round-robin service state of one output port.
+///
+/// Both disciplines transmit one 424-bit cell per slot. IWRR scans the
+/// classes cyclically, letting class `c` send in up to `weights[c]`
+/// scans per round; a round ends when no backlogged class has credit
+/// left. DRR grants class `c` a quantum of `weights[c]` cells each time
+/// the pointer reaches it, banking unused deficit while the class stays
+/// backlogged.
+#[derive(Debug)]
+struct RrState {
+    kind: RrKind,
+    weights: Vec<u32>,
+    /// Per-class chunk queues: `(hop, remaining wire bits, meta)`.
+    queues: Vec<VecDeque<(usize, f64, ChunkMeta)>>,
+    /// Next class the scan considers.
+    pointer: usize,
+    /// IWRR: cells left this round. DRR: banked deficit, in cells.
+    credits: Vec<f64>,
+    /// DRR: whether the pointer's arrival at the current class has not
+    /// yet granted its quantum.
+    fresh: bool,
+    /// Class of the cell on the wire, if any.
+    in_service: Option<usize>,
+}
+
+impl RrState {
+    fn new(scheduler: &Scheduler) -> Option<Self> {
+        let kind = match scheduler {
+            Scheduler::Fifo => return None,
+            Scheduler::Iwrr { .. } => RrKind::Iwrr,
+            Scheduler::Drr { .. } => RrKind::Drr,
+            _ => panic!("netsim does not model scheduler {scheduler}"),
+        };
+        let weights = scheduler
+            .weight_map()
+            .expect("weighted discipline")
+            .to_vec();
+        let n = weights.len();
+        Some(Self {
+            kind,
+            credits: match kind {
+                RrKind::Iwrr => weights.iter().map(|&w| f64::from(w)).collect(),
+                RrKind::Drr => vec![0.0; n],
+            },
+            weights,
+            queues: vec![VecDeque::new(); n],
+            pointer: 0,
+            fresh: true,
+            in_service: None,
+        })
+    }
+
+    /// Picks the class whose cell transmits next and charges its
+    /// credit; `None` when every class queue is empty.
+    fn next_cell(&mut self) -> Option<usize> {
+        let n = self.weights.len();
+        if self.queues.iter().all(VecDeque::is_empty) {
+            return None;
+        }
+        match self.kind {
+            RrKind::Iwrr => {
+                // At most two sweeps: one on the current round's
+                // credits, then a fresh round.
+                for _ in 0..2 {
+                    for _ in 0..n {
+                        let c = self.pointer;
+                        self.pointer = (self.pointer + 1) % n;
+                        if !self.queues[c].is_empty() && self.credits[c] >= 1.0 {
+                            self.credits[c] -= 1.0;
+                            return Some(c);
+                        }
+                    }
+                    for (credit, &w) in self.credits.iter_mut().zip(&self.weights) {
+                        *credit = f64::from(w);
+                    }
+                }
+                unreachable!("a backlogged class must win a fresh round")
+            }
+            RrKind::Drr => loop {
+                let c = self.pointer;
+                if self.queues[c].is_empty() {
+                    // An idle class carries no deficit into its next
+                    // busy period.
+                    self.credits[c] = 0.0;
+                } else {
+                    if self.fresh {
+                        self.credits[c] += f64::from(self.weights[c]);
+                        self.fresh = false;
+                    }
+                    if self.credits[c] >= 1.0 {
+                        self.credits[c] -= 1.0;
+                        return Some(c);
+                    }
+                }
+                self.pointer = (self.pointer + 1) % n;
+                self.fresh = true;
+            },
         }
     }
 }
@@ -167,8 +287,9 @@ struct Stats {
 /// # Panics
 ///
 /// Panics if the scenario is malformed: ring/station indices out of
-/// range, a connection with `source_ring == dest_ring`, or no route in
-/// the backbone between the attached switches.
+/// range, a connection with `source_ring == dest_ring`, no route in
+/// the backbone between the attached switches, or (under IWRR/DRR) a
+/// connection whose class has no weight-map entry.
 #[must_use]
 pub fn run(scenario: &E2eScenario) -> SimReport {
     let n_rings = scenario.rings.len();
@@ -184,8 +305,17 @@ pub fn run(scenario: &E2eScenario) -> SimReport {
 
     // Per-connection: the sequence of (mux index, post-tx fixed delay) and
     // what follows the last hop.
+    scenario.scheduler.validate().expect("usable scheduler");
     let mut routes: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n_conns);
     for c in &scenario.connections {
+        if let Some(weights) = scenario.scheduler.weight_map() {
+            assert!(
+                usize::from(c.class) < weights.len(),
+                "class {} has no weight under scheduler {}",
+                c.class,
+                scenario.scheduler
+            );
+        }
         assert!(c.source_ring < n_rings, "source ring out of range");
         assert!(c.dest_ring < n_rings, "dest ring out of range");
         assert!(
@@ -238,7 +368,7 @@ pub fn run(scenario: &E2eScenario) -> SimReport {
             } else {
                 scenario.access_link.rate.value()
             };
-            MuxState::new(rate)
+            MuxState::new(rate, &scenario.scheduler)
         })
         .collect();
 
@@ -254,7 +384,7 @@ pub fn run(scenario: &E2eScenario) -> SimReport {
         .collect();
 
     let stop_time = scenario.duration.value() + scenario.drain.value();
-    let mut sched: Scheduler<Ev> = Scheduler::new();
+    let mut sched: EventQueue<Ev> = EventQueue::new();
 
     // Seed source chunks.
     for (ci, c) in scenario.connections.iter().enumerate() {
@@ -397,11 +527,25 @@ pub fn run(scenario: &E2eScenario) -> SimReport {
                 let m = &mut muxes[mux];
                 m.backlog += wire;
                 m.max_backlog = m.max_backlog.max(m.backlog);
-                m.queue.push_back((hop, wire, meta));
-                if m.current.is_none() {
-                    let (h, w, md) = m.queue.pop_front().expect("just pushed");
-                    m.current = Some((h, w, md));
-                    sched.schedule_at(Seconds::new(t + w / m.rate), Ev::MuxTxDone { mux });
+                if let Some(rr) = &mut m.rr {
+                    let class = usize::from(scenario.connections[meta.conn].class);
+                    rr.queues[class].push_back((hop, wire, meta));
+                    if rr.in_service.is_none() {
+                        rr.in_service = rr.next_cell();
+                        if rr.in_service.is_some() {
+                            sched.schedule_at(
+                                Seconds::new(t + cell::CELL_BITS / m.rate),
+                                Ev::MuxCellDone { mux },
+                            );
+                        }
+                    }
+                } else {
+                    m.queue.push_back((hop, wire, meta));
+                    if m.current.is_none() {
+                        let (h, w, md) = m.queue.pop_front().expect("just pushed");
+                        m.current = Some((h, w, md));
+                        sched.schedule_at(Seconds::new(t + w / m.rate), Ev::MuxTxDone { mux });
+                    }
                 }
             }
             Ev::MuxTxDone { mux } => {
@@ -429,6 +573,44 @@ pub fn run(scenario: &E2eScenario) -> SimReport {
                     m.queue.pop_front();
                     m.current = Some((h, w, md));
                     sched.schedule_at(Seconds::new(t + w / m.rate), Ev::MuxTxDone { mux });
+                }
+            }
+            Ev::MuxCellDone { mux } => {
+                let m = &mut muxes[mux];
+                let rr = m.rr.as_mut().expect("cell events only under IWRR/DRR");
+                let class = rr.in_service.take().expect("cell in flight");
+                m.backlog -= cell::CELL_BITS;
+                let front = rr.queues[class]
+                    .front_mut()
+                    .expect("served class is backlogged");
+                front.1 -= cell::CELL_BITS;
+                if front.1 <= 1e-9 {
+                    // Last cell of the chunk: forward it past this hop.
+                    let (hop, _, meta) = rr.queues[class].pop_front().expect("front exists");
+                    let (_, post) = routes[meta.conn][hop];
+                    let next_hop = hop + 1;
+                    if next_hop < routes[meta.conn].len() {
+                        let (next_mux, _) = routes[meta.conn][next_hop];
+                        let wire = cell::wire_bits_for_payload(Bits::new(meta.bits)).value();
+                        sched.schedule_at(
+                            Seconds::new(t + post),
+                            Ev::MuxArrive {
+                                mux: next_mux,
+                                hop: next_hop,
+                                wire,
+                                meta,
+                            },
+                        );
+                    } else {
+                        sched.schedule_at(Seconds::new(t + post), Ev::AtIfdevR(meta));
+                    }
+                }
+                rr.in_service = rr.next_cell();
+                if rr.in_service.is_some() {
+                    sched.schedule_at(
+                        Seconds::new(t + cell::CELL_BITS / m.rate),
+                        Ev::MuxCellDone { mux },
+                    );
                 }
             }
             Ev::AtIfdevR(meta) => {
@@ -487,6 +669,7 @@ mod tests {
             connections,
             duration: Seconds::from_millis(400.0),
             drain: Seconds::from_millis(200.0),
+            scheduler: Scheduler::Fifo,
         }
     }
 
@@ -514,6 +697,7 @@ mod tests {
             h_r: SyncBandwidth::new(Seconds::from_millis(2.4)),
             source: source(),
             phase: Seconds::ZERO,
+            class: 0,
         }
     }
 
@@ -597,5 +781,70 @@ mod tests {
         for (x, y) in a.connections.iter().zip(&b.connections) {
             assert_eq!(x, y);
         }
+    }
+
+    /// Two same-source-ring connections in different classes, crossing
+    /// the same uplink.
+    fn two_class_scenario(scheduler: Scheduler) -> E2eScenario {
+        let mut a = conn(0, (0, 0), 1);
+        a.class = 0;
+        let mut b = conn(1, (0, 1), 2);
+        b.class = 1;
+        let mut s = scenario(vec![a, b]);
+        s.scheduler = scheduler;
+        s
+    }
+
+    #[test]
+    fn iwrr_delivers_both_classes() {
+        let report = run(&two_class_scenario(Scheduler::Iwrr {
+            weights: vec![3, 1],
+        }));
+        for obs in &report.connections {
+            assert_eq!(obs.chunks_sent, obs.chunks_delivered, "{obs:?}");
+            assert!(obs.max_delay.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn drr_delivers_both_classes() {
+        let report = run(&two_class_scenario(Scheduler::Drr { quanta: vec![2, 2] }));
+        for obs in &report.connections {
+            assert_eq!(obs.chunks_sent, obs.chunks_delivered, "{obs:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_runs_are_deterministic() {
+        for sched in [
+            Scheduler::Iwrr {
+                weights: vec![2, 1],
+            },
+            Scheduler::Drr { quanta: vec![1, 2] },
+        ] {
+            let a = run(&two_class_scenario(sched.clone()));
+            let b = run(&two_class_scenario(sched));
+            assert_eq!(a.events, b.events);
+            for (x, y) in a.connections.iter().zip(&b.connections) {
+                assert_eq!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_field_leaves_legacy_behavior_untouched() {
+        // The scheduler field defaults every existing scenario to FIFO;
+        // adding it must not change a FIFO run's event count or delays.
+        let report = run(&scenario(vec![conn(7, (0, 0), 1)]));
+        let obs = &report.connections[0];
+        assert_eq!(obs.chunks_sent, obs.chunks_delivered);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no weight")]
+    fn unmapped_class_is_rejected() {
+        let mut s = two_class_scenario(Scheduler::Iwrr { weights: vec![1] });
+        s.connections[1].class = 1;
+        let _ = run(&s);
     }
 }

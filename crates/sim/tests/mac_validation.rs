@@ -32,6 +32,7 @@ fn scenario(conn: SimConnection) -> E2eScenario {
         connections: vec![conn],
         duration: Seconds::from_millis(500.0),
         drain: Seconds::from_millis(300.0),
+        scheduler: Default::default(),
     }
 }
 
@@ -83,6 +84,7 @@ fn check(model: DualPeriodicEnvelope, h_s_ms: f64, h_r_ms: f64) {
         h_r,
         source: GreedyDualPeriodic::new(model, Bits::from_kbits(8.0)),
         phase: Seconds::ZERO,
+        class: 0,
     }));
     let obs = &report.connections[0];
     assert_eq!(obs.chunks_sent, obs.chunks_delivered, "stranded chunks");

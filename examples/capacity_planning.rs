@@ -66,6 +66,7 @@ fn admitted_capacity(net: HetNetwork, opts: &AdmissionOptions) -> Result<usize, 
                 },
                 envelope: source()? as _,
                 deadline: Seconds::from_millis(50.0),
+                class: 0,
             };
             if !state.admit(spec, opts)?.is_admitted() {
                 break 'outer;

@@ -50,6 +50,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             dest: HostId { ring: 2, station },
             envelope: Arc::new(model) as _,
             deadline: Seconds::from_millis(60.0),
+            class: 0,
         };
         match state.admit(spec, &opts)? {
             Decision::Admitted {
@@ -90,10 +91,12 @@ fn main() -> Result<(), Box<dyn Error>> {
                 h_r: *h_r,
                 source: GreedyDualPeriodic::new(model, Bits::from_kbits(8.0)),
                 phase: Seconds::ZERO,
+                class: 0,
             })
             .collect(),
         duration: Seconds::from_millis(500.0),
         drain: Seconds::from_millis(200.0),
+        scheduler: Default::default(),
     };
     let report = run(&scenario);
 
@@ -128,6 +131,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             envelope: Arc::clone(&c.spec.envelope),
             h_s: c.h_s,
             h_r: c.h_r,
+            class: c.spec.class,
         })
         .collect();
     let reports = evaluate_paths(state.network(), &inputs, &EvalConfig::default())?

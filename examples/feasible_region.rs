@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             },
             envelope: Arc::clone(&source) as _,
             deadline: Seconds::from_millis(deadline_ms),
+            class: 0,
         };
         let grid = 25;
         let sample = sample_region_frontier(

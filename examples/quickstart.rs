@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                     envelope: Arc::clone(&active.spec.envelope),
                     h_s: active.h_s,
                     h_r: active.h_r,
+                    class: active.spec.class,
                 }],
                 &EvalConfig::default(),
             )?

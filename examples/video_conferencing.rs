@@ -57,6 +57,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                     },
                     envelope: stream()? as _,
                     deadline: Seconds::from_millis(100.0),
+                    class: 0,
                 };
                 match state.admit(spec, &opts)? {
                     hetnet::cac::cac::Decision::Admitted { h_s, .. } => {

@@ -38,13 +38,12 @@ lint() {
     echo "==> cargo clippy (warnings denied)"
     cargo clippy --workspace --all-targets -- -D warnings
 
-    echo "==> deprecated-API gate (legacy request/request_fixed quarantined to core compat tests)"
-    # clippy -D warnings already fails any *call* to the deprecated wrappers;
-    # this keeps people from silencing it: allow(deprecated) may appear only
-    # in crates/core/src/cac.rs, where the wrappers and their compat tests live.
-    if grep -rn "allow(deprecated)" --include="*.rs" crates src tests examples \
-        | grep -v "^crates/core/src/cac.rs:"; then
-        echo "FAIL: allow(deprecated) outside crates/core/src/cac.rs"
+    echo "==> deprecated-API gate (legacy request/request_fixed removed from the public API)"
+    # The wrappers are gone; nothing may reintroduce them or re-open the
+    # allow(deprecated) quarantine they used to need.
+    if grep -rnE "fn request(_fixed)?\(|allow\(deprecated\)" --include="*.rs" \
+        crates src tests examples; then
+        echo "FAIL: legacy request/request_fixed surface reintroduced"
         exit 1
     fi
     echo "ok: no deprecated-API escapes"

@@ -44,7 +44,9 @@ pub mod prelude {
     };
     pub use hetnet_cac::connection::{ConnectionId, ConnectionSpec, ConnectionSpecBuilder};
     pub use hetnet_cac::error::CacError;
-    pub use hetnet_cac::network::{Component, HetNetwork, HostId, LinkId, RingId, TopologySummary};
+    pub use hetnet_cac::network::{
+        Component, HetNetwork, HostId, LinkId, RingId, Scheduler, TopologySummary,
+    };
     pub use hetnet_cac::snapshot::{StateSnapshot, SNAPSHOT_VERSION};
     pub use hetnet_cac::trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};
     pub use hetnet_service::{

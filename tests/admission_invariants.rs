@@ -55,6 +55,7 @@ fn random_admission_release_sequences_preserve_invariants() {
                 },
                 envelope: Arc::new(model(rng.gen_range(5.0..20.0))),
                 deadline: Seconds::from_millis(rng.gen_range(60.0..120.0)),
+                class: 0,
             };
             match state.admit(spec, &opts).expect("well-formed") {
                 Decision::Admitted {
@@ -124,6 +125,7 @@ fn beta_zero_and_one_bracket_intermediate_allocations() {
         },
         envelope: Arc::new(model(20.0)),
         deadline: Seconds::from_millis(deadline_ms),
+        class: 0,
     };
     let mut allocations = Vec::new();
     for beta in [0.0, 0.3, 0.7, 1.0] {
@@ -161,6 +163,7 @@ fn tighter_deadlines_need_bigger_minimum_allocations() {
             },
             envelope: Arc::new(model(20.0)),
             deadline: Seconds::from_millis(deadline),
+            class: 0,
         };
         match state.admit(spec, &opts).unwrap() {
             Decision::Admitted { h_s, h_r, .. } => {

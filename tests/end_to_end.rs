@@ -57,6 +57,7 @@ fn admit(
             },
             envelope: Arc::new(model()),
             deadline: Seconds::from_millis(120.0),
+            class: 0,
         };
         if let Decision::Admitted { id, h_s, h_r, .. } =
             state.admit(spec, opts).expect("well-formed request")
@@ -107,10 +108,12 @@ fn simulated_delays_stay_within_analytic_bounds() {
                 source: GreedyDualPeriodic::new(model(), Bits::from_kbits(8.0)),
                 // Aligned phases: the adversarial case.
                 phase: Seconds::ZERO,
+                class: 0,
             })
             .collect(),
         duration: Seconds::from_millis(400.0),
         drain: Seconds::from_millis(300.0),
+        scheduler: Default::default(),
     };
     let report = run(&scenario);
 
@@ -154,6 +157,7 @@ fn released_bandwidth_is_reusable() {
             },
             envelope: Arc::new(model()),
             deadline: Seconds::from_millis(120.0),
+            class: 0,
         };
         match state.admit(spec, &opts).unwrap() {
             Decision::Admitted { id, .. } => ids.push(id),
@@ -183,6 +187,7 @@ fn released_bandwidth_is_reusable() {
         },
         envelope: Arc::new(model()),
         deadline: Seconds::from_millis(120.0),
+        class: 0,
     };
     assert!(state.admit(spec, &opts).unwrap().is_admitted());
 }
@@ -213,6 +218,7 @@ fn admitted_set_always_meets_deadlines() {
             },
             envelope: Arc::new(model()),
             deadline: Seconds::from_millis(80.0 + 10.0 * i as f64),
+            class: 0,
         };
         if let Decision::Admitted { id, .. } = state.admit(spec, &opts).unwrap() {
             ids.push(id);

@@ -1,0 +1,163 @@
+//! Scheduler soundness: for every backbone discipline, the analytic
+//! delay bound produced by the CAC must dominate the worst delay the
+//! cell-level simulator can realize with greedy sources — on the same
+//! admitted configuration, classes, and weight maps.
+
+use hetnet::cac::cac::{AdmissionOptions, CacConfig, Decision, NetworkState};
+use hetnet::cac::connection::ConnectionSpec;
+use hetnet::cac::network::{HetNetwork, HostId};
+use hetnet::cac::Scheduler;
+use hetnet::sim::netsim::{run, E2eScenario, SimConnection};
+use hetnet::sim::source::GreedyDualPeriodic;
+use hetnet::traffic::models::DualPeriodicEnvelope;
+use hetnet::traffic::units::{Bits, BitsPerSec, Seconds};
+use hetnet_atm::topology::Backbone;
+use hetnet_atm::{LinkConfig, SwitchConfig};
+use hetnet_fddi::ring::RingConfig;
+use hetnet_ifdev::IfDevConfig;
+use std::sync::Arc;
+
+fn model() -> DualPeriodicEnvelope {
+    DualPeriodicEnvelope::new(
+        Bits::from_mbits(2.0),
+        Seconds::from_millis(100.0),
+        Bits::from_mbits(0.25),
+        Seconds::from_millis(10.0),
+        BitsPerSec::from_mbps(100.0),
+    )
+    .expect("valid paper-style source")
+}
+
+/// Admits the standard four-request mix (classes alternating per
+/// `classes`) under `scheduler`, replays the admitted set in the DES
+/// with greedy aligned-phase sources (then two staggered phase
+/// patterns), and asserts every observed delay stays at or below the
+/// post-admission analytic bound.
+fn assert_sound(scheduler: Scheduler, classes: &[u8]) {
+    let net = HetNetwork::paper_topology().with_scheduler(scheduler.clone());
+    let mut state = NetworkState::new(net);
+    let opts = AdmissionOptions::beta_search(CacConfig::default());
+    let pairs = [
+        ((0, 0), (1, 0)),
+        ((1, 0), (2, 0)),
+        ((2, 0), (0, 0)),
+        ((0, 1), (2, 1)),
+    ];
+    let mut admitted = Vec::new();
+    for (i, (src, dst)) in pairs.iter().enumerate() {
+        let class = classes[i % classes.len()];
+        let spec = ConnectionSpec {
+            source: HostId {
+                ring: src.0,
+                station: src.1,
+            },
+            dest: HostId {
+                ring: dst.0,
+                station: dst.1,
+            },
+            envelope: Arc::new(model()),
+            deadline: Seconds::from_millis(140.0),
+            class,
+        };
+        if let Decision::Admitted { id, h_s, h_r, .. } =
+            state.admit(spec, &opts).expect("well-formed request")
+        {
+            admitted.push((id.0, src.0, src.1, dst.0, h_s, h_r, class));
+        }
+    }
+    assert!(
+        admitted.len() >= 2,
+        "scheduler {scheduler}: expected at least two admissions, got {}",
+        admitted.len()
+    );
+    let bounds = state.current_delays(&opts.cac).expect("consistent state");
+
+    let link = LinkConfig::oc3(Seconds::from_micros(5.0));
+    for phase_step_ms in [0.0, 1.7, 4.3] {
+        let scenario = E2eScenario {
+            rings: vec![RingConfig::standard(); 3],
+            hosts_per_ring: 4,
+            ifdev: IfDevConfig::typical(),
+            backbone: Backbone::fully_meshed(3, SwitchConfig::typical(), link),
+            access_link: link,
+            connections: admitted
+                .iter()
+                .enumerate()
+                .map(
+                    |(k, (id, ring, station, dest_ring, h_s, h_r, class))| SimConnection {
+                        id: *id,
+                        source_ring: *ring,
+                        source_station: *station,
+                        dest_ring: *dest_ring,
+                        h_s: *h_s,
+                        h_r: *h_r,
+                        source: GreedyDualPeriodic::new(model(), Bits::from_kbits(8.0)),
+                        phase: Seconds::from_millis(k as f64 * phase_step_ms),
+                        class: *class,
+                    },
+                )
+                .collect(),
+            duration: Seconds::from_millis(400.0),
+            drain: Seconds::from_millis(300.0),
+            scheduler: scheduler.clone(),
+        };
+        let report = run(&scenario);
+        for obs in &report.connections {
+            let bound = bounds
+                .iter()
+                .find(|(cid, _)| cid.0 == obs.id)
+                .map(|(_, d)| *d)
+                .expect("bound recorded");
+            assert_eq!(
+                obs.chunks_sent, obs.chunks_delivered,
+                "scheduler {scheduler}, phase step {phase_step_ms}: connection {} stranded chunks",
+                obs.id
+            );
+            assert!(
+                obs.max_delay <= bound,
+                "scheduler {scheduler}, phase step {phase_step_ms}: connection {} observed {} \
+                 exceeds analytic bound {}",
+                obs.id,
+                obs.max_delay,
+                bound
+            );
+        }
+    }
+}
+
+#[test]
+fn fifo_bound_dominates_simulation() {
+    assert_sound(Scheduler::Fifo, &[0]);
+}
+
+#[test]
+fn iwrr_bound_dominates_simulation() {
+    assert_sound(
+        Scheduler::Iwrr {
+            weights: vec![2, 1],
+        },
+        &[0, 1],
+    );
+}
+
+#[test]
+fn iwrr_equal_weights_bound_dominates_simulation() {
+    assert_sound(
+        Scheduler::Iwrr {
+            weights: vec![1, 1],
+        },
+        &[0, 1],
+    );
+}
+
+#[test]
+fn drr_bound_dominates_simulation() {
+    assert_sound(Scheduler::Drr { quanta: vec![3, 2] }, &[0, 1]);
+}
+
+#[test]
+fn drr_single_class_bound_dominates_simulation() {
+    // Every connection in one class: the RR latency term is smallest,
+    // and the discipline degenerates to FIFO plus a one-quantum stall.
+    assert_sound(Scheduler::Drr { quanta: vec![4] }, &[0]);
+}
