@@ -128,6 +128,7 @@ fn quick_gates(bench: &Json) -> Result<(), String> {
     decision_latency_gates(bench)?;
     scheduler_compare_gates(bench)?;
     shard_scale_gates(bench, false)?;
+    obs_sharded_gates(bench, false)?;
 
     // Decision-trace attribution: every decision of the churn run must
     // be traced and every rejection's trace must name its binding.
@@ -409,6 +410,46 @@ fn shard_scale_gates(bench: &Json, committed: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Cross-shard observability gates. Both modes require the sharded
+/// decision stream bit-identical with the full stack on vs off
+/// (observability reads, never decides), the flight recorder holding
+/// at least one captured outlier, and the telemetry ring holding at
+/// least one frame for the period that was set. The committed file
+/// additionally holds the enabled-stack overhead within the measured
+/// A/A noise floor plus two percentage points — the "watch a 220k-run
+/// live" features must stay close to free when idle.
+fn obs_sharded_gates(bench: &Json, committed: bool) -> Result<(), String> {
+    if bench.at("obs_sharded").is_none() {
+        return Err("no obs_sharded section; regenerate the benchmark JSON".into());
+    }
+    if !flag(bench, "obs_sharded.decisions_identical")? {
+        return Err("full observability changed the sharded decision stream".into());
+    }
+    let outliers = num(bench, "obs_sharded.flight_outliers")?;
+    if outliers < 1.0 {
+        return Err("flight recorder captured no outliers over the sharded workload".into());
+    }
+    let frames = num(bench, "obs_sharded.telemetry_frames")?;
+    if frames < 1.0 {
+        return Err("telemetry cut no frames despite a period being set".into());
+    }
+    let floor = num(bench, "obs_sharded.aa_delta_pct")?.abs();
+    let overhead = num(bench, "obs_sharded.overhead_pct")?;
+    if committed && overhead >= floor + 2.0 {
+        return Err(format!(
+            "sharded observability overhead {overhead:+.2}% exceeds the measured A/A \
+             noise floor ({floor:.2}%) by >= 2%; rerun `cargo run --release -p \
+             hetnet-bench --bin bench_json` on a quiet machine or investigate a real \
+             slowdown in the spans/telemetry/flight path"
+        ));
+    }
+    println!(
+        "ok: obs_sharded overhead {overhead:+.2}% (A/A floor {floor:.2}%), \
+         {outliers} flight outliers, {frames} telemetry frames, decisions identical"
+    );
+    Ok(())
+}
+
 fn committed_gates(bench: &Json) -> Result<(), String> {
     if bench.at("obs").is_none() {
         return Err("committed benchmark JSON has no obs section; regenerate it".into());
@@ -442,5 +483,6 @@ fn committed_gates(bench: &Json) -> Result<(), String> {
     decision_latency_gates(bench)?;
     scheduler_compare_gates(bench)?;
     shard_scale_gates(bench, true)?;
+    obs_sharded_gates(bench, true)?;
     fault_gates(bench)
 }

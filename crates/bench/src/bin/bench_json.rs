@@ -29,7 +29,7 @@ use hetnet_fddi::ring::{RingConfig, SyncBandwidth};
 use hetnet_ifdev::IfDevConfig;
 use hetnet_service::{
     entries_equivalent, run as run_service, run_sharded, sharded_runs_equivalent, verify_recovery,
-    FastPathGauges, LatencyHistogram, ServiceConfig, ServiceEngine,
+    FastPathGauges, LatencyHistogram, ObsOptions, ServiceConfig, ServiceEngine, ShardedEngine,
 };
 use hetnet_sim::churn::{ChurnConfig, TopologyShape, TrafficPattern};
 use hetnet_sim::fault::FaultConfig;
@@ -594,6 +594,128 @@ fn main() {
         attribution.rejects_with_binding,
     );
 
+    // Sharded observability cost: one fixed-seed shard workload run
+    // with the cross-shard observability stack off (twice — an A/A
+    // pair that measures the noise floor) and on (span timelines,
+    // periodic telemetry, aggressive flight capture). Decision tracing
+    // stays off in every arm: enabling it moves the CAC off the
+    // screened evaluation path, which changes the computation being
+    // measured, not the observability cost. The registry and flight
+    // recorder are always live; the "on" arm adds the knobs with real
+    // per-decision cost. The off and on runs must also stay decision-
+    // identical — observability reads, it never decides.
+    let (so_rings, so_rate, so_requests, so_reps) = if quick {
+        (24usize, 30.0f64, 400usize, 1usize)
+    } else {
+        (64, 120.0, 4000, 2)
+    };
+    let so_workers = 4;
+    let so_seed = 424_242;
+    let mut so_cfg = ServiceConfig::paper_style(1.0, so_requests, so_seed);
+    so_cfg.churn = ChurnConfig {
+        shape: TopologyShape {
+            rings: so_rings,
+            hosts_per_ring: 3,
+        },
+        pattern: TrafficPattern::Paired,
+        source_weights: None,
+        arrival_rate: so_rate,
+        mean_holding: Seconds::new(80.0),
+        max_holding: Seconds::new(240.0),
+        deadline: (Seconds::from_millis(300.0), Seconds::from_millis(500.0)),
+        source: DualPeriodicEnvelope::new(
+            Bits::from_mbits(0.002),
+            Seconds::from_millis(100.0),
+            Bits::from_mbits(0.0005),
+            Seconds::from_millis(25.0),
+            BitsPerSec::from_mbps(100.0),
+        )
+        .expect("valid obs_sharded envelope"),
+        requests: so_requests,
+        seed: so_seed,
+    };
+    let mut so_cac = CacConfig::fast().with_beta(0.0);
+    so_cac.min_frame_efficiency = 0.8;
+    so_cfg.options = AdmissionOptions::beta_search(so_cac);
+    so_cfg.sample_period = 64;
+    so_cfg.trace_decisions = false;
+    let mut so_on_cfg = so_cfg.clone();
+    so_on_cfg.obs = ObsOptions {
+        spans: true,
+        telemetry_period: Some(Seconds::new(10.0)),
+        flight_capacity: 64,
+        flight_min_samples: 32,
+        ..ObsOptions::default()
+    };
+    let timed_sharded = |cfg: &ServiceConfig| {
+        let engine = ShardedEngine::new(HetNetwork::grid(so_rings, 3), cfg, so_workers)
+            .expect("obs_sharded engine");
+        let flight = engine.flight_recorder();
+        let start = Instant::now();
+        let (run, _) = engine.run().expect("obs_sharded run");
+        (start.elapsed().as_secs_f64(), run, flight)
+    };
+    eprintln!(
+        "obs sharded: {so_rings} rings, {so_requests} requests at {so_rate}/s x {so_reps} reps \
+         (seed {so_seed})"
+    );
+    let _ = timed_sharded(&so_cfg); // untimed warmup, as for `obs`
+    let mut so_off = f64::INFINITY;
+    let mut so_off_repeat = f64::INFINITY;
+    let mut so_on = f64::INFINITY;
+    let mut so_off_run = None;
+    let mut so_on_run = None;
+    let mut so_outliers = 0u64;
+    for rep in 0..so_reps {
+        for pos in 0..3 {
+            match (pos + rep) % 3 {
+                0 => {
+                    let (s, r, _) = timed_sharded(&so_cfg);
+                    so_off = so_off.min(s);
+                    so_off_run = Some(r);
+                }
+                1 => so_off_repeat = so_off_repeat.min(timed_sharded(&so_cfg).0),
+                _ => {
+                    let (s, r, flight) = timed_sharded(&so_on_cfg);
+                    so_on = so_on.min(s);
+                    so_outliers = flight.captured();
+                    so_on_run = Some(r);
+                }
+            }
+        }
+    }
+    let so_off_run = so_off_run.expect("at least one off rep");
+    let so_on_run = so_on_run.expect("at least one on rep");
+    let so_identical = sharded_runs_equivalent(&so_on_run, &so_off_run);
+    let so_frames = so_on_run.telemetry.len();
+    let so_aa_pct = (so_off_repeat - so_off) / so_off * 100.0;
+    let so_overhead_pct = (so_on - so_off) / so_off * 100.0;
+    eprintln!(
+        "  off {so_off:.3} s (repeat delta {so_aa_pct:+.2}%), on {so_on:.3} s \
+         ({so_overhead_pct:+.2}%), {so_outliers} flight outliers, {so_frames} telemetry \
+         frames, decisions identical: {so_identical}"
+    );
+    let obs_sharded_json = format!(
+        concat!(
+            "{{\"rings\": {}, \"workers\": {}, \"requests\": {}, \"reps\": {}, ",
+            "\"off_seconds\": {:.6}, \"off_repeat_seconds\": {:.6}, \"aa_delta_pct\": {:.3}, ",
+            "\"on_seconds\": {:.6}, \"overhead_pct\": {:.3}, ",
+            "\"flight_outliers\": {}, \"telemetry_frames\": {}, \"decisions_identical\": {}}}"
+        ),
+        so_rings,
+        so_workers,
+        so_requests,
+        so_reps,
+        so_off,
+        so_off_repeat,
+        so_aa_pct,
+        so_on,
+        so_overhead_pct,
+        so_outliers,
+        so_frames,
+        so_identical,
+    );
+
     // Sharded admission at scale: a seeded Poisson churn workload on a
     // grid topology far beyond the paper's three rings, run through the
     // ring-partitioned engine. Three arms over the same schedule:
@@ -815,6 +937,7 @@ fn main() {
             "  \"scheduler_compare\": {},\n",
             "  \"decision_latency\": {},\n",
             "  \"obs\": {},\n",
+            "  \"obs_sharded\": {},\n",
             "  \"shard_scale\": {},\n",
             "  \"faults\": {}\n",
             "}}\n"
@@ -836,6 +959,7 @@ fn main() {
         scheduler_compare_json,
         decision_latency_json,
         obs_json,
+        obs_sharded_json,
         shard_scale_json,
         faults_json,
     );

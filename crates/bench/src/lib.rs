@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod top;
 
 use hetnet_cac::cac::CacConfig;
 use hetnet_cac::experiment::{run_admission_experiment, ExperimentResult, Workload};

@@ -10,6 +10,13 @@
 //! values verbatim, every number replaced by `N` — deduplicated,
 //! sorted, and compared against `tests/golden/obs_schema.txt`.
 //!
+//! The same file also pins the [`hetnet_obs::MetricsRegistry`]
+//! OpenMetrics exposition format (`registry` prefix) and the
+//! [`hetnet_obs::FlightRecorder`] JSON shape (`flight` prefix),
+//! including the span-timeline envelope
+//! (`{phase, shard, ledger_version, record}`) embedded in a captured
+//! outlier.
+//!
 //! The shape set is insensitive to timings and eval counts, but any
 //! key rename, field addition/removal, or structural change shows up
 //! as a diff. After an *intentional* schema change, regenerate with:
@@ -152,6 +159,59 @@ fn exporter_schemas_match_golden_file() {
     for line in trace.to_prometheus().lines() {
         shapes.insert(format!("prom {}", shape(line)));
     }
+
+    // Registry exposition schema: one family of each kind, labelled
+    // and label-free, so every header/sample form appears.
+    let registry = hetnet_obs::MetricsRegistry::new();
+    registry
+        .counter(
+            "hetnet_decisions_total",
+            "Admission decisions, by outcome.",
+            &[("outcome", "admit")],
+        )
+        .add(3);
+    registry
+        .gauge(
+            "hetnet_active_connections",
+            "Connections currently admitted.",
+            &[],
+        )
+        .set(2.0);
+    let latency = registry.histogram(
+        "hetnet_decision_latency_seconds",
+        "Wall-clock admission decision latency.",
+        &[],
+    );
+    latency.observe(1e-4);
+    latency.observe(2e-4);
+    for line in registry.to_openmetrics().lines() {
+        shapes.insert(format!("registry {}", shape(line)));
+    }
+
+    // Flight-recorder schema: one conflict outlier carrying both
+    // payloads — a real decision trace and a span-timeline envelope.
+    let flight = hetnet_obs::FlightRecorder::new(4, 1_000_000);
+    flight.observe(
+        &hetnet_obs::FlightObservation {
+            correlation: 7,
+            shard: Some(1),
+            at_seconds: 3.5,
+            latency_seconds: 2e-4,
+            conflict: true,
+            reject_class: Some("deadline"),
+        },
+        || {
+            (
+                decision_lines[0].clone(),
+                "[{\"phase\":\"speculate\",\"shard\":1,\"ledger_version\":7,\
+                 \"record\":{\"seq\":0,\"at_ns\":1,\"kind\":\"event\",\
+                 \"name\":\"probe\",\"span\":0,\"fields\":{}}}]"
+                    .to_string(),
+            )
+        },
+    );
+    shapes.insert(format!("flight {}", shape(&flight.to_json())));
+
     let mut rendered = String::new();
     for s in &shapes {
         rendered.push_str(s);

@@ -5,7 +5,7 @@
 //! rejection") and [`Trace::to_prometheus`] for scrape-style counters
 //! over a run.
 
-use crate::{FieldValue, RecordKind, Trace};
+use crate::{FieldValue, RecordKind, Trace, TraceRecord};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -26,6 +26,68 @@ pub fn push_json_str(out: &mut String, text: &str) {
         }
     }
     out.push('"');
+}
+
+/// Appends a Prometheus/OpenMetrics label *value* (quotes included),
+/// escaped per the text exposition format: backslash, double-quote,
+/// and line-feed.
+pub fn push_label_value(out: &mut String, value: &str) {
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends the `# HELP` / `# TYPE` header of one metric family. Help
+/// text is escaped per the exposition format (backslash, line-feed).
+pub fn push_family_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    for ch in help.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Appends one trace record as a JSON object — the exact per-line
+/// shape of [`Trace::to_json_lines`] (six keys, fixed order), without
+/// the trailing newline. Lets embedders wrap records in their own
+/// envelope (e.g. shard-tagged span timelines).
+pub fn push_record_json(out: &mut String, r: &TraceRecord) {
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"at_ns\":{},\"kind\":\"{}\",\"name\":",
+        r.seq,
+        r.at_nanos,
+        r.kind.name()
+    );
+    push_json_str(out, r.name);
+    let _ = write!(out, ",\"span\":{},\"fields\":{{", r.span);
+    for (i, (key, value)) in r.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, key);
+        out.push(':');
+        push_field_value(out, value);
+    }
+    out.push_str("}}");
 }
 
 fn push_field_value(out: &mut String, value: &FieldValue) {
@@ -63,24 +125,8 @@ impl Trace {
     pub fn to_json_lines(&self) -> String {
         let mut out = String::with_capacity(self.records().len() * 96);
         for r in self.records() {
-            let _ = write!(
-                out,
-                "{{\"seq\":{},\"at_ns\":{},\"kind\":\"{}\",\"name\":",
-                r.seq,
-                r.at_nanos,
-                r.kind.name()
-            );
-            push_json_str(&mut out, r.name);
-            let _ = write!(out, ",\"span\":{},\"fields\":{{", r.span);
-            for (i, (key, value)) in r.fields.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                push_json_str(&mut out, key);
-                out.push(':');
-                push_field_value(&mut out, value);
-            }
-            out.push_str("}}\n");
+            push_record_json(&mut out, r);
+            out.push('\n');
         }
         out
     }
@@ -116,23 +162,37 @@ impl Trace {
         }
 
         let mut out = String::new();
-        out.push_str("# TYPE hetnet_obs_events_total counter\n");
+        push_family_header(
+            &mut out,
+            "hetnet_obs_events_total",
+            "Point-in-time trace events collected, by record name.",
+            "counter",
+        );
         for (name, count) in &events {
-            let _ = writeln!(out, "hetnet_obs_events_total{{name=\"{name}\"}} {count}");
+            out.push_str("hetnet_obs_events_total{name=");
+            push_label_value(&mut out, name);
+            let _ = writeln!(out, "}} {count}");
         }
-        out.push_str("# TYPE hetnet_obs_span_duration_seconds summary\n");
+        push_family_header(
+            &mut out,
+            "hetnet_obs_span_duration_seconds",
+            "Span count and total duration, by span name.",
+            "summary",
+        );
         for (name, (count, sum_ns)) in &spans {
-            let _ = writeln!(
-                out,
-                "hetnet_obs_span_duration_seconds_count{{name=\"{name}\"}} {count}"
-            );
-            let _ = writeln!(
-                out,
-                "hetnet_obs_span_duration_seconds_sum{{name=\"{name}\"}} {:.9}",
-                *sum_ns as f64 * 1e-9
-            );
+            out.push_str("hetnet_obs_span_duration_seconds_count{name=");
+            push_label_value(&mut out, name);
+            let _ = writeln!(out, "}} {count}");
+            out.push_str("hetnet_obs_span_duration_seconds_sum{name=");
+            push_label_value(&mut out, name);
+            let _ = writeln!(out, "}} {:.9}", *sum_ns as f64 * 1e-9);
         }
-        out.push_str("# TYPE hetnet_obs_dropped_records_total counter\n");
+        push_family_header(
+            &mut out,
+            "hetnet_obs_dropped_records_total",
+            "Trace records overwritten because the ring buffer was full.",
+            "counter",
+        );
         let _ = writeln!(out, "hetnet_obs_dropped_records_total {}", self.dropped());
         out
     }
@@ -188,6 +248,25 @@ mod tests {
         assert!(text.contains("hetnet_obs_span_duration_seconds_count{name=\"admit\"} 1"));
         assert!(text.contains("hetnet_obs_span_duration_seconds_sum{name=\"admit\"} "));
         assert!(text.contains("hetnet_obs_dropped_records_total 0"));
+        // Exposition-format headers: every # TYPE is preceded by # HELP.
+        for family in [
+            "hetnet_obs_events_total",
+            "hetnet_obs_span_duration_seconds",
+            "hetnet_obs_dropped_records_total",
+        ] {
+            assert!(text.contains(&format!("# HELP {family} ")), "{family}");
+            assert!(text.contains(&format!("# TYPE {family} ")), "{family}");
+        }
+    }
+
+    #[test]
+    fn label_values_escape_per_exposition_format() {
+        let mut out = String::new();
+        super::push_label_value(&mut out, "a\\b\"c\nd");
+        assert_eq!(out, "\"a\\\\b\\\"c\\nd\"");
+        let mut hdr = String::new();
+        super::push_family_header(&mut hdr, "m", "multi\nline \\help", "gauge");
+        assert_eq!(hdr, "# HELP m multi\\nline \\\\help\n# TYPE m gauge\n");
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! An always-on flight recorder for outlier decisions.
+//!
+//! Aggregates (the registry, the end-of-run report) tell you *that*
+//! p99 moved; the flight recorder keeps the evidence: for every
+//! outlier decision it retains the pre-rendered decision trace and
+//! span timeline handed to it by the engine. A decision is an outlier
+//! when any of:
+//!
+//! * its latency exceeds the rolling p99 of all decisions seen so far
+//!   (after a warmup of `min_samples`),
+//! * it took a conflict-recompute path (sharded commit invalidated the
+//!   speculation),
+//! * its rejection class differs from the previous rejection's class
+//!   (including the first rejection of a run).
+//!
+//! Retention is a bounded ring: the newest `capacity` outliers
+//! survive, an eviction counter records the rest. Payload rendering is
+//! lazy — the closure only runs for captured outliers, so the
+//! non-outlier hot path pays one histogram insert and a few compares.
+//!
+//! The recorder is self-synchronized (a mutex around plain state);
+//! shard committers and single-threaded engines share the same type.
+
+use crate::export::push_json_str;
+use crate::hist::GeometricHistogram;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Why a decision was captured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutlierCause {
+    /// Latency above the rolling p99 threshold.
+    LatencyP99,
+    /// Sharded speculation was invalidated and recomputed.
+    ConflictRecompute,
+    /// Rejection class differs from the previous rejection.
+    ClassTransition,
+}
+
+impl OutlierCause {
+    /// Stable lowercase name used by the JSON export.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::LatencyP99 => "latency_p99",
+            Self::ConflictRecompute => "conflict_recompute",
+            Self::ClassTransition => "class_transition",
+        }
+    }
+
+    const ALL: [Self; 3] = [
+        Self::LatencyP99,
+        Self::ConflictRecompute,
+        Self::ClassTransition,
+    ];
+}
+
+/// Everything the recorder needs to judge one decision; cheap to build
+/// on the hot path.
+#[derive(Clone, Debug)]
+pub struct FlightObservation<'a> {
+    /// Correlation id of the decision (the audit sequence number).
+    pub correlation: u64,
+    /// Shard that evaluated the decision; `None` for single-threaded
+    /// engines and committer-inline recomputes.
+    pub shard: Option<u32>,
+    /// Event-stream time of the decision, seconds.
+    pub at_seconds: f64,
+    /// Wall-clock decision latency, seconds.
+    pub latency_seconds: f64,
+    /// Whether the decision took a conflict-recompute path.
+    pub conflict: bool,
+    /// The rejection class (`None` for admits).
+    pub reject_class: Option<&'a str>,
+}
+
+/// One retained outlier.
+#[derive(Clone, Debug)]
+pub struct OutlierRecord {
+    /// Correlation id (audit sequence number).
+    pub correlation: u64,
+    /// Shard id, if any.
+    pub shard: Option<u32>,
+    /// Event-stream time, seconds.
+    pub at_seconds: f64,
+    /// Decision latency, seconds.
+    pub latency_seconds: f64,
+    /// Why it was captured (first matching cause by severity:
+    /// conflict > class transition > latency).
+    pub cause: OutlierCause,
+    /// Human-oriented one-liner (e.g. the class transition).
+    pub detail: String,
+    /// Pre-rendered decision-trace JSON (one object), `"null"` when
+    /// decision tracing was off.
+    pub trace_json: String,
+    /// Pre-rendered span-timeline JSON (one array), `"[]"` when span
+    /// collection was off.
+    pub spans_json: String,
+}
+
+#[derive(Debug)]
+struct Inner {
+    latency: GeometricHistogram,
+    retained: VecDeque<OutlierRecord>,
+    evicted: u64,
+    captured_by_cause: [u64; 3],
+    last_reject_class: Option<String>,
+}
+
+/// The recorder. Wrap in an [`std::sync::Arc`] to share with a
+/// committer thread.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    min_samples: u64,
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` outliers (clamped to at
+    /// least 1) and ignoring latency outliers until `min_samples`
+    /// decisions have been observed.
+    #[must_use]
+    pub fn new(capacity: usize, min_samples: u64) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            min_samples,
+            inner: Mutex::new(Inner {
+                latency: GeometricHistogram::new(),
+                retained: VecDeque::new(),
+                evicted: 0,
+                captured_by_cause: [0; 3],
+                last_reject_class: None,
+            }),
+        }
+    }
+
+    /// Observes one decision; `payload` renders `(trace_json,
+    /// spans_json)` and runs only if the decision is captured. Returns
+    /// the capture cause, if any.
+    pub fn observe(
+        &self,
+        obs: &FlightObservation<'_>,
+        payload: impl FnOnce() -> (String, String),
+    ) -> Option<OutlierCause> {
+        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        let inner = &mut *inner;
+
+        let mut cause = None;
+        let mut detail = String::new();
+        if obs.conflict {
+            cause = Some(OutlierCause::ConflictRecompute);
+            detail.push_str("speculation invalidated; recomputed at commit");
+        } else if let Some(class) = obs.reject_class {
+            if inner.last_reject_class.as_deref() != Some(class) {
+                cause = Some(OutlierCause::ClassTransition);
+                let _ = write!(
+                    detail,
+                    "rejection class {} -> {class}",
+                    inner.last_reject_class.as_deref().unwrap_or("(none)")
+                );
+            }
+        }
+        if cause.is_none()
+            && inner.latency.count() >= self.min_samples
+            && obs.latency_seconds > inner.latency.quantile(0.99)
+        {
+            cause = Some(OutlierCause::LatencyP99);
+            let _ = write!(
+                detail,
+                "latency {:.1}us above rolling p99 {:.1}us",
+                obs.latency_seconds * 1e6,
+                inner.latency.quantile(0.99) * 1e6
+            );
+        }
+
+        // Fold the observation in *after* the outlier check so the
+        // threshold reflects history, not the sample under test.
+        inner.latency.record(obs.latency_seconds);
+        if let Some(class) = obs.reject_class {
+            inner.last_reject_class = Some(class.to_string());
+        }
+
+        let cause = cause?;
+        inner.captured_by_cause[match cause {
+            OutlierCause::LatencyP99 => 0,
+            OutlierCause::ConflictRecompute => 1,
+            OutlierCause::ClassTransition => 2,
+        }] += 1;
+        let (trace_json, spans_json) = payload();
+        if inner.retained.len() == self.capacity {
+            inner.retained.pop_front();
+            inner.evicted += 1;
+        }
+        inner.retained.push_back(OutlierRecord {
+            correlation: obs.correlation,
+            shard: obs.shard,
+            at_seconds: obs.at_seconds,
+            latency_seconds: obs.latency_seconds,
+            cause,
+            detail,
+            trace_json,
+            spans_json,
+        });
+        Some(cause)
+    }
+
+    /// Decisions observed so far.
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .latency
+            .count()
+    }
+
+    /// Outliers captured so far (retained + evicted).
+    #[must_use]
+    pub fn captured(&self) -> u64 {
+        let inner = self.inner.lock().expect("flight recorder poisoned");
+        inner.captured_by_cause.iter().sum()
+    }
+
+    /// The currently retained outliers, oldest first.
+    #[must_use]
+    pub fn retained(&self) -> Vec<OutlierRecord> {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .retained
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Renders the recorder as one JSON object:
+    ///
+    /// ```text
+    /// {"seen":N,"captured":N,"retained":N,"evicted":N,
+    ///  "threshold_us":N,
+    ///  "by_cause":{"latency_p99":N,"conflict_recompute":N,"class_transition":N},
+    ///  "outliers":[{"correlation":N,"shard":N|null,"at":N,"latency_us":N,
+    ///               "cause":"...","detail":"...","trace":{...}|null,"spans":[...]}]}
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().expect("flight recorder poisoned");
+        let mut out = String::with_capacity(256 + inner.retained.len() * 256);
+        let captured: u64 = inner.captured_by_cause.iter().sum();
+        let _ = write!(
+            out,
+            "{{\"seen\":{},\"captured\":{},\"retained\":{},\"evicted\":{},\"threshold_us\":{:.3}",
+            inner.latency.count(),
+            captured,
+            inner.retained.len(),
+            inner.evicted,
+            inner.latency.quantile(0.99) * 1e6
+        );
+        out.push_str(",\"by_cause\":{");
+        for (i, cause) in OutlierCause::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, cause.name());
+            let _ = write!(out, ":{}", inner.captured_by_cause[i]);
+        }
+        out.push_str("},\"outliers\":[");
+        for (i, r) in inner.retained.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"correlation\":{},\"shard\":", r.correlation);
+            match r.shard {
+                Some(s) => {
+                    let _ = write!(out, "{s}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ",\"at\":{:.6},\"latency_us\":{:.3},\"cause\":\"{}\",\"detail\":",
+                r.at_seconds,
+                r.latency_seconds * 1e6,
+                r.cause.name()
+            );
+            push_json_str(&mut out, &r.detail);
+            out.push_str(",\"trace\":");
+            out.push_str(&r.trace_json);
+            out.push_str(",\"spans\":");
+            out.push_str(&r.spans_json);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(correlation: u64, latency: f64) -> FlightObservation<'static> {
+        FlightObservation {
+            correlation,
+            shard: None,
+            at_seconds: correlation as f64,
+            latency_seconds: latency,
+            conflict: false,
+            reject_class: None,
+        }
+    }
+
+    #[test]
+    fn latency_outliers_wait_for_warmup() {
+        let fr = FlightRecorder::new(8, 10);
+        for i in 0..10 {
+            assert_eq!(fr.observe(&obs(i, 1e-5), || panic!("not captured")), None);
+        }
+        // Warmup done; a value far above p99 captures.
+        let cause = fr.observe(&obs(10, 1e-2), || ("null".into(), "[]".into()));
+        assert_eq!(cause, Some(OutlierCause::LatencyP99));
+        // A normal value right after does not.
+        assert_eq!(fr.observe(&obs(11, 1e-5), || panic!("not captured")), None);
+        assert_eq!(fr.captured(), 1);
+        assert_eq!(fr.seen(), 12);
+    }
+
+    #[test]
+    fn class_transitions_capture_including_the_first() {
+        let fr = FlightRecorder::new(8, 1_000_000);
+        let reject = |c, class| FlightObservation {
+            reject_class: Some(class),
+            ..obs(c, 1e-5)
+        };
+        let p = || ("null".to_string(), "[]".to_string());
+        assert_eq!(
+            fr.observe(&reject(0, "deadline"), p),
+            Some(OutlierCause::ClassTransition)
+        );
+        assert_eq!(fr.observe(&reject(1, "deadline"), p), None);
+        assert_eq!(
+            fr.observe(&reject(2, "bandwidth"), p),
+            Some(OutlierCause::ClassTransition)
+        );
+        let retained = fr.retained();
+        assert_eq!(retained.len(), 2);
+        assert!(retained[0].detail.contains("(none) -> deadline"));
+        assert!(retained[1].detail.contains("deadline -> bandwidth"));
+    }
+
+    #[test]
+    fn conflicts_always_capture_and_ring_evicts() {
+        let fr = FlightRecorder::new(2, 1_000_000);
+        for i in 0..5 {
+            let o = FlightObservation {
+                conflict: true,
+                shard: Some(3),
+                ..obs(i, 1e-5)
+            };
+            assert_eq!(
+                fr.observe(&o, || ("null".into(), "[]".into())),
+                Some(OutlierCause::ConflictRecompute)
+            );
+        }
+        assert_eq!(fr.captured(), 5);
+        let retained = fr.retained();
+        assert_eq!(retained.len(), 2);
+        assert_eq!(retained[0].correlation, 3);
+        assert_eq!(retained[1].correlation, 4);
+    }
+
+    #[test]
+    fn json_shape_holds_with_and_without_outliers() {
+        let fr = FlightRecorder::new(4, 1_000_000);
+        let empty = fr.to_json();
+        assert!(empty.starts_with("{\"seen\":0,"));
+        assert!(empty.ends_with("\"outliers\":[]}"));
+        let o = FlightObservation {
+            conflict: true,
+            shard: Some(1),
+            reject_class: Some("deadline"),
+            ..obs(7, 2e-4)
+        };
+        fr.observe(&o, || {
+            (
+                "{\"seq\":7}".to_string(),
+                "[{\"name\":\"admit\"}]".to_string(),
+            )
+        });
+        let json = fr.to_json();
+        assert!(json.contains("\"by_cause\":{\"latency_p99\":0,\"conflict_recompute\":1,"));
+        assert!(json.contains("\"correlation\":7,\"shard\":1,"));
+        assert!(json.contains("\"cause\":\"conflict_recompute\""));
+        assert!(json.contains("\"trace\":{\"seq\":7}"));
+        assert!(json.contains("\"spans\":[{\"name\":\"admit\"}]"));
+    }
+}

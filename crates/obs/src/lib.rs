@@ -17,10 +17,15 @@
 //!    plain structs; timestamps are monotonic nanoseconds from the
 //!    subscriber's install instant; exporters are hand-written
 //!    (JSON-lines and Prometheus text, see [`Trace`]).
-//! 3. **Thread-local.** A subscriber observes the thread it was
-//!    installed on — the engine's decision loop is single-threaded, and
-//!    parallel region workers are deliberately *not* observed (their
-//!    events hit the disabled fast path).
+//! 3. **Thread-local collection, shared aggregation.** A subscriber
+//!    observes the thread it was installed on — shard workers install
+//!    their own subscriber per decision and hand the finished trace to
+//!    the committer. Cross-thread state lives in the sibling modules:
+//!    a [`registry::MetricsRegistry`] of atomic counters, gauges, and
+//!    [`hist::AtomicHistogram`]s that any thread can update; a
+//!    [`ring::SharedRing`] for merged traces and telemetry frames; and
+//!    a [`flight::FlightRecorder`] retaining the full evidence for
+//!    outlier decisions.
 //!
 //! ```
 //! use hetnet_obs as obs;
@@ -41,6 +46,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod export;
+pub mod flight;
+pub mod hist;
+pub mod registry;
+pub mod ring;
+
+pub use flight::{FlightObservation, FlightRecorder, OutlierCause, OutlierRecord};
+pub use hist::{AtomicHistogram, GeometricHistogram};
+pub use registry::{MetricsRegistry, RegistrySnapshot};
+pub use ring::SharedRing;
 
 /// One typed field value attached to a record.
 ///

@@ -1,0 +1,144 @@
+//! A cross-thread overwrite ring buffer.
+//!
+//! The thread-local collector ring (see the crate root) serves the
+//! single-threaded decision loop; shard workers and the committer need
+//! a ring that many threads can push into — merged decision traces and
+//! periodic telemetry frames flow through one of these. Writes take a
+//! short mutex (records are pushed whole, so readers never observe a
+//! torn record); the overwrite counter is an atomic readable without
+//! the lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fixed-capacity multi-producer ring; the oldest element is
+/// overwritten once full.
+#[derive(Debug)]
+pub struct SharedRing<T> {
+    inner: Mutex<Inner<T>>,
+    dropped: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Next overwrite slot once the ring has wrapped.
+    write: usize,
+    /// Total elements ever pushed.
+    pushed: u64,
+}
+
+impl<T> SharedRing<T> {
+    /// An empty ring holding at most `capacity` elements (clamped to
+    /// at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner {
+                buf: Vec::with_capacity(capacity.min(4096)),
+                capacity,
+                write: 0,
+                pushed: 0,
+            }),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Pushes one element, overwriting (and counting) the oldest when
+    /// full. Safe to call from any thread.
+    pub fn push(&self, item: T) {
+        let mut inner = self.inner.lock().expect("ring poisoned");
+        inner.pushed += 1;
+        if inner.buf.len() < inner.capacity {
+            inner.buf.push(item);
+        } else {
+            let w = inner.write;
+            inner.buf[w] = item;
+            inner.write = (w + 1) % inner.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes and returns everything currently held, oldest first.
+    pub fn drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("ring poisoned");
+        let mut out = std::mem::take(&mut inner.buf);
+        if inner.write > 0 {
+            out.rotate_left(inner.write);
+        }
+        inner.write = 0;
+        out
+    }
+
+    /// A copy of everything currently held, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let inner = self.inner.lock().expect("ring poisoned");
+        let mut out = inner.buf.clone();
+        if inner.write > 0 {
+            out.rotate_left(inner.write);
+        }
+        out
+    }
+
+    /// Elements overwritten because the ring was full. Monotone
+    /// non-decreasing across the ring's lifetime.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total elements ever pushed.
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().expect("ring poisoned").pushed
+    }
+
+    /// Elements currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring poisoned").buf.len()
+    }
+
+    /// Whether the ring currently holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overwrites_oldest_and_keeps_order() {
+        let ring = SharedRing::new(4);
+        for i in 0..10u64 {
+            ring.push(i);
+        }
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.snapshot(), vec![6, 7, 8, 9]);
+        assert_eq!(ring.drain(), vec![6, 7, 8, 9]);
+        assert!(ring.is_empty());
+        // Drain resets positions, not counters.
+        ring.push(42);
+        assert_eq!(ring.snapshot(), vec![42]);
+        assert_eq!(ring.dropped(), 6);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let ring = SharedRing::new(0);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.snapshot(), vec![2]);
+        assert_eq!(ring.dropped(), 1);
+    }
+}

@@ -33,6 +33,7 @@ use crate::metrics::{
     CacheGauges, DecisionCounters, DelayAttribution, FastPathGauges, LatencyHistogram,
     RecoveryMetrics, UtilizationSeries,
 };
+use crate::observability::{spans_to_json, EngineMetrics, ObsOptions, Telemetry, TelemetryFrame};
 use crate::report::{LatencySummary, ServiceReport, StageDelaySummary};
 use hetnet_cac::cac::{
     AdmissionOptions, Decision, DecisionObserver, DecisionRecord, NetworkState, RejectReason,
@@ -41,6 +42,7 @@ use hetnet_cac::connection::{ConnectionId, ConnectionSpec};
 use hetnet_cac::error::CacError;
 use hetnet_cac::network::{Component, HetNetwork, LinkId, RingId, Scheduler};
 use hetnet_cac::snapshot::StateSnapshot;
+use hetnet_obs::{FlightObservation, FlightRecorder, MetricsRegistry, SharedRing};
 use hetnet_sim::churn::{self, ChurnConfig, ChurnSchedule};
 use hetnet_sim::fault::{generate_faults, FaultConfig, FaultEvent, FaultKind};
 use hetnet_traffic::envelope::SharedEnvelope;
@@ -88,6 +90,9 @@ pub struct ServiceConfig {
     /// bit-identical across settings; `0` or `1` keeps every
     /// connection in class 0 (the FIFO behavior).
     pub classes: u8,
+    /// Observability knobs: span collection, periodic telemetry, and
+    /// flight-recorder sizing. Decision-neutral by construction.
+    pub obs: ObsOptions,
 }
 
 impl ServiceConfig {
@@ -106,6 +111,7 @@ impl ServiceConfig {
             readmit: true,
             scheduler: None,
             classes: 1,
+            obs: ObsOptions::default(),
         }
     }
 
@@ -140,6 +146,9 @@ pub struct ServiceRun {
     /// The state after the last event, still holding the connections
     /// whose departures lie beyond the final arrival.
     pub state: NetworkState,
+    /// Telemetry frames retained at run end (empty unless
+    /// [`ObsOptions::telemetry_period`] was set).
+    pub telemetry: Vec<TelemetryFrame>,
 }
 
 /// Streaming metrics consumer installed as the state's
@@ -251,6 +260,14 @@ pub struct ServiceEngine {
     gauges: Arc<Mutex<CacheGauges>>,
     fast: Arc<Mutex<FastPathGauges>>,
     attribution: Arc<Mutex<DelayAttribution>>,
+    registry: Arc<MetricsRegistry>,
+    mx: EngineMetrics,
+    flight: Arc<FlightRecorder>,
+    telemetry_ring: Arc<SharedRing<TelemetryFrame>>,
+    telemetry: Telemetry,
+    /// Simulated time of the last processed event, for the final
+    /// telemetry frame.
+    last_event: f64,
     peak_active: usize,
     ring_caps: Vec<f64>,
     topology: String,
@@ -327,6 +344,15 @@ impl ServiceEngine {
             .map(|r| r.allocatable().value())
             .collect();
         let sample_period = cfg.sample_period;
+        let registry = Arc::new(MetricsRegistry::new());
+        let mx = EngineMetrics::register(&registry);
+        let flight = Arc::new(FlightRecorder::new(
+            cfg.obs.flight_capacity,
+            cfg.obs.flight_min_samples,
+        ));
+        let telemetry_ring = Arc::new(SharedRing::new(cfg.obs.telemetry_capacity));
+        let telemetry =
+            Telemetry::new(&cfg.obs, Arc::clone(&registry), Arc::clone(&telemetry_ring));
         Ok(Self {
             cfg: cfg.clone(),
             state,
@@ -347,6 +373,12 @@ impl ServiceEngine {
             gauges,
             fast,
             attribution,
+            registry,
+            mx,
+            flight,
+            telemetry_ring,
+            telemetry,
+            last_event: 0.0,
             peak_active: 0,
             ring_caps,
             topology,
@@ -453,6 +485,27 @@ impl ServiceEngine {
     #[must_use]
     pub fn pending_arrivals(&self) -> usize {
         self.schedule.arrivals.len() - self.next_arrival
+    }
+
+    /// The shared metrics registry this engine updates. Snapshot it
+    /// from any thread to watch the run live.
+    #[must_use]
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The always-on outlier flight recorder.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.flight)
+    }
+
+    /// The shared ring periodic telemetry frames land in (empty unless
+    /// [`ObsOptions::telemetry_period`] is set). Poll it from another
+    /// thread for a `hetnet-top`-style live view.
+    #[must_use]
+    pub fn telemetry_ring(&self) -> Arc<SharedRing<TelemetryFrame>> {
+        Arc::clone(&self.telemetry_ring)
     }
 
     /// Backbone traffic class for a churn connection, derived from the
@@ -699,10 +752,51 @@ impl ServiceEngine {
         let deadline = spec.deadline.value();
         self.state.set_clock(at);
         let t0 = Instant::now();
-        let decision = self.state.admit(spec, &self.cfg.options)?;
-        self.latency
-            .record(Seconds::new(t0.elapsed().as_secs_f64()));
+        let (decision, spans) = if self.cfg.obs.spans && hetnet_obs::is_enabled() {
+            let state = &mut self.state;
+            let options = &self.cfg.options;
+            let (decision, trace) =
+                hetnet_obs::collect(self.cfg.obs.span_capacity, || state.admit(spec, options));
+            (decision?, Some(trace))
+        } else {
+            (self.state.admit(spec, &self.cfg.options)?, None)
+        };
+        let latency_seconds = t0.elapsed().as_secs_f64();
+        self.latency.record(Seconds::new(latency_seconds));
+        self.mx.on_decision(
+            matches!(decision, Decision::Admitted { .. }),
+            latency_seconds,
+            &self.state.last_cache_stats().unwrap_or_default(),
+            &self.state.last_fast_path_stats().unwrap_or_default(),
+        );
         let outcome = AuditOutcome::from_decision(&decision);
+        let correlation = self.state.decisions() - 1;
+        let reject_class = match &outcome {
+            AuditOutcome::Rejected { class, .. } => Some(*class),
+            AuditOutcome::Admitted { .. } => None,
+        };
+        let observation = FlightObservation {
+            correlation,
+            shard: None,
+            at_seconds: at.value(),
+            latency_seconds,
+            conflict: false,
+            reject_class,
+        };
+        let state = &self.state;
+        let captured = self.flight.observe(&observation, || {
+            let trace_json = state
+                .last_decision_trace()
+                .map_or_else(|| "null".to_string(), |t| t.to_json_line());
+            let spans_json = spans.as_ref().map_or_else(
+                || "[]".to_string(),
+                |t| spans_to_json(&[("decide", None, t)], None),
+            );
+            (trace_json, spans_json)
+        });
+        if captured.is_some() {
+            self.mx.outlier_captured();
+        }
         match &decision {
             Decision::Admitted { id, .. } => {
                 self.counters.admitted += 1;
@@ -712,7 +806,7 @@ impl ServiceEngine {
             Decision::Rejected(reason) => self.counters.count_rejection(reason),
         }
         self.audit.append(AuditEntry {
-            seq: self.state.decisions() - 1,
+            seq: correlation,
             at,
             kind,
             arrival,
@@ -725,13 +819,17 @@ impl ServiceEngine {
         Ok(decision)
     }
 
-    /// Offers a post-event utilization sample and tracks the peak.
+    /// Offers a post-event utilization sample, tracks the peak, and
+    /// cuts any telemetry frames due at or before `at`.
     fn offer_sample(&mut self, at: Seconds) {
         let active = self.state.active().len();
         self.peak_active = self.peak_active.max(active);
         let state = &self.state;
         let caps = &self.ring_caps;
         self.series.offer(at, active, || utilization(state, caps));
+        self.mx.set_active(active);
+        self.last_event = self.last_event.max(at.value());
+        self.telemetry.offer(at.value());
     }
 
     /// Assembles the final [`ServiceRun`].
@@ -739,6 +837,7 @@ impl ServiceEngine {
         self.recovery.undrained = self.open_faults.len() as u64;
         let wall_seconds = self.started.elapsed().as_secs_f64();
         self.state.set_observer(None);
+        self.telemetry.finish(self.last_event);
         let cache = *self.gauges.lock().expect("gauges mutex poisoned");
         let fast_path = *self.fast.lock().expect("fast-path mutex poisoned");
         let delay_attribution = StageDelaySummary::from_attribution(
@@ -769,12 +868,15 @@ impl ServiceEngine {
             topology: self.topology,
             delay_attribution,
             recovery: self.recovery,
+            shard_cache: Vec::new(),
+            flight_recorder: self.flight.to_json(),
         };
         ServiceRun {
             report,
             audit: self.audit,
             series: self.series,
             state: self.state,
+            telemetry: self.telemetry_ring.drain(),
         }
     }
 }

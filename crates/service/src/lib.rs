@@ -42,6 +42,7 @@
 pub mod audit;
 pub mod engine;
 pub mod metrics;
+pub mod observability;
 pub mod report;
 pub mod sharded;
 
@@ -54,6 +55,7 @@ pub use metrics::{
     BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, FastPathGauges,
     LatencyHistogram, RecoveryMetrics, UtilizationSample, UtilizationSeries,
 };
+pub use observability::{ObsOptions, TelemetryFrame};
 pub use report::{LatencySummary, ServiceReport, StageDelaySummary};
 pub use sharded::{
     run_sharded, runs_equivalent, sharded_runs_equivalent, ShardedEngine, ShardedRun, ShardingStats,

@@ -4,110 +4,60 @@
 //!
 //! Everything here is dependency-free on purpose: the histogram is a
 //! fixed-bucket, HDR-style geometric histogram (constant-time record,
-//! bounded relative quantile error) rather than an external crate.
+//! bounded relative quantile error) whose bucket layout now lives in
+//! [`hetnet_obs::hist`] so the shared metrics registry and this crate
+//! agree on one geometry.
 
 use hetnet_cac::cac::RejectReason;
 use hetnet_cac::delay::CacheStats;
 use hetnet_cac::incremental::FastPathStats;
 use hetnet_cac::trace::{BindingConstraint, DecisionTrace, ServerStage};
+use hetnet_obs::GeometricHistogram;
 use hetnet_traffic::units::Seconds;
 use serde::Serialize;
 
-/// Smallest resolvable latency: one bucket boundary sits at 100 ns.
-const FLOOR: f64 = 1e-7;
-/// Sub-buckets per octave; relative quantile error ≤ 2^(1/4) − 1 ≈ 19%.
-const PER_OCTAVE: f64 = 4.0;
-/// Bucket count: covers `FLOOR · 2^(128/4)` ≈ 429 s before overflow.
-const BUCKETS: usize = 128;
-
-/// Fixed-bucket geometric latency histogram.
+/// Fixed-bucket geometric latency histogram: a [`Seconds`]-typed
+/// facade over [`hetnet_obs::GeometricHistogram`] (which this type's
+/// bucket layout was promoted into).
 ///
 /// Bucket `i` (for `i ≥ 1`) covers latencies in
 /// `(FLOOR · 2^((i−1)/4), FLOOR · 2^(i/4)]`; bucket 0 covers
 /// `[0, FLOOR]`, and one final bucket absorbs overflow. Quantiles
 /// report the *upper bound* of the bucket holding the requested rank,
 /// so they never under-estimate.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Default, Serialize)]
 pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    overflow: u64,
-    total: u64,
-    sum: f64,
-    max: f64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
+    hist: GeometricHistogram,
 }
 
 impl LatencyHistogram {
     /// An empty histogram.
     #[must_use]
     pub fn new() -> Self {
-        Self {
-            counts: vec![0; BUCKETS],
-            overflow: 0,
-            total: 0,
-            sum: 0.0,
-            max: 0.0,
-        }
-    }
-
-    /// The bucket index a latency lands in (`BUCKETS` = overflow).
-    fn bucket_of(seconds: f64) -> usize {
-        if seconds <= FLOOR {
-            return 0;
-        }
-        // ceil(PER_OCTAVE * log2(v / FLOOR)), nudged down so an exact
-        // bucket upper bound stays inside its own bucket despite
-        // floating-point rounding in the log.
-        let idx = (PER_OCTAVE * (seconds / FLOOR).log2() - 1e-9).ceil() as usize;
-        idx.min(BUCKETS)
-    }
-
-    /// The inclusive upper bound of bucket `i`.
-    fn upper_bound(i: usize) -> f64 {
-        FLOOR * 2.0_f64.powf(i as f64 / PER_OCTAVE)
+        Self::default()
     }
 
     /// Records one latency observation (negative values clamp to 0).
     pub fn record(&mut self, latency: Seconds) {
-        let v = latency.value().max(0.0);
-        let b = Self::bucket_of(v);
-        if b >= BUCKETS {
-            self.overflow += 1;
-        } else {
-            self.counts[b] += 1;
-        }
-        self.total += 1;
-        self.sum += v;
-        if v > self.max {
-            self.max = v;
-        }
+        self.hist.record(latency.value());
     }
 
     /// Number of recorded observations.
     #[must_use]
     pub fn count(&self) -> u64 {
-        self.total
+        self.hist.count()
     }
 
     /// Exact arithmetic mean of the recorded values (not bucketized).
     #[must_use]
     pub fn mean(&self) -> Seconds {
-        if self.total == 0 {
-            Seconds::ZERO
-        } else {
-            Seconds::new(self.sum / self.total as f64)
-        }
+        Seconds::new(self.hist.mean())
     }
 
     /// Exact maximum recorded value.
     #[must_use]
     pub fn max(&self) -> Seconds {
-        Seconds::new(self.max)
+        Seconds::new(self.hist.max())
     }
 
     /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
@@ -115,18 +65,7 @@ impl LatencyHistogram {
     /// empty, the exact max for ranks falling in the overflow bucket.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Seconds {
-        if self.total == 0 {
-            return Seconds::ZERO;
-        }
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Seconds::new(Self::upper_bound(i).min(self.max.max(FLOOR)));
-            }
-        }
-        Seconds::new(self.max)
+        Seconds::new(self.hist.quantile(q))
     }
 
     /// p50 / p95 / p99 in one call.
@@ -213,6 +152,13 @@ pub struct CacheGauges {
     pub receive_hits: u64,
     /// Stage-3 analyses computed.
     pub receive_misses: u64,
+    /// Existing-path deadline checks certified by a screening bound
+    /// (no receive analysis ran at all). Tracked separately from
+    /// [`Self::hit_rate`]: a screen hit avoids the lookup entirely
+    /// rather than serving it from cache.
+    pub screen_hits: u64,
+    /// Screened checks that fell through to a dense receive analysis.
+    pub screen_misses: u64,
 }
 
 impl CacheGauges {
@@ -224,6 +170,20 @@ impl CacheGauges {
         self.mux_misses += stats.mux_misses;
         self.receive_hits += stats.receive_hits;
         self.receive_misses += stats.receive_misses;
+        self.screen_hits += stats.screen_hits;
+        self.screen_misses += stats.screen_misses;
+    }
+
+    /// Adds another gauge set (used to sum per-shard gauges).
+    pub fn merge(&mut self, other: &Self) {
+        self.stage1_hits += other.stage1_hits;
+        self.stage1_misses += other.stage1_misses;
+        self.mux_hits += other.mux_hits;
+        self.mux_misses += other.mux_misses;
+        self.receive_hits += other.receive_hits;
+        self.receive_misses += other.receive_misses;
+        self.screen_hits += other.screen_hits;
+        self.screen_misses += other.screen_misses;
     }
 
     /// Total delay-analysis evaluations actually computed (the paper's
@@ -522,21 +482,18 @@ mod tests {
 
     #[test]
     fn histogram_bucket_boundaries() {
+        use hetnet_obs::hist::{bucket_of, upper_bound, FLOOR};
         // Values at and just past a bucket's upper bound land in that
         // bucket and the next one respectively.
         for i in [1usize, 4, 17, 63] {
-            let ub = LatencyHistogram::upper_bound(i);
-            assert_eq!(LatencyHistogram::bucket_of(ub), i, "ub of bucket {i}");
-            assert_eq!(
-                LatencyHistogram::bucket_of(ub * 1.0001),
-                i + 1,
-                "just past ub of bucket {i}"
-            );
+            let ub = upper_bound(i);
+            assert_eq!(bucket_of(ub), i, "ub of bucket {i}");
+            assert_eq!(bucket_of(ub * 1.0001), i + 1, "just past ub of bucket {i}");
         }
         // The floor bucket takes everything down to zero.
-        assert_eq!(LatencyHistogram::bucket_of(0.0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(FLOOR), 0);
-        assert_eq!(LatencyHistogram::bucket_of(FLOOR * 0.5), 0);
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(FLOOR), 0);
+        assert_eq!(bucket_of(FLOOR * 0.5), 0);
     }
 
     #[test]
@@ -552,7 +509,7 @@ mod tests {
         let (p50, p95, p99) = h.percentiles();
         // Upper-bound reporting: each quantile ≥ the exact order
         // statistic and ≤ one bucket-growth factor above it.
-        let growth = 2.0_f64.powf(1.0 / PER_OCTAVE);
+        let growth = 2.0_f64.powf(1.0 / hetnet_obs::hist::PER_OCTAVE);
         assert!(
             p50.value() >= 50e-6 && p50.value() <= 50e-6 * growth,
             "{p50}"
@@ -576,7 +533,7 @@ mod tests {
     fn histogram_single_value_quantiles_are_tight() {
         let mut h = LatencyHistogram::new();
         h.record(Seconds::new(3.3e-4));
-        let growth = 2.0_f64.powf(1.0 / PER_OCTAVE);
+        let growth = 2.0_f64.powf(1.0 / hetnet_obs::hist::PER_OCTAVE);
         for q in [0.01, 0.5, 0.99, 1.0] {
             let v = h.quantile(q).value();
             assert!((3.3e-4..=3.3e-4 * growth).contains(&v), "q={q}: {v}");

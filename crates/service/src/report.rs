@@ -140,6 +140,13 @@ pub struct ServiceReport {
     /// Fault-injection and recovery accounting (all-zero when the run
     /// had no fault schedule).
     pub recovery: RecoveryMetrics,
+    /// Per-shard evaluator-cache gauges (one per worker, in worker
+    /// order, then one final entry for committer-inline decisions).
+    /// Empty for the sequential engine.
+    pub shard_cache: Vec<CacheGauges>,
+    /// The flight recorder's JSON rendering (`{"seen":...}`); see
+    /// [`hetnet_obs::FlightRecorder::to_json`].
+    pub flight_recorder: String,
 }
 
 impl ServiceReport {
@@ -186,10 +193,21 @@ impl ServiceReport {
         );
         let _ = write!(
             out,
-            "\"cache\":{{\"evals\":{},\"hit_rate\":{:.6}}},",
+            "\"cache\":{{\"evals\":{},\"hit_rate\":{:.6},\
+             \"screen_hits\":{},\"screen_misses\":{}}},",
             self.cache.evals(),
             self.cache.hit_rate(),
+            self.cache.screen_hits,
+            self.cache.screen_misses,
         );
+        out.push_str("\"shard_cache\":[");
+        for (i, g) in self.shard_cache.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_cache_json(&mut out, g);
+        }
+        out.push_str("],");
         let f = &self.fast_path;
         let _ = write!(
             out,
@@ -277,9 +295,36 @@ impl ServiceReport {
             r.max_time_to_drain,
             r.undrained,
         );
+        out.push_str(",\"flight_recorder\":");
+        if self.flight_recorder.is_empty() {
+            out.push_str("null");
+        } else {
+            out.push_str(&self.flight_recorder);
+        }
         out.push('}');
         out
     }
+}
+
+/// One cache-gauge set as a JSON object (used for the per-shard list).
+fn push_cache_json(out: &mut String, g: &CacheGauges) {
+    let _ = write!(
+        out,
+        "{{\"stage1_hits\":{},\"stage1_misses\":{},\"mux_hits\":{},\
+         \"mux_misses\":{},\"receive_hits\":{},\"receive_misses\":{},\
+         \"screen_hits\":{},\"screen_misses\":{},\
+         \"evals\":{},\"hit_rate\":{:.6}}}",
+        g.stage1_hits,
+        g.stage1_misses,
+        g.mux_hits,
+        g.mux_misses,
+        g.receive_hits,
+        g.receive_misses,
+        g.screen_hits,
+        g.screen_misses,
+        g.evals(),
+        g.hit_rate(),
+    );
 }
 
 /// One stage summary as `"name":{...}`, in milliseconds (worst-case
@@ -345,6 +390,8 @@ mod tests {
                 mux_misses: 0,
                 receive_hits: 1,
                 receive_misses: 1,
+                screen_hits: 3,
+                screen_misses: 1,
             },
             fast_path: {
                 let mut f = FastPathGauges {
@@ -382,6 +429,18 @@ mod tests {
                 max_time_to_drain: 12.5,
                 undrained: 0,
             },
+            shard_cache: vec![
+                CacheGauges {
+                    stage1_hits: 1,
+                    stage1_misses: 1,
+                    ..CacheGauges::default()
+                },
+                CacheGauges::default(),
+            ],
+            flight_recorder: "{\"seen\":2,\"captured\":1,\"retained\":1,\"evicted\":0,\
+                              \"threshold_us\":40.000,\"by_cause\":{\"latency_p99\":1,\
+                              \"conflict_recompute\":0,\"class_transition\":0},\"outliers\":[]}"
+                .into(),
         };
         let j = report.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -394,6 +453,9 @@ mod tests {
             "\"blocking_probability\":0.5",
             "\"p99_us\":",
             "\"evals\":3",
+            "\"screen_hits\":3,\"screen_misses\":1",
+            "\"shard_cache\":[{\"stage1_hits\":1,\"stage1_misses\":1,",
+            "\"flight_recorder\":{\"seen\":2,",
             "\"fast_path\":{\"fast_accepts\":6,\"fast_rejects\":2,\"fallbacks\":2,\"hit_rate\":0.800000,\"no_context\":1,",
             "\"fallback_causes\":{\"mux-saturated\":1,\"mux-horizon\":0,\"mux-window\":0,\
              \"receive-saturated\":0,\"receive-horizon\":0,\"receive-buffer\":0,\"ambiguous\":1}",

@@ -35,6 +35,7 @@ use crate::metrics::{
     CacheGauges, DecisionCounters, DelayAttribution, FastPathGauges, LatencyHistogram,
     RecoveryMetrics, UtilizationSeries,
 };
+use crate::observability::{spans_to_json, EngineMetrics, SpanPhase, Telemetry, TelemetryFrame};
 use crate::report::{LatencySummary, ServiceReport, StageDelaySummary};
 use hetnet_cac::cac::{Decision, EvalCacheCaps, NetworkState, RejectReason};
 use hetnet_cac::connection::{ConnectionId, ConnectionSpec};
@@ -45,6 +46,8 @@ use hetnet_cac::network::{Component, HetNetwork, LinkId, RingId};
 use hetnet_cac::shard::{Footprint, ShardedState};
 use hetnet_cac::snapshot::StateSnapshot;
 use hetnet_cac::trace::DecisionTrace;
+use hetnet_obs::registry::{Counter, Gauge};
+use hetnet_obs::{FlightObservation, FlightRecorder, MetricsRegistry, SharedRing, Trace};
 use hetnet_sim::churn::{self, ChurnArrival, ChurnSchedule};
 use hetnet_sim::fault::{generate_faults, FaultEvent, FaultKind};
 use hetnet_traffic::envelope::SharedEnvelope;
@@ -113,6 +116,9 @@ pub struct ShardedRun {
     pub final_snapshot: StateSnapshot,
     /// Concurrency and conflict statistics.
     pub sharding: ShardingStats,
+    /// Telemetry frames retained at run end (empty unless
+    /// [`crate::observability::ObsOptions::telemetry_period`] was set).
+    pub telemetry: Vec<TelemetryFrame>,
 }
 
 impl ShardedRun {
@@ -140,6 +146,9 @@ struct SpecMsg {
     cache: CacheStats,
     fast: FastPathStats,
     trace: Option<DecisionTrace>,
+    /// Span timeline collected around the speculation (worker thread),
+    /// when [`crate::observability::ObsOptions::spans`] is on.
+    spans: Option<Trace>,
     closure: usize,
 }
 
@@ -151,6 +160,17 @@ struct Measured {
     fast: FastPathStats,
     trace: Option<DecisionTrace>,
     closure: usize,
+    /// Ledger version the deciding evaluation speculated at.
+    version: u64,
+    /// Worker shard the request was routed to (`None` for committer-
+    /// inline readmits).
+    shard: Option<u32>,
+    /// Whether the speculation was invalidated and recomputed.
+    conflict: bool,
+    /// The discarded speculation's span timeline (conflicts only).
+    spec_spans: Option<Trace>,
+    /// The committed decision's span timeline.
+    spans: Option<Trace>,
 }
 
 /// Decides `spec` over its dependency closure of `shared`, carrying
@@ -178,7 +198,14 @@ fn decide_scoped(
     scoped.set_fast_path(cfg.fast_path)?;
     scoped.set_decision_tracing(cfg.trace_decisions);
     scoped.set_clock(at);
-    let decision = scoped.admit(spec.clone(), &cfg.options)?;
+    let (decision, spans) = if cfg.obs.spans && hetnet_obs::is_enabled() {
+        let (decision, trace) = hetnet_obs::collect(cfg.obs.span_capacity, || {
+            scoped.admit(spec.clone(), &cfg.options)
+        });
+        (decision?, Some(trace))
+    } else {
+        (scoped.admit(spec.clone(), &cfg.options)?, None)
+    };
     let latency = Seconds::new(t0.elapsed().as_secs_f64());
     *cache = scoped.take_eval_cache();
     Ok((
@@ -191,6 +218,7 @@ fn decide_scoped(
             cache: scoped.last_cache_stats().unwrap_or_default(),
             fast: scoped.last_fast_path_stats().unwrap_or_default(),
             trace: scoped.last_decision_trace().cloned(),
+            spans,
             closure: view.closure_len(),
         },
         (),
@@ -245,6 +273,20 @@ struct Committer<'a> {
     /// after its previous one committed (without this, consecutive
     /// same-shard arrivals would conflict essentially always).
     ack_tx: Vec<SyncSender<()>>,
+    /// Canonical metric families, registered into the run's shared
+    /// registry (the same registry the workers register into).
+    mx: EngineMetrics,
+    /// Per-shard evaluator-cache gauges: one entry per worker (all work
+    /// that worker's speculations did, kept or discarded), plus one
+    /// final entry for committer-inline decisions (conflict recomputes
+    /// and readmits).
+    shard_gauges: Vec<CacheGauges>,
+    conflicts_total: Counter,
+    inline_total: Counter,
+    /// Ledger version most recently validated by the committer.
+    ledger_version: Gauge,
+    flight: Arc<FlightRecorder>,
+    telemetry: Telemetry,
 }
 
 impl Committer<'_> {
@@ -432,6 +474,9 @@ impl Committer<'_> {
     fn decide_inline(&mut self, spec: &ConnectionSpec, at: Seconds) -> Result<Measured, CacError> {
         let (msg, ()) = decide_scoped(self.shared, self.cfg, spec, at, &mut self.inline_cache)?;
         self.stats.inline_decisions += 1;
+        self.inline_total.inc();
+        let last = self.shard_gauges.len() - 1;
+        self.shard_gauges[last].absorb(msg.cache);
         Ok(Measured {
             decision: msg.decision,
             latency: msg.latency,
@@ -439,6 +484,11 @@ impl Committer<'_> {
             fast: msg.fast,
             trace: msg.trace,
             closure: msg.closure,
+            version: msg.version,
+            shard: None,
+            conflict: false,
+            spec_spans: None,
+            spans: msg.spans,
         })
     }
 
@@ -452,6 +502,8 @@ impl Committer<'_> {
         debug_assert_eq!(msg.idx, idx, "worker stream out of order");
         self.advance_to(a.at)?;
         self.stats.speculated += 1;
+        self.shard_gauges[w].absorb(msg.cache);
+        self.ledger_version.set(msg.version as f64);
         let conflicted = {
             let guard = self.shared.read().expect("sharded state lock poisoned");
             guard.conflicts(msg.version, &msg.footprint)
@@ -464,7 +516,13 @@ impl Committer<'_> {
             .build()?;
         let measured = if conflicted {
             self.stats.conflicts += 1;
-            self.decide_inline(&spec, a.at)?
+            self.conflicts_total.inc();
+            let spec_spans = msg.spans;
+            let mut measured = self.decide_inline(&spec, a.at)?;
+            measured.shard = Some(w as u32);
+            measured.conflict = true;
+            measured.spec_spans = spec_spans;
+            measured
         } else {
             Measured {
                 decision: msg.decision,
@@ -473,6 +531,11 @@ impl Committer<'_> {
                 fast: msg.fast,
                 trace: msg.trace,
                 closure: msg.closure,
+                version: msg.version,
+                shard: Some(w as u32),
+                conflict: false,
+                spec_spans: None,
+                spans: msg.spans,
             }
         };
         self.commit(
@@ -499,16 +562,29 @@ impl Committer<'_> {
         departs: Seconds,
         measured: Measured,
     ) -> Result<Decision, CacError> {
+        let Measured {
+            decision: decided,
+            latency,
+            cache,
+            fast,
+            trace,
+            closure,
+            version,
+            shard,
+            conflict,
+            spec_spans,
+            spans,
+        } = measured;
         self.clock = at;
-        self.latency.record(measured.latency);
-        self.gauges.absorb(measured.cache);
-        self.fast.absorb(measured.fast);
-        if let Some(trace) = &measured.trace {
+        self.latency.record(latency);
+        self.gauges.absorb(cache);
+        self.fast.absorb(fast);
+        if let Some(trace) = &trace {
             self.attribution.absorb(trace);
         }
-        self.stats.peak_closure = self.stats.peak_closure.max(measured.closure);
-        self.stats.closure_sum += measured.closure as u64;
-        let decision = match measured.decision {
+        self.stats.peak_closure = self.stats.peak_closure.max(closure);
+        self.stats.closure_sum += closure as u64;
+        let decision = match decided {
             Decision::Admitted {
                 h_s,
                 h_r,
@@ -538,6 +614,52 @@ impl Committer<'_> {
             }
         };
         let outcome = AuditOutcome::from_decision(&decision);
+        self.mx.on_decision(
+            matches!(decision, Decision::Admitted { .. }),
+            latency.value(),
+            &cache,
+            &fast,
+        );
+        let reject_class = match &outcome {
+            AuditOutcome::Rejected { class, .. } => Some(*class),
+            AuditOutcome::Admitted { .. } => None,
+        };
+        let observation = FlightObservation {
+            correlation: self.decision_seq,
+            shard,
+            at_seconds: at.value(),
+            latency_seconds: latency.value(),
+            conflict,
+            reject_class,
+        };
+        let captured = self.flight.observe(&observation, || {
+            let trace_json = trace
+                .as_ref()
+                .map_or_else(|| "null".to_string(), DecisionTrace::to_json_line);
+            let mut phases: Vec<SpanPhase<'_>> = Vec::new();
+            if conflict {
+                if let Some(t) = &spec_spans {
+                    phases.push(("speculate", shard, t));
+                }
+                if let Some(t) = &spans {
+                    phases.push(("recompute", None, t));
+                }
+            } else if let Some(t) = &spans {
+                phases.push((
+                    if shard.is_some() {
+                        "speculate"
+                    } else {
+                        "inline"
+                    },
+                    shard,
+                    t,
+                ));
+            }
+            (trace_json, spans_to_json(&phases, Some(version)))
+        });
+        if captured.is_some() {
+            self.mx.outlier_captured();
+        }
         self.audit.append(AuditEntry {
             seq: self.decision_seq,
             at,
@@ -560,6 +682,8 @@ impl Committer<'_> {
             .expect("sharded state lock poisoned")
             .active_count();
         self.peak_active = self.peak_active.max(active);
+        self.mx.set_active(active);
+        self.telemetry.offer(at.value());
         let caps = &self.ring_caps;
         let held = &self.held;
         self.series.offer(at, active, || {
@@ -590,6 +714,13 @@ pub struct ShardedEngine {
     resume: Option<EngineCheckpoint>,
     /// If set, capture a checkpoint after this many arrivals.
     checkpoint_after: Option<usize>,
+    /// The run's shared metrics registry. Created at construction so a
+    /// live viewer can hold a clone and poll while `run` is going.
+    registry: Arc<MetricsRegistry>,
+    /// Outlier flight recorder shared with the committer.
+    flight: Arc<FlightRecorder>,
+    /// Ring of periodic telemetry frames, pollable from any thread.
+    telemetry_ring: Arc<SharedRing<TelemetryFrame>>,
 }
 
 impl ShardedEngine {
@@ -623,6 +754,12 @@ impl ShardedEngine {
             ),
             _ => Vec::new(),
         };
+        let registry = Arc::new(MetricsRegistry::new());
+        let flight = Arc::new(FlightRecorder::new(
+            cfg.obs.flight_capacity,
+            cfg.obs.flight_min_samples,
+        ));
+        let telemetry_ring = Arc::new(SharedRing::new(cfg.obs.telemetry_capacity));
         Ok(Self {
             cfg: cfg.clone(),
             workers: workers.max(1),
@@ -632,7 +769,32 @@ impl ShardedEngine {
             envelope,
             resume: None,
             checkpoint_after: None,
+            registry,
+            flight,
+            telemetry_ring,
         })
+    }
+
+    /// The run's shared metrics registry. Clone the `Arc` before
+    /// calling [`ShardedEngine::run`] to watch the run from another
+    /// thread (this is what `hetnet-top` does).
+    #[must_use]
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The run's outlier flight recorder (see
+    /// [`hetnet_obs::FlightRecorder`]).
+    #[must_use]
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.flight)
+    }
+
+    /// The ring periodic telemetry frames are pushed into when
+    /// [`ObsOptions::telemetry_period`](crate::ObsOptions) is set.
+    #[must_use]
+    pub fn telemetry_ring(&self) -> Arc<SharedRing<TelemetryFrame>> {
+        Arc::clone(&self.telemetry_ring)
     }
 
     /// Resumes from a checkpoint taken by either engine (the formats
@@ -786,17 +948,55 @@ impl ShardedEngine {
             inline_cache: None,
             spec_rx,
             ack_tx: ack_txs,
+            mx: EngineMetrics::register(&self.registry),
+            shard_gauges: vec![CacheGauges::default(); workers + 1],
+            conflicts_total: self.registry.counter(
+                "hetnet_commit_conflicts_total",
+                "Speculations invalidated at commit and recomputed inline.",
+                &[],
+            ),
+            inline_total: self.registry.counter(
+                "hetnet_inline_decisions_total",
+                "Decisions computed inline by the committer (conflicts and readmits).",
+                &[],
+            ),
+            ledger_version: self.registry.gauge(
+                "hetnet_ledger_version",
+                "Ledger version most recently validated by the committer.",
+                &[],
+            ),
+            flight: Arc::clone(&self.flight),
+            telemetry: Telemetry::new(
+                &self.cfg.obs,
+                Arc::clone(&self.registry),
+                Arc::clone(&self.telemetry_ring),
+            ),
         };
 
         let mut checkpoint_out: Option<EngineCheckpoint> = None;
         let checkpoint_at = self.checkpoint_after.map(|n| start_arrival + n);
         let result: Result<(), CacError> = std::thread::scope(|scope| {
-            for (indices, tx, ack_rx) in worker_inputs {
+            for (w, (indices, tx, ack_rx)) in worker_inputs.into_iter().enumerate() {
                 let cfg = &self.cfg;
                 let schedule = &self.schedule;
                 let envelope = Arc::clone(&self.envelope);
                 let shared_ref = &shared;
+                let registry = Arc::clone(&self.registry);
                 scope.spawn(move || {
+                    // Each worker registers its own shard-labelled
+                    // families into the one shared registry, from its
+                    // own thread.
+                    let shard = w.to_string();
+                    let speculations = registry.counter(
+                        "hetnet_shard_speculations_total",
+                        "Speculative admissions evaluated, per worker shard.",
+                        &[("shard", &shard)],
+                    );
+                    let spec_latency = registry.histogram(
+                        "hetnet_shard_speculation_latency_seconds",
+                        "Worker-side speculation wall time, per shard.",
+                        &[("shard", &shard)],
+                    );
                     let mut cache: Option<hetnet_cac::delay::EvalCache> = None;
                     let mut first = true;
                     for idx in indices {
@@ -821,6 +1021,8 @@ impl ShardedEngine {
                         match decide_scoped(shared_ref, cfg, &spec, a.at, &mut cache) {
                             Ok((mut msg, ())) => {
                                 msg.idx = idx;
+                                speculations.inc();
+                                spec_latency.observe(msg.latency.value());
                                 if tx.send(Ok(msg)).is_err() {
                                     return;
                                 }
@@ -852,6 +1054,7 @@ impl ShardedEngine {
         });
         result?;
 
+        committer.telemetry.finish(committer.clock.value());
         committer.recovery.undrained = committer.open_faults.len() as u64;
         let wall_seconds = started.elapsed().as_secs_f64();
         let final_snapshot = {
@@ -883,6 +1086,8 @@ impl ShardedEngine {
             topology: self.net.summary().to_string(),
             delay_attribution: StageDelaySummary::from_attribution(&committer.attribution),
             recovery: committer.recovery,
+            shard_cache: committer.shard_gauges,
+            flight_recorder: self.flight.to_json(),
         };
         Ok((
             ShardedRun {
@@ -891,6 +1096,7 @@ impl ShardedEngine {
                 series: committer.series,
                 final_snapshot,
                 sharding: committer.stats,
+                telemetry: self.telemetry_ring.drain(),
             },
             checkpoint_out,
         ))

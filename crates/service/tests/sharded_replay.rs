@@ -263,6 +263,82 @@ fn sharded_replay_screened_mode() {
     );
 }
 
+/// Full-observability runs — decision tracing, span timelines,
+/// periodic telemetry, aggressive flight-recorder capture — must stay
+/// bit-identical to a bare run on both engines: observability reads
+/// engine state, it never decides.
+#[test]
+fn sharded_replay_full_observability_is_decision_neutral() {
+    let bare = faulted_cfg(2.5, sized(100), 20260808);
+    let sequential = run(HetNetwork::paper_topology(), &bare).expect("sequential bare");
+
+    let mut cfg = bare.clone();
+    cfg.trace_decisions = true;
+    cfg.obs.spans = true;
+    cfg.obs.telemetry_period = Some(Seconds::new(2.0));
+    cfg.obs.flight_min_samples = 8;
+
+    for workers in [2, 4] {
+        let engine =
+            ShardedEngine::new(HetNetwork::paper_topology(), &cfg, workers).expect("engine");
+        let registry = engine.registry();
+        let flight = engine.flight_recorder();
+        let (observed, _) = engine.run().expect("sharded observed run");
+        assert!(
+            runs_equivalent(&observed, &sequential),
+            "workers={workers}: full observability changed decisions"
+        );
+        assert_eq!(
+            flight.seen(),
+            observed.report.audit_len as u64,
+            "workers={workers}: the flight recorder must observe every decision"
+        );
+        let rejections = observed.report.requests - observed.report.counters.admitted;
+        if rejections > 0 {
+            assert!(
+                flight.captured() >= 1,
+                "workers={workers}: the first rejection is always a class transition"
+            );
+        }
+        assert!(
+            !observed.telemetry.is_empty(),
+            "workers={workers}: a telemetry period must cut frames"
+        );
+        assert_eq!(
+            observed.report.shard_cache.len(),
+            workers + 1,
+            "workers={workers}: one gauge set per worker plus the inline entry"
+        );
+        assert!(observed.report.flight_recorder.starts_with("{\"seen\":"));
+        let text = registry.to_openmetrics();
+        assert!(text.contains("hetnet_shard_speculations_total{shard=\"0\"}"));
+        assert!(text.contains("hetnet_decisions_total"));
+    }
+
+    // The sequential engine under the same full-observability config
+    // also replays the bare run exactly.
+    let seq_observed = run(HetNetwork::paper_topology(), &cfg).expect("sequential observed");
+    assert_eq!(seq_observed.audit.len(), sequential.audit.len());
+    for (a, b) in seq_observed
+        .audit
+        .entries()
+        .iter()
+        .zip(sequential.audit.entries())
+    {
+        assert!(
+            entries_equivalent(a, b),
+            "sequential observability diverged at seq {}: {a:?} vs {b:?}",
+            a.seq
+        );
+    }
+    assert_eq!(
+        seq_observed.state.snapshot().to_json(),
+        sequential.state.snapshot().to_json(),
+        "sequential observability must not change committed state"
+    );
+    assert!(!seq_observed.telemetry.is_empty());
+}
+
 /// Pinned grid case: paired traffic on an 8-ring grid decomposes into
 /// disjoint ring pairs, so a 4-worker run must see small closures and
 /// still certify against the sequential engine.

@@ -29,6 +29,9 @@ test_stage() {
 
     echo "==> recovery gate (faulted runs replay bit-identically from checkpoints)"
     cargo test --release -p hetnet-service --test churn_replay -q
+
+    echo "==> observability gate (sharded runs with full tracing stay decision-identical)"
+    cargo test --release -p hetnet-service --test sharded_replay -q
 }
 
 lint() {
@@ -54,13 +57,17 @@ bench() {
     cargo run --release -p hetnet-bench --bin bench_json -- \
         --quick --out target/BENCH_region.quick.json
 
-    echo "==> bench gate (maps identical, frontier cheaper, churn + obs + fault-recovery smoke)"
+    echo "==> bench gate (maps identical, frontier cheaper, churn + obs + obs_sharded + fault-recovery smoke)"
     cargo run --release -p hetnet-bench --bin bench_gate -- \
         quick target/BENCH_region.quick.json
 
-    echo "==> committed-benchmark gate (BENCH_region.json: obs overhead + fault recovery)"
+    echo "==> committed-benchmark gate (BENCH_region.json: obs + sharded-tracing overhead ceilings + fault recovery)"
     cargo run --release -p hetnet-bench --bin bench_gate -- \
         committed BENCH_region.json
+
+    echo "==> hetnet_top smoke (live telemetry dashboard renders over a short sharded run)"
+    cargo run --release -p hetnet-bench --bin hetnet_top -- \
+        --rings 16 --requests 400 --rate 30 --period 5 --plain
 }
 
 case "$stage" in
