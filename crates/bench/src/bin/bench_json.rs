@@ -9,8 +9,12 @@
 //! JSON file (cells/sec, evals per cell, speedups, cache hit rates,
 //! a `churn` section, a `scheduler_compare` section re-running the
 //! churn workload under FIFO/IWRR/DRR with a cell-level DES soundness
-//! certificate per discipline, and an `obs` section measuring the
-//! decision-tracing layer's cost with tracing disabled and enabled).
+//! certificate per discipline, an `obs` section measuring the
+//! decision-tracing layer's cost with tracing disabled and enabled,
+//! a `reconfig` section driving a live TTRT shrink/grow schedule
+//! through the service engine with a recovery-replay certificate, and
+//! an `autotune` section sweeping TTRT×β against seeded offered
+//! loads).
 //!
 //! ```text
 //! cargo run --release -p hetnet-bench --bin bench_json            # full run -> BENCH_region.json
@@ -20,17 +24,21 @@
 
 use hetnet_atm::topology::Backbone;
 use hetnet_atm::{LinkConfig, SwitchConfig};
+use hetnet_bench::retune::{campaign, campaign_json};
 use hetnet_cac::cac::{AdmissionOptions, CacConfig, Decision, NetworkState};
 use hetnet_cac::connection::ConnectionSpec;
 use hetnet_cac::delay::{CacheStats, PathInput};
 use hetnet_cac::network::{HetNetwork, HostId, Scheduler};
+use hetnet_cac::reconfig::ReconfigPlan;
 use hetnet_cac::region::{sample_region_frontier, sample_region_threads, RegionSample};
 use hetnet_fddi::ring::{RingConfig, SyncBandwidth};
 use hetnet_ifdev::IfDevConfig;
 use hetnet_service::{
     entries_equivalent, run as run_service, run_sharded, sharded_runs_equivalent, verify_recovery,
-    FastPathGauges, LatencyHistogram, ObsOptions, ServiceConfig, ServiceEngine, ShardedEngine,
+    FastPathGauges, LatencyHistogram, ObsOptions, ReconfigEvent, ServiceConfig, ServiceEngine,
+    ShardedEngine,
 };
+use hetnet_sim::autotune::SweepGrid;
 use hetnet_sim::churn::{ChurnConfig, TopologyShape, TrafficPattern};
 use hetnet_sim::fault::FaultConfig;
 use hetnet_sim::netsim::{run as run_netsim, E2eScenario, SimConnection};
@@ -916,6 +924,127 @@ fn main() {
         faulted.report.to_json(),
     );
 
+    // Live reconfiguration: the fixed-seed churn workload re-run with
+    // a two-event reconfig schedule — a mid-run TTRT shrink that
+    // renegotiates every survivor under the tightened budget (parking
+    // victims when the shrunk budget no longer fits them), then a grow
+    // back past the default with a β change. As for faults, the run is
+    // checkpointed before the first event and recovered against the
+    // audit tail, which must replay both reconfigurations and land on
+    // a bit-identical final state.
+    let rc_requests = if quick { 100 } else { 300 };
+    let rc_span = rc_requests as f64 / 2.0;
+    let mut rc_cfg = ServiceConfig::paper_style(2.0, rc_requests, 42);
+    rc_cfg.options = AdmissionOptions::beta_search(CacConfig::fast());
+    rc_cfg = rc_cfg.with_reconfigs(vec![
+        ReconfigEvent {
+            at: Seconds::new(0.3 * rc_span),
+            plan: ReconfigPlan::uniform_ttrt(Seconds::from_millis(5.0)),
+        },
+        ReconfigEvent {
+            at: Seconds::new(0.65 * rc_span),
+            plan: ReconfigPlan::uniform_ttrt(Seconds::from_millis(12.0)).with_beta(0.3),
+        },
+    ]);
+    eprintln!(
+        "reconfig: {rc_requests} requests at 2.0/s (seed 42), shrink at {:.0} s, grow at {:.0} s",
+        0.3 * rc_span,
+        0.65 * rc_span
+    );
+    let reconfigured = run_service(HetNetwork::paper_topology(), &rc_cfg)
+        .expect("reconfigured run is well-formed");
+    let rc_split = rc_requests / 6;
+    let mut rc_engine =
+        ServiceEngine::new(HetNetwork::paper_topology(), &rc_cfg).expect("reconfigured engine");
+    for _ in 0..rc_split {
+        assert!(
+            rc_engine.step_arrival().expect("step"),
+            "split exceeds schedule"
+        );
+    }
+    let rc_checkpoint = rc_engine.checkpoint();
+    let rc_tail = &reconfigured.audit.entries()[rc_checkpoint.decision_seq() as usize..];
+    drop(rc_engine);
+    let rc_recovered = verify_recovery(
+        HetNetwork::paper_topology(),
+        &rc_cfg,
+        &rc_checkpoint,
+        rc_tail,
+    )
+    .expect("recovery must replay the recorded audit tail through both reconfigs");
+    let rc_bit_identical =
+        rc_recovered.state.snapshot().to_json() == reconfigured.state.snapshot().to_json();
+    let rc_gap_free = reconfigured
+        .audit
+        .entries()
+        .iter()
+        .enumerate()
+        .all(|(i, e)| e.seq == i as u64);
+    let rc = &reconfigured.report.reconfig;
+    eprintln!(
+        "  {} reconfigs: {} renegotiated, {} dropped, {} unchanged, audit len {}, \
+         recovered bit-identical: {rc_bit_identical}",
+        rc.reconfigs,
+        rc.renegotiated,
+        rc.dropped,
+        rc.unchanged,
+        reconfigured.audit.len(),
+    );
+    let reconfig_json = format!(
+        concat!(
+            "{{\"requests\": {}, \"events\": 2, \"audit_len\": {}, \"checkpoint_at\": {}, ",
+            "\"tail_decisions\": {}, \"replay_bit_identical\": {}, \"audit_gap_free\": {}, ",
+            "\"report\": {}}}"
+        ),
+        rc_requests,
+        reconfigured.audit.len(),
+        rc_checkpoint.decision_seq(),
+        rc_tail.len(),
+        rc_bit_identical,
+        rc_gap_free,
+        reconfigured.report.to_json(),
+    );
+
+    // TTRT/β autotune: the in-bench slice of the campaign the
+    // standalone `autotune` binary runs at full size. Two offered
+    // loads straddling the knee, each swept over a TTRT×β grid that
+    // contains the frozen 8 ms default; the gate requires the sweep to
+    // find a non-default TTRT beating the default's admission
+    // probability on at least one load.
+    let (at_grid, at_requests) = if quick {
+        (
+            SweepGrid {
+                ttrts_ms: vec![6.0, 8.0, 12.0],
+                betas: vec![0.25, 0.5, 0.75],
+            },
+            60,
+        )
+    } else {
+        (
+            SweepGrid {
+                ttrts_ms: vec![6.0, 8.0, 10.0, 12.0],
+                betas: vec![0.25, 0.5, 0.75],
+            },
+            150,
+        )
+    };
+    let at_loads = [0.1, 0.3];
+    eprintln!(
+        "autotune: {} loads x {} grid points, {at_requests} requests each (seed 42)",
+        at_loads.len(),
+        at_grid.len(),
+    );
+    let at_sweeps = campaign(&at_loads, &at_grid, at_requests, 42);
+    let loads_beating_default = at_sweeps
+        .iter()
+        .filter(|ls| ls.retuned_gain() > 0.0)
+        .count();
+    let autotune_json = format!(
+        "{{\"loads_beating_default\": {}, \"campaign\": {}}}",
+        loads_beating_default,
+        campaign_json(&at_grid, &at_sweeps, at_requests, 42),
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -939,7 +1068,9 @@ fn main() {
             "  \"obs\": {},\n",
             "  \"obs_sharded\": {},\n",
             "  \"shard_scale\": {},\n",
-            "  \"faults\": {}\n",
+            "  \"faults\": {},\n",
+            "  \"reconfig\": {},\n",
+            "  \"autotune\": {}\n",
             "}}\n"
         ),
         grid,
@@ -962,6 +1093,8 @@ fn main() {
         obs_sharded_json,
         shard_scale_json,
         faults_json,
+        reconfig_json,
+        autotune_json,
     );
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {

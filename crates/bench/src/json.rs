@@ -59,13 +59,19 @@ impl Json {
         }
     }
 
-    /// Dotted-path lookup through nested objects:
-    /// `json.at("churn.delay_attribution.traced")`.
+    /// Dotted-path lookup through nested objects and arrays:
+    /// `json.at("churn.delay_attribution.traced")`,
+    /// `json.at("autotune.campaign.loads.0.retuned_gain")` — a purely
+    /// numeric segment indexes an array (and only an array; object
+    /// keys are never numeric in the benchmark schema).
     #[must_use]
     pub fn at(&self, path: &str) -> Option<&Json> {
         let mut current = self;
         for key in path.split('.') {
-            current = current.get(key)?;
+            current = match current {
+                Self::Arr(items) => items.get(key.parse::<usize>().ok()?)?,
+                _ => current.get(key)?,
+            };
         }
         Some(current)
     }
@@ -350,6 +356,17 @@ mod tests {
         assert_eq!(doc.at("s").unwrap().as_str(), Some("x"));
         assert_eq!(doc.at("a.missing"), None);
         assert_eq!(doc.at("s.deeper"), None);
+    }
+
+    #[test]
+    fn paths_index_arrays_numerically() {
+        let doc = Json::parse(r#"{"loads": [{"gain": 0.25}, {"gain": -0.5}], "n": 7}"#).unwrap();
+        assert_eq!(doc.at("loads.0.gain").unwrap().as_f64(), Some(0.25));
+        assert_eq!(doc.at("loads.1.gain").unwrap().as_f64(), Some(-0.5));
+        assert_eq!(doc.at("loads.2.gain"), None);
+        assert_eq!(doc.at("loads.x"), None);
+        // Numeric segments never index objects.
+        assert_eq!(doc.at("0"), None);
     }
 
     #[test]

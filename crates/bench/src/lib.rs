@@ -9,7 +9,10 @@
 //! * `validation` — packet-level simulation vs analytic worst-case
 //!   bounds (our addition; the paper relies on the bounds analytically);
 //! * `ablation` — the paper's allocation rules vs naive FDDI-only local
-//!   schemes (§5/§7's argument, quantified).
+//!   schemes (§5/§7's argument, quantified);
+//! * `autotune` — the TTRT/β retuning campaign (grid sweep over ring
+//!   parameters against seeded offered loads, plus capacity planning
+//!   by bisection over the churn rate).
 //!
 //! Results are printed as aligned tables and written as CSV into
 //! `results/`.
@@ -17,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod retune;
 pub mod top;
 
 use hetnet_cac::cac::CacConfig;

@@ -34,6 +34,7 @@ use crate::delay::{
 use crate::error::CacError;
 use crate::incremental::{FastContext, FastPathStats, IncrementalState};
 use crate::network::{Component, HetNetwork, RingId};
+use crate::reconfig::{ReconfigPlan, ReconfigReport};
 use crate::snapshot::{ConnectionSnapshot, StateSnapshot, SNAPSHOT_VERSION};
 use crate::trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};
 use hetnet_fddi::alloc::{AllocationKey, SyncAllocationTable};
@@ -201,6 +202,14 @@ pub struct DecisionRecord<'a> {
 pub trait DecisionObserver: Send {
     /// Called once per decision, in decision order.
     fn on_decision(&mut self, record: &DecisionRecord<'_>);
+
+    /// Called once per completed [`NetworkState::reconfigure`], which
+    /// consumes one decision sequence number (`seq`) like an admission
+    /// does — observers tracking the gap-free sequence advance here
+    /// too. The default does nothing.
+    fn on_reconfig(&mut self, seq: u64, report: &ReconfigReport) {
+        let _ = (seq, report);
+    }
 }
 
 /// Why a request was rejected.
@@ -1662,6 +1671,7 @@ impl NetworkState {
         StateSnapshot {
             version: SNAPSHOT_VERSION,
             topology: self.net.summary(),
+            rings: self.net.rings().to_vec(),
             connections: self
                 .active
                 .iter()
@@ -1688,15 +1698,19 @@ impl NetworkState {
     /// active set, allocation tables (rebuilt by re-allocating in
     /// admission order, which reproduces the original tables
     /// bit-for-bit), down set, id counter, clock and decision sequence.
-    /// The evaluator cache and last-decision trace are cleared (both
-    /// are decision-neutral); the installed observer and tracing flag
-    /// are left untouched.
+    /// The snapshot's ring parameters are *adopted*: when they differ
+    /// from this network's (the snapshot was taken after a live
+    /// [`NetworkState::reconfigure`]), the rings are retuned to match
+    /// before the tables are rebuilt, so recovery lands on the
+    /// reconfigured timing. The evaluator cache and last-decision trace
+    /// are cleared (both are decision-neutral); the installed observer
+    /// and tracing flag are left untouched.
     ///
     /// # Errors
     ///
-    /// Returns [`CacError::SnapshotMismatch`] for a wrong version or
-    /// topology, or if the snapshot's allocations do not fit the rings
-    /// (a corrupted snapshot).
+    /// Returns [`CacError::SnapshotMismatch`] for a wrong version,
+    /// topology, or ring count, or if the snapshot's allocations do not
+    /// fit the rings (a corrupted snapshot).
     pub fn restore(&mut self, snap: &StateSnapshot) -> Result<(), CacError> {
         if snap.version != SNAPSHOT_VERSION {
             return Err(CacError::SnapshotMismatch(format!(
@@ -1710,6 +1724,16 @@ impl NetworkState {
                 snap.topology,
                 self.net.summary()
             )));
+        }
+        if snap.rings.as_slice() != self.net.rings() {
+            self.net = Arc::new(
+                self.net
+                    .as_ref()
+                    .with_ring_configs(snap.rings.clone())
+                    .map_err(|e| {
+                        CacError::SnapshotMismatch(format!("snapshot ring parameters: {e}"))
+                    })?,
+            );
         }
         let mut tables = vec![SyncAllocationTable::new(); self.net.rings().len()];
         let mut active = Vec::with_capacity(snap.connections.len());
@@ -1764,6 +1788,125 @@ impl NetworkState {
         let mut state = Self::new(net);
         state.restore(snap)?;
         Ok(state)
+    }
+
+    /// Applies a live reconfiguration: the ring parameters change in
+    /// place per `plan`, and every admitted connection is renegotiated
+    /// against the new parameters — in admission (id) order, *keeping
+    /// its id* — under `opts` (with `plan.beta` substituted into the
+    /// β-search when set). Connections that no longer fit are dropped
+    /// and returned in the report for the caller to park and retry.
+    ///
+    /// Keeping ids makes the operation certifiable: a fresh state built
+    /// at the new parameters and fed the surviving specs through
+    /// [`NetworkState::admit`] in the same order computes bit-identical
+    /// allocations — ids only order the allocation tables and
+    /// multiplexer memberships, and an order-preserving renumbering
+    /// never changes a sum — so post-reconfig decisions are
+    /// bit-identical to that fresh engine's (pinned by the reconfig
+    /// certification tests). It also keeps `next_id` monotone, so
+    /// departure bookkeeping above the core never sees an id reused.
+    ///
+    /// The incremental fast-path state is rebuilt empty and then
+    /// delta-maintained through the renegotiations; the evaluator cache
+    /// is dropped wholesale (its keys do not span ring parameters). The
+    /// reconfiguration consumes one decision sequence number and
+    /// reaches the observer via
+    /// [`DecisionObserver::on_reconfig`], so audit logs built on the
+    /// sequence stay gap-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::InvalidRequest`] for a malformed plan,
+    /// [`CacError::InvalidNetwork`] if the resulting ring parameters
+    /// are invalid (e.g. Δ ≥ TTRT), and propagates evaluator errors
+    /// from the renegotiations — after which the state must be
+    /// considered poisoned, like any bookkeeping error.
+    pub fn reconfigure(
+        &mut self,
+        plan: &ReconfigPlan,
+        opts: &AdmissionOptions,
+    ) -> Result<ReconfigReport, CacError> {
+        let _span = obs::span("reconfigure");
+        let new_rings = plan.apply(self.net.rings())?;
+        let net = Arc::new(self.net.as_ref().with_ring_configs(new_rings)?);
+        let mut report = ReconfigReport {
+            old_allocatable: self.net.rings().iter().map(|r| r.allocatable()).collect(),
+            new_allocatable: net.rings().iter().map(|r| r.allocatable()).collect(),
+            ..ReconfigReport::default()
+        };
+        let survivors = std::mem::take(&mut self.active);
+        let saved_next_id = self.next_id;
+        self.net = net;
+        self.tables = vec![SyncAllocationTable::new(); self.net.rings().len()];
+        self.eval_cache = None;
+        self.last_cache_stats = None;
+        self.last_fast_stats = None;
+        self.last_trace = None;
+        if self.fast_path {
+            self.incremental = Some(IncrementalState::rebuild(&self.net, &self.active)?);
+        }
+        let mut cac = opts.cac.clone();
+        if let Some(beta) = plan.beta {
+            cac.beta = beta;
+        }
+        for conn in survivors {
+            // Renegotiate through the regular admission paths, but with
+            // the id counter pinned to the connection's original id: the
+            // commit then re-assigns exactly that id, and because the
+            // survivors arrive in ascending id order the allocation
+            // tables are rebuilt in the same summation order a fresh
+            // engine would produce.
+            self.next_id = conn.id.0;
+            let (decision, _parts) = match opts.allocation {
+                AllocationPolicy::BetaSearch => self.admit_beta(conn.spec.clone(), &cac)?,
+                AllocationPolicy::Fixed { h_s, h_r } => {
+                    self.admit_fixed(conn.spec.clone(), h_s, h_r, &cac)?
+                }
+            };
+            match decision {
+                Decision::Admitted { id, h_s, h_r, .. } => {
+                    debug_assert_eq!(id, conn.id, "renegotiation must keep the id");
+                    let identical = h_s.per_rotation().value().to_bits()
+                        == conn.h_s.per_rotation().value().to_bits()
+                        && h_r.per_rotation().value().to_bits()
+                            == conn.h_r.per_rotation().value().to_bits();
+                    if identical {
+                        report.unchanged.push(id);
+                    } else {
+                        report.renegotiated.push(id);
+                    }
+                }
+                Decision::Rejected(_) => {
+                    report.reclaimed_s += conn.h_s.per_rotation();
+                    report.reclaimed_r += conn.h_r.per_rotation();
+                    report.dropped.push(conn);
+                }
+            }
+        }
+        self.next_id = saved_next_id;
+        let seq = self.decision_seq;
+        self.decision_seq += 1;
+        obs::event(
+            "reconfigure",
+            &[
+                ("seq", obs::FieldValue::U64(seq)),
+                (
+                    "renegotiated",
+                    obs::FieldValue::U64(report.renegotiated.len() as u64),
+                ),
+                (
+                    "unchanged",
+                    obs::FieldValue::U64(report.unchanged.len() as u64),
+                ),
+                ("dropped", obs::FieldValue::U64(report.dropped.len() as u64)),
+            ],
+        );
+        if let Some(mut hook) = self.observer.take() {
+            hook.on_reconfig(seq, &report);
+            self.observer = Some(hook);
+        }
+        Ok(report)
     }
 
     /// Builds a state over a shared topology that holds exactly
@@ -1891,6 +2034,7 @@ impl NetworkState {
 mod tests {
     use super::*;
     use crate::network::HostId;
+    use hetnet_fddi::ring::RingConfig;
     use hetnet_traffic::models::DualPeriodicEnvelope;
     use hetnet_traffic::units::{Bits, BitsPerSec};
 
@@ -2668,5 +2812,184 @@ mod tests {
             NetworkState::new(HetNetwork::paper_topology()).restore(&snap),
             Err(CacError::SnapshotMismatch(_))
         ));
+    }
+
+    #[test]
+    fn reconfigure_noop_keeps_every_allocation_bit_identical() {
+        let mut s = state();
+        let opts: AdmissionOptions = CacConfig::fast().into();
+        for sp in [spec((0, 0), (1, 0), 100.0), spec((1, 1), (2, 0), 90.0)] {
+            assert!(s.admit(sp, &opts).unwrap().is_admitted());
+        }
+        let before: Vec<u64> = s
+            .active()
+            .iter()
+            .map(|c| c.h_s.per_rotation().value().to_bits())
+            .collect();
+        let seq = s.decisions();
+        let report = s.reconfigure(&ReconfigPlan::default(), &opts).unwrap();
+        assert_eq!(report.unchanged.len(), 2);
+        assert!(report.renegotiated.is_empty());
+        assert!(report.dropped.is_empty());
+        // Reconfiguration consumes exactly one decision sequence number.
+        assert_eq!(s.decisions(), seq + 1);
+        let after: Vec<u64> = s
+            .active()
+            .iter()
+            .map(|c| c.h_s.per_rotation().value().to_bits())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn reconfigure_matches_fresh_engine_at_new_parameters() {
+        let mut s = state();
+        let opts: AdmissionOptions = CacConfig::fast().into();
+        let specs = [
+            spec((0, 0), (1, 0), 100.0),
+            spec((1, 1), (2, 0), 90.0),
+            spec((2, 2), (0, 1), 110.0),
+        ];
+        for sp in &specs {
+            assert!(s.admit(sp.clone(), &opts).unwrap().is_admitted());
+        }
+        let plan = ReconfigPlan::uniform_ttrt(Seconds::from_millis(12.0));
+        let report = s.reconfigure(&plan, &opts).unwrap();
+        assert_eq!(report.survivors(), 3);
+        assert!(report.dropped.is_empty());
+        // A longer TTRT moves the allocation line: everything renegotiates.
+        assert_eq!(report.renegotiated.len(), 3);
+        assert!(report.new_allocatable[0] > report.old_allocatable[0]);
+
+        // Fresh engine built at the new parameters, fed the survivors in
+        // admission order, must land on the same bits.
+        let rings = vec![
+            RingConfig {
+                ttrt: Seconds::from_millis(12.0),
+                ..RingConfig::standard()
+            };
+            3
+        ];
+        let net = HetNetwork::paper_topology()
+            .with_ring_configs(rings)
+            .unwrap();
+        let mut fresh = NetworkState::new(net);
+        for sp in &specs {
+            assert!(fresh.admit(sp.clone(), &opts).unwrap().is_admitted());
+        }
+        for (a, b) in s.active().iter().zip(fresh.active()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.h_s.per_rotation().value().to_bits(),
+                b.h_s.per_rotation().value().to_bits()
+            );
+            assert_eq!(
+                a.h_r.per_rotation().value().to_bits(),
+                b.h_r.per_rotation().value().to_bits()
+            );
+            assert_eq!(
+                a.delay_bound.value().to_bits(),
+                b.delay_bound.value().to_bits()
+            );
+        }
+        for ring in 0..3 {
+            assert_eq!(
+                s.available_on(ring).value().to_bits(),
+                fresh.available_on(ring).value().to_bits()
+            );
+        }
+        // And the next decision is bit-identical too (admitted or not).
+        let next = spec((0, 2), (2, 1), 100.0);
+        let (da, db) = (
+            s.admit(next.clone(), &opts).unwrap(),
+            fresh.admit(next, &opts).unwrap(),
+        );
+        assert_eq!(format!("{da:?}"), format!("{db:?}"));
+    }
+
+    #[test]
+    fn reconfigure_shrink_drops_victims_and_reclaims_budget() {
+        let mut s = state();
+        let opts: AdmissionOptions = CacConfig::fast().into();
+        let mut admitted = 0usize;
+        for station in 0..4 {
+            for (src, dst) in [(0, 1), (1, 2), (2, 0)] {
+                if s.admit(spec((src, station), (dst, station), 60.0), &opts)
+                    .unwrap()
+                    .is_admitted()
+                {
+                    admitted += 1;
+                }
+            }
+        }
+        assert!(admitted >= 3, "load generator admitted only {admitted}");
+        // Shrink TTRT and grow the overhead until the allocatable budget
+        // `TTRT − Δ` is a sliver: victims must fall out.
+        let plan = ReconfigPlan::uniform_ttrt(Seconds::from_millis(6.0))
+            .with_overhead(Seconds::from_millis(5.5));
+        let report = s.reconfigure(&plan, &opts).unwrap();
+        assert!(
+            !report.dropped.is_empty(),
+            "expected drops: {}",
+            report.summary()
+        );
+        assert_eq!(report.survivors() + report.dropped.len(), admitted);
+        assert!(report.reclaimed_s.value() > 0.0);
+        // Surviving state is internally consistent: the active set and the
+        // snapshot agree and every remaining allocation fits the new budget.
+        let snap = s.snapshot();
+        assert_eq!(snap.connections.len(), report.survivors());
+        assert_eq!(snap.rings[0].ttrt, Seconds::from_millis(6.0));
+        for ring in 0..3 {
+            assert!(s.available_on(ring).value() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn reconfigure_snapshot_restores_onto_retuned_rings() {
+        let mut s = state();
+        let opts: AdmissionOptions = CacConfig::fast().into();
+        assert!(s
+            .admit(spec((0, 0), (1, 0), 100.0), &opts)
+            .unwrap()
+            .is_admitted());
+        let plan = ReconfigPlan::uniform_ttrt(Seconds::from_millis(10.0))
+            .with_overhead(Seconds::from_millis(1.0));
+        s.reconfigure(&plan, &opts).unwrap();
+        let snap = s.snapshot();
+        // Restoring onto a *stock* topology adopts the snapshot's rings.
+        let mut restored = NetworkState::new(HetNetwork::paper_topology());
+        restored.restore(&snap).unwrap();
+        assert_eq!(restored.snapshot().to_json(), snap.to_json());
+        let next = spec((1, 2), (2, 2), 100.0);
+        match (
+            s.admit(next.clone(), &opts).unwrap(),
+            restored.admit(next, &opts).unwrap(),
+        ) {
+            (Decision::Admitted { h_s: ha, .. }, Decision::Admitted { h_s: hb, .. }) => {
+                assert_eq!(
+                    ha.per_rotation().value().to_bits(),
+                    hb.per_rotation().value().to_bits()
+                );
+            }
+            (a, b) => panic!("diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn reconfigure_rejects_invalid_plans_without_side_effects() {
+        let mut s = state();
+        let opts: AdmissionOptions = CacConfig::fast().into();
+        assert!(s
+            .admit(spec((0, 0), (1, 0), 100.0), &opts)
+            .unwrap()
+            .is_admitted());
+        let before = s.snapshot().to_json();
+        let bad_beta = ReconfigPlan::default().with_beta(2.0);
+        assert!(s.reconfigure(&bad_beta, &opts).is_err());
+        // Overhead >= TTRT leaves no allocatable budget and is refused.
+        let bad_overhead = ReconfigPlan::default().with_overhead(Seconds::from_millis(9.0));
+        assert!(s.reconfigure(&bad_overhead, &opts).is_err());
+        assert_eq!(s.snapshot().to_json(), before);
     }
 }

@@ -77,6 +77,7 @@ pub mod error;
 pub mod experiment;
 pub mod incremental;
 pub mod network;
+pub mod reconfig;
 pub mod region;
 pub mod shard;
 pub mod snapshot;
@@ -90,6 +91,7 @@ pub use connection::{ConnectionId, ConnectionSpec, ConnectionSpecBuilder};
 pub use error::CacError;
 pub use incremental::FastPathStats;
 pub use network::{Component, HetNetwork, HostId, LinkId, RingId, Scheduler, TopologySummary};
+pub use reconfig::{ReconfigPlan, ReconfigReport};
 pub use shard::{Footprint, ShardCut, ShardedCut, ShardedState, Speculation};
 pub use snapshot::{ConnectionSnapshot, StateSnapshot, SNAPSHOT_VERSION};
 pub use trace::{BindingConstraint, ConnectionTrace, DecisionTrace, ServerStage};

@@ -360,6 +360,34 @@ impl HetNetwork {
         .expect("grid topology is well-formed")
     }
 
+    /// Returns a copy of this network with every ring's parameters
+    /// replaced. The topology proper — host counts, interface devices,
+    /// backbone, routes — is untouched, so the lazily materialized
+    /// route cache carries over verbatim: TTRT and overhead changes
+    /// alter ring timing, never routing. This is the substrate of live
+    /// reconfiguration ([`crate::cac::NetworkState::reconfigure`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::InvalidNetwork`] if the ring count differs
+    /// from this network's or any replacement configuration is invalid.
+    pub fn with_ring_configs(&self, rings: Vec<RingConfig>) -> Result<Self, CacError> {
+        if rings.len() != self.rings.len() {
+            return Err(CacError::InvalidNetwork(format!(
+                "{} replacement rings for a {}-ring network",
+                rings.len(),
+                self.rings.len()
+            )));
+        }
+        for (i, r) in rings.iter().enumerate() {
+            r.validate()
+                .map_err(|m| CacError::InvalidNetwork(format!("ring {i}: {m}")))?;
+        }
+        let mut net = self.clone();
+        net.rings = rings;
+        Ok(net)
+    }
+
     /// Ring configurations.
     #[must_use]
     pub fn rings(&self) -> &[RingConfig] {
@@ -577,6 +605,29 @@ mod tests {
         let mut bad = RingConfig::standard();
         bad.ttrt = Seconds::ZERO;
         assert!(HetNetwork::new(vec![bad], 4, IfDevConfig::typical(), bb(1), link).is_err());
+    }
+
+    #[test]
+    fn ring_configs_replace_in_place() {
+        let net = HetNetwork::paper_topology();
+        let mut rings = net.rings().to_vec();
+        rings[1].ttrt = Seconds::from_millis(12.0);
+        let wide = net.with_ring_configs(rings).unwrap();
+        assert_eq!(wide.ring(1).ttrt.as_millis(), 12.0);
+        assert_eq!(wide.ring(0).ttrt.as_millis(), 8.0);
+        assert_eq!(wide.summary(), net.summary());
+        // Routes carried over: same cache contents, same answers.
+        assert_eq!(
+            wide.route_between(0, 2).unwrap(),
+            net.route_between(0, 2).unwrap()
+        );
+        // Wrong count and invalid replacements are refused.
+        assert!(net
+            .with_ring_configs(vec![RingConfig::standard(); 2])
+            .is_err());
+        let mut bad = net.rings().to_vec();
+        bad[0].overhead = bad[0].ttrt;
+        assert!(net.with_ring_configs(bad).is_err());
     }
 
     #[test]

@@ -53,6 +53,7 @@ use crate::error::CacError;
 use crate::incremental::hops_for;
 use crate::network::{Component, HetNetwork, HostId};
 use crate::snapshot::{ConnectionSnapshot, StateSnapshot, SNAPSHOT_VERSION};
+use hetnet_fddi::ring::RingConfig;
 use hetnet_traffic::units::Seconds;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -479,6 +480,7 @@ impl ShardedState {
         StateSnapshot {
             version: SNAPSHOT_VERSION,
             topology: self.net.summary(),
+            rings: self.net.rings().to_vec(),
             connections: self
                 .ledger
                 .flows
@@ -527,6 +529,20 @@ impl ShardedState {
                 net.summary()
             )));
         }
+        // Adopt the snapshot's ring parameters, as `NetworkState::restore`
+        // does: a cut taken after a live reconfiguration rebuilds onto the
+        // retuned TTRT/overhead, not the base topology's.
+        let net = if snap.rings.as_slice() == net.rings() {
+            net
+        } else {
+            Arc::new(
+                net.as_ref()
+                    .with_ring_configs(snap.rings.clone())
+                    .map_err(|e| {
+                        CacError::SnapshotMismatch(format!("snapshot ring parameters: {e}"))
+                    })?,
+            )
+        };
         let mut state = Self::new(net);
         let mut prev: Option<u64> = None;
         for c in &snap.connections {
@@ -586,6 +602,7 @@ impl ShardedState {
                 clock,
                 decision_seq,
                 topology: self.net.summary(),
+                rings: self.net.rings().to_vec(),
             },
         }
     }
@@ -640,6 +657,10 @@ pub struct LedgerCut {
     pub decision_seq: u64,
     /// Topology the cut was taken from.
     pub topology: crate::network::TopologySummary,
+    /// Ring parameters at the cut (carried so a cut taken after a live
+    /// reconfiguration merges back into a snapshot that restores onto
+    /// the retuned rings).
+    pub rings: Vec<RingConfig>,
 }
 
 /// A consistent capture of a [`ShardedState`]: per-shard snapshots plus
@@ -666,6 +687,7 @@ impl ShardedCut {
         StateSnapshot {
             version: SNAPSHOT_VERSION,
             topology: self.ledger.topology,
+            rings: self.ledger.rings.clone(),
             connections,
             down: self.ledger.down.clone(),
             next_id: self.ledger.next_id,

@@ -27,7 +27,7 @@
 use crate::cac::NetworkState;
 use crate::connection::{ConnectionId, ConnectionSpec};
 use crate::network::{Component, HostId, TopologySummary};
-use hetnet_fddi::ring::SyncBandwidth;
+use hetnet_fddi::ring::{RingConfig, SyncBandwidth};
 use hetnet_traffic::envelope::SharedEnvelope;
 use hetnet_traffic::units::Seconds;
 use std::fmt;
@@ -38,8 +38,11 @@ use std::fmt::Write as _;
 /// refuses other versions rather than guessing.
 ///
 /// v2 added the per-connection backbone traffic `class` (scheduler
-/// support); v1 snapshots predate classes and are refused.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// support); v3 added the per-ring parameters (`rings`), so a snapshot
+/// taken after a live reconfiguration restores onto the *reconfigured*
+/// ring timing rather than whatever the base topology was built with.
+/// Older versions are refused.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// One active connection as captured by a snapshot: the admission-time
 /// contract plus the committed allocations.
@@ -108,6 +111,12 @@ pub struct StateSnapshot {
     /// Shape of the network the snapshot was taken from; restore
     /// refuses a state whose topology differs.
     pub topology: TopologySummary,
+    /// Ring parameters at capture time. [`NetworkState::restore`]
+    /// *adopts* these — a snapshot taken after a live reconfiguration
+    /// carries the retuned TTRT/overhead with it, so restoring onto a
+    /// stock topology still reproduces the reconfigured state
+    /// bit-for-bit.
+    pub rings: Vec<RingConfig>,
     /// Active connections in admission order (ascending id).
     pub connections: Vec<ConnectionSnapshot>,
     /// Components marked down at capture time, in sorted order.
@@ -138,6 +147,21 @@ impl StateSnapshot {
             self.topology.switches,
             self.topology.links
         );
+        out.push_str("\"rings\":[");
+        for (i, r) in self.rings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"bandwidth_bps\":{},\"ttrt_s\":{},\"overhead_s\":{},\"propagation_s\":{}}}",
+                json_f64(r.bandwidth.value()),
+                json_f64(r.ttrt.value()),
+                json_f64(r.overhead.value()),
+                json_f64(r.propagation.value()),
+            );
+        }
+        out.push_str("],");
         let _ = write!(
             out,
             "\"next_id\":{},\"clock_s\":{},\"decision_seq\":{},",

@@ -198,6 +198,7 @@ fn exporter_schemas_match_golden_file() {
             at_seconds: 3.5,
             latency_seconds: 2e-4,
             conflict: true,
+            reconfig: false,
             reject_class: Some("deadline"),
         },
         || {

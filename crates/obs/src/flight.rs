@@ -10,6 +10,8 @@
 //!   (after a warmup of `min_samples`),
 //! * it took a conflict-recompute path (sharded commit invalidated the
 //!   speculation),
+//! * it was a live reconfiguration (the whole admitted set was
+//!   renegotiated — always worth the evidence),
 //! * its rejection class differs from the previous rejection's class
 //!   (including the first rejection of a run).
 //!
@@ -36,6 +38,8 @@ pub enum OutlierCause {
     ConflictRecompute,
     /// Rejection class differs from the previous rejection.
     ClassTransition,
+    /// A live reconfiguration renegotiated the admitted set.
+    Reconfig,
 }
 
 impl OutlierCause {
@@ -46,13 +50,15 @@ impl OutlierCause {
             Self::LatencyP99 => "latency_p99",
             Self::ConflictRecompute => "conflict_recompute",
             Self::ClassTransition => "class_transition",
+            Self::Reconfig => "reconfig",
         }
     }
 
-    const ALL: [Self; 3] = [
+    const ALL: [Self; 4] = [
         Self::LatencyP99,
         Self::ConflictRecompute,
         Self::ClassTransition,
+        Self::Reconfig,
     ];
 }
 
@@ -71,6 +77,9 @@ pub struct FlightObservation<'a> {
     pub latency_seconds: f64,
     /// Whether the decision took a conflict-recompute path.
     pub conflict: bool,
+    /// Whether this was a live reconfiguration rather than a single
+    /// admission decision.
+    pub reconfig: bool,
     /// The rejection class (`None` for admits).
     pub reject_class: Option<&'a str>,
 }
@@ -87,7 +96,7 @@ pub struct OutlierRecord {
     /// Decision latency, seconds.
     pub latency_seconds: f64,
     /// Why it was captured (first matching cause by severity:
-    /// conflict > class transition > latency).
+    /// reconfig > conflict > class transition > latency).
     pub cause: OutlierCause,
     /// Human-oriented one-liner (e.g. the class transition).
     pub detail: String,
@@ -104,7 +113,7 @@ struct Inner {
     latency: GeometricHistogram,
     retained: VecDeque<OutlierRecord>,
     evicted: u64,
-    captured_by_cause: [u64; 3],
+    captured_by_cause: [u64; 4],
     last_reject_class: Option<String>,
 }
 
@@ -130,7 +139,7 @@ impl FlightRecorder {
                 latency: GeometricHistogram::new(),
                 retained: VecDeque::new(),
                 evicted: 0,
-                captured_by_cause: [0; 3],
+                captured_by_cause: [0; 4],
                 last_reject_class: None,
             }),
         }
@@ -149,7 +158,10 @@ impl FlightRecorder {
 
         let mut cause = None;
         let mut detail = String::new();
-        if obs.conflict {
+        if obs.reconfig {
+            cause = Some(OutlierCause::Reconfig);
+            detail.push_str("live reconfiguration renegotiated the admitted set");
+        } else if obs.conflict {
             cause = Some(OutlierCause::ConflictRecompute);
             detail.push_str("speculation invalidated; recomputed at commit");
         } else if let Some(class) = obs.reject_class {
@@ -187,6 +199,7 @@ impl FlightRecorder {
             OutlierCause::LatencyP99 => 0,
             OutlierCause::ConflictRecompute => 1,
             OutlierCause::ClassTransition => 2,
+            OutlierCause::Reconfig => 3,
         }] += 1;
         let (trace_json, spans_json) = payload();
         if inner.retained.len() == self.capacity {
@@ -240,7 +253,7 @@ impl FlightRecorder {
     /// ```text
     /// {"seen":N,"captured":N,"retained":N,"evicted":N,
     ///  "threshold_us":N,
-    ///  "by_cause":{"latency_p99":N,"conflict_recompute":N,"class_transition":N},
+    ///  "by_cause":{"latency_p99":N,"conflict_recompute":N,"class_transition":N,"reconfig":N},
     ///  "outliers":[{"correlation":N,"shard":N|null,"at":N,"latency_us":N,
     ///               "cause":"...","detail":"...","trace":{...}|null,"spans":[...]}]}
     /// ```
@@ -308,8 +321,28 @@ mod tests {
             at_seconds: correlation as f64,
             latency_seconds: latency,
             conflict: false,
+            reconfig: false,
             reject_class: None,
         }
+    }
+
+    #[test]
+    fn reconfigs_always_capture_and_outrank_conflicts() {
+        let fr = FlightRecorder::new(8, 1_000_000);
+        let o = FlightObservation {
+            reconfig: true,
+            conflict: true,
+            ..obs(3, 1e-5)
+        };
+        assert_eq!(
+            fr.observe(&o, || ("null".into(), "[]".into())),
+            Some(OutlierCause::Reconfig)
+        );
+        let retained = fr.retained();
+        assert_eq!(retained.len(), 1);
+        assert_eq!(retained[0].cause, OutlierCause::Reconfig);
+        assert!(retained[0].detail.contains("renegotiated"));
+        assert!(fr.to_json().contains("\"reconfig\":1"));
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub enum AuditKind {
     /// A fault-recovery re-admission attempt (the `arrival` field names
     /// the original schedule index the connection came from).
     Readmit,
+    /// A live reconfiguration renegotiated the whole admitted set (the
+    /// `arrival` field names the index in the reconfiguration
+    /// schedule).
+    Reconfig,
 }
 
 impl AuditKind {
@@ -32,6 +36,7 @@ impl AuditKind {
         match self {
             Self::Arrival => "arrival",
             Self::Readmit => "readmit",
+            Self::Reconfig => "reconfig",
         }
     }
 }
@@ -56,6 +61,17 @@ pub enum AuditOutcome {
         class: &'static str,
         /// Human-readable rendering of the full reason.
         detail: String,
+    },
+    /// A live reconfiguration was applied: the admitted set was
+    /// renegotiated against new ring parameters.
+    Reconfigured {
+        /// Connections re-admitted at a bit-different allocation.
+        renegotiated: u64,
+        /// Connections that no longer fit and were dropped (parked at
+        /// the service layer for greedy re-admission).
+        dropped: u64,
+        /// Connections re-admitted at a bit-identical allocation.
+        unchanged: u64,
     },
 }
 
@@ -231,6 +247,17 @@ impl AuditLog {
                         detail.replace('\\', "\\\\").replace('"', "\\\"")
                     );
                 }
+                AuditOutcome::Reconfigured {
+                    renegotiated,
+                    dropped,
+                    unchanged,
+                } => {
+                    let _ = write!(
+                        out,
+                        "\"outcome\":\"reconfigured\",\"renegotiated\":{renegotiated},\
+                         \"dropped\":{dropped},\"unchanged\":{unchanged}}}",
+                    );
+                }
             }
         }
         out.push(']');
@@ -337,5 +364,30 @@ mod tests {
         );
         assert_eq!(AuditKind::Arrival.name(), "arrival");
         assert_eq!(AuditKind::Readmit.name(), "readmit");
+        assert_eq!(AuditKind::Reconfig.name(), "reconfig");
+    }
+
+    #[test]
+    fn reconfig_entries_render_and_are_not_admissions() {
+        let mut log = AuditLog::new();
+        log.append(AuditEntry {
+            seq: 0,
+            at: Seconds::new(3.5),
+            kind: AuditKind::Reconfig,
+            arrival: 0,
+            source: (0, 0),
+            dest: (0, 0),
+            deadline: 0.0,
+            outcome: AuditOutcome::Reconfigured {
+                renegotiated: 4,
+                dropped: 1,
+                unchanged: 2,
+            },
+        });
+        assert!(!log.entries()[0].outcome.is_admitted());
+        let j = log.to_json();
+        assert!(j.contains("\"kind\":\"reconfig\""));
+        assert!(j.contains("\"outcome\":\"reconfigured\""));
+        assert!(j.contains("\"renegotiated\":4,\"dropped\":1,\"unchanged\":2"));
     }
 }

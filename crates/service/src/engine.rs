@@ -31,7 +31,7 @@
 use crate::audit::{AuditEntry, AuditKind, AuditLog, AuditOutcome};
 use crate::metrics::{
     CacheGauges, DecisionCounters, DelayAttribution, FastPathGauges, LatencyHistogram,
-    RecoveryMetrics, UtilizationSeries,
+    ReconfigMetrics, RecoveryMetrics, UtilizationSeries,
 };
 use crate::observability::{spans_to_json, EngineMetrics, ObsOptions, Telemetry, TelemetryFrame};
 use crate::report::{LatencySummary, ServiceReport, StageDelaySummary};
@@ -41,6 +41,7 @@ use hetnet_cac::cac::{
 use hetnet_cac::connection::{ConnectionId, ConnectionSpec};
 use hetnet_cac::error::CacError;
 use hetnet_cac::network::{Component, HetNetwork, LinkId, RingId, Scheduler};
+use hetnet_cac::reconfig::{ReconfigPlan, ReconfigReport};
 use hetnet_cac::snapshot::StateSnapshot;
 use hetnet_obs::{FlightObservation, FlightRecorder, MetricsRegistry, SharedRing};
 use hetnet_sim::churn::{self, ChurnConfig, ChurnSchedule};
@@ -51,6 +52,17 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A scheduled live reconfiguration: at event-stream time `at`, apply
+/// `plan` via [`NetworkState::reconfigure`], renegotiating the whole
+/// admitted set and parking any victims for greedy re-admission.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReconfigEvent {
+    /// Event-stream time the reconfiguration fires.
+    pub at: Seconds,
+    /// The parameter change to apply.
+    pub plan: ReconfigPlan,
+}
 
 /// Configuration of one service run.
 #[derive(Clone, Debug)]
@@ -93,6 +105,11 @@ pub struct ServiceConfig {
     /// Observability knobs: span collection, periodic telemetry, and
     /// flight-recorder sizing. Decision-neutral by construction.
     pub obs: ObsOptions,
+    /// Scheduled live reconfigurations, applied in time order between
+    /// the surrounding events (ties: departure < fault < reconfig <
+    /// arrival). A plan's β, once applied, governs every subsequent
+    /// admission of the run.
+    pub reconfigs: Vec<ReconfigEvent>,
 }
 
 impl ServiceConfig {
@@ -112,6 +129,7 @@ impl ServiceConfig {
             scheduler: None,
             classes: 1,
             obs: ObsOptions::default(),
+            reconfigs: Vec::new(),
         }
     }
 
@@ -128,6 +146,15 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Adds a live-reconfiguration schedule to the run (the engine
+    /// applies the events in time order regardless of the order given
+    /// here).
+    #[must_use]
+    pub fn with_reconfigs(mut self, reconfigs: Vec<ReconfigEvent>) -> Self {
+        self.reconfigs = reconfigs;
         self
     }
 }
@@ -181,6 +208,11 @@ impl DecisionObserver for MetricsHook {
                 .absorb(trace);
         }
     }
+
+    fn on_reconfig(&mut self, seq: u64, _report: &ReconfigReport) {
+        assert_eq!(seq, self.next_seq, "decision stream skipped a seq");
+        self.next_seq += 1;
+    }
 }
 
 /// A pending departure, min-ordered by `(time, connection id)`. Times
@@ -215,6 +247,7 @@ pub struct EngineCheckpoint {
     pub(crate) open_faults: Vec<(Component, u64)>,
     pub(crate) next_arrival: usize,
     pub(crate) next_fault: usize,
+    pub(crate) next_reconfig: usize,
 }
 
 impl EngineCheckpoint {
@@ -243,6 +276,9 @@ pub struct ServiceEngine {
     state: NetworkState,
     schedule: ChurnSchedule,
     faults: Vec<FaultEvent>,
+    /// The reconfiguration schedule, sorted by time (stable, so equal
+    /// times keep the config order).
+    reconfigs: Vec<ReconfigEvent>,
     envelope: SharedEnvelope,
     departures: BinaryHeap<Departure>,
     /// Live connection id → (schedule arrival index, departure bits).
@@ -252,11 +288,13 @@ pub struct ServiceEngine {
     open_faults: BTreeMap<Component, u64>,
     next_arrival: usize,
     next_fault: usize,
+    next_reconfig: usize,
     counters: DecisionCounters,
     latency: LatencyHistogram,
     series: UtilizationSeries,
     audit: AuditLog,
     recovery: RecoveryMetrics,
+    reconfig_metrics: ReconfigMetrics,
     gauges: Arc<Mutex<CacheGauges>>,
     fast: Arc<Mutex<FastPathGauges>>,
     attribution: Arc<Mutex<DelayAttribution>>,
@@ -322,6 +360,13 @@ impl ServiceEngine {
             ),
             _ => Vec::new(),
         };
+        for e in &cfg.reconfigs {
+            e.plan
+                .validate(network.rings().len())
+                .map_err(|err| CacError::InvalidRequest(format!("reconfig schedule: {err}")))?;
+        }
+        let mut reconfigs = cfg.reconfigs.clone();
+        reconfigs.sort_by_key(|e| e.at.value().to_bits());
 
         let topology = network.summary().to_string();
         let mut state = NetworkState::new(network);
@@ -358,6 +403,7 @@ impl ServiceEngine {
             state,
             schedule,
             faults,
+            reconfigs,
             envelope,
             departures: BinaryHeap::new(),
             live: BTreeMap::new(),
@@ -365,11 +411,13 @@ impl ServiceEngine {
             open_faults: BTreeMap::new(),
             next_arrival: 0,
             next_fault: 0,
+            next_reconfig: 0,
             counters: DecisionCounters::default(),
             latency: LatencyHistogram::new(),
             series: UtilizationSeries::new(sample_period),
             audit: AuditLog::new(),
             recovery: RecoveryMetrics::default(),
+            reconfig_metrics: ReconfigMetrics::default(),
             gauges,
             fast,
             attribution,
@@ -410,12 +458,30 @@ impl ServiceEngine {
         let mut engine = Self::new(network, cfg)?;
         if checkpoint.next_arrival > engine.schedule.arrivals.len()
             || checkpoint.next_fault > engine.faults.len()
+            || checkpoint.next_reconfig > engine.reconfigs.len()
         {
             return Err(CacError::SnapshotMismatch(
                 "checkpoint cursors exceed the regenerated schedules".into(),
             ));
         }
         engine.state.restore(&checkpoint.state)?;
+        // The snapshot's ring parameters were adopted by the restore;
+        // utilization must be measured against the *restored* budgets.
+        engine.ring_caps = engine
+            .state
+            .network()
+            .rings()
+            .iter()
+            .map(|r| r.allocatable().value())
+            .collect();
+        // A reconfiguration's β outlives it via the admission options;
+        // replay the pre-checkpoint prefix so post-recovery admissions
+        // run under the same β as the original run's.
+        for e in &engine.reconfigs[..checkpoint.next_reconfig] {
+            if let Some(beta) = e.plan.beta {
+                engine.cfg.options.cac.beta = beta;
+            }
+        }
         // Reinstall the observer so the gap-free sequence check resumes
         // at the snapshot's decision count.
         engine.state.set_observer(Some(Box::new(MetricsHook {
@@ -442,6 +508,7 @@ impl ServiceEngine {
         engine.open_faults = checkpoint.open_faults.iter().copied().collect();
         engine.next_arrival = checkpoint.next_arrival;
         engine.next_fault = checkpoint.next_fault;
+        engine.next_reconfig = checkpoint.next_reconfig;
         Ok(engine)
     }
 
@@ -466,6 +533,7 @@ impl ServiceEngine {
             open_faults: self.open_faults.iter().map(|(&c, &b)| (c, b)).collect(),
             next_arrival: self.next_arrival,
             next_fault: self.next_fault,
+            next_reconfig: self.next_reconfig,
         }
     }
 
@@ -552,17 +620,23 @@ impl ServiceEngine {
     /// Propagates any [`CacError`] from the remaining events.
     pub fn finish(mut self) -> Result<ServiceRun, CacError> {
         while self.step_arrival()? {}
-        // Drain faults scheduled past the last arrival. The generated
-        // schedules end well inside the horizon, so this is normally a
-        // no-op, but it keeps `undrained` honest for hand-built ones.
+        // Drain faults and reconfigurations scheduled past the last
+        // arrival. The generated fault schedules end well inside the
+        // horizon, so the first loop is normally a no-op, but it keeps
+        // `undrained` honest for hand-built ones; reconfig schedules
+        // are hand-built and routinely outlive the arrivals.
         while let Some(e) = self.faults.get(self.next_fault).copied() {
             self.advance_to(e.at)?;
+        }
+        while let Some(at) = self.reconfigs.get(self.next_reconfig).map(|e| e.at) {
+            self.advance_to(at)?;
         }
         Ok(self.into_run())
     }
 
-    /// Processes every departure and fault due at or before `t`, in
-    /// time order, departures first on ties.
+    /// Processes every departure, fault, and reconfiguration due at or
+    /// before `t`, in time order (ties: departure < fault <
+    /// reconfig).
     fn advance_to(&mut self, t: Seconds) -> Result<(), CacError> {
         loop {
             let dep_at = self
@@ -570,18 +644,93 @@ impl ServiceEngine {
                 .peek()
                 .map(|&Reverse((bits, _))| f64::from_bits(bits));
             let fault_at = self.faults.get(self.next_fault).map(|e| e.at.value());
+            let rec_at = self.reconfigs.get(self.next_reconfig).map(|e| e.at.value());
             let dep_due = dep_at.is_some_and(|at| at <= t.value());
             let fault_due = fault_at.is_some_and(|at| at <= t.value());
-            if dep_due && (!fault_due || dep_at <= fault_at) {
+            let rec_due = rec_at.is_some_and(|at| at <= t.value());
+            if dep_due && (!fault_due || dep_at <= fault_at) && (!rec_due || dep_at <= rec_at) {
                 self.pop_departure()?;
-            } else if fault_due {
+            } else if fault_due && (!rec_due || fault_at <= rec_at) {
                 let e = self.faults[self.next_fault];
                 self.next_fault += 1;
                 self.apply_fault(e)?;
+            } else if rec_due {
+                let e = self.reconfigs[self.next_reconfig].clone();
+                self.next_reconfig += 1;
+                self.apply_reconfig(&e)?;
             } else {
                 return Ok(());
             }
         }
+    }
+
+    /// Applies one scheduled reconfiguration: renegotiates the admitted
+    /// set at the new parameters, parks victims for greedy
+    /// re-admission, persists the plan's β into the run's admission
+    /// options, and records the event in the audit log (one decision
+    /// sequence number, kind [`AuditKind::Reconfig`]).
+    fn apply_reconfig(&mut self, e: &ReconfigEvent) -> Result<(), CacError> {
+        self.state.set_clock(e.at);
+        let t0 = Instant::now();
+        let report = self.state.reconfigure(&e.plan, &self.cfg.options)?;
+        let latency_seconds = t0.elapsed().as_secs_f64();
+        if let Some(beta) = e.plan.beta {
+            self.cfg.options.cac.beta = beta;
+        }
+        // The allocatable budgets changed: utilization is measured
+        // against the new ones from here on.
+        self.ring_caps = self
+            .state
+            .network()
+            .rings()
+            .iter()
+            .map(|r| r.allocatable().value())
+            .collect();
+        for conn in &report.dropped {
+            if let Some((arrival, departs_bits)) = self.live.remove(&conn.id.0) {
+                self.parked.push(Parked {
+                    arrival,
+                    departs_bits,
+                });
+            }
+        }
+        self.reconfig_metrics.absorb(&report);
+        let seq = self.state.decisions() - 1;
+        let observation = FlightObservation {
+            correlation: seq,
+            shard: None,
+            at_seconds: e.at.value(),
+            latency_seconds,
+            conflict: false,
+            reconfig: true,
+            reject_class: None,
+        };
+        if self
+            .flight
+            .observe(&observation, || ("null".into(), "[]".into()))
+            .is_some()
+        {
+            self.mx.outlier_captured();
+        }
+        self.audit.append(AuditEntry {
+            seq,
+            at: e.at,
+            kind: AuditKind::Reconfig,
+            arrival: self.next_reconfig - 1,
+            source: (0, 0),
+            dest: (0, 0),
+            deadline: 0.0,
+            outcome: AuditOutcome::Reconfigured {
+                renegotiated: report.renegotiated.len() as u64,
+                dropped: report.dropped.len() as u64,
+                unchanged: report.unchanged.len() as u64,
+            },
+        });
+        self.offer_sample(e.at);
+        if self.cfg.readmit {
+            self.readmit_parked(e.at)?;
+        }
+        Ok(())
     }
 
     /// Pops one departure. Connections already torn down by a fault
@@ -773,7 +922,7 @@ impl ServiceEngine {
         let correlation = self.state.decisions() - 1;
         let reject_class = match &outcome {
             AuditOutcome::Rejected { class, .. } => Some(*class),
-            AuditOutcome::Admitted { .. } => None,
+            _ => None,
         };
         let observation = FlightObservation {
             correlation,
@@ -781,6 +930,7 @@ impl ServiceEngine {
             at_seconds: at.value(),
             latency_seconds,
             conflict: false,
+            reconfig: false,
             reject_class,
         };
         let state = &self.state;
@@ -868,6 +1018,7 @@ impl ServiceEngine {
             topology: self.topology,
             delay_attribution,
             recovery: self.recovery,
+            reconfig: self.reconfig_metrics,
             shard_cache: Vec::new(),
             flight_recorder: self.flight.to_json(),
         };
@@ -975,6 +1126,18 @@ pub fn entries_equivalent(a: &AuditEntry, b: &AuditEntry) -> bool {
         (AuditOutcome::Rejected { class, .. }, AuditOutcome::Rejected { class: class2, .. }) => {
             class == class2
         }
+        (
+            AuditOutcome::Reconfigured {
+                renegotiated,
+                dropped,
+                unchanged,
+            },
+            AuditOutcome::Reconfigured {
+                renegotiated: renegotiated2,
+                dropped: dropped2,
+                unchanged: unchanged2,
+            },
+        ) => renegotiated == renegotiated2 && dropped == dropped2 && unchanged == unchanged2,
         _ => false,
     }
 }
@@ -1304,6 +1467,138 @@ mod tests {
         );
         assert_eq!(recovered.audit.start(), seq0 as u64);
         assert_eq!(recovered.audit.len(), tail.len());
+    }
+
+    /// A smoke config with one mid-run reconfiguration: retune TTRT to
+    /// 12 ms, grow the overhead a little, and move β to 0.3.
+    fn reconfigured_cfg(requests: usize, seed: u64) -> ServiceConfig {
+        let mut cfg = ServiceConfig::paper_style(2.0, requests, seed);
+        cfg.options = AdmissionOptions::beta_search(CacConfig::fast());
+        cfg.reconfigs = vec![ReconfigEvent {
+            at: Seconds::new(requests as f64 / 4.0),
+            plan: ReconfigPlan::uniform_ttrt(Seconds::from_millis(12.0))
+                .with_overhead(Seconds::from_millis(1.0))
+                .with_beta(0.3),
+        }];
+        cfg
+    }
+
+    #[test]
+    fn reconfig_fires_renegotiates_and_audits() {
+        let cfg = reconfigured_cfg(120, 19);
+        let run = run(HetNetwork::paper_topology(), &cfg).unwrap();
+        let rc = &run.report.reconfig;
+        assert_eq!(rc.reconfigs, 1, "the scheduled reconfig must fire");
+        assert!(
+            rc.renegotiated >= 1,
+            "a TTRT retune renegotiates allocations: {rc:?}"
+        );
+        assert_eq!(
+            run.state.network().rings()[0].ttrt,
+            Seconds::from_millis(12.0)
+        );
+        // One audit entry of kind Reconfig, in a still gap-free log.
+        let reconfig_entries: Vec<_> = run
+            .audit
+            .entries()
+            .iter()
+            .filter(|e| e.kind == AuditKind::Reconfig)
+            .collect();
+        assert_eq!(reconfig_entries.len(), 1);
+        assert!(matches!(
+            reconfig_entries[0].outcome,
+            AuditOutcome::Reconfigured { .. }
+        ));
+        for (i, e) in run.audit.entries().iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "audit log must stay gap-free");
+        }
+        // The reconfig consumed a decision seq without being a request.
+        assert_eq!(run.audit.len() as u64, run.report.requests + 1);
+        // The flight recorder captured it.
+        assert!(run
+            .report
+            .flight_recorder
+            .contains("\"cause\":\"reconfig\""));
+    }
+
+    #[test]
+    fn reconfigured_runs_are_deterministic() {
+        let cfg = reconfigured_cfg(100, 37);
+        let a = run(HetNetwork::paper_topology(), &cfg).unwrap();
+        let b = run(HetNetwork::paper_topology(), &cfg).unwrap();
+        assert_eq!(a.audit.entries(), b.audit.entries());
+        assert_eq!(a.report.counters, b.report.counters);
+        assert_eq!(a.report.reconfig, b.report.reconfig);
+        assert_eq!(
+            a.state.snapshot().to_json(),
+            b.state.snapshot().to_json(),
+            "final states must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn checkpoint_before_a_reconfig_replays_through_it() {
+        let cfg = reconfigured_cfg(140, 41);
+        let mut engine = ServiceEngine::new(HetNetwork::paper_topology(), &cfg).unwrap();
+        // Stop well before t = 35 s (the reconfig instant): 20 arrivals
+        // at rate 2.0 land around t = 10 s.
+        for _ in 0..20 {
+            assert!(engine.step_arrival().unwrap());
+        }
+        let checkpoint = engine.checkpoint();
+        assert_eq!(checkpoint.next_reconfig, 0, "reconfig must still be ahead");
+        let seq0 = checkpoint.decision_seq() as usize;
+        let full = engine.finish().unwrap();
+        let tail = &full.audit.entries()[seq0..];
+        assert!(
+            tail.iter().any(|e| e.kind == AuditKind::Reconfig),
+            "the tail must contain the reconfiguration"
+        );
+        let recovered =
+            verify_recovery(HetNetwork::paper_topology(), &cfg, &checkpoint, tail).unwrap();
+        assert_eq!(
+            recovered.state.snapshot().to_json(),
+            full.state.snapshot().to_json(),
+            "recovered final state must be bit-identical"
+        );
+        assert_eq!(recovered.report.reconfig, full.report.reconfig);
+    }
+
+    #[test]
+    fn checkpoint_after_a_reconfig_resumes_at_the_new_parameters() {
+        let cfg = reconfigured_cfg(140, 43);
+        let mut engine = ServiceEngine::new(HetNetwork::paper_topology(), &cfg).unwrap();
+        while engine.next_reconfig == 0 {
+            assert!(engine.step_arrival().unwrap(), "reconfig never fired");
+        }
+        let checkpoint = engine.checkpoint();
+        assert_eq!(checkpoint.next_reconfig, 1);
+        let seq0 = checkpoint.decision_seq() as usize;
+        let full = engine.finish().unwrap();
+        let tail = &full.audit.entries()[seq0..];
+        let recovered =
+            verify_recovery(HetNetwork::paper_topology(), &cfg, &checkpoint, tail).unwrap();
+        // The recovered engine restored onto the retuned rings and the
+        // replayed β: bit-identical end state.
+        assert_eq!(
+            recovered.state.network().rings()[0].ttrt,
+            Seconds::from_millis(12.0)
+        );
+        assert_eq!(
+            recovered.state.snapshot().to_json(),
+            full.state.snapshot().to_json()
+        );
+    }
+
+    #[test]
+    fn invalid_reconfig_schedule_is_rejected_up_front() {
+        let mut cfg = smoke_cfg();
+        cfg.reconfigs = vec![ReconfigEvent {
+            at: Seconds::new(1.0),
+            plan: ReconfigPlan::default().with_beta(7.0),
+        }];
+        let err = ServiceEngine::new(HetNetwork::paper_topology(), &cfg).unwrap_err();
+        assert!(matches!(err, CacError::InvalidRequest(ref m) if m.contains("reconfig")));
     }
 
     #[test]

@@ -48,12 +48,12 @@ pub mod sharded;
 
 pub use audit::{AuditEntry, AuditKind, AuditLog, AuditOutcome};
 pub use engine::{
-    entries_equivalent, run, verify_recovery, EngineCheckpoint, ServiceConfig, ServiceEngine,
-    ServiceRun,
+    entries_equivalent, run, verify_recovery, EngineCheckpoint, ReconfigEvent, ServiceConfig,
+    ServiceEngine, ServiceRun,
 };
 pub use metrics::{
     BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, FastPathGauges,
-    LatencyHistogram, RecoveryMetrics, UtilizationSample, UtilizationSeries,
+    LatencyHistogram, ReconfigMetrics, RecoveryMetrics, UtilizationSample, UtilizationSeries,
 };
 pub use observability::{ObsOptions, TelemetryFrame};
 pub use report::{LatencySummary, ServiceReport, StageDelaySummary};

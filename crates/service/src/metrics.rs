@@ -341,6 +341,39 @@ pub struct RecoveryMetrics {
     pub undrained: u64,
 }
 
+/// Live-reconfiguration counters of one service run: what the
+/// reconfiguration schedule did to the admitted set, summed over every
+/// applied [`hetnet_cac::reconfig::ReconfigReport`]. All zero for a
+/// run without reconfigurations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct ReconfigMetrics {
+    /// Reconfiguration events applied.
+    pub reconfigs: u64,
+    /// Connections re-admitted at a bit-different allocation.
+    pub renegotiated: u64,
+    /// Connections re-admitted at a bit-identical allocation.
+    pub unchanged: u64,
+    /// Connections dropped (parked for greedy re-admission).
+    pub dropped: u64,
+    /// Source-ring synchronous time reclaimed from drops, s/rotation.
+    pub reclaimed_s: f64,
+    /// Destination-ring synchronous time reclaimed from drops,
+    /// s/rotation.
+    pub reclaimed_r: f64,
+}
+
+impl ReconfigMetrics {
+    /// Folds one applied reconfiguration report in.
+    pub fn absorb(&mut self, report: &hetnet_cac::reconfig::ReconfigReport) {
+        self.reconfigs += 1;
+        self.renegotiated += report.renegotiated.len() as u64;
+        self.unchanged += report.unchanged.len() as u64;
+        self.dropped += report.dropped.len() as u64;
+        self.reclaimed_s += report.reclaimed_s.value();
+        self.reclaimed_r += report.reclaimed_r.value();
+    }
+}
+
 /// Delay-budget attribution accumulated from [`DecisionTrace`]s: one
 /// histogram per server stage of the paper's eq. 7 decomposition, plus
 /// end-to-end totals, deadline slack of admitted connections, and

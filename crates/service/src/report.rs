@@ -2,7 +2,7 @@
 
 use crate::metrics::{
     BindingCounters, CacheGauges, DecisionCounters, DelayAttribution, FastPathGauges,
-    LatencyHistogram, RecoveryMetrics,
+    LatencyHistogram, ReconfigMetrics, RecoveryMetrics,
 };
 use hetnet_obs::export::push_json_str;
 use hetnet_traffic::units::Seconds;
@@ -140,6 +140,9 @@ pub struct ServiceReport {
     /// Fault-injection and recovery accounting (all-zero when the run
     /// had no fault schedule).
     pub recovery: RecoveryMetrics,
+    /// Live-reconfiguration accounting (all-zero when the run had no
+    /// reconfiguration schedule).
+    pub reconfig: ReconfigMetrics,
     /// Per-shard evaluator-cache gauges (one per worker, in worker
     /// order, then one final entry for committer-inline decisions).
     /// Empty for the sequential engine.
@@ -295,6 +298,14 @@ impl ServiceReport {
             r.max_time_to_drain,
             r.undrained,
         );
+        let rc = &self.reconfig;
+        let _ = write!(
+            out,
+            ",\"reconfig\":{{\"reconfigs\":{},\"renegotiated\":{},\
+             \"unchanged\":{},\"dropped\":{},\
+             \"reclaimed_s\":{:.12e},\"reclaimed_r\":{:.12e}}}",
+            rc.reconfigs, rc.renegotiated, rc.unchanged, rc.dropped, rc.reclaimed_s, rc.reclaimed_r,
+        );
         out.push_str(",\"flight_recorder\":");
         if self.flight_recorder.is_empty() {
             out.push_str("null");
@@ -429,6 +440,14 @@ mod tests {
                 max_time_to_drain: 12.5,
                 undrained: 0,
             },
+            reconfig: ReconfigMetrics {
+                reconfigs: 1,
+                renegotiated: 3,
+                unchanged: 1,
+                dropped: 1,
+                reclaimed_s: 2.0e-4,
+                reclaimed_r: 1.0e-4,
+            },
             shard_cache: vec![
                 CacheGauges {
                     stage1_hits: 1,
@@ -439,7 +458,8 @@ mod tests {
             ],
             flight_recorder: "{\"seen\":2,\"captured\":1,\"retained\":1,\"evicted\":0,\
                               \"threshold_us\":40.000,\"by_cause\":{\"latency_p99\":1,\
-                              \"conflict_recompute\":0,\"class_transition\":0},\"outliers\":[]}"
+                              \"conflict_recompute\":0,\"class_transition\":0,\"reconfig\":0},\
+                              \"outliers\":[]}"
                 .into(),
         };
         let j = report.to_json();
@@ -471,6 +491,7 @@ mod tests {
             "\"recovery\":{\"faults_injected\":3,",
             "\"max_time_to_drain_s\":12.500000",
             "\"undrained\":0",
+            "\"reconfig\":{\"reconfigs\":1,\"renegotiated\":3,\"unchanged\":1,\"dropped\":1,",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }

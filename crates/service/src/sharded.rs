@@ -622,7 +622,7 @@ impl Committer<'_> {
         );
         let reject_class = match &outcome {
             AuditOutcome::Rejected { class, .. } => Some(*class),
-            AuditOutcome::Admitted { .. } => None,
+            _ => None,
         };
         let observation = FlightObservation {
             correlation: self.decision_seq,
@@ -630,6 +630,7 @@ impl Committer<'_> {
             at_seconds: at.value(),
             latency_seconds: latency.value(),
             conflict,
+            reconfig: false,
             reject_class,
         };
         let captured = self.flight.observe(&observation, || {
@@ -742,6 +743,13 @@ impl ShardedEngine {
                 network.rings().len(),
                 network.hosts_per_ring()
             )));
+        }
+        if !cfg.reconfigs.is_empty() {
+            return Err(CacError::InvalidRequest(
+                "the sharded engine does not support live reconfiguration; \
+                 use the sequential engine for reconfig schedules"
+                    .into(),
+            ));
         }
         let schedule = churn::generate(&cfg.churn);
         let envelope: SharedEnvelope = Arc::new(schedule.source);
@@ -1086,6 +1094,7 @@ impl ShardedEngine {
             topology: self.net.summary().to_string(),
             delay_attribution: StageDelaySummary::from_attribution(&committer.attribution),
             recovery: committer.recovery,
+            reconfig: crate::metrics::ReconfigMetrics::default(),
             shard_cache: committer.shard_gauges,
             flight_recorder: self.flight.to_json(),
         };
@@ -1130,6 +1139,9 @@ impl Committer<'_> {
             open_faults: self.open_faults.iter().map(|(&c, &b)| (c, b)).collect(),
             next_arrival: self.next_arrival,
             next_fault: self.next_fault,
+            // The sharded engine refuses reconfig schedules, so a
+            // checkpoint it takes always sits before the first one.
+            next_reconfig: 0,
         }
     }
 }

@@ -1,0 +1,246 @@
+//! TTRT/β autotuning: sweep-and-bisect search over ring parameters.
+//!
+//! The paper freezes TTRT at 8 ms and treats β as a per-decision search
+//! knob, but an operator retuning a *live* network (see the service
+//! crate's reconfiguration path) needs the opposite view: given a
+//! seeded offered load, which (TTRT, β) point maximises the admission
+//! probability? This module provides the deterministic search
+//! scaffolding — a grid sweep and a monotone bisection — while staying
+//! completely ignorant of the admission engine itself.
+//!
+//! The sim crate sits *below* the CAC crate in the dependency order,
+//! so evaluation is abstracted as a closure: the bench layer wires
+//! [`sweep`] to a full service run per grid point, and the unit tests
+//! here wire it to closed-form toy models. That inversion is what
+//! keeps the search logic testable without a network in sight.
+//!
+//! Everything is bit-deterministic: grids are fixed vectors, the sweep
+//! visits points in row-major order, and ties on admission probability
+//! resolve to the earliest point visited — so a campaign re-run from
+//! the same seed reproduces the same winner.
+
+/// The Cartesian search grid: every TTRT (milliseconds) crossed with
+/// every β.
+///
+/// TTRT values are carried in milliseconds rather than [`Seconds`]
+/// (`hetnet_traffic::units::Seconds`) so grids render naturally in
+/// campaign JSON; the bench layer converts at the engine boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepGrid {
+    /// Candidate TTRT values, in milliseconds.
+    pub ttrts_ms: Vec<f64>,
+    /// Candidate β values in `[0, 1]`.
+    pub betas: Vec<f64>,
+}
+
+impl SweepGrid {
+    /// The default campaign grid. Spans the paper's frozen 8 ms
+    /// default (so the baseline is always a grid point) plus tighter
+    /// and looser token-rotation targets, crossed with the β quartiles.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            ttrts_ms: vec![4.0, 6.0, 8.0, 10.0, 12.0, 16.0],
+            betas: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+        }
+    }
+
+    /// Number of grid points the sweep will visit.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ttrts_ms.len() * self.betas.len()
+    }
+
+    /// True when either axis is empty (the sweep visits nothing).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ttrts_ms.is_empty() || self.betas.is_empty()
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// TTRT of this point, milliseconds.
+    pub ttrt_ms: f64,
+    /// β of this point.
+    pub beta: f64,
+    /// Connections admitted under these parameters.
+    pub admitted: u64,
+    /// Connection requests offered (identical across points when the
+    /// evaluator replays one seeded schedule, which is the intended
+    /// use).
+    pub requests: u64,
+}
+
+impl SweepPoint {
+    /// Fraction of offered requests admitted; `0.0` when nothing was
+    /// offered (a degenerate evaluator, not a great network).
+    #[must_use]
+    pub fn admission_probability(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.admitted as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The full sweep result, in visitation (row-major) order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepOutcome {
+    /// Every evaluated point, TTRT-major then β.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepOutcome {
+    /// The point with the highest admission probability. Ties resolve
+    /// to the earliest point visited, so the outcome is deterministic
+    /// for a fixed grid. `None` only for an empty grid.
+    #[must_use]
+    pub fn best(&self) -> Option<&SweepPoint> {
+        self.points.iter().reduce(|best, p| {
+            if p.admission_probability() > best.admission_probability() {
+                p
+            } else {
+                best
+            }
+        })
+    }
+
+    /// The evaluated point at exactly (`ttrt_ms`, `beta`) — the
+    /// frozen-default baseline the gate compares the winner against.
+    /// `None` when the pair is not on the grid (bit-compare on both
+    /// axes; grids are authored literals, not computed floats).
+    #[must_use]
+    pub fn baseline(&self, ttrt_ms: f64, beta: f64) -> Option<&SweepPoint> {
+        self.points.iter().find(|p| {
+            p.ttrt_ms.to_bits() == ttrt_ms.to_bits() && p.beta.to_bits() == beta.to_bits()
+        })
+    }
+}
+
+/// Evaluates every grid point with `eval`, which maps a
+/// `(ttrt_ms, beta)` pair to `(admitted, requests)` — typically by
+/// replaying one seeded churn schedule through a freshly built
+/// admission engine at those parameters.
+///
+/// Visitation order is TTRT-major then β, matching the declaration
+/// order of the grid vectors.
+pub fn sweep<F>(grid: &SweepGrid, mut eval: F) -> SweepOutcome
+where
+    F: FnMut(f64, f64) -> (u64, u64),
+{
+    let mut points = Vec::with_capacity(grid.len());
+    for &ttrt_ms in &grid.ttrts_ms {
+        for &beta in &grid.betas {
+            let (admitted, requests) = eval(ttrt_ms, beta);
+            points.push(SweepPoint {
+                ttrt_ms,
+                beta,
+                admitted,
+                requests,
+            });
+        }
+    }
+    SweepOutcome { points }
+}
+
+/// Bisects for the largest `x` in `[lo, hi]` with `fits(x)` true,
+/// assuming `fits` is monotone non-increasing in `x` (capacity
+/// planning: `x` is a churn arrival rate, `fits` asks whether the
+/// network at the retuned parameters still clears an admission-
+/// probability floor at that rate).
+///
+/// Runs exactly `iters` halvings, so the result is deterministic and
+/// accurate to `(hi - lo) / 2^iters`. When even `fits(lo)` fails the
+/// result is `lo` (the caller's floor is unachievable); when `fits(hi)`
+/// holds the result converges to `hi`.
+pub fn bisect_capacity<F>(lo: f64, hi: f64, iters: u32, mut fits: F) -> f64
+where
+    F: FnMut(f64) -> bool,
+{
+    assert!(lo <= hi, "bisection interval is inverted");
+    if !fits(lo) {
+        return lo;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_contains_the_frozen_paper_ttrt() {
+        let grid = SweepGrid::paper_default();
+        assert!(grid.ttrts_ms.contains(&8.0));
+        assert!(!grid.is_empty());
+        assert_eq!(grid.len(), grid.ttrts_ms.len() * grid.betas.len());
+    }
+
+    #[test]
+    fn sweep_visits_row_major_and_best_breaks_ties_earliest() {
+        let grid = SweepGrid {
+            ttrts_ms: vec![8.0, 12.0],
+            betas: vec![0.0, 1.0],
+        };
+        // Toy model: admissions improve with TTRT, flat in β — the two
+        // β points at 12 ms tie, so `best` must pick the earlier one.
+        let out = sweep(&grid, |ttrt_ms, _beta| (ttrt_ms as u64, 100));
+        assert_eq!(out.points.len(), 4);
+        assert_eq!(
+            out.points
+                .iter()
+                .map(|p| (p.ttrt_ms, p.beta))
+                .collect::<Vec<_>>(),
+            vec![(8.0, 0.0), (8.0, 1.0), (12.0, 0.0), (12.0, 1.0)]
+        );
+        let best = out.best().unwrap();
+        assert_eq!((best.ttrt_ms, best.beta), (12.0, 0.0));
+        assert!((best.admission_probability() - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_finds_the_exact_grid_point() {
+        let out = sweep(&SweepGrid::paper_default(), |_, _| (1, 2));
+        let base = out.baseline(8.0, 0.5).unwrap();
+        assert_eq!((base.ttrt_ms, base.beta), (8.0, 0.5));
+        assert!(out.baseline(9.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn zero_requests_scores_zero_not_nan() {
+        let p = SweepPoint {
+            ttrt_ms: 8.0,
+            beta: 0.5,
+            admitted: 0,
+            requests: 0,
+        };
+        assert_eq!(p.admission_probability(), 0.0);
+    }
+
+    #[test]
+    fn bisection_converges_on_a_monotone_threshold() {
+        // fits(x) = x <= 37.5 exactly; 20 halvings of [0, 100] pin the
+        // threshold to ~1e-4.
+        let cap = bisect_capacity(0.0, 100.0, 20, |x| x <= 37.5);
+        assert!((cap - 37.5).abs() < 1e-3, "cap = {cap}");
+    }
+
+    #[test]
+    fn bisection_handles_degenerate_ends() {
+        assert_eq!(bisect_capacity(5.0, 10.0, 16, |_| false), 5.0);
+        let hi = bisect_capacity(5.0, 10.0, 16, |_| true);
+        assert!((hi - 10.0).abs() < 1e-3, "hi = {hi}");
+    }
+}

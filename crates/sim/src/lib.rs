@@ -18,11 +18,15 @@
 //! * [`source`] — greedy, envelope-conformant dual-periodic traffic
 //!   generators (they emit as aggressively as eq. 37 allows, which is
 //!   what makes simulated delays approach the analytic bounds);
-//! * [`netsim`] — the end-to-end packet-level simulator.
+//! * [`netsim`] — the end-to-end packet-level simulator;
+//! * [`autotune`] — deterministic TTRT/β grid sweeps and capacity
+//!   bisection, generic over an admission-evaluation closure (the
+//!   bench layer wires them to full service runs).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod autotune;
 pub mod churn;
 pub mod engine;
 pub mod fault;
@@ -30,6 +34,7 @@ pub mod netsim;
 pub mod rng;
 pub mod source;
 
+pub use autotune::{bisect_capacity, sweep, SweepGrid, SweepOutcome, SweepPoint};
 pub use churn::{ChurnArrival, ChurnConfig, ChurnSchedule, TopologyShape};
 pub use engine::Scheduler;
 pub use fault::{FaultConfig, FaultEvent, FaultKind};

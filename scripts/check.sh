@@ -3,7 +3,7 @@
 # separate jobs. No Python anywhere: the benchmark-JSON gates live in
 # the Rust `bench_gate` binary.
 #
-# Usage: scripts/check.sh [build|test|lint|bench|all]   (default: all)
+# Usage: scripts/check.sh [build|test|lint|reconfig|bench|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +32,17 @@ test_stage() {
 
     echo "==> observability gate (sharded runs with full tracing stay decision-identical)"
     cargo test --release -p hetnet-service --test sharded_replay -q
+}
+
+reconfig() {
+    echo "==> reconfig certification (retuned state bit-identical to a fresh engine + pinned golden)"
+    cargo test --release -p hetnet-cac --test reconfig -q
+
+    echo "==> reconfig recovery gate (checkpointed runs replay through reconfigurations bit for bit)"
+    cargo test --release -p hetnet-service --test reconfig_replay -q
+
+    echo "==> autotune sweep/bisection unit gate"
+    cargo test --release -p hetnet-sim autotune -q
 }
 
 lint() {
@@ -74,16 +85,18 @@ case "$stage" in
     build) build ;;
     test) test_stage ;;
     lint) lint ;;
+    reconfig) reconfig ;;
     bench) bench ;;
     all)
         build
         test_stage
+        reconfig
         lint
         bench
         echo "==> all checks passed"
         ;;
     *)
-        echo "usage: scripts/check.sh [build|test|lint|bench|all]" >&2
+        echo "usage: scripts/check.sh [build|test|lint|reconfig|bench|all]" >&2
         exit 2
         ;;
 esac
